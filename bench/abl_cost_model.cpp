@@ -1,0 +1,45 @@
+// Ablation: the analytical cost model (paper Sec. VII's "ongoing work")
+// against the simulator — predicted vs simulated phase times per ring
+// size, plus the analytical answer to the paper's crossover prediction.
+#include "harness.h"
+#include "model/cyclo_cost.h"
+
+int main(int argc, char** argv) {
+  using namespace cj;
+  auto flags = bench::parse_flags_or_die(argc, argv);
+  const std::int64_t scale = flags.get_int("scale", bench::kDefaultScale);
+  const auto nodes = flags.get_int_list("nodes", {1, 2, 4, 6});
+  bench::check_unused_flags(flags);
+
+  bench::print_banner(
+      "Ablation — analytical cost model vs simulation (hash join)",
+      "a closed-form model of setup / join / sync, validated against the "
+      "simulated execution of the real kernels", scale);
+
+  auto [r, s] = bench::uniform_pair(bench::kRowsFig7, scale);
+  const std::uint64_t rows = r.rows();
+
+  std::printf("%6s  %22s  %22s  %12s\n", "nodes", "setup sim/model[s]",
+              "join sim/model[s]", "model sync");
+  for (const auto n : nodes) {
+    cyclo::CycloJoin join(bench::paper_cluster(static_cast<int>(n), scale),
+                          cyclo::JoinSpec{.algorithm = cyclo::Algorithm::kHashJoin});
+    const cyclo::RunReport sim = join.run(r, s);
+    const model::CycloCostEstimate predicted =
+        model::estimate(model::JoinKind::kHash, rows, static_cast<int>(n));
+    std::printf("%6lld  %10.3f / %-9.3f  %10.3f / %-9.3f  %12s\n",
+                static_cast<long long>(n), bench::seconds(sim.setup_wall),
+                bench::seconds(predicted.setup), bench::seconds(sim.join_wall),
+                bench::seconds(predicted.join),
+                predicted.network_hidden ? "hidden" : "visible");
+  }
+
+  std::printf("\nanalytical crossover (full-scale 1.6 GB/host): sort-merge "
+              "overtakes hash at %d nodes (paper's expectation: ~30)\n",
+              model::sort_merge_crossover_hosts(140'000'000, 100));
+  const auto merge6 = model::estimate(model::JoinKind::kSortMerge, 840'000'000, 6);
+  std::printf("model at the paper's Fig. 11 point (19.2 GB, 6 hosts): "
+              "join %.1f s + sync %.1f s (paper measured 6.4 s + 2.3 s)\n",
+              bench::seconds(merge6.join), bench::seconds(merge6.sync));
+  return 0;
+}

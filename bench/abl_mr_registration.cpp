@@ -1,0 +1,112 @@
+// Ablation: memory-registration strategy.
+//
+// Paper Sec. III-C: "the registration process is rather CPU intensive ...
+// the cost of registration renders on-demand allocation and registration of
+// memory buffers infeasible." The Data Roundabout therefore registers its
+// ring buffers once and reuses them. This bench quantifies that choice on
+// the simulated RNIC: registering every transfer's buffer on demand versus
+// one up-front registration, across transfer-unit sizes.
+#include "harness.h"
+#include "net/link.h"
+#include "rdma/verbs.h"
+#include "sim/core_pool.h"
+#include "sim/engine.h"
+
+namespace {
+
+using namespace cj;
+
+struct Outcome {
+  double seconds;
+  double reg_cpu_seconds;
+};
+
+Outcome run(std::uint64_t chunk, std::uint64_t messages, bool register_once) {
+  sim::Engine engine;
+  sim::CorePool tx_cores(engine, 4);
+  sim::CorePool rx_cores(engine, 4);
+  net::DuplexLink link(engine, net::LinkSpec{}, "mr");
+  rdma::Device tx_dev(engine, tx_cores, {}, "tx");
+  rdma::Device rx_dev(engine, rx_cores, {}, "rx");
+  rdma::CompletionQueue tx_scq(engine, 4096), tx_rcq(engine, 4096);
+  rdma::CompletionQueue rx_scq(engine, 4096), rx_rcq(engine, 4096);
+  rdma::QueuePair& tx_qp = tx_dev.create_qp(&tx_scq, &tx_rcq);
+  rdma::QueuePair& rx_qp = rx_dev.create_qp(&rx_scq, &rx_rcq);
+  rdma::connect(tx_qp, rx_qp, link.forward, link.backward);
+
+  std::vector<std::byte> send_buf(chunk);
+  std::vector<std::byte> recv_buf(chunk * 4);
+
+  SimTime elapsed = 0;
+  auto driver = [&]() -> sim::Task<void> {
+    const SimTime start = engine.now();
+    rdma::MemoryRegion* recv_mr = co_await rx_dev.pd().register_memory(recv_buf);
+    for (int i = 0; i < 4; ++i) {
+      rdma::WorkRequest wr;
+      wr.wr_id = static_cast<std::uint64_t>(i);
+      wr.mr = recv_mr;
+      wr.offset = static_cast<std::size_t>(i) * chunk;
+      wr.length = chunk;
+      CJ_CHECK(rx_qp.post_recv(wr).is_ok());
+    }
+
+    rdma::MemoryRegion* send_mr = nullptr;
+    if (register_once) send_mr = co_await tx_dev.pd().register_memory(send_buf);
+    for (std::uint64_t m = 0; m < messages; ++m) {
+      if (!register_once) {
+        // On-demand: pin + translate for every transfer, then tear down.
+        send_mr = co_await tx_dev.pd().register_memory(send_buf);
+      }
+      rdma::WorkRequest wr;
+      wr.wr_id = m;
+      wr.mr = send_mr;
+      wr.length = chunk;
+      CJ_CHECK(tx_qp.post_send(wr).is_ok());
+      co_await tx_scq.next();
+      const rdma::Completion c = co_await rx_rcq.next();
+      rdma::WorkRequest repost;
+      repost.wr_id = c.wr_id;
+      repost.mr = recv_mr;
+      repost.offset = static_cast<std::size_t>(c.wr_id) * chunk;
+      repost.length = chunk;
+      CJ_CHECK(rx_qp.post_recv(repost).is_ok());
+      if (!register_once) tx_dev.pd().deregister(send_mr);
+    }
+    elapsed = engine.now() - start;
+    tx_qp.close();
+    rx_qp.close();
+  };
+  engine.spawn(driver(), "driver");
+  engine.run();
+  engine.check_all_complete();
+  return Outcome{to_seconds(elapsed),
+                 to_seconds(tx_cores.busy_for("mr-reg"))};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cj;
+  auto flags = bench::parse_flags_or_die(argc, argv);
+  const std::int64_t messages = flags.get_int("messages", 512);
+  bench::check_unused_flags(flags);
+
+  bench::print_banner(
+      "Ablation — register-once vs register-per-transfer (simulated RNIC)",
+      "registration is CPU-intensive; on-demand registration is infeasible "
+      "on the data path (paper Sec. III-C)", 1);
+
+  std::printf("%10s  %14s  %14s  %10s  %16s\n", "chunk", "once[s]",
+              "per-xfer[s]", "slowdown", "reg-cpu/xfer");
+  for (const std::uint64_t chunk : {4096ULL, 65536ULL, 1048576ULL, 16777216ULL}) {
+    const Outcome once = run(chunk, static_cast<std::uint64_t>(messages), true);
+    const Outcome per = run(chunk, static_cast<std::uint64_t>(messages), false);
+    std::printf("%10s  %14.4f  %14.4f  %9.2fx  %13.1f us\n",
+                human_bytes(chunk).c_str(), once.seconds, per.seconds,
+                per.seconds / once.seconds,
+                per.reg_cpu_seconds / static_cast<double>(messages) * 1e6);
+  }
+  std::printf("\nthe roundabout registers ring buffers and chunk slabs exactly "
+              "once per run and reuses them for every transfer\n");
+  return 0;
+}

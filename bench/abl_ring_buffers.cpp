@@ -1,0 +1,48 @@
+// Ablation: ring-buffer provisioning.
+//
+// The paper attributes two roles to the statically allocated ring buffers:
+// large transfer units keep per-message overhead negligible (Sec. III-C)
+// and buffer depth absorbs speed differences between hosts (Sec. V-D).
+// This sweep varies both dimensions and reports join-phase wall and sync
+// time on the 6-host hash-join workload.
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace cj;
+  auto flags = bench::parse_flags_or_die(argc, argv);
+  const std::int64_t scale = flags.get_int("scale", bench::kDefaultScale);
+  const int ring = static_cast<int>(flags.get_int("ring", 6));
+  const auto counts = flags.get_int_list("buffers", {2, 4, 8, 16, 32});
+  const auto sizes_kb = flags.get_int_list("size_kb", {8, 32, 128});
+  bench::check_unused_flags(flags);
+
+  bench::print_banner(
+      "Ablation — ring buffer count x element size (hash join, 6 hosts)",
+      "too few/too small buffers stall the join entity (sync); depth "
+      "absorbs jitter", scale);
+
+  auto [r, s] = bench::uniform_pair(bench::kRowsFig7, scale);
+
+  std::printf("%8s  %10s  %10s  %10s  %12s\n", "buffers", "size", "join[s]",
+              "sync[s]", "wire-msgs");
+  for (const auto size_kb : sizes_kb) {
+    for (const auto count : counts) {
+      cyclo::ClusterConfig cfg = bench::paper_cluster(ring, scale);
+      cfg.node.num_buffers = static_cast<int>(count);
+      cfg.node.buffer_bytes = static_cast<std::size_t>(size_kb) * 1024;
+      cyclo::CycloJoin cyclo(cfg,
+                             cyclo::JoinSpec{.algorithm = cyclo::Algorithm::kHashJoin});
+      const cyclo::RunReport rep = cyclo.run(r, s);
+      SimDuration sync = 0;
+      for (const auto& h : rep.hosts) sync = std::max(sync, h.sync);
+      std::printf("%8lld  %10s  %10.3f  %10.3f  %12llu\n",
+                  static_cast<long long>(count),
+                  human_bytes(static_cast<std::uint64_t>(size_kb) * 1024).c_str(),
+                  bench::seconds(rep.join_wall - sync), bench::seconds(sync),
+                  static_cast<unsigned long long>(rep.bytes_on_wire /
+                                                  cfg.node.buffer_bytes));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

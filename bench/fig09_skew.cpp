@@ -1,0 +1,51 @@
+// Figure 9: join phase under skew — Zipf-distributed keys with factor z in
+// {0, 0.3, 0.5, 0.6, 0.7, 0.8, 0.9}, 2 x 412 MB (36 M rows), hash join.
+// Local single-host execution vs a 6-host cyclo-join ring (log-scale plot
+// in the paper; join phase only, setup is skew-independent).
+//
+// Expected shape (paper Sec. V-D): from z ~ 0.6 the duplicate explosion
+// degrades the local hash join toward nested-loops behavior; cyclo-join
+// absorbs skew much better (ring buffers decouple slow hosts; smaller S_i
+// partitions stay cache-resident), reaching ~5x at z = 0.9.
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace cj;
+  auto flags = bench::parse_flags_or_die(argc, argv);
+  const std::int64_t scale = flags.get_int("scale", bench::kDefaultScale);
+  const int ring = static_cast<int>(flags.get_int("ring", 6));
+  const auto zipfs =
+      flags.get_double_list("zipf", {0.0, 0.3, 0.5, 0.6, 0.7, 0.8, 0.9});
+  bench::check_unused_flags(flags);
+
+  bench::print_banner(
+      "Figure 9 — join phase on skewed (Zipf) data, local vs cyclo-join",
+      "local hash join degrades sharply for z >= 0.6; 6-host cyclo-join "
+      "handles skew ~5x better at z = 0.9", scale);
+
+  std::printf("%6s  %12s  %12s  %8s  %16s\n", "zipf", "local[s]",
+              "cyclo-6[s]", "ratio", "matches");
+  for (const double z : zipfs) {
+    auto [r, s] = bench::uniform_pair(bench::kRowsFig9, scale, z);
+
+    cyclo::CycloJoin local(bench::paper_cluster(1, scale),
+                           cyclo::JoinSpec{.algorithm = cyclo::Algorithm::kHashJoin});
+    const cyclo::RunReport rep_local = local.run(r, s);
+
+    cyclo::CycloJoin distributed(
+        bench::paper_cluster(ring, scale),
+        cyclo::JoinSpec{.algorithm = cyclo::Algorithm::kHashJoin});
+    const cyclo::RunReport rep_dist = distributed.run(r, s);
+
+    CJ_CHECK(rep_local.matches == rep_dist.matches &&
+             rep_local.checksum == rep_dist.checksum);
+    const double local_s = bench::seconds(rep_local.join_wall);
+    const double dist_s = bench::seconds(rep_dist.join_wall);
+    std::printf("%6.2f  %12.3f  %12.3f  %7.2fx  %16llu\n", z, local_s, dist_s,
+                local_s / dist_s,
+                static_cast<unsigned long long>(rep_local.matches));
+  }
+  std::printf("\npaper (full scale): uniform data gains nothing; z = 0.9 "
+              "runs ~5x faster on the 6-host ring (log-scale figure)\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Micro-benchmarks of the join kernels and workload generators
+// (google-benchmark). These are the raw building blocks whose measured CPU
+// costs drive the simulation's virtual time.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "cyclo/chunk.h"
+#include "join/hash_join.h"
+#include "join/radix.h"
+#include "join/sort_merge.h"
+#include "rel/generator.h"
+
+namespace {
+
+using namespace cj;
+
+rel::Relation make_rel(std::int64_t rows, double zipf = 0.0) {
+  return rel::generate({.rows = static_cast<std::uint64_t>(rows),
+                        .key_domain = static_cast<std::uint64_t>(rows),
+                        .zipf_z = zipf,
+                        .seed = 99},
+                       "bench", 1);
+}
+
+void BM_RadixCluster(benchmark::State& state) {
+  const auto rows = state.range(0);
+  auto r = make_rel(rows);
+  const int bits = join::choose_radix_bits(static_cast<std::size_t>(rows), {});
+  for (auto _ : state) {
+    auto parts = join::radix_cluster(r.tuples(), bits, 8);
+    benchmark::DoNotOptimize(parts.rows());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_RadixCluster)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+
+void BM_HashBuild(benchmark::State& state) {
+  const auto rows = state.range(0);
+  auto s = make_rel(rows);
+  const int bits = join::choose_radix_bits(static_cast<std::size_t>(rows), {});
+  for (auto _ : state) {
+    auto stationary = join::HashJoinStationary::build(s.tuples(), bits);
+    benchmark::DoNotOptimize(stationary.bytes());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_HashBuild)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_HashProbe(benchmark::State& state) {
+  const auto rows = state.range(0);
+  auto r = make_rel(rows);
+  auto s = make_rel(rows);
+  const int bits = join::choose_radix_bits(static_cast<std::size_t>(rows), {});
+  auto stationary = join::HashJoinStationary::build(s.tuples(), bits);
+  auto r_parts = join::radix_cluster(r.tuples(), bits, 8);
+  for (auto _ : state) {
+    join::JoinResult result;
+    for (std::uint32_t p = 0; p < r_parts.num_partitions(); ++p) {
+      stationary.probe_partition(p, r_parts.partition(p), result);
+    }
+    benchmark::DoNotOptimize(result.checksum());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_HashProbe)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+
+void BM_Sort(benchmark::State& state) {
+  const auto rows = state.range(0);
+  auto r = make_rel(rows);
+  for (auto _ : state) {
+    std::vector<rel::Tuple> copy(r.tuples().begin(), r.tuples().end());
+    join::sort_fragment(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_Sort)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_MergeJoin(benchmark::State& state) {
+  const auto rows = state.range(0);
+  auto r = make_rel(rows);
+  auto s = make_rel(rows);
+  std::vector<rel::Tuple> r_sorted(r.tuples().begin(), r.tuples().end());
+  std::vector<rel::Tuple> s_sorted(s.tuples().begin(), s.tuples().end());
+  join::sort_fragment(r_sorted);
+  join::sort_fragment(s_sorted);
+  for (auto _ : state) {
+    join::JoinResult result;
+    join::merge_join(r_sorted, s_sorted, result);
+    benchmark::DoNotOptimize(result.checksum());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_MergeJoin)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+
+void BM_BandMergeJoin(benchmark::State& state) {
+  const auto rows = state.range(0);
+  auto r = make_rel(rows);
+  auto s = make_rel(rows);
+  std::vector<rel::Tuple> r_sorted(r.tuples().begin(), r.tuples().end());
+  std::vector<rel::Tuple> s_sorted(s.tuples().begin(), s.tuples().end());
+  join::sort_fragment(r_sorted);
+  join::sort_fragment(s_sorted);
+  for (auto _ : state) {
+    join::JoinResult result;
+    join::band_merge_join(r_sorted, s_sorted, 2, result);
+    benchmark::DoNotOptimize(result.checksum());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_BandMergeJoin)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ZipfGenerate(benchmark::State& state) {
+  const double z = static_cast<double>(state.range(0)) / 100.0;
+  ZipfGenerator zipf(1 << 22, z);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfGenerate)->Arg(0)->Arg(50)->Arg(90);
+
+void BM_ChunkEncodeDecode(benchmark::State& state) {
+  const auto rows = state.range(0);
+  auto r = make_rel(rows);
+  const int bits = join::choose_radix_bits(static_cast<std::size_t>(rows), {});
+  auto parts = join::radix_cluster(r.tuples(), bits, 8);
+  const cyclo::ChunkWriter writer(256 * 1024);
+  for (auto _ : state) {
+    cyclo::ChunkSlab slab = writer.from_partitioned(parts, 0);
+    std::uint64_t tuples = 0;
+    for (std::size_t c = 0; c < slab.num_chunks(); ++c) {
+      tuples += cyclo::decode_chunk(slab.chunk(c)).tuples.size();
+    }
+    benchmark::DoNotOptimize(tuples);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_ChunkEncodeDecode)->Arg(1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Table I: CPU load during the join phase of the hash join — kernel TCP vs
+// RDMA, 1..4 join threads on quad-core hosts (100% = all four cores busy).
+//
+// Paper's measurements:
+//     threads   TCP    RDMA
+//        1      31%     25%
+//        2      59%     50%
+//        3      84%     76%
+//        4      86%    100%
+//
+// RDMA's load tracks the join-thread count exactly (the network costs the
+// CPU nothing); TCP burns extra cycles on copies/stack/switches, yet at
+// four threads cannot reach full utilization — join threads stall while
+// communication competes for their cores.
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace cj;
+  auto flags = bench::parse_flags_or_die(argc, argv);
+  const std::int64_t scale = flags.get_int("scale", bench::kDefaultScale);
+  const int ring = static_cast<int>(flags.get_int("ring", 6));
+  const auto threads = flags.get_int_list("threads", {1, 2, 3, 4});
+  bench::check_unused_flags(flags);
+
+  bench::print_banner(
+      "Table I — CPU load during the hash-join phase (100% = 4 cores busy)",
+      "TCP burns extra CPU on the stack yet stalls below 100%; RDMA load "
+      "matches the join-thread count exactly", scale);
+
+  auto [r, s] = bench::uniform_pair(bench::kRowsFig12, scale);
+
+  std::printf("%8s  %14s  %14s      (paper: tcp/rdma)\n", "threads",
+              "cpu load TCP", "cpu load RDMA");
+  const char* paper[] = {"31% / 25%", "59% / 50%", "84% / 76%", "86% / 100%"};
+  for (const auto t : threads) {
+    cyclo::JoinSpec spec{.algorithm = cyclo::Algorithm::kHashJoin,
+                         .join_threads = static_cast<int>(t)};
+
+    cyclo::CycloJoin tcp(bench::paper_cluster_tcp(ring, scale), spec);
+    const double tcp_load = tcp.run(r, s).cpu_load_join;
+    cyclo::CycloJoin rdma(bench::paper_cluster(ring, scale), spec);
+    const double rdma_load = rdma.run(r, s).cpu_load_join;
+
+    const int idx = static_cast<int>(t) - 1;
+    std::printf("%8lld  %13.0f%%  %13.0f%%      (%s)\n",
+                static_cast<long long>(t), tcp_load * 100.0, rdma_load * 100.0,
+                idx >= 0 && idx < 4 ? paper[idx] : "-");
+  }
+  return 0;
+}

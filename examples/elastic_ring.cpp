@@ -1,0 +1,48 @@
+// Elastic scaling — "such scaling may even be performed at runtime and as
+// application workloads demand" (paper Sec. VII). The Data Roundabout has
+// no a-priori partitioning scheme, so growing or shrinking the ring is just
+// re-running with a different host count.
+//
+// This example keeps one fixed query and shows what adding commodity hosts
+// buys: setup cost melts away ~1/n (it is perfectly distributable), the
+// hash join phase stays flat (Equation (*)), and the ring's aggregate
+// memory grows so ever-larger hot sets stay in RAM.
+#include <cstdio>
+
+#include "cyclo/cyclo_join.h"
+#include "rel/generator.h"
+
+int main() {
+  using namespace cj;
+
+  rel::Relation r = rel::generate({.rows = 4'000'000, .seed = 31}, "R", 1);
+  rel::Relation s = rel::generate({.rows = 4'000'000, .seed = 32}, "S", 2);
+
+  std::printf("elastic ring: same query (%s per relation), growing the ring\n\n",
+              human_bytes(r.bytes()).c_str());
+  std::printf("%6s  %10s  %10s  %10s  %14s  %16s\n", "hosts", "setup", "join",
+              "total", "per-host data", "speedup(total)");
+
+  double baseline = 0.0;
+  for (const int hosts : {1, 2, 4, 8, 12}) {
+    cyclo::ClusterConfig cluster;
+    cluster.num_hosts = hosts;
+    cluster.cores_per_host = 4;
+    cyclo::CycloJoin join(cluster, cyclo::JoinSpec{});
+    const cyclo::RunReport report = join.run(r, s);
+
+    const double total = to_seconds(report.setup_wall + report.join_wall);
+    if (hosts == 1) baseline = total;
+    std::printf("%6d  %10s  %10s  %9.3fs  %14s  %15.2fx\n", hosts,
+                human_duration(report.setup_wall).c_str(),
+                human_duration(report.join_wall).c_str(), total,
+                human_bytes((r.bytes() + s.bytes()) /
+                            static_cast<std::uint64_t>(hosts))
+                    .c_str(),
+                baseline / total);
+  }
+
+  std::printf("\nNo data was re-partitioned between runs — the ring does not "
+              "care how many members it has.\n");
+  return 0;
+}

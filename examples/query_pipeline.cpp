@@ -1,0 +1,68 @@
+// Multi-join query pipeline — the paper: "the join output could naturally
+// be used as input to subsequent processing in a larger query plan. The
+// ternary join (R ⋈ S) ⋈ T could, for example, be evaluated by using two
+// runs of cyclo-join" (Sec. IV-A).
+//
+// Scenario: a three-table chain typical of a star-ish schema —
+//   lineitems ⋈ orders        (on order id)
+//   (result)  ⋈ shipments     (on order id)
+// The first run materializes its distributed result; a projection of it
+// becomes the rotating relation of the second run.
+#include <cstdio>
+
+#include "cyclo/cyclo_join.h"
+#include "rel/generator.h"
+
+int main() {
+  using namespace cj;
+
+  const std::uint64_t kOrders = 500'000;
+  rel::Relation lineitems = rel::generate(
+      {.rows = 2'000'000, .key_domain = kOrders, .seed = 41}, "lineitems", 1);
+  rel::Relation orders = rel::generate(
+      {.rows = kOrders, .key_domain = kOrders, .seed = 42}, "orders", 2);
+  rel::Relation shipments = rel::generate(
+      {.rows = 800'000, .key_domain = kOrders, .seed = 43}, "shipments", 3);
+
+  cyclo::ClusterConfig cluster;
+  cluster.num_hosts = 5;
+
+  // --- run 1: lineitems ⋈ orders, materialized per host -----------------
+  cyclo::JoinSpec first_spec;
+  first_spec.algorithm = cyclo::Algorithm::kHashJoin;
+  first_spec.materialize = true;
+  cyclo::CycloJoin first(cluster, first_spec);
+  const cyclo::RunReport r1 = first.run(lineitems, orders);
+  std::printf("run 1: lineitems ⋈ orders -> %llu rows, setup %s, join %s\n",
+              static_cast<unsigned long long>(r1.matches),
+              human_duration(r1.setup_wall).c_str(),
+              human_duration(r1.join_wall).c_str());
+
+  // --- projection: keep (order id, lineitem payload) --------------------
+  // In a full system this stays distributed; the API hands us the per-host
+  // partitions, which we concatenate here because the next run re-splits.
+  rel::Relation intermediate("lineitems_orders");
+  for (const auto& host_result : r1.host_results) {
+    for (const auto& row : host_result.output()) {
+      intermediate.push_back(rel::Tuple{row.key, row.r_payload});
+    }
+  }
+  std::printf("       intermediate: %llu rows (%s)\n",
+              static_cast<unsigned long long>(intermediate.rows()),
+              human_bytes(intermediate.bytes()).c_str());
+
+  // --- run 2: (lineitems ⋈ orders) ⋈ shipments --------------------------
+  cyclo::JoinSpec second_spec;
+  second_spec.algorithm = cyclo::Algorithm::kHashJoin;
+  cyclo::CycloJoin second(cluster, second_spec);
+  const cyclo::RunReport r2 = second.run(intermediate, shipments);
+  std::printf("run 2: (⋈) ⋈ shipments -> %llu rows, setup %s, join %s\n",
+              static_cast<unsigned long long>(r2.matches),
+              human_duration(r2.setup_wall).c_str(),
+              human_duration(r2.join_wall).c_str());
+
+  std::printf("\nternary join evaluated as two cyclo-join revolutions; "
+              "%s total moved over the ring\n",
+              human_bytes(r1.bytes_on_wire + r2.bytes_on_wire).c_str());
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Quickstart: the smallest complete cyclo-join program.
+//
+// Generates two relations, runs a distributed hash join on a simulated
+// 4-host Data Roundabout, and prints the report. Build & run:
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "cyclo/cyclo_join.h"
+#include "rel/generator.h"
+
+int main() {
+  using namespace cj;
+
+  // 1. Two relations: one million 12-byte tuples each, uniform 4-byte keys.
+  rel::Relation r = rel::generate({.rows = 1'000'000, .seed = 1}, "R", 1);
+  rel::Relation s = rel::generate({.rows = 1'000'000, .seed = 2}, "S", 2);
+
+  // 2. A cluster: four quad-core hosts on a 10 GbE RDMA ring.
+  cyclo::ClusterConfig cluster;
+  cluster.num_hosts = 4;
+  cluster.cores_per_host = 4;
+
+  // 3. The join: R rotates, S stays; partitioned hash join per host.
+  cyclo::JoinSpec spec;
+  spec.algorithm = cyclo::Algorithm::kHashJoin;
+
+  cyclo::CycloJoin join(cluster, spec);
+  const cyclo::RunReport report = join.run(r, s);
+
+  // 4. The result is a distributed table: each host holds R ⋈ S_i.
+  std::printf("R ⋈ S: %llu matches (checksum %016llx)\n",
+              static_cast<unsigned long long>(report.matches),
+              static_cast<unsigned long long>(report.checksum));
+  std::printf("setup %s | join %s | %s over the wire\n",
+              human_duration(report.setup_wall).c_str(),
+              human_duration(report.join_wall).c_str(),
+              human_bytes(report.bytes_on_wire).c_str());
+  for (std::size_t i = 0; i < report.hosts.size(); ++i) {
+    const auto& host = report.hosts[i];
+    std::printf("  host %zu: %llu matches, join CPU load %.0f%%, sync %s\n", i,
+                static_cast<unsigned long long>(host.matches),
+                host.cpu_load_join * 100.0, human_duration(host.sync).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Band join for similarity matching — the paper notes cyclo-join "is not
+// bound to equality predicates" and names band joins and similarity joins
+// (data cleaning / integration) as the motivating use cases (Sec. IV-A).
+//
+// Scenario: two sensor arrays timestamp events with clocks that disagree
+// by up to ±3 ticks. Matching events across arrays is a band join
+// |t1 - t2| <= 3, which the sort-merge kernel evaluates in one merge pass —
+// something the hash join cannot do at all.
+#include <cstdio>
+
+#include "cyclo/cyclo_join.h"
+#include "rel/generator.h"
+
+int main() {
+  using namespace cj;
+
+  // Events from two sensor arrays over a shared epoch of 500k ticks.
+  rel::Relation array_a = rel::generate(
+      {.rows = 1'500'000, .key_domain = 500'000, .seed = 21}, "array_a", 1);
+  rel::Relation array_b = rel::generate(
+      {.rows = 1'500'000, .key_domain = 500'000, .seed = 22}, "array_b", 2);
+
+  cyclo::ClusterConfig cluster;
+  cluster.num_hosts = 4;
+
+  std::printf("similarity join: |a.ts - b.ts| <= band, 4-host ring, "
+              "sort-merge band join\n\n");
+  std::printf("%6s  %10s  %10s  %16s  %18s\n", "band", "setup", "join",
+              "matches", "matches/event");
+  for (const std::uint32_t band : {0u, 1u, 3u, 10u}) {
+    cyclo::JoinSpec spec;
+    spec.algorithm = cyclo::Algorithm::kSortMergeJoin;
+    spec.band = band;
+    cyclo::CycloJoin join(cluster, spec);
+    const cyclo::RunReport report = join.run(array_a, array_b);
+    std::printf("%6u  %10s  %10s  %16llu  %18.2f\n", band,
+                human_duration(report.setup_wall).c_str(),
+                human_duration(report.join_wall).c_str(),
+                static_cast<unsigned long long>(report.matches),
+                static_cast<double>(report.matches) /
+                    static_cast<double>(array_a.rows()));
+  }
+
+  // Materialize a small variant to show actual matched pairs.
+  rel::Relation few_a = rel::generate(
+      {.rows = 8, .key_domain = 40, .seed = 23}, "few_a", 1);
+  rel::Relation few_b = rel::generate(
+      {.rows = 8, .key_domain = 40, .seed = 24}, "few_b", 2);
+  cyclo::JoinSpec spec;
+  spec.algorithm = cyclo::Algorithm::kSortMergeJoin;
+  spec.band = 2;
+  spec.materialize = true;
+  cyclo::CycloJoin join(cluster, spec);
+  const cyclo::RunReport sample = join.run(few_a, few_b);
+
+  std::printf("\nsample pairs at band 2 (timestamps within +-2 ticks):\n");
+  for (const auto& host_result : sample.host_results) {
+    for (const auto& match : host_result.output()) {
+      std::printf("  event a#%llu <-> event b#%llu (ts bucket %u)\n",
+                  static_cast<unsigned long long>(match.r_payload & 0xFFFF),
+                  static_cast<unsigned long long>(match.s_payload & 0xFFFF),
+                  match.key);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ad-hoc warehouse analytics — the workload the paper's introduction
+// motivates: a data-warehouse hot set spread over a commodity ring, hit by
+// ad-hoc join queries that no a-priori partitioning anticipated.
+//
+// Scenario: `orders` reference `customers` by customer id. Customer
+// popularity is heavily skewed (a few big accounts dominate — Zipf), which
+// is exactly where cyclo-join shines (paper Fig. 9). We answer the query
+// once with each local algorithm and compare the phase economics.
+#include <cstdio>
+
+#include "cyclo/cyclo_join.h"
+#include "rel/generator.h"
+
+int main() {
+  using namespace cj;
+
+  // 8 M orders against 2 M customers; customer ids in orders are Zipf(0.8).
+  const std::uint64_t kCustomers = 2'000'000;
+  rel::Relation orders = rel::generate(
+      {.rows = 8'000'000, .key_domain = kCustomers, .zipf_z = 0.8, .seed = 11},
+      "orders", 1);
+  rel::Relation customers = rel::generate(
+      {.rows = kCustomers, .key_domain = kCustomers, .seed = 12}, "customers", 2);
+
+  cyclo::ClusterConfig cluster;
+  cluster.num_hosts = 6;
+  cluster.cores_per_host = 4;
+
+  std::printf("ad-hoc query: orders ⋈ customers  (%llu x %llu rows, "
+              "Zipf-0.8 customer popularity, 6-host ring)\n\n",
+              static_cast<unsigned long long>(orders.rows()),
+              static_cast<unsigned long long>(customers.rows()));
+  std::printf("%-12s  %10s  %10s  %10s  %14s\n", "algorithm", "setup", "join",
+              "sync", "matches");
+
+  std::uint64_t checksum = 0;
+  for (const auto algorithm :
+       {cyclo::Algorithm::kHashJoin, cyclo::Algorithm::kSortMergeJoin}) {
+    cyclo::JoinSpec spec;
+    spec.algorithm = algorithm;
+    // Rotate the *smaller* relation (paper Sec. IV-B): customers spin,
+    // orders stay partitioned as the stationary side.
+    cyclo::CycloJoin join(cluster, spec);
+    const cyclo::RunReport report = join.run(customers, orders);
+
+    SimDuration sync = 0;
+    for (const auto& host : report.hosts) sync = std::max(sync, host.sync);
+    std::printf("%-12s  %10s  %10s  %10s  %14llu\n",
+                algorithm == cyclo::Algorithm::kHashJoin ? "hash" : "sort-merge",
+                human_duration(report.setup_wall).c_str(),
+                human_duration(report.join_wall - sync).c_str(),
+                human_duration(sync).c_str(),
+                static_cast<unsigned long long>(report.matches));
+
+    if (checksum == 0) {
+      checksum = report.checksum;
+    } else if (checksum != report.checksum) {
+      std::printf("!! algorithms disagree — this is a bug\n");
+      return 1;
+    }
+  }
+
+  std::printf("\nBoth algorithms return the identical distributed result; "
+              "the hash join wins on setup,\nthe sort-merge join on join-phase "
+              "speed — the trade-off of paper Sec. V-E.\n");
+  return 0;
+}

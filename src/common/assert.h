@@ -1,0 +1,36 @@
+// Lightweight invariant-checking macros.
+//
+// CJ_CHECK fires in all build types; it guards real invariants whose
+// violation would make further execution meaningless (Core Guidelines I.6).
+// CJ_DCHECK compiles away in NDEBUG builds and is for hot-path checks.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cj::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace cj::detail
+
+#define CJ_CHECK(expr)                                                \
+  do {                                                                \
+    if (!(expr)) ::cj::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define CJ_CHECK_MSG(expr, msg)                                        \
+  do {                                                                 \
+    if (!(expr)) ::cj::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define CJ_DCHECK(expr) ((void)0)
+#else
+#define CJ_DCHECK(expr) CJ_CHECK(expr)
+#endif

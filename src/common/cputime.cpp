@@ -1,0 +1,13 @@
+#include "common/cputime.h"
+
+#include <ctime>
+
+namespace cj {
+
+std::int64_t thread_cpu_now_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+}  // namespace cj

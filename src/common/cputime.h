@@ -1,0 +1,42 @@
+// Measurement of real CPU work, used to derive virtual task durations.
+//
+// The simulator executes join kernels for real and advances virtual time by
+// the measured thread CPU time (see DESIGN.md, "virtual time, real work").
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace cj {
+
+/// Current thread's consumed CPU time in nanoseconds
+/// (CLOCK_THREAD_CPUTIME_ID).
+std::int64_t thread_cpu_now_ns();
+
+/// Scoped stopwatch over thread CPU time.
+class CpuStopwatch {
+ public:
+  CpuStopwatch() : start_(thread_cpu_now_ns()) {}
+
+  /// CPU nanoseconds consumed by this thread since construction/restart.
+  std::int64_t elapsed_ns() const { return thread_cpu_now_ns() - start_; }
+
+  void restart() { start_ = thread_cpu_now_ns(); }
+
+ private:
+  std::int64_t start_;
+};
+
+/// Runs `fn` and returns its measured thread-CPU duration in virtual
+/// nanoseconds (never negative, never zero — clamped to 1 ns so that a
+/// zero-cost task still advances the simulation clock monotonically).
+template <typename Fn>
+SimDuration measure_cpu(Fn&& fn) {
+  CpuStopwatch watch;
+  fn();
+  const std::int64_t ns = watch.elapsed_ns();
+  return ns > 0 ? ns : 1;
+}
+
+}  // namespace cj

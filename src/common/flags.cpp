@@ -1,0 +1,142 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+#include "common/assert.h"
+
+namespace cj {
+
+Result<Flags> Flags::parse(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0 || arg.size() <= 2) {
+      return invalid_argument("expected --flag, got '" + arg + "'");
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    std::string name;
+    std::string value;
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      // --name value form: consume the next token if it is not a flag.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";  // bare boolean flag
+      }
+    }
+    if (name.empty()) return invalid_argument("empty flag name");
+    flags.values_[name] = {value, false};
+  }
+  return flags;
+}
+
+bool Flags::has(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  it->second.second = true;
+  return true;
+}
+
+std::string Flags::get_string(const std::string& name, const std::string& def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  it->second.second = true;
+  return it->second.first;
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  it->second.second = true;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.first.c_str(), &end, 10);
+  CJ_CHECK_MSG(end && *end == '\0', ("flag --" + name + " is not an integer").c_str());
+  return v;
+}
+
+double Flags::get_double(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  it->second.second = true;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.first.c_str(), &end);
+  CJ_CHECK_MSG(end && *end == '\0', ("flag --" + name + " is not a number").c_str());
+  return v;
+}
+
+bool Flags::get_bool(const std::string& name, bool def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  it->second.second = true;
+  const std::string& v = it->second.first;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  CJ_CHECK_MSG(false, ("flag --" + name + " is not a boolean").c_str());
+  return def;
+}
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const auto comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> Flags::get_int_list(const std::string& name,
+                                              std::vector<std::int64_t> def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  it->second.second = true;
+  std::vector<std::int64_t> out;
+  for (const auto& part : split_csv(it->second.first)) {
+    char* end = nullptr;
+    const long long v = std::strtoll(part.c_str(), &end, 10);
+    CJ_CHECK_MSG(end && *end == '\0' && !part.empty(),
+                 ("flag --" + name + " has a non-integer element").c_str());
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<double> Flags::get_double_list(const std::string& name,
+                                           std::vector<double> def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  it->second.second = true;
+  std::vector<double> out;
+  for (const auto& part : split_csv(it->second.first)) {
+    char* end = nullptr;
+    const double v = std::strtod(part.c_str(), &end);
+    CJ_CHECK_MSG(end && *end == '\0' && !part.empty(),
+                 ("flag --" + name + " has a non-numeric element").c_str());
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::string> Flags::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value_used] : values_) {
+    if (!value_used.second) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace cj

@@ -1,0 +1,46 @@
+// Tiny command-line flag parser for the bench harnesses and examples.
+//
+// Supports --name=value and --name value forms plus boolean --name.
+// Unknown flags are reported so bench sweeps fail loudly instead of
+// silently running the default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cj {
+
+class Flags {
+ public:
+  /// Parses argv. Returns an error for malformed arguments.
+  static Result<Flags> parse(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+
+  /// Typed getters with defaults. Abort on unparseable values — a bench with
+  /// a mistyped flag must not silently measure the wrong thing.
+  std::string get_string(const std::string& name, const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  /// Comma-separated list of integers, e.g. --nodes=1,2,3,4,5,6.
+  std::vector<std::int64_t> get_int_list(const std::string& name,
+                                         std::vector<std::int64_t> def) const;
+  /// Comma-separated list of doubles, e.g. --zipf=0,0.3,0.5.
+  std::vector<double> get_double_list(const std::string& name,
+                                      std::vector<double> def) const;
+
+  /// Flags that were present on the command line but never queried.
+  /// Call at the end of flag handling to reject typos.
+  std::vector<std::string> unused() const;
+
+ private:
+  mutable std::map<std::string, std::pair<std::string, bool>> values_;  // name → (value, used)
+};
+
+}  // namespace cj

@@ -1,0 +1,41 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace cj {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+    case LogLevel::kOff: return "?";
+  }
+  return "?";
+}
+
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+namespace detail {
+
+void log_line(LogLevel level, const char* file, int line, const std::string& msg) {
+  if (level < log_level()) return;
+  std::fprintf(stderr, "[%s %s:%d] %s\n", level_tag(level), basename_of(file), line,
+               msg.c_str());
+}
+
+}  // namespace detail
+}  // namespace cj

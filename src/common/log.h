@@ -1,0 +1,49 @@
+// Minimal leveled logger.
+//
+// Logging is for operational visibility (benches, examples); hot paths in
+// the simulator and join kernels never log. Output goes to stderr so bench
+// result tables on stdout stay machine-readable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cj {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded. Defaults to kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const char* file, int line, const std::string& msg);
+}
+
+/// Stream-style log statement: CJ_LOG(kInfo) << "ring size " << n;
+#define CJ_LOG(level)                                                       \
+  for (bool cj_log_once_ = ::cj::LogLevel::level >= ::cj::log_level();      \
+       cj_log_once_; cj_log_once_ = false)                                  \
+  ::cj::detail::LogLine(::cj::LogLevel::level, __FILE__, __LINE__).stream()
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { log_line(level_, file_, line_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace cj

@@ -1,0 +1,40 @@
+// Deterministic pseudo-random number generation.
+//
+// Workload generators must be reproducible across runs and platforms, so we
+// ship our own xoshiro256** implementation rather than relying on the
+// unspecified distributions of <random>.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace cj {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+/// Fast, 256-bit state, passes BigCrush; plenty for workload synthesis.
+class Rng {
+ public:
+  /// Seeds the full state from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Splits off an independent generator (for per-host generators).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace cj

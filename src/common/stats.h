@@ -1,0 +1,63 @@
+// Small statistics helpers for instrumentation and bench reporting.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace cj {
+
+/// Streaming summary: count / min / max / mean / (population) stddev.
+/// Uses Welford's algorithm so it is stable for long streams.
+class Summary {
+ public:
+  void add(double x) {
+    ++count_;
+    if (x < min_ || count_ == 1) min_ = x;
+    if (x > max_ || count_ == 1) max_ = x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::uint64_t count() const { return count_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double mean() const { return mean_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+  double variance() const {
+    return count_ ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Exact percentile over a retained sample set. Intended for bench-scale
+/// cardinalities (thousands of observations), not for hot paths.
+class PercentileSketch {
+ public:
+  void add(double x) { values_.push_back(x); }
+
+  /// p in [0, 100]; nearest-rank percentile. Returns 0 when empty.
+  double percentile(double p) {
+    if (values_.empty()) return 0.0;
+    std::sort(values_.begin(), values_.end());
+    const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+    const auto idx = static_cast<std::size_t>(rank);
+    return values_[std::min(idx, values_.size() - 1)];
+  }
+
+  std::size_t count() const { return values_.size(); }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace cj

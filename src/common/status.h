@@ -1,0 +1,147 @@
+// Error handling: a small Status / Result<T> pair in the style of
+// std::expected (not available on this toolchain's C++20 library).
+//
+// Functions that can fail for reasons the caller should handle return
+// Status or Result<T>; programming errors use CJ_CHECK instead.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "common/assert.h"
+
+namespace cj {
+
+/// Machine-readable error category.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kNotFound,
+  kAlreadyExists,
+  kUnavailable,
+  kAborted,
+  kInternal,
+};
+
+/// Human-readable name of an ErrorCode ("ok", "invalid_argument", ...).
+constexpr std::string_view to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kOutOfRange: return "out_of_range";
+    case ErrorCode::kFailedPrecondition: return "failed_precondition";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kAlreadyExists: return "already_exists";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kAborted: return "aborted";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// Result of an operation that can fail without a payload.
+class [[nodiscard]] Status {
+ public:
+  /// Success value.
+  Status() = default;
+
+  /// Failure with a category and a message for humans.
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    CJ_CHECK_MSG(code != ErrorCode::kOk, "error Status requires non-ok code");
+  }
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  std::string to_string() const {
+    if (is_ok()) return "ok";
+    return std::string(cj::to_string(code_)) + ": " + message_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status invalid_argument(std::string msg) {
+  return {ErrorCode::kInvalidArgument, std::move(msg)};
+}
+inline Status failed_precondition(std::string msg) {
+  return {ErrorCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status resource_exhausted(std::string msg) {
+  return {ErrorCode::kResourceExhausted, std::move(msg)};
+}
+inline Status not_found(std::string msg) {
+  return {ErrorCode::kNotFound, std::move(msg)};
+}
+inline Status unavailable(std::string msg) {
+  return {ErrorCode::kUnavailable, std::move(msg)};
+}
+inline Status internal_error(std::string msg) {
+  return {ErrorCode::kInternal, std::move(msg)};
+}
+
+/// Either a value of T or an error Status. Accessing the wrong side aborts.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    CJ_CHECK_MSG(!std::get<Status>(data_).is_ok(),
+                 "Result<T> must not be constructed from an ok Status");
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return is_ok(); }
+
+  /// The contained value; aborts if this holds an error.
+  T& value() & {
+    CJ_CHECK_MSG(is_ok(), "Result::value() on error");
+    return std::get<T>(data_);
+  }
+  const T& value() const& {
+    CJ_CHECK_MSG(is_ok(), "Result::value() on error");
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    CJ_CHECK_MSG(is_ok(), "Result::value() on error");
+    return std::get<T>(std::move(data_));
+  }
+
+  /// The contained error; returns ok() if this holds a value.
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(data_);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagate an error Status from the current function.
+#define CJ_RETURN_IF_ERROR(expr)             \
+  do {                                       \
+    ::cj::Status cj_status_ = (expr);        \
+    if (!cj_status_.is_ok()) return cj_status_; \
+  } while (0)
+
+}  // namespace cj

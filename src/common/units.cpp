@@ -1,0 +1,53 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cj {
+
+namespace {
+
+std::string format_scaled(double value, const char* const* suffixes, int count,
+                          double step) {
+  int idx = 0;
+  while (idx + 1 < count && value >= step) {
+    value /= step;
+    ++idx;
+  }
+  char buf[64];
+  if (value >= 100 || value == std::floor(value)) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", value, suffixes[idx]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, suffixes[idx]);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string human_bytes(std::uint64_t bytes) {
+  static const char* const kSuffixes[] = {"B", "KB", "MB", "GB", "TB"};
+  return format_scaled(static_cast<double>(bytes), kSuffixes, 5, 1000.0);
+}
+
+std::string human_duration(SimDuration d) {
+  char buf[64];
+  const double ns = static_cast<double>(d);
+  if (d < kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(d));
+  } else if (d < kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", ns / 1e3);
+  } else if (d < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", ns / 1e9);
+  }
+  return buf;
+}
+
+std::string human_rate(double bytes_per_second) {
+  static const char* const kSuffixes[] = {"B/s", "KB/s", "MB/s", "GB/s", "TB/s"};
+  return format_scaled(bytes_per_second, kSuffixes, 5, 1000.0);
+}
+
+}  // namespace cj

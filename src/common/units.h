@@ -1,0 +1,43 @@
+// Byte-size and time-unit helpers shared across the codebase.
+//
+// All simulation time is kept in integer nanoseconds (SimTime) so the
+// discrete-event engine is deterministic; doubles appear only at the
+// reporting boundary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cj {
+
+/// Virtual time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// Durations in virtual nanoseconds.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration kNanosecond = 1;
+constexpr SimDuration kMicrosecond = 1'000;
+constexpr SimDuration kMillisecond = 1'000'000;
+constexpr SimDuration kSecond = 1'000'000'000;
+
+/// Convert virtual nanoseconds to floating-point seconds (reporting only).
+constexpr double to_seconds(SimDuration d) { return static_cast<double>(d) / 1e9; }
+
+/// Convert floating-point seconds to virtual nanoseconds (rounds toward zero).
+constexpr SimDuration from_seconds(double s) { return static_cast<SimDuration>(s * 1e9); }
+
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v << 10; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v << 20; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v << 30; }
+
+/// Render a byte count as a human-readable string, e.g. "3.2 GB".
+std::string human_bytes(std::uint64_t bytes);
+
+/// Render virtual nanoseconds as a human-readable duration, e.g. "2.70 s".
+std::string human_duration(SimDuration d);
+
+/// Render bytes-per-second as e.g. "1.10 GB/s".
+std::string human_rate(double bytes_per_second);
+
+}  // namespace cj

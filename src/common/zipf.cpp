@@ -1,0 +1,68 @@
+#include "common/zipf.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace cj {
+
+namespace {
+
+// (exp(x * log) - 1) / x, numerically stable near x == 0.
+double helper1(double x) {
+  if (std::abs(x) > 1e-8) return std::expm1(x) / x;
+  return 1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x));
+}
+
+// log1p(x) / x, numerically stable near x == 0.
+double helper2(double x) {
+  if (std::abs(x) > 1e-8) return std::log1p(x) / x;
+  return 1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x));
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double z) : n_(n), z_(z) {
+  CJ_CHECK_MSG(n >= 1, "Zipf domain must be non-empty");
+  CJ_CHECK_MSG(z >= 0.0, "Zipf exponent must be non-negative");
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_num_elements_ = h_integral(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+// h(x) = 1 / x^z, the unnormalized density.
+double ZipfGenerator::h(double x) const { return std::exp(-z_ * std::log(x)); }
+
+// H(x) = integral of h: (x^(1-z) - 1) / (1 - z), stable for z near 1.
+double ZipfGenerator::h_integral(double x) const {
+  const double log_x = std::log(x);
+  return helper1((1.0 - z_) * log_x) * log_x;
+}
+
+double ZipfGenerator::h_integral_inverse(double x) const {
+  double t = x * (1.0 - z_);
+  if (t < -1.0) t = -1.0;  // guard against numerical round-off below -1
+  return std::exp(helper2(t) * x);
+}
+
+std::uint64_t ZipfGenerator::operator()(Rng& rng) {
+  if (z_ == 0.0 || n_ == 1) {
+    // Uniform special case (z == 0): rejection-inversion also works but is
+    // needlessly slow; and n == 1 always yields 1.
+    return 1 + rng.next_below(n_);
+  }
+  while (true) {
+    const double u =
+        h_integral_num_elements_ +
+        rng.next_double() * (h_integral_x1_ - h_integral_num_elements_);
+    const double x = h_integral_inverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > static_cast<double>(n_)) k = static_cast<double>(n_);
+    if (k - x <= s_ || u >= h_integral(k + 0.5) - h(k)) {
+      return static_cast<std::uint64_t>(k);
+    }
+  }
+}
+
+}  // namespace cj

@@ -1,0 +1,43 @@
+// Zipf-distributed key generator for the skew experiments (paper Fig. 9).
+//
+// Draws values in [1, n] where rank r has probability proportional to
+// 1 / r^z. z = 0 degenerates to the uniform distribution; the paper sweeps
+// z in {0, 0.3, 0.5, 0.6, 0.7, 0.8, 0.9}.
+//
+// Implementation: the rejection-inversion sampler of Hörmann & Derflinger
+// ("Rejection-inversion to generate variates from monotone discrete
+// distributions", 1996) — O(1) per draw with no O(n) table, so domains of
+// hundreds of millions of keys cost nothing to set up.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace cj {
+
+class ZipfGenerator {
+ public:
+  /// Distribution over [1, n] with exponent z >= 0. n must be >= 1.
+  ZipfGenerator(std::uint64_t n, double z);
+
+  /// Next sample in [1, n].
+  std::uint64_t operator()(Rng& rng);
+
+  std::uint64_t domain() const { return n_; }
+  double exponent() const { return z_; }
+
+ private:
+  double h(double x) const;
+  double h_integral(double x) const;
+  double h_integral_inverse(double x) const;
+
+  std::uint64_t n_;
+  double z_;
+  // Precomputed constants of the rejection-inversion scheme.
+  double h_integral_x1_;
+  double h_integral_num_elements_;
+  double s_;
+};
+
+}  // namespace cj

@@ -1,0 +1,102 @@
+#include "cyclo/cluster.h"
+
+namespace cj::cyclo {
+
+Cluster::Cluster(sim::Engine& engine, const ClusterConfig& config)
+    : config_(config), fabric_(engine, config.num_hosts, config.link) {
+  CJ_CHECK(config_.num_hosts >= 1);
+
+  CJ_CHECK_MSG(config_.per_host_cpu_scale.empty() ||
+                   config_.per_host_cpu_scale.size() ==
+                       static_cast<std::size_t>(config_.num_hosts),
+               "per_host_cpu_scale must be empty or have one entry per host");
+  for (int i = 0; i < config_.num_hosts; ++i) {
+    auto host = std::make_unique<Host>();
+    const double host_scale =
+        config_.per_host_cpu_scale.empty()
+            ? 1.0
+            : config_.per_host_cpu_scale[static_cast<std::size_t>(i)];
+    host->cores = std::make_unique<sim::CorePool>(
+        engine, config_.cores_per_host, config_.context_switch_cost,
+        config_.cpu_scale * host_scale);
+    if (config_.transport == Transport::kRdma) {
+      host->device = std::make_unique<rdma::Device>(
+          engine, *host->cores, config_.rdma_attr, "rnic" + std::to_string(i));
+    }
+    hosts_.push_back(std::move(host));
+  }
+
+  if (config_.num_hosts > 1) {
+    if (config_.transport == Transport::kRdma) {
+      wire_rdma(engine);
+    } else {
+      wire_tcp(engine);
+    }
+  }
+
+  ring::NodeConfig node_cfg = config_.node;
+  // Over TCP the kernel's window provides the backpressure; explicit
+  // credits are an RDMA necessity (paper's TCP baseline is plain send/recv).
+  node_cfg.use_credits = config_.transport == Transport::kRdma;
+  for (int i = 0; i < config_.num_hosts; ++i) {
+    Host& host = *hosts_[static_cast<std::size_t>(i)];
+    host.node = std::make_unique<ring::RoundaboutNode>(
+        engine, *host.cores, host.in_wire.get(), host.out_wire.get(), node_cfg);
+  }
+}
+
+void Cluster::wire_rdma(sim::Engine& engine) {
+  const int n = config_.num_hosts;
+  for (int i = 0; i < n; ++i) {
+    const int succ = fabric_.successor(i);
+    Host& a = *hosts_[static_cast<std::size_t>(i)];     // sends data i -> succ
+    Host& b = *hosts_[static_cast<std::size_t>(succ)];  // sends credits back
+
+    auto make_cq = [&](Host& h) -> rdma::CompletionQueue& {
+      h.cqs.push_back(std::make_unique<rdma::CompletionQueue>(
+          engine, h.device->attr().max_cq_entries));
+      return *h.cqs.back();
+    };
+    rdma::CompletionQueue& a_scq = make_cq(a);
+    rdma::CompletionQueue& a_rcq = make_cq(a);
+    rdma::CompletionQueue& b_scq = make_cq(b);
+    rdma::CompletionQueue& b_rcq = make_cq(b);
+
+    rdma::QueuePair& qp_a = a.device->create_qp(&a_scq, &a_rcq);
+    rdma::QueuePair& qp_b = b.device->create_qp(&b_scq, &b_rcq);
+    // Endpoint a transmits on the data direction; b's transmissions
+    // (credits) ride the reverse direction of the same duplex link.
+    net::Link& data = fabric_.data_link(i);
+    net::Link& credit = fabric_.control_link(succ);
+    rdma::connect(qp_a, qp_b, data, credit);
+
+    a.out_wire = std::make_unique<ring::RdmaWire>(*a.device, qp_a, a_scq, a_rcq,
+                                                  config_.rdma_wire);
+    b.in_wire = std::make_unique<ring::RdmaWire>(*b.device, qp_b, b_scq, b_rcq,
+                                                 config_.rdma_wire);
+  }
+}
+
+void Cluster::wire_tcp(sim::Engine& engine) {
+  const int n = config_.num_hosts;
+  tcp_plumbing_.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int succ = fabric_.successor(i);
+    Host& a = *hosts_[static_cast<std::size_t>(i)];
+    Host& b = *hosts_[static_cast<std::size_t>(succ)];
+
+    auto& plumbing = tcp_plumbing_[static_cast<std::size_t>(i)];
+    plumbing.data = std::make_unique<tcpsim::TcpConnection>(
+        engine, *a.cores, *b.cores, fabric_.data_link(i), config_.tcp);
+    plumbing.credit = std::make_unique<tcpsim::TcpConnection>(
+        engine, *b.cores, *a.cores, fabric_.control_link(succ), config_.tcp);
+
+    const auto posted = static_cast<std::size_t>(config_.node.num_buffers);
+    a.out_wire = std::make_unique<ring::TcpWire>(engine, *plumbing.data,
+                                                 *plumbing.credit, posted);
+    b.in_wire = std::make_unique<ring::TcpWire>(engine, *plumbing.credit,
+                                                *plumbing.data, posted);
+  }
+}
+
+}  // namespace cj::cyclo

@@ -1,0 +1,61 @@
+// Cluster: builds the simulated Data Roundabout — hosts with core pools,
+// RNICs (or kernel-TCP stacks), the ring fabric, and one RoundaboutNode per
+// host, all wired together.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cyclo/config.h"
+#include "net/fabric.h"
+#include "rdma/verbs.h"
+#include "ring/node.h"
+#include "ring/rdma_wire.h"
+#include "ring/tcp_wire.h"
+#include "sim/core_pool.h"
+#include "sim/engine.h"
+#include "tcpsim/tcp.h"
+
+namespace cj::cyclo {
+
+class Cluster {
+ public:
+  Cluster(sim::Engine& engine, const ClusterConfig& config);
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int num_hosts() const { return config_.num_hosts; }
+  const ClusterConfig& config() const { return config_; }
+
+  sim::CorePool& cores(int host) { return *hosts_[static_cast<std::size_t>(host)]->cores; }
+  ring::RoundaboutNode& node(int host) { return *hosts_[static_cast<std::size_t>(host)]->node; }
+  rdma::Device& device(int host) { return *hosts_[static_cast<std::size_t>(host)]->device; }
+  net::RingFabric& fabric() { return fabric_; }
+
+ private:
+  struct Host {
+    std::unique_ptr<sim::CorePool> cores;
+    std::unique_ptr<rdma::Device> device;  // present for RDMA transport
+    // Wire endpoints (in = from predecessor, out = to successor).
+    std::unique_ptr<ring::Wire> in_wire;
+    std::unique_ptr<ring::Wire> out_wire;
+    // RDMA plumbing owned here so lifetimes cover the run.
+    std::vector<std::unique_ptr<rdma::CompletionQueue>> cqs;
+    std::unique_ptr<ring::RoundaboutNode> node;
+  };
+
+  struct TcpPlumbing {
+    std::unique_ptr<tcpsim::TcpConnection> data;    // i -> i+1
+    std::unique_ptr<tcpsim::TcpConnection> credit;  // i+1 -> i
+  };
+
+  void wire_rdma(sim::Engine& engine);
+  void wire_tcp(sim::Engine& engine);
+
+  ClusterConfig config_;
+  net::RingFabric fabric_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<TcpPlumbing> tcp_plumbing_;
+};
+
+}  // namespace cj::cyclo

@@ -1,0 +1,64 @@
+// Configuration of a cyclo-join run: the simulated cluster, the transport,
+// and the local join algorithm.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "join/radix.h"
+#include "net/link.h"
+#include "rdma/verbs.h"
+#include "rel/relation.h"
+#include "ring/node.h"
+#include "ring/rdma_wire.h"
+#include "tcpsim/tcp.h"
+
+namespace cj::cyclo {
+
+enum class Transport { kRdma, kTcp };
+
+enum class Algorithm { kHashJoin, kSortMergeJoin, kNestedLoops };
+
+struct ClusterConfig {
+  /// Ring size (number of hosts). The paper's testbed has up to six.
+  int num_hosts = 6;
+  /// Cores per host (the paper's blades are quad-core Xeons).
+  int cores_per_host = 4;
+  /// Calibrates this machine's measured CPU costs to the simulated host's
+  /// core speed (see sim::CorePool). >1 slows the virtual host down.
+  double cpu_scale = 1.0;
+  /// Optional per-host overrides (heterogeneous clusters / stragglers);
+  /// host i runs at cpu_scale * per_host_cpu_scale[i]. Empty = uniform.
+  /// Paper Sec. V-D: the ring buffers keep one slow host from immediately
+  /// stalling the rest of the ring.
+  std::vector<double> per_host_cpu_scale;
+  /// Billed whenever a core switches between different work tags — models
+  /// the scheduler + cache-pollution overhead the paper attributes to
+  /// kernel TCP (Sec. V-G). Zero for pure-RDMA experiments.
+  SimDuration context_switch_cost = 0;
+
+  net::LinkSpec link;
+  Transport transport = Transport::kRdma;
+  rdma::DeviceAttr rdma_attr;
+  ring::RdmaWireConfig rdma_wire;
+  tcpsim::TcpModelConfig tcp;
+  ring::NodeConfig node;
+};
+
+struct JoinSpec {
+  Algorithm algorithm = Algorithm::kHashJoin;
+  /// Concurrent join tasks per host during the join phase (the paper
+  /// sweeps 1..4 "join threads" in Fig. 12).
+  int join_threads = 4;
+  /// Band half-width for sort-merge band joins (0 = equi-join).
+  std::uint32_t band = 0;
+  /// Predicate for the nested-loops fallback (must be set for kNestedLoops).
+  std::function<bool(const rel::Tuple&, const rel::Tuple&)> predicate;
+  /// Radix tuning for the hash join.
+  join::RadixConfig radix;
+  /// Materialize output tuples (tests/examples) instead of count+checksum.
+  bool materialize = false;
+};
+
+}  // namespace cj::cyclo

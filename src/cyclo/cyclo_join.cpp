@@ -1,0 +1,546 @@
+#include "cyclo/cyclo_join.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "cyclo/chunk.h"
+#include "cyclo/cluster.h"
+#include "join/hash_join.h"
+#include "join/nested_loops.h"
+#include "join/sort_merge.h"
+#include "sim/engine.h"
+#include "sim/sync.h"
+#include "sim/when_all.h"
+
+namespace cj::cyclo {
+
+namespace {
+
+/// Reusable all-hosts rendezvous.
+class Barrier {
+ public:
+  Barrier(sim::Engine& engine, int parties) : remaining_(parties), event_(engine) {}
+
+  sim::Task<void> arrive_and_wait() {
+    if (--remaining_ == 0) event_.set();
+    co_await event_.wait();
+  }
+
+ private:
+  int remaining_;
+  sim::Event event_;
+};
+
+/// One query's state on one host: its stationary fragment (prepared) and
+/// its partial result. With a single query this is classic cyclo-join;
+/// with several, one rotation feeds them all (Data Cyclotron mode).
+struct QueryState {
+  rel::Relation s_frag;  // released after setup (except nested loops)
+
+  // Exactly one is populated, per algorithm.
+  std::optional<join::HashJoinStationary> hash;
+  std::vector<rel::Tuple> s_sorted;
+  std::vector<rel::Tuple> s_raw;
+
+  std::uint32_t band = 0;
+  const std::function<bool(const rel::Tuple&, const rel::Tuple&)>* predicate =
+      nullptr;
+
+  join::JoinResult result{false};
+};
+
+/// Everything one simulated host owns during a run.
+struct HostRun {
+  rel::Relation r_frag;  // released after setup
+  std::vector<QueryState> queries;
+
+  // The prepared rotating fragment, wire-ready.
+  ChunkSlab slab;
+
+  // Join-phase concurrency limiter: at most `join_threads` join tasks run
+  // at once (the work is over-decomposed for load balancing, so the task
+  // count exceeds the thread count).
+  std::unique_ptr<sim::Semaphore> join_slots;
+
+  HostStats stats;
+  SimDuration busy_at_join_start = 0;
+  SimTime join_started_at = 0;
+};
+
+/// Splits [0, n) into `parts` near-even contiguous ranges.
+std::vector<std::pair<std::size_t, std::size_t>> split_ranges(std::size_t n,
+                                                              int parts) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  const auto p = static_cast<std::size_t>(std::max(1, parts));
+  for (std::size_t i = 0; i < p; ++i) {
+    const std::size_t begin = n * i / p;
+    const std::size_t end = n * (i + 1) / p;
+    if (begin != end) out.emplace_back(begin, end);
+  }
+  return out;
+}
+
+/// A contiguous range of one partition's tuples within a chunk: the unit of
+/// probe work handed to one join thread. Probes are per-tuple, so a run may
+/// be split at any point — this is what keeps all join threads busy even
+/// when a chunk holds fewer partitions than the host has cores.
+struct ProbeSlice {
+  std::uint32_t partition_id;
+  std::size_t tuple_offset;  // offset into the chunk's tuple array
+  std::size_t count;
+};
+
+std::vector<std::vector<ProbeSlice>> split_probe_work(
+    std::span<const PartitionRun> runs, int parts) {
+  std::uint64_t total = 0;
+  for (const auto& run : runs) total += run.count;
+  std::vector<std::vector<ProbeSlice>> groups;
+  if (total == 0) return groups;
+
+  const std::uint64_t per_group = (total + static_cast<std::uint64_t>(parts) - 1) /
+                                  static_cast<std::uint64_t>(parts);
+  groups.emplace_back();
+  std::uint64_t group_fill = 0;
+  std::size_t offset = 0;
+  for (const auto& run : runs) {
+    std::size_t run_offset = 0;
+    while (run_offset < run.count) {
+      if (group_fill >= per_group) {
+        groups.emplace_back();
+        group_fill = 0;
+      }
+      const std::size_t take = std::min<std::size_t>(
+          run.count - run_offset, static_cast<std::size_t>(per_group - group_fill));
+      groups.back().push_back(
+          ProbeSlice{run.partition_id, offset + run_offset, take});
+      group_fill += take;
+      run_offset += take;
+    }
+    offset += run.count;
+  }
+  return groups;
+}
+
+class Runner {
+ public:
+  Runner(const ClusterConfig& cluster_cfg, const JoinSpec& spec,
+         const rel::Relation& r, const std::vector<SharedQuery>& queries)
+      : cluster_cfg_(cluster_cfg),
+        spec_(spec),
+        cluster_(engine_, cluster_cfg),
+        n_(cluster_cfg.num_hosts),
+        queries_(queries),  // owned copy: QueryState keeps pointers into it
+        num_queries_(queries.size()),
+        setup_barrier_(engine_, n_),
+        start_barrier_(engine_, n_),
+        join_barrier_(engine_, n_) {
+    CJ_CHECK_MSG(!queries.empty(), "a run needs at least one query");
+    if (spec_.algorithm == Algorithm::kNestedLoops) {
+      for (const auto& q : queries) {
+        CJ_CHECK_MSG(static_cast<bool>(q.predicate),
+                     "nested-loops cyclo-join needs a predicate");
+      }
+    }
+    CJ_CHECK_MSG(!spec_.materialize || queries.size() == 1,
+                 "materialization is only supported for single-query runs");
+
+    // Distribute the rotating relation and every stationary relation
+    // evenly over the hosts.
+    auto r_frags = rel::split_even(r, n_);
+    hosts_.resize(static_cast<std::size_t>(n_));
+    for (int i = 0; i < n_; ++i) {
+      auto& host = hosts_[static_cast<std::size_t>(i)];
+      host = std::make_unique<HostRun>();
+      host->r_frag = std::move(r_frags[static_cast<std::size_t>(i)]);
+      host->join_slots =
+          std::make_unique<sim::Semaphore>(engine_, spec_.join_threads);
+      host->queries.resize(queries.size());
+    }
+    std::size_t max_s_rows = 0;
+    for (std::size_t q = 0; q < queries_.size(); ++q) {
+      CJ_CHECK(queries_[q].stationary != nullptr);
+      auto s_frags = rel::split_even(*queries_[q].stationary, n_);
+      for (int i = 0; i < n_; ++i) {
+        QueryState& state = hosts_[static_cast<std::size_t>(i)]->queries[q];
+        state.s_frag = std::move(s_frags[static_cast<std::size_t>(i)]);
+        state.band = queries_[q].band;  // run() copies spec_.band here
+        state.predicate = &queries_[q].predicate;
+        state.result = join::JoinResult(spec_.materialize);
+        max_s_rows = std::max(max_s_rows, state.s_frag.rows());
+      }
+    }
+    // Radix bits are a global agreement (every R chunk must be partitioned
+    // exactly like every host's — and every query's — S_i).
+    radix_bits_ = join::choose_radix_bits(max_s_rows, spec_.radix);
+  }
+
+  SharedRunReport execute() {
+    for (int i = 0; i < n_; ++i) {
+      engine_.spawn(host_process(i), "host" + std::to_string(i));
+    }
+    engine_.run();
+    engine_.check_all_complete();
+    return build_report();
+  }
+
+ private:
+  sim::Task<void> host_process(int i) {
+    HostRun& host = *hosts_[static_cast<std::size_t>(i)];
+    sim::CorePool& cores = cluster_.cores(i);
+    ring::RoundaboutNode& node = cluster_.node(i);
+
+    // ---- setup phase -------------------------------------------------
+    const SimTime setup_start = engine_.now();
+    co_await run_setup(i);
+    host.stats.setup = engine_.now() - setup_start;
+    host.r_frag = rel::Relation();  // originals no longer needed
+    if (spec_.algorithm != Algorithm::kNestedLoops) {
+      for (auto& query : host.queries) query.s_frag = rel::Relation();
+    }
+
+    co_await setup_barrier_.arrive_and_wait();
+
+    // ---- transport bring-up -------------------------------------------
+    // Counts are known only now (chunking is data-dependent).
+    {
+      std::vector<std::span<std::byte>> slabs;
+      ring::NodeCounts counts;
+      if (n_ > 1) {
+        slabs.push_back(host.slab.slab());
+        counts = counts_for(i);
+      }
+      co_await node.start(counts, std::move(slabs));
+    }
+    co_await start_barrier_.arrive_and_wait();
+
+    // ---- join phase ----------------------------------------------------
+    host.join_started_at = engine_.now();
+    host.busy_at_join_start = cores.busy_total();
+
+    if (n_ > 1 && host.slab.num_chunks() > 0) {
+      engine_.spawn(injector(i), "injector" + std::to_string(i));
+    }
+
+    // Local chunks first (they are resident), then arrivals in ring order.
+    for (std::size_t c = 0; c < host.slab.num_chunks(); ++c) {
+      co_await join_chunk(i, decode_chunk(host.slab.chunk(c)));
+    }
+    const std::uint64_t arrivals =
+        n_ > 1 ? global_chunks() - host.slab.num_chunks() : 0;
+    for (std::uint64_t k = 0; k < arrivals; ++k) {
+      ring::InboundChunk inbound = co_await node.next_chunk();
+      const ChunkView view = decode_chunk(inbound.payload);
+      co_await join_chunk(i, view);
+      if (cluster_.fabric().successor(i) == view.origin_host) {
+        node.retire(inbound);  // full revolution completed
+      } else {
+        node.forward(inbound);
+      }
+    }
+
+    const SimTime join_end = engine_.now();
+    host.stats.join_phase = join_end - host.join_started_at;
+    host.stats.sync = node.sync_time();
+    host.stats.cpu_load_join =
+        cores.utilization(host.busy_at_join_start, host.stats.join_phase);
+
+    co_await join_barrier_.arrive_and_wait();
+    co_await node.drain();
+
+    for (const auto& query : host.queries) {
+      host.stats.matches += query.result.matches();
+      host.stats.checksum += query.result.checksum();
+    }
+    host.stats.bytes_sent = node.bytes_sent();
+    host.stats.busy_by_tag = cores.busy_by_tag();
+  }
+
+  sim::Task<void> injector(int i) {
+    HostRun& host = *hosts_[static_cast<std::size_t>(i)];
+    ring::RoundaboutNode& node = cluster_.node(i);
+    for (std::size_t c = 0; c < host.slab.num_chunks(); ++c) {
+      co_await node.send_local(host.slab.chunk(c));
+    }
+  }
+
+  // Prepares every query's stationary state plus the rotating slab on host
+  // i's cores. One setup task per stationary fragment, one for the
+  // rotating side — all compete for the host's cores like the paper's
+  // parallel hash-build/sort setup.
+  sim::Task<void> run_setup(int i) {
+    HostRun& host = *hosts_[static_cast<std::size_t>(i)];
+    sim::CorePool& cores = cluster_.cores(i);
+    const ChunkWriter writer(cluster_cfg_.node.buffer_bytes);
+
+    std::vector<sim::Task<void>> tasks;
+    for (auto& query : host.queries) {
+      QueryState* state = &query;
+      switch (spec_.algorithm) {
+        case Algorithm::kHashJoin:
+          tasks.push_back(cores.run(
+              [state, this] {
+                state->hash = join::HashJoinStationary::build(
+                    state->s_frag.tuples(), radix_bits_, spec_.radix);
+              },
+              "setup"));
+          break;
+        case Algorithm::kSortMergeJoin:
+          tasks.push_back(cores.run(
+              [state] {
+                state->s_sorted.assign(state->s_frag.tuples().begin(),
+                                       state->s_frag.tuples().end());
+                join::sort_fragment(state->s_sorted);
+              },
+              "setup"));
+          break;
+        case Algorithm::kNestedLoops:
+          tasks.push_back(cores.run(
+              [state] {
+                state->s_raw.assign(state->s_frag.tuples().begin(),
+                                    state->s_frag.tuples().end());
+              },
+              "setup"));
+          break;
+      }
+    }
+
+    switch (spec_.algorithm) {
+      case Algorithm::kHashJoin:
+        tasks.push_back(cores.run(
+            [&host, &writer, this] {
+              join::PartitionedData r_parts = join::radix_cluster(
+                  host.r_frag.tuples(), radix_bits_, spec_.radix.bits_per_pass);
+              host.slab = writer.from_partitioned(r_parts, /*origin_host=*/0);
+            },
+            "setup"));
+        break;
+      case Algorithm::kSortMergeJoin:
+        tasks.push_back(cores.run(
+            [&host, &writer] {
+              std::vector<rel::Tuple> r_sorted(host.r_frag.tuples().begin(),
+                                               host.r_frag.tuples().end());
+              join::sort_fragment(r_sorted);
+              host.slab = writer.from_sorted(r_sorted, /*origin_host=*/0);
+            },
+            "setup"));
+        break;
+      case Algorithm::kNestedLoops:
+        tasks.push_back(cores.run(
+            [&host, &writer] {
+              host.slab = writer.from_raw(host.r_frag.tuples(), 0);
+            },
+            "setup"));
+        break;
+    }
+    co_await sim::when_all(engine_, std::move(tasks));
+    patch_origin(host.slab, i);
+  }
+
+  // The ChunkWriter runs inside measured closures that do not know their
+  // host id; stamp it afterwards (directly in the encoded headers).
+  static void patch_origin(ChunkSlab& slab, int origin) {
+    for (std::size_t c = 0; c < slab.num_chunks(); ++c) {
+      auto bytes = slab.chunk(c);
+      auto* header =
+          reinterpret_cast<ChunkHeader*>(const_cast<std::byte*>(bytes.data()));
+      header->origin_host = static_cast<std::uint16_t>(origin);
+    }
+  }
+
+  std::uint64_t global_chunks() const {
+    std::uint64_t global = 0;
+    for (const auto& host : hosts_) global += host->slab.num_chunks();
+    return global;
+  }
+
+  // With retire acks every host sends and receives exactly G messages
+  // (see ring/node.h).
+  ring::NodeCounts counts_for(int) const {
+    const std::uint64_t g = global_chunks();
+    return ring::NodeCounts{g, g};
+  }
+
+  // Runs one join work item under the host's join-thread limit.
+  static sim::Task<void> guarded(sim::Semaphore& slots, sim::Task<void> inner) {
+    co_await slots.acquire();
+    co_await std::move(inner);
+    slots.release();
+  }
+
+  // Joins one chunk against every query's stationary state on host i using
+  // up to spec_.join_threads virtual cores. The chunk is over-decomposed
+  // (kTasksPerThread work items per thread) so that one slow item — e.g.
+  // the item that first pulls an S partition into cache — does not idle
+  // the other join threads at the per-chunk barrier.
+  static constexpr int kTasksPerThread = 4;
+
+  sim::Task<void> join_chunk(int i, ChunkView view) {
+    HostRun& host = *hosts_[static_cast<std::size_t>(i)];
+    sim::CorePool& cores = cluster_.cores(i);
+    ++host.stats.chunks_processed;
+
+    // deque: references to elements stay valid while later queries append.
+    std::deque<join::JoinResult> partials;
+    std::vector<QueryState*> partial_owner;
+    std::vector<sim::Task<void>> tasks;
+    const int parts = spec_.join_threads * kTasksPerThread;
+
+    for (auto& query : host.queries) {
+      QueryState* state = &query;
+      const std::size_t first_partial = partials.size();
+
+      switch (spec_.algorithm) {
+        case Algorithm::kHashJoin: {
+          CJ_CHECK_MSG(view.kind == ChunkKind::kPartitioned,
+                       "hash cyclo-join received a non-partitioned chunk");
+          CJ_CHECK_MSG(view.radix_bits == radix_bits_,
+                       "chunk partitioned with different radix bits");
+          auto groups = split_probe_work(view.runs, parts);
+          for (std::size_t g = 0; g < groups.size(); ++g) {
+            partials.emplace_back(spec_.materialize);
+            partial_owner.push_back(state);
+          }
+          for (std::size_t g = 0; g < groups.size(); ++g) {
+            std::vector<ProbeSlice> slices = std::move(groups[g]);
+            join::JoinResult* out = &partials[first_partial + g];
+            tasks.push_back(guarded(
+                *host.join_slots,
+                cores.run(
+                    [state, view, slices = std::move(slices), out] {
+                      for (const ProbeSlice& slice : slices) {
+                        state->hash->probe_partition(
+                            slice.partition_id,
+                            view.tuples.subspan(slice.tuple_offset, slice.count),
+                            *out);
+                      }
+                    },
+                    "join")));
+          }
+          break;
+        }
+        case Algorithm::kSortMergeJoin: {
+          CJ_CHECK_MSG(view.kind == ChunkKind::kSorted,
+                       "sort-merge cyclo-join received an unsorted chunk");
+          const auto ranges = split_ranges(view.tuples.size(), parts);
+          for (std::size_t ri = 0; ri < ranges.size(); ++ri) {
+            partials.emplace_back(spec_.materialize);
+            partial_owner.push_back(state);
+          }
+          for (std::size_t ri = 0; ri < ranges.size(); ++ri) {
+            const auto [begin, end] = ranges[ri];
+            join::JoinResult* out = &partials[first_partial + ri];
+            const std::uint32_t band = state->band;
+            tasks.push_back(guarded(
+                *host.join_slots,
+                cores.run(
+                    [state, view, begin, end, band, out] {
+                      auto r_range = view.tuples.subspan(begin, end - begin);
+                      auto window = join::matching_window(state->s_sorted,
+                                                          r_range.front().key,
+                                                          r_range.back().key, band);
+                      join::band_merge_join(r_range, window, band, *out);
+                    },
+                    "join")));
+          }
+          break;
+        }
+        case Algorithm::kNestedLoops: {
+          const auto ranges = split_ranges(view.tuples.size(), parts);
+          for (std::size_t ri = 0; ri < ranges.size(); ++ri) {
+            partials.emplace_back(spec_.materialize);
+            partial_owner.push_back(state);
+          }
+          for (std::size_t ri = 0; ri < ranges.size(); ++ri) {
+            const auto [begin, end] = ranges[ri];
+            join::JoinResult* out = &partials[first_partial + ri];
+            tasks.push_back(guarded(
+                *host.join_slots,
+                cores.run(
+                    [state, view, begin, end, out] {
+                      join::nested_loops_join(
+                          view.tuples.subspan(begin, end - begin),
+                          std::span<const rel::Tuple>(state->s_raw),
+                          *state->predicate, *out);
+                    },
+                    "join")));
+          }
+          break;
+        }
+      }
+    }
+
+    co_await sim::when_all(engine_, std::move(tasks));
+    for (std::size_t p = 0; p < partials.size(); ++p) {
+      partial_owner[p]->result.merge(partials[p]);
+    }
+  }
+
+  SharedRunReport build_report() {
+    SharedRunReport report;
+    report.queries.resize(num_queries_);
+    for (int i = 0; i < n_; ++i) {
+      HostRun& host = *hosts_[static_cast<std::size_t>(i)];
+      report.setup_wall = std::max(report.setup_wall, host.stats.setup);
+      report.join_wall = std::max(report.join_wall, host.stats.join_phase);
+      report.cpu_load_join += host.stats.cpu_load_join;
+      for (std::size_t q = 0; q < num_queries_; ++q) {
+        report.queries[q].matches += host.queries[q].result.matches();
+        report.queries[q].checksum += host.queries[q].result.checksum();
+      }
+      report.hosts.push_back(host.stats);
+      if (spec_.materialize) {
+        report.host_results.push_back(std::move(host.queries[0].result));
+      }
+    }
+    for (const auto& query : report.queries) {
+      report.matches += query.matches;
+      report.checksum += query.checksum;
+    }
+    report.cpu_load_join /= n_;
+    report.total_wall = engine_.now();
+    report.bytes_on_wire = cluster_.fabric().total_data_bytes();
+    if (n_ > 1 && report.join_wall > 0) {
+      report.link_throughput_bps =
+          static_cast<double>(cluster_.fabric().data_link(0).bytes_transferred()) /
+          to_seconds(report.join_wall);
+    }
+    return report;
+  }
+
+  ClusterConfig cluster_cfg_;
+  JoinSpec spec_;
+  sim::Engine engine_;
+  Cluster cluster_;
+  int n_;
+  std::vector<SharedQuery> queries_;
+  std::size_t num_queries_;
+  int radix_bits_ = 0;
+  Barrier setup_barrier_;
+  Barrier start_barrier_;
+  Barrier join_barrier_;
+  std::vector<std::unique_ptr<HostRun>> hosts_;
+};
+
+}  // namespace
+
+CycloJoin::CycloJoin(ClusterConfig cluster, JoinSpec spec)
+    : cluster_(std::move(cluster)), spec_(std::move(spec)) {}
+
+RunReport CycloJoin::run(const rel::Relation& r, const rel::Relation& s) {
+  SharedQuery query;
+  query.stationary = &s;
+  query.band = spec_.band;
+  query.predicate = spec_.predicate;
+  Runner runner(cluster_, spec_, r, {query});
+  return runner.execute();
+}
+
+SharedRunReport CycloJoin::run_shared(const rel::Relation& rotating,
+                                      const std::vector<SharedQuery>& queries) {
+  Runner runner(cluster_, spec_, rotating, queries);
+  return runner.execute();
+}
+
+}  // namespace cj::cyclo

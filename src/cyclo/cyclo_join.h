@@ -1,0 +1,118 @@
+// Cyclo-join: distributed join processing on the Data Roundabout
+// (paper Sec. IV). This is the library's top-level public API.
+//
+// One call to CycloJoin::run() simulates a full distributed execution:
+//
+//   1. distribute  — R and S are split evenly over the ring's hosts,
+//   2. setup       — each host prepares its stationary fragment S_i (hash
+//                    tables / sort) and reorganizes its rotating fragment
+//                    R_i into wire-ready chunks, once (Sec. IV-D),
+//   3. rotate+join — R chunks make one full revolution; every host joins
+//                    every chunk against its S_i on its (virtual) cores
+//                    while the roundabout moves data underneath,
+//   4. collect     — per-host partial results R ⋈ S_i remain distributed;
+//                    the report aggregates counts, checksums and timings.
+//
+// All join computation is executed for real (results are exact and
+// checksummed); time, cores, NICs and wires are simulated — see DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "cyclo/config.h"
+#include "join/join_result.h"
+#include "rel/relation.h"
+
+namespace cj::cyclo {
+
+/// Per-host measurements of one run.
+struct HostStats {
+  SimDuration setup = 0;       ///< setup-phase makespan on this host
+  SimDuration join_phase = 0;  ///< join-phase makespan (includes sync)
+  SimDuration sync = 0;        ///< join entity starved for data (Fig. 11)
+  std::uint64_t matches = 0;
+  std::uint64_t checksum = 0;
+  std::uint64_t chunks_processed = 0;
+  std::uint64_t bytes_sent = 0;
+  /// Core-busy fraction during the join phase (Table I).
+  double cpu_load_join = 0.0;
+  /// Busy time by tag over the whole run ("join", "setup", "tcp-rx", ...).
+  std::map<std::string, SimDuration> busy_by_tag;
+};
+
+/// Aggregated result + measurements of one cyclo-join run.
+struct RunReport {
+  // Global makespans (max over hosts; all hosts phase-start together).
+  SimDuration setup_wall = 0;
+  SimDuration join_wall = 0;
+  SimDuration total_wall = 0;  ///< includes transport drain/teardown
+
+  std::uint64_t matches = 0;
+  std::uint64_t checksum = 0;
+
+  std::vector<HostStats> hosts;
+
+  /// Payload bytes moved over the ring's data direction.
+  std::uint64_t bytes_on_wire = 0;
+  /// Observed throughput of the first data link during the join phase.
+  double link_throughput_bps = 0.0;
+  /// Mean per-host CPU load during the join phase (Table I's number).
+  double cpu_load_join = 0.0;
+
+  /// Materialized output (only when JoinSpec::materialize), per host.
+  std::vector<join::JoinResult> host_results;
+};
+
+/// One query riding a shared rotation (Data Cyclotron mode): its own
+/// stationary relation and predicate parameters. The algorithm and
+/// thread budget come from the shared JoinSpec.
+struct SharedQuery {
+  const rel::Relation* stationary = nullptr;
+  /// Band half-width (sort-merge algorithm only; 0 = equi).
+  std::uint32_t band = 0;
+  /// Predicate (nested-loops algorithm only).
+  std::function<bool(const rel::Tuple&, const rel::Tuple&)> predicate;
+};
+
+struct QueryResult {
+  std::uint64_t matches = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// Report of a shared-rotation run: the usual transport/phase measurements
+/// plus one result per query.
+struct SharedRunReport : RunReport {
+  std::vector<QueryResult> queries;
+};
+
+/// Configured cyclo-join executor. Reusable across runs.
+class CycloJoin {
+ public:
+  CycloJoin(ClusterConfig cluster, JoinSpec spec);
+
+  /// Computes r ⋈ s with r rotating and s stationary. Inputs are split
+  /// evenly across hosts (the paper assumes an even distribution of S).
+  RunReport run(const rel::Relation& r, const rel::Relation& s);
+
+  /// Data Cyclotron mode (the paper's ongoing-work direction, Sec. VII):
+  /// ONE revolution of `rotating` serves every query concurrently — each
+  /// host joins every passing chunk against all stationary fragments it
+  /// hosts. Network traffic is paid once, not once per query. All queries
+  /// use the spec's algorithm; band/predicate are per query.
+  /// Materialization is not supported in shared mode.
+  SharedRunReport run_shared(const rel::Relation& rotating,
+                             const std::vector<SharedQuery>& queries);
+
+  const ClusterConfig& cluster_config() const { return cluster_; }
+  const JoinSpec& spec() const { return spec_; }
+
+ private:
+  ClusterConfig cluster_;
+  JoinSpec spec_;
+};
+
+}  // namespace cj::cyclo

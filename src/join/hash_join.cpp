@@ -1,0 +1,57 @@
+#include "join/hash_join.h"
+
+#include <bit>
+
+namespace cj::join {
+
+void PartitionHashTable::build(std::span<const rel::Tuple> s_partition,
+                               int radix_bits) {
+  tuples_.assign(s_partition.begin(), s_partition.end());
+  const std::size_t n = tuples_.size();
+  shift_ = radix_bits;
+
+  const std::size_t buckets =
+      std::bit_ceil(std::max<std::size_t>(4, n));
+  mask_ = static_cast<std::uint32_t>(buckets - 1);
+  heads_.assign(buckets, -1);
+  next_.assign(n, -1);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t b = bucket_of(tuples_[i].key);
+    next_[i] = heads_[b];
+    heads_[b] = static_cast<std::int32_t>(i);
+  }
+}
+
+void PartitionHashTable::probe(std::span<const rel::Tuple> r_run,
+                               JoinResult& result) const {
+  if (tuples_.empty()) return;
+  for (const rel::Tuple& r : r_run) {
+    const std::uint32_t b = bucket_of(r.key);
+    for (std::int32_t i = heads_[b]; i >= 0; i = next_[static_cast<std::size_t>(i)]) {
+      const rel::Tuple& s = tuples_[static_cast<std::size_t>(i)];
+      if (s.key == r.key) result.add_match(r, s);
+    }
+  }
+}
+
+HashJoinStationary HashJoinStationary::build(std::span<const rel::Tuple> s,
+                                             int radix_bits,
+                                             const RadixConfig& config) {
+  HashJoinStationary out;
+  out.parts_ = radix_cluster(s, radix_bits, config.bits_per_pass);
+  const std::uint32_t num_parts = out.parts_.num_partitions();
+  out.tables_.resize(num_parts);
+  for (std::uint32_t p = 0; p < num_parts; ++p) {
+    out.tables_[p].build(out.parts_.partition(p), radix_bits);
+  }
+  return out;
+}
+
+std::size_t HashJoinStationary::bytes() const {
+  std::size_t total = 0;
+  for (const auto& t : tables_) total += t.bytes();
+  return total;
+}
+
+}  // namespace cj::join

@@ -1,0 +1,115 @@
+// Partitioned (radix) hash join — the paper's primary local join algorithm.
+//
+// Setup phase:  radix-cluster S_i and build a bucket-chained hash table per
+//               partition (HashJoinStationary::build); radix-cluster R_j
+//               with the same radix bits so probes hit exactly one table.
+// Join phase:   scan R partitions, probe the matching S partition's table
+//               (probe_partition). When the radix bits were chosen so an S
+//               partition + table fits the L2 budget, probes run from cache.
+//
+// The join phase is embarrassingly parallel across partitions — the cyclo
+// layer schedules disjoint partition ranges on the host's (virtual) cores,
+// like the paper's four join threads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "join/join_result.h"
+#include "join/radix.h"
+#include "rel/relation.h"
+
+namespace cj::join {
+
+/// Compact bucket-chained hash table over one partition of S.
+/// Buckets index on the high hash bits (the low bits are constant within a
+/// radix partition). Stores its own copy of the tuples so probes are a
+/// single structure walk.
+class PartitionHashTable {
+ public:
+  PartitionHashTable() = default;
+
+  /// Builds over the tuples of one S partition.
+  void build(std::span<const rel::Tuple> s_partition, int radix_bits);
+
+  /// Probes every tuple of `r_run` (all from this partition) against the
+  /// table, emitting matches.
+  void probe(std::span<const rel::Tuple> r_run, JoinResult& result) const;
+
+  std::size_t rows() const { return tuples_.size(); }
+
+  /// Memory footprint (cache-budget accounting).
+  std::size_t bytes() const {
+    return tuples_.size() * sizeof(rel::Tuple) +
+           (heads_.size() + next_.size()) * sizeof(std::int32_t);
+  }
+
+ private:
+  std::uint32_t bucket_of(std::uint32_t key) const {
+    // High hash bits: independent of the radix partition (low) bits.
+    return (hash_key(key) >> shift_) & mask_;
+  }
+
+  std::vector<rel::Tuple> tuples_;
+  std::vector<std::int32_t> heads_;
+  std::vector<std::int32_t> next_;
+  std::uint32_t mask_ = 0;
+  int shift_ = 0;
+};
+
+/// Baseline: a single hash table over the whole fragment, no radix
+/// clustering. Cheaper setup, but probes walk a table far larger than any
+/// cache — this is what the Manegold/Boncz/Kersten partitioning fixes, and
+/// `bench/abl_no_partition` quantifies the difference.
+class SingleTableHashJoin {
+ public:
+  static SingleTableHashJoin build(std::span<const rel::Tuple> s) {
+    SingleTableHashJoin out;
+    out.table_.build(s, /*radix_bits=*/0);
+    return out;
+  }
+
+  void probe(std::span<const rel::Tuple> r, JoinResult& result) const {
+    table_.probe(r, result);
+  }
+
+  std::size_t bytes() const { return table_.bytes(); }
+
+ private:
+  PartitionHashTable table_;
+};
+
+/// The setup product over a stationary fragment S_i: clustered data plus a
+/// hash table per radix partition. Built once per cyclo-join run and probed
+/// by every rotating fragment (paper Sec. IV-D: setup is amortized over the
+/// whole revolution).
+class HashJoinStationary {
+ public:
+  /// Clusters `s` into 2^radix_bits partitions and builds the tables.
+  static HashJoinStationary build(std::span<const rel::Tuple> s, int radix_bits,
+                                  const RadixConfig& config = {});
+
+  int radix_bits() const { return parts_.bits(); }
+  std::uint32_t num_partitions() const { return parts_.num_partitions(); }
+  std::size_t rows() const { return parts_.rows(); }
+
+  /// Probes a run of R tuples that all belong to radix partition `p`.
+  void probe_partition(std::uint32_t p, std::span<const rel::Tuple> r_run,
+                       JoinResult& result) const {
+    tables_[p].probe(r_run, result);
+  }
+
+  const PartitionHashTable& table(std::uint32_t p) const { return tables_[p]; }
+  const PartitionedData& partitions() const { return parts_; }
+
+  /// Total memory of all hash tables (reporting).
+  std::size_t bytes() const;
+
+ private:
+  PartitionedData parts_;
+  std::vector<PartitionHashTable> tables_;
+};
+
+}  // namespace cj::join

@@ -1,0 +1,67 @@
+// Join result accumulation.
+//
+// Benchmarks count and checksum matches (materializing hundreds of millions
+// of output tuples would measure the allocator, not the join); examples and
+// tests can request materialization. The checksum is order-independent so
+// any join algorithm over any schedule must produce the identical value —
+// this is how hash join, sort-merge join and the nested-loops reference
+// validate each other on large inputs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rel/relation.h"
+
+namespace cj::join {
+
+/// A materialized output row: join key plus both payloads.
+struct OutTuple {
+  std::uint32_t key;
+  std::uint64_t r_payload;
+  std::uint64_t s_payload;
+
+  friend bool operator==(const OutTuple&, const OutTuple&) = default;
+};
+
+class JoinResult {
+ public:
+  explicit JoinResult(bool materialize = false) : materialize_(materialize) {}
+
+  void add_match(const rel::Tuple& r, const rel::Tuple& s) {
+    ++matches_;
+    checksum_ += pair_hash(r.payload, s.payload);
+    if (materialize_) output_.push_back(OutTuple{r.key, r.payload, s.payload});
+  }
+
+  /// Folds another (e.g. per-partition) result into this one.
+  void merge(const JoinResult& other) {
+    matches_ += other.matches_;
+    checksum_ += other.checksum_;
+    output_.insert(output_.end(), other.output_.begin(), other.output_.end());
+  }
+
+  std::uint64_t matches() const { return matches_; }
+  std::uint64_t checksum() const { return checksum_; }
+  bool materializes() const { return materialize_; }
+  std::span<const OutTuple> output() const { return output_; }
+
+ private:
+  // Mixes one (r, s) pairing into a 64-bit value; summed over all matches
+  // the total is independent of match order but sensitive to pairings.
+  static std::uint64_t pair_hash(std::uint64_t r, std::uint64_t s) {
+    std::uint64_t x = r * 0x9E3779B97F4A7C15ULL + s * 0xC2B2AE3D27D4EB4FULL + 1;
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDULL;
+    x ^= x >> 33;
+    return x;
+  }
+
+  bool materialize_;
+  std::uint64_t matches_ = 0;
+  std::uint64_t checksum_ = 0;
+  std::vector<OutTuple> output_;
+};
+
+}  // namespace cj::join

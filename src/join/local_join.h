@@ -1,0 +1,38 @@
+// Single-host convenience joins over two in-memory fragments.
+//
+// These drive the same kernels the distributed cyclo-join uses, split into
+// the paper's two phases (setup / join) with real CPU timing per phase.
+// They are the "local join" baseline of the evaluation and the quickest way
+// to use this library on one machine.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "join/join_result.h"
+#include "join/radix.h"
+#include "rel/relation.h"
+
+namespace cj::join {
+
+/// Real (wall/CPU) phase timings in nanoseconds, from the executing thread.
+struct LocalJoinTiming {
+  std::int64_t setup_ns = 0;
+  std::int64_t join_ns = 0;
+};
+
+/// Radix partitioned hash join of r ⋈ s on key equality.
+JoinResult local_hash_join(std::span<const rel::Tuple> r,
+                           std::span<const rel::Tuple> s,
+                           const RadixConfig& config = {},
+                           LocalJoinTiming* timing = nullptr,
+                           bool materialize = false);
+
+/// Sort-merge join of r ⋈ s; band > 0 evaluates |r.key - s.key| <= band.
+JoinResult local_sort_merge_join(std::span<const rel::Tuple> r,
+                                 std::span<const rel::Tuple> s,
+                                 std::uint32_t band = 0,
+                                 LocalJoinTiming* timing = nullptr,
+                                 bool materialize = false);
+
+}  // namespace cj::join

@@ -1,0 +1,47 @@
+// Nested-loops join: the universal fallback for arbitrary predicates
+// (paper Sec. IV-C) and the reference oracle for testing the fast joins.
+#pragma once
+
+#include <span>
+
+#include "join/join_result.h"
+#include "rel/relation.h"
+
+namespace cj::join {
+
+/// Joins r × s under an arbitrary predicate. O(|r| * |s|) — use only for
+/// predicates the specialized algorithms cannot handle, or as a test
+/// oracle on small inputs.
+template <typename Predicate>
+void nested_loops_join(std::span<const rel::Tuple> r, std::span<const rel::Tuple> s,
+                       Predicate&& pred, JoinResult& result) {
+  for (const rel::Tuple& rt : r) {
+    for (const rel::Tuple& st : s) {
+      if (pred(rt, st)) result.add_match(rt, st);
+    }
+  }
+}
+
+/// Equality predicate (the common case).
+inline void nested_loops_equi_join(std::span<const rel::Tuple> r,
+                                   std::span<const rel::Tuple> s,
+                                   JoinResult& result) {
+  nested_loops_join(
+      r, s, [](const rel::Tuple& a, const rel::Tuple& b) { return a.key == b.key; },
+      result);
+}
+
+/// Band predicate |r.key - s.key| <= band.
+inline void nested_loops_band_join(std::span<const rel::Tuple> r,
+                                   std::span<const rel::Tuple> s, std::uint32_t band,
+                                   JoinResult& result) {
+  nested_loops_join(
+      r, s,
+      [band](const rel::Tuple& a, const rel::Tuple& b) {
+        const std::uint32_t d = a.key > b.key ? a.key - b.key : b.key - a.key;
+        return d <= band;
+      },
+      result);
+}
+
+}  // namespace cj::join

@@ -1,0 +1,89 @@
+#include "join/radix.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cj::join {
+
+int choose_radix_bits(std::size_t s_rows, const RadixConfig& config) {
+  CJ_CHECK(config.cache_budget_bytes > 0);
+  // Per-tuple footprint during the probe: the tuple itself plus the hash
+  // table's bucket-head and chain entries (4 bytes each, ~2x for the
+  // power-of-two bucket array).
+  constexpr std::size_t kBytesPerTuple = sizeof(rel::Tuple) + 12;
+  int bits = 0;
+  while (bits < config.max_bits) {
+    const std::size_t rows_per_part = s_rows >> bits;
+    if (rows_per_part * kBytesPerTuple <= config.cache_budget_bytes) break;
+    ++bits;
+  }
+  return bits;
+}
+
+PartitionedData radix_cluster(std::span<const rel::Tuple> input, int total_bits,
+                              int bits_per_pass) {
+  CJ_CHECK(total_bits >= 0 && total_bits <= 24);
+  CJ_CHECK(bits_per_pass >= 1);
+  const std::size_t n = input.size();
+
+  if (total_bits == 0) {
+    std::vector<rel::Tuple> tuples(input.begin(), input.end());
+    return PartitionedData(std::move(tuples), {0, static_cast<std::uint32_t>(n)}, 0);
+  }
+  CJ_CHECK_MSG(n <= 0xFFFFFFFFULL, "32-bit partition directory limits fragments to 4G rows");
+
+  std::vector<rel::Tuple> cur(input.begin(), input.end());
+  std::vector<rel::Tuple> next(n);
+
+  // Cluster on slices of the partition id from the most-significant slice
+  // down, so the final memory order is ascending by partition id.
+  const std::uint32_t id_mask = (1U << total_bits) - 1;
+  std::vector<std::uint32_t> boundaries = {0, static_cast<std::uint32_t>(n)};
+  int consumed = 0;
+
+  while (consumed < total_bits) {
+    const int b = std::min(bits_per_pass, total_bits - consumed);
+    const int slice_shift = total_bits - consumed - b;
+    const std::uint32_t slice_mask = (1U << b) - 1;
+    const std::uint32_t fanout = 1U << b;
+
+    std::vector<std::uint32_t> new_boundaries;
+    new_boundaries.reserve((boundaries.size() - 1) * fanout + 1);
+    new_boundaries.push_back(0);
+
+    std::vector<std::uint32_t> counts(fanout);
+    for (std::size_t r = 0; r + 1 < boundaries.size(); ++r) {
+      const std::uint32_t begin = boundaries[r];
+      const std::uint32_t end = boundaries[r + 1];
+
+      std::fill(counts.begin(), counts.end(), 0);
+      for (std::uint32_t i = begin; i < end; ++i) {
+        const std::uint32_t slice =
+            ((hash_key(cur[i].key) & id_mask) >> slice_shift) & slice_mask;
+        ++counts[slice];
+      }
+      // Exclusive prefix sum → write cursors within [begin, end).
+      std::vector<std::uint32_t> cursor(fanout);
+      std::uint32_t acc = begin;
+      for (std::uint32_t s = 0; s < fanout; ++s) {
+        cursor[s] = acc;
+        acc += counts[s];
+        new_boundaries.push_back(acc);
+      }
+      for (std::uint32_t i = begin; i < end; ++i) {
+        const std::uint32_t slice =
+            ((hash_key(cur[i].key) & id_mask) >> slice_shift) & slice_mask;
+        next[cursor[slice]++] = cur[i];
+      }
+    }
+
+    cur.swap(next);
+    boundaries = std::move(new_boundaries);
+    consumed += b;
+  }
+
+  CJ_CHECK(boundaries.size() == (1ULL << total_bits) + 1);
+  return PartitionedData(std::move(cur), std::move(boundaries), total_bits);
+}
+
+}  // namespace cj::join

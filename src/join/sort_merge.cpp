@@ -1,0 +1,85 @@
+#include "join/sort_merge.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace cj::join {
+
+void sort_fragment(std::span<rel::Tuple> fragment) {
+  std::sort(fragment.begin(), fragment.end(),
+            [](const rel::Tuple& a, const rel::Tuple& b) { return a.key < b.key; });
+}
+
+bool is_sorted_by_key(std::span<const rel::Tuple> fragment) {
+  return std::is_sorted(
+      fragment.begin(), fragment.end(),
+      [](const rel::Tuple& a, const rel::Tuple& b) { return a.key < b.key; });
+}
+
+void merge_join(std::span<const rel::Tuple> r_sorted,
+                std::span<const rel::Tuple> s_sorted, JoinResult& result) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < r_sorted.size() && j < s_sorted.size()) {
+    const std::uint32_t rk = r_sorted[i].key;
+    const std::uint32_t sk = s_sorted[j].key;
+    if (rk < sk) {
+      ++i;
+    } else if (rk > sk) {
+      ++j;
+    } else {
+      // Key group: emit the cross product of equal-key runs.
+      std::size_t i_end = i + 1;
+      while (i_end < r_sorted.size() && r_sorted[i_end].key == rk) ++i_end;
+      std::size_t j_end = j + 1;
+      while (j_end < s_sorted.size() && s_sorted[j_end].key == rk) ++j_end;
+      for (std::size_t a = i; a < i_end; ++a) {
+        for (std::size_t b = j; b < j_end; ++b) {
+          result.add_match(r_sorted[a], s_sorted[b]);
+        }
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+}
+
+void band_merge_join(std::span<const rel::Tuple> r_sorted,
+                     std::span<const rel::Tuple> s_sorted, std::uint32_t band,
+                     JoinResult& result) {
+  if (band == 0) {
+    merge_join(r_sorted, s_sorted, result);
+    return;
+  }
+  // For each r (ascending), the matching s window [r.key - band,
+  // r.key + band] only ever slides forward at its lower edge.
+  std::size_t lo = 0;
+  for (const rel::Tuple& r : r_sorted) {
+    const std::uint32_t lo_key = r.key >= band ? r.key - band : 0;
+    // Saturating upper bound: keys are 32-bit.
+    const std::uint32_t hi_key =
+        r.key > 0xFFFFFFFFU - band ? 0xFFFFFFFFU : r.key + band;
+    while (lo < s_sorted.size() && s_sorted[lo].key < lo_key) ++lo;
+    for (std::size_t j = lo; j < s_sorted.size() && s_sorted[j].key <= hi_key; ++j) {
+      result.add_match(r, s_sorted[j]);
+    }
+  }
+}
+
+std::span<const rel::Tuple> matching_window(std::span<const rel::Tuple> s_sorted,
+                                            std::uint32_t lo_key,
+                                            std::uint32_t hi_key,
+                                            std::uint32_t band) {
+  CJ_DCHECK(lo_key <= hi_key);
+  const std::uint32_t lo = lo_key >= band ? lo_key - band : 0;
+  const std::uint32_t hi = hi_key > 0xFFFFFFFFU - band ? 0xFFFFFFFFU : hi_key + band;
+  const auto key_less = [](const rel::Tuple& t, std::uint32_t k) { return t.key < k; };
+  const auto key_greater = [](std::uint32_t k, const rel::Tuple& t) { return k < t.key; };
+  auto begin = std::lower_bound(s_sorted.begin(), s_sorted.end(), lo, key_less);
+  auto end = std::upper_bound(begin, s_sorted.end(), hi, key_greater);
+  return s_sorted.subspan(static_cast<std::size_t>(begin - s_sorted.begin()),
+                          static_cast<std::size_t>(end - begin));
+}
+
+}  // namespace cj::join

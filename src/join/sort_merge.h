@@ -1,0 +1,49 @@
+// Sort-merge join — the paper's second local join algorithm.
+//
+// Setup phase:  sort both fragments by join key (the paper uses the C
+//               library's qsort; we use std::sort which plays the same
+//               role). Sorting costs more than radix clustering, which is
+//               exactly the setup-vs-join trade-off of paper Sec. V-E.
+// Join phase:   a strictly sequential merge over the two sorted runs —
+//               maximally cache-friendly — with full duplicate-group
+//               handling. A band variant evaluates |r.key - s.key| <= band
+//               (the paper highlights band joins as something hash join
+//               cannot do).
+//
+// Parallelism: split sorted R into contiguous chunks; each chunk merges
+// against S independently starting from a binary-searched position.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "join/join_result.h"
+#include "rel/relation.h"
+
+namespace cj::join {
+
+/// Sorts a fragment in place by join key (setup phase).
+void sort_fragment(std::span<rel::Tuple> fragment);
+
+/// True if the span is sorted by key (debug validation).
+bool is_sorted_by_key(std::span<const rel::Tuple> fragment);
+
+/// Equi-join two sorted runs. Handles duplicate keys on both sides
+/// (emits the full cross product per key group).
+void merge_join(std::span<const rel::Tuple> r_sorted,
+                std::span<const rel::Tuple> s_sorted, JoinResult& result);
+
+/// Band join over sorted runs: matches where |r.key - s.key| <= band.
+/// band == 0 degenerates to the equi-join.
+void band_merge_join(std::span<const rel::Tuple> r_sorted,
+                     std::span<const rel::Tuple> s_sorted, std::uint32_t band,
+                     JoinResult& result);
+
+/// The part of s_sorted that can match any key in [lo_key, hi_key] given a
+/// band — used to bound per-chunk merge work when parallelizing.
+std::span<const rel::Tuple> matching_window(std::span<const rel::Tuple> s_sorted,
+                                            std::uint32_t lo_key,
+                                            std::uint32_t hi_key,
+                                            std::uint32_t band = 0);
+
+}  // namespace cj::join

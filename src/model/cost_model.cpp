@@ -1,0 +1,61 @@
+#include "model/cost_model.h"
+
+#include "common/assert.h"
+
+namespace cj::model {
+
+std::string to_string(StackKind kind) {
+  switch (kind) {
+    case StackKind::kKernelTcp: return "everything-on-cpu";
+    case StackKind::kToeOffload: return "network-stack-on-nic";
+    case StackKind::kRdma: return "rdma";
+  }
+  return "?";
+}
+
+OverheadBreakdown cpu_overhead(StackKind kind, const CostModelParams& params) {
+  const auto& tcp = params.tcp;
+  const double seg = static_cast<double>(tcp.segment_size);
+
+  // Kernel TCP, per byte, summed over one host's send + receive path.
+  const double copying = tcp.tx_copy_ns_per_byte + tcp.rx_copy_ns_per_byte;
+  const double segment_cost_ns =
+      static_cast<double>(tcp.tx_stack_cost_per_segment +
+                          tcp.rx_stack_cost_per_segment);
+  const double stack = params.stack_share_of_segment_cost * segment_cost_ns / seg;
+  const double driver =
+      (1.0 - params.stack_share_of_segment_cost) * segment_cost_ns / seg;
+  const double switches = static_cast<double>(tcp.rx_wakeup_cost) / seg;
+
+  switch (kind) {
+    case StackKind::kKernelTcp:
+      return OverheadBreakdown{copying, stack, driver, switches};
+    case StackKind::kToeOffload:
+      // The NIC runs the protocol; data still crosses the memory bus into
+      // kernel buffers and wake-ups still happen — which is why the paper's
+      // middle bar is barely lower than the left one.
+      return OverheadBreakdown{copying, 0.0, driver * 0.5, switches};
+    case StackKind::kRdma: {
+      // Zero copy, full offload: only work-request posting remains, and the
+      // queue-based interface removes the per-segment wake-ups.
+      const double post =
+          params.rdma_post_cost_ns / static_cast<double>(params.rdma_message_bytes);
+      return OverheadBreakdown{0.0, 0.0, post, 0.0};
+    }
+  }
+  CJ_CHECK(false);
+  return {};
+}
+
+double cpu_share_at(StackKind kind, double gbps, int cores, double core_ghz,
+                    const CostModelParams& params) {
+  CJ_CHECK(cores >= 1 && core_ghz > 0 && gbps >= 0);
+  const double bytes_per_sec = gbps * 1e9 / 8.0;
+  // Overheads are stated in reference-core (2.33 GHz) nanoseconds.
+  const double ref_ns_per_byte = cpu_overhead(kind, params).total();
+  const double ns_per_byte = ref_ns_per_byte * (2.33 / core_ghz);
+  const double busy_cores = bytes_per_sec * ns_per_byte * 1e-9;
+  return busy_cores / static_cast<double>(cores);
+}
+
+}  // namespace cj::model

@@ -1,0 +1,60 @@
+// Analytical model of per-host CPU overhead for high-speed network I/O —
+// reproduces the decomposition of paper Fig. 3 (after Foong et al. [10]):
+// kernel TCP burns ~1 GHz per 1 Gb/s, roughly half of it copying payload;
+// offloading only the protocol stack to the NIC (TOE) barely helps; only
+// RDMA (zero copy + direct data placement + full offload) removes the
+// overhead.
+//
+// The constants are shared with the tcpsim substrate so the model and the
+// measured simulation agree by construction where they overlap; the bench
+// for Fig. 3 prints both.
+#pragma once
+
+#include <string>
+
+#include "tcpsim/tcp.h"
+
+namespace cj::model {
+
+/// Which parts of network processing run on the host CPU.
+enum class StackKind {
+  kKernelTcp,   ///< everything on the CPU (Fig. 3, left bar)
+  kToeOffload,  ///< protocol stack on the NIC, copies remain (middle bar)
+  kRdma,        ///< full offload + zero copy (right bar)
+};
+
+std::string to_string(StackKind kind);
+
+/// Host-CPU cost per transferred byte, decomposed. Units: ns of a
+/// reference-core (2.33 GHz Xeon) per payload byte, summed over the send
+/// and receive side of one host.
+struct OverheadBreakdown {
+  double data_copying = 0.0;
+  double network_stack = 0.0;
+  double driver = 0.0;
+  double context_switches = 0.0;
+
+  double total() const {
+    return data_copying + network_stack + driver + context_switches;
+  }
+};
+
+struct CostModelParams {
+  tcpsim::TcpModelConfig tcp;
+  /// Of the per-segment kernel cost, the share that is protocol stack
+  /// (the rest is driver work). TOE removes the stack share.
+  double stack_share_of_segment_cost = 0.6;
+  /// RDMA per-work-request CPU cost and transfer unit.
+  double rdma_post_cost_ns = 300.0;
+  std::size_t rdma_message_bytes = 1 << 20;
+};
+
+/// Per-byte CPU overhead of one configuration.
+OverheadBreakdown cpu_overhead(StackKind kind, const CostModelParams& params = {});
+
+/// CPU share (0..1) of the reference host needed to sustain `gbps` of
+/// throughput with the given stack, on `cores` cores at `core_ghz`.
+double cpu_share_at(StackKind kind, double gbps, int cores, double core_ghz,
+                    const CostModelParams& params = {});
+
+}  // namespace cj::model

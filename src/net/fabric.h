@@ -1,0 +1,58 @@
+// Ring fabric: the Data Roundabout's physical wiring.
+//
+// Hosts H0..H(n-1) are connected clockwise — each host has a duplex link to
+// its successor (physically a star through one switch; the switch latency is
+// folded into LinkSpec::propagation_delay, exactly as in the paper's setup
+// of Chelsio RNICs through a Nortel 10 GbE switch module).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/assert.h"
+#include "net/link.h"
+#include "sim/engine.h"
+
+namespace cj::net {
+
+class RingFabric {
+ public:
+  RingFabric(sim::Engine& engine, int num_hosts, LinkSpec spec)
+      : num_hosts_(num_hosts) {
+    CJ_CHECK_MSG(num_hosts >= 1, "a ring needs at least one host");
+    for (int i = 0; i < num_hosts; ++i) {
+      const std::string name =
+          "link[" + std::to_string(i) + "->" + std::to_string(successor(i)) + "]";
+      links_.push_back(std::make_unique<DuplexLink>(engine, spec, name));
+    }
+  }
+
+  int num_hosts() const { return num_hosts_; }
+  int successor(int host) const { return (host + 1) % num_hosts_; }
+  int predecessor(int host) const { return (host + num_hosts_ - 1) % num_hosts_; }
+
+  /// Data direction: host → successor. (The ring rotates clockwise.)
+  Link& data_link(int host) {
+    CJ_CHECK(host >= 0 && host < num_hosts_);
+    return links_[static_cast<std::size_t>(host)]->forward;
+  }
+
+  /// Control direction: host → predecessor (credits flow against the data).
+  Link& control_link(int host) {
+    CJ_CHECK(host >= 0 && host < num_hosts_);
+    return links_[static_cast<std::size_t>(predecessor(host))]->backward;
+  }
+
+  /// Total payload bytes moved over all data-direction links.
+  std::uint64_t total_data_bytes() const {
+    std::uint64_t total = 0;
+    for (const auto& l : links_) total += l->forward.bytes_transferred();
+    return total;
+  }
+
+ private:
+  int num_hosts_;
+  std::vector<std::unique_ptr<DuplexLink>> links_;
+};
+
+}  // namespace cj::net

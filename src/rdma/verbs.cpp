@@ -1,0 +1,167 @@
+#include "rdma/verbs.h"
+
+#include <cstring>
+
+namespace cj::rdma {
+
+// ---------------------------------------------------------------- Device
+
+Device::Device(sim::Engine& engine, sim::CorePool& host_cores, DeviceAttr attr,
+               std::string name)
+    : engine_(engine),
+      host_cores_(host_cores),
+      attr_(attr),
+      name_(std::move(name)),
+      pd_(*this) {}
+
+QueuePair& Device::create_qp(CompletionQueue* send_cq, CompletionQueue* recv_cq) {
+  CJ_CHECK(send_cq != nullptr && recv_cq != nullptr);
+  qps_.push_back(std::unique_ptr<QueuePair>(new QueuePair(*this, send_cq, recv_cq)));
+  return *qps_.back();
+}
+
+// ------------------------------------------------------ ProtectionDomain
+
+sim::Task<MemoryRegion*> ProtectionDomain::register_memory(std::span<std::byte> range) {
+  CJ_CHECK_MSG(!range.empty(), "cannot register an empty range");
+  const auto pages = static_cast<SimDuration>((range.size() + 4095) / 4096);
+  const DeviceAttr& attr = device_.attr();
+  const SimDuration cost =
+      attr.registration_base_cost + pages * attr.registration_per_page_cost;
+  co_await device_.host_cores_.consume(cost, "mr-reg");
+
+  regions_.push_back(
+      std::unique_ptr<MemoryRegion>(new MemoryRegion(range, next_lkey_++)));
+  registered_bytes_ += range.size();
+  co_return regions_.back().get();
+}
+
+void ProtectionDomain::deregister(MemoryRegion* mr) {
+  for (auto it = regions_.begin(); it != regions_.end(); ++it) {
+    if (it->get() == mr) {
+      registered_bytes_ -= mr->size();
+      regions_.erase(it);
+      return;
+    }
+  }
+  CJ_CHECK_MSG(false, "deregister of unknown memory region");
+}
+
+MemoryRegion* ProtectionDomain::find_region(const std::byte* ptr,
+                                            std::size_t len) const {
+  for (const auto& mr : regions_) {
+    const std::byte* base = mr->data();
+    if (ptr >= base && ptr + len <= base + mr->size()) return mr.get();
+  }
+  return nullptr;
+}
+
+// -------------------------------------------------------------- QueuePair
+
+QueuePair::QueuePair(Device& device, CompletionQueue* send_cq,
+                     CompletionQueue* recv_cq)
+    : device_(device),
+      send_cq_(send_cq),
+      recv_cq_(recv_cq),
+      send_queue_(std::make_unique<sim::Channel<WorkRequest>>(
+          device.engine_, device.attr_.max_send_wr)) {}
+
+void QueuePair::validate(const WorkRequest& wr) const {
+  CJ_CHECK_MSG(wr.mr != nullptr, "work request without a memory region");
+  CJ_CHECK_MSG(wr.offset + wr.length <= wr.mr->size(),
+               "work request exceeds its memory region");
+  if (wr.opcode == Opcode::kRdmaWrite || wr.opcode == Opcode::kRdmaRead) {
+    CJ_CHECK_MSG(wr.remote_mr != nullptr, "one-sided op without a remote region");
+    CJ_CHECK_MSG(wr.remote_offset + wr.length <= wr.remote_mr->size(),
+                 "one-sided op exceeds the remote region");
+  }
+}
+
+Status QueuePair::post_send(const WorkRequest& wr) {
+  if (!connected()) return failed_precondition("post_send on unconnected QP");
+  CJ_CHECK_MSG(wr.opcode != Opcode::kRecv, "kRecv posted to the send queue");
+  validate(wr);
+  if (!send_queue_->try_push(wr)) {
+    return resource_exhausted("send queue full");
+  }
+  return Status::ok();
+}
+
+Status QueuePair::post_recv(const WorkRequest& wr) {
+  CJ_CHECK_MSG(wr.opcode == Opcode::kSend || wr.opcode == Opcode::kRecv,
+               "recv queue takes plain buffers");
+  validate(wr);
+  if (recv_queue_.size() >= device_.attr_.max_recv_wr) {
+    return resource_exhausted("receive queue full");
+  }
+  WorkRequest recv = wr;
+  recv.opcode = Opcode::kRecv;
+  recv_queue_.push_back(recv);
+  return Status::ok();
+}
+
+void QueuePair::close() {
+  if (send_queue_ && !send_queue_->closed()) send_queue_->close();
+}
+
+void QueuePair::deliver_send(const WorkRequest& send_wr) {
+  // Direct data placement: the RNIC matches the incoming message against
+  // the head of the pre-posted receive queue — no receiver CPU involved.
+  CJ_CHECK_MSG(!recv_queue_.empty(),
+               "receiver not ready: send arrived with no posted receive "
+               "(flow-control protocol violated)");
+  WorkRequest recv = recv_queue_.front();
+  recv_queue_.pop_front();
+  CJ_CHECK_MSG(recv.length >= send_wr.length,
+               "posted receive buffer smaller than incoming message");
+
+  std::memcpy(recv.mr->data() + recv.offset,
+              send_wr.mr->data() + send_wr.offset, send_wr.length);
+  recv_cq_->push(Completion{recv.wr_id, Opcode::kRecv, send_wr.length});
+}
+
+sim::Task<void> QueuePair::sender_process() {
+  const SimDuration wr_overhead = device_.attr_.per_wr_nic_overhead;
+  while (auto wr = co_await send_queue_->pop()) {
+    switch (wr->opcode) {
+      case Opcode::kSend: {
+        co_await out_link_->transfer(wr->length, wr_overhead);
+        remote_->deliver_send(*wr);
+        send_cq_->push(Completion{wr->wr_id, Opcode::kSend, wr->length});
+        break;
+      }
+      case Opcode::kRdmaWrite: {
+        co_await out_link_->transfer(wr->length, wr_overhead);
+        std::memcpy(wr->remote_mr->data() + wr->remote_offset,
+                    wr->mr->data() + wr->offset, wr->length);
+        send_cq_->push(Completion{wr->wr_id, Opcode::kRdmaWrite, wr->length});
+        break;
+      }
+      case Opcode::kRdmaRead: {
+        // Request travels out (header only), data returns on the in-link.
+        co_await out_link_->transfer(0, wr_overhead);
+        co_await in_link_->transfer(wr->length, wr_overhead);
+        std::memcpy(wr->mr->data() + wr->offset,
+                    wr->remote_mr->data() + wr->remote_offset, wr->length);
+        send_cq_->push(Completion{wr->wr_id, Opcode::kRdmaRead, wr->length});
+        break;
+      }
+      case Opcode::kRecv:
+        CJ_CHECK_MSG(false, "kRecv in the send queue");
+    }
+  }
+}
+
+void connect(QueuePair& a, QueuePair& b, net::Link& a_to_b, net::Link& b_to_a) {
+  CJ_CHECK_MSG(!a.connected() && !b.connected(), "QP already connected");
+  a.remote_ = &b;
+  a.out_link_ = &a_to_b;
+  a.in_link_ = &b_to_a;
+  b.remote_ = &a;
+  b.out_link_ = &b_to_a;
+  b.in_link_ = &a_to_b;
+  a.device_.engine().spawn(a.sender_process(), a.device_.name() + "/qp-sender");
+  b.device_.engine().spawn(b.sender_process(), b.device_.name() + "/qp-sender");
+}
+
+}  // namespace cj::rdma

@@ -1,0 +1,224 @@
+// A verbs-style RDMA substrate on the simulated fabric.
+//
+// The API deliberately mirrors ibverbs/iWARP concepts — protection domains,
+// registered memory regions, queue pairs, work requests, completion
+// queues — because the paper's Data Roundabout is written against exactly
+// this model (Chelsio T3 iWARP RNICs). Differences from real hardware:
+//
+//  * Transfers move data with one memcpy executed by the simulated NIC and
+//    are billed to *link* time, never to host CPU — the RDMA zero-copy
+//    property (paper Sec. III-B).
+//  * Per-work-request NIC processing overhead produces the chunk-size
+//    throughput curve of paper Fig. 5 (small messages cannot saturate the
+//    wire).
+//  * Memory registration bills a base + per-page CPU cost to the host's
+//    cores (paper Sec. III-C: registration is expensive, so buffers must be
+//    registered once and reused).
+//  * Posting to a queue that lacks a matching receive aborts the simulation
+//    (receiver-not-ready). Real RNICs drop the connection; in both worlds a
+//    correct flow-control protocol must make this unreachable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "net/link.h"
+#include "sim/core_pool.h"
+#include "sim/engine.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace cj::rdma {
+
+/// Tunable characteristics of the simulated RNIC.
+struct DeviceAttr {
+  /// RNIC processing time per work request (dominates small-message cost).
+  SimDuration per_wr_nic_overhead = 1 * kMicrosecond;
+  /// Host-CPU cost to register one memory region (syscall, pinning).
+  SimDuration registration_base_cost = 10 * kMicrosecond;
+  /// Host-CPU cost per 4 KiB page registered (translation + pin).
+  SimDuration registration_per_page_cost = 400;  // ns
+  /// Queue depths; exceeding them makes post_send/post_recv fail.
+  std::uint32_t max_send_wr = 256;
+  std::uint32_t max_recv_wr = 256;
+  /// Completion queue capacity; overrunning a CQ aborts (as on real RNICs).
+  std::uint32_t max_cq_entries = 4096;
+};
+
+enum class Opcode { kSend, kRecv, kRdmaWrite, kRdmaRead };
+
+class MemoryRegion;
+
+/// A work request: what to transfer from/to which registered region.
+struct WorkRequest {
+  std::uint64_t wr_id = 0;
+  MemoryRegion* mr = nullptr;
+  std::size_t offset = 0;
+  std::size_t length = 0;
+  Opcode opcode = Opcode::kSend;
+  /// For kRdmaWrite / kRdmaRead: the target region on the remote host.
+  /// The remote side must have shared it out-of-band (rkey exchange).
+  MemoryRegion* remote_mr = nullptr;
+  std::size_t remote_offset = 0;
+};
+
+/// Delivered when a work request finishes.
+struct Completion {
+  std::uint64_t wr_id = 0;
+  Opcode opcode = Opcode::kSend;
+  std::size_t byte_len = 0;
+};
+
+/// A registered, pinned memory range the RNIC may DMA from/to.
+class MemoryRegion {
+ public:
+  std::span<std::byte> range() const { return range_; }
+  std::uint32_t lkey() const { return lkey_; }
+  std::byte* data() const { return range_.data(); }
+  std::size_t size() const { return range_.size(); }
+
+ private:
+  friend class ProtectionDomain;
+  MemoryRegion(std::span<std::byte> range, std::uint32_t lkey)
+      : range_(range), lkey_(lkey) {}
+  std::span<std::byte> range_;
+  std::uint32_t lkey_;
+};
+
+class Device;
+
+/// Owns memory registrations for one device.
+class ProtectionDomain {
+ public:
+  /// Registers `range` with the RNIC. Bills the registration CPU cost to
+  /// the host's cores (tag "mr-reg"). The returned region stays valid until
+  /// deregistered or the PD is destroyed; `range` must outlive it.
+  sim::Task<MemoryRegion*> register_memory(std::span<std::byte> range);
+
+  /// Releases a registration. The region pointer becomes invalid.
+  void deregister(MemoryRegion* mr);
+
+  /// Finds the registered region fully containing [ptr, ptr + len), or
+  /// nullptr. Work requests may only reference registered memory.
+  MemoryRegion* find_region(const std::byte* ptr, std::size_t len) const;
+
+  std::size_t registered_regions() const { return regions_.size(); }
+  std::uint64_t registered_bytes() const { return registered_bytes_; }
+
+ private:
+  friend class Device;
+  explicit ProtectionDomain(Device& device) : device_(device) {}
+
+  Device& device_;
+  std::uint32_t next_lkey_ = 1;
+  std::uint64_t registered_bytes_ = 0;
+  std::vector<std::unique_ptr<MemoryRegion>> regions_;
+};
+
+class CompletionQueue {
+ public:
+  CompletionQueue(sim::Engine& engine, std::uint32_t capacity)
+      : queue_(engine, capacity) {}
+
+  /// Awaits the next completion (blocking poll in verbs terms).
+  sim::Task<Completion> next() {
+    auto c = co_await queue_.pop();
+    CJ_CHECK_MSG(c.has_value(), "completion queue destroyed while polling");
+    co_return *c;
+  }
+
+  /// Non-blocking poll.
+  std::optional<Completion> poll() { return queue_.try_pop(); }
+
+  std::size_t depth() const { return queue_.size(); }
+
+ private:
+  friend class QueuePair;
+  void push(Completion c) {
+    CJ_CHECK_MSG(queue_.try_push(c), "completion queue overrun");
+  }
+  sim::Channel<Completion> queue_;
+};
+
+/// A connected, reliable queue pair. Created via Device::create_qp and
+/// wired to its peer with rdma::connect().
+class QueuePair {
+ public:
+  /// Posts a send-side work request (kSend, kRdmaWrite, kRdmaRead).
+  /// Fails with kResourceExhausted when the send queue is full and with
+  /// kFailedPrecondition when the QP is not connected.
+  Status post_send(const WorkRequest& wr);
+
+  /// Posts a receive buffer. Fails when the receive queue is full.
+  Status post_recv(const WorkRequest& wr);
+
+  /// Closes the send queue; in-flight work completes, then the NIC's sender
+  /// process exits. Required for a clean simulation shutdown.
+  void close();
+
+  bool connected() const { return remote_ != nullptr; }
+  std::size_t recv_queue_depth() const { return recv_queue_.size(); }
+
+ private:
+  friend class Device;
+  friend void connect(QueuePair& a, QueuePair& b, net::Link& a_to_b,
+                      net::Link& b_to_a);
+
+  QueuePair(Device& device, CompletionQueue* send_cq, CompletionQueue* recv_cq);
+
+  void validate(const WorkRequest& wr) const;
+  sim::Task<void> sender_process();
+  void deliver_send(const WorkRequest& send_wr);
+
+  Device& device_;
+  CompletionQueue* send_cq_;
+  CompletionQueue* recv_cq_;
+  QueuePair* remote_ = nullptr;
+  net::Link* out_link_ = nullptr;
+  net::Link* in_link_ = nullptr;
+  std::unique_ptr<sim::Channel<WorkRequest>> send_queue_;
+  std::deque<WorkRequest> recv_queue_;
+};
+
+/// One simulated RNIC, attached to one host's core pool.
+class Device {
+ public:
+  Device(sim::Engine& engine, sim::CorePool& host_cores, DeviceAttr attr,
+         std::string name);
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  ProtectionDomain& pd() { return pd_; }
+  const DeviceAttr& attr() const { return attr_; }
+  const std::string& name() const { return name_; }
+  sim::Engine& engine() { return engine_; }
+  sim::CorePool& host_cores() { return host_cores_; }
+
+  /// Creates a queue pair completing into the given CQs (may be shared).
+  QueuePair& create_qp(CompletionQueue* send_cq, CompletionQueue* recv_cq);
+
+ private:
+  friend class ProtectionDomain;
+  friend class QueuePair;
+
+  sim::Engine& engine_;
+  sim::CorePool& host_cores_;
+  DeviceAttr attr_;
+  std::string name_;
+  ProtectionDomain pd_;
+  std::vector<std::unique_ptr<QueuePair>> qps_;
+};
+
+/// Wires two queue pairs together over a pair of directed links and starts
+/// their NIC sender processes. Both QPs transition to "connected".
+void connect(QueuePair& a, QueuePair& b, net::Link& a_to_b, net::Link& b_to_a);
+
+}  // namespace cj::rdma

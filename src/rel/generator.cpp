@@ -1,0 +1,35 @@
+#include "rel/generator.h"
+
+#include "common/assert.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace cj::rel {
+
+Relation generate(const GenSpec& spec, const std::string& name,
+                  std::uint64_t payload_tag) {
+  CJ_CHECK_MSG(spec.rows > 0, "generator needs a positive row count");
+  const std::uint64_t domain = spec.key_domain == 0 ? spec.rows : spec.key_domain;
+  CJ_CHECK_MSG(domain <= (1ULL << 32), "4-byte keys limit the domain to 2^32");
+
+  Relation out(name);
+  out.reserve(spec.rows);
+  Rng rng(spec.seed);
+
+  if (spec.zipf_z == 0.0) {
+    for (std::uint64_t i = 0; i < spec.rows; ++i) {
+      const auto key = static_cast<std::uint32_t>(rng.next_below(domain));
+      out.push_back(Tuple{key, (payload_tag << 48) | i});
+    }
+  } else {
+    ZipfGenerator zipf(domain, spec.zipf_z);
+    for (std::uint64_t i = 0; i < spec.rows; ++i) {
+      // Zipf ranks are 1-based; map to [0, domain).
+      const auto key = static_cast<std::uint32_t>(zipf(rng) - 1);
+      out.push_back(Tuple{key, (payload_tag << 48) | i});
+    }
+  }
+  return out;
+}
+
+}  // namespace cj::rel

@@ -1,0 +1,39 @@
+// Workload generators matching the paper's experiments.
+//
+// The evaluation populates 4-byte join keys either uniformly (Figs. 7, 8,
+// 10, 11, 12) or Zipf-distributed with factor z (Fig. 9). Payloads carry a
+// unique row id so join results can be checksummed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rel/relation.h"
+
+namespace cj::rel {
+
+struct GenSpec {
+  /// Number of rows to generate.
+  std::uint64_t rows = 0;
+  /// Keys are drawn from [0, key_domain). Defaults to `rows` when 0 —
+  /// roughly one match per key for uniform data, as in the paper.
+  std::uint64_t key_domain = 0;
+  /// Zipf exponent; 0 means uniform.
+  double zipf_z = 0.0;
+  /// PRNG seed (fully reproducible streams).
+  std::uint64_t seed = 42;
+};
+
+/// Generates a relation per the spec. Payload of row i is i (combined with a
+/// relation tag in the upper bits so R and S payloads differ).
+Relation generate(const GenSpec& spec, const std::string& name,
+                  std::uint64_t payload_tag = 0);
+
+/// Data volume of `rows` tuples, in bytes (12 bytes/tuple).
+constexpr std::uint64_t volume_bytes(std::uint64_t rows) { return rows * 12; }
+
+/// Rows that fit a target data volume — the paper states sizes in GB
+/// (e.g. "3.2 GB per node" == ~140 M rows per relation per node pair).
+constexpr std::uint64_t rows_for_volume(std::uint64_t bytes) { return bytes / 12; }
+
+}  // namespace cj::rel

@@ -1,0 +1,225 @@
+#include "ring/node.h"
+
+#include <algorithm>
+
+namespace cj::ring {
+
+namespace {
+constexpr std::size_t kCreditBytes = 8;  // tiny control message
+}
+
+RoundaboutNode::RoundaboutNode(sim::Engine& engine, sim::CorePool& cores,
+                               Wire* in_wire, Wire* out_wire, NodeConfig config)
+    : engine_(engine),
+      cores_(cores),
+      in_wire_(in_wire),
+      out_wire_(out_wire),
+      config_(config),
+      done_receiver_(engine),
+      done_transmitter_(engine),
+      done_credits_(engine),
+      done_recycles_(engine) {
+  CJ_CHECK(config_.buffer_bytes >= 64);
+  CJ_CHECK((in_wire == nullptr) == (out_wire == nullptr));
+  if (in_wire != nullptr) {
+    CJ_CHECK_MSG(config_.num_buffers >= 2,
+                 "a connected roundabout node needs at least two ring buffers");
+  } else {
+    CJ_CHECK(config_.num_buffers >= 1);
+  }
+  if (config_.injection_window == 0) {
+    config_.injection_window = std::max(1, config_.num_buffers - 1);
+  }
+  ring_slab_.resize(static_cast<std::size_t>(config_.num_buffers) *
+                    config_.buffer_bytes);
+  credit_rx_slab_.resize(static_cast<std::size_t>(config_.num_buffers) * kCreditBytes);
+  credit_tx_slot_.resize(kCreditBytes);
+  inbound_ = std::make_unique<sim::Channel<InboundChunk>>(
+      engine, static_cast<std::size_t>(config_.num_buffers));
+  credits_ = std::make_unique<sim::Semaphore>(engine, config_.num_buffers);
+  injection_window_ =
+      std::make_unique<sim::Semaphore>(engine, config_.injection_window);
+}
+
+sim::Task<void> RoundaboutNode::start(NodeCounts counts,
+                                      std::vector<std::span<std::byte>> local_slabs) {
+  CJ_CHECK_MSG(!started_, "node started twice");
+  started_ = true;
+  counts_ = counts;
+
+  if (in_wire_ == nullptr) {
+    // Ring of one: no transport at all.
+    CJ_CHECK_MSG(counts.arrivals == 0 && counts.sends == 0,
+                 "single-host ring cannot transfer data");
+    done_receiver_.set();
+    done_transmitter_.set();
+    done_credits_.set();
+    done_recycles_.set();
+    co_return;
+  }
+
+  // Register everything once, up front (paper Sec. III-C: registration is
+  // too expensive to do on the data path).
+  co_await in_wire_->prepare(ring_slab_);
+  co_await in_wire_->prepare(credit_rx_slab_);
+  co_await in_wire_->prepare(credit_tx_slot_);
+  for (auto slab : local_slabs) {
+    if (!slab.empty()) co_await in_wire_->prepare(slab);
+  }
+
+  // Pre-post every ring buffer for incoming data; our predecessor starts
+  // with a full set of credits to match.
+  for (int i = 0; i < config_.num_buffers; ++i) {
+    co_await in_wire_->post_recv(static_cast<std::uint64_t>(i), buffer(i));
+  }
+  if (config_.use_credits) {
+    // Pre-post credit receive slots (credits arrive on the out-wire).
+    const std::uint64_t initial_credit_posts =
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(config_.num_buffers),
+                                counts_.sends);
+    for (std::uint64_t i = 0; i < initial_credit_posts; ++i) {
+      co_await out_wire_->post_recv(
+          i, std::span<std::byte>(credit_rx_slab_).subspan(i * kCreditBytes,
+                                                           kCreditBytes));
+      ++credit_recvs_posted_;
+    }
+    engine_.spawn(credit_receiver_process(), "ring-credits");
+  } else {
+    done_credits_.set();
+  }
+
+  engine_.spawn(receiver_process(), "ring-receiver");
+  engine_.spawn(transmitter_process(), "ring-transmitter");
+  if (counts_.arrivals == 0) done_recycles_.set();
+}
+
+sim::Task<InboundChunk> RoundaboutNode::next_chunk() {
+  const SimTime wait_start = engine_.now();
+  auto chunk = co_await inbound_->pop();
+  CJ_CHECK_MSG(chunk.has_value(), "inbound queue closed while joining");
+  sync_time_ += engine_.now() - wait_start;
+  co_return *chunk;
+}
+
+void RoundaboutNode::forward(InboundChunk chunk) {
+  CJ_CHECK(chunk.buffer_idx >= 0);
+  push_outbound(SendRequest{chunk.payload, chunk.buffer_idx}, /*priority=*/true);
+}
+
+void RoundaboutNode::retire(InboundChunk chunk) {
+  CJ_CHECK(chunk.buffer_idx >= 0);
+  engine_.spawn(recycle(chunk.buffer_idx), "ring-recycle");
+  // Zero-length retire ack to the successor (the chunk's origin): reopens
+  // its injection window. Rides the data wire with forward priority.
+  push_outbound(
+      SendRequest{std::span<const std::byte>(credit_tx_slot_.data(), 0), -1},
+      /*priority=*/true);
+}
+
+sim::Task<void> RoundaboutNode::send_local(std::span<const std::byte> data) {
+  CJ_CHECK_MSG(!data.empty(), "empty chunks cannot be injected");
+  co_await injection_window_->acquire();
+  push_outbound(SendRequest{data, -1}, /*priority=*/false);
+}
+
+void RoundaboutNode::push_outbound(SendRequest request, bool priority) {
+  if (priority) {
+    pending_forwards_.push_back(request);
+  } else {
+    pending_locals_.push_back(request);
+  }
+  if (!outbound_waiters_.empty()) {
+    auto h = outbound_waiters_.front();
+    outbound_waiters_.pop_front();
+    engine_.schedule_now(h);
+  }
+}
+
+RoundaboutNode::SendRequest RoundaboutNode::take_outbound() {
+  // Forwards and acks drain before locals inject — the ring never clogs.
+  if (!pending_forwards_.empty()) {
+    SendRequest r = pending_forwards_.front();
+    pending_forwards_.pop_front();
+    return r;
+  }
+  CJ_CHECK(!pending_locals_.empty());
+  SendRequest r = pending_locals_.front();
+  pending_locals_.pop_front();
+  return r;
+}
+
+sim::Task<void> RoundaboutNode::receiver_process() {
+  for (std::uint64_t i = 0; i < counts_.arrivals; ++i) {
+    const Arrival arrival = co_await in_wire_->next_arrival();
+    const int idx = static_cast<int>(arrival.tag);
+    if (arrival.length == 0) {
+      // Retire ack: one of our local chunks completed its revolution.
+      engine_.spawn(recycle(idx), "ring-recycle");
+      injection_window_->release();
+      continue;
+    }
+    ++chunks_received_;
+    co_await inbound_->push(
+        InboundChunk{idx, std::span<const std::byte>(buffer(idx).data(),
+                                                     arrival.length)});
+  }
+  done_receiver_.set();
+}
+
+sim::Task<void> RoundaboutNode::transmitter_process() {
+  for (std::uint64_t i = 0; i < counts_.sends; ++i) {
+    // Credit first: committing to a message before a buffer is guaranteed
+    // at the successor is how store-and-forward rings deadlock. (Without
+    // explicit credits the transport's own backpressure plays this role.)
+    if (config_.use_credits) co_await credits_->acquire();
+    const SendRequest request = co_await OutboundAwaiter{this};
+    co_await out_wire_->send(request.data);
+    bytes_sent_ += request.data.size();
+    if (request.recycle_idx >= 0) {
+      engine_.spawn(recycle(request.recycle_idx), "ring-recycle");
+    }
+  }
+  done_transmitter_.set();
+}
+
+sim::Task<void> RoundaboutNode::credit_receiver_process() {
+  for (std::uint64_t received = 0; received < counts_.sends; ++received) {
+    const Arrival arrival = co_await out_wire_->next_arrival();
+    credits_->release();
+    // Keep a credit receive slot posted while more credits are due.
+    if (credit_recvs_posted_ < counts_.sends) {
+      const std::uint64_t slot = arrival.tag;
+      co_await out_wire_->post_recv(
+          slot, std::span<std::byte>(credit_rx_slab_)
+                    .subspan(slot * kCreditBytes, kCreditBytes));
+      ++credit_recvs_posted_;
+    }
+  }
+  done_credits_.set();
+}
+
+sim::Task<void> RoundaboutNode::recycle(int buffer_idx) {
+  // The buffer's content has been consumed (joined and, if needed,
+  // forwarded): repost it for the next incoming chunk and hand a credit
+  // back to the predecessor.
+  co_await in_wire_->post_recv(static_cast<std::uint64_t>(buffer_idx),
+                               buffer(buffer_idx));
+  if (config_.use_credits) co_await in_wire_->send(credit_tx_slot_);
+  if (++recycles_done_ == counts_.arrivals) done_recycles_.set();
+}
+
+sim::Task<void> RoundaboutNode::drain() {
+  co_await done_transmitter_.wait();
+  co_await done_receiver_.wait();
+  co_await done_recycles_.wait();
+  co_await done_credits_.wait();
+  if (out_wire_ != nullptr) {
+    out_wire_->close_send();   // no more data to the successor
+    in_wire_->close_send();    // no more credits to the predecessor
+    out_wire_->close_recv();
+    in_wire_->close_recv();
+  }
+  if (!inbound_->closed()) inbound_->close();
+}
+
+}  // namespace cj::ring

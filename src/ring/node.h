@@ -1,0 +1,196 @@
+// RoundaboutNode: one host's slice of the Data Roundabout transport layer.
+//
+// Implements the paper's Sec. III-D design: a statically allocated ring of
+// receive buffers (registered once, reused for the whole run) plus three
+// asynchronous entities —
+//
+//   receiver     keeps recv buffers posted; completed buffers flow to the
+//                join entity through the inbound queue,
+//   join entity  (owned by the cyclo layer) pulls chunks via next_chunk(),
+//                joins them, then forwards or retires the buffer,
+//   transmitter  drains the outbound queue toward the successor, gated by
+//                credits (one credit == one free buffer at the successor,
+//                which is what makes receiver-not-ready unreachable).
+//
+// Deadlock freedom. A store-and-forward ring with hop-by-hop credits can
+// deadlock when every buffer holds a young chunk and no chunk can reach the
+// host where it retires. Three rules make that state unreachable:
+//
+//   1. forwards have strict priority over local injections (drain before
+//      inject), and the transmitter acquires a credit *before* it commits
+//      to a message,
+//   2. retiring a chunk never needs a credit (recycle is local), and
+//   3. injection is window-limited end to end: a host keeps at most
+//      `injection_window` un-retired local chunks in the ring. When a chunk
+//      completes its revolution at pred(origin), a zero-length *retire ack*
+//      message travels the one remaining hop back to the origin and reopens
+//      its window. Total in-flight chunks thus stay strictly below the
+//      ring's total buffer capacity, so a free buffer always exists ahead
+//      of the oldest chunk.
+//
+// With the ack, every host sends and receives exactly G messages per run
+// (G = total chunks): G - L_i data arrivals plus L_i acks in, G - L_succ
+// data sends plus L_succ acks out.
+//
+// The node is transport-agnostic: give it RDMA wires and communication is
+// zero-copy and nearly CPU-free; give it TCP wires and every byte bills
+// host cores (the paper's Sec. V-G comparison).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+#include "ring/wire.h"
+#include "sim/core_pool.h"
+#include "sim/engine.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace cj::ring {
+
+struct NodeConfig {
+  /// Ring buffer elements per host (>= 2 when the ring has neighbors).
+  /// The paper's buffers absorb speed differences between hosts (Sec. V-D).
+  int num_buffers = 4;
+  /// Size of one ring buffer element. RDMA wants large transfer units
+  /// (Sec. III-C: >= ~1 MB for full throughput).
+  std::size_t buffer_bytes = 1ULL << 20;
+  /// Max un-retired locally-injected chunks (0 = auto: num_buffers - 1).
+  /// Must stay below num_buffers — see "deadlock freedom" above.
+  int injection_window = 0;
+  /// Explicit credit messages. Required for RDMA (a send with no posted
+  /// receive is fatal); redundant over TCP, whose window already applies
+  /// backpressure — the paper's TCP baseline uses plain send/recv.
+  bool use_credits = true;
+};
+
+/// Exact message counts for one run, computed by the orchestration layer.
+/// Exact counts let every entity run a bounded loop and shut down cleanly.
+/// With retire acks both equal the global chunk count G.
+struct NodeCounts {
+  /// Messages that will arrive from the predecessor (data + acks).
+  std::uint64_t arrivals = 0;
+  /// Messages this host will send (locals + forwards + acks).
+  std::uint64_t sends = 0;
+};
+
+/// A filled ring buffer handed to the join entity. The payload span aliases
+/// the ring buffer — it stays valid until forward()/retire() is called.
+struct InboundChunk {
+  int buffer_idx = -1;
+  std::span<const std::byte> payload;
+};
+
+class RoundaboutNode {
+ public:
+  /// Wires may be null for a ring of size one (no neighbors).
+  RoundaboutNode(sim::Engine& engine, sim::CorePool& cores, Wire* in_wire,
+                 Wire* out_wire, NodeConfig config);
+
+  /// Registers all memory (ring buffers, credit slots, plus the caller's
+  /// local chunk storage slabs), posts the initial receive buffers and
+  /// starts the receiver / transmitter / credit entities.
+  sim::Task<void> start(NodeCounts counts,
+                        std::vector<std::span<std::byte>> local_slabs);
+
+  // ----- join-entity API ---------------------------------------------
+
+  /// Next inbound data chunk from the predecessor (acks are consumed
+  /// internally). Waiting time here is the paper's "sync" time (Fig. 11):
+  /// join threads starved for data.
+  sim::Task<InboundChunk> next_chunk();
+
+  /// Forwards the chunk to the successor, then recycles its buffer
+  /// (repost + credit to the predecessor). Never blocks the join entity.
+  void forward(InboundChunk chunk);
+
+  /// Ends the chunk's revolution: recycles its buffer immediately and
+  /// queues the retire ack to the successor (the chunk's origin).
+  void retire(InboundChunk chunk);
+
+  /// Injects a locally-born chunk (sent directly from local slab memory;
+  /// it must lie within a slab passed to start()). Blocks while the
+  /// injection window is exhausted — forwards always jump ahead of locals.
+  sim::Task<void> send_local(std::span<const std::byte> data);
+
+  /// Completes when every counted arrival, send, credit and recycle has
+  /// happened, then shuts the wires down. Call after the join work is done.
+  sim::Task<void> drain();
+
+  // ----- statistics ---------------------------------------------------
+
+  /// Total virtual time the join entity spent waiting in next_chunk().
+  SimDuration sync_time() const { return sync_time_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t chunks_received() const { return chunks_received_; }
+  const NodeConfig& config() const { return config_; }
+
+ private:
+  struct SendRequest {
+    std::span<const std::byte> data;
+    int recycle_idx = -1;  // ring buffer to recycle once sent (-1: none)
+  };
+
+  struct OutboundAwaiter {
+    RoundaboutNode* node;
+    bool await_ready() {
+      return !node->pending_forwards_.empty() || !node->pending_locals_.empty();
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      node->outbound_waiters_.push_back(h);
+    }
+    SendRequest await_resume() { return node->take_outbound(); }
+  };
+
+  std::span<std::byte> buffer(int idx) {
+    return std::span<std::byte>(ring_slab_).subspan(
+        static_cast<std::size_t>(idx) * config_.buffer_bytes, config_.buffer_bytes);
+  }
+
+  SendRequest take_outbound();
+  void push_outbound(SendRequest request, bool priority);
+
+  sim::Task<void> receiver_process();
+  sim::Task<void> transmitter_process();
+  sim::Task<void> credit_receiver_process();
+  sim::Task<void> recycle(int buffer_idx);
+
+  sim::Engine& engine_;
+  sim::CorePool& cores_;
+  Wire* in_wire_;
+  Wire* out_wire_;
+  NodeConfig config_;
+  NodeCounts counts_{};
+  bool started_ = false;
+
+  std::vector<std::byte> ring_slab_;
+  std::vector<std::byte> credit_rx_slab_;
+  std::vector<std::byte> credit_tx_slot_;
+
+  std::unique_ptr<sim::Channel<InboundChunk>> inbound_;
+  std::unique_ptr<sim::Semaphore> credits_;
+  std::unique_ptr<sim::Semaphore> injection_window_;
+
+  std::deque<SendRequest> pending_forwards_;  // forwards + retire acks
+  std::deque<SendRequest> pending_locals_;
+  std::deque<std::coroutine_handle<>> outbound_waiters_;
+
+  std::uint64_t credit_recvs_posted_ = 0;
+  std::uint64_t recycles_done_ = 0;
+
+  sim::Event done_receiver_;
+  sim::Event done_transmitter_;
+  sim::Event done_credits_;
+  sim::Event done_recycles_;
+
+  SimDuration sync_time_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t chunks_received_ = 0;
+};
+
+}  // namespace cj::ring

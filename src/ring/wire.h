@@ -1,0 +1,62 @@
+// Wire: one duplex neighbor connection as seen from one host.
+//
+// The Data Roundabout's transmitter/receiver entities are transport-
+// agnostic (the paper swaps RDMA verbs for kernel send/recv in Sec. V-G by
+// replacing exactly this layer). A Wire sends messages toward one neighbor
+// and receives messages coming back from that neighbor on the reverse
+// direction of the same connection:
+//
+//   out-wire (toward successor):    send = data chunks, arrivals = credits
+//   in-wire  (toward predecessor):  send = credits,     arrivals = data
+//
+// Receive semantics follow RDMA's pre-posted-buffer model for both
+// implementations: the caller posts buffers (post_recv), each incoming
+// message consumes the oldest posted buffer, and next_arrival() reports
+// which buffer (by tag) was filled. A correct credit protocol guarantees a
+// posted buffer exists for every arrival; its violation aborts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/units.h"
+#include "sim/task.h"
+
+namespace cj::ring {
+
+/// A completed inbound message.
+struct Arrival {
+  /// Tag given at post_recv time (ring-buffer index).
+  std::uint64_t tag = 0;
+  /// Payload length actually received.
+  std::size_t length = 0;
+};
+
+class Wire {
+ public:
+  virtual ~Wire() = default;
+
+  /// Registers a memory area messages will be sent from / received into.
+  /// RDMA bills registration cost and pins the region; TCP ignores this.
+  /// Must cover every span later passed to send/post_recv.
+  virtual sim::Task<void> prepare(std::span<std::byte> slab) = 0;
+
+  /// Posts a receive buffer. Arrivals consume posted buffers FIFO.
+  virtual sim::Task<void> post_recv(std::uint64_t tag, std::span<std::byte> buffer) = 0;
+
+  /// Awaits the next inbound message.
+  virtual sim::Task<Arrival> next_arrival() = 0;
+
+  /// Sends one message. Returns when `data` is safe to reuse (RDMA: send
+  /// completion; TCP: accepted into the send window).
+  virtual sim::Task<void> send(std::span<const std::byte> data) = 0;
+
+  /// Shuts down the send side after queued data drains.
+  virtual void close_send() = 0;
+
+  /// Shuts down the receive side once every expected arrival has been
+  /// consumed (stops internal pump processes; no-op where none exist).
+  virtual void close_recv() {}
+};
+
+}  // namespace cj::ring

@@ -1,0 +1,171 @@
+// CorePool: the virtual CPU cores of one simulated host.
+//
+// Tasks acquire a core, occupy it for a duration, and release it. The
+// duration is either measured from real inline execution of the task's
+// closure ("virtual time, real work" — DESIGN.md) or given analytically.
+//
+// The pool keeps a busy-time ledger per tag ("join", "tcp-stack", ...) and
+// counts context switches (a core picking up a task with a different tag
+// than it last ran); an optional per-switch cost models the cache-pollution
+// and scheduler overhead that the paper attributes to kernel TCP handling.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/cputime.h"
+#include "common/units.h"
+#include "sim/engine.h"
+#include "sim/task.h"
+
+namespace cj::sim {
+
+class CorePool {
+ public:
+  /// A pool of `cores` identical cores. `context_switch_cost` is billed
+  /// whenever a core switches to a task with a different tag. `cpu_scale`
+  /// multiplies *measured* execute() durations — it calibrates this
+  /// machine's core speed to the simulated host's (e.g. 3.5 to emulate a
+  /// 2.33 GHz Xeon from 2008 on a modern core); analytical consume() costs
+  /// are taken as-is.
+  CorePool(Engine& engine, int cores, SimDuration context_switch_cost = 0,
+           double cpu_scale = 1.0)
+      : engine_(engine),
+        context_switch_cost_(context_switch_cost),
+        cpu_scale_(cpu_scale) {
+    CJ_CHECK_MSG(cores >= 1, "a host needs at least one core");
+    CJ_CHECK_MSG(cpu_scale > 0.0, "cpu_scale must be positive");
+    last_tag_.resize(static_cast<std::size_t>(cores));
+    for (int i = 0; i < cores; ++i) free_cores_.push_back(i);
+  }
+  CorePool(const CorePool&) = delete;
+  CorePool& operator=(const CorePool&) = delete;
+
+  int cores() const { return static_cast<int>(last_tag_.size()); }
+
+  /// Runs `work` for real on a core and advances virtual time by its
+  /// measured thread-CPU duration. Returns that duration.
+  Task<SimDuration> execute(std::function<void()> work, std::string tag) {
+    const int core = co_await acquire();
+    const SimDuration cs = charge_switch(core, tag);
+    const auto measured = static_cast<double>(measure_cpu(work));
+    const auto cost = static_cast<SimDuration>(measured * cpu_scale_);
+    bill(tag, cost + cs);
+    co_await engine_.sleep(cost + cs);
+    release(core);
+    co_return cost;
+  }
+
+  /// execute() variant that discards the measured duration — convenient
+  /// for when_all batches.
+  Task<void> run(std::function<void()> work, std::string tag) {
+    co_await execute(std::move(work), std::move(tag));
+  }
+
+  /// Occupies a core for an analytically-known duration (cost models,
+  /// deterministic tests).
+  Task<void> consume(SimDuration cost, std::string tag) {
+    CJ_CHECK(cost >= 0);
+    const int core = co_await acquire();
+    const SimDuration cs = charge_switch(core, tag);
+    bill(tag, cost + cs);
+    co_await engine_.sleep(cost + cs);
+    release(core);
+  }
+
+  /// Total core-busy virtual time since construction (or last reset).
+  SimDuration busy_total() const { return busy_total_; }
+
+  /// Core-busy virtual time attributed to one tag.
+  SimDuration busy_for(const std::string& tag) const {
+    auto it = busy_by_tag_.find(tag);
+    return it == busy_by_tag_.end() ? 0 : it->second;
+  }
+
+  /// All tags with their busy times (reporting).
+  const std::map<std::string, SimDuration>& busy_by_tag() const {
+    return busy_by_tag_;
+  }
+
+  std::uint64_t context_switches() const { return context_switches_; }
+
+  /// Utilization of the pool over a window, given a busy snapshot taken at
+  /// the window start: (busy_now - busy_at_start) / (window * cores).
+  double utilization(SimDuration busy_at_start, SimDuration window) const {
+    if (window <= 0) return 0.0;
+    return static_cast<double>(busy_total_ - busy_at_start) /
+           (static_cast<double>(window) * cores());
+  }
+
+  void reset_ledger() {
+    busy_total_ = 0;
+    busy_by_tag_.clear();
+    context_switches_ = 0;
+  }
+
+ private:
+  struct CoreAwaiter {
+    CorePool* pool;
+    int core = -1;
+
+    bool await_ready() {
+      if (!pool->free_cores_.empty() && pool->waiters_.empty()) {
+        core = pool->free_cores_.front();
+        pool->free_cores_.pop_front();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      pool->waiters_.push_back({h, &core});
+    }
+    int await_resume() {
+      CJ_CHECK(core >= 0);
+      return core;
+    }
+  };
+
+  CoreAwaiter acquire() { return CoreAwaiter{this}; }
+
+  void release(int core) {
+    if (!waiters_.empty()) {
+      auto [handle, core_slot] = waiters_.front();
+      waiters_.pop_front();
+      *core_slot = core;  // hand the core directly to the next waiter
+      engine_.schedule_now(handle);
+      return;
+    }
+    free_cores_.push_back(core);
+  }
+
+  SimDuration charge_switch(int core, const std::string& tag) {
+    auto& last = last_tag_[static_cast<std::size_t>(core)];
+    const bool switched = !last.empty() && last != tag;
+    last = tag;
+    if (!switched) return 0;
+    ++context_switches_;
+    return context_switch_cost_;
+  }
+
+  void bill(const std::string& tag, SimDuration d) {
+    busy_total_ += d;
+    busy_by_tag_[tag] += d;
+  }
+
+  Engine& engine_;
+  SimDuration context_switch_cost_;
+  double cpu_scale_ = 1.0;
+  std::deque<int> free_cores_;
+  std::deque<std::pair<std::coroutine_handle<>, int*>> waiters_;
+  std::vector<std::string> last_tag_;
+  SimDuration busy_total_ = 0;
+  std::map<std::string, SimDuration> busy_by_tag_;
+  std::uint64_t context_switches_ = 0;
+};
+
+}  // namespace cj::sim

@@ -1,0 +1,94 @@
+#include "sim/engine.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cj::sim {
+
+struct Engine::Root {
+  std::coroutine_handle<Task<void>::promise_type> handle;
+  std::shared_ptr<ProcessHandle::State> state;
+
+  ~Root() {
+    if (handle) handle.destroy();
+  }
+};
+
+Engine::Engine() = default;
+Engine::~Engine() = default;
+
+void Engine::schedule_at(SimTime t, std::coroutine_handle<> h) {
+  CJ_CHECK_MSG(t >= now_, "cannot schedule an event in the virtual past");
+  CJ_CHECK(h != nullptr);
+  queue_.push(Event{t, next_seq_++, h});
+}
+
+Task<void> Engine::drive(Task<void> inner,
+                         std::shared_ptr<ProcessHandle::State> state) {
+  try {
+    co_await std::move(inner);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: simulation process '%s' failed: %s\n",
+                 state->name.c_str(), e.what());
+    std::abort();
+  } catch (...) {
+    std::fprintf(stderr, "fatal: simulation process '%s' failed with unknown error\n",
+                 state->name.c_str());
+    std::abort();
+  }
+  state->done = true;
+}
+
+ProcessHandle Engine::spawn(Task<void> task, std::string name) {
+  CJ_CHECK_MSG(task.valid(), "spawn of an empty Task");
+  auto state = std::make_shared<ProcessHandle::State>();
+  state->name = std::move(name);
+
+  Task<void> driver = drive(std::move(task), state);
+  auto root = std::make_unique<Root>();
+  root->handle = driver.release_to_engine();
+  root->state = state;
+  schedule_now(root->handle);
+  roots_.push_back(std::move(root));
+  return ProcessHandle(std::move(state));
+}
+
+SimTime Engine::run() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++events_processed_;
+    ev.handle.resume();
+  }
+  return now_;
+}
+
+bool Engine::run_until(SimTime deadline) {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    if (ev.time > deadline) {
+      now_ = deadline;
+      return false;
+    }
+    queue_.pop();
+    now_ = ev.time;
+    ++events_processed_;
+    ev.handle.resume();
+  }
+  return true;
+}
+
+void Engine::check_all_complete() const {
+  bool all_done = true;
+  for (const auto& root : roots_) {
+    if (!root->state->done) {
+      std::fprintf(stderr, "deadlock: process '%s' never completed (t=%s)\n",
+                   root->state->name.c_str(), human_duration(now_).c_str());
+      all_done = false;
+    }
+  }
+  CJ_CHECK_MSG(all_done, "simulation ended with blocked processes");
+}
+
+}  // namespace cj::sim

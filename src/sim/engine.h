@@ -1,0 +1,114 @@
+// The discrete-event simulation engine.
+//
+// Single-threaded and deterministic: all simulated hosts, NICs and links run
+// as coroutines on one event loop ordered by (virtual time, insertion
+// sequence). Real computation (join kernels) executes inline inside events
+// and its measured CPU time advances the virtual clock — see DESIGN.md.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/units.h"
+#include "sim/task.h"
+
+namespace cj::sim {
+
+/// Completion state of a spawned root process, queryable after run().
+class ProcessHandle {
+ public:
+  bool done() const { return state_->done; }
+  const std::string& name() const { return state_->name; }
+
+ private:
+  friend class Engine;
+  struct State {
+    std::string name;
+    bool done = false;
+  };
+  explicit ProcessHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Engine {
+ public:
+  Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Number of events processed so far (diagnostics).
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Schedules a coroutine to resume at absolute virtual time t (>= now).
+  void schedule_at(SimTime t, std::coroutine_handle<> h);
+
+  /// Schedules a coroutine to resume at the current time, after all events
+  /// already queued for this instant (FIFO within a timestamp).
+  void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
+
+  /// Awaitable: suspends the current task for d virtual nanoseconds.
+  auto sleep(SimDuration d) {
+    struct Awaiter {
+      Engine* engine;
+      SimDuration d;
+      bool await_ready() { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        engine->schedule_at(engine->now_ + d, h);
+      }
+      void await_resume() {}
+    };
+    CJ_CHECK_MSG(d >= 0, "cannot sleep for negative time");
+    return Awaiter{this, d};
+  }
+
+  /// Awaitable: yields to other events pending at the current instant.
+  auto yield() { return sleep(0); }
+
+  /// Registers a root process. It starts when run() processes the queue.
+  /// The returned handle reports completion; an exception escaping a root
+  /// process aborts the simulation with its message.
+  ProcessHandle spawn(Task<void> task, std::string name = "process");
+
+  /// Processes events until the queue is empty. Returns the final time.
+  SimTime run();
+
+  /// Processes events until the queue is empty or virtual time would exceed
+  /// `deadline`. Returns true if the queue drained.
+  bool run_until(SimTime deadline);
+
+  /// Aborts (with the stuck process names) if any spawned root process has
+  /// not completed. Call after run() to catch flow-control deadlocks.
+  void check_all_complete() const;
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  struct Root;
+  Task<void> drive(Task<void> inner, std::shared_ptr<ProcessHandle::State> state);
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<std::unique_ptr<Root>> roots_;
+};
+
+}  // namespace cj::sim

@@ -1,0 +1,241 @@
+// Synchronization primitives for simulation processes.
+//
+// All primitives resume waiters through the engine's event queue (never by
+// direct recursive resume), so wake-up order is deterministic FIFO and the
+// native stack stays flat.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+
+#include "common/assert.h"
+#include "sim/engine.h"
+
+namespace cj::sim {
+
+/// One-shot broadcast event: wait() suspends until set() is called; waiters
+/// arriving after set() proceed immediately.
+class Event {
+ public:
+  explicit Event(Engine& engine) : engine_(engine) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  bool is_set() const { return set_; }
+
+  void set() {
+    if (set_) return;
+    set_ = true;
+    for (auto h : waiters_) engine_.schedule_now(h);
+    waiters_.clear();
+  }
+
+  auto wait() {
+    struct Awaiter {
+      Event* event;
+      bool await_ready() { return event->set_; }
+      void await_suspend(std::coroutine_handle<> h) { event->waiters_.push_back(h); }
+      void await_resume() {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Engine& engine_;
+  bool set_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Counting semaphore with FIFO waiters.
+class Semaphore {
+ public:
+  Semaphore(Engine& engine, std::int64_t initial)
+      : engine_(engine), count_(initial) {
+    CJ_CHECK(initial >= 0);
+  }
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  std::int64_t available() const { return count_; }
+  std::size_t waiting() const { return waiters_.size(); }
+
+  auto acquire() {
+    struct Awaiter {
+      Semaphore* sem;
+      bool await_ready() {
+        if (sem->count_ > 0 && sem->waiters_.empty()) {
+          --sem->count_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) { sem->waiters_.push_back(h); }
+      void await_resume() {}
+    };
+    return Awaiter{this};
+  }
+
+  void release() {
+    ++count_;
+    wake_one();
+  }
+
+ private:
+  void wake_one() {
+    if (count_ > 0 && !waiters_.empty()) {
+      --count_;
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      engine_.schedule_now(h);
+    }
+  }
+
+  Engine& engine_;
+  std::int64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Bounded FIFO channel between simulation processes. push() blocks when
+/// full, pop() blocks when empty. close() wakes all poppers; pop() on a
+/// closed-and-drained channel returns std::nullopt.
+template <typename T>
+class Channel {
+ public:
+  Channel(Engine& engine, std::size_t capacity)
+      : engine_(engine), capacity_(capacity) {
+    CJ_CHECK_MSG(capacity >= 1, "channel capacity must be at least 1");
+  }
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  std::size_t size() const { return items_.size(); }
+  bool closed() const { return closed_; }
+
+  /// Awaitable push. Pushing to a closed channel is a programming error.
+  auto push(T item) {
+    struct Awaiter {
+      Channel* ch;
+      T item;
+      bool await_ready() {
+        CJ_CHECK_MSG(!ch->closed_, "push on closed channel");
+        if (ch->items_.size() < ch->capacity_ && ch->push_waiters_.empty()) {
+          ch->enqueue(std::move(item));
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ch->push_waiters_.push_back({h, std::move(item)});
+      }
+      void await_resume() {}
+    };
+    return Awaiter{this, std::move(item)};
+  }
+
+  /// Awaitable pop; returns nullopt once the channel is closed and empty.
+  /// Items are handed directly to the oldest waiting popper (no barging:
+  /// a popper that arrives while others wait queues up behind them).
+  auto pop() {
+    struct Awaiter {
+      Channel* ch;
+      std::optional<T> slot;  // filled by direct handoff when we waited
+
+      bool await_ready() {
+        if (!ch->items_.empty() && ch->pop_waiters_.empty()) {
+          slot = std::move(ch->items_.front());
+          ch->items_.pop_front();
+          ch->admit_waiting_pusher();
+          return true;
+        }
+        return ch->items_.empty() && ch->closed_;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ch->pop_waiters_.push_back({h, &slot});
+      }
+      std::optional<T> await_resume() {
+        if (!slot.has_value()) {
+          CJ_CHECK_MSG(ch->closed_, "popper woken without an item on an open channel");
+        }
+        return std::move(slot);
+      }
+    };
+    return Awaiter{this};
+  }
+
+  /// Non-blocking push: fails (returns false) when the channel is full or
+  /// pushers are already queued, instead of suspending.
+  bool try_push(T item) {
+    CJ_CHECK_MSG(!closed_, "push on closed channel");
+    if (items_.size() >= capacity_ || !push_waiters_.empty()) return false;
+    enqueue(std::move(item));
+    return true;
+  }
+
+  /// Non-blocking pop: empty optional when nothing is buffered.
+  std::optional<T> try_pop() {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    admit_waiting_pusher();
+    return item;
+  }
+
+  /// Marks the channel closed; all pending and future pops drain remaining
+  /// items then observe nullopt.
+  void close() {
+    CJ_CHECK_MSG(push_waiters_.empty(), "close with blocked pushers");
+    closed_ = true;
+    wake_all_poppers();
+  }
+
+ private:
+  struct PendingPush {
+    std::coroutine_handle<> handle;
+    T item;
+  };
+
+  void enqueue(T item) {
+    if (!pop_waiters_.empty()) {
+      // Direct handoff to the oldest waiter; the item never becomes
+      // visible to later-arriving poppers.
+      auto [handle, slot] = pop_waiters_.front();
+      pop_waiters_.pop_front();
+      *slot = std::move(item);
+      engine_.schedule_now(handle);
+      return;
+    }
+    items_.push_back(std::move(item));
+  }
+
+  void admit_waiting_pusher() {
+    if (push_waiters_.empty() || items_.size() >= capacity_) return;
+    PendingPush p = std::move(push_waiters_.front());
+    push_waiters_.pop_front();
+    enqueue(std::move(p.item));
+    engine_.schedule_now(p.handle);
+  }
+
+  void wake_all_poppers() {
+    // Drain remaining items into the oldest waiters, then wake the rest
+    // with empty slots (they observe closed -> nullopt).
+    while (!pop_waiters_.empty() && !items_.empty()) {
+      auto [handle, slot] = pop_waiters_.front();
+      pop_waiters_.pop_front();
+      *slot = std::move(items_.front());
+      items_.pop_front();
+      engine_.schedule_now(handle);
+    }
+    for (auto [handle, slot] : pop_waiters_) engine_.schedule_now(handle);
+    pop_waiters_.clear();
+  }
+
+  Engine& engine_;
+  std::size_t capacity_;
+  bool closed_ = false;
+  std::deque<T> items_;
+  std::deque<PendingPush> push_waiters_;
+  std::deque<std::pair<std::coroutine_handle<>, std::optional<T>*>> pop_waiters_;
+};
+
+}  // namespace cj::sim

@@ -1,0 +1,183 @@
+// Coroutine task type for simulation processes.
+//
+// A sim::Task<T> is a lazily-started coroutine: nothing runs until the task
+// is either co_awaited by another task or spawned as a root process on the
+// Engine. Completion hands control back to the awaiter via symmetric
+// transfer, so long co_await chains do not grow the native stack.
+//
+// Ownership: the Task object owns the coroutine frame. A task must be
+// awaited or spawned at most once. Destroying a task that is *suspended*
+// is permitted (coroutine_handle::destroy on a suspended frame is
+// well-defined); it is how the Engine tears down processes that never ran
+// to completion. Any handle the suspended task parked in a queue must not
+// be resumed afterwards — terminal teardown satisfies this trivially.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+#include <variant>
+
+#include "common/assert.h"
+
+namespace cj::sim {
+
+template <typename T = void>
+class Task;
+
+namespace detail {
+
+struct FinalAwaiter {
+  bool await_ready() noexcept { return false; }
+
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+    // Resume whoever co_awaited us; root processes have no continuation.
+    auto continuation = h.promise().continuation;
+    return continuation ? continuation : std::noop_coroutine();
+  }
+
+  void await_resume() noexcept {}
+};
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr error;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() { error = std::current_exception(); }
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::variant<std::monostate, T> value;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    template <typename U>
+    void return_value(U&& v) {
+      value.template emplace<T>(std::forward<U>(v));
+    }
+  };
+
+  Task() = default;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return handle_ && handle_.done(); }
+
+  /// Awaiting a task starts it and suspends the awaiter until it finishes.
+  auto operator co_await() && {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+
+      bool await_ready() { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) {
+        handle.promise().continuation = awaiting;
+        return handle;  // start the child (symmetric transfer)
+      }
+      T await_resume() {
+        auto& p = handle.promise();
+        if (p.error) std::rethrow_exception(p.error);
+        return std::get<T>(std::move(p.value));
+      }
+    };
+    CJ_CHECK_MSG(handle_ != nullptr, "co_await on an empty Task");
+    return Awaiter{handle_};
+  }
+
+  /// For the Engine only: the raw handle used to start a root process.
+  std::coroutine_handle<promise_type> release_to_engine() {
+    return std::exchange(handle_, nullptr);
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  void destroy() {
+    if (!handle_) return;
+    handle_.destroy();
+    handle_ = nullptr;
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  Task() = default;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return handle_ && handle_.done(); }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+
+      bool await_ready() { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) {
+        handle.promise().continuation = awaiting;
+        return handle;
+      }
+      void await_resume() {
+        auto& p = handle.promise();
+        if (p.error) std::rethrow_exception(p.error);
+      }
+    };
+    CJ_CHECK_MSG(handle_ != nullptr, "co_await on an empty Task");
+    return Awaiter{handle_};
+  }
+
+  std::coroutine_handle<promise_type> release_to_engine() {
+    return std::exchange(handle_, nullptr);
+  }
+
+ private:
+  friend struct promise_type;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  void destroy() {
+    if (!handle_) return;
+    handle_.destroy();
+    handle_ = nullptr;
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace cj::sim

@@ -1,0 +1,40 @@
+// when_all: run a batch of tasks concurrently and wait for all of them.
+//
+// sim::Task is lazy, so sequentially co_awaiting a vector of tasks would
+// serialize them. when_all spawns each task as its own process and completes
+// once every one has finished — the building block for "run these partition
+// joins on the host's cores in parallel".
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace cj::sim {
+
+namespace detail {
+
+inline Task<void> notify_when_done(Task<void> task, std::shared_ptr<int> remaining,
+                                   std::shared_ptr<Event> done) {
+  co_await std::move(task);
+  if (--*remaining == 0) done->set();
+}
+
+}  // namespace detail
+
+/// Starts every task concurrently; resumes the caller when all complete.
+inline Task<void> when_all(Engine& engine, std::vector<Task<void>> tasks) {
+  if (tasks.empty()) co_return;
+  auto remaining = std::make_shared<int>(static_cast<int>(tasks.size()));
+  auto done = std::make_shared<Event>(engine);
+  for (auto& task : tasks) {
+    engine.spawn(detail::notify_when_done(std::move(task), remaining, done),
+                 "when_all-child");
+  }
+  co_await done->wait();
+}
+
+}  // namespace cj::sim

@@ -1,0 +1,91 @@
+#include "tcpsim/tcp.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace cj::tcpsim {
+
+TcpConnection::TcpConnection(sim::Engine& engine, sim::CorePool& sender_cores,
+                             sim::CorePool& receiver_cores, net::Link& link,
+                             TcpModelConfig config)
+    : engine_(engine),
+      sender_cores_(sender_cores),
+      receiver_cores_(receiver_cores),
+      link_(link),
+      config_(config) {
+  CJ_CHECK(config_.segment_size > 0);
+  CJ_CHECK(config_.window_segments > 0);
+  tx_queue_ = std::make_unique<sim::Channel<Segment>>(engine, config_.window_segments);
+  rx_queue_ = std::make_unique<sim::Channel<Segment>>(engine, config_.window_segments);
+  engine_.spawn(wire_process(), "tcp-wire");
+}
+
+sim::Task<void> TcpConnection::send(std::span<const std::byte> data) {
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::size_t len = std::min(config_.segment_size, data.size() - offset);
+
+    // user → kernel copy plus protocol/driver work, billed to sender cores.
+    Segment seg;
+    const auto copy_cost = static_cast<SimDuration>(
+        config_.tx_copy_ns_per_byte * static_cast<double>(len));
+    co_await sender_cores_.consume(copy_cost + config_.tx_stack_cost_per_segment,
+                                   "tcp-tx");
+    seg.payload.resize(len);
+    std::memcpy(seg.payload.data(), data.data() + offset, len);
+
+    co_await tx_queue_->push(std::move(seg));
+    offset += len;
+    bytes_sent_ += len;
+  }
+}
+
+sim::Task<void> TcpConnection::wire_process() {
+  // The NIC DMA path: serializes segments onto the wire. Wire time itself
+  // costs no host CPU (that part is hardware even for plain TCP).
+  while (auto seg = co_await tx_queue_->pop()) {
+    co_await link_.transfer(seg->payload.size());
+    co_await rx_queue_->push(std::move(*seg));
+  }
+  rx_queue_->close();
+}
+
+sim::Task<void> TcpConnection::recv(std::span<std::byte> data) {
+  const bool got = co_await recv_or_eof(data);
+  CJ_CHECK_MSG(got, "tcp connection closed before an expected message");
+}
+
+sim::Task<bool> TcpConnection::recv_or_eof(std::span<std::byte> data) {
+  std::size_t filled = 0;
+  while (filled < data.size()) {
+    if (rx_leftover_offset_ >= rx_leftover_.size()) {
+      auto seg = co_await rx_queue_->pop();
+      if (!seg.has_value()) {
+        CJ_CHECK_MSG(filled == 0, "tcp connection closed mid-message");
+        co_return false;
+      }
+
+      // Interrupt-driven delivery: wake-up, stack processing and the
+      // kernel → user copy are all billed to the receiver's cores.
+      const auto copy_cost = static_cast<SimDuration>(
+          config_.rx_copy_ns_per_byte * static_cast<double>(seg->payload.size()));
+      co_await receiver_cores_.consume(copy_cost + config_.rx_stack_cost_per_segment +
+                                           config_.rx_wakeup_cost,
+                                       "tcp-rx");
+      rx_leftover_ = std::move(seg->payload);
+      rx_leftover_offset_ = 0;
+    }
+    const std::size_t available = rx_leftover_.size() - rx_leftover_offset_;
+    const std::size_t take = std::min(available, data.size() - filled);
+    std::memcpy(data.data() + filled, rx_leftover_.data() + rx_leftover_offset_, take);
+    rx_leftover_offset_ += take;
+    filled += take;
+  }
+  co_return true;
+}
+
+void TcpConnection::close() {
+  if (!tx_queue_->closed()) tx_queue_->close();
+}
+
+}  // namespace cj::tcpsim

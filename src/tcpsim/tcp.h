@@ -1,0 +1,109 @@
+// Kernel TCP/IP baseline transport (the paper's Fig. 2/Fig. 12 comparator).
+//
+// Models the software network stack of the paper's era (Linux 2.6.27 on
+// 2.33 GHz Xeons) following the decomposition of Foong et al. [10] that the
+// paper builds on: roughly 1 GHz of CPU per 1 Gb/s of TCP throughput, about
+// half of it spent copying payload across the memory bus, the rest split
+// between the protocol stack, the driver, and context switches.
+//
+// Unlike the RDMA substrate, every cost here is billed to the *host cores*,
+// so TCP communication competes with join threads for CPU — which is
+// exactly the effect the paper measures in Fig. 12 and Table I. The payload
+// itself still moves (real memcpys through a kernel staging segment), so
+// joins over a TCP roundabout produce bit-identical results.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "net/link.h"
+#include "sim/core_pool.h"
+#include "sim/engine.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace cj::tcpsim {
+
+/// Cost constants of the simulated kernel stack. Defaults are calibrated to
+/// the paper's testbed: 8 cycles/byte total at 2.33 GHz ≈ 3.4 ns/byte per
+/// host, split ~50 % copying / ~30 % stack+driver / ~20 % context switches
+/// (paper Fig. 3).
+struct TcpModelConfig {
+  /// Kernel segmentation unit (socket-buffer sized batch of frames).
+  std::size_t segment_size = 64 * 1024;
+  /// Sender-side copy cost (user → kernel crossing), ns per byte.
+  double tx_copy_ns_per_byte = 0.7;
+  /// Receiver-side copy cost (kernel → user, plus the interrupt-driven
+  /// delivery path which the paper notes is more expensive), ns per byte.
+  double rx_copy_ns_per_byte = 1.0;
+  /// Protocol stack + driver cost per segment, sender side (~43 MTU frames
+  /// per 64 kB segment on era NICs without segmentation offload).
+  SimDuration tx_stack_cost_per_segment = 30 * kMicrosecond;
+  /// Protocol stack + driver cost per segment, receiver side.
+  SimDuration rx_stack_cost_per_segment = 36 * kMicrosecond;
+  /// Interrupt + scheduler wake-up work charged per segment on the
+  /// receiver (coalesced interrupts, softirq, application wake-up).
+  SimDuration rx_wakeup_cost = 40 * kMicrosecond;
+  /// In-flight window: how many segments the connection may buffer
+  /// (socket buffer / TSO unit).
+  std::size_t window_segments = 8;
+};
+
+/// One reliable byte stream from a sender host to a receiver host.
+///
+/// send() and recv() are blocking (awaitable) and transfer whole message
+/// boundaries like the roundabout needs; partial delivery is handled
+/// internally by segmentation.
+class TcpConnection {
+ public:
+  /// `sender_cores` / `receiver_cores` are the two hosts' CPU pools; all
+  /// stack costs are billed there under the "tcp-tx" / "tcp-rx" tags.
+  TcpConnection(sim::Engine& engine, sim::CorePool& sender_cores,
+                sim::CorePool& receiver_cores, net::Link& link,
+                TcpModelConfig config);
+
+  /// Sends all of `data`. Charges sender CPU per segment, then queues the
+  /// segment for wire transmission; returns once the last byte is accepted
+  /// into the send window (not necessarily delivered).
+  sim::Task<void> send(std::span<const std::byte> data);
+
+  /// Receives exactly `data.size()` bytes into `data`, charging receiver
+  /// CPU per segment consumed. Aborts if the stream ends mid-message.
+  sim::Task<void> recv(std::span<std::byte> data);
+
+  /// Like recv(), but a stream that ended cleanly *before any byte* of this
+  /// message returns false (end-of-stream at a message boundary).
+  sim::Task<bool> recv_or_eof(std::span<std::byte> data);
+
+  /// Closes the stream after all queued data drains (sender side).
+  void close();
+
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  const TcpModelConfig& config() const { return config_; }
+
+ private:
+  struct Segment {
+    std::vector<std::byte> payload;
+  };
+
+  sim::Task<void> wire_process();
+
+  sim::Engine& engine_;
+  sim::CorePool& sender_cores_;
+  sim::CorePool& receiver_cores_;
+  net::Link& link_;
+  TcpModelConfig config_;
+
+  std::unique_ptr<sim::Channel<Segment>> tx_queue_;   // send buffer
+  std::unique_ptr<sim::Channel<Segment>> rx_queue_;   // receive buffer
+  std::vector<std::byte> rx_leftover_;                // partially consumed segment
+  std::size_t rx_leftover_offset_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace cj::tcpsim

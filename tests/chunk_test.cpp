@@ -1,0 +1,159 @@
+// Unit tests for the chunk wire format: encode/decode round trips, size
+// limits, run directories, oversized-partition splitting.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cyclo/chunk.h"
+#include "join/radix.h"
+#include "join/sort_merge.h"
+#include "rel/generator.h"
+
+namespace cj::cyclo {
+namespace {
+
+rel::Relation gen(std::uint64_t rows, std::uint64_t domain, std::uint64_t seed,
+                  double zipf = 0.0) {
+  return rel::generate(
+      {.rows = rows, .key_domain = domain, .zipf_z = zipf, .seed = seed}, "t",
+      seed);
+}
+
+TEST(ChunkWriter, TuplesPerChunkAccountsForDirectory) {
+  ChunkWriter writer(1024);
+  // 1024 - 16 header = 1008 / 12 = 84 tuples with no runs.
+  EXPECT_EQ(writer.tuples_per_chunk(0), 84u);
+  // Each run steals 8 bytes.
+  EXPECT_EQ(writer.tuples_per_chunk(3), (1024u - 16 - 24) / 12);
+}
+
+TEST(ChunkWriter, SortedRoundTrip) {
+  auto r = gen(5'000, 1'000, 1);
+  std::vector<rel::Tuple> sorted(r.tuples().begin(), r.tuples().end());
+  join::sort_fragment(sorted);
+
+  ChunkWriter writer(4096);
+  ChunkSlab slab = writer.from_sorted(sorted, 3);
+  EXPECT_GT(slab.num_chunks(), 1u);
+  EXPECT_EQ(slab.total_tuples(), sorted.size());
+
+  std::vector<rel::Tuple> reassembled;
+  for (std::size_t c = 0; c < slab.num_chunks(); ++c) {
+    const ChunkView view = decode_chunk(slab.chunk(c));
+    EXPECT_EQ(view.kind, ChunkKind::kSorted);
+    EXPECT_EQ(view.origin_host, 3);
+    EXPECT_TRUE(view.runs.empty());
+    reassembled.insert(reassembled.end(), view.tuples.begin(), view.tuples.end());
+  }
+  EXPECT_EQ(reassembled, sorted);
+}
+
+TEST(ChunkWriter, RawRoundTripPreservesOrder) {
+  auto r = gen(1'000, 500, 2);
+  ChunkWriter writer(2048);
+  ChunkSlab slab = writer.from_raw(r.tuples(), 1);
+  std::vector<rel::Tuple> reassembled;
+  for (std::size_t c = 0; c < slab.num_chunks(); ++c) {
+    const ChunkView view = decode_chunk(slab.chunk(c));
+    EXPECT_EQ(view.kind, ChunkKind::kRaw);
+    reassembled.insert(reassembled.end(), view.tuples.begin(), view.tuples.end());
+  }
+  ASSERT_EQ(reassembled.size(), r.rows());
+  EXPECT_TRUE(std::equal(r.tuples().begin(), r.tuples().end(), reassembled.begin()));
+}
+
+TEST(ChunkWriter, PartitionedRoundTripKeepsRunConsistency) {
+  auto r = gen(20'000, 4'000, 3);
+  auto parts = join::radix_cluster(r.tuples(), 6, 8);
+  ChunkWriter writer(8192);
+  ChunkSlab slab = writer.from_partitioned(parts, 2);
+  EXPECT_EQ(slab.total_tuples(), r.rows());
+
+  std::multiset<std::uint64_t> in, out;
+  for (const auto& t : r.tuples()) in.insert(t.payload);
+
+  std::uint32_t last_partition = 0;
+  for (std::size_t c = 0; c < slab.num_chunks(); ++c) {
+    const ChunkView view = decode_chunk(slab.chunk(c));
+    EXPECT_EQ(view.kind, ChunkKind::kPartitioned);
+    EXPECT_EQ(view.radix_bits, 6);
+    std::size_t offset = 0;
+    for (const auto& run : view.runs) {
+      // Runs appear in nondecreasing partition order across the slab.
+      EXPECT_GE(run.partition_id, last_partition);
+      last_partition = run.partition_id;
+      for (std::size_t i = 0; i < run.count; ++i) {
+        const rel::Tuple& t = view.tuples[offset + i];
+        EXPECT_EQ(join::partition_of(t.key, 6), run.partition_id);
+        out.insert(t.payload);
+      }
+      offset += run.count;
+    }
+    EXPECT_EQ(offset, view.tuples.size());
+  }
+  EXPECT_EQ(in, out);
+}
+
+TEST(ChunkWriter, OversizedPartitionSplitsAcrossChunks) {
+  // All tuples share one key -> a single giant partition (heavy skew).
+  rel::Relation r("skew");
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    r.push_back({42, i});
+  }
+  auto parts = join::radix_cluster(r.tuples(), 4, 8);
+  ChunkWriter writer(4096);
+  ChunkSlab slab = writer.from_partitioned(parts, 0);
+  EXPECT_GT(slab.num_chunks(), 20u);
+
+  const std::uint32_t p42 = join::partition_of(42, 4);
+  std::uint64_t total = 0;
+  for (std::size_t c = 0; c < slab.num_chunks(); ++c) {
+    const ChunkView view = decode_chunk(slab.chunk(c));
+    ASSERT_EQ(view.runs.size(), 1u);
+    EXPECT_EQ(view.runs[0].partition_id, p42);
+    total += view.runs[0].count;
+  }
+  EXPECT_EQ(total, 10'000u);
+}
+
+TEST(ChunkWriter, ChunksRespectBufferSize) {
+  auto r = gen(50'000, 10'000, 4);
+  auto parts = join::radix_cluster(r.tuples(), 8, 8);
+  for (const std::size_t buffer : {1024UL, 4096UL, 65536UL}) {
+    ChunkWriter writer(buffer);
+    ChunkSlab slab = writer.from_partitioned(parts, 0);
+    for (std::size_t c = 0; c < slab.num_chunks(); ++c) {
+      EXPECT_LE(slab.chunk(c).size(), buffer);
+    }
+  }
+}
+
+TEST(ChunkWriter, EmptyInputYieldsNoChunks) {
+  ChunkWriter writer(4096);
+  EXPECT_EQ(writer.from_raw({}, 0).num_chunks(), 0u);
+  EXPECT_EQ(writer.from_sorted({}, 0).num_chunks(), 0u);
+  auto parts = join::radix_cluster({}, 4, 8);
+  EXPECT_EQ(writer.from_partitioned(parts, 0).num_chunks(), 0u);
+}
+
+TEST(DecodeChunk, RejectsCorruptedMagic) {
+  auto r = gen(100, 50, 5);
+  ChunkWriter writer(4096);
+  ChunkSlab slab = writer.from_raw(r.tuples(), 0);
+  std::vector<std::byte> copy(slab.chunk(0).begin(), slab.chunk(0).end());
+  copy[0] = std::byte{0x00};
+  EXPECT_DEATH((void)decode_chunk(copy), "magic");
+}
+
+TEST(DecodeChunk, RejectsTruncatedPayload) {
+  auto r = gen(100, 50, 6);
+  ChunkWriter writer(4096);
+  ChunkSlab slab = writer.from_raw(r.tuples(), 0);
+  auto full = slab.chunk(0);
+  EXPECT_DEATH((void)decode_chunk(full.subspan(0, full.size() - 1)), "length");
+  EXPECT_DEATH((void)decode_chunk(full.subspan(0, 4)), "header");
+}
+
+}  // namespace
+}  // namespace cj::cyclo

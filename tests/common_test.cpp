@@ -1,0 +1,287 @@
+// Unit tests for the common utilities: status/result, rng, zipf, units,
+// stats, flags.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "common/zipf.h"
+
+namespace cj {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = invalid_argument("bad ring size");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(s.to_string(), "invalid_argument: bad ring size");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+    EXPECT_NE(to_string(static_cast<ErrorCode>(c)), "unknown");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = not_found("no such host");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowIsInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 1000ULL, (1ULL << 40)}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100'000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_in(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= (v == 5);
+    saw_hi |= (v == 8);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(9);
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+// ------------------------------------------------------------------ Zipf
+
+TEST(Zipf, ZeroExponentIsUniform) {
+  ZipfGenerator zipf(10, 0.0);
+  Rng rng(1);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 50'000; ++i) ++counts[zipf(rng)];
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [k, c] : counts) {
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 10u);
+    EXPECT_NEAR(c, 5000, 500);
+  }
+}
+
+TEST(Zipf, DomainOfOneAlwaysReturnsOne) {
+  ZipfGenerator zipf(1, 0.9);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf(rng), 1u);
+}
+
+TEST(Zipf, SamplesStayInDomain) {
+  for (double z : {0.3, 0.6, 0.9, 1.2}) {
+    ZipfGenerator zipf(1000, z);
+    Rng rng(3);
+    for (int i = 0; i < 10'000; ++i) {
+      const auto v = zipf(rng);
+      EXPECT_GE(v, 1u);
+      EXPECT_LE(v, 1000u);
+    }
+  }
+}
+
+TEST(Zipf, MatchesTheoreticalFrequencies) {
+  // P(rank k) proportional to k^-z; check the head ranks empirically.
+  const double z = 0.9;
+  const std::uint64_t n = 10'000;
+  ZipfGenerator zipf(n, z);
+  Rng rng(4);
+  constexpr int kDraws = 400'000;
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf(rng)];
+
+  double h = 0;  // generalized harmonic number
+  for (std::uint64_t k = 1; k <= n; ++k) h += std::pow(static_cast<double>(k), -z);
+  for (std::uint64_t k : {1ULL, 2ULL, 5ULL, 10ULL}) {
+    const double expected = kDraws * std::pow(static_cast<double>(k), -z) / h;
+    EXPECT_NEAR(counts[k], expected, expected * 0.1 + 30)
+        << "rank " << k;
+  }
+}
+
+TEST(Zipf, HigherExponentIsMoreSkewed) {
+  Rng rng1(5), rng2(5);
+  ZipfGenerator mild(1000, 0.3), heavy(1000, 1.1);
+  int mild_top = 0, heavy_top = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    mild_top += (mild(rng1) == 1);
+    heavy_top += (heavy(rng2) == 1);
+  }
+  EXPECT_GT(heavy_top, mild_top * 3);
+}
+
+// ----------------------------------------------------------------- Units
+
+TEST(Units, SecondsRoundTrip) {
+  EXPECT_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_EQ(from_seconds(2.5), 2'500'000'000);
+  EXPECT_EQ(to_seconds(from_seconds(0.125)), 0.125);
+}
+
+TEST(Units, ByteLiterals) {
+  EXPECT_EQ(4_KiB, 4096u);
+  EXPECT_EQ(1_MiB, 1048576u);
+  EXPECT_EQ(2_GiB, 2147483648u);
+}
+
+TEST(Units, HumanBytes) {
+  EXPECT_EQ(human_bytes(999), "999 B");
+  EXPECT_EQ(human_bytes(3'200'000'000ULL), "3.20 GB");
+}
+
+TEST(Units, HumanDuration) {
+  EXPECT_EQ(human_duration(500), "500 ns");
+  EXPECT_EQ(human_duration(2'700'000'000LL), "2.70 s");
+}
+
+// ----------------------------------------------------------------- Stats
+
+TEST(Summary, Empty) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);  // classic population-stddev example
+}
+
+TEST(PercentileSketch, NearestRank) {
+  PercentileSketch p;
+  for (int i = 100; i >= 1; --i) p.add(i);
+  EXPECT_EQ(p.percentile(0), 1.0);
+  EXPECT_EQ(p.percentile(100), 100.0);
+  EXPECT_NEAR(p.percentile(50), 50.0, 1.0);
+  EXPECT_NEAR(p.percentile(99), 99.0, 1.0);
+}
+
+// ----------------------------------------------------------------- Flags
+
+std::vector<char*> argv_of(std::vector<std::string>& args) {
+  std::vector<char*> out;
+  for (auto& a : args) out.push_back(a.data());
+  return out;
+}
+
+TEST(Flags, ParsesBothForms) {
+  std::vector<std::string> args = {"prog", "--scale=32", "--nodes", "6", "--fast"};
+  auto argv = argv_of(args);
+  auto flags = Flags::parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_TRUE(flags.is_ok());
+  EXPECT_EQ(flags->get_int("scale", 0), 32);
+  EXPECT_EQ(flags->get_int("nodes", 0), 6);
+  EXPECT_TRUE(flags->get_bool("fast", false));
+  EXPECT_EQ(flags->get_int("missing", 7), 7);
+}
+
+TEST(Flags, IntAndDoubleLists) {
+  std::vector<std::string> args = {"prog", "--nodes=1,2,6", "--zipf=0,0.5,0.9"};
+  auto argv = argv_of(args);
+  auto flags = Flags::parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_TRUE(flags.is_ok());
+  EXPECT_EQ(flags->get_int_list("nodes", {}),
+            (std::vector<std::int64_t>{1, 2, 6}));
+  EXPECT_EQ(flags->get_double_list("zipf", {}),
+            (std::vector<double>{0.0, 0.5, 0.9}));
+}
+
+TEST(Flags, RejectsMalformedArgument) {
+  std::vector<std::string> args = {"prog", "stray"};
+  auto argv = argv_of(args);
+  auto flags = Flags::parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_FALSE(flags.is_ok());
+}
+
+TEST(Flags, TracksUnusedFlags) {
+  std::vector<std::string> args = {"prog", "--used=1", "--typo=2"};
+  auto argv = argv_of(args);
+  auto flags = Flags::parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_TRUE(flags.is_ok());
+  (void)flags->get_int("used", 0);
+  const auto unused = flags->unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+}  // namespace
+}  // namespace cj

@@ -1,0 +1,106 @@
+// Tests for the analytical cyclo-join cost model, including validation
+// against the simulator (which runs the real kernels).
+#include <gtest/gtest.h>
+
+#include "bench/harness.h"
+#include "cyclo/cyclo_join.h"
+#include "model/cyclo_cost.h"
+#include "rel/generator.h"
+
+namespace cj::model {
+namespace {
+
+TEST(CycloCost, SetupScalesInverselyWithRingSize) {
+  const auto one = estimate(JoinKind::kHash, 12'000'000, 1);
+  const auto six = estimate(JoinKind::kHash, 12'000'000, 6);
+  EXPECT_NEAR(static_cast<double>(one.setup) / static_cast<double>(six.setup),
+              6.0, 0.01);
+}
+
+TEST(CycloCost, HashJoinPhaseIndependentOfRingSize) {
+  // Paper Equation (*): the join phase costs |R| lookups per host.
+  const auto one = estimate(JoinKind::kHash, 12'000'000, 1);
+  const auto six = estimate(JoinKind::kHash, 12'000'000, 6);
+  EXPECT_EQ(one.join, six.join);
+}
+
+TEST(CycloCost, HashHidesNetworkMergeDoesNot) {
+  // Defaults are the paper's testbed: hash probes consume well under the
+  // 1.25 GB/s link; the merge join outruns it (Fig. 7 vs Fig. 11).
+  const auto hash = estimate(JoinKind::kHash, 50'000'000, 6);
+  const auto merge = estimate(JoinKind::kSortMerge, 50'000'000, 6);
+  EXPECT_TRUE(hash.network_hidden);
+  EXPECT_FALSE(merge.network_hidden);
+  EXPECT_GT(merge.sync, 0);
+  EXPECT_GT(merge.required_link_rate, 1.25e9);
+  EXPECT_LT(hash.required_link_rate, 1.25e9);
+}
+
+TEST(CycloCost, SortMergeSetupDominatesHashSetup) {
+  const auto hash = estimate(JoinKind::kHash, 10'000'000, 4);
+  const auto merge = estimate(JoinKind::kSortMerge, 10'000'000, 4);
+  EXPECT_GT(merge.setup, 3 * hash.setup);
+  EXPECT_LT(merge.join, hash.join);
+}
+
+TEST(CycloCost, SingleCoreSerializesSetup) {
+  CycloCostParams one_core;
+  one_core.cores_per_host = 1;
+  one_core.join_threads = 1;
+  const auto serial = estimate(JoinKind::kHash, 1'000'000, 2, one_core);
+  const auto parallel = estimate(JoinKind::kHash, 1'000'000, 2);
+  EXPECT_GT(serial.setup, parallel.setup);
+  EXPECT_GT(serial.join, parallel.join);
+}
+
+TEST(CycloCost, CrossoverNearThePapersPrediction) {
+  // Paper Sec. V-E: with these kernels, sort-merge should overtake the
+  // hash join at roughly 30 nodes for 1.6 GB (140 M rows) per host.
+  const int crossover = sort_merge_crossover_hosts(140'000'000, 100);
+  EXPECT_GT(crossover, 10);
+  EXPECT_LT(crossover, 50);
+}
+
+TEST(CycloCost, FasterMergeKernelsMoveTheCrossoverDown) {
+  // The paper's remark on Kim et al. [17]: with comparable sort and hash
+  // kernel speeds, sort-merge wins already on small rings.
+  CycloCostParams tuned;
+  tuned.sort_ns_per_tuple = 90.0;  // highly tuned SIMD sort
+  const int stock = sort_merge_crossover_hosts(140'000'000, 100);
+  const int fast = sort_merge_crossover_hosts(140'000'000, 100, tuned);
+  EXPECT_GT(fast, 0);
+  EXPECT_LT(fast, stock);
+}
+
+// ---- validation against the simulator --------------------------------
+
+class ModelVsSimulation : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelVsSimulation, PhasePredictionsWithinTolerance) {
+  const int hosts = GetParam();
+  const std::uint64_t rows = 2'000'000;
+  auto r = rel::generate({.rows = rows, .seed = 1}, "R", 1);
+  auto s = rel::generate({.rows = rows, .seed = 2}, "S", 2);
+
+  cyclo::CycloJoin join(bench::paper_cluster(hosts, /*scale=*/64),
+                        cyclo::JoinSpec{.algorithm = cyclo::Algorithm::kHashJoin});
+  const cyclo::RunReport sim = join.run(r, s);
+  const CycloCostEstimate predicted = estimate(JoinKind::kHash, rows, hosts);
+
+  // Kernel costs vary with data shape, cache residency (small fragments
+  // prepare superlinearly faster) and VM noise; the model should land
+  // within a factor of ~2 on both phases.
+  const double setup_ratio = static_cast<double>(sim.setup_wall) /
+                             static_cast<double>(predicted.setup);
+  const double join_ratio = static_cast<double>(sim.join_wall) /
+                            static_cast<double>(predicted.join);
+  EXPECT_GT(setup_ratio, 0.5) << "setup over-predicted";
+  EXPECT_LT(setup_ratio, 2.0) << "setup under-predicted";
+  EXPECT_GT(join_ratio, 0.5) << "join over-predicted";
+  EXPECT_LT(join_ratio, 2.0) << "join under-predicted";
+}
+
+INSTANTIATE_TEST_SUITE_P(Rings, ModelVsSimulation, ::testing::Values(1, 3, 6));
+
+}  // namespace
+}  // namespace cj::model

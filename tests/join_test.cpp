@@ -1,0 +1,362 @@
+// Unit tests for the local join kernels: radix clustering, hash tables,
+// hash join, sort-merge (equi + band), nested loops, and cross-validation
+// of all algorithms against each other.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "join/hash_join.h"
+#include "join/local_join.h"
+#include "join/nested_loops.h"
+#include "join/radix.h"
+#include "join/sort_merge.h"
+#include "rel/generator.h"
+
+namespace cj::join {
+namespace {
+
+rel::Relation gen(std::uint64_t rows, std::uint64_t domain, std::uint64_t seed,
+                  double zipf = 0.0) {
+  return rel::generate(
+      {.rows = rows, .key_domain = domain, .zipf_z = zipf, .seed = seed}, "t",
+      seed);
+}
+
+// ----------------------------------------------------------------- radix
+
+TEST(Radix, ChooseBitsFitsCacheBudget) {
+  RadixConfig config;
+  config.cache_budget_bytes = 24 * 1024;  // 1024 tuples at 24 B/tuple
+  EXPECT_EQ(choose_radix_bits(1000, config), 0);
+  EXPECT_EQ(choose_radix_bits(2000, config), 1);
+  EXPECT_EQ(choose_radix_bits(4000, config), 2);
+  EXPECT_EQ(choose_radix_bits(1 << 20, config), 10);
+}
+
+TEST(Radix, ChooseBitsRespectsMaxBits) {
+  RadixConfig config;
+  config.cache_budget_bytes = 24;
+  config.max_bits = 5;
+  EXPECT_EQ(choose_radix_bits(1'000'000'000, config), 5);
+}
+
+TEST(Radix, ZeroBitsIsIdentity) {
+  auto r = gen(100, 50, 1);
+  auto parts = radix_cluster(r.tuples(), 0, 8);
+  EXPECT_EQ(parts.num_partitions(), 1u);
+  EXPECT_TRUE(std::equal(r.tuples().begin(), r.tuples().end(),
+                         parts.partition(0).begin()));
+}
+
+class RadixClusterBits : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RadixClusterBits, EveryTupleLandsInItsPartition) {
+  const auto [total_bits, bits_per_pass] = GetParam();
+  auto r = gen(20'000, 5'000, 2);
+  auto parts = radix_cluster(r.tuples(), total_bits, bits_per_pass);
+
+  EXPECT_EQ(parts.rows(), r.rows());
+  EXPECT_EQ(parts.num_partitions(), 1u << total_bits);
+  std::uint64_t seen = 0;
+  for (std::uint32_t p = 0; p < parts.num_partitions(); ++p) {
+    for (const auto& t : parts.partition(p)) {
+      EXPECT_EQ(partition_of(t.key, total_bits), p);
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, r.rows());
+}
+
+TEST_P(RadixClusterBits, IsAPermutationOfTheInput) {
+  const auto [total_bits, bits_per_pass] = GetParam();
+  auto r = gen(10'000, 3'000, 3);
+  auto parts = radix_cluster(r.tuples(), total_bits, bits_per_pass);
+
+  std::multiset<std::uint64_t> in, out;
+  for (const auto& t : r.tuples()) in.insert(t.payload);
+  for (const auto& t : parts.all_tuples()) out.insert(t.payload);
+  EXPECT_EQ(in, out);
+}
+
+INSTANTIATE_TEST_SUITE_P(BitCombos, RadixClusterBits,
+                         ::testing::Values(std::tuple{1, 8}, std::tuple{4, 8},
+                                           std::tuple{8, 8}, std::tuple{10, 4},
+                                           std::tuple{12, 5}, std::tuple{14, 8},
+                                           std::tuple{9, 3}));
+
+TEST(Radix, MultiPassEqualsSinglePass) {
+  auto r = gen(30'000, 10'000, 4);
+  auto one_pass = radix_cluster(r.tuples(), 10, 16);
+  auto multi_pass = radix_cluster(r.tuples(), 10, 4);
+  // Same partition directory; tuple order within a partition may differ
+  // between pass structures, so compare partition contents as multisets.
+  ASSERT_EQ(one_pass.offsets().size(), multi_pass.offsets().size());
+  for (std::size_t i = 0; i < one_pass.offsets().size(); ++i) {
+    EXPECT_EQ(one_pass.offsets()[i], multi_pass.offsets()[i]);
+  }
+  for (std::uint32_t p = 0; p < one_pass.num_partitions(); ++p) {
+    std::multiset<std::uint64_t> a, b;
+    for (const auto& t : one_pass.partition(p)) a.insert(t.payload);
+    for (const auto& t : multi_pass.partition(p)) b.insert(t.payload);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(Radix, EmptyInput) {
+  auto parts = radix_cluster({}, 4, 8);
+  EXPECT_EQ(parts.rows(), 0u);
+  EXPECT_EQ(parts.num_partitions(), 16u);
+  for (std::uint32_t p = 0; p < 16; ++p) EXPECT_TRUE(parts.partition(p).empty());
+}
+
+// ------------------------------------------------------------ hash table
+
+TEST(PartitionHashTable, FindsAllDuplicates) {
+  std::vector<rel::Tuple> s = {{5, 1}, {5, 2}, {7, 3}, {5, 4}};
+  PartitionHashTable table;
+  table.build(s, 0);
+  std::vector<rel::Tuple> r = {{5, 100}};
+  JoinResult result;
+  table.probe(r, result);
+  EXPECT_EQ(result.matches(), 3u);
+}
+
+TEST(PartitionHashTable, EmptyTableProducesNoMatches) {
+  PartitionHashTable table;
+  table.build({}, 0);
+  std::vector<rel::Tuple> r = {{1, 1}, {2, 2}};
+  JoinResult result;
+  table.probe(r, result);
+  EXPECT_EQ(result.matches(), 0u);
+}
+
+TEST(PartitionHashTable, NoFalseMatches) {
+  std::vector<rel::Tuple> s;
+  for (std::uint32_t i = 0; i < 1000; i += 2) s.push_back({i, i});
+  PartitionHashTable table;
+  table.build(s, 0);
+  std::vector<rel::Tuple> r;
+  for (std::uint32_t i = 1; i < 1000; i += 2) r.push_back({i, i});
+  JoinResult result;
+  table.probe(r, result);  // disjoint odd vs even keys
+  EXPECT_EQ(result.matches(), 0u);
+}
+
+// ---------------------------------------------------------- merge joins
+
+TEST(MergeJoin, HandlesDuplicateGroupsOnBothSides) {
+  std::vector<rel::Tuple> r = {{1, 1}, {2, 2}, {2, 3}, {4, 4}};
+  std::vector<rel::Tuple> s = {{2, 10}, {2, 11}, {2, 12}, {4, 13}, {5, 14}};
+  JoinResult result(true);
+  merge_join(r, s, result);
+  EXPECT_EQ(result.matches(), 2u * 3u + 1u);
+}
+
+TEST(MergeJoin, EmptySides) {
+  std::vector<rel::Tuple> r = {{1, 1}};
+  JoinResult a, b, c;
+  merge_join({}, r, a);
+  merge_join(r, {}, b);
+  merge_join({}, {}, c);
+  EXPECT_EQ(a.matches() + b.matches() + c.matches(), 0u);
+}
+
+TEST(BandMergeJoin, ZeroBandEqualsEquiJoin) {
+  auto r = gen(3'000, 500, 5);
+  auto s = gen(3'000, 500, 6);
+  std::vector<rel::Tuple> rs(r.tuples().begin(), r.tuples().end());
+  std::vector<rel::Tuple> ss(s.tuples().begin(), s.tuples().end());
+  sort_fragment(rs);
+  sort_fragment(ss);
+  JoinResult equi, band;
+  merge_join(rs, ss, equi);
+  band_merge_join(rs, ss, 0, band);
+  EXPECT_EQ(equi.matches(), band.matches());
+  EXPECT_EQ(equi.checksum(), band.checksum());
+}
+
+TEST(BandMergeJoin, MatchesOracleAcrossBands) {
+  auto r = gen(800, 300, 7);
+  auto s = gen(800, 300, 8);
+  std::vector<rel::Tuple> rs(r.tuples().begin(), r.tuples().end());
+  std::vector<rel::Tuple> ss(s.tuples().begin(), s.tuples().end());
+  sort_fragment(rs);
+  sort_fragment(ss);
+  for (std::uint32_t band : {1u, 2u, 10u, 50u}) {
+    JoinResult got, oracle;
+    band_merge_join(rs, ss, band, got);
+    nested_loops_band_join(r.tuples(), s.tuples(), band, oracle);
+    EXPECT_EQ(got.matches(), oracle.matches()) << "band " << band;
+    EXPECT_EQ(got.checksum(), oracle.checksum()) << "band " << band;
+  }
+}
+
+TEST(BandMergeJoin, KeySpaceBoundariesDoNotOverflow) {
+  // Keys at the extremes of the 32-bit space; the band math must saturate.
+  std::vector<rel::Tuple> r = {{0, 1}, {0xFFFFFFFF, 2}};
+  std::vector<rel::Tuple> s = {{1, 10}, {0xFFFFFFFE, 20}};
+  JoinResult got, oracle;
+  band_merge_join(r, s, 5, got);
+  nested_loops_band_join(r, s, 5, oracle);
+  EXPECT_EQ(got.matches(), oracle.matches());
+  EXPECT_EQ(got.checksum(), oracle.checksum());
+}
+
+TEST(MatchingWindow, BoundsTheMergeInput) {
+  std::vector<rel::Tuple> s;
+  for (std::uint32_t i = 0; i < 100; ++i) s.push_back({i * 10, i});
+  auto window = matching_window(s, 200, 300, 0);
+  ASSERT_FALSE(window.empty());
+  EXPECT_EQ(window.front().key, 200u);
+  EXPECT_EQ(window.back().key, 300u);
+
+  auto banded = matching_window(s, 200, 300, 15);
+  EXPECT_EQ(banded.front().key, 190u);
+  EXPECT_EQ(banded.back().key, 310u);
+
+  auto empty = matching_window(s, 2000, 3000, 0);
+  EXPECT_TRUE(empty.empty());
+}
+
+// --------------------------------------------------- algorithm agreement
+
+struct JoinCase {
+  std::uint64_t rows;
+  std::uint64_t domain;
+  double zipf;
+};
+
+class AlgorithmsAgree : public ::testing::TestWithParam<JoinCase> {};
+
+TEST_P(AlgorithmsAgree, HashSortMergeAndOracleMatch) {
+  const JoinCase c = GetParam();
+  auto r = gen(c.rows, c.domain, 11, c.zipf);
+  auto s = gen(c.rows, c.domain, 12, c.zipf);
+
+  JoinResult oracle;
+  nested_loops_equi_join(r.tuples(), s.tuples(), oracle);
+  auto hash = local_hash_join(r.tuples(), s.tuples());
+  auto merge = local_sort_merge_join(r.tuples(), s.tuples());
+
+  EXPECT_EQ(hash.matches(), oracle.matches());
+  EXPECT_EQ(hash.checksum(), oracle.checksum());
+  EXPECT_EQ(merge.matches(), oracle.matches());
+  EXPECT_EQ(merge.checksum(), oracle.checksum());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, AlgorithmsAgree,
+    ::testing::Values(JoinCase{100, 10, 0.0},       // heavy duplication
+                      JoinCase{1'000, 1'000, 0.0},  // ~unique keys
+                      JoinCase{2'000, 200, 0.0},    // 10x duplication
+                      JoinCase{2'000, 2'000, 0.9},  // skewed
+                      JoinCase{2'000, 2'000, 1.2},  // heavily skewed
+                      JoinCase{1, 1, 0.0},          // single row
+                      JoinCase{3'000, 1u << 31, 0.0}));  // sparse domain
+
+TEST(LocalJoin, DisjointInputsYieldNothing) {
+  rel::Relation r("r"), s("s");
+  for (std::uint32_t i = 0; i < 1000; ++i) r.push_back({i, i});
+  for (std::uint32_t i = 2000; i < 3000; ++i) s.push_back({i, i});
+  EXPECT_EQ(local_hash_join(r.tuples(), s.tuples()).matches(), 0u);
+  EXPECT_EQ(local_sort_merge_join(r.tuples(), s.tuples()).matches(), 0u);
+}
+
+TEST(LocalJoin, CrossProductOnSingleKey) {
+  rel::Relation r("r"), s("s");
+  for (std::uint64_t i = 0; i < 100; ++i) r.push_back({7, i});
+  for (std::uint64_t i = 0; i < 50; ++i) s.push_back({7, 1000 + i});
+  EXPECT_EQ(local_hash_join(r.tuples(), s.tuples()).matches(), 5000u);
+  EXPECT_EQ(local_sort_merge_join(r.tuples(), s.tuples()).matches(), 5000u);
+}
+
+TEST(LocalJoin, TimingPhasesAreReported) {
+  auto r = gen(50'000, 10'000, 13);
+  auto s = gen(50'000, 10'000, 14);
+  LocalJoinTiming ht{}, mt{};
+  (void)local_hash_join(r.tuples(), s.tuples(), {}, &ht);
+  (void)local_sort_merge_join(r.tuples(), s.tuples(), 0, &mt);
+  EXPECT_GT(ht.setup_ns, 0);
+  EXPECT_GT(ht.join_ns, 0);
+  EXPECT_GT(mt.setup_ns, 0);
+  EXPECT_GT(mt.join_ns, 0);
+}
+
+TEST(LocalJoin, MaterializedOutputMatchesCount) {
+  auto r = gen(500, 100, 15);
+  auto s = gen(500, 100, 16);
+  auto res = local_hash_join(r.tuples(), s.tuples(), {}, nullptr, true);
+  EXPECT_EQ(res.output().size(), res.matches());
+  // Every materialized row must actually be a key match.
+  std::map<std::uint64_t, std::uint32_t> r_keys;
+  for (const auto& t : r.tuples()) r_keys[t.payload] = t.key;
+  for (const auto& out : res.output()) {
+    EXPECT_EQ(r_keys.at(out.r_payload), out.key);
+  }
+}
+
+TEST(SingleTableHashJoin, AgreesWithRadixJoin) {
+  auto r = gen(30'000, 8'000, 21);
+  auto s = gen(30'000, 8'000, 22);
+  const int bits = choose_radix_bits(s.rows(), {});
+  const auto radix = HashJoinStationary::build(s.tuples(), bits);
+  const auto r_parts = radix_cluster(r.tuples(), bits, 8);
+  JoinResult a, b;
+  for (std::uint32_t p = 0; p < r_parts.num_partitions(); ++p) {
+    radix.probe_partition(p, r_parts.partition(p), a);
+  }
+  SingleTableHashJoin::build(s.tuples()).probe(r.tuples(), b);
+  EXPECT_EQ(a.matches(), b.matches());
+  EXPECT_EQ(a.checksum(), b.checksum());
+}
+
+TEST(SingleTableHashJoin, EmptyStationary) {
+  auto r = gen(100, 50, 23);
+  JoinResult result;
+  SingleTableHashJoin::build({}).probe(r.tuples(), result);
+  EXPECT_EQ(result.matches(), 0u);
+}
+
+TEST(JoinResult, MergeAccumulates) {
+  JoinResult a, b;
+  rel::Tuple t1{1, 10}, t2{1, 20};
+  a.add_match(t1, t2);
+  b.add_match(t2, t1);
+  const auto a_sum = a.checksum();
+  a.merge(b);
+  EXPECT_EQ(a.matches(), 2u);
+  EXPECT_NE(a.checksum(), a_sum);
+}
+
+TEST(JoinResult, ChecksumIsOrderIndependentButPairingSensitive) {
+  rel::Tuple r1{1, 10}, r2{1, 20}, s1{1, 30}, s2{1, 40};
+  JoinResult ab, ba, crossed;
+  ab.add_match(r1, s1);
+  ab.add_match(r2, s2);
+  ba.add_match(r2, s2);
+  ba.add_match(r1, s1);
+  crossed.add_match(r1, s2);
+  crossed.add_match(r2, s1);
+  EXPECT_EQ(ab.checksum(), ba.checksum());
+  EXPECT_NE(ab.checksum(), crossed.checksum());
+}
+
+TEST(NestedLoops, ArbitraryPredicate) {
+  auto r = gen(200, 100, 17);
+  auto s = gen(200, 100, 18);
+  JoinResult result;
+  nested_loops_join(
+      r.tuples(), s.tuples(),
+      [](const rel::Tuple& a, const rel::Tuple& b) { return a.key > b.key + 90; },
+      result);
+  std::uint64_t expected = 0;
+  for (const auto& a : r.tuples()) {
+    for (const auto& b : s.tuples()) expected += (a.key > b.key + 90);
+  }
+  EXPECT_EQ(result.matches(), expected);
+}
+
+}  // namespace
+}  // namespace cj::join

@@ -1,0 +1,80 @@
+// Tests for the network CPU-overhead model (paper Fig. 3) and its
+// consistency with the tcpsim substrate.
+#include <gtest/gtest.h>
+
+#include "model/cost_model.h"
+
+namespace cj::model {
+namespace {
+
+TEST(CostModel, KernelTcpDecompositionMatchesPaperShape) {
+  const auto tcp = cpu_overhead(StackKind::kKernelTcp);
+  // Paper Fig. 3: data copying is about half the total cost.
+  EXPECT_NEAR(tcp.data_copying / tcp.total(), 0.5, 0.1);
+  // Protocol processing alone is a minor factor.
+  EXPECT_LT(tcp.network_stack / tcp.total(), 0.3);
+  EXPECT_GT(tcp.total(), 0.0);
+}
+
+TEST(CostModel, ToeBarelyHelps) {
+  const auto tcp = cpu_overhead(StackKind::kKernelTcp);
+  const auto toe = cpu_overhead(StackKind::kToeOffload);
+  EXPECT_LT(toe.total(), tcp.total());
+  // "usually yields only little advantage": still >= ~70% of the full cost.
+  EXPECT_GT(toe.total() / tcp.total(), 0.7);
+  EXPECT_EQ(toe.network_stack, 0.0);
+  EXPECT_EQ(toe.data_copying, tcp.data_copying);
+}
+
+TEST(CostModel, RdmaRemovesAlmostEverything) {
+  const auto tcp = cpu_overhead(StackKind::kKernelTcp);
+  const auto rdma = cpu_overhead(StackKind::kRdma);
+  EXPECT_LT(rdma.total() / tcp.total(), 0.01);
+  EXPECT_EQ(rdma.data_copying, 0.0);
+  EXPECT_EQ(rdma.context_switches, 0.0);
+}
+
+TEST(CostModel, RuleOfThumbOneGhzPerGbps) {
+  // Sec. III-A: ~1 GHz of CPU per 1 Gb/s of kernel-TCP throughput.
+  const double cycles_per_byte = cpu_overhead(StackKind::kKernelTcp).total() * 2.33;
+  const double ghz_per_gbps = cycles_per_byte * 0.125;
+  EXPECT_NEAR(ghz_per_gbps, 1.0, 0.25);
+}
+
+TEST(CostModel, CpuShareScalesWithThroughputAndCores) {
+  const double at_10g_4c = cpu_share_at(StackKind::kKernelTcp, 10.0, 4, 2.33);
+  const double at_5g_4c = cpu_share_at(StackKind::kKernelTcp, 5.0, 4, 2.33);
+  const double at_10g_8c = cpu_share_at(StackKind::kKernelTcp, 10.0, 8, 2.33);
+  EXPECT_NEAR(at_5g_4c, at_10g_4c / 2.0, 1e-9);
+  EXPECT_NEAR(at_10g_8c, at_10g_4c / 2.0, 1e-9);
+  // The paper's point: 10 Gb/s of kernel TCP eats ~all of a quad-core host.
+  EXPECT_GT(at_10g_4c, 0.8);
+  // RDMA at the same rate is negligible.
+  EXPECT_LT(cpu_share_at(StackKind::kRdma, 10.0, 4, 2.33), 0.01);
+}
+
+TEST(CostModel, FasterCoresLowerTheShare) {
+  const double old_core = cpu_share_at(StackKind::kKernelTcp, 10.0, 4, 2.33);
+  const double new_core = cpu_share_at(StackKind::kKernelTcp, 10.0, 4, 4.66);
+  EXPECT_NEAR(new_core, old_core / 2.0, 1e-9);
+}
+
+TEST(CostModel, SegmentSizeMovesPerSegmentCosts) {
+  CostModelParams small;
+  small.tcp.segment_size = 16 * 1024;
+  CostModelParams large;
+  large.tcp.segment_size = 256 * 1024;
+  const auto s = cpu_overhead(StackKind::kKernelTcp, small);
+  const auto l = cpu_overhead(StackKind::kKernelTcp, large);
+  EXPECT_GT(s.network_stack, l.network_stack);
+  EXPECT_EQ(s.data_copying, l.data_copying);  // copies are per byte
+}
+
+TEST(CostModel, StackKindNames) {
+  EXPECT_EQ(to_string(StackKind::kKernelTcp), "everything-on-cpu");
+  EXPECT_EQ(to_string(StackKind::kToeOffload), "network-stack-on-nic");
+  EXPECT_EQ(to_string(StackKind::kRdma), "rdma");
+}
+
+}  // namespace
+}  // namespace cj::model

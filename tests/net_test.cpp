@@ -1,0 +1,103 @@
+// Unit tests for links and the ring fabric: serialization time, FIFO wire
+// arbitration, duplex independence, topology helpers.
+#include <gtest/gtest.h>
+
+#include "net/fabric.h"
+#include "net/link.h"
+#include "sim/engine.h"
+#include "sim/when_all.h"
+
+namespace cj::net {
+namespace {
+
+using sim::Engine;
+using sim::Task;
+
+LinkSpec test_spec() {
+  LinkSpec spec;
+  spec.bandwidth_bytes_per_sec = 1e9;  // 1 GB/s for round numbers
+  spec.propagation_delay = 10 * kMicrosecond;
+  return spec;
+}
+
+TEST(Link, SerializationTimeMatchesBandwidth) {
+  Engine e;
+  Link link(e, test_spec(), "t");
+  EXPECT_EQ(link.serialization_time(1'000'000), kMillisecond);
+  EXPECT_EQ(link.serialization_time(0), 0);
+}
+
+TEST(Link, TransferTakesWirePlusPropagation) {
+  Engine e;
+  Link link(e, test_spec(), "t");
+  e.spawn(link.transfer(1'000'000), "xfer");
+  e.run();
+  e.check_all_complete();
+  EXPECT_EQ(e.now(), kMillisecond + 10 * kMicrosecond);
+  EXPECT_EQ(link.bytes_transferred(), 1'000'000u);
+  EXPECT_EQ(link.messages(), 1u);
+}
+
+TEST(Link, ConcurrentTransfersSerializeOnTheWire) {
+  Engine e;
+  Link link(e, test_spec(), "t");
+  std::vector<Task<void>> xfers;
+  for (int i = 0; i < 3; ++i) xfers.push_back(link.transfer(1'000'000));
+  e.spawn(sim::when_all(e, std::move(xfers)), "batch");
+  e.run();
+  // Wire times serialize (3 ms); only the last propagation adds latency.
+  EXPECT_EQ(e.now(), 3 * kMillisecond + 10 * kMicrosecond);
+  EXPECT_EQ(link.busy_time(), 3 * kMillisecond);
+}
+
+TEST(Link, ExtraWireTimeModelsPerMessageOverhead) {
+  Engine e;
+  Link link(e, test_spec(), "t");
+  e.spawn(link.transfer(0, 5 * kMicrosecond), "hdr");
+  e.run();
+  EXPECT_EQ(e.now(), 5 * kMicrosecond + 10 * kMicrosecond);
+}
+
+TEST(DuplexLink, DirectionsAreIndependent) {
+  Engine e;
+  DuplexLink duplex(e, test_spec(), "d");
+  std::vector<Task<void>> xfers;
+  xfers.push_back(duplex.forward.transfer(1'000'000));
+  xfers.push_back(duplex.backward.transfer(1'000'000));
+  e.spawn(sim::when_all(e, std::move(xfers)), "both");
+  e.run();
+  // Full duplex: both finish in one wire time, not two.
+  EXPECT_EQ(e.now(), kMillisecond + 10 * kMicrosecond);
+}
+
+TEST(RingFabric, SuccessorPredecessorWrapAround) {
+  Engine e;
+  RingFabric fabric(e, 4, test_spec());
+  EXPECT_EQ(fabric.successor(0), 1);
+  EXPECT_EQ(fabric.successor(3), 0);
+  EXPECT_EQ(fabric.predecessor(0), 3);
+  EXPECT_EQ(fabric.predecessor(2), 1);
+}
+
+TEST(RingFabric, DataAndControlLinksAreOpposite) {
+  Engine e;
+  RingFabric fabric(e, 3, test_spec());
+  // Host 1's control link carries credits back toward host 0; it is the
+  // backward direction of host 0's data link cable.
+  e.spawn(fabric.data_link(0).transfer(100), "d");
+  e.spawn(fabric.control_link(1).transfer(8), "c");
+  e.run();
+  EXPECT_EQ(fabric.data_link(0).bytes_transferred(), 100u);
+  EXPECT_EQ(fabric.control_link(1).bytes_transferred(), 8u);
+  EXPECT_EQ(fabric.total_data_bytes(), 100u);  // control bytes not counted
+}
+
+TEST(RingFabric, SingleHostRingIsValid) {
+  Engine e;
+  RingFabric fabric(e, 1, test_spec());
+  EXPECT_EQ(fabric.successor(0), 0);
+  EXPECT_EQ(fabric.predecessor(0), 0);
+}
+
+}  // namespace
+}  // namespace cj::net

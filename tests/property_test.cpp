@@ -1,0 +1,155 @@
+// Property-based sweeps: randomized configurations hammered against two
+// invariants that must hold for EVERY configuration —
+//
+//   1. correctness: the distributed join returns exactly the single-host
+//      reference's match count and order-independent checksum, and
+//   2. liveness: the simulation drains completely (the engine aborts on
+//      any blocked process, so credit/window protocol deadlocks cannot
+//      hide).
+//
+// Config dimensions: ring size, buffer count/size, injection window,
+// transport, algorithm, thread count, data shape (rows, domain, skew).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "cyclo/cyclo_join.h"
+#include "join/local_join.h"
+#include "rel/generator.h"
+
+namespace cj::cyclo {
+namespace {
+
+struct RandomConfig {
+  ClusterConfig cluster;
+  JoinSpec spec;
+  rel::GenSpec gen_r;
+  rel::GenSpec gen_s;
+};
+
+RandomConfig draw(std::uint64_t seed) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+  RandomConfig out;
+
+  out.cluster.num_hosts = static_cast<int>(rng.next_in(1, 8));
+  out.cluster.cores_per_host = static_cast<int>(rng.next_in(1, 4));
+  out.cluster.node.num_buffers = static_cast<int>(rng.next_in(2, 10));
+  out.cluster.node.buffer_bytes = 1024ULL << rng.next_in(0, 6);  // 1k..64k
+  out.cluster.transport =
+      rng.next_below(4) == 0 ? Transport::kTcp : Transport::kRdma;
+  if (rng.next_below(2) == 0) {
+    out.cluster.node.injection_window = static_cast<int>(
+        rng.next_in(1, static_cast<std::uint64_t>(out.cluster.node.num_buffers) - 1));
+  }
+
+  out.spec.algorithm =
+      rng.next_below(2) == 0 ? Algorithm::kHashJoin : Algorithm::kSortMergeJoin;
+  out.spec.join_threads = static_cast<int>(rng.next_in(1, 4));
+  if (out.spec.algorithm == Algorithm::kSortMergeJoin && rng.next_below(3) == 0) {
+    out.spec.band = static_cast<std::uint32_t>(rng.next_in(1, 4));
+  }
+
+  const std::uint64_t rows = rng.next_in(1, 30'000);
+  const std::uint64_t domain = rng.next_in(1, rows + 10);
+  const double zipf = rng.next_below(3) == 0
+                          ? static_cast<double>(rng.next_in(3, 9)) / 10.0
+                          : 0.0;
+  out.gen_r = {.rows = rows, .key_domain = domain, .zipf_z = zipf,
+               .seed = seed * 2 + 1};
+  out.gen_s = {.rows = std::max<std::uint64_t>(1, rows / rng.next_in(1, 3)),
+               .key_domain = domain, .zipf_z = zipf, .seed = seed * 2 + 2};
+  return out;
+}
+
+class RandomizedCycloJoin : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomizedCycloJoin, MatchesReferenceAndDrains) {
+  const RandomConfig config = draw(GetParam());
+  auto r = rel::generate(config.gen_r, "R", 1);
+  auto s = rel::generate(config.gen_s, "S", 2);
+
+  join::JoinResult reference =
+      config.spec.band == 0
+          ? join::local_hash_join(r.tuples(), s.tuples())
+          : join::local_sort_merge_join(r.tuples(), s.tuples(), config.spec.band);
+
+  CycloJoin cyclo(config.cluster, config.spec);
+  const RunReport report = cyclo.run(r, s);  // aborts on any stuck process
+
+  EXPECT_EQ(report.matches, reference.matches())
+      << "hosts=" << config.cluster.num_hosts
+      << " buffers=" << config.cluster.node.num_buffers
+      << " buffer_bytes=" << config.cluster.node.buffer_bytes
+      << " window=" << config.cluster.node.injection_window
+      << " tcp=" << (config.cluster.transport == Transport::kTcp)
+      << " algo=" << static_cast<int>(config.spec.algorithm)
+      << " band=" << config.spec.band << " rows=" << config.gen_r.rows;
+  EXPECT_EQ(report.checksum, reference.checksum());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedCycloJoin,
+                         ::testing::Range<std::uint64_t>(0, 60));
+
+// Dimension-focused sweeps (deterministic, not random): each sweep pins
+// everything except one dimension, making failures easy to localize.
+
+class BufferCountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BufferCountSweep, TinyBufferPoolsStayLive) {
+  ClusterConfig cluster;
+  cluster.num_hosts = 5;
+  cluster.node.num_buffers = GetParam();
+  cluster.node.buffer_bytes = 2048;  // many chunks -> much rotation
+  auto r = rel::generate({.rows = 20'000, .key_domain = 4'000, .seed = 91}, "R", 1);
+  auto s = rel::generate({.rows = 20'000, .key_domain = 4'000, .seed = 92}, "S", 2);
+  const auto reference = join::local_hash_join(r.tuples(), s.tuples());
+
+  CycloJoin cyclo(cluster, JoinSpec{.algorithm = Algorithm::kHashJoin});
+  const RunReport report = cyclo.run(r, s);
+  EXPECT_EQ(report.matches, reference.matches());
+  EXPECT_EQ(report.checksum, reference.checksum());
+}
+
+INSTANTIATE_TEST_SUITE_P(Buffers, BufferCountSweep, ::testing::Values(2, 3, 4, 8));
+
+class RingSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingSizeSweep, SkewedBandJoinAcrossRingSizes) {
+  ClusterConfig cluster;
+  cluster.num_hosts = GetParam();
+  cluster.node.buffer_bytes = 8192;
+  auto r = rel::generate(
+      {.rows = 5'000, .key_domain = 1'000, .zipf_z = 0.8, .seed = 93}, "R", 1);
+  auto s = rel::generate(
+      {.rows = 5'000, .key_domain = 1'000, .zipf_z = 0.8, .seed = 94}, "S", 2);
+  const auto reference = join::local_sort_merge_join(r.tuples(), s.tuples(), 2);
+
+  CycloJoin cyclo(cluster,
+                  JoinSpec{.algorithm = Algorithm::kSortMergeJoin, .band = 2});
+  const RunReport report = cyclo.run(r, s);
+  EXPECT_EQ(report.matches, reference.matches());
+  EXPECT_EQ(report.checksum, reference.checksum());
+}
+
+INSTANTIATE_TEST_SUITE_P(Rings, RingSizeSweep, ::testing::Values(1, 2, 3, 5, 7, 8));
+
+class WindowSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WindowSweep, AnyLegalInjectionWindowDrains) {
+  ClusterConfig cluster;
+  cluster.num_hosts = 4;
+  cluster.node.num_buffers = 6;
+  cluster.node.injection_window = GetParam();
+  cluster.node.buffer_bytes = 2048;
+  auto r = rel::generate({.rows = 15'000, .key_domain = 3'000, .seed = 95}, "R", 1);
+  auto s = rel::generate({.rows = 15'000, .key_domain = 3'000, .seed = 96}, "S", 2);
+  const auto reference = join::local_hash_join(r.tuples(), s.tuples());
+
+  CycloJoin cyclo(cluster, JoinSpec{.algorithm = Algorithm::kHashJoin});
+  const RunReport report = cyclo.run(r, s);
+  EXPECT_EQ(report.checksum, reference.checksum());
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowSweep, ::testing::Values(1, 2, 3, 5));
+
+}  // namespace
+}  // namespace cj::cyclo

@@ -1,0 +1,334 @@
+// Unit tests for the verbs substrate: registration, queue pairs,
+// send/recv matching, one-sided ops, completion queues, failure modes.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "net/link.h"
+#include "rdma/verbs.h"
+#include "sim/core_pool.h"
+#include "sim/engine.h"
+
+namespace cj::rdma {
+namespace {
+
+using sim::Engine;
+using sim::Task;
+
+struct Rig {
+  Engine engine;
+  sim::CorePool cores_a{engine, 4};
+  sim::CorePool cores_b{engine, 4};
+  net::DuplexLink link{engine, net::LinkSpec{}, "rig"};
+  Device dev_a{engine, cores_a, {}, "a"};
+  Device dev_b{engine, cores_b, {}, "b"};
+  CompletionQueue a_scq{engine, 128}, a_rcq{engine, 128};
+  CompletionQueue b_scq{engine, 128}, b_rcq{engine, 128};
+  QueuePair* qp_a = nullptr;
+  QueuePair* qp_b = nullptr;
+
+  Rig() {
+    qp_a = &dev_a.create_qp(&a_scq, &a_rcq);
+    qp_b = &dev_b.create_qp(&b_scq, &b_rcq);
+    connect(*qp_a, *qp_b, link.forward, link.backward);
+  }
+};
+
+TEST(MemoryRegion, RegistrationBillsCpuAndTracksBytes) {
+  Engine e;
+  sim::CorePool cores(e, 4);
+  Device dev(e, cores, {}, "d");
+  std::vector<std::byte> buf(64 * 1024);
+  MemoryRegion* mr = nullptr;
+  e.spawn(
+      [](Device& dev, std::span<std::byte> buf, MemoryRegion** out) -> Task<void> {
+        *out = co_await dev.pd().register_memory(buf);
+      }(dev, buf, &mr),
+      "reg");
+  e.run();
+  ASSERT_NE(mr, nullptr);
+  EXPECT_EQ(mr->size(), buf.size());
+  EXPECT_EQ(dev.pd().registered_bytes(), buf.size());
+  EXPECT_GT(cores.busy_for("mr-reg"), 0);
+  // 16 pages at 400 ns + 10 us base.
+  EXPECT_EQ(cores.busy_for("mr-reg"), 10 * kMicrosecond + 16 * 400);
+}
+
+TEST(MemoryRegion, FindRegionMatchesContainment) {
+  Engine e;
+  sim::CorePool cores(e, 4);
+  Device dev(e, cores, {}, "d");
+  std::vector<std::byte> buf(4096);
+  e.spawn(
+      [](Device& dev, std::span<std::byte> buf) -> Task<void> {
+        co_await dev.pd().register_memory(buf);
+      }(dev, buf),
+      "reg");
+  e.run();
+  EXPECT_NE(dev.pd().find_region(buf.data(), 4096), nullptr);
+  EXPECT_NE(dev.pd().find_region(buf.data() + 100, 1000), nullptr);
+  EXPECT_EQ(dev.pd().find_region(buf.data() + 100, 4096), nullptr);  // overruns
+  std::byte other;
+  EXPECT_EQ(dev.pd().find_region(&other, 1), nullptr);
+}
+
+TEST(MemoryRegion, DeregisterRemoves) {
+  Engine e;
+  sim::CorePool cores(e, 4);
+  Device dev(e, cores, {}, "d");
+  std::vector<std::byte> buf(4096);
+  MemoryRegion* mr = nullptr;
+  e.spawn(
+      [](Device& dev, std::span<std::byte> buf, MemoryRegion** out) -> Task<void> {
+        *out = co_await dev.pd().register_memory(buf);
+      }(dev, buf, &mr),
+      "reg");
+  e.run();
+  dev.pd().deregister(mr);
+  EXPECT_EQ(dev.pd().registered_bytes(), 0u);
+  EXPECT_EQ(dev.pd().find_region(buf.data(), 1), nullptr);
+}
+
+TEST(QueuePair, SendRecvDeliversPayloadAndCompletions) {
+  Rig rig;
+  std::vector<std::byte> src(8192);
+  std::vector<std::byte> dst(8192);
+  for (std::size_t i = 0; i < src.size(); ++i) src[i] = static_cast<std::byte>(i * 7);
+
+  Completion send_c{}, recv_c{};
+  rig.engine.spawn(
+      [](Rig& rig, std::span<std::byte> src, std::span<std::byte> dst,
+         Completion* send_c, Completion* recv_c) -> Task<void> {
+        MemoryRegion* src_mr = co_await rig.dev_a.pd().register_memory(src);
+        MemoryRegion* dst_mr = co_await rig.dev_b.pd().register_memory(dst);
+
+        WorkRequest recv;
+        recv.wr_id = 77;
+        recv.mr = dst_mr;
+        recv.length = dst.size();
+        EXPECT_TRUE(rig.qp_b->post_recv(recv).is_ok());
+
+        WorkRequest send;
+        send.wr_id = 42;
+        send.mr = src_mr;
+        send.length = src.size();
+        EXPECT_TRUE(rig.qp_a->post_send(send).is_ok());
+
+        *send_c = co_await rig.a_scq.next();
+        *recv_c = co_await rig.b_rcq.next();
+        rig.qp_a->close();
+        rig.qp_b->close();
+      }(rig, src, dst, &send_c, &recv_c),
+      "driver");
+  rig.engine.run();
+  rig.engine.check_all_complete();
+
+  EXPECT_EQ(send_c.wr_id, 42u);
+  EXPECT_EQ(send_c.opcode, Opcode::kSend);
+  EXPECT_EQ(recv_c.wr_id, 77u);
+  EXPECT_EQ(recv_c.byte_len, src.size());
+  EXPECT_EQ(std::memcmp(src.data(), dst.data(), src.size()), 0);
+}
+
+TEST(QueuePair, MessagesMatchRecvsInFifoOrder) {
+  Rig rig;
+  std::vector<std::byte> src(128);
+  std::vector<std::byte> dst(4 * 128);
+  rig.engine.spawn(
+      [](Rig& rig, std::span<std::byte> src, std::span<std::byte> dst) -> Task<void> {
+        MemoryRegion* src_mr = co_await rig.dev_a.pd().register_memory(src);
+        MemoryRegion* dst_mr = co_await rig.dev_b.pd().register_memory(dst);
+        for (int i = 0; i < 4; ++i) {
+          WorkRequest recv;
+          recv.wr_id = static_cast<std::uint64_t>(i);
+          recv.mr = dst_mr;
+          recv.offset = static_cast<std::size_t>(i) * 128;
+          recv.length = 128;
+          EXPECT_TRUE(rig.qp_b->post_recv(recv).is_ok());
+        }
+        for (int i = 0; i < 4; ++i) {
+          std::memset(src.data(), i + 1, src.size());
+          WorkRequest send;
+          send.wr_id = static_cast<std::uint64_t>(100 + i);
+          send.mr = src_mr;
+          send.length = src.size();
+          EXPECT_TRUE(rig.qp_a->post_send(send).is_ok());
+          co_await rig.a_scq.next();  // wait so the source buffer is reusable
+        }
+        for (int i = 0; i < 4; ++i) {
+          const Completion c = co_await rig.b_rcq.next();
+          EXPECT_EQ(c.wr_id, static_cast<std::uint64_t>(i));
+        }
+        rig.qp_a->close();
+        rig.qp_b->close();
+      }(rig, src, dst),
+      "driver");
+  rig.engine.run();
+  rig.engine.check_all_complete();
+  // Message i landed in recv buffer i.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(static_cast<int>(dst[static_cast<std::size_t>(i) * 128]), i + 1);
+  }
+}
+
+TEST(QueuePair, RdmaWriteIsOneSided) {
+  Rig rig;
+  std::vector<std::byte> src(1024, std::byte{0xAB});
+  std::vector<std::byte> dst(4096);
+  rig.engine.spawn(
+      [](Rig& rig, std::span<std::byte> src, std::span<std::byte> dst) -> Task<void> {
+        MemoryRegion* src_mr = co_await rig.dev_a.pd().register_memory(src);
+        MemoryRegion* dst_mr = co_await rig.dev_b.pd().register_memory(dst);
+        WorkRequest wr;
+        wr.wr_id = 1;
+        wr.opcode = Opcode::kRdmaWrite;
+        wr.mr = src_mr;
+        wr.length = src.size();
+        wr.remote_mr = dst_mr;
+        wr.remote_offset = 512;
+        EXPECT_TRUE(rig.qp_a->post_send(wr).is_ok());
+        const Completion c = co_await rig.a_scq.next();
+        EXPECT_EQ(c.opcode, Opcode::kRdmaWrite);
+        rig.qp_a->close();
+        rig.qp_b->close();
+      }(rig, src, dst),
+      "driver");
+  rig.engine.run();
+  rig.engine.check_all_complete();
+  EXPECT_EQ(dst[512], std::byte{0xAB});
+  EXPECT_EQ(dst[511], std::byte{0});
+  // No receive was consumed and no receiver completion generated.
+  EXPECT_EQ(rig.b_rcq.depth(), 0u);
+}
+
+TEST(QueuePair, RdmaReadPullsRemoteData) {
+  Rig rig;
+  std::vector<std::byte> local(1024);
+  std::vector<std::byte> remote(1024, std::byte{0x5C});
+  rig.engine.spawn(
+      [](Rig& rig, std::span<std::byte> local,
+         std::span<std::byte> remote) -> Task<void> {
+        MemoryRegion* local_mr = co_await rig.dev_a.pd().register_memory(local);
+        MemoryRegion* remote_mr = co_await rig.dev_b.pd().register_memory(remote);
+        WorkRequest wr;
+        wr.wr_id = 9;
+        wr.opcode = Opcode::kRdmaRead;
+        wr.mr = local_mr;
+        wr.length = local.size();
+        wr.remote_mr = remote_mr;
+        EXPECT_TRUE(rig.qp_a->post_send(wr).is_ok());
+        const Completion c = co_await rig.a_scq.next();
+        EXPECT_EQ(c.opcode, Opcode::kRdmaRead);
+        rig.qp_a->close();
+        rig.qp_b->close();
+      }(rig, local, remote),
+      "driver");
+  rig.engine.run();
+  rig.engine.check_all_complete();
+  EXPECT_EQ(local[0], std::byte{0x5C});
+  EXPECT_EQ(local[1023], std::byte{0x5C});
+}
+
+TEST(QueuePair, PostSendOnUnconnectedQpFails) {
+  Engine e;
+  sim::CorePool cores(e, 4);
+  Device dev(e, cores, {}, "d");
+  CompletionQueue scq(e, 16), rcq(e, 16);
+  QueuePair& qp = dev.create_qp(&scq, &rcq);
+  std::vector<std::byte> buf(128);
+  MemoryRegion* mr = nullptr;
+  e.spawn(
+      [](Device& dev, std::span<std::byte> buf, MemoryRegion** out) -> Task<void> {
+        *out = co_await dev.pd().register_memory(buf);
+      }(dev, buf, &mr),
+      "reg");
+  e.run();
+  WorkRequest wr;
+  wr.mr = mr;
+  wr.length = 128;
+  const Status st = qp.post_send(wr);
+  EXPECT_EQ(st.code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST(QueuePair, SendQueueExhaustionIsReported) {
+  Rig rig;
+  std::vector<std::byte> buf(16);
+  MemoryRegion* mr = nullptr;
+  rig.engine.spawn(
+      [](Rig& rig, std::span<std::byte> buf, MemoryRegion** out) -> Task<void> {
+        *out = co_await rig.dev_a.pd().register_memory(buf);
+      }(rig, buf, &mr),
+      "reg");
+  rig.engine.run();
+
+  // Fill the send queue without running the engine (the NIC never drains).
+  WorkRequest wr;
+  wr.mr = mr;
+  wr.length = 16;
+  Status st = Status::ok();
+  std::uint32_t posted = 0;
+  while ((st = rig.qp_a->post_send(wr)).is_ok()) ++posted;
+  // The NIC's sender process takes the first WR for processing immediately
+  // (direct handoff), so the queue accepts its depth plus that one.
+  EXPECT_EQ(posted, rig.dev_a.attr().max_send_wr + 1);
+  EXPECT_EQ(st.code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(QueuePair, RecvQueueExhaustionIsReported) {
+  Rig rig;
+  std::vector<std::byte> buf(16);
+  MemoryRegion* mr = nullptr;
+  rig.engine.spawn(
+      [](Rig& rig, std::span<std::byte> buf, MemoryRegion** out) -> Task<void> {
+        *out = co_await rig.dev_b.pd().register_memory(buf);
+      }(rig, buf, &mr),
+      "reg");
+  rig.engine.run();
+
+  WorkRequest wr;
+  wr.mr = mr;
+  wr.length = 16;
+  Status st = Status::ok();
+  std::uint32_t posted = 0;
+  while ((st = rig.qp_b->post_recv(wr)).is_ok()) ++posted;
+  EXPECT_EQ(posted, rig.dev_b.attr().max_recv_wr);
+  EXPECT_EQ(st.code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(Throughput, LargeMessagesApproachWireSpeed) {
+  // 16 MB in one message over a 1.25 GB/s link: elapsed time (measured
+  // from after registration) should be within a few percent of
+  // bytes/bandwidth.
+  Rig rig;
+  const std::size_t bytes = 16 * 1024 * 1024;
+  std::vector<std::byte> src(bytes), dst(bytes);
+  SimTime start = 0, end = 0;
+  rig.engine.spawn(
+      [](Rig& rig, std::span<std::byte> src, std::span<std::byte> dst,
+         SimTime* start, SimTime* end) -> Task<void> {
+        MemoryRegion* src_mr = co_await rig.dev_a.pd().register_memory(src);
+        MemoryRegion* dst_mr = co_await rig.dev_b.pd().register_memory(dst);
+        *start = rig.engine.now();
+        WorkRequest recv;
+        recv.mr = dst_mr;
+        recv.length = dst.size();
+        EXPECT_TRUE(rig.qp_b->post_recv(recv).is_ok());
+        WorkRequest send;
+        send.mr = src_mr;
+        send.length = src.size();
+        EXPECT_TRUE(rig.qp_a->post_send(send).is_ok());
+        co_await rig.b_rcq.next();
+        *end = rig.engine.now();
+        rig.qp_a->close();
+        rig.qp_b->close();
+      }(rig, src, dst, &start, &end),
+      "driver");
+  rig.engine.run();
+  const double elapsed = to_seconds(end - start);
+  const double ideal = static_cast<double>(bytes) / 1.25e9;
+  EXPECT_NEAR(elapsed, ideal, ideal * 0.05);
+}
+
+}  // namespace
+}  // namespace cj::rdma

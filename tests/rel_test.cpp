@@ -1,0 +1,128 @@
+// Unit tests for relation storage and the workload generators.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "rel/generator.h"
+#include "rel/relation.h"
+
+namespace cj::rel {
+namespace {
+
+TEST(Tuple, IsExactlyTwelveBytes) {
+  static_assert(sizeof(Tuple) == 12);
+  Tuple t{0xDEADBEEF, 0x0123456789ABCDEFULL};
+  EXPECT_EQ(t.key, 0xDEADBEEFu);
+  EXPECT_EQ(t.payload, 0x0123456789ABCDEFULL);
+}
+
+TEST(Relation, BasicAccounting) {
+  Relation r("test");
+  EXPECT_TRUE(r.empty());
+  r.push_back({1, 10});
+  r.push_back({2, 20});
+  EXPECT_EQ(r.rows(), 2u);
+  EXPECT_EQ(r.bytes(), 24u);
+  EXPECT_EQ(r[1].key, 2u);
+  EXPECT_EQ(r.name(), "test");
+}
+
+TEST(Relation, CloneIsDeep) {
+  Relation r("orig");
+  r.push_back({1, 10});
+  Relation copy = r.clone();
+  copy.mutable_tuples()[0].key = 99;
+  EXPECT_EQ(r[0].key, 1u);
+  EXPECT_EQ(copy[0].key, 99u);
+}
+
+TEST(SplitEven, CoversAllRowsWithoutOverlap) {
+  Relation r("r");
+  for (std::uint32_t i = 0; i < 1000; ++i) r.push_back({i, i});
+  for (int n : {1, 2, 3, 6, 7, 999, 1000}) {
+    auto frags = split_even(r, n);
+    ASSERT_EQ(static_cast<int>(frags.size()), n);
+    std::size_t total = 0;
+    std::uint32_t expected_key = 0;
+    for (const auto& f : frags) {
+      total += f.rows();
+      for (const auto& t : f.tuples()) EXPECT_EQ(t.key, expected_key++);
+    }
+    EXPECT_EQ(total, 1000u);
+  }
+}
+
+TEST(SplitEven, FragmentsAreBalanced) {
+  Relation r("r");
+  for (std::uint32_t i = 0; i < 1003; ++i) r.push_back({i, i});
+  auto frags = split_even(r, 6);
+  for (const auto& f : frags) {
+    EXPECT_GE(f.rows(), 1003u / 6);
+    EXPECT_LE(f.rows(), 1003u / 6 + 1);
+  }
+}
+
+TEST(SplitEven, MoreFragmentsThanRows) {
+  Relation r("tiny");
+  r.push_back({1, 1});
+  auto frags = split_even(r, 4);
+  std::size_t total = 0;
+  for (const auto& f : frags) total += f.rows();
+  EXPECT_EQ(total, 1u);
+}
+
+TEST(Generate, RowCountAndDomain) {
+  auto r = generate({.rows = 5000, .key_domain = 100, .seed = 1}, "gen");
+  EXPECT_EQ(r.rows(), 5000u);
+  for (const auto& t : r.tuples()) EXPECT_LT(t.key, 100u);
+}
+
+TEST(Generate, DomainDefaultsToRows) {
+  auto r = generate({.rows = 2000, .seed = 2}, "gen");
+  for (const auto& t : r.tuples()) EXPECT_LT(t.key, 2000u);
+}
+
+TEST(Generate, PayloadsAreUniqueRowIdsWithTag) {
+  auto r = generate({.rows = 1000, .seed = 3}, "gen", /*payload_tag=*/5);
+  std::set<std::uint64_t> payloads;
+  for (const auto& t : r.tuples()) payloads.insert(t.payload);
+  EXPECT_EQ(payloads.size(), 1000u);
+  EXPECT_EQ(*payloads.begin() >> 48, 5u);
+}
+
+TEST(Generate, DeterministicPerSeed) {
+  auto a = generate({.rows = 500, .seed = 42}, "a");
+  auto b = generate({.rows = 500, .seed = 42}, "b");
+  auto c = generate({.rows = 500, .seed = 43}, "c");
+  EXPECT_TRUE(std::equal(a.tuples().begin(), a.tuples().end(), b.tuples().begin()));
+  EXPECT_FALSE(std::equal(a.tuples().begin(), a.tuples().end(), c.tuples().begin()));
+}
+
+TEST(Generate, UniformKeysAreSpread) {
+  auto r = generate({.rows = 100'000, .key_domain = 10, .seed = 4}, "u");
+  std::map<std::uint32_t, int> counts;
+  for (const auto& t : r.tuples()) ++counts[t.key];
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [k, c] : counts) EXPECT_NEAR(c, 10'000, 1'000);
+}
+
+TEST(Generate, ZipfKeysAreSkewed) {
+  auto r = generate({.rows = 100'000, .key_domain = 1000, .zipf_z = 0.9, .seed = 5},
+                    "z");
+  std::map<std::uint32_t, int> counts;
+  for (const auto& t : r.tuples()) ++counts[t.key];
+  // The hottest key should hold far more than the uniform share (100).
+  int hottest = 0;
+  for (const auto& [k, c] : counts) hottest = std::max(hottest, c);
+  EXPECT_GT(hottest, 2'000);
+}
+
+TEST(VolumeHelpers, MatchPaperArithmetic) {
+  // 140 M rows x 12 B = 1.68 GB — the paper's "1.6 GB" per relation.
+  EXPECT_EQ(volume_bytes(140'000'000), 1'680'000'000u);
+  EXPECT_EQ(rows_for_volume(volume_bytes(123)), 123u);
+}
+
+}  // namespace
+}  // namespace cj::rel

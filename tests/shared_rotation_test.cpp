@@ -1,0 +1,119 @@
+// Tests for Data Cyclotron mode: one rotation of the hot relation serving
+// several concurrent queries.
+#include <gtest/gtest.h>
+
+#include "cyclo/cyclo_join.h"
+#include "join/local_join.h"
+#include "rel/generator.h"
+
+namespace cj::cyclo {
+namespace {
+
+ClusterConfig small_cluster(int hosts) {
+  ClusterConfig cfg;
+  cfg.num_hosts = hosts;
+  cfg.node.buffer_bytes = 32 * 1024;
+  return cfg;
+}
+
+TEST(SharedRotation, EachQueryMatchesItsIndividualRun) {
+  auto r = rel::generate({.rows = 50'000, .key_domain = 10'000, .seed = 1}, "R", 1);
+  auto s1 = rel::generate({.rows = 40'000, .key_domain = 10'000, .seed = 2}, "S1", 2);
+  auto s2 = rel::generate({.rows = 20'000, .key_domain = 10'000, .seed = 3}, "S2", 3);
+  auto s3 = rel::generate({.rows = 5'000, .key_domain = 10'000, .seed = 4}, "S3", 4);
+
+  CycloJoin cyclo(small_cluster(4), JoinSpec{.algorithm = Algorithm::kHashJoin});
+  const SharedRunReport shared =
+      cyclo.run_shared(r, {SharedQuery{.stationary = &s1},
+                           SharedQuery{.stationary = &s2},
+                           SharedQuery{.stationary = &s3}});
+
+  ASSERT_EQ(shared.queries.size(), 3u);
+  const rel::Relation* tables[] = {&s1, &s2, &s3};
+  for (int q = 0; q < 3; ++q) {
+    const auto reference = join::local_hash_join(r.tuples(), tables[q]->tuples());
+    EXPECT_EQ(shared.queries[static_cast<std::size_t>(q)].matches,
+              reference.matches())
+        << "query " << q;
+    EXPECT_EQ(shared.queries[static_cast<std::size_t>(q)].checksum,
+              reference.checksum());
+  }
+}
+
+TEST(SharedRotation, NetworkTrafficIsPaidOnceNotPerQuery) {
+  auto r = rel::generate({.rows = 60'000, .key_domain = 60'000, .seed = 5}, "R", 1);
+  auto s1 = rel::generate({.rows = 30'000, .key_domain = 60'000, .seed = 6}, "S1", 2);
+  auto s2 = rel::generate({.rows = 30'000, .key_domain = 60'000, .seed = 7}, "S2", 3);
+
+  CycloJoin cyclo(small_cluster(4), JoinSpec{.algorithm = Algorithm::kHashJoin});
+  const SharedRunReport shared = cyclo.run_shared(
+      r, {SharedQuery{.stationary = &s1}, SharedQuery{.stationary = &s2}});
+  const RunReport solo = cyclo.run(r, s1);
+
+  // Same rotating relation -> ~the same bytes over the wire, not double.
+  EXPECT_NEAR(static_cast<double>(shared.bytes_on_wire),
+              static_cast<double>(solo.bytes_on_wire),
+              static_cast<double>(solo.bytes_on_wire) * 0.02);
+}
+
+TEST(SharedRotation, PerQueryBandsOnOneRotation) {
+  auto r = rel::generate({.rows = 4'000, .key_domain = 1'500, .seed = 8}, "R", 1);
+  auto s = rel::generate({.rows = 4'000, .key_domain = 1'500, .seed = 9}, "S", 2);
+
+  CycloJoin cyclo(small_cluster(3),
+                  JoinSpec{.algorithm = Algorithm::kSortMergeJoin});
+  const SharedRunReport shared = cyclo.run_shared(
+      r, {SharedQuery{.stationary = &s, .band = 0},
+          SharedQuery{.stationary = &s, .band = 2},
+          SharedQuery{.stationary = &s, .band = 8}});
+
+  const auto ref0 = join::local_sort_merge_join(r.tuples(), s.tuples(), 0);
+  const auto ref2 = join::local_sort_merge_join(r.tuples(), s.tuples(), 2);
+  const auto ref8 = join::local_sort_merge_join(r.tuples(), s.tuples(), 8);
+  EXPECT_EQ(shared.queries[0].matches, ref0.matches());
+  EXPECT_EQ(shared.queries[1].matches, ref2.matches());
+  EXPECT_EQ(shared.queries[2].matches, ref8.matches());
+  EXPECT_EQ(shared.queries[0].checksum, ref0.checksum());
+  EXPECT_EQ(shared.queries[1].checksum, ref2.checksum());
+  EXPECT_EQ(shared.queries[2].checksum, ref8.checksum());
+  // More band, more matches.
+  EXPECT_LT(shared.queries[0].matches, shared.queries[1].matches);
+  EXPECT_LT(shared.queries[1].matches, shared.queries[2].matches);
+}
+
+TEST(SharedRotation, SingleQueryEqualsRun) {
+  auto r = rel::generate({.rows = 20'000, .key_domain = 5'000, .seed = 10}, "R", 1);
+  auto s = rel::generate({.rows = 20'000, .key_domain = 5'000, .seed = 11}, "S", 2);
+  CycloJoin cyclo(small_cluster(3), JoinSpec{.algorithm = Algorithm::kHashJoin});
+  const SharedRunReport shared = cyclo.run_shared(r, {SharedQuery{.stationary = &s}});
+  const RunReport solo = cyclo.run(r, s);
+  EXPECT_EQ(shared.matches, solo.matches);
+  EXPECT_EQ(shared.checksum, solo.checksum);
+}
+
+TEST(SharedRotation, WorksOnSingleHost) {
+  auto r = rel::generate({.rows = 10'000, .key_domain = 2'000, .seed = 12}, "R", 1);
+  auto s1 = rel::generate({.rows = 8'000, .key_domain = 2'000, .seed = 13}, "S1", 2);
+  auto s2 = rel::generate({.rows = 6'000, .key_domain = 2'000, .seed = 14}, "S2", 3);
+  CycloJoin cyclo(small_cluster(1), JoinSpec{.algorithm = Algorithm::kHashJoin});
+  const SharedRunReport shared = cyclo.run_shared(
+      r, {SharedQuery{.stationary = &s1}, SharedQuery{.stationary = &s2}});
+  EXPECT_EQ(shared.queries[0].matches,
+            join::local_hash_join(r.tuples(), s1.tuples()).matches());
+  EXPECT_EQ(shared.queries[1].matches,
+            join::local_hash_join(r.tuples(), s2.tuples()).matches());
+}
+
+TEST(SharedRotationDeath, MaterializationRequiresSingleQuery) {
+  auto r = rel::generate({.rows = 100, .key_domain = 50, .seed = 15}, "R", 1);
+  auto s = rel::generate({.rows = 100, .key_domain = 50, .seed = 16}, "S", 2);
+  JoinSpec spec{.algorithm = Algorithm::kHashJoin};
+  spec.materialize = true;
+  CycloJoin cyclo(small_cluster(2), spec);
+  EXPECT_DEATH(cyclo.run_shared(r, {SharedQuery{.stationary = &s},
+                                    SharedQuery{.stationary = &s}}),
+               "single-query");
+}
+
+}  // namespace
+}  // namespace cj::cyclo

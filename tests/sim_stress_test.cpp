@@ -1,0 +1,182 @@
+// Randomized stress tests for the simulation substrate: many processes
+// hammering channels, semaphores and core pools with random interleavings.
+// Invariants: conservation (everything produced is consumed exactly once),
+// capacity/concurrency limits are never exceeded, the engine always drains,
+// and identical seeds produce identical virtual schedules.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/core_pool.h"
+#include "sim/engine.h"
+#include "sim/sync.h"
+#include "sim/when_all.h"
+
+namespace cj::sim {
+namespace {
+
+struct StressOutcome {
+  std::vector<std::pair<int, int>> consumed;  // (producer, seq)
+  SimTime end_time = 0;
+  std::uint64_t events = 0;
+};
+
+// `producers` processes push tagged items through a shared bounded channel
+// with random virtual pacing; `consumers` drain it with their own pacing.
+StressOutcome run_channel_stress(std::uint64_t seed, int producers, int consumers,
+                                 int items_per_producer, std::size_t capacity) {
+  Engine engine;
+  Channel<std::pair<int, int>> channel(engine, capacity);
+  StressOutcome out;
+
+  auto producer = [](Engine& engine, Channel<std::pair<int, int>>& channel,
+                     Rng rng, int id, int items) -> Task<void> {
+    for (int i = 0; i < items; ++i) {
+      co_await engine.sleep(static_cast<SimDuration>(rng.next_below(50)) *
+                            kMicrosecond);
+      co_await channel.push({id, i});
+    }
+  };
+  auto consumer = [](Engine& engine, Channel<std::pair<int, int>>& channel,
+                     Rng rng, StressOutcome* out) -> Task<void> {
+    while (auto item = co_await channel.pop()) {
+      out->consumed.push_back(*item);
+      co_await engine.sleep(static_cast<SimDuration>(rng.next_below(30)) *
+                            kMicrosecond);
+    }
+  };
+
+  Rng root(seed);
+  std::vector<ProcessHandle> handles;
+  std::vector<Task<void>> producer_tasks;
+  for (int p = 0; p < producers; ++p) {
+    producer_tasks.push_back(
+        producer(engine, channel, root.split(), p, items_per_producer));
+  }
+  // Close the channel once all producers finish.
+  engine.spawn(
+      [](Engine& engine, Channel<std::pair<int, int>>& channel,
+         std::vector<Task<void>> tasks) -> Task<void> {
+        co_await when_all(engine, std::move(tasks));
+        channel.close();
+      }(engine, channel, std::move(producer_tasks)),
+      "producers");
+  for (int c = 0; c < consumers; ++c) {
+    engine.spawn(consumer(engine, channel, root.split(), &out), "consumer");
+  }
+
+  engine.run();
+  engine.check_all_complete();
+  out.end_time = engine.now();
+  out.events = engine.events_processed();
+  return out;
+}
+
+class ChannelStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChannelStress, EveryItemConsumedExactlyOnceAndInOrderPerProducer) {
+  const StressOutcome out = run_channel_stress(GetParam(), 5, 3, 40, 4);
+  ASSERT_EQ(out.consumed.size(), 200u);
+  std::map<int, int> next_seq;
+  std::map<std::pair<int, int>, int> times_seen;
+  for (const auto& item : out.consumed) ++times_seen[item];
+  for (const auto& [item, count] : times_seen) EXPECT_EQ(count, 1);
+  // FIFO channel + FIFO producers: each producer's items leave in order.
+  std::map<int, int> last;
+  for (const auto& [producer, seq] : out.consumed) {
+    auto it = last.find(producer);
+    if (it != last.end()) {
+      EXPECT_GT(seq, it->second);
+    }
+    last[producer] = seq;
+  }
+}
+
+TEST_P(ChannelStress, DeterministicReplay) {
+  const StressOutcome a = run_channel_stress(GetParam(), 4, 2, 25, 3);
+  const StressOutcome b = run_channel_stress(GetParam(), 4, 2, 25, 3);
+  EXPECT_EQ(a.consumed, b.consumed);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.events, b.events);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChannelStress,
+                         ::testing::Values(1, 7, 42, 1234, 999983));
+
+TEST(CorePoolStress, MakespanBoundsProveBoundedConcurrency) {
+  Engine engine;
+  constexpr int kCores = 3;
+  CorePool pool(engine, kCores);
+  Rng rng(77);
+
+  SimDuration total = 0;
+  SimDuration longest = 0;
+  std::vector<Task<void>> tasks;
+  for (int i = 0; i < 60; ++i) {
+    const auto cost =
+        static_cast<SimDuration>(rng.next_in(1, 400)) * kMicrosecond;
+    total += cost;
+    longest = std::max(longest, cost);
+    tasks.push_back(pool.consume(cost, "stress"));
+  }
+  engine.spawn(when_all(engine, std::move(tasks)), "batch");
+  engine.run();
+  engine.check_all_complete();
+  // All work was done (busy conservation), never on more than kCores
+  // simultaneously (makespan >= total/kCores), and without idling while
+  // work was queued (non-preemptive bound: makespan <= total/kCores + max).
+  EXPECT_EQ(pool.busy_total(), total);
+  EXPECT_GE(engine.now() * kCores, total);
+  EXPECT_LE(engine.now(), total / kCores + longest);
+}
+
+TEST(SemaphoreStress, CountNeverGoesNegative) {
+  Engine engine;
+  Semaphore sem(engine, 5);
+  Rng rng(99);
+  int inside = 0;
+  bool violated = false;
+
+  std::vector<Task<void>> tasks;
+  for (int i = 0; i < 100; ++i) {
+    const auto hold =
+        static_cast<SimDuration>(rng.next_in(1, 100)) * kMicrosecond;
+    tasks.push_back([](Engine& engine, Semaphore& sem, SimDuration hold,
+                       int* inside, bool* violated) -> Task<void> {
+      co_await sem.acquire();
+      if (++*inside > 5) *violated = true;
+      co_await engine.sleep(hold);
+      --*inside;
+      sem.release();
+    }(engine, sem, hold, &inside, &violated));
+  }
+  engine.spawn(when_all(engine, std::move(tasks)), "batch");
+  engine.run();
+  engine.check_all_complete();
+  EXPECT_FALSE(violated);
+  EXPECT_EQ(sem.available(), 5);
+}
+
+TEST(EngineStress, ManyProcessesManyEvents) {
+  Engine engine;
+  std::uint64_t total_ticks = 0;
+  for (int p = 0; p < 200; ++p) {
+    engine.spawn(
+        [](Engine& engine, std::uint64_t* total, int id) -> Task<void> {
+          for (int i = 0; i < 50; ++i) {
+            co_await engine.sleep((id % 7 + 1) * kMicrosecond);
+            ++*total;
+          }
+        }(engine, &total_ticks, p),
+        "p");
+  }
+  engine.run();
+  engine.check_all_complete();
+  EXPECT_EQ(total_ticks, 10'000u);
+  EXPECT_GE(engine.events_processed(), 10'000u);
+}
+
+}  // namespace
+}  // namespace cj::sim

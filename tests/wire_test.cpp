@@ -1,0 +1,207 @@
+// Direct tests of the Wire abstraction (RdmaWire / TcpWire) below the
+// RoundaboutNode: posted-buffer matching, tags, zero-length messages,
+// payload integrity, concurrent senders.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "net/link.h"
+#include "rdma/verbs.h"
+#include "ring/rdma_wire.h"
+#include "ring/tcp_wire.h"
+#include "sim/core_pool.h"
+#include "sim/engine.h"
+#include "sim/when_all.h"
+#include "tcpsim/tcp.h"
+
+namespace cj::ring {
+namespace {
+
+using sim::Engine;
+using sim::Task;
+
+// A pair of Wires (A's out-wire and B's in-wire of the same connection),
+// over either transport.
+struct WirePair {
+  Engine engine;
+  sim::CorePool cores_a{engine, 4};
+  sim::CorePool cores_b{engine, 4};
+  net::DuplexLink link{engine, net::LinkSpec{}, "wire"};
+
+  // RDMA plumbing.
+  std::unique_ptr<rdma::Device> dev_a, dev_b;
+  std::unique_ptr<rdma::CompletionQueue> a_scq, a_rcq, b_scq, b_rcq;
+
+  // TCP plumbing.
+  std::unique_ptr<tcpsim::TcpConnection> data_conn, credit_conn;
+
+  std::unique_ptr<Wire> a_out;  // sends data A->B, receives credits
+  std::unique_ptr<Wire> b_in;   // receives data, sends credits B->A
+
+  explicit WirePair(bool rdma) {
+    if (rdma) {
+      dev_a = std::make_unique<rdma::Device>(engine, cores_a, rdma::DeviceAttr{}, "a");
+      dev_b = std::make_unique<rdma::Device>(engine, cores_b, rdma::DeviceAttr{}, "b");
+      a_scq = std::make_unique<rdma::CompletionQueue>(engine, 256);
+      a_rcq = std::make_unique<rdma::CompletionQueue>(engine, 256);
+      b_scq = std::make_unique<rdma::CompletionQueue>(engine, 256);
+      b_rcq = std::make_unique<rdma::CompletionQueue>(engine, 256);
+      rdma::QueuePair& qp_a = dev_a->create_qp(a_scq.get(), a_rcq.get());
+      rdma::QueuePair& qp_b = dev_b->create_qp(b_scq.get(), b_rcq.get());
+      rdma::connect(qp_a, qp_b, link.forward, link.backward);
+      a_out = std::make_unique<RdmaWire>(*dev_a, qp_a, *a_scq, *a_rcq);
+      b_in = std::make_unique<RdmaWire>(*dev_b, qp_b, *b_scq, *b_rcq);
+    } else {
+      data_conn = std::make_unique<tcpsim::TcpConnection>(
+          engine, cores_a, cores_b, link.forward, tcpsim::TcpModelConfig{});
+      credit_conn = std::make_unique<tcpsim::TcpConnection>(
+          engine, cores_b, cores_a, link.backward, tcpsim::TcpModelConfig{});
+      a_out = std::make_unique<TcpWire>(engine, *data_conn, *credit_conn, 16);
+      b_in = std::make_unique<TcpWire>(engine, *credit_conn, *data_conn, 16);
+    }
+  }
+
+  void finish() {
+    a_out->close_send();
+    b_in->close_send();
+    a_out->close_recv();
+    b_in->close_recv();
+  }
+};
+
+class WireTransports : public ::testing::TestWithParam<bool> {};
+
+TEST_P(WireTransports, MessageLandsInPostedBufferWithTag) {
+  WirePair pair(GetParam());
+  std::vector<std::byte> src(1000);
+  std::vector<std::byte> dst(2048);
+  for (std::size_t i = 0; i < src.size(); ++i) src[i] = static_cast<std::byte>(i);
+  Arrival arrival{};
+  pair.engine.spawn(
+      [](WirePair& pair, std::span<std::byte> src, std::span<std::byte> dst,
+         Arrival* out) -> Task<void> {
+        co_await pair.a_out->prepare(src);
+        co_await pair.b_in->prepare(dst);
+        co_await pair.b_in->post_recv(17, dst);
+        co_await pair.a_out->send(src);
+        *out = co_await pair.b_in->next_arrival();
+        pair.finish();
+      }(pair, src, dst, &arrival),
+      "driver");
+  pair.engine.run();
+  pair.engine.check_all_complete();
+  EXPECT_EQ(arrival.tag, 17u);
+  EXPECT_EQ(arrival.length, src.size());
+  EXPECT_EQ(std::memcmp(src.data(), dst.data(), src.size()), 0);
+}
+
+TEST_P(WireTransports, PostedBuffersConsumedFifo) {
+  WirePair pair(GetParam());
+  std::vector<std::byte> src(64);
+  std::vector<std::byte> dst(4 * 64);
+  std::vector<std::uint64_t> tags;
+  pair.engine.spawn(
+      [](WirePair& pair, std::span<std::byte> src, std::span<std::byte> dst,
+         std::vector<std::uint64_t>* tags) -> Task<void> {
+        co_await pair.a_out->prepare(src);
+        co_await pair.b_in->prepare(dst);
+        for (int i = 0; i < 4; ++i) {
+          co_await pair.b_in->post_recv(static_cast<std::uint64_t>(10 + i),
+                                        dst.subspan(static_cast<std::size_t>(i) * 64, 64));
+        }
+        for (int i = 0; i < 4; ++i) {
+          std::memset(src.data(), 0x40 + i, src.size());
+          co_await pair.a_out->send(src);
+        }
+        for (int i = 0; i < 4; ++i) {
+          tags->push_back((co_await pair.b_in->next_arrival()).tag);
+        }
+        pair.finish();
+      }(pair, src, dst, &tags),
+      "driver");
+  pair.engine.run();
+  pair.engine.check_all_complete();
+  EXPECT_EQ(tags, (std::vector<std::uint64_t>{10, 11, 12, 13}));
+  // Message i landed in buffer i.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(static_cast<int>(dst[static_cast<std::size_t>(i) * 64]), 0x40 + i);
+  }
+}
+
+TEST_P(WireTransports, ZeroLengthMessagesAreDeliveredAsAcks) {
+  WirePair pair(GetParam());
+  std::vector<std::byte> slot(8);
+  std::vector<std::byte> dst(64);
+  Arrival arrival{};
+  pair.engine.spawn(
+      [](WirePair& pair, std::span<std::byte> slot, std::span<std::byte> dst,
+         Arrival* out) -> Task<void> {
+        co_await pair.a_out->prepare(slot);
+        co_await pair.b_in->prepare(dst);
+        co_await pair.b_in->post_recv(5, dst);
+        co_await pair.a_out->send(std::span<const std::byte>(slot.data(), 0));
+        *out = co_await pair.b_in->next_arrival();
+        pair.finish();
+      }(pair, slot, dst, &arrival),
+      "driver");
+  pair.engine.run();
+  pair.engine.check_all_complete();
+  EXPECT_EQ(arrival.tag, 5u);
+  EXPECT_EQ(arrival.length, 0u);
+}
+
+TEST_P(WireTransports, BidirectionalTrafficOnOneConnection) {
+  // Data A->B while credits flow B->A, concurrently.
+  WirePair pair(GetParam());
+  std::vector<std::byte> data(512);
+  std::vector<std::byte> data_dst(512);
+  std::vector<std::byte> credit(8);
+  std::vector<std::byte> credit_dst(8);
+  int credits_seen = 0;
+  pair.engine.spawn(
+      [](WirePair& pair, std::span<std::byte> data, std::span<std::byte> data_dst,
+         std::span<std::byte> credit, std::span<std::byte> credit_dst,
+         int* credits_seen) -> Task<void> {
+        co_await pair.a_out->prepare(data);
+        co_await pair.a_out->prepare(credit_dst);
+        co_await pair.b_in->prepare(data_dst);
+        co_await pair.b_in->prepare(credit);
+
+        for (int round = 0; round < 3; ++round) {
+          co_await pair.b_in->post_recv(1, data_dst);
+          co_await pair.a_out->post_recv(2, credit_dst);
+          co_await pair.a_out->send(data);
+          (void)co_await pair.b_in->next_arrival();
+          co_await pair.b_in->send(credit);  // credit back
+          const Arrival c = co_await pair.a_out->next_arrival();
+          if (c.tag == 2) ++*credits_seen;
+        }
+        pair.finish();
+      }(pair, data, data_dst, credit, credit_dst, &credits_seen),
+      "driver");
+  pair.engine.run();
+  pair.engine.check_all_complete();
+  EXPECT_EQ(credits_seen, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, WireTransports,
+                         ::testing::Values(true, false),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Rdma" : "Tcp";
+                         });
+
+TEST(RdmaWireDeath, SendingUnregisteredMemoryAborts) {
+  WirePair pair(true);
+  std::vector<std::byte> rogue(64);
+  pair.engine.spawn(
+      [](WirePair& pair, std::span<std::byte> rogue) -> Task<void> {
+        co_await pair.a_out->send(rogue);
+      }(pair, rogue),
+      "driver");
+  EXPECT_DEATH(pair.engine.run(), "registered");
+}
+
+}  // namespace
+}  // namespace cj::ring
