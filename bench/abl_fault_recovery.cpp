@@ -1,0 +1,105 @@
+// Ablation: what fault tolerance costs when nothing goes wrong, and what
+// recovery costs when something does.
+//
+// The paper's protocol (Sec. III) assumes a reliable fabric and fail-free
+// hosts. This harness measures the resilient Data Roundabout variant
+// (frame headers, retire acks, origin re-injection, crash bypass — see
+// docs/FAULTS.md) against the baseline on the same workload:
+//
+//   none       fault-free run of the *baseline* protocol
+//   clean      fault-free run with resilience armed (frames + acks only;
+//              the injector is enabled by a 1.0x no-op slowdown)
+//   transient  seeded message drops + corruptions on every link
+//   crash      one host fails at join start; survivors splice the ring
+//              and finish degraded
+//
+// Reported makespans are join-phase wall clock; the crash row also shows
+// how many R/S rows the dead host took with it.
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace cj;
+  auto flags = bench::parse_flags_or_die(argc, argv);
+  const std::int64_t scale = flags.get_int("scale", bench::kDefaultScale);
+  const double drop = flags.get_double("drop", 0.01);
+  const double corrupt = flags.get_double("corrupt", 0.01);
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const auto rings = flags.get_int_list("rings", {3, 4, 5, 6});
+  // The retire-ack timeout must exceed the worst-case chunk round trip
+  // (full revolution including per-hop join time) or healthy chunks get
+  // re-injected spuriously, wasting a revolution of bandwidth each.
+  const std::int64_t ack_ms = flags.get_int("ack_timeout_ms", 100);
+  bench::check_unused_flags(flags);
+
+  bench::print_banner(
+      "Ablation — fault-recovery overhead (hash join)",
+      "resilience is ~free when idle; recovery costs bandwidth, not "
+      "correctness (extension of paper Sec. III)", scale);
+
+  auto [r, s] = bench::uniform_pair(bench::kRowsFig7, scale);
+  std::printf("transient faults: drop %.2f%%, corrupt %.2f%% per message, "
+              "seed %llu\n\n",
+              drop * 100.0, corrupt * 100.0,
+              static_cast<unsigned long long>(seed));
+
+  std::printf("%5s  %-10s  %10s  %9s  %8s  %9s  %9s  %14s\n", "ring",
+              "scenario", "join[s]", "overhead", "retrans", "reinject",
+              "recovered", "lost rows R/S");
+
+  for (const auto ring_ll : rings) {
+    const int ring = static_cast<int>(ring_ll);
+    double baseline = 0.0;
+    for (int scenario = 0; scenario < 4; ++scenario) {
+      cyclo::ClusterConfig cfg = bench::paper_cluster(ring, scale);
+      cfg.node.resilience.ack_timeout = ack_ms * kMillisecond;
+      cfg.node.resilience.max_reinjections = 64;
+      const char* name = "none";
+      switch (scenario) {
+        case 0:
+          break;
+        case 1:
+          name = "clean";
+          // A 1.0x slowdown at t=0 makes the plan non-empty (arming the
+          // resilient protocol) without perturbing anything.
+          cfg.fault.seed = seed;
+          cfg.fault.slowdowns.push_back({.host = 0, .at = 0, .factor = 1.0});
+          break;
+        case 2:
+          name = "transient";
+          cfg.fault.seed = seed;
+          cfg.fault.link.drop_prob = drop;
+          cfg.fault.link.corrupt_prob = corrupt;
+          break;
+        case 3:
+          name = "crash";
+          cfg.fault.seed = seed;
+          cfg.fault.crashes.push_back({.host = ring / 2, .at = 0});
+          break;
+      }
+
+      cyclo::CycloJoin cyclo(
+          cfg, cyclo::JoinSpec{.algorithm = cyclo::Algorithm::kHashJoin});
+      const cyclo::RunReport rep = cyclo.run(r, s);
+      const double wall = bench::seconds(rep.join_wall);
+      if (scenario == 0) baseline = wall;
+
+      char lost[32] = "-";
+      if (rep.fault.degraded) {
+        std::snprintf(lost, sizeof(lost), "%llu/%llu",
+                      static_cast<unsigned long long>(rep.fault.lost_r_rows),
+                      static_cast<unsigned long long>(rep.fault.lost_s_rows));
+      }
+      std::printf("%5d  %-10s  %10.3f  %8.1f%%  %8llu  %9llu  %9llu  %14s\n",
+                  ring, name, wall, (wall / baseline - 1.0) * 100.0,
+                  static_cast<unsigned long long>(rep.fault.retransmissions),
+                  static_cast<unsigned long long>(rep.fault.chunks_reinjected),
+                  static_cast<unsigned long long>(rep.fault.chunks_recovered),
+                  lost);
+    }
+    std::printf("\n");
+  }
+  std::printf("overhead is vs the baseline ('none') row of the same ring "
+              "size; 'crash' completes degraded: the result is exactly "
+              "(R \\ R_dead) JOIN (S \\ S_dead)\n");
+  return 0;
+}

@@ -3,13 +3,23 @@
 namespace cj::cyclo {
 
 Cluster::Cluster(sim::Engine& engine, const ClusterConfig& config)
-    : config_(config), fabric_(engine, config.num_hosts, config.link) {
+    : engine_(engine),
+      config_(config),
+      fabric_(engine, config.num_hosts, config.link) {
   CJ_CHECK(config_.num_hosts >= 1);
 
   CJ_CHECK_MSG(config_.per_host_cpu_scale.empty() ||
                    config_.per_host_cpu_scale.size() ==
                        static_cast<std::size_t>(config_.num_hosts),
                "per_host_cpu_scale must be empty or have one entry per host");
+  if (!config_.fault.empty()) {
+    CJ_CHECK_MSG(config_.transport == Transport::kRdma,
+                 "fault injection requires the RDMA transport");
+    injector_ = std::make_unique<sim::FaultInjector>(engine, config_.fault);
+    // Under faults, receiver-not-ready is a transient condition (a repair
+    // can leave a message racing a re-posted buffer), not a protocol bug.
+    config_.rdma_attr.rnr_retry = true;
+  }
   for (int i = 0; i < config_.num_hosts; ++i) {
     auto host = std::make_unique<Host>();
     const double host_scale =
@@ -19,6 +29,7 @@ Cluster::Cluster(sim::Engine& engine, const ClusterConfig& config)
     host->cores = std::make_unique<sim::CorePool>(
         engine, config_.cores_per_host, config_.context_switch_cost,
         config_.cpu_scale * host_scale);
+    if (injector_ != nullptr) injector_->arm_slowdowns(i, *host->cores);
     if (config_.transport == Transport::kRdma) {
       host->device = std::make_unique<rdma::Device>(
           engine, *host->cores, config_.rdma_attr, "rnic" + std::to_string(i));
@@ -38,8 +49,11 @@ Cluster::Cluster(sim::Engine& engine, const ClusterConfig& config)
   // Over TCP the kernel's window provides the backpressure; explicit
   // credits are an RDMA necessity (paper's TCP baseline is plain send/recv).
   node_cfg.use_credits = config_.transport == Transport::kRdma;
+  node_cfg.resilience.enabled = injector_ != nullptr && config_.num_hosts > 1;
+  node_cfg.resilience.num_hosts = config_.num_hosts;
   for (int i = 0; i < config_.num_hosts; ++i) {
     Host& host = *hosts_[static_cast<std::size_t>(i)];
+    node_cfg.resilience.host_id = i;
     host.node = std::make_unique<ring::RoundaboutNode>(
         engine, *host.cores, host.in_wire.get(), host.out_wire.get(), node_cfg);
   }
@@ -69,12 +83,60 @@ void Cluster::wire_rdma(sim::Engine& engine) {
     net::Link& data = fabric_.data_link(i);
     net::Link& credit = fabric_.control_link(succ);
     rdma::connect(qp_a, qp_b, data, credit);
+    if (injector_ != nullptr) {
+      // Link ids: the data direction of edge i is link i, the credit
+      // direction is link n + i (fault plans usually target the data side).
+      qp_a.attach_fault_injector(injector_.get(), i);
+      qp_b.attach_fault_injector(injector_.get(), n + i);
+    }
 
     a.out_wire = std::make_unique<ring::RdmaWire>(*a.device, qp_a, a_scq, a_rcq,
                                                   config_.rdma_wire);
     b.in_wire = std::make_unique<ring::RdmaWire>(*b.device, qp_b, b_scq, b_rcq,
                                                  config_.rdma_wire);
   }
+}
+
+sim::Task<void> Cluster::splice_around(int dead) {
+  CJ_CHECK_MSG(config_.transport == Transport::kRdma,
+               "ring repair is only implemented for the RDMA transport");
+  const int n = config_.num_hosts;
+  CJ_CHECK_MSG(n >= 3, "ring repair needs at least three hosts");
+  const int pred = fabric_.predecessor(dead);
+  const int succ = fabric_.successor(dead);
+  Host& p = *hosts_[static_cast<std::size_t>(pred)];
+  Host& s = *hosts_[static_cast<std::size_t>(succ)];
+
+  auto repair = std::make_unique<RepairPlumbing>();
+  repair->link = std::make_unique<net::DuplexLink>(
+      engine_, config_.link,
+      "repair[" + std::to_string(pred) + "->" + std::to_string(succ) + "]");
+
+  auto make_cq = [&](Host& h) -> rdma::CompletionQueue& {
+    h.cqs.push_back(std::make_unique<rdma::CompletionQueue>(
+        engine_, h.device->attr().max_cq_entries));
+    return *h.cqs.back();
+  };
+  rdma::CompletionQueue& p_scq = make_cq(p);
+  rdma::CompletionQueue& p_rcq = make_cq(p);
+  rdma::CompletionQueue& s_scq = make_cq(s);
+  rdma::CompletionQueue& s_rcq = make_cq(s);
+  rdma::QueuePair& qp_p = p.device->create_qp(&p_scq, &p_rcq);
+  rdma::QueuePair& qp_s = s.device->create_qp(&s_scq, &s_rcq);
+  rdma::connect(qp_p, qp_s, repair->link->forward, repair->link->backward);
+  // The replacement link carries no injected faults: its fresh link ids
+  // have no specs, and a flaky repair path would just re-trigger recovery.
+
+  repair->pred_out = std::make_unique<ring::RdmaWire>(*p.device, qp_p, p_scq,
+                                                      p_rcq, config_.rdma_wire);
+  repair->succ_in = std::make_unique<ring::RdmaWire>(*s.device, qp_s, s_scq,
+                                                     s_rcq, config_.rdma_wire);
+
+  // Inbound side first: the successor reports how many receive buffers it
+  // re-posted, which is exactly the predecessor's opening credit balance.
+  const int credits = co_await s.node->splice_in(repair->succ_in.get());
+  co_await p.node->splice_out(repair->pred_out.get(), credits);
+  repairs_.push_back(std::move(repair));
 }
 
 void Cluster::wire_tcp(sim::Engine& engine) {

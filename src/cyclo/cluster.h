@@ -14,6 +14,7 @@
 #include "ring/tcp_wire.h"
 #include "sim/core_pool.h"
 #include "sim/engine.h"
+#include "sim/fault.h"
 #include "tcpsim/tcp.h"
 
 namespace cj::cyclo {
@@ -32,6 +33,15 @@ class Cluster {
   rdma::Device& device(int host) { return *hosts_[static_cast<std::size_t>(host)]->device; }
   net::RingFabric& fabric() { return fabric_; }
 
+  /// Non-null iff the config carries a fault plan.
+  sim::FaultInjector* injector() { return injector_.get(); }
+
+  /// Ring repair after `dead` fail-stopped: builds a fresh duplex link plus
+  /// QPs between the dead host's neighbors and splices their nodes onto it
+  /// (the survivors' in/out wires are swapped live). RDMA transport only;
+  /// supports the single-crash plans the fault framework allows.
+  sim::Task<void> splice_around(int dead);
+
  private:
   struct Host {
     std::unique_ptr<sim::CorePool> cores;
@@ -49,13 +59,22 @@ class Cluster {
     std::unique_ptr<tcpsim::TcpConnection> credit;  // i+1 -> i
   };
 
+  struct RepairPlumbing {
+    std::unique_ptr<net::DuplexLink> link;
+    std::unique_ptr<ring::Wire> pred_out;
+    std::unique_ptr<ring::Wire> succ_in;
+  };
+
   void wire_rdma(sim::Engine& engine);
   void wire_tcp(sim::Engine& engine);
 
+  sim::Engine& engine_;
   ClusterConfig config_;
   net::RingFabric fabric_;
+  std::unique_ptr<sim::FaultInjector> injector_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<TcpPlumbing> tcp_plumbing_;
+  std::vector<std::unique_ptr<RepairPlumbing>> repairs_;
 };
 
 }  // namespace cj::cyclo

@@ -12,6 +12,7 @@
 #include "rel/relation.h"
 #include "ring/node.h"
 #include "ring/rdma_wire.h"
+#include "sim/fault.h"
 #include "tcpsim/tcp.h"
 
 namespace cj::cyclo {
@@ -44,6 +45,14 @@ struct ClusterConfig {
   ring::RdmaWireConfig rdma_wire;
   tcpsim::TcpModelConfig tcp;
   ring::NodeConfig node;
+
+  /// Fault schedule for this run. A non-empty plan switches the ring into
+  /// resilient mode (framed messages, retire board, ring repair) and
+  /// requires the RDMA transport; an empty plan leaves every code path
+  /// byte-identical to a build without fault injection. Knobs for the
+  /// resilient protocol itself (ack timeout, re-injection limit) live in
+  /// node.resilience; its enabled/host_id/num_hosts fields are derived.
+  sim::FaultPlan fault;
 };
 
 struct JoinSpec {

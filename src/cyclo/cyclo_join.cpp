@@ -4,6 +4,7 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <set>
 
 #include "cyclo/chunk.h"
 #include "cyclo/cluster.h"
@@ -49,6 +50,10 @@ struct QueryState {
       nullptr;
 
   join::JoinResult result{false};
+  /// Resilient mode only: partial results keyed by the rotating chunk's
+  /// origin host. A crash retracts R_dead by dropping its bucket — the
+  /// reported result is exactly (R \ R_dead) ⋈ (S \ S_dead).
+  std::vector<join::JoinResult> per_origin;
 };
 
 /// Everything one simulated host owns during a run.
@@ -146,14 +151,31 @@ class Runner {
     CJ_CHECK_MSG(!spec_.materialize || queries.size() == 1,
                  "materialization is only supported for single-query runs");
 
+    resilient_ = !cluster_cfg_.fault.empty() && n_ > 1;
+    if (resilient_) {
+      CJ_CHECK_MSG(!spec_.materialize,
+                   "materialization is not supported under fault injection");
+      retired_board_.resize(static_cast<std::size_t>(n_));
+    }
+    if (!cluster_cfg_.fault.crashes.empty()) {
+      CJ_CHECK_MSG(cluster_cfg_.fault.crashes.size() == 1,
+                   "the fault framework supports at most one host crash");
+      const sim::HostCrashSpec& crash = cluster_cfg_.fault.crashes.front();
+      CJ_CHECK_MSG(crash.host >= 0 && crash.host < n_,
+                   "crash host out of range");
+      CJ_CHECK_MSG(n_ >= 3, "surviving a crash needs at least three hosts");
+    }
+
     // Distribute the rotating relation and every stationary relation
     // evenly over the hosts.
     auto r_frags = rel::split_even(r, n_);
     hosts_.resize(static_cast<std::size_t>(n_));
+    s_rows_.assign(static_cast<std::size_t>(n_), 0);
     for (int i = 0; i < n_; ++i) {
       auto& host = hosts_[static_cast<std::size_t>(i)];
       host = std::make_unique<HostRun>();
       host->r_frag = std::move(r_frags[static_cast<std::size_t>(i)]);
+      r_rows_.push_back(host->r_frag.rows());
       host->join_slots =
           std::make_unique<sim::Semaphore>(engine_, spec_.join_threads);
       host->queries.resize(queries.size());
@@ -168,6 +190,11 @@ class Runner {
         state.band = queries_[q].band;  // run() copies spec_.band here
         state.predicate = &queries_[q].predicate;
         state.result = join::JoinResult(spec_.materialize);
+        if (resilient_) {
+          state.per_origin.reserve(static_cast<std::size_t>(n_));
+          for (int o = 0; o < n_; ++o) state.per_origin.emplace_back(false);
+        }
+        s_rows_[static_cast<std::size_t>(i)] += state.s_frag.rows();
         max_s_rows = std::max(max_s_rows, state.s_frag.rows());
       }
     }
@@ -177,6 +204,17 @@ class Runner {
   }
 
   SharedRunReport execute() {
+    if (resilient_) {
+      // The termination detector listens on every origin's retire acks; it
+      // must be installed before any node starts.
+      for (int i = 0; i < n_; ++i) {
+        cluster_.node(i).set_on_ack([this] { maybe_finish(); });
+      }
+      for (const sim::HostCrashSpec& crash : cluster_cfg_.fault.crashes) {
+        engine_.spawn(crash_watcher(crash),
+                      "crash-watcher" + std::to_string(crash.host));
+      }
+    }
     for (int i = 0; i < n_; ++i) {
       engine_.spawn(host_process(i), "host" + std::to_string(i));
     }
@@ -211,9 +249,11 @@ class Runner {
         slabs.push_back(host.slab.slab());
         counts = counts_for(i);
       }
-      co_await node.start(counts, std::move(slabs));
+      const Status started = co_await node.start(counts, std::move(slabs));
+      CJ_CHECK_MSG(started.is_ok(), started.to_string().c_str());
     }
     co_await start_barrier_.arrive_and_wait();
+    if (resilient_) join_phase_started_.set();
 
     // ---- join phase ----------------------------------------------------
     host.join_started_at = engine_.now();
@@ -225,18 +265,45 @@ class Runner {
 
     // Local chunks first (they are resident), then arrivals in ring order.
     for (std::size_t c = 0; c < host.slab.num_chunks(); ++c) {
+      if (resilient_ && node.stopped()) break;  // this host died mid-run
       co_await join_chunk(i, decode_chunk(host.slab.chunk(c)));
     }
-    const std::uint64_t arrivals =
-        n_ > 1 ? global_chunks() - host.slab.num_chunks() : 0;
-    for (std::uint64_t k = 0; k < arrivals; ++k) {
-      ring::InboundChunk inbound = co_await node.next_chunk();
-      const ChunkView view = decode_chunk(inbound.payload);
-      co_await join_chunk(i, view);
-      if (cluster_.fabric().successor(i) == view.origin_host) {
-        node.retire(inbound);  // full revolution completed
-      } else {
-        node.forward(inbound);
+    if (resilient_) {
+      // Dynamic termination: pull chunks until the retire-board detector
+      // (or this host's own crash) delivers a stop chunk. An all-empty run
+      // produces no acks, so kick the detector once here.
+      maybe_finish();
+      while (true) {
+        ring::InboundChunk inbound = co_await node.next_chunk();
+        if (inbound.stop) break;
+        const ChunkView view = decode_chunk(inbound.payload);
+        const int origin = inbound.origin;
+        const std::uint32_t seq = inbound.seq;
+        const bool origin_dead = crashed_.count(origin) != 0;
+        if (!inbound.duplicate && !origin_dead) co_await join_chunk(i, view);
+        if (origin_dead) {
+          // A dead origin can neither take an ack nor re-inject; retire its
+          // chunk quietly at the first surviving host that notices.
+          node.retire(inbound, /*send_ack=*/false);
+        } else if (surviving_successor(i) == origin) {
+          node.retire(inbound);  // full revolution completed
+          note_retired(origin, seq);
+        } else {
+          node.forward(inbound);
+        }
+      }
+    } else {
+      const std::uint64_t arrivals =
+          n_ > 1 ? global_chunks() - host.slab.num_chunks() : 0;
+      for (std::uint64_t k = 0; k < arrivals; ++k) {
+        ring::InboundChunk inbound = co_await node.next_chunk();
+        const ChunkView view = decode_chunk(inbound.payload);
+        co_await join_chunk(i, view);
+        if (cluster_.fabric().successor(i) == view.origin_host) {
+          node.retire(inbound);  // full revolution completed
+        } else {
+          node.forward(inbound);
+        }
       }
     }
 
@@ -249,18 +316,39 @@ class Runner {
     co_await join_barrier_.arrive_and_wait();
     co_await node.drain();
 
-    for (const auto& query : host.queries) {
-      host.stats.matches += query.result.matches();
-      host.stats.checksum += query.result.checksum();
+    if (resilient_) {
+      // A crashed host contributes nothing; surviving hosts count only the
+      // surviving origins' buckets (dead R fragments are retracted).
+      if (crashed_.count(i) == 0) {
+        for (const auto& query : host.queries) {
+          for (int o = 0; o < n_; ++o) {
+            if (crashed_.count(o) != 0) continue;
+            const auto& partial = query.per_origin[static_cast<std::size_t>(o)];
+            host.stats.matches += partial.matches();
+            host.stats.checksum += partial.checksum();
+          }
+        }
+      }
+    } else {
+      for (const auto& query : host.queries) {
+        host.stats.matches += query.result.matches();
+        host.stats.checksum += query.result.checksum();
+      }
     }
     host.stats.bytes_sent = node.bytes_sent();
     host.stats.busy_by_tag = cores.busy_by_tag();
+    host.stats.chunks_reinjected = node.chunks_reinjected();
+    host.stats.chunks_recovered = node.chunks_recovered();
+    host.stats.corrupt_discards = node.chunks_discarded_corrupt();
+    host.stats.duplicates_skipped = node.duplicates_skipped();
+    host.stats.send_failures = node.send_failures();
   }
 
   sim::Task<void> injector(int i) {
     HostRun& host = *hosts_[static_cast<std::size_t>(i)];
     ring::RoundaboutNode& node = cluster_.node(i);
     for (std::size_t c = 0; c < host.slab.num_chunks(); ++c) {
+      if (resilient_ && node.stopped()) break;  // this host died
       co_await node.send_local(host.slab.chunk(c));
     }
   }
@@ -272,7 +360,10 @@ class Runner {
   sim::Task<void> run_setup(int i) {
     HostRun& host = *hosts_[static_cast<std::size_t>(i)];
     sim::CorePool& cores = cluster_.cores(i);
-    const ChunkWriter writer(cluster_cfg_.node.buffer_bytes);
+    // Resilient frames travel in-buffer ahead of the payload; chunks must
+    // leave them headroom or a full chunk would overflow the ring buffer.
+    const ChunkWriter writer(cluster_cfg_.node.buffer_bytes -
+                             (resilient_ ? ring::kFrameBytes : 0));
 
     std::vector<sim::Task<void>> tasks;
     for (auto& query : host.queries) {
@@ -362,6 +453,65 @@ class Runner {
     return ring::NodeCounts{g, g};
   }
 
+  // ----- resilient-mode termination detection & crash control ----------
+
+  /// The next alive host downstream of i on the (possibly spliced) ring.
+  int surviving_successor(int i) {
+    int s = cluster_.fabric().successor(i);
+    while (crashed_.count(s) != 0) s = cluster_.fabric().successor(s);
+    return s;
+  }
+
+  /// Records that origin's chunk `seq` completed its revolution (retired at
+  /// pred(origin)). The per-origin sets absorb duplicate re-retirements.
+  void note_retired(int origin, std::uint32_t seq) {
+    retired_board_[static_cast<std::size_t>(origin)].insert(seq);
+    maybe_finish();
+  }
+
+  /// Every surviving origin's chunks all retired *and* all acked back — the
+  /// board proves the revolutions, the outstanding count proves the acks.
+  bool all_work_done() {
+    for (int o = 0; o < n_; ++o) {
+      if (crashed_.count(o) != 0) continue;
+      const HostRun& host = *hosts_[static_cast<std::size_t>(o)];
+      if (retired_board_[static_cast<std::size_t>(o)].size() <
+          host.slab.num_chunks()) {
+        return false;
+      }
+      if (cluster_.node(o).outstanding_unacked() != 0) return false;
+    }
+    return true;
+  }
+
+  /// Termination detector: runs on every retire and every ack. Deferred
+  /// while a ring repair is splicing (stopping a node mid-splice would
+  /// strand the repair handshake).
+  void maybe_finish() {
+    if (!resilient_ || finished_ || repairing_ || !all_work_done()) return;
+    finished_ = true;
+    for (int i = 0; i < n_; ++i) {
+      if (crashed_.count(i) == 0) cluster_.node(i).request_stop();
+    }
+  }
+
+  sim::Task<void> crash_watcher(sim::HostCrashSpec spec) {
+    co_await engine_.sleep(spec.at);
+    // A crash during setup degenerates to a shorter ring from the start;
+    // the interesting (and supported) case is a crash of a live ring.
+    co_await join_phase_started_.wait();
+    if (finished_) co_return;  // the run beat the crash to the finish line
+    repairing_ = true;
+    crashed_.insert(spec.host);
+    cluster_.node(spec.host).die();
+    cluster_.injector()->mark_crashed(spec.host);
+    co_await cluster_.splice_around(spec.host);
+    repairing_ = false;
+    // The crash may itself complete the run (the dead host's unfinished
+    // work no longer counts).
+    maybe_finish();
+  }
+
   // Runs one join work item under the host's join-thread limit.
   static sim::Task<void> guarded(sim::Semaphore& slots, sim::Task<void> inner) {
     co_await slots.acquire();
@@ -383,12 +533,17 @@ class Runner {
 
     // deque: references to elements stay valid while later queries append.
     std::deque<join::JoinResult> partials;
-    std::vector<QueryState*> partial_owner;
+    std::vector<join::JoinResult*> partial_sink;
     std::vector<sim::Task<void>> tasks;
     const int parts = spec_.join_threads * kTasksPerThread;
 
     for (auto& query : host.queries) {
       QueryState* state = &query;
+      // Resilient mode tallies per origin so a crash can retract R_dead.
+      join::JoinResult* sink =
+          resilient_
+              ? &query.per_origin[static_cast<std::size_t>(view.origin_host)]
+              : &query.result;
       const std::size_t first_partial = partials.size();
 
       switch (spec_.algorithm) {
@@ -400,7 +555,7 @@ class Runner {
           auto groups = split_probe_work(view.runs, parts);
           for (std::size_t g = 0; g < groups.size(); ++g) {
             partials.emplace_back(spec_.materialize);
-            partial_owner.push_back(state);
+            partial_sink.push_back(sink);
           }
           for (std::size_t g = 0; g < groups.size(); ++g) {
             std::vector<ProbeSlice> slices = std::move(groups[g]);
@@ -426,7 +581,7 @@ class Runner {
           const auto ranges = split_ranges(view.tuples.size(), parts);
           for (std::size_t ri = 0; ri < ranges.size(); ++ri) {
             partials.emplace_back(spec_.materialize);
-            partial_owner.push_back(state);
+            partial_sink.push_back(sink);
           }
           for (std::size_t ri = 0; ri < ranges.size(); ++ri) {
             const auto [begin, end] = ranges[ri];
@@ -450,7 +605,7 @@ class Runner {
           const auto ranges = split_ranges(view.tuples.size(), parts);
           for (std::size_t ri = 0; ri < ranges.size(); ++ri) {
             partials.emplace_back(spec_.materialize);
-            partial_owner.push_back(state);
+            partial_sink.push_back(sink);
           }
           for (std::size_t ri = 0; ri < ranges.size(); ++ri) {
             const auto [begin, end] = ranges[ri];
@@ -473,7 +628,7 @@ class Runner {
 
     co_await sim::when_all(engine_, std::move(tasks));
     for (std::size_t p = 0; p < partials.size(); ++p) {
-      partial_owner[p]->result.merge(partials[p]);
+      partial_sink[p]->merge(partials[p]);
     }
   }
 
@@ -486,8 +641,19 @@ class Runner {
       report.join_wall = std::max(report.join_wall, host.stats.join_phase);
       report.cpu_load_join += host.stats.cpu_load_join;
       for (std::size_t q = 0; q < num_queries_; ++q) {
-        report.queries[q].matches += host.queries[q].result.matches();
-        report.queries[q].checksum += host.queries[q].result.checksum();
+        if (resilient_) {
+          if (crashed_.count(i) != 0) continue;
+          for (int o = 0; o < n_; ++o) {
+            if (crashed_.count(o) != 0) continue;
+            const auto& partial =
+                host.queries[q].per_origin[static_cast<std::size_t>(o)];
+            report.queries[q].matches += partial.matches();
+            report.queries[q].checksum += partial.checksum();
+          }
+        } else {
+          report.queries[q].matches += host.queries[q].result.matches();
+          report.queries[q].checksum += host.queries[q].result.checksum();
+        }
       }
       report.hosts.push_back(host.stats);
       if (spec_.materialize) {
@@ -506,6 +672,28 @@ class Runner {
           static_cast<double>(cluster_.fabric().data_link(0).bytes_transferred()) /
           to_seconds(report.join_wall);
     }
+    if (sim::FaultInjector* injector = cluster_.injector()) {
+      FaultReport& fault = report.fault;
+      fault.degraded = !crashed_.empty();
+      fault.crashed_hosts.assign(crashed_.begin(), crashed_.end());
+      for (const int dead : crashed_) {
+        fault.lost_r_rows += r_rows_[static_cast<std::size_t>(dead)];
+        fault.lost_s_rows += s_rows_[static_cast<std::size_t>(dead)];
+      }
+      fault.messages_dropped = injector->counters().messages_dropped;
+      fault.messages_corrupted = injector->counters().messages_corrupted;
+      for (const HostStats& stats : report.hosts) {
+        fault.chunks_reinjected += stats.chunks_reinjected;
+        fault.chunks_recovered += stats.chunks_recovered;
+        fault.corrupt_discards += stats.corrupt_discards;
+        fault.duplicates_skipped += stats.duplicates_skipped;
+      }
+      // Fault plans require the RDMA transport, so devices exist.
+      for (int i = 0; i < n_; ++i) {
+        fault.retransmissions += cluster_.device(i).total_retransmissions();
+        fault.rnr_retries += cluster_.device(i).total_rnr_retries();
+      }
+    }
     return report;
   }
 
@@ -521,6 +709,19 @@ class Runner {
   Barrier start_barrier_;
   Barrier join_barrier_;
   std::vector<std::unique_ptr<HostRun>> hosts_;
+
+  // ----- resilient-mode state ------------------------------------------
+  bool resilient_ = false;
+  bool finished_ = false;   // termination detector fired
+  bool repairing_ = false;  // a ring splice is in flight
+  sim::Event join_phase_started_{engine_, "join-phase-started"};
+  std::set<int> crashed_;
+  /// Per origin: sequence numbers of its chunks that completed a revolution.
+  std::vector<std::set<std::uint32_t>> retired_board_;
+  /// Row counts per host at distribution time (degraded-loss accounting;
+  /// the fragments themselves are released after setup).
+  std::vector<std::uint64_t> r_rows_;
+  std::vector<std::uint64_t> s_rows_;
 };
 
 }  // namespace

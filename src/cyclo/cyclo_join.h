@@ -42,6 +42,33 @@ struct HostStats {
   double cpu_load_join = 0.0;
   /// Busy time by tag over the whole run ("join", "setup", "tcp-rx", ...).
   std::map<std::string, SimDuration> busy_by_tag;
+
+  // ----- resilient-mode counters (all zero in fault-free runs) ---------
+  std::uint64_t chunks_reinjected = 0;   ///< ack-timeout re-injections
+  std::uint64_t chunks_recovered = 0;    ///< re-injected and later acked
+  std::uint64_t corrupt_discards = 0;    ///< frames failing their checksum
+  std::uint64_t duplicates_skipped = 0;  ///< re-injected copies not re-joined
+  std::uint64_t send_failures = 0;       ///< sends lost to a dead neighbor
+};
+
+/// What the fault framework did to the run, and what it cost.
+struct FaultReport {
+  /// True when a host crashed: the result covers the surviving hosts only,
+  /// i.e. exactly (R \ R_dead) joined with (S \ S_dead).
+  bool degraded = false;
+  std::vector<int> crashed_hosts;
+  /// Rows of R / S resident on crashed hosts, excluded from the result.
+  std::uint64_t lost_r_rows = 0;
+  std::uint64_t lost_s_rows = 0;
+  // Transient-fault accounting (sums over hosts / links).
+  std::uint64_t messages_dropped = 0;    ///< injected link drops
+  std::uint64_t messages_corrupted = 0;  ///< injected payload corruptions
+  std::uint64_t retransmissions = 0;     ///< RDMA-level retransmits
+  std::uint64_t rnr_retries = 0;         ///< receiver-not-ready backoffs
+  std::uint64_t chunks_reinjected = 0;
+  std::uint64_t chunks_recovered = 0;
+  std::uint64_t corrupt_discards = 0;
+  std::uint64_t duplicates_skipped = 0;
 };
 
 /// Aggregated result + measurements of one cyclo-join run.
@@ -65,6 +92,9 @@ struct RunReport {
 
   /// Materialized output (only when JoinSpec::materialize), per host.
   std::vector<join::JoinResult> host_results;
+
+  /// Fault accounting; default-constructed (all zeros) in fault-free runs.
+  FaultReport fault;
 };
 
 /// One query riding a shared rotation (Data Cyclotron mode): its own

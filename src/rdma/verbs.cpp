@@ -1,5 +1,6 @@
 #include "rdma/verbs.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace cj::rdma {
@@ -18,6 +19,18 @@ QueuePair& Device::create_qp(CompletionQueue* send_cq, CompletionQueue* recv_cq)
   CJ_CHECK(send_cq != nullptr && recv_cq != nullptr);
   qps_.push_back(std::unique_ptr<QueuePair>(new QueuePair(*this, send_cq, recv_cq)));
   return *qps_.back();
+}
+
+std::uint64_t Device::total_retransmissions() const {
+  std::uint64_t total = 0;
+  for (const auto& qp : qps_) total += qp->retransmissions();
+  return total;
+}
+
+std::uint64_t Device::total_rnr_retries() const {
+  std::uint64_t total = 0;
+  for (const auto& qp : qps_) total += qp->rnr_retries();
+  return total;
 }
 
 // ------------------------------------------------------ ProtectionDomain
@@ -67,9 +80,15 @@ QueuePair::QueuePair(Device& device, CompletionQueue* send_cq,
           device.engine_, device.attr_.max_send_wr)) {}
 
 void QueuePair::validate(const WorkRequest& wr) const {
-  CJ_CHECK_MSG(wr.mr != nullptr, "work request without a memory region");
-  CJ_CHECK_MSG(wr.offset + wr.length <= wr.mr->size(),
+  // Header-only messages (resilient retire acks) carry no payload region.
+  CJ_CHECK_MSG(wr.mr != nullptr || (wr.length == 0 && wr.opcode == Opcode::kSend),
+               "work request without a memory region");
+  CJ_CHECK_MSG(wr.mr == nullptr || wr.offset + wr.length <= wr.mr->size(),
                "work request exceeds its memory region");
+  CJ_CHECK_MSG(wr.inline_header_len <= wr.inline_header.size(),
+               "inline header exceeds its fixed capacity");
+  CJ_CHECK_MSG(wr.inline_header_len == 0 || wr.opcode == Opcode::kSend,
+               "inline headers are only supported on kSend");
   if (wr.opcode == Opcode::kRdmaWrite || wr.opcode == Opcode::kRdmaRead) {
     CJ_CHECK_MSG(wr.remote_mr != nullptr, "one-sided op without a remote region");
     CJ_CHECK_MSG(wr.remote_offset + wr.length <= wr.remote_mr->size(),
@@ -79,6 +98,7 @@ void QueuePair::validate(const WorkRequest& wr) const {
 
 Status QueuePair::post_send(const WorkRequest& wr) {
   if (!connected()) return failed_precondition("post_send on unconnected QP");
+  if (error_) return failed_precondition("post_send on QP in error state");
   CJ_CHECK_MSG(wr.opcode != Opcode::kRecv, "kRecv posted to the send queue");
   validate(wr);
   if (!send_queue_->try_push(wr)) {
@@ -104,30 +124,87 @@ void QueuePair::close() {
   if (send_queue_ && !send_queue_->closed()) send_queue_->close();
 }
 
-void QueuePair::deliver_send(const WorkRequest& send_wr) {
+void QueuePair::set_error() { error_ = true; }
+
+void QueuePair::deliver_send(const WorkRequest& send_wr,
+                             sim::FaultInjector* corruptor, int link_id) {
   // Direct data placement: the RNIC matches the incoming message against
   // the head of the pre-posted receive queue — no receiver CPU involved.
   CJ_CHECK_MSG(!recv_queue_.empty(),
                "receiver not ready: send arrived with no posted receive "
                "(flow-control protocol violated)");
+  const std::size_t wire_len = send_wr.inline_header_len + send_wr.length;
   WorkRequest recv = recv_queue_.front();
   recv_queue_.pop_front();
-  CJ_CHECK_MSG(recv.length >= send_wr.length,
+  CJ_CHECK_MSG(recv.length >= wire_len,
                "posted receive buffer smaller than incoming message");
 
-  std::memcpy(recv.mr->data() + recv.offset,
-              send_wr.mr->data() + send_wr.offset, send_wr.length);
-  recv_cq_->push(Completion{recv.wr_id, Opcode::kRecv, send_wr.length});
+  std::byte* dst = recv.mr->data() + recv.offset;
+  if (send_wr.inline_header_len > 0) {
+    std::memcpy(dst, send_wr.inline_header.data(), send_wr.inline_header_len);
+  }
+  if (send_wr.length > 0) {
+    std::memcpy(dst + send_wr.inline_header_len,
+                send_wr.mr->data() + send_wr.offset, send_wr.length);
+  }
+  if (corruptor != nullptr) {
+    // The sender's injector decided this message arrives damaged; flip
+    // bytes in the buffer the receiver will actually read.
+    corruptor->corrupt(std::span<std::byte>(dst, wire_len), link_id);
+  }
+  recv_cq_->push(Completion{recv.wr_id, Opcode::kRecv, wire_len});
+}
+
+sim::Task<bool> QueuePair::send_with_retry(const WorkRequest& wr) {
+  const DeviceAttr& attr = device_.attr_;
+  const std::size_t wire_len = wr.inline_header_len + wr.length;
+  SimDuration backoff = attr.retry_backoff_initial;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    co_await out_link_->transfer(wire_len, attr.per_wr_nic_overhead);
+    // A peer in the error state (crashed host, torn-down connection) NAKs
+    // immediately: no amount of retrying will get the message placed.
+    if (remote_->error_) co_return false;
+
+    auto verdict = sim::FaultInjector::Verdict::kDeliver;
+    if (injector_ != nullptr) {
+      verdict = injector_->next_message_verdict(fault_link_id_);
+    }
+    if (verdict != sim::FaultInjector::Verdict::kDrop) {
+      if (!remote_->recv_queue_.empty() || !attr.rnr_retry) {
+        // Without rnr_retry, an empty receive queue keeps the historical
+        // hard abort inside deliver_send (flow-control bug, not a fault).
+        const bool corrupt = verdict == sim::FaultInjector::Verdict::kCorrupt;
+        remote_->deliver_send(wr, corrupt ? injector_ : nullptr, fault_link_id_);
+        co_return true;
+      }
+      ++rnr_retries_;  // RNR NAK: receiver slow, back off and re-send
+    }
+    if (attempt >= attr.retry_limit) co_return false;
+    if (verdict == sim::FaultInjector::Verdict::kDrop) ++retransmissions_;
+    co_await device_.engine().sleep(backoff);
+    backoff = std::min(backoff * 2, attr.retry_backoff_cap);
+  }
 }
 
 sim::Task<void> QueuePair::sender_process() {
   const SimDuration wr_overhead = device_.attr_.per_wr_nic_overhead;
   while (auto wr = co_await send_queue_->pop()) {
+    if (error_) {
+      // Error state: flush everything still queued without touching the
+      // wire, like a real QP transitioning through SQE/ERR.
+      send_cq_->push(Completion{wr->wr_id, wr->opcode, 0, WcStatus::kFlushed});
+      continue;
+    }
     switch (wr->opcode) {
       case Opcode::kSend: {
-        co_await out_link_->transfer(wr->length, wr_overhead);
-        remote_->deliver_send(*wr);
-        send_cq_->push(Completion{wr->wr_id, Opcode::kSend, wr->length});
+        const std::size_t wire_len = wr->inline_header_len + wr->length;
+        if (co_await send_with_retry(*wr)) {
+          send_cq_->push(Completion{wr->wr_id, Opcode::kSend, wire_len});
+        } else {
+          error_ = true;
+          send_cq_->push(
+              Completion{wr->wr_id, Opcode::kSend, 0, WcStatus::kRetryExceeded});
+        }
         break;
       }
       case Opcode::kRdmaWrite: {

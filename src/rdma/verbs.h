@@ -16,9 +16,18 @@
 //    registered once and reused).
 //  * Posting to a queue that lacks a matching receive aborts the simulation
 //    (receiver-not-ready). Real RNICs drop the connection; in both worlds a
-//    correct flow-control protocol must make this unreachable.
+//    correct flow-control protocol must make this unreachable. With
+//    `DeviceAttr::rnr_retry` the RNIC instead backs off and retries (RNR
+//    NAK semantics), which resilient transports enable under fault
+//    injection.
+//  * Under an attached FaultInjector, sends can be dropped (recovered by
+//    timeout-and-retransmit with capped exponential backoff, up to
+//    `retry_limit`) or corrupted in flight; a QP whose retries are
+//    exhausted enters an error state and flushes its queue, mirroring how
+//    a real RC connection breaks.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -33,6 +42,7 @@
 #include "net/link.h"
 #include "sim/core_pool.h"
 #include "sim/engine.h"
+#include "sim/fault.h"
 #include "sim/sync.h"
 #include "sim/task.h"
 
@@ -49,8 +59,20 @@ struct DeviceAttr {
   /// Queue depths; exceeding them makes post_send/post_recv fail.
   std::uint32_t max_send_wr = 256;
   std::uint32_t max_recv_wr = 256;
-  /// Completion queue capacity; overrunning a CQ aborts (as on real RNICs).
+  /// Completion queue capacity; overrunning a CQ puts it into an error
+  /// state surfaced to pollers (or aborts, with abort_on_overrun).
   std::uint32_t max_cq_entries = 4096;
+
+  // ----- resilience knobs (only exercised under fault injection) -------
+  /// Retransmit attempts for a send the fault injector dropped before the
+  /// QP gives up and enters the error state.
+  std::uint32_t retry_limit = 7;
+  /// First retransmit backoff; doubles per attempt up to the cap.
+  SimDuration retry_backoff_initial = 20 * kMicrosecond;
+  SimDuration retry_backoff_cap = 1 * kMillisecond;
+  /// Treat receiver-not-ready as a transient condition (RNR NAK + retry)
+  /// instead of a fatal flow-control violation.
+  bool rnr_retry = false;
 };
 
 enum class Opcode { kSend, kRecv, kRdmaWrite, kRdmaRead };
@@ -68,6 +90,19 @@ struct WorkRequest {
   /// The remote side must have shared it out-of-band (rkey exchange).
   MemoryRegion* remote_mr = nullptr;
   std::size_t remote_offset = 0;
+  /// Optional inline header prepended to the payload on the wire (kSend
+  /// only) — models verbs inline data. The receiver sees header + payload
+  /// contiguously in its posted buffer; byte_len covers both.
+  std::array<std::byte, 40> inline_header{};
+  std::uint32_t inline_header_len = 0;
+};
+
+/// Outcome of a work request, modeled on ibv_wc_status.
+enum class WcStatus : std::uint8_t {
+  kSuccess = 0,
+  kRetryExceeded,  ///< transport gave up after retry_limit retransmits
+  kFlushed,        ///< QP/CQ torn down with the request still queued
+  kCqOverrun,      ///< the CQ overflowed; completions were lost
 };
 
 /// Delivered when a work request finishes.
@@ -75,6 +110,9 @@ struct Completion {
   std::uint64_t wr_id = 0;
   Opcode opcode = Opcode::kSend;
   std::size_t byte_len = 0;
+  WcStatus status = WcStatus::kSuccess;
+
+  bool ok() const { return status == WcStatus::kSuccess; }
 };
 
 /// A registered, pinned memory range the RNIC may DMA from/to.
@@ -125,27 +163,54 @@ class ProtectionDomain {
 
 class CompletionQueue {
  public:
-  CompletionQueue(sim::Engine& engine, std::uint32_t capacity)
-      : queue_(engine, capacity) {}
+  /// `abort_on_overrun` restores the historical fail-stop behavior for
+  /// tests that assert an overrun is unreachable; by default an overrun is
+  /// surfaced to pollers as a kCqOverrun error completion.
+  CompletionQueue(sim::Engine& engine, std::uint32_t capacity,
+                  bool abort_on_overrun = false)
+      : queue_(engine, capacity, "cq"), abort_on_overrun_(abort_on_overrun) {}
 
-  /// Awaits the next completion (blocking poll in verbs terms).
+  /// Awaits the next completion (blocking poll in verbs terms). Once the
+  /// CQ has overrun or been shut down, buffered completions drain first,
+  /// then every poll returns an error completion (kCqOverrun / kFlushed)
+  /// instead of blocking forever on entries that were lost.
   sim::Task<Completion> next() {
     auto c = co_await queue_.pop();
-    CJ_CHECK_MSG(c.has_value(), "completion queue destroyed while polling");
+    if (!c.has_value()) {
+      Completion err;
+      err.status = overrun_ ? WcStatus::kCqOverrun : WcStatus::kFlushed;
+      co_return err;
+    }
     co_return *c;
   }
 
-  /// Non-blocking poll.
+  /// Non-blocking poll (nullopt covers both "empty" and "torn down").
   std::optional<Completion> poll() { return queue_.try_pop(); }
 
   std::size_t depth() const { return queue_.size(); }
+  bool overrun() const { return overrun_; }
+  bool shut_down() const { return queue_.closed(); }
+
+  /// Tears the CQ down: pending completions still drain, further pushes
+  /// are dropped, and pollers then observe kFlushed.
+  void shutdown() {
+    if (!queue_.closed()) queue_.close();
+  }
+
+  void set_name(std::string name) { queue_.set_name(std::move(name)); }
 
  private:
   friend class QueuePair;
   void push(Completion c) {
-    CJ_CHECK_MSG(queue_.try_push(c), "completion queue overrun");
+    if (queue_.closed()) return;  // torn down: completions are flushed
+    if (queue_.try_push(c)) return;
+    CJ_CHECK_MSG(!abort_on_overrun_, "completion queue overrun");
+    overrun_ = true;
+    queue_.close();  // wake pollers; they observe kCqOverrun after draining
   }
   sim::Channel<Completion> queue_;
+  bool abort_on_overrun_;
+  bool overrun_ = false;
 };
 
 /// A connected, reliable queue pair. Created via Device::create_qp and
@@ -154,7 +219,7 @@ class QueuePair {
  public:
   /// Posts a send-side work request (kSend, kRdmaWrite, kRdmaRead).
   /// Fails with kResourceExhausted when the send queue is full and with
-  /// kFailedPrecondition when the QP is not connected.
+  /// kFailedPrecondition when the QP is not connected or in error.
   Status post_send(const WorkRequest& wr);
 
   /// Posts a receive buffer. Fails when the receive queue is full.
@@ -164,8 +229,27 @@ class QueuePair {
   /// process exits. Required for a clean simulation shutdown.
   void close();
 
+  /// Transitions the QP to the error state: the current and all queued
+  /// sends complete with kFlushed, and peers that try to reach this QP get
+  /// kRetryExceeded. Models a broken RC connection (host crash, admin
+  /// teardown).
+  void set_error();
+
   bool connected() const { return remote_ != nullptr; }
+  bool in_error() const { return error_; }
   std::size_t recv_queue_depth() const { return recv_queue_.size(); }
+
+  /// Routes this QP's outbound messages through `injector`'s decision
+  /// stream for `link_id`. Null detaches.
+  void attach_fault_injector(sim::FaultInjector* injector, int link_id) {
+    injector_ = injector;
+    fault_link_id_ = link_id;
+  }
+
+  /// Retransmits performed after injector-dropped deliveries.
+  std::uint64_t retransmissions() const { return retransmissions_; }
+  /// Backoff-and-retry rounds taken on receiver-not-ready (rnr_retry mode).
+  std::uint64_t rnr_retries() const { return rnr_retries_; }
 
  private:
   friend class Device;
@@ -176,7 +260,9 @@ class QueuePair {
 
   void validate(const WorkRequest& wr) const;
   sim::Task<void> sender_process();
-  void deliver_send(const WorkRequest& send_wr);
+  sim::Task<bool> send_with_retry(const WorkRequest& wr);
+  void deliver_send(const WorkRequest& send_wr, sim::FaultInjector* corruptor,
+                    int link_id);
 
   Device& device_;
   CompletionQueue* send_cq_;
@@ -186,6 +272,11 @@ class QueuePair {
   net::Link* in_link_ = nullptr;
   std::unique_ptr<sim::Channel<WorkRequest>> send_queue_;
   std::deque<WorkRequest> recv_queue_;
+  sim::FaultInjector* injector_ = nullptr;
+  int fault_link_id_ = -1;
+  bool error_ = false;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t rnr_retries_ = 0;
 };
 
 /// One simulated RNIC, attached to one host's core pool.
@@ -204,6 +295,10 @@ class Device {
 
   /// Creates a queue pair completing into the given CQs (may be shared).
   QueuePair& create_qp(CompletionQueue* send_cq, CompletionQueue* recv_cq);
+
+  /// Fault-report aggregates over all of this device's queue pairs.
+  std::uint64_t total_retransmissions() const;
+  std::uint64_t total_rnr_retries() const;
 
  private:
   friend class ProtectionDomain;

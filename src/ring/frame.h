@@ -1,0 +1,100 @@
+// Resilient-mode frame header: the ring-level envelope that lets a
+// RoundaboutNode detect lost and corrupted chunks.
+//
+// In fault-free runs no frame exists — messages are raw chunk bytes and the
+// wire format is byte-identical to the pre-resilience protocol. When a
+// FaultPlan is active, every ring message (data chunk or retire ack)
+// carries this fixed 24-byte header: data frames prefix the chunk payload
+// (the origin keeps the payload in its local slab until the retire ack
+// lands, so a checksum mismatch or a lost delivery is recovered by origin
+// re-injection); retire acks are header-only frames naming the exact
+// (origin, seq) they acknowledge, so a lost or duplicated ack is harmless.
+//
+// The checksum is FNV-1a 64 over the header (with the checksum field
+// zeroed) followed by the payload, so corruption of either header fields
+// or payload bytes is detected and the frame discarded.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace cj::ring {
+
+enum class FrameKind : std::uint8_t {
+  kData = 1,       ///< chunk payload follows the header
+  kRetireAck = 2,  ///< header-only: (origin, seq) completed its revolution
+};
+
+constexpr std::uint32_t kFrameMagic = 0x52DAB007;  // "ring data bot"
+
+struct FrameHeader {
+  std::uint32_t magic = kFrameMagic;
+  std::uint8_t kind = 0;
+  std::uint8_t reserved[3] = {0, 0, 0};
+  std::uint16_t origin = 0;  ///< host that injected the chunk
+  std::uint16_t pad = 0;
+  std::uint32_t seq = 0;  ///< per-origin chunk sequence number
+  std::uint64_t checksum = 0;
+};
+static_assert(sizeof(FrameHeader) == 24, "frame header is 24 bytes on the wire");
+
+constexpr std::size_t kFrameBytes = sizeof(FrameHeader);
+
+inline std::uint64_t fnv1a64(std::uint64_t h, std::span<const std::byte> bytes) {
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+
+/// Checksum over the header's non-checksum fields plus the payload.
+inline std::uint64_t frame_checksum(const FrameHeader& h,
+                                    std::span<const std::byte> payload) {
+  FrameHeader clean = h;
+  clean.checksum = 0;
+  std::byte head[kFrameBytes];
+  std::memcpy(head, &clean, kFrameBytes);
+  return fnv1a64(fnv1a64(kFnvOffset, std::span<const std::byte>(head, kFrameBytes)),
+                 payload);
+}
+
+/// Builds a sealed (checksummed) header for a frame.
+inline FrameHeader make_frame(FrameKind kind, int origin, std::uint32_t seq,
+                              std::span<const std::byte> payload) {
+  FrameHeader h;
+  h.kind = static_cast<std::uint8_t>(kind);
+  h.origin = static_cast<std::uint16_t>(origin);
+  h.seq = seq;
+  h.checksum = frame_checksum(h, payload);
+  return h;
+}
+
+/// Parses and verifies a received frame (header + payload contiguous in
+/// `message`). Returns false on truncation, bad magic/kind, or checksum
+/// mismatch — the caller discards the message and lets origin re-injection
+/// recover it.
+inline bool decode_frame(std::span<const std::byte> message, FrameHeader* out) {
+  if (message.size() < kFrameBytes) return false;
+  FrameHeader h;
+  std::memcpy(&h, message.data(), kFrameBytes);
+  if (h.magic != kFrameMagic) return false;
+  if (h.kind != static_cast<std::uint8_t>(FrameKind::kData) &&
+      h.kind != static_cast<std::uint8_t>(FrameKind::kRetireAck)) {
+    return false;
+  }
+  if (h.checksum != frame_checksum(h, message.subspan(kFrameBytes))) return false;
+  *out = h;
+  return true;
+}
+
+/// Serializes a header into a 24-byte buffer (for transports that write it
+/// inline on the wire).
+inline void encode_frame(const FrameHeader& h, std::byte* dst) {
+  std::memcpy(dst, &h, kFrameBytes);
+}
+
+}  // namespace cj::ring

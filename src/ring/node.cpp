@@ -18,34 +18,54 @@ RoundaboutNode::RoundaboutNode(sim::Engine& engine, sim::CorePool& cores,
       done_receiver_(engine),
       done_transmitter_(engine),
       done_credits_(engine),
-      done_recycles_(engine) {
-  CJ_CHECK(config_.buffer_bytes >= 64);
+      done_recycles_(engine),
+      splice_in_done_(engine, "splice-in"),
+      splice_out_done_(engine, "splice-out"),
+      receiver_parked_(engine, "receiver-parked"),
+      credit_parked_(engine, "credit-parked"),
+      done_scanner_(engine) {
+  // Construction only allocates; anything questionable about the config is
+  // reported by start() as a Status instead of aborting here.
   CJ_CHECK((in_wire == nullptr) == (out_wire == nullptr));
-  if (in_wire != nullptr) {
-    CJ_CHECK_MSG(config_.num_buffers >= 2,
-                 "a connected roundabout node needs at least two ring buffers");
-  } else {
-    CJ_CHECK(config_.num_buffers >= 1);
-  }
   if (config_.injection_window == 0) {
     config_.injection_window = std::max(1, config_.num_buffers - 1);
   }
-  ring_slab_.resize(static_cast<std::size_t>(config_.num_buffers) *
-                    config_.buffer_bytes);
-  credit_rx_slab_.resize(static_cast<std::size_t>(config_.num_buffers) * kCreditBytes);
+  const int buffers = std::max(1, config_.num_buffers);
+  ring_slab_.resize(static_cast<std::size_t>(buffers) * config_.buffer_bytes);
+  credit_rx_slab_.resize(static_cast<std::size_t>(buffers) * kCreditBytes);
   credit_tx_slot_.resize(kCreditBytes);
   inbound_ = std::make_unique<sim::Channel<InboundChunk>>(
-      engine, static_cast<std::size_t>(config_.num_buffers));
-  credits_ = std::make_unique<sim::Semaphore>(engine, config_.num_buffers);
-  injection_window_ =
-      std::make_unique<sim::Semaphore>(engine, config_.injection_window);
+      engine, static_cast<std::size_t>(buffers), "ring-inbound");
+  credits_ = std::make_unique<sim::Semaphore>(engine, buffers, "ring-credits");
+  injection_window_ = std::make_unique<sim::Semaphore>(
+      engine, std::max(1, config_.injection_window), "injection-window");
 }
 
-sim::Task<void> RoundaboutNode::start(NodeCounts counts,
-                                      std::vector<std::span<std::byte>> local_slabs) {
+sim::Task<Status> RoundaboutNode::start(NodeCounts counts,
+                                        std::vector<std::span<std::byte>> local_slabs) {
   CJ_CHECK_MSG(!started_, "node started twice");
-  started_ = true;
   counts_ = counts;
+
+  // Config validation: reject configurations that cannot run (they would
+  // deadlock or corrupt memory deep inside the protocol) before any entity
+  // is spawned or any memory registered.
+  if (config_.buffer_bytes < 64) {
+    co_return invalid_argument("buffer_bytes must be at least 64");
+  }
+  if (in_wire_ != nullptr) {
+    if (config_.num_buffers < 2) {
+      co_return invalid_argument(
+          "a connected roundabout node needs at least two ring buffers");
+    }
+    if (config_.injection_window >= config_.num_buffers) {
+      co_return invalid_argument(
+          "injection_window must stay below num_buffers (deadlock freedom "
+          "needs a free buffer ahead of the oldest chunk)");
+    }
+  } else if (config_.num_buffers < 1) {
+    co_return invalid_argument("num_buffers must be positive");
+  }
+  started_ = true;
 
   if (in_wire_ == nullptr) {
     // Ring of one: no transport at all.
@@ -55,7 +75,8 @@ sim::Task<void> RoundaboutNode::start(NodeCounts counts,
     done_transmitter_.set();
     done_credits_.set();
     done_recycles_.set();
-    co_return;
+    done_scanner_.set();
+    co_return Status::ok();
   }
 
   // Register everything once, up front (paper Sec. III-C: registration is
@@ -70,27 +91,43 @@ sim::Task<void> RoundaboutNode::start(NodeCounts counts,
   // Pre-post every ring buffer for incoming data; our predecessor starts
   // with a full set of credits to match.
   for (int i = 0; i < config_.num_buffers; ++i) {
+    if (resilient()) posted_idx_.insert(i);
     co_await in_wire_->post_recv(static_cast<std::uint64_t>(i), buffer(i));
   }
   if (config_.use_credits) {
-    // Pre-post credit receive slots (credits arrive on the out-wire).
+    // Pre-post credit receive slots (credits arrive on the out-wire). With
+    // exact counts, never more than the run will use; resilient mode has no
+    // counts and keeps a full set posted.
     const std::uint64_t initial_credit_posts =
-        std::min<std::uint64_t>(static_cast<std::uint64_t>(config_.num_buffers),
-                                counts_.sends);
+        resilient() ? static_cast<std::uint64_t>(config_.num_buffers)
+                    : std::min<std::uint64_t>(
+                          static_cast<std::uint64_t>(config_.num_buffers),
+                          counts_.sends);
     for (std::uint64_t i = 0; i < initial_credit_posts; ++i) {
       co_await out_wire_->post_recv(
           i, std::span<std::byte>(credit_rx_slab_).subspan(i * kCreditBytes,
                                                            kCreditBytes));
       ++credit_recvs_posted_;
     }
-    engine_.spawn(credit_receiver_process(), "ring-credits");
+    engine_.spawn(resilient() ? credit_receiver_resilient()
+                              : credit_receiver_process(),
+                  "ring-credits");
   } else {
     done_credits_.set();
   }
 
-  engine_.spawn(receiver_process(), "ring-receiver");
-  engine_.spawn(transmitter_process(), "ring-transmitter");
-  if (counts_.arrivals == 0) done_recycles_.set();
+  if (resilient()) {
+    seen_.assign(static_cast<std::size_t>(config_.resilience.num_hosts), {});
+    engine_.spawn(receiver_resilient(), "ring-receiver");
+    engine_.spawn(transmitter_resilient(), "ring-transmitter");
+    engine_.spawn(scanner_process(), "ring-scanner");
+  } else {
+    engine_.spawn(receiver_process(), "ring-receiver");
+    engine_.spawn(transmitter_process(), "ring-transmitter");
+    done_scanner_.set();
+    if (counts_.arrivals == 0) done_recycles_.set();
+  }
+  co_return Status::ok();
 }
 
 sim::Task<InboundChunk> RoundaboutNode::next_chunk() {
@@ -103,11 +140,35 @@ sim::Task<InboundChunk> RoundaboutNode::next_chunk() {
 
 void RoundaboutNode::forward(InboundChunk chunk) {
   CJ_CHECK(chunk.buffer_idx >= 0);
+  if (resilient()) {
+    // The buffer already holds header + payload contiguously; forward the
+    // whole frame verbatim.
+    push_outbound(SendRequest{std::span<const std::byte>(
+                                  buffer(chunk.buffer_idx).data(),
+                                  kFrameBytes + chunk.payload.size()),
+                              chunk.buffer_idx},
+                  /*priority=*/true);
+    return;
+  }
   push_outbound(SendRequest{chunk.payload, chunk.buffer_idx}, /*priority=*/true);
 }
 
-void RoundaboutNode::retire(InboundChunk chunk) {
+void RoundaboutNode::retire(InboundChunk chunk, bool send_ack) {
   CJ_CHECK(chunk.buffer_idx >= 0);
+  if (resilient()) {
+    spawn_recycle(chunk.buffer_idx);
+    if (send_ack && !stop_) {
+      // Header-only ack naming the exact (origin, seq): survives re-orders
+      // and duplicates, and a corrupted copy fails its checksum instead of
+      // acknowledging the wrong chunk.
+      SendRequest ack;
+      ack.framed = true;
+      ack.header = make_frame(FrameKind::kRetireAck, chunk.origin, chunk.seq,
+                              std::span<const std::byte>());
+      push_outbound(ack, /*priority=*/true);
+    }
+    return;
+  }
   engine_.spawn(recycle(chunk.buffer_idx), "ring-recycle");
   // Zero-length retire ack to the successor (the chunk's origin): reopens
   // its injection window. Rides the data wire with forward priority.
@@ -118,7 +179,22 @@ void RoundaboutNode::retire(InboundChunk chunk) {
 
 sim::Task<void> RoundaboutNode::send_local(std::span<const std::byte> data) {
   CJ_CHECK_MSG(!data.empty(), "empty chunks cannot be injected");
+  if (resilient() && stop_) co_return;  // dead/stopped node injects nothing
   co_await injection_window_->acquire();
+  if (resilient()) {
+    if (stop_) co_return;  // dying or stopping node: nothing more to inject
+    const std::uint32_t seq = next_seq_++;
+    SendRequest request;
+    request.data = data;
+    request.framed = true;
+    request.header =
+        make_frame(FrameKind::kData, config_.resilience.host_id, seq, data);
+    // Hold the payload until its retire ack lands — the retransmission
+    // buffer is simply the local slab the chunk already lives in.
+    outstanding_[seq] = Outstanding{data, engine_.now(), 0};
+    push_outbound(request, /*priority=*/false);
+    co_return;
+  }
   push_outbound(SendRequest{data, -1}, /*priority=*/false);
 }
 
@@ -148,6 +224,11 @@ RoundaboutNode::SendRequest RoundaboutNode::take_outbound() {
   return r;
 }
 
+void RoundaboutNode::spawn_recycle(int buffer_idx) {
+  if (resilient()) ++recycles_inflight_;
+  engine_.spawn(recycle(buffer_idx), "ring-recycle");
+}
+
 sim::Task<void> RoundaboutNode::receiver_process() {
   for (std::uint64_t i = 0; i < counts_.arrivals; ++i) {
     const Arrival arrival = co_await in_wire_->next_arrival();
@@ -173,7 +254,8 @@ sim::Task<void> RoundaboutNode::transmitter_process() {
     // explicit credits the transport's own backpressure plays this role.)
     if (config_.use_credits) co_await credits_->acquire();
     const SendRequest request = co_await OutboundAwaiter{this};
-    co_await out_wire_->send(request.data);
+    const Status status = co_await out_wire_->send(request.data);
+    CJ_CHECK_MSG(status.is_ok(), "fault-free send failed");
     bytes_sent_ += request.data.size();
     if (request.recycle_idx >= 0) {
       engine_.spawn(recycle(request.recycle_idx), "ring-recycle");
@@ -199,6 +281,25 @@ sim::Task<void> RoundaboutNode::credit_receiver_process() {
 }
 
 sim::Task<void> RoundaboutNode::recycle(int buffer_idx) {
+  if (resilient()) {
+    // Capture the wire: if a splice swaps in_wire_ while this coroutine is
+    // suspended, the replacement wire already re-posted this buffer (it was
+    // in posted_idx_) and counted it in the new predecessor's credits, so
+    // both the post and the credit must go to the old, dead wire (where
+    // they are harmless) rather than double-count on the new one.
+    Wire* wire = in_wire_;
+    if (!stop_) {
+      posted_idx_.insert(buffer_idx);
+      co_await wire->post_recv(static_cast<std::uint64_t>(buffer_idx),
+                               buffer(buffer_idx));
+    }
+    if (!stop_ && config_.use_credits) {
+      const Status status = co_await wire->send(credit_tx_slot_);
+      if (!status.is_ok()) ++send_failures_;  // predecessor died; splice re-bases
+    }
+    if (--recycles_inflight_ == 0 && stop_) done_recycles_.set();
+    co_return;
+  }
   // The buffer's content has been consumed (joined and, if needed,
   // forwarded): repost it for the next incoming chunk and hand a credit
   // back to the predecessor.
@@ -208,7 +309,268 @@ sim::Task<void> RoundaboutNode::recycle(int buffer_idx) {
   if (++recycles_done_ == counts_.arrivals) done_recycles_.set();
 }
 
+// --------------------------------------------------- resilient entities
+
+sim::Task<void> RoundaboutNode::receiver_resilient() {
+  while (!stop_) {
+    const Arrival arrival = co_await in_wire_->next_arrival();
+    if (!arrival.ok) {
+      // The wire died under us. Either this node is stopping, or the
+      // predecessor crashed and the control plane will splice a
+      // replacement wire in — park until it does.
+      if (stop_) break;
+      receiver_parked_.set();
+      co_await splice_in_done_.wait();
+      continue;
+    }
+    const int idx = static_cast<int>(arrival.tag);
+    posted_idx_.erase(idx);
+    FrameHeader header;
+    const auto message =
+        std::span<const std::byte>(buffer(idx).data(), arrival.length);
+    if (!decode_frame(message, &header)) {
+      // Corrupted in flight: drop it. The origin still holds the payload
+      // and re-injects after its ack timeout.
+      ++discarded_corrupt_;
+      spawn_recycle(idx);
+      continue;
+    }
+    if (header.kind == static_cast<std::uint8_t>(FrameKind::kRetireAck)) {
+      handle_ack(header);
+      spawn_recycle(idx);
+      continue;
+    }
+    if (static_cast<int>(header.origin) >= config_.resilience.num_hosts) {
+      ++discarded_corrupt_;  // valid checksum but impossible origin
+      spawn_recycle(idx);
+      continue;
+    }
+    if (static_cast<int>(header.origin) == config_.resilience.host_id) {
+      // Our own chunk came full circle without anyone retiring it (a lost
+      // ack crossed with a re-injection). Treat arrival as the ack.
+      handle_ack(header);
+      spawn_recycle(idx);
+      continue;
+    }
+    InboundChunk chunk;
+    chunk.buffer_idx = idx;
+    chunk.payload = message.subspan(kFrameBytes);
+    chunk.origin = static_cast<int>(header.origin);
+    chunk.seq = header.seq;
+    chunk.duplicate = !seen_[chunk.origin].insert(chunk.seq).second;
+    if (chunk.duplicate) ++duplicates_skipped_;
+    ++chunks_received_;
+    co_await inbound_->push(chunk);
+  }
+  done_receiver_.set();
+}
+
+void RoundaboutNode::handle_ack(const FrameHeader& header) {
+  if (static_cast<int>(header.origin) != config_.resilience.host_id) {
+    return;  // an ack for someone else's chunk would be a routing bug;
+             // after a splice a stray copy can pass by — ignore it
+  }
+  auto it = outstanding_.find(header.seq);
+  if (it == outstanding_.end()) return;  // duplicate ack: already retired
+  if (it->second.reinjects > 0) ++recovered_;
+  outstanding_.erase(it);
+  injection_window_->release();
+  if (config_.resilience.on_ack) config_.resilience.on_ack();
+}
+
+sim::Task<void> RoundaboutNode::transmitter_resilient() {
+  while (!stop_) {
+    // Take the request before the credit: the stop sentinel must unblock
+    // the transmitter even when no credit will ever arrive again (crashed
+    // successor). Forward-over-local priority is decided at dequeue time,
+    // so the swap does not change message order.
+    const SendRequest request = co_await OutboundAwaiter{this};
+    if (request.stop || stop_) break;
+    if (config_.use_credits) {
+      co_await credits_->acquire();
+      if (stop_) break;  // die()/request_stop() re-based the count to wake us
+    }
+    // Deliberately if/else, not a conditional expression: co_await inside
+    // ?: miscompiles on this GCC (the child frame's result is not moved
+    // out properly).
+    Status status;
+    if (request.framed) {
+      status = co_await out_wire_->send_framed(request.header, request.data);
+    } else {
+      status = co_await out_wire_->send(request.data);
+    }
+    if (status.is_ok()) {
+      bytes_sent_ += request.data.size() + (request.framed ? kFrameBytes : 0);
+      if (request.recycle_idx >= 0) spawn_recycle(request.recycle_idx);
+      continue;
+    }
+    // The successor is gone and the message with it. Recycle the buffer —
+    // the chunk's origin re-injects after its ack timeout — and park until
+    // the control plane splices a replacement wire.
+    ++send_failures_;
+    if (request.recycle_idx >= 0) spawn_recycle(request.recycle_idx);
+    if (stop_) break;
+    co_await splice_out_done_.wait();
+  }
+  done_transmitter_.set();
+}
+
+sim::Task<void> RoundaboutNode::credit_receiver_resilient() {
+  while (!stop_) {
+    const Arrival arrival = co_await out_wire_->next_arrival();
+    if (!arrival.ok) {
+      if (stop_) break;
+      credit_parked_.set();
+      co_await splice_out_done_.wait();
+      continue;
+    }
+    credits_->release();
+    const std::uint64_t slot = arrival.tag;
+    co_await out_wire_->post_recv(
+        slot, std::span<std::byte>(credit_rx_slab_)
+                  .subspan(slot * kCreditBytes, kCreditBytes));
+  }
+  done_credits_.set();
+}
+
+sim::Task<void> RoundaboutNode::scanner_process() {
+  const SimDuration timeout = config_.resilience.ack_timeout;
+  const SimDuration interval = config_.resilience.scan_interval > 0
+                                   ? config_.resilience.scan_interval
+                                   : std::max<SimDuration>(1, timeout / 4);
+  while (!stop_) {
+    co_await engine_.sleep(interval);
+    if (stop_) break;
+    const SimTime now = engine_.now();
+    for (auto& [seq, chunk] : outstanding_) {
+      if (now - chunk.last_sent < timeout) continue;
+      CJ_CHECK_MSG(chunk.reinjects < config_.resilience.max_reinjections,
+                   "chunk permanently lost: re-injection limit exceeded");
+      ++chunk.reinjects;
+      ++reinjected_;
+      chunk.last_sent = now;
+      SendRequest request;
+      request.data = chunk.payload;
+      request.framed = true;
+      request.header = make_frame(FrameKind::kData, config_.resilience.host_id,
+                                  seq, chunk.payload);
+      // Re-injection reuses the window slot the original acquisition still
+      // holds — it is the same chunk, not a new one.
+      push_outbound(request, /*priority=*/false);
+    }
+  }
+  done_scanner_.set();
+}
+
+// ------------------------------------------------------- control plane
+
+void RoundaboutNode::request_stop() {
+  CJ_CHECK_MSG(resilient(), "request_stop is a resilient-mode operation");
+  if (stop_) return;
+  stop_ = true;
+  if (in_wire_ != nullptr) {
+    push_outbound(SendRequest{.stop = true}, /*priority=*/true);
+    credits_->set_count(1);           // wake a credit-blocked transmitter
+    injection_window_->set_count(1);  // wake a window-blocked send_local
+    in_wire_->close_recv();
+    out_wire_->close_recv();
+  }
+  // Unblock a receiver parked in inbound_->push (stray duplicates can still
+  // circulate at stop time), then guarantee the join loop sees the stop
+  // sentinel before anything buffered behind it.
+  while (inbound_->try_pop().has_value()) {
+  }
+  InboundChunk sentinel;
+  sentinel.stop = true;
+  inbound_->push_front_now(sentinel);
+}
+
+void RoundaboutNode::die() {
+  CJ_CHECK_MSG(resilient(), "die is a resilient-mode operation");
+  if (stop_) return;
+  stop_ = true;
+  if (in_wire_ != nullptr) {
+    in_wire_->fail();
+    out_wire_->fail();
+    push_outbound(SendRequest{.stop = true}, /*priority=*/true);
+    credits_->set_count(1);
+    injection_window_->set_count(1);
+    // A crash while parked for a splice must still unwind.
+    splice_in_done_.set();
+    splice_out_done_.set();
+  }
+  while (inbound_->try_pop().has_value()) {
+  }
+  InboundChunk sentinel;
+  sentinel.stop = true;
+  inbound_->push_front_now(sentinel);
+}
+
+sim::Task<int> RoundaboutNode::splice_in(Wire* new_in_wire) {
+  CJ_CHECK_MSG(resilient() && !stop_, "splice_in on a stopped node");
+  CJ_CHECK(new_in_wire != nullptr && in_wire_ != nullptr);
+  // Wake the receiver off the dead wire and wait until it has drained the
+  // final completions — buffers whose arrival is still queued must not be
+  // counted as free below.
+  in_wire_->close_recv();
+  in_wire_->close_send();  // let the dead wire's NIC sender process exit
+  co_await receiver_parked_.wait();
+  in_wire_ = new_in_wire;
+  co_await in_wire_->prepare(ring_slab_);
+  co_await in_wire_->prepare(credit_rx_slab_);
+  co_await in_wire_->prepare(credit_tx_slot_);
+  int posted = 0;
+  for (int idx : posted_idx_) {
+    co_await in_wire_->post_recv(static_cast<std::uint64_t>(idx), buffer(idx));
+    ++posted;
+  }
+  splice_in_done_.set();
+  co_return posted;
+}
+
+sim::Task<void> RoundaboutNode::splice_out(Wire* new_out_wire,
+                                           int initial_credits) {
+  CJ_CHECK_MSG(resilient() && !stop_, "splice_out on a stopped node");
+  CJ_CHECK(new_out_wire != nullptr && out_wire_ != nullptr);
+  out_wire_->close_recv();
+  out_wire_->close_send();  // let the dead wire's NIC sender process exit
+  if (config_.use_credits) co_await credit_parked_.wait();
+  out_wire_ = new_out_wire;
+  co_await out_wire_->prepare(ring_slab_);
+  co_await out_wire_->prepare(credit_rx_slab_);
+  co_await out_wire_->prepare(credit_tx_slot_);
+  if (config_.use_credits) {
+    for (int i = 0; i < config_.num_buffers; ++i) {
+      co_await out_wire_->post_recv(
+          static_cast<std::uint64_t>(i),
+          std::span<std::byte>(credit_rx_slab_)
+              .subspan(static_cast<std::size_t>(i) * kCreditBytes, kCreditBytes));
+    }
+    // Credits counted against the dead successor are void; the new
+    // successor reported its free buffers via splice_in.
+    credits_->set_count(initial_credits);
+  }
+  splice_out_done_.set();
+}
+
 sim::Task<void> RoundaboutNode::drain() {
+  if (resilient()) {
+    CJ_CHECK_MSG(stop_, "resilient drain requires request_stop() or die() first");
+    co_await done_transmitter_.wait();
+    co_await done_receiver_.wait();
+    co_await done_credits_.wait();
+    co_await done_scanner_.wait();
+    if (recycles_inflight_ == 0) done_recycles_.set();
+    co_await done_recycles_.wait();
+    if (out_wire_ != nullptr) {
+      out_wire_->close_send();
+      in_wire_->close_send();
+      out_wire_->close_recv();
+      in_wire_->close_recv();
+    }
+    if (!inbound_->closed()) inbound_->close();
+    co_return;
+  }
   co_await done_transmitter_.wait();
   co_await done_receiver_.wait();
   co_await done_recycles_.wait();

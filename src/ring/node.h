@@ -35,16 +35,39 @@
 // The node is transport-agnostic: give it RDMA wires and communication is
 // zero-copy and nearly CPU-free; give it TCP wires and every byte bills
 // host cores (the paper's Sec. V-G comparison).
+// Resilient mode (NodeConfig::resilience.enabled, switched on only when a
+// fault plan is active) wraps every message in a FrameHeader (origin, seq,
+// checksum — see frame.h) and replaces the exact-count loops with dynamic
+// termination driven by the orchestration layer:
+//
+//   * a corrupted or truncated frame is discarded (buffer recycled); the
+//     origin still holds the payload and re-injects it after ack_timeout,
+//   * per-origin sequence sets deduplicate re-injected chunks, so a chunk
+//     is delivered to the join entity at most once per host (duplicates
+//     are flagged and forwarded without joining),
+//   * when a neighbor dies the wires fail fast; the node parks its
+//     receiver/transmitter until the control plane splices a replacement
+//     wire around the dead host (splice_in / splice_out),
+//   * die() simulates this node's own fail-stop crash: wires break, all
+//     entities unwind, and the join entity sees a stop chunk.
+//
+// With resilience disabled every path below is byte-identical to the
+// original protocol: no frames, no checksums, no extra state.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <map>
 #include <memory>
+#include <set>
 #include <span>
 #include <vector>
 
+#include "common/status.h"
 #include "common/units.h"
+#include "ring/frame.h"
 #include "ring/wire.h"
 #include "sim/core_pool.h"
 #include "sim/engine.h"
@@ -52,6 +75,25 @@
 #include "sim/task.h"
 
 namespace cj::ring {
+
+/// Fault-tolerance knobs; enabled only when a fault plan is active.
+struct ResilienceConfig {
+  bool enabled = false;
+  /// This host's ring position and the ring size (frame origin field and
+  /// per-origin dedup tables).
+  int host_id = 0;
+  int num_hosts = 1;
+  /// A local chunk not acked within this window is re-injected.
+  SimDuration ack_timeout = 5 * kMillisecond;
+  /// Scanner wake-up period (0 = ack_timeout / 4).
+  SimDuration scan_interval = 0;
+  /// Re-injections per chunk before the node declares it permanently lost
+  /// and aborts (faults must not pass silently).
+  int max_reinjections = 16;
+  /// Invoked each time one of this node's local chunks is acknowledged
+  /// (the orchestration layer's termination detector listens here).
+  std::function<void()> on_ack;
+};
 
 struct NodeConfig {
   /// Ring buffer elements per host (>= 2 when the ring has neighbors).
@@ -67,6 +109,8 @@ struct NodeConfig {
   /// receive is fatal); redundant over TCP, whose window already applies
   /// backpressure — the paper's TCP baseline uses plain send/recv.
   bool use_credits = true;
+  /// Fault-tolerance mode; see ResilienceConfig.
+  ResilienceConfig resilience;
 };
 
 /// Exact message counts for one run, computed by the orchestration layer.
@@ -84,6 +128,17 @@ struct NodeCounts {
 struct InboundChunk {
   int buffer_idx = -1;
   std::span<const std::byte> payload;
+  // ----- resilient-mode metadata (defaults in fault-free runs) ---------
+  /// Host that injected the chunk (-1 when frames are off).
+  int origin = -1;
+  /// Per-origin sequence number.
+  std::uint32_t seq = 0;
+  /// True when this host already joined this (origin, seq): forward or
+  /// retire it, but do not join it again.
+  bool duplicate = false;
+  /// Control signal: the ring is shutting down (or this node died); no
+  /// buffer is attached and the join loop must exit.
+  bool stop = false;
 };
 
 class RoundaboutNode {
@@ -94,9 +149,12 @@ class RoundaboutNode {
 
   /// Registers all memory (ring buffers, credit slots, plus the caller's
   /// local chunk storage slabs), posts the initial receive buffers and
-  /// starts the receiver / transmitter / credit entities.
-  sim::Task<void> start(NodeCounts counts,
-                        std::vector<std::span<std::byte>> local_slabs);
+  /// starts the receiver / transmitter / credit entities. Validates the
+  /// NodeConfig first and returns kInvalidArgument (starting nothing)
+  /// rather than deadlocking on an unusable configuration. In resilient
+  /// mode `counts` is ignored — termination is dynamic.
+  sim::Task<Status> start(NodeCounts counts,
+                          std::vector<std::span<std::byte>> local_slabs);
 
   // ----- join-entity API ---------------------------------------------
 
@@ -111,7 +169,9 @@ class RoundaboutNode {
 
   /// Ends the chunk's revolution: recycles its buffer immediately and
   /// queues the retire ack to the successor (the chunk's origin).
-  void retire(InboundChunk chunk);
+  /// `send_ack=false` (resilient mode only) retires without acknowledging —
+  /// used for chunks whose origin is dead.
+  void retire(InboundChunk chunk, bool send_ack = true);
 
   /// Injects a locally-born chunk (sent directly from local slab memory;
   /// it must lie within a slab passed to start()). Blocks while the
@@ -120,7 +180,40 @@ class RoundaboutNode {
 
   /// Completes when every counted arrival, send, credit and recycle has
   /// happened, then shuts the wires down. Call after the join work is done.
+  /// In resilient mode, call request_stop() first.
   sim::Task<void> drain();
+
+  // ----- resilient-mode control plane ---------------------------------
+
+  /// Asks all entities to wind down (resilient termination is decided by
+  /// the orchestration layer, not by message counts). The join entity
+  /// receives a stop chunk; follow with drain().
+  void request_stop();
+
+  /// Simulates this node's fail-stop crash: wires break immediately, all
+  /// entities unwind, in-flight chunks are abandoned (surviving origins
+  /// re-inject them). The join loop receives a stop chunk.
+  void die();
+
+  /// Ring repair, inbound side (this node's predecessor died): adopt the
+  /// replacement wire to the new predecessor and re-post every currently
+  /// free ring buffer on it. Returns the number of buffers posted — the
+  /// new predecessor's initial credit count.
+  sim::Task<int> splice_in(Wire* new_in_wire);
+
+  /// Ring repair, outbound side (this node's successor died): adopt the
+  /// replacement wire, post credit receive slots on it and re-base the
+  /// credit count to the new successor's free buffers.
+  sim::Task<void> splice_out(Wire* new_out_wire, int initial_credits);
+
+  bool stopped() const { return stop_; }
+  /// Local chunks injected but not yet acknowledged.
+  std::size_t outstanding_unacked() const { return outstanding_.size(); }
+  /// Installs the orchestration layer's ack listener (must be set before
+  /// start(); the termination detector listens here).
+  void set_on_ack(std::function<void()> on_ack) {
+    config_.resilience.on_ack = std::move(on_ack);
+  }
 
   // ----- statistics ---------------------------------------------------
 
@@ -128,12 +221,22 @@ class RoundaboutNode {
   SimDuration sync_time() const { return sync_time_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t chunks_received() const { return chunks_received_; }
+  std::uint64_t chunks_discarded_corrupt() const { return discarded_corrupt_; }
+  std::uint64_t duplicates_skipped() const { return duplicates_skipped_; }
+  std::uint64_t chunks_reinjected() const { return reinjected_; }
+  /// Re-injected chunks that were later acknowledged (recovered in-flight).
+  std::uint64_t chunks_recovered() const { return recovered_; }
+  std::uint64_t send_failures() const { return send_failures_; }
   const NodeConfig& config() const { return config_; }
 
  private:
   struct SendRequest {
     std::span<const std::byte> data;
     int recycle_idx = -1;  // ring buffer to recycle once sent (-1: none)
+    // Resilient-mode fields.
+    bool framed = false;  // send via send_framed(header, data)
+    FrameHeader header{};
+    bool stop = false;  // sentinel: transmitter exits
   };
 
   struct OutboundAwaiter {
@@ -155,10 +258,20 @@ class RoundaboutNode {
   SendRequest take_outbound();
   void push_outbound(SendRequest request, bool priority);
 
+  bool resilient() const { return config_.resilience.enabled; }
+
   sim::Task<void> receiver_process();
   sim::Task<void> transmitter_process();
   sim::Task<void> credit_receiver_process();
   sim::Task<void> recycle(int buffer_idx);
+
+  // Resilient-mode variants (dynamic termination, frame decode, repair).
+  sim::Task<void> receiver_resilient();
+  sim::Task<void> transmitter_resilient();
+  sim::Task<void> credit_receiver_resilient();
+  sim::Task<void> scanner_process();
+  void handle_ack(const FrameHeader& header);
+  void spawn_recycle(int buffer_idx);
 
   sim::Engine& engine_;
   sim::CorePool& cores_;
@@ -188,9 +301,38 @@ class RoundaboutNode {
   sim::Event done_credits_;
   sim::Event done_recycles_;
 
+  // ----- resilient-mode state (untouched when resilience is off) -------
+
+  /// A locally injected chunk awaiting its retire ack.
+  struct Outstanding {
+    std::span<const std::byte> payload;
+    SimTime last_sent = 0;
+    int reinjects = 0;
+  };
+  std::map<std::uint32_t, Outstanding> outstanding_;  // keyed by seq
+  /// Per-origin sequence numbers already seen (dedup of re-injections).
+  std::vector<std::set<std::uint32_t>> seen_;
+  /// Ring buffers currently posted on the inbound wire (repair reposts).
+  std::set<int> posted_idx_;
+  std::uint32_t next_seq_ = 0;
+  bool stop_ = false;
+  std::uint64_t recycles_inflight_ = 0;
+  sim::Event splice_in_done_;
+  sim::Event splice_out_done_;
+  /// Parking handshake: splice waits until the entity has drained the old
+  /// wire's final arrivals before counting free buffers / re-basing credits.
+  sim::Event receiver_parked_;
+  sim::Event credit_parked_;
+  sim::Event done_scanner_;
+
   SimDuration sync_time_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t chunks_received_ = 0;
+  std::uint64_t discarded_corrupt_ = 0;
+  std::uint64_t duplicates_skipped_ = 0;
+  std::uint64_t reinjected_ = 0;
+  std::uint64_t recovered_ = 0;
+  std::uint64_t send_failures_ = 0;
 };
 
 }  // namespace cj::ring

@@ -33,6 +33,9 @@ class RdmaWire final : public Wire {
         send_mutex_(device.engine(), 1) {}
 
   sim::Task<void> prepare(std::span<std::byte> slab) override {
+    // Idempotent: repair re-prepares slabs on a replacement wire, but the
+    // device PD already holds the registration from first bring-up.
+    if (device_.pd().find_region(slab.data(), slab.size()) != nullptr) co_return;
     co_await device_.pd().register_memory(slab);
   }
 
@@ -50,31 +53,69 @@ class RdmaWire final : public Wire {
 
   sim::Task<Arrival> next_arrival() override {
     const rdma::Completion c = co_await recv_cq_.next();
-    co_return Arrival{c.wr_id, c.byte_len};
+    co_return Arrival{c.wr_id, c.byte_len, c.ok()};
   }
 
-  sim::Task<void> send(std::span<const std::byte> data) override {
-    // One outstanding send at a time so completions pair with requests
-    // (callers: the transmitter plus credit recycling).
-    co_await send_mutex_.acquire();
-    rdma::MemoryRegion* mr = locate(data.data(), data.size());
-    co_await device_.host_cores().consume(config_.post_cpu_cost, "rdma-post");
-    rdma::WorkRequest wr;
-    wr.wr_id = next_send_id_++;
-    wr.mr = mr;
-    wr.offset = static_cast<std::size_t>(data.data() - mr->data());
-    wr.length = data.size();
-    wr.opcode = rdma::Opcode::kSend;
-    const Status status = qp_.post_send(wr);
-    CJ_CHECK_MSG(status.is_ok(), status.to_string().c_str());
-    const rdma::Completion c = co_await send_cq_.next();
-    CJ_CHECK_MSG(c.wr_id == wr.wr_id, "out-of-order send completion");
-    send_mutex_.release();
+  sim::Task<Status> send(std::span<const std::byte> data) override {
+    co_return co_await send_message(nullptr, data);
+  }
+
+  sim::Task<Status> send_framed(const FrameHeader& header,
+                                std::span<const std::byte> payload) override {
+    co_return co_await send_message(&header, payload);
   }
 
   void close_send() override { qp_.close(); }
+  void close_recv() override { recv_cq_.shutdown(); }
+
+  void fail() override {
+    // Endpoint death: the QP breaks (peers observe retry-exceeded) and both
+    // CQs flush so local pollers unblock with errors.
+    qp_.set_error();
+    send_cq_.shutdown();
+    recv_cq_.shutdown();
+  }
 
  private:
+  /// Shared body of send / send_framed: one outstanding send at a time so
+  /// completions pair with requests (callers: the transmitter plus credit
+  /// recycling).
+  sim::Task<Status> send_message(const FrameHeader* header,
+                                 std::span<const std::byte> data) {
+    co_await send_mutex_.acquire();
+    rdma::WorkRequest wr;
+    wr.wr_id = next_send_id_++;
+    wr.opcode = rdma::Opcode::kSend;
+    if (!data.empty()) {
+      rdma::MemoryRegion* mr = locate(data.data(), data.size());
+      wr.mr = mr;
+      wr.offset = static_cast<std::size_t>(data.data() - mr->data());
+      wr.length = data.size();
+    }
+    if (header != nullptr) {
+      encode_frame(*header, wr.inline_header.data());
+      wr.inline_header_len = static_cast<std::uint32_t>(kFrameBytes);
+    }
+    co_await device_.host_cores().consume(config_.post_cpu_cost, "rdma-post");
+    const Status status = qp_.post_send(wr);
+    if (!status.is_ok()) {
+      send_mutex_.release();
+      // Queue-full is a protocol bug in every mode; only error-state QPs
+      // (injected faults) surface as a recoverable failure.
+      CJ_CHECK_MSG(qp_.in_error(), status.to_string().c_str());
+      co_return status;
+    }
+    const rdma::Completion c = co_await send_cq_.next();
+    send_mutex_.release();
+    if (!c.ok()) {
+      co_return unavailable(c.status == rdma::WcStatus::kRetryExceeded
+                                ? "send failed: transport retries exhausted"
+                                : "send failed: work request flushed");
+    }
+    CJ_CHECK_MSG(c.wr_id == wr.wr_id, "out-of-order send completion");
+    co_return Status::ok();
+  }
+
   rdma::MemoryRegion* locate(const std::byte* ptr, std::size_t len) const {
     rdma::MemoryRegion* mr = device_.pd().find_region(ptr, len);
     CJ_CHECK_MSG(mr != nullptr, "buffer not within any registered memory region");

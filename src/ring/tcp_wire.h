@@ -7,6 +7,7 @@
 // communication competes with join threads for CPU.
 #pragma once
 
+#include <array>
 #include <memory>
 
 #include "ring/wire.h"
@@ -43,7 +44,7 @@ class TcpWire final : public Wire {
     co_return *a;
   }
 
-  sim::Task<void> send(std::span<const std::byte> data) override {
+  sim::Task<Status> send(std::span<const std::byte> data) override {
     // Header + payload must not interleave with a concurrent send.
     co_await send_mutex_.acquire();
     std::uint32_t len = static_cast<std::uint32_t>(data.size());
@@ -51,6 +52,21 @@ class TcpWire final : public Wire {
         std::span<const std::byte>(reinterpret_cast<const std::byte*>(&len), 4));
     if (len > 0) co_await send_conn_.send(data);
     send_mutex_.release();
+    co_return Status::ok();
+  }
+
+  sim::Task<Status> send_framed(const FrameHeader& header,
+                                std::span<const std::byte> payload) override {
+    co_await send_mutex_.acquire();
+    std::uint32_t len = static_cast<std::uint32_t>(kFrameBytes + payload.size());
+    co_await send_conn_.send(
+        std::span<const std::byte>(reinterpret_cast<const std::byte*>(&len), 4));
+    std::array<std::byte, kFrameBytes> head;
+    encode_frame(header, head.data());
+    co_await send_conn_.send(std::span<const std::byte>(head.data(), head.size()));
+    if (!payload.empty()) co_await send_conn_.send(payload);
+    send_mutex_.release();
+    co_return Status::ok();
   }
 
   void close_send() override { send_conn_.close(); }

@@ -19,7 +19,10 @@
 #include <cstdint>
 #include <span>
 
+#include "common/assert.h"
+#include "common/status.h"
 #include "common/units.h"
+#include "ring/frame.h"
 #include "sim/task.h"
 
 namespace cj::ring {
@@ -30,6 +33,10 @@ struct Arrival {
   std::uint64_t tag = 0;
   /// Payload length actually received.
   std::size_t length = 0;
+  /// False when the wire failed or was torn down instead of delivering a
+  /// message (peer crash, CQ shutdown). Protocols that expected no faults
+  /// treat false as a fatal bug; resilient ones wait for repair.
+  bool ok = true;
 };
 
 class Wire {
@@ -38,7 +45,9 @@ class Wire {
 
   /// Registers a memory area messages will be sent from / received into.
   /// RDMA bills registration cost and pins the region; TCP ignores this.
-  /// Must cover every span later passed to send/post_recv.
+  /// Must cover every span later passed to send/post_recv. Registering a
+  /// range that is already covered is a no-op (ring repair re-prepares
+  /// slabs on a replacement wire).
   virtual sim::Task<void> prepare(std::span<std::byte> slab) = 0;
 
   /// Posts a receive buffer. Arrivals consume posted buffers FIFO.
@@ -47,16 +56,35 @@ class Wire {
   /// Awaits the next inbound message.
   virtual sim::Task<Arrival> next_arrival() = 0;
 
-  /// Sends one message. Returns when `data` is safe to reuse (RDMA: send
-  /// completion; TCP: accepted into the send window).
-  virtual sim::Task<void> send(std::span<const std::byte> data) = 0;
+  /// Sends one message. Returns ok when `data` is safe to reuse (RDMA: send
+  /// completion; TCP: accepted into the send window), an error when the
+  /// wire failed and the message may not have been delivered.
+  virtual sim::Task<Status> send(std::span<const std::byte> data) = 0;
+
+  /// Sends `header` + `payload` as one message (the resilient framing).
+  /// The receiver sees them contiguous in its posted buffer. Only wires
+  /// that participate in fault injection implement this.
+  virtual sim::Task<Status> send_framed(const FrameHeader& header,
+                                        std::span<const std::byte> payload) {
+    (void)header;
+    (void)payload;
+    CJ_CHECK_MSG(false, "this transport does not support framed sends");
+    return {};  // unreachable
+  }
 
   /// Shuts down the send side after queued data drains.
   virtual void close_send() = 0;
 
   /// Shuts down the receive side once every expected arrival has been
-  /// consumed (stops internal pump processes; no-op where none exist).
+  /// consumed (stops internal pump processes; pollers blocked in
+  /// next_arrival observe ok=false).
   virtual void close_recv() {}
+
+  /// Hard-fails the wire (simulated endpoint death): pending and future
+  /// operations complete with errors on both this wire and, through the
+  /// transport, its peer. Only wires that participate in fault injection
+  /// implement this.
+  virtual void fail() { CJ_CHECK_MSG(false, "this transport cannot fail"); }
 };
 
 }  // namespace cj::ring

@@ -94,6 +94,19 @@ class CorePool {
 
   std::uint64_t context_switches() const { return context_switches_; }
 
+  /// Multiplies the measured-work calibration by `factor` (> 1 = slower)
+  /// from now on — the fault injector's host-slowdown hook. Analytical
+  /// consume() costs are unaffected, matching how `cpu_scale` already
+  /// calibrates only measured execute() durations.
+  void slow_down(double factor) {
+    CJ_CHECK_MSG(factor > 0.0, "slowdown factor must be positive");
+    cpu_scale_ *= factor;
+  }
+
+  double cpu_scale() const { return cpu_scale_; }
+
+  void set_name(std::string name) { name_ = std::move(name); }
+
   /// Utilization of the pool over a window, given a busy snapshot taken at
   /// the window start: (busy_now - busy_at_start) / (window * cores).
   double utilization(SimDuration busy_at_start, SimDuration window) const {
@@ -122,6 +135,7 @@ class CorePool {
       return false;
     }
     void await_suspend(std::coroutine_handle<> h) {
+      pool->engine_.note_blocked(h, "core-pool", &pool->name_);
       pool->waiters_.push_back({h, &core});
     }
     int await_resume() {
@@ -137,6 +151,7 @@ class CorePool {
       auto [handle, core_slot] = waiters_.front();
       waiters_.pop_front();
       *core_slot = core;  // hand the core directly to the next waiter
+      engine_.note_unblocked(handle);
       engine_.schedule_now(handle);
       return;
     }
@@ -159,6 +174,7 @@ class CorePool {
 
   Engine& engine_;
   SimDuration context_switch_cost_;
+  std::string name_;
   double cpu_scale_ = 1.0;
   std::deque<int> free_cores_;
   std::deque<std::pair<std::coroutine_handle<>, int*>> waiters_;

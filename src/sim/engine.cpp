@@ -79,6 +79,20 @@ bool Engine::run_until(SimTime deadline) {
   return true;
 }
 
+void Engine::dump_blocked(std::FILE* out) const {
+  if (blocked_.empty()) return;
+  std::fprintf(out, "blocked waiters (%zu):\n", blocked_.size());
+  for (const auto& [addr, info] : blocked_) {
+    const char* kind = info.kind != nullptr ? info.kind : "?";
+    if (info.name != nullptr && !info.name->empty()) {
+      std::fprintf(out, "  coroutine %p waiting on %s '%s'\n", addr, kind,
+                   info.name->c_str());
+    } else {
+      std::fprintf(out, "  coroutine %p waiting on %s\n", addr, kind);
+    }
+  }
+}
+
 void Engine::check_all_complete() const {
   bool all_done = true;
   for (const auto& root : roots_) {
@@ -88,6 +102,7 @@ void Engine::check_all_complete() const {
       all_done = false;
     }
   }
+  if (!all_done) dump_blocked(stderr);
   CJ_CHECK_MSG(all_done, "simulation ended with blocked processes");
 }
 

@@ -8,6 +8,8 @@
 
 #include <coroutine>
 #include <cstdint>
+#include <cstdio>
+#include <map>
 #include <memory>
 #include <queue>
 #include <string>
@@ -87,7 +89,27 @@ class Engine {
 
   /// Aborts (with the stuck process names) if any spawned root process has
   /// not completed. Call after run() to catch flow-control deadlocks.
+  /// Before aborting it dumps the blocked-waiter registry so the report
+  /// names the primitive each stuck coroutine is parked on.
   void check_all_complete() const;
+
+  // ----- blocked-waiter registry (deadlock watchdog) -------------------
+  //
+  // Synchronization primitives register each coroutine they park and
+  // deregister it when they wake it, so that when the event queue drains
+  // with processes still incomplete we can say *what* everyone is waiting
+  // on instead of only *that* they never finished. `name` may be null or
+  // point at a string owned by the primitive (it is read only at dump
+  // time, which happens at most once, right before an abort).
+
+  void note_blocked(std::coroutine_handle<> h, const char* kind,
+                    const std::string* name) {
+    blocked_[h.address()] = BlockInfo{kind, name};
+  }
+  void note_unblocked(std::coroutine_handle<> h) { blocked_.erase(h.address()); }
+
+  /// Prints one line per currently-parked coroutine.
+  void dump_blocked(std::FILE* out) const;
 
  private:
   struct Event {
@@ -102,8 +124,13 @@ class Engine {
   };
 
   struct Root;
+  struct BlockInfo {
+    const char* kind = nullptr;
+    const std::string* name = nullptr;
+  };
   Task<void> drive(Task<void> inner, std::shared_ptr<ProcessHandle::State> state);
 
+  std::map<void*, BlockInfo> blocked_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;

@@ -1,0 +1,105 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace cj::sim {
+
+FaultInjector::FaultInjector(Engine& engine, FaultPlan plan)
+    : engine_(engine), plan_(std::move(plan)) {
+  CJ_CHECK_MSG(plan_.link.drop_prob >= 0.0 && plan_.link.drop_prob <= 1.0,
+               "drop_prob must be a probability");
+  CJ_CHECK_MSG(plan_.link.corrupt_prob >= 0.0 && plan_.link.corrupt_prob <= 1.0,
+               "corrupt_prob must be a probability");
+  CJ_CHECK_MSG(plan_.link.drop_prob + plan_.link.corrupt_prob <= 1.0,
+               "drop_prob + corrupt_prob must not exceed 1");
+  for (const auto& c : plan_.crashes) CJ_CHECK_MSG(c.host >= 0, "crash host must be set");
+  for (const auto& s : plan_.slowdowns) {
+    CJ_CHECK_MSG(s.host >= 0, "slowdown host must be set");
+    CJ_CHECK_MSG(s.factor >= 1.0, "slowdown factor must be >= 1");
+  }
+}
+
+Rng& FaultInjector::link_rng(int link_id) {
+  auto it = link_rngs_.find(link_id);
+  if (it == link_rngs_.end()) {
+    // Decorrelate links by mixing the link id into the seed; Rng's
+    // splitmix64 seeding diffuses the remaining structure.
+    const std::uint64_t link_seed =
+        plan_.seed ^ (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(link_id) + 1));
+    it = link_rngs_.emplace(link_id, Rng(link_seed)).first;
+  }
+  return it->second;
+}
+
+FaultInjector::Verdict FaultInjector::next_message_verdict(int link_id) {
+  const auto& spec = plan_.link;
+  if (spec.drop_prob == 0.0 && spec.corrupt_prob == 0.0) return Verdict::kDeliver;
+  // Always draw, even outside the active window, so the decision stream per
+  // link depends only on the message index and not on the fault window.
+  const double u = link_rng(link_id).next_double();
+  const SimTime now = engine_.now();
+  if (now < spec.active_from || now >= spec.active_until) return Verdict::kDeliver;
+  if (u < spec.drop_prob) {
+    ++counters_.messages_dropped;
+    return Verdict::kDrop;
+  }
+  if (u < spec.drop_prob + spec.corrupt_prob) {
+    ++counters_.messages_corrupted;
+    return Verdict::kCorrupt;
+  }
+  return Verdict::kDeliver;
+}
+
+void FaultInjector::corrupt(std::span<std::byte> payload, int link_id) {
+  if (payload.empty()) return;
+  Rng& rng = link_rng(link_id);
+  // Flip between 1 and 4 bytes with non-zero masks so the payload always
+  // differs from what was sent.
+  const std::uint64_t flips = 1 + rng.next_below(std::min<std::uint64_t>(4, payload.size()));
+  for (std::uint64_t i = 0; i < flips; ++i) {
+    const std::size_t pos = static_cast<std::size_t>(rng.next_below(payload.size()));
+    const auto mask = static_cast<std::byte>(1 + rng.next_below(255));
+    payload[pos] ^= mask;
+  }
+}
+
+std::optional<SimTime> FaultInjector::crash_time(int host) const {
+  for (const auto& c : plan_.crashes) {
+    if (c.host == host) return c.at;
+  }
+  return std::nullopt;
+}
+
+void FaultInjector::mark_crashed(int host) {
+  CJ_CHECK_MSG(crash_scheduled(host), "crash fired for a host without a crash spec");
+  if (!crashed_.insert(host).second) return;
+  ++counters_.hosts_crashed;
+  crash_signal(host).set();
+}
+
+Event& FaultInjector::crash_signal(int host) {
+  auto it = crash_signals_.find(host);
+  if (it == crash_signals_.end()) {
+    it = crash_signals_.emplace(host, std::make_unique<Event>(engine_)).first;
+  }
+  return *it->second;
+}
+
+Task<void> FaultInjector::slowdown_timer(HostSlowdownSpec spec, CorePool& cores) {
+  const SimTime now = engine_.now();
+  co_await engine_.sleep(spec.at > now ? spec.at - now : 0);
+  cores.slow_down(spec.factor);
+  ++counters_.slowdowns_applied;
+}
+
+void FaultInjector::arm_slowdowns(int host, CorePool& cores) {
+  for (const auto& spec : plan_.slowdowns) {
+    if (spec.host != host) continue;
+    engine_.spawn(slowdown_timer(spec, cores),
+                  "fault-slowdown-h" + std::to_string(host));
+  }
+}
+
+}  // namespace cj::sim

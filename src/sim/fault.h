@@ -1,0 +1,132 @@
+// Deterministic, seeded fault injection for the simulated cluster.
+//
+// A FaultPlan describes *what* goes wrong during a run — transient link
+// faults (message drops and payload corruptions), host crashes, and host
+// slowdowns — and a FaultInjector turns the plan into per-event decisions
+// that are a pure function of (seed, link id, message index), so the same
+// plan on the same workload always injects the same faults regardless of
+// how the event loop happens to interleave processes.
+//
+// Layering: the injector lives in sim:: and knows nothing about RDMA or
+// rings. Transport layers ask it for a verdict per message (identified by
+// an opaque link id); the orchestration layer asks about crash schedules
+// and arms slowdowns on core pools. With an empty plan every query returns
+// "no fault" without touching any RNG, so the fault-free path is
+// byte-for-byte identical to a build without fault injection.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "sim/core_pool.h"
+#include "sim/engine.h"
+#include "sim/sync.h"
+
+namespace cj::sim {
+
+/// Transient faults applied to messages crossing the fabric's links.
+/// Probabilities are per message; the window bounds when faults fire.
+struct LinkFaultSpec {
+  double drop_prob = 0.0;     ///< message silently lost on the wire
+  double corrupt_prob = 0.0;  ///< message delivered with flipped bytes
+  SimTime active_from = 0;
+  SimTime active_until = std::numeric_limits<SimTime>::max();
+};
+
+/// A host dies (fail-stop) at the first safe point after `at`: its compute
+/// and in-memory state are lost and it stops participating in the ring.
+struct HostCrashSpec {
+  int host = -1;
+  SimTime at = 0;
+};
+
+/// A host's cores slow down by `factor` (>1) from `at` onward — models
+/// thermal throttling, a noisy neighbor, or a failing DIMM being remapped.
+struct HostSlowdownSpec {
+  int host = -1;
+  SimTime at = 0;
+  double factor = 1.0;
+};
+
+/// The full fault schedule of one run. Default-constructed = no faults.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  LinkFaultSpec link;
+  std::vector<HostCrashSpec> crashes;
+  std::vector<HostSlowdownSpec> slowdowns;
+
+  bool empty() const {
+    return link.drop_prob == 0.0 && link.corrupt_prob == 0.0 &&
+           crashes.empty() && slowdowns.empty();
+  }
+};
+
+/// Ledger of faults actually injected (for reports and assertions).
+struct FaultCounters {
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_corrupted = 0;
+  std::uint64_t hosts_crashed = 0;
+  std::uint64_t slowdowns_applied = 0;
+};
+
+class FaultInjector {
+ public:
+  /// What to do with the next message on a link.
+  enum class Verdict { kDeliver, kDrop, kCorrupt };
+
+  FaultInjector(Engine& engine, FaultPlan plan);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultPlan& plan() const { return plan_; }
+  bool enabled() const { return !plan_.empty(); }
+
+  /// Decides the fate of the next message on `link_id` and advances that
+  /// link's deterministic decision stream. Drop wins over corrupt.
+  Verdict next_message_verdict(int link_id);
+
+  /// Flips a deterministic selection of bytes in `payload` (at least one).
+  void corrupt(std::span<std::byte> payload, int link_id);
+
+  // ----- crashes ------------------------------------------------------
+
+  std::optional<SimTime> crash_time(int host) const;
+  bool crash_scheduled(int host) const { return crash_time(host).has_value(); }
+
+  /// Whether the crash has actually fired (the control plane marks it).
+  bool crashed(int host) const { return crashed_.count(host) != 0; }
+  void mark_crashed(int host);
+
+  /// Set when `mark_crashed(host)` runs; repair processes wait on this.
+  Event& crash_signal(int host);
+
+  // ----- slowdowns ----------------------------------------------------
+
+  /// Spawns a timer process per scheduled slowdown of `host` that rescales
+  /// `cores` at the scheduled time. Call once per host during cluster
+  /// bring-up; with no slowdowns for the host this is a no-op.
+  void arm_slowdowns(int host, CorePool& cores);
+
+  const FaultCounters& counters() const { return counters_; }
+
+ private:
+  Rng& link_rng(int link_id);
+  Task<void> slowdown_timer(HostSlowdownSpec spec, CorePool& cores);
+
+  Engine& engine_;
+  FaultPlan plan_;
+  std::map<int, Rng> link_rngs_;
+  std::map<int, std::unique_ptr<Event>> crash_signals_;
+  std::set<int> crashed_;
+  FaultCounters counters_;
+};
+
+}  // namespace cj::sim

@@ -8,26 +8,38 @@
 #include <coroutine>
 #include <deque>
 #include <optional>
+#include <string>
+#include <utility>
 
 #include "common/assert.h"
 #include "sim/engine.h"
 
 namespace cj::sim {
 
+// Every primitive carries an optional debug name and registers parked
+// coroutines with the engine's blocked-waiter registry, so a drained event
+// queue with stuck processes dumps "who waits on what" (see
+// Engine::dump_blocked) instead of a bare abort.
+
 /// One-shot broadcast event: wait() suspends until set() is called; waiters
 /// arriving after set() proceed immediately.
 class Event {
  public:
-  explicit Event(Engine& engine) : engine_(engine) {}
+  explicit Event(Engine& engine, std::string name = {})
+      : engine_(engine), name_(std::move(name)) {}
   Event(const Event&) = delete;
   Event& operator=(const Event&) = delete;
 
   bool is_set() const { return set_; }
+  void set_name(std::string name) { name_ = std::move(name); }
 
   void set() {
     if (set_) return;
     set_ = true;
-    for (auto h : waiters_) engine_.schedule_now(h);
+    for (auto h : waiters_) {
+      engine_.note_unblocked(h);
+      engine_.schedule_now(h);
+    }
     waiters_.clear();
   }
 
@@ -35,7 +47,10 @@ class Event {
     struct Awaiter {
       Event* event;
       bool await_ready() { return event->set_; }
-      void await_suspend(std::coroutine_handle<> h) { event->waiters_.push_back(h); }
+      void await_suspend(std::coroutine_handle<> h) {
+        event->engine_.note_blocked(h, "event", &event->name_);
+        event->waiters_.push_back(h);
+      }
       void await_resume() {}
     };
     return Awaiter{this};
@@ -43,6 +58,7 @@ class Event {
 
  private:
   Engine& engine_;
+  std::string name_;
   bool set_ = false;
   std::deque<std::coroutine_handle<>> waiters_;
 };
@@ -50,8 +66,8 @@ class Event {
 /// Counting semaphore with FIFO waiters.
 class Semaphore {
  public:
-  Semaphore(Engine& engine, std::int64_t initial)
-      : engine_(engine), count_(initial) {
+  Semaphore(Engine& engine, std::int64_t initial, std::string name = {})
+      : engine_(engine), count_(initial), name_(std::move(name)) {
     CJ_CHECK(initial >= 0);
   }
   Semaphore(const Semaphore&) = delete;
@@ -59,6 +75,7 @@ class Semaphore {
 
   std::int64_t available() const { return count_; }
   std::size_t waiting() const { return waiters_.size(); }
+  void set_name(std::string name) { name_ = std::move(name); }
 
   auto acquire() {
     struct Awaiter {
@@ -70,7 +87,10 @@ class Semaphore {
         }
         return false;
       }
-      void await_suspend(std::coroutine_handle<> h) { sem->waiters_.push_back(h); }
+      void await_suspend(std::coroutine_handle<> h) {
+        sem->engine_.note_blocked(h, "semaphore", &sem->name_);
+        sem->waiters_.push_back(h);
+      }
       void await_resume() {}
     };
     return Awaiter{this};
@@ -81,18 +101,29 @@ class Semaphore {
     wake_one();
   }
 
+  /// Forces the available count to `count` and wakes as many waiters as the
+  /// new count admits. Used by ring repair to re-base credit counts after a
+  /// neighbor is spliced out — not a general-purpose operation.
+  void set_count(std::int64_t count) {
+    CJ_CHECK(count >= 0);
+    count_ = count;
+    while (count_ > 0 && !waiters_.empty()) wake_one();
+  }
+
  private:
   void wake_one() {
     if (count_ > 0 && !waiters_.empty()) {
       --count_;
       auto h = waiters_.front();
       waiters_.pop_front();
+      engine_.note_unblocked(h);
       engine_.schedule_now(h);
     }
   }
 
   Engine& engine_;
   std::int64_t count_;
+  std::string name_;
   std::deque<std::coroutine_handle<>> waiters_;
 };
 
@@ -102,8 +133,8 @@ class Semaphore {
 template <typename T>
 class Channel {
  public:
-  Channel(Engine& engine, std::size_t capacity)
-      : engine_(engine), capacity_(capacity) {
+  Channel(Engine& engine, std::size_t capacity, std::string name = {})
+      : engine_(engine), capacity_(capacity), name_(std::move(name)) {
     CJ_CHECK_MSG(capacity >= 1, "channel capacity must be at least 1");
   }
   Channel(const Channel&) = delete;
@@ -111,6 +142,7 @@ class Channel {
 
   std::size_t size() const { return items_.size(); }
   bool closed() const { return closed_; }
+  void set_name(std::string name) { name_ = std::move(name); }
 
   /// Awaitable push. Pushing to a closed channel is a programming error.
   auto push(T item) {
@@ -126,6 +158,7 @@ class Channel {
         return false;
       }
       void await_suspend(std::coroutine_handle<> h) {
+        ch->engine_.note_blocked(h, "channel-push", &ch->name_);
         ch->push_waiters_.push_back({h, std::move(item)});
       }
       void await_resume() {}
@@ -151,6 +184,7 @@ class Channel {
         return ch->items_.empty() && ch->closed_;
       }
       void await_suspend(std::coroutine_handle<> h) {
+        ch->engine_.note_blocked(h, "channel-pop", &ch->name_);
         ch->pop_waiters_.push_back({h, &slot});
       }
       std::optional<T> await_resume() {
@@ -170,6 +204,23 @@ class Channel {
     if (items_.size() >= capacity_ || !push_waiters_.empty()) return false;
     enqueue(std::move(item));
     return true;
+  }
+
+  /// Non-blocking control-plane push that jumps the queue: hands `item` to
+  /// the oldest waiting popper, or prepends it ahead of buffered items,
+  /// ignoring capacity. Used to deliver stop/crash sentinels that must be
+  /// seen before any still-buffered data.
+  void push_front_now(T item) {
+    CJ_CHECK_MSG(!closed_, "push on closed channel");
+    if (!pop_waiters_.empty()) {
+      auto [handle, slot] = pop_waiters_.front();
+      pop_waiters_.pop_front();
+      *slot = std::move(item);
+      engine_.note_unblocked(handle);
+      engine_.schedule_now(handle);
+      return;
+    }
+    items_.push_front(std::move(item));
   }
 
   /// Non-blocking pop: empty optional when nothing is buffered.
@@ -202,6 +253,7 @@ class Channel {
       auto [handle, slot] = pop_waiters_.front();
       pop_waiters_.pop_front();
       *slot = std::move(item);
+      engine_.note_unblocked(handle);
       engine_.schedule_now(handle);
       return;
     }
@@ -213,6 +265,7 @@ class Channel {
     PendingPush p = std::move(push_waiters_.front());
     push_waiters_.pop_front();
     enqueue(std::move(p.item));
+    engine_.note_unblocked(p.handle);
     engine_.schedule_now(p.handle);
   }
 
@@ -224,14 +277,19 @@ class Channel {
       pop_waiters_.pop_front();
       *slot = std::move(items_.front());
       items_.pop_front();
+      engine_.note_unblocked(handle);
       engine_.schedule_now(handle);
     }
-    for (auto [handle, slot] : pop_waiters_) engine_.schedule_now(handle);
+    for (auto [handle, slot] : pop_waiters_) {
+      engine_.note_unblocked(handle);
+      engine_.schedule_now(handle);
+    }
     pop_waiters_.clear();
   }
 
   Engine& engine_;
   std::size_t capacity_;
+  std::string name_;
   bool closed_ = false;
   std::deque<T> items_;
   std::deque<PendingPush> push_waiters_;

@@ -1,0 +1,342 @@
+// Chaos tests for the fault-injection framework and the failure-resilient
+// Data Roundabout. The invariant under test: seeded transient faults never
+// change the answer, and a host crash degrades it in exactly the reported
+// way — the survivors compute (R \ R_dead) ⋈ (S \ S_dead), nothing else.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "cyclo/cyclo_join.h"
+#include "join/local_join.h"
+#include "rel/generator.h"
+#include "sim/engine.h"
+#include "sim/fault.h"
+
+namespace cj::cyclo {
+namespace {
+
+struct Reference {
+  std::uint64_t matches;
+  std::uint64_t checksum;
+};
+
+Reference reference_equi(const rel::Relation& r, const rel::Relation& s) {
+  join::JoinResult res = join::local_hash_join(r.tuples(), s.tuples());
+  return {res.matches(), res.checksum()};
+}
+
+/// What the surviving hosts must compute after `dead` fail-stops: the join
+/// of both relations with the dead host's fragments removed.
+Reference degraded_reference(const rel::Relation& r, const rel::Relation& s,
+                             int hosts, int dead) {
+  auto r_frags = rel::split_even(r, hosts);
+  auto s_frags = rel::split_even(s, hosts);
+  std::vector<rel::Tuple> r_alive;
+  std::vector<rel::Tuple> s_alive;
+  for (int i = 0; i < hosts; ++i) {
+    if (i == dead) continue;
+    const auto& rf = r_frags[static_cast<std::size_t>(i)];
+    const auto& sf = s_frags[static_cast<std::size_t>(i)];
+    r_alive.insert(r_alive.end(), rf.tuples().begin(), rf.tuples().end());
+    s_alive.insert(s_alive.end(), sf.tuples().begin(), sf.tuples().end());
+  }
+  join::JoinResult res = join::local_hash_join(r_alive, s_alive);
+  return {res.matches(), res.checksum()};
+}
+
+ClusterConfig fault_cluster(int hosts, int buffers = 4) {
+  ClusterConfig cfg;
+  cfg.num_hosts = hosts;
+  cfg.cores_per_host = 2;
+  cfg.node.buffer_bytes = 32 * 1024;  // small buffers → many chunks rotate
+  cfg.node.num_buffers = buffers;
+  return cfg;
+}
+
+rel::Relation make_r() {
+  return rel::generate({.rows = 12'000, .key_domain = 3'000, .seed = 21}, "R", 1);
+}
+rel::Relation make_s() {
+  return rel::generate({.rows = 12'000, .key_domain = 3'000, .seed = 22}, "S", 2);
+}
+
+// ----- injector unit behavior ----------------------------------------------
+
+TEST(FaultInjector, VerdictStreamIsDeterministicPerSeedAndLink) {
+  sim::FaultPlan plan;
+  plan.seed = 42;
+  plan.link.drop_prob = 0.3;
+  plan.link.corrupt_prob = 0.3;
+
+  auto stream = [&](std::uint64_t seed, int link) {
+    sim::Engine engine;
+    sim::FaultPlan p = plan;
+    p.seed = seed;
+    sim::FaultInjector injector(engine, p);
+    std::vector<int> verdicts;
+    for (int i = 0; i < 200; ++i) {
+      verdicts.push_back(static_cast<int>(injector.next_message_verdict(link)));
+    }
+    return verdicts;
+  };
+
+  EXPECT_EQ(stream(42, 0), stream(42, 0));  // replay is exact
+  EXPECT_NE(stream(42, 0), stream(42, 1));  // links draw independent streams
+  EXPECT_NE(stream(42, 0), stream(43, 0));  // seed changes everything
+}
+
+TEST(FaultInjector, EmptyPlanNeverInjects) {
+  sim::Engine engine;
+  sim::FaultInjector injector(engine, sim::FaultPlan{});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(injector.next_message_verdict(i % 3),
+              sim::FaultInjector::Verdict::kDeliver);
+  }
+  EXPECT_EQ(injector.counters().messages_dropped, 0u);
+  EXPECT_EQ(injector.counters().messages_corrupted, 0u);
+}
+
+TEST(FaultInjector, CorruptionFlipsAtLeastOneByte) {
+  sim::Engine engine;
+  sim::FaultPlan plan;
+  plan.link.corrupt_prob = 1.0;
+  sim::FaultInjector injector(engine, plan);
+  std::vector<std::byte> payload(256, std::byte{0});
+  injector.corrupt(payload, /*link_id=*/0);
+  bool changed = false;
+  for (std::byte b : payload) changed |= (b != std::byte{0});
+  EXPECT_TRUE(changed);
+}
+
+// ----- fault-free behavior is untouched ------------------------------------
+
+TEST(FaultFramework, EmptyPlanReportsNoFaults) {
+  auto r = make_r();
+  auto s = make_s();
+  const Reference ref = reference_equi(r, s);
+
+  CycloJoin cyclo(fault_cluster(4), JoinSpec{.algorithm = Algorithm::kHashJoin});
+  const RunReport report = cyclo.run(r, s);
+
+  EXPECT_EQ(report.matches, ref.matches);
+  EXPECT_EQ(report.checksum, ref.checksum);
+  EXPECT_FALSE(report.fault.degraded);
+  EXPECT_TRUE(report.fault.crashed_hosts.empty());
+  EXPECT_EQ(report.fault.messages_dropped, 0u);
+  EXPECT_EQ(report.fault.messages_corrupted, 0u);
+  EXPECT_EQ(report.fault.retransmissions, 0u);
+  EXPECT_EQ(report.fault.chunks_reinjected, 0u);
+  for (const HostStats& host : report.hosts) {
+    EXPECT_EQ(host.corrupt_discards, 0u);
+    EXPECT_EQ(host.duplicates_skipped, 0u);
+    EXPECT_EQ(host.send_failures, 0u);
+  }
+}
+
+// A non-empty plan that injects nothing still switches the ring into
+// resilient mode (frames, acked retires, dynamic termination). The answer —
+// and the fault ledger — must be identical to the fault-free run.
+TEST(FaultFramework, ResilientModeWithoutFaultsMatchesReference) {
+  auto r = make_r();
+  auto s = make_s();
+  const Reference ref = reference_equi(r, s);
+
+  ClusterConfig cfg = fault_cluster(4);
+  cfg.fault.slowdowns.push_back({.host = 0, .at = 0, .factor = 1.0});
+  cfg.node.resilience.ack_timeout = 500 * kMillisecond;  // never fires here
+
+  CycloJoin cyclo(cfg, JoinSpec{.algorithm = Algorithm::kHashJoin});
+  const RunReport report = cyclo.run(r, s);
+
+  EXPECT_EQ(report.matches, ref.matches);
+  EXPECT_EQ(report.checksum, ref.checksum);
+  EXPECT_FALSE(report.fault.degraded);
+  EXPECT_EQ(report.fault.messages_dropped, 0u);
+  EXPECT_EQ(report.fault.messages_corrupted, 0u);
+  EXPECT_EQ(report.fault.retransmissions, 0u);
+  EXPECT_EQ(report.fault.chunks_reinjected, 0u);
+  EXPECT_EQ(report.fault.corrupt_discards, 0u);
+}
+
+// ----- transient faults ----------------------------------------------------
+
+// Ring size × buffer depth × fault seed. Drops are absorbed by RDMA-level
+// retransmission; corruptions by frame checksums + origin re-injection.
+// Whatever the interleaving, the answer must be exact and the run must
+// terminate (a deadlock aborts via the engine watchdog).
+class ChaosMatrix
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(ChaosMatrix, TransientFaultsPreserveTheAnswer) {
+  const auto [hosts, buffers, seed] = GetParam();
+  auto r = make_r();
+  auto s = make_s();
+  const Reference ref = reference_equi(r, s);
+
+  ClusterConfig cfg = fault_cluster(hosts, buffers);
+  cfg.fault.seed = seed;
+  cfg.fault.link.drop_prob = 0.05;
+  cfg.fault.link.corrupt_prob = 0.05;
+  cfg.node.resilience.ack_timeout = 20 * kMillisecond;
+
+  CycloJoin cyclo(cfg, JoinSpec{.algorithm = Algorithm::kHashJoin});
+  const RunReport report = cyclo.run(r, s);
+
+  EXPECT_EQ(report.matches, ref.matches);
+  EXPECT_EQ(report.checksum, ref.checksum);
+  EXPECT_FALSE(report.fault.degraded);
+  // Something must actually have gone wrong for this test to mean anything.
+  EXPECT_GT(report.fault.messages_dropped + report.fault.messages_corrupted, 0u);
+  // Every drop below the retry limit shows up as a retransmission.
+  EXPECT_GE(report.fault.retransmissions, report.fault.messages_dropped);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RingsByDepthBySeed, ChaosMatrix,
+    ::testing::Combine(::testing::Values(3, 4, 6), ::testing::Values(2, 4),
+                       ::testing::Values(1u, 7u, 1234u)));
+
+TEST(FaultFramework, CorruptedChunksAreReinjectedAndDeduplicated) {
+  auto r = make_r();
+  auto s = make_s();
+  const Reference ref = reference_equi(r, s);
+
+  ClusterConfig cfg = fault_cluster(4);
+  cfg.fault.seed = 3;
+  cfg.fault.link.corrupt_prob = 0.25;  // heavy corruption, no drops
+  cfg.node.resilience.ack_timeout = 20 * kMillisecond;
+
+  CycloJoin cyclo(cfg, JoinSpec{.algorithm = Algorithm::kHashJoin});
+  const RunReport report = cyclo.run(r, s);
+
+  EXPECT_EQ(report.matches, ref.matches);
+  EXPECT_EQ(report.checksum, ref.checksum);
+  EXPECT_GT(report.fault.messages_corrupted, 0u);
+  EXPECT_GT(report.fault.corrupt_discards, 0u);
+  // A discarded chunk is only ever re-delivered via origin re-injection.
+  EXPECT_GT(report.fault.chunks_reinjected, 0u);
+  EXPECT_GT(report.fault.chunks_recovered, 0u);
+}
+
+// ----- host crashes --------------------------------------------------------
+
+class CrashRings : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrashRings, SurvivorsComputeTheDegradedJoin) {
+  const int hosts = GetParam();
+  const int dead = hosts / 2;
+  auto r = make_r();
+  auto s = make_s();
+  const Reference ref = degraded_reference(r, s, hosts, dead);
+
+  ClusterConfig cfg = fault_cluster(hosts);
+  // Crash at the first instant of the join phase: fully deterministic, and
+  // the in-flight recovery machinery still runs for chunks already posted.
+  cfg.fault.crashes.push_back({.host = dead, .at = 0});
+  cfg.node.resilience.ack_timeout = 20 * kMillisecond;
+
+  CycloJoin cyclo(cfg, JoinSpec{.algorithm = Algorithm::kHashJoin});
+  const RunReport report = cyclo.run(r, s);
+
+  EXPECT_TRUE(report.fault.degraded);
+  ASSERT_EQ(report.fault.crashed_hosts.size(), 1u);
+  EXPECT_EQ(report.fault.crashed_hosts[0], dead);
+  EXPECT_EQ(report.matches, ref.matches);
+  EXPECT_EQ(report.checksum, ref.checksum);
+
+  // Loss accounting is exact: the dead host's fragments, nothing else.
+  auto r_frags = rel::split_even(r, hosts);
+  auto s_frags = rel::split_even(s, hosts);
+  EXPECT_EQ(report.fault.lost_r_rows,
+            r_frags[static_cast<std::size_t>(dead)].rows());
+  EXPECT_EQ(report.fault.lost_s_rows,
+            s_frags[static_cast<std::size_t>(dead)].rows());
+
+  // The dead host contributes nothing to the result.
+  EXPECT_EQ(report.hosts[static_cast<std::size_t>(dead)].matches, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RingSizes, CrashRings, ::testing::Values(3, 4, 6));
+
+TEST(FaultFramework, CrashUnderTransientFaults) {
+  // The hardest combination: a crash while messages are also being dropped
+  // and corrupted. Survivors must still converge on the degraded answer.
+  const int hosts = 5;
+  const int dead = 1;
+  auto r = make_r();
+  auto s = make_s();
+  const Reference ref = degraded_reference(r, s, hosts, dead);
+
+  ClusterConfig cfg = fault_cluster(hosts);
+  cfg.fault.seed = 11;
+  cfg.fault.link.drop_prob = 0.03;
+  cfg.fault.link.corrupt_prob = 0.03;
+  cfg.fault.crashes.push_back({.host = dead, .at = 0});
+  cfg.node.resilience.ack_timeout = 20 * kMillisecond;
+
+  CycloJoin cyclo(cfg, JoinSpec{.algorithm = Algorithm::kHashJoin});
+  const RunReport report = cyclo.run(r, s);
+
+  EXPECT_TRUE(report.fault.degraded);
+  EXPECT_EQ(report.matches, ref.matches);
+  EXPECT_EQ(report.checksum, ref.checksum);
+}
+
+TEST(FaultFramework, CrashAfterFinishIsANoOp) {
+  // A crash scheduled far beyond the run's makespan never fires: the
+  // termination detector wins and the result is the full join.
+  auto r = make_r();
+  auto s = make_s();
+  const Reference ref = reference_equi(r, s);
+
+  ClusterConfig cfg = fault_cluster(3);
+  cfg.fault.crashes.push_back({.host = 1, .at = 3600LL * 1'000'000'000LL});
+  cfg.node.resilience.ack_timeout = 500 * kMillisecond;
+
+  CycloJoin cyclo(cfg, JoinSpec{.algorithm = Algorithm::kHashJoin});
+  const RunReport report = cyclo.run(r, s);
+
+  EXPECT_FALSE(report.fault.degraded);
+  EXPECT_EQ(report.matches, ref.matches);
+  EXPECT_EQ(report.checksum, ref.checksum);
+}
+
+TEST(FaultFramework, SlowdownDelaysButDoesNotChangeTheAnswer) {
+  auto r = make_r();
+  auto s = make_s();
+  const Reference ref = reference_equi(r, s);
+
+  ClusterConfig cfg = fault_cluster(3);
+  cfg.fault.slowdowns.push_back({.host = 2, .at = 0, .factor = 4.0});
+  cfg.node.resilience.ack_timeout = 500 * kMillisecond;
+
+  CycloJoin cyclo(cfg, JoinSpec{.algorithm = Algorithm::kHashJoin});
+  const RunReport report = cyclo.run(r, s);
+
+  EXPECT_EQ(report.matches, ref.matches);
+  EXPECT_EQ(report.checksum, ref.checksum);
+  EXPECT_FALSE(report.fault.degraded);
+}
+
+// Other algorithms ride the same resilient transport.
+TEST(FaultFramework, SortMergeSurvivesTransientFaults) {
+  auto r = make_r();
+  auto s = make_s();
+  const Reference ref = reference_equi(r, s);
+
+  ClusterConfig cfg = fault_cluster(4);
+  cfg.fault.seed = 5;
+  cfg.fault.link.drop_prob = 0.04;
+  cfg.fault.link.corrupt_prob = 0.04;
+  cfg.node.resilience.ack_timeout = 20 * kMillisecond;
+
+  CycloJoin cyclo(cfg, JoinSpec{.algorithm = Algorithm::kSortMergeJoin});
+  const RunReport report = cyclo.run(r, s);
+
+  EXPECT_EQ(report.matches, ref.matches);
+  EXPECT_EQ(report.checksum, ref.checksum);
+}
+
+}  // namespace
+}  // namespace cj::cyclo

@@ -296,6 +296,92 @@ TEST(QueuePair, RecvQueueExhaustionIsReported) {
   EXPECT_EQ(st.code(), ErrorCode::kResourceExhausted);
 }
 
+// A rig whose sender-side CQ is too small for the posted work, so send
+// completions overrun it while the poller is away.
+struct TinyCqRig {
+  Engine engine;
+  sim::CorePool cores_a{engine, 4};
+  sim::CorePool cores_b{engine, 4};
+  net::DuplexLink link{engine, net::LinkSpec{}, "rig"};
+  Device dev_a{engine, cores_a, {}, "a"};
+  Device dev_b{engine, cores_b, {}, "b"};
+  CompletionQueue a_scq;
+  CompletionQueue a_rcq{engine, 16};
+  CompletionQueue b_scq{engine, 16}, b_rcq{engine, 16};
+  QueuePair* qp_a = nullptr;
+  QueuePair* qp_b = nullptr;
+
+  explicit TinyCqRig(bool abort_on_overrun)
+      : a_scq(engine, 2, abort_on_overrun) {
+    qp_a = &dev_a.create_qp(&a_scq, &a_rcq);
+    qp_b = &dev_b.create_qp(&b_scq, &b_rcq);
+    connect(*qp_a, *qp_b, link.forward, link.backward);
+  }
+
+  // Moves six messages while nobody polls the send CQ (capacity 2).
+  Task<void> flood() {
+    std::vector<std::byte> src(64);
+    std::vector<std::byte> dst(6 * 64);
+    MemoryRegion* src_mr = co_await dev_a.pd().register_memory(src);
+    MemoryRegion* dst_mr = co_await dev_b.pd().register_memory(dst);
+    for (int i = 0; i < 6; ++i) {
+      WorkRequest recv;
+      recv.wr_id = static_cast<std::uint64_t>(i);
+      recv.mr = dst_mr;
+      recv.offset = static_cast<std::size_t>(i) * 64;
+      recv.length = 64;
+      EXPECT_TRUE(qp_b->post_recv(recv).is_ok());
+    }
+    for (int i = 0; i < 6; ++i) {
+      WorkRequest send;
+      send.wr_id = static_cast<std::uint64_t>(100 + i);
+      send.mr = src_mr;
+      send.length = src.size();
+      EXPECT_TRUE(qp_a->post_send(send).is_ok());
+    }
+    for (int i = 0; i < 6; ++i) co_await b_rcq.next();
+  }
+};
+
+TEST(CompletionQueueOverrun, SurfacesErrorCompletionToPoller) {
+  TinyCqRig rig(/*abort_on_overrun=*/false);
+  rig.engine.spawn(rig.flood(), "flood");
+  rig.engine.run();
+
+  ASSERT_TRUE(rig.a_scq.overrun());
+  EXPECT_EQ(rig.a_scq.depth(), 2u);  // completions posted before the overrun
+
+  std::vector<Completion> polled;
+  rig.engine.spawn(
+      [](TinyCqRig& rig, std::vector<Completion>& out) -> Task<void> {
+        for (int i = 0; i < 4; ++i) out.push_back(co_await rig.a_scq.next());
+        rig.qp_a->close();
+        rig.qp_b->close();
+      }(rig, polled),
+      "poller");
+  rig.engine.run();
+  rig.engine.check_all_complete();
+
+  // The two buffered completions drain first, then the overrun error is
+  // reported on every subsequent poll instead of blocking forever.
+  ASSERT_EQ(polled.size(), 4u);
+  EXPECT_EQ(polled[0].status, WcStatus::kSuccess);
+  EXPECT_EQ(polled[1].status, WcStatus::kSuccess);
+  EXPECT_EQ(polled[2].status, WcStatus::kCqOverrun);
+  EXPECT_EQ(polled[3].status, WcStatus::kCqOverrun);
+  EXPECT_FALSE(polled[2].ok());
+}
+
+TEST(CompletionQueueOverrunDeath, AbortModeRestoresFailStop) {
+  EXPECT_DEATH(
+      {
+        TinyCqRig rig(/*abort_on_overrun=*/true);
+        rig.engine.spawn(rig.flood(), "flood");
+        rig.engine.run();
+      },
+      "completion queue overrun");
+}
+
 TEST(Throughput, LargeMessagesApproachWireSpeed) {
   // 16 MB in one message over a 1.25 GB/s link: elapsed time (measured
   // from after registration) should be within a few percent of

@@ -230,14 +230,40 @@ TEST(RingNode, WireTrafficMatchesProtocol) {
   EXPECT_EQ(h.cluster.fabric().total_data_bytes(), chunk_bytes);
 }
 
-TEST(RingNodeDeath, RequiresTwoBuffersWhenConnected) {
-  EXPECT_DEATH(
-      {
-        sim::Engine engine;
-        ClusterConfig cfg = ring_config(2, Transport::kRdma, 1);
-        Cluster cluster(engine, cfg);
-      },
-      "two ring buffers");
+// Unusable configurations are rejected by start() with a Status (the node
+// refuses to spawn anything) instead of deadlocking deep in the protocol.
+Status probe_start(ClusterConfig cfg) {
+  sim::Engine engine;
+  Cluster cluster(engine, cfg);
+  Status result;
+  engine.spawn(
+      [](Cluster& c, Status& out) -> Task<void> {
+        out = co_await c.node(0).start(NodeCounts{}, {});
+      }(cluster, result),
+      "probe");
+  engine.run();
+  return result;
+}
+
+TEST(RingNodeValidation, RequiresTwoBuffersWhenConnected) {
+  const Status st = probe_start(ring_config(2, Transport::kRdma, 1));
+  EXPECT_EQ(st.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("two ring buffers"), std::string::npos);
+}
+
+TEST(RingNodeValidation, RejectsInjectionWindowAtOrAboveBufferCount) {
+  ClusterConfig cfg = ring_config(2, Transport::kRdma, 4);
+  cfg.node.injection_window = 4;  // == num_buffers: no free buffer ahead
+  const Status st = probe_start(cfg);
+  EXPECT_EQ(st.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("injection_window"), std::string::npos);
+}
+
+TEST(RingNodeValidation, RejectsTinyBuffers) {
+  const Status st =
+      probe_start(ring_config(2, Transport::kRdma, 4, /*buffer_bytes=*/32));
+  EXPECT_EQ(st.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("buffer_bytes"), std::string::npos);
 }
 
 }  // namespace

@@ -384,6 +384,23 @@ TEST(WhenAll, EmptyCompletesImmediately) {
   EXPECT_EQ(e.now(), 0);
 }
 
+TEST(EngineDeath, DeadlockDumpNamesTheBlockingPrimitive) {
+  // A process stuck on a channel nobody feeds: check_all_complete() must
+  // name the never-finished process and the primitive it is blocked on
+  // before aborting, so hangs in large simulations are diagnosable.
+  EXPECT_DEATH(
+      {
+        Engine e;
+        Channel<int> starved(e, 1, "starved-inbox");
+        e.spawn(
+            [](Channel<int>& ch) -> Task<void> { co_await ch.pop(); }(starved),
+            "consumer");
+        e.run();
+        e.check_all_complete();
+      },
+      "process 'consumer' never completed.*blocked waiters.*starved-inbox");
+}
+
 TEST(WhenAll, RunsConcurrently) {
   Engine e;
   std::vector<Task<void>> tasks;
