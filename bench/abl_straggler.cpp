@@ -19,6 +19,8 @@ int main(int argc, char** argv) {
   const int ring = static_cast<int>(flags.get_int("ring", 6));
   const double slowdown = flags.get_double("slowdown", 1.5);
   const auto buffer_counts = flags.get_int_list("buffers", {2, 4, 8, 16, 32});
+  const bool trace = flags.get_bool("trace", false);
+  bench::BenchJson json(flags, "abl_straggler");
   bench::check_unused_flags(flags);
 
   bench::print_banner(
@@ -29,13 +31,15 @@ int main(int argc, char** argv) {
   auto [r, s] = bench::uniform_pair(bench::kRowsFig7, scale);
   std::printf("host 0 runs %.1fx slower than the others\n\n", slowdown);
 
-  std::printf("%8s  %12s  %16s  %16s\n", "buffers", "join[s]",
-              "sync fast[s]", "sync slow[s]");
+  std::printf("%8s  %12s  %16s  %16s%s\n", "buffers", "join[s]",
+              "sync fast[s]", "sync slow[s]",
+              trace ? "  ovl slow  ovl fast" : "");
   for (const auto buffers : buffer_counts) {
     cyclo::ClusterConfig cfg = bench::paper_cluster(ring, scale);
     cfg.node.num_buffers = static_cast<int>(buffers);
     cfg.per_host_cpu_scale.assign(static_cast<std::size_t>(ring), 1.0);
     cfg.per_host_cpu_scale[0] = slowdown;
+    cfg.trace.enabled = trace;
 
     cyclo::CycloJoin cyclo(cfg, cyclo::JoinSpec{.algorithm = cyclo::Algorithm::kHashJoin});
     const cyclo::RunReport rep = cyclo.run(r, s);
@@ -44,11 +48,41 @@ int main(int argc, char** argv) {
     for (std::size_t h = 1; h < rep.hosts.size(); ++h) {
       fast_sync = std::max(fast_sync, rep.hosts[h].sync);
     }
-    std::printf("%8lld  %12.3f  %16.3f  %16.3f\n", static_cast<long long>(buffers),
+    std::printf("%8lld  %12.3f  %16.3f  %16.3f", static_cast<long long>(buffers),
                 bench::seconds(rep.join_wall), bench::seconds(fast_sync),
                 bench::seconds(rep.hosts[0].sync));
+    // The straggler's overlap ratio should *exceed* the fast hosts': its
+    // slower cores stretch join work over the same transfer windows, so the
+    // ring buffers — not the straggler's NIC — carry the absorption.
+    double slow_overlap = 0.0;
+    double fast_overlap = 0.0;
+    if (trace) {
+      auto it = rep.metrics.gauges.find("host0.overlap_ratio");
+      slow_overlap = it == rep.metrics.gauges.end() ? 0.0 : it->second;
+      double sum = 0.0;
+      int n = 0;
+      for (int h = 1; h < ring; ++h) {
+        it = rep.metrics.gauges.find("host" + std::to_string(h) +
+                                     ".overlap_ratio");
+        if (it != rep.metrics.gauges.end()) {
+          sum += it->second;
+          ++n;
+        }
+      }
+      fast_overlap = n == 0 ? 0.0 : sum / n;
+      std::printf("  %8.2f  %8.2f", slow_overlap, fast_overlap);
+    }
+    std::printf("\n");
+    json.row({{"buffers", static_cast<double>(buffers)},
+              {"join_s", bench::seconds(rep.join_wall)},
+              {"sync_fast_s", bench::seconds(fast_sync)},
+              {"sync_slow_s", bench::seconds(rep.hosts[0].sync)},
+              {"overlap_slow", slow_overlap},
+              {"overlap_fast", fast_overlap}});
+    json.set_metrics(rep.metrics);
   }
   std::printf("\nthe slow host never waits (it is the bottleneck); the fast "
               "hosts' waiting shrinks as buffers deepen\n");
+  json.write();
   return 0;
 }

@@ -13,6 +13,8 @@ int main(int argc, char** argv) {
   auto flags = bench::parse_flags_or_die(argc, argv);
   const std::int64_t scale = flags.get_int("scale", bench::kDefaultScale);
   const auto nodes = flags.get_int_list("nodes", {1, 2, 3, 4, 5, 6});
+  const bool trace = flags.get_bool("trace", false);
+  bench::BenchJson json(flags, "fig07_hash_scaleout");
   bench::check_unused_flags(flags);
 
   bench::print_banner(
@@ -24,21 +26,36 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.rows()),
               human_bytes(r.bytes()).c_str());
 
-  std::printf("%6s  %10s  %10s  %10s  %10s  %12s\n", "nodes", "setup[s]",
-              "join[s]", "sync[s]", "total[s]", "matches");
+  std::printf("%6s  %10s  %10s  %10s  %10s  %12s%s\n", "nodes", "setup[s]",
+              "join[s]", "sync[s]", "total[s]", "matches",
+              trace ? "  overlap" : "");
   for (const auto n : nodes) {
-    cyclo::CycloJoin cyclo(bench::paper_cluster(static_cast<int>(n), scale),
+    cyclo::ClusterConfig cfg = bench::paper_cluster(static_cast<int>(n), scale);
+    cfg.trace.enabled = trace;
+    cyclo::CycloJoin cyclo(cfg,
                            cyclo::JoinSpec{.algorithm = cyclo::Algorithm::kHashJoin});
     const cyclo::RunReport rep = cyclo.run(r, s);
     SimDuration sync = 0;
     for (const auto& h : rep.hosts) sync = std::max(sync, h.sync);
-    std::printf("%6lld  %10.3f  %10.3f  %10.3f  %10.3f  %12llu\n",
+    std::printf("%6lld  %10.3f  %10.3f  %10.3f  %10.3f  %12llu",
                 static_cast<long long>(n), bench::seconds(rep.setup_wall),
                 bench::seconds(rep.join_wall - sync), bench::seconds(sync),
                 bench::seconds(rep.setup_wall + rep.join_wall),
                 static_cast<unsigned long long>(rep.matches));
+    const double overlap = bench::mean_overlap_ratio(rep.metrics);
+    if (trace) std::printf("  %7.2f", overlap);
+    std::printf("\n");
+    json.row({{"nodes", static_cast<double>(n)},
+              {"setup_s", bench::seconds(rep.setup_wall)},
+              {"join_s", bench::seconds(rep.join_wall - sync)},
+              {"sync_s", bench::seconds(sync)},
+              {"total_s", bench::seconds(rep.setup_wall + rep.join_wall)},
+              {"matches", static_cast<double>(rep.matches)},
+              {"overlap_ratio", overlap}});
+    json.set_metrics(rep.metrics);  // largest ring wins
   }
   std::printf("\npaper (full scale): setup 16.2 s on 1 node -> 2.7 s on 6; "
               "join phase flat; sync ~ 0\n");
+  json.write();
   return 0;
 }

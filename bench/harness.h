@@ -16,13 +16,19 @@
 #pragma once
 
 #include <algorithm>
+#include <cinttypes>
 #include <cstdio>
+#include <initializer_list>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/log.h"
 #include "common/units.h"
 #include "cyclo/cyclo_join.h"
+#include "obs/metrics.h"
 #include "rel/generator.h"
 
 namespace cj::bench {
@@ -110,5 +116,75 @@ inline void print_banner(const char* figure, const char* claim,
 }
 
 inline double seconds(SimDuration d) { return to_seconds(d); }
+
+/// Mean of the per-host "host<i>.overlap_ratio" gauges a traced run leaves
+/// in its metrics snapshot. 0.0 for untraced runs (no such gauges).
+inline double mean_overlap_ratio(const obs::MetricsSnapshot& metrics) {
+  constexpr std::string_view kSuffix = ".overlap_ratio";
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& [name, value] : metrics.gauges) {
+    if (name.starts_with("host") && name.ends_with(kSuffix)) {
+      sum += value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+/// Machine-readable result sink for one bench binary. Rows accumulate the
+/// figure's trajectory (one row per printed line of the result table) and
+/// write() dumps BENCH_<figure>.json next to the human-readable stdout:
+///
+///   {"figure": "...", "trajectory": [{"nodes": 3, "total_s": 1.2}, ...],
+///    "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}}}
+///
+/// The output path comes from --json_out (default BENCH_<figure>.json;
+/// empty string disables the dump entirely).
+class BenchJson {
+ public:
+  BenchJson(Flags& flags, std::string figure)
+      : figure_(std::move(figure)),
+        path_(flags.get_string("json_out", "BENCH_" + figure_ + ".json")) {}
+
+  void row(std::initializer_list<std::pair<const char*, double>> cells) {
+    rows_.emplace_back(cells.begin(), cells.end());
+  }
+
+  /// Metrics of the run that best represents the figure (usually the last
+  /// or largest configuration).
+  void set_metrics(obs::MetricsSnapshot metrics) { metrics_ = std::move(metrics); }
+
+  void write() const {
+    if (path_.empty()) return;
+    std::string out = "{\"figure\":\"" + figure_ + "\",\"trajectory\":[";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (r > 0) out += ",";
+      out += "{";
+      for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+        if (c > 0) out += ",";
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.17g", rows_[r][c].second);
+        out += "\"" + rows_[r][c].first + "\":" + buf;
+      }
+      out += "}";
+    }
+    out += "],\"metrics\":" + metrics_.to_json() + "}\n";
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path_.c_str());
+  }
+
+ private:
+  std::string figure_;
+  std::string path_;
+  std::vector<std::vector<std::pair<std::string, double>>> rows_;
+  obs::MetricsSnapshot metrics_;
+};
 
 }  // namespace cj::bench

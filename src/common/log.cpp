@@ -8,6 +8,7 @@ namespace cj {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::function<void(LogLevel, const std::string&)> g_sink;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -29,10 +30,18 @@ const char* basename_of(const char* path) {
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+void set_log_sink(std::function<void(LogLevel, const std::string&)> sink) {
+  g_sink = std::move(sink);
+}
+
 namespace detail {
 
 void log_line(LogLevel level, const char* file, int line, const std::string& msg) {
   if (level < log_level()) return;
+  if (g_sink) {
+    g_sink(level, msg);
+    return;
+  }
   std::fprintf(stderr, "[%s %s:%d] %s\n", level_tag(level), basename_of(file), line,
                msg.c_str());
 }

@@ -5,6 +5,7 @@
 // result tables on stdout stay machine-readable.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -15,6 +16,12 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Global minimum level; messages below it are discarded. Defaults to kInfo.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Redirects log output (the raw message, without the [level file:line]
+/// prefix) to `sink` instead of stderr; pass nullptr to restore stderr.
+/// The level filter still applies before the sink is invoked. Tests use
+/// this to capture and assert on diagnostics.
+void set_log_sink(std::function<void(LogLevel, const std::string&)> sink);
 
 namespace detail {
 void log_line(LogLevel level, const char* file, int line, const std::string& msg);

@@ -29,10 +29,12 @@ Cluster::Cluster(sim::Engine& engine, const ClusterConfig& config)
     host->cores = std::make_unique<sim::CorePool>(
         engine, config_.cores_per_host, config_.context_switch_cost,
         config_.cpu_scale * host_scale);
+    host->cores->set_trace_host(i);
     if (injector_ != nullptr) injector_->arm_slowdowns(i, *host->cores);
     if (config_.transport == Transport::kRdma) {
       host->device = std::make_unique<rdma::Device>(
           engine, *host->cores, config_.rdma_attr, "rnic" + std::to_string(i));
+      host->device->set_trace_host(i);
     }
     hosts_.push_back(std::move(host));
   }
@@ -54,6 +56,7 @@ Cluster::Cluster(sim::Engine& engine, const ClusterConfig& config)
   for (int i = 0; i < config_.num_hosts; ++i) {
     Host& host = *hosts_[static_cast<std::size_t>(i)];
     node_cfg.resilience.host_id = i;
+    node_cfg.trace_host = i;
     host.node = std::make_unique<ring::RoundaboutNode>(
         engine, *host.cores, host.in_wire.get(), host.out_wire.get(), node_cfg);
   }
@@ -131,6 +134,10 @@ sim::Task<void> Cluster::splice_around(int dead) {
                                                       p_rcq, config_.rdma_wire);
   repair->succ_in = std::make_unique<ring::RdmaWire>(*s.device, qp_s, s_scq,
                                                      s_rcq, config_.rdma_wire);
+
+  if (obs::Tracer* t = engine_.tracer()) {
+    t->instant(engine_.now(), obs::kGlobalHost, "fault", "fault.splice", dead);
+  }
 
   // Inbound side first: the successor reports how many receive buffers it
   // re-posted, which is exactly the predecessor's opening credit balance.

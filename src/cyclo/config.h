@@ -8,6 +8,7 @@
 
 #include "join/radix.h"
 #include "net/link.h"
+#include "obs/trace.h"
 #include "rdma/verbs.h"
 #include "rel/relation.h"
 #include "ring/node.h"
@@ -53,6 +54,10 @@ struct ClusterConfig {
   /// resilient protocol itself (ack timeout, re-injection limit) live in
   /// node.resilience; its enabled/host_id/num_hosts fields are derived.
   sim::FaultPlan fault;
+
+  /// Tracing knobs. When enabled, the runner installs an obs::Tracer on
+  /// the engine for the run and attaches it to RunReport::trace.
+  obs::TraceConfig trace;
 };
 
 struct JoinSpec {

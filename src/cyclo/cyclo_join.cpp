@@ -8,6 +8,7 @@
 
 #include "cyclo/chunk.h"
 #include "cyclo/cluster.h"
+#include "obs/analysis.h"
 #include "join/hash_join.h"
 #include "join/nested_loops.h"
 #include "join/sort_merge.h"
@@ -204,6 +205,11 @@ class Runner {
   }
 
   SharedRunReport execute() {
+    if (cluster_cfg_.trace.enabled) {
+      tracer_ = std::make_shared<obs::Tracer>();
+      engine_.set_tracer(tracer_.get());
+    }
+    inject_times_.resize(static_cast<std::size_t>(n_));
     if (resilient_) {
       // The termination detector listens on every origin's retire acks; it
       // must be installed before any node starts.
@@ -231,7 +237,9 @@ class Runner {
 
     // ---- setup phase -------------------------------------------------
     const SimTime setup_start = engine_.now();
+    if (obs::Tracer* t = engine_.tracer()) t->begin(setup_start, i, "phase", "setup");
     co_await run_setup(i);
+    if (obs::Tracer* t = engine_.tracer()) t->end(engine_.now(), i, "phase");
     host.stats.setup = engine_.now() - setup_start;
     host.r_frag = rel::Relation();  // originals no longer needed
     if (spec_.algorithm != Algorithm::kNestedLoops) {
@@ -258,6 +266,9 @@ class Runner {
     // ---- join phase ----------------------------------------------------
     host.join_started_at = engine_.now();
     host.busy_at_join_start = cores.busy_total();
+    if (obs::Tracer* t = engine_.tracer()) {
+      t->begin(host.join_started_at, i, "phase", "join");
+    }
 
     if (n_ > 1 && host.slab.num_chunks() > 0) {
       engine_.spawn(injector(i), "injector" + std::to_string(i));
@@ -300,6 +311,7 @@ class Runner {
         const ChunkView view = decode_chunk(inbound.payload);
         co_await join_chunk(i, view);
         if (cluster_.fabric().successor(i) == view.origin_host) {
+          record_revolution(view.origin_host);
           node.retire(inbound);  // full revolution completed
         } else {
           node.forward(inbound);
@@ -308,6 +320,7 @@ class Runner {
     }
 
     const SimTime join_end = engine_.now();
+    if (obs::Tracer* t = engine_.tracer()) t->end(join_end, i, "phase");
     host.stats.join_phase = join_end - host.join_started_at;
     host.stats.sync = node.sync_time();
     host.stats.cpu_load_join =
@@ -350,7 +363,23 @@ class Runner {
     for (std::size_t c = 0; c < host.slab.num_chunks(); ++c) {
       if (resilient_ && node.stopped()) break;  // this host died
       co_await node.send_local(host.slab.chunk(c));
+      // send_local resumes us synchronously once the chunk is queued, so
+      // this timestamp is the chunk's true injection time. The retire side
+      // pops the front entry: the ring preserves per-origin order.
+      if (!resilient_) {
+        inject_times_[static_cast<std::size_t>(i)].push_back(engine_.now());
+      }
     }
+  }
+
+  /// A chunk from `origin` just completed its revolution at pred(origin):
+  /// sample the revolution makespan (non-resilient runs only — re-injection
+  /// makes the pairing ambiguous under faults).
+  void record_revolution(int origin) {
+    auto& pending = inject_times_[static_cast<std::size_t>(origin)];
+    if (pending.empty()) return;
+    metrics_.record("revolution_ns", engine_.now() - pending.front());
+    pending.pop_front();
   }
 
   // Prepares every query's stationary state plus the rotating slab on host
@@ -530,6 +559,7 @@ class Runner {
     HostRun& host = *hosts_[static_cast<std::size_t>(i)];
     sim::CorePool& cores = cluster_.cores(i);
     ++host.stats.chunks_processed;
+    probe_tuples_ += view.tuples.size() * host.queries.size();
 
     // deque: references to elements stay valid while later queries append.
     std::deque<join::JoinResult> partials;
@@ -694,7 +724,52 @@ class Runner {
         fault.rnr_retries += cluster_.device(i).total_rnr_retries();
       }
     }
+    fill_metrics(report);  // last: it reads the wire/fault fields above
     return report;
+  }
+
+  void fill_metrics(SharedRunReport& report) {
+    metrics_.add_counter("bytes_on_wire",
+                         static_cast<std::int64_t>(report.bytes_on_wire));
+    metrics_.add_counter("chunks_injected",
+                         static_cast<std::int64_t>(global_chunks()));
+    metrics_.add_counter("probe_tuples",
+                         static_cast<std::int64_t>(probe_tuples_));
+    std::uint64_t rotated = 0;
+    std::uint64_t switches = 0;
+    for (int i = 0; i < n_; ++i) {
+      rotated += hosts_[static_cast<std::size_t>(i)]->stats.chunks_processed;
+      switches += cluster_.cores(i).context_switches();
+      for (const auto& [tag, busy] :
+           hosts_[static_cast<std::size_t>(i)]->stats.busy_by_tag) {
+        metrics_.add_counter("busy." + tag, busy);
+      }
+    }
+    metrics_.add_counter("chunks_rotated", static_cast<std::int64_t>(rotated));
+    metrics_.add_counter("context_switches", static_cast<std::int64_t>(switches));
+    metrics_.set_gauge("cpu_load_join", report.cpu_load_join);
+    metrics_.set_gauge("link_throughput_bps", report.link_throughput_bps);
+    if (cluster_.injector() != nullptr) {
+      metrics_.add_counter(
+          "messages_dropped",
+          static_cast<std::int64_t>(report.fault.messages_dropped));
+      metrics_.add_counter(
+          "messages_corrupted",
+          static_cast<std::int64_t>(report.fault.messages_corrupted));
+      metrics_.add_counter(
+          "retransmissions",
+          static_cast<std::int64_t>(report.fault.retransmissions));
+      metrics_.add_counter("rnr_retries",
+                           static_cast<std::int64_t>(report.fault.rnr_retries));
+    }
+    if (tracer_ != nullptr) {
+      for (const obs::HostOverlap& o : obs::overlap_by_host(*tracer_)) {
+        metrics_.set_gauge("host" + std::to_string(o.host) + ".overlap_ratio",
+                           o.ratio);
+      }
+      report.trace = tracer_;
+    }
+    report.metrics = metrics_.snapshot();
   }
 
   ClusterConfig cluster_cfg_;
@@ -722,6 +797,15 @@ class Runner {
   /// the fragments themselves are released after setup).
   std::vector<std::uint64_t> r_rows_;
   std::vector<std::uint64_t> s_rows_;
+
+  // ----- observability --------------------------------------------------
+  /// Installed on the engine when cluster_cfg_.trace.enabled.
+  std::shared_ptr<obs::Tracer> tracer_;
+  obs::MetricsRegistry metrics_;
+  std::uint64_t probe_tuples_ = 0;
+  /// Per origin host: injection times of its not-yet-retired chunks
+  /// (revolution-makespan histogram; non-resilient runs only).
+  std::vector<std::deque<SimTime>> inject_times_;
 };
 
 }  // namespace

@@ -19,12 +19,15 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/units.h"
 #include "cyclo/config.h"
 #include "join/join_result.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rel/relation.h"
 
 namespace cj::cyclo {
@@ -95,6 +98,13 @@ struct RunReport {
 
   /// Fault accounting; default-constructed (all zeros) in fault-free runs.
   FaultReport fault;
+
+  /// The run's recorded trace (null unless ClusterConfig::trace.enabled).
+  /// Export with trace->chrome_json() or trace->binary().
+  std::shared_ptr<obs::Tracer> trace;
+  /// Run metrics (counters/gauges/histograms) — always populated; see
+  /// docs/OBSERVABILITY.md for the name catalog.
+  obs::MetricsSnapshot metrics;
 };
 
 /// One query riding a shared rotation (Data Cyclotron mode): its own

@@ -1,0 +1,111 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace cj::obs {
+
+namespace {
+
+std::int64_t quantile(const std::vector<std::int64_t>& sorted, double q) {
+  // Nearest-rank on the sorted samples: integer result, no interpolation,
+  // deterministic across platforms.
+  const std::size_t n = sorted.size();
+  std::size_t rank = static_cast<std::size_t>(q * static_cast<double>(n));
+  if (rank >= n) rank = n - 1;
+  return sorted[rank];
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters = counters_;
+  snap.gauges = gauges_;
+  for (const auto& [name, samples] : histograms_) {
+    HistogramSummary& h = snap.histograms[name];
+    h.count = samples.size();
+    if (samples.empty()) continue;
+    std::vector<std::int64_t> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    h.min = sorted.front();
+    h.max = sorted.back();
+    std::int64_t sum = 0;
+    for (const std::int64_t s : sorted) sum += s;
+    h.mean = static_cast<double>(sum) / static_cast<double>(sorted.size());
+    h.p50 = quantile(sorted, 0.50);
+    h.p90 = quantile(sorted, 0.90);
+    h.p99 = quantile(sorted, 0.99);
+  }
+  return snap;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    append_escaped(out, name);
+    out += "\":";
+    append_i64(out, value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    append_escaped(out, name);
+    out += "\":";
+    append_double(out, value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    append_escaped(out, name);
+    out += "\":{\"count\":";
+    append_i64(out, static_cast<std::int64_t>(h.count));
+    out += ",\"min\":";
+    append_i64(out, h.min);
+    out += ",\"max\":";
+    append_i64(out, h.max);
+    out += ",\"mean\":";
+    append_double(out, h.mean);
+    out += ",\"p50\":";
+    append_i64(out, h.p50);
+    out += ",\"p90\":";
+    append_i64(out, h.p90);
+    out += ",\"p99\":";
+    append_i64(out, h.p99);
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace cj::obs

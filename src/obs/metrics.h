@@ -1,0 +1,74 @@
+// MetricsRegistry: named counters, gauges and histograms for one run.
+//
+// The registry is the write side (cheap integer adds during the run); a
+// MetricsSnapshot is the read side, embedded in RunReport and serialized as
+// the "metrics" object of the BENCH_*.json files the bench harness writes.
+// Histograms keep raw samples until snapshot time, when the summary
+// (count/min/max/mean/quantiles) is computed deterministically from the
+// sorted sample set. See docs/OBSERVABILITY.md for the metric name catalog.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cj::obs {
+
+/// Deterministic summary of one histogram's samples.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  double mean = 0.0;
+  std::int64_t p50 = 0;
+  std::int64_t p90 = 0;
+  std::int64_t p99 = 0;
+
+  bool operator==(const HistogramSummary&) const = default;
+};
+
+/// Frozen view of a registry, safe to copy into reports.
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string to_json() const;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void add_counter(const std::string& name, std::int64_t delta) {
+    counters_[name] += delta;
+  }
+  void set_gauge(const std::string& name, double value) {
+    gauges_[name] = value;
+  }
+  void record(const std::string& name, std::int64_t sample) {
+    histograms_[name].push_back(sample);
+  }
+
+  std::int64_t counter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, std::vector<std::int64_t>> histograms_;
+};
+
+}  // namespace cj::obs

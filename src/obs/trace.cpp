@@ -1,0 +1,256 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <utility>
+
+namespace cj::obs {
+
+namespace {
+
+// Chrome's ts field is microseconds; format ours from integer nanoseconds
+// without going through floating point so the text is bit-stable.
+void append_ts(std::string& out, std::int64_t ts_ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%" PRId64 ".%03" PRId64, ts_ns / 1000,
+                ts_ns % 1000);
+  out += buf;
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out += buf;
+}
+
+// ----- binary encoding helpers (explicit little-endian) -----------------
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+bool get_u32(const std::vector<std::uint8_t>& in, std::size_t& pos,
+             std::uint32_t& v) {
+  if (pos + 4 > in.size()) return false;
+  v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[pos + i]) << (8 * i);
+  pos += 4;
+  return true;
+}
+
+bool get_u64(const std::vector<std::uint8_t>& in, std::size_t& pos,
+             std::uint64_t& v) {
+  if (pos + 8 > in.size()) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[pos + i]) << (8 * i);
+  pos += 8;
+  return true;
+}
+
+constexpr char kMagic[4] = {'C', 'J', 'T', '1'};
+
+}  // namespace
+
+std::uint32_t Tracer::intern(std::string_view s) {
+  auto it = ids_.find(s);
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(s);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::uint32_t Tracer::find_name(std::string_view s) const {
+  auto it = ids_.find(s);
+  return it == ids_.end() ? kNoName : it->second;
+}
+
+std::string Tracer::chrome_json() const {
+  std::string out;
+  out.reserve(events_.size() * 96 + 1024);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  // Metadata: name each process (host) and each (host, entity) thread so
+  // the viewer shows "host0 / core1" instead of bare numbers. std::set
+  // iteration keeps the metadata block deterministic.
+  std::set<std::int32_t> hosts;
+  std::set<std::pair<std::int32_t, std::uint32_t>> tracks;
+  for (const TraceEvent& e : events_) {
+    hosts.insert(e.host);
+    if (e.kind != EventKind::kCounter) tracks.insert({e.host, e.entity});
+  }
+  for (const std::int32_t host : hosts) {
+    sep();
+    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
+    append_i64(out, host);
+    out += ",\"args\":{\"name\":\"";
+    if (host == kGlobalHost) {
+      out += "faults";
+    } else {
+      out += "host";
+      append_i64(out, host);
+    }
+    out += "\"}}";
+  }
+  for (const auto& [host, entity] : tracks) {
+    sep();
+    out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":";
+    append_i64(out, host);
+    out += ",\"tid\":";
+    append_i64(out, entity);
+    out += ",\"args\":{\"name\":\"";
+    append_escaped(out, names_[entity]);
+    out += "\"}}";
+  }
+
+  for (const TraceEvent& e : events_) {
+    sep();
+    switch (e.kind) {
+      case EventKind::kBegin:
+        out += "{\"ph\":\"B\",\"ts\":";
+        append_ts(out, e.ts);
+        out += ",\"pid\":";
+        append_i64(out, e.host);
+        out += ",\"tid\":";
+        append_i64(out, e.entity);
+        out += ",\"name\":\"";
+        append_escaped(out, names_[e.name]);
+        out += "\",\"args\":{\"v\":";
+        append_i64(out, e.arg);
+        out += "}}";
+        break;
+      case EventKind::kEnd:
+        out += "{\"ph\":\"E\",\"ts\":";
+        append_ts(out, e.ts);
+        out += ",\"pid\":";
+        append_i64(out, e.host);
+        out += ",\"tid\":";
+        append_i64(out, e.entity);
+        out += "}";
+        break;
+      case EventKind::kInstant:
+        out += "{\"ph\":\"i\",\"ts\":";
+        append_ts(out, e.ts);
+        out += ",\"pid\":";
+        append_i64(out, e.host);
+        out += ",\"tid\":";
+        append_i64(out, e.entity);
+        out += ",\"name\":\"";
+        append_escaped(out, names_[e.name]);
+        out += "\",\"s\":\"t\",\"args\":{\"v\":";
+        append_i64(out, e.arg);
+        out += "}}";
+        break;
+      case EventKind::kCounter:
+        out += "{\"ph\":\"C\",\"ts\":";
+        append_ts(out, e.ts);
+        out += ",\"pid\":";
+        append_i64(out, e.host);
+        out += ",\"name\":\"";
+        append_escaped(out, names_[e.name]);
+        out += "\",\"args\":{\"value\":";
+        append_i64(out, e.arg);
+        out += "}}";
+        break;
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::vector<std::uint8_t> Tracer::binary() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(16 + events_.size() * 29);
+  out.insert(out.end(), kMagic, kMagic + 4);
+  put_u32(out, static_cast<std::uint32_t>(names_.size()));
+  for (const std::string& n : names_) {
+    put_u32(out, static_cast<std::uint32_t>(n.size()));
+    out.insert(out.end(), n.begin(), n.end());
+  }
+  put_u64(out, events_.size());
+  for (const TraceEvent& e : events_) {
+    put_u64(out, static_cast<std::uint64_t>(e.ts));
+    put_u32(out, static_cast<std::uint32_t>(e.host));
+    put_u32(out, e.entity);
+    put_u32(out, e.name);
+    out.push_back(static_cast<std::uint8_t>(e.kind));
+    put_u64(out, static_cast<std::uint64_t>(e.arg));
+  }
+  return out;
+}
+
+bool Tracer::parse_binary(const std::vector<std::uint8_t>& bytes, Tracer& out) {
+  if (!out.events_.empty() || !out.names_.empty()) return false;
+  std::size_t pos = 0;
+  if (bytes.size() < 4 || std::memcmp(bytes.data(), kMagic, 4) != 0) return false;
+  pos = 4;
+  std::uint32_t num_names = 0;
+  if (!get_u32(bytes, pos, num_names)) return false;
+  for (std::uint32_t i = 0; i < num_names; ++i) {
+    std::uint32_t len = 0;
+    if (!get_u32(bytes, pos, len) || pos + len > bytes.size()) return false;
+    const std::string_view name(reinterpret_cast<const char*>(bytes.data()) + pos,
+                                len);
+    if (out.intern(name) != i) return false;  // duplicate name in the table
+    pos += len;
+  }
+  std::uint64_t num_events = 0;
+  if (!get_u64(bytes, pos, num_events)) return false;
+  out.events_.reserve(num_events);
+  for (std::uint64_t i = 0; i < num_events; ++i) {
+    TraceEvent e;
+    std::uint64_t ts = 0, arg = 0;
+    std::uint32_t host = 0;
+    std::uint8_t kind = 0;
+    if (!get_u64(bytes, pos, ts) || !get_u32(bytes, pos, host) ||
+        !get_u32(bytes, pos, e.entity) || !get_u32(bytes, pos, e.name)) {
+      return false;
+    }
+    if (pos + 1 > bytes.size()) return false;
+    kind = bytes[pos++];
+    if (!get_u64(bytes, pos, arg)) return false;
+    if (kind > static_cast<std::uint8_t>(EventKind::kCounter)) return false;
+    e.ts = static_cast<std::int64_t>(ts);
+    e.host = static_cast<std::int32_t>(host);
+    e.kind = static_cast<EventKind>(kind);
+    e.arg = static_cast<std::int64_t>(arg);
+    if (e.entity >= out.names_.size() ||
+        (e.kind != EventKind::kEnd && e.name >= out.names_.size())) {
+      return false;
+    }
+    out.events_.push_back(e);
+  }
+  return pos == bytes.size();
+}
+
+}  // namespace cj::obs

@@ -1,0 +1,117 @@
+// Tracer: the simulator's observability spine.
+//
+// Records spans (begin/end), instants and counter samples keyed by
+// (host, entity) in *virtual* time, with all strings interned so a hot run
+// appends one small POD per event. Exports Chrome trace_event JSON (loads
+// in chrome://tracing and Perfetto) and a compact binary form for archival
+// and byte-identity tests — see docs/OBSERVABILITY.md for the schema and
+// the metric/event name catalog.
+//
+// Zero overhead when disabled: components reach the tracer through
+// Engine::tracer(), which is null by default, and every instrumentation
+// site is a single pointer test. Nothing is ever recorded from inside a
+// measured execute() closure — instrumentation must not perturb the
+// measured CPU time that drives the virtual clock.
+//
+// Determinism: events are appended in engine order and timestamps are
+// integer nanoseconds, so the same seed + config produces a byte-identical
+// trace (provided the run uses only analytic costs; measured execute()
+// durations vary across machines by design).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cj::obs {
+
+/// Tracing knobs carried by cluster configs. A struct (not a bool) so
+/// future options (binary-only, event filters) do not churn call sites.
+struct TraceConfig {
+  bool enabled = false;
+};
+
+/// Host id used for cluster-global events (fault injections, ring repair)
+/// that no single host owns.
+inline constexpr int kGlobalHost = -1;
+
+enum class EventKind : std::uint8_t {
+  kBegin = 0,    ///< span opens on (host, entity)
+  kEnd = 1,      ///< innermost open span on (host, entity) closes
+  kInstant = 2,  ///< point event
+  kCounter = 3,  ///< sampled value of a named series
+};
+
+/// One recorded event. Strings live in the tracer's intern table.
+struct TraceEvent {
+  std::int64_t ts = 0;      ///< virtual time, nanoseconds
+  std::int32_t host = 0;    ///< pid in the Chrome export (kGlobalHost = -1)
+  std::uint32_t entity = 0; ///< interned entity ("core0", "tx", "qp2", ...)
+  std::uint32_t name = 0;   ///< interned event name (unused for kEnd)
+  EventKind kind = EventKind::kInstant;
+  std::int64_t arg = 0;     ///< payload: bytes, counter value, link id, ...
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // ----- recording ------------------------------------------------------
+
+  void begin(std::int64_t ts, int host, std::string_view entity,
+             std::string_view name, std::int64_t arg = 0) {
+    events_.push_back(TraceEvent{ts, host, intern(entity), intern(name),
+                                 EventKind::kBegin, arg});
+  }
+  void end(std::int64_t ts, int host, std::string_view entity) {
+    events_.push_back(
+        TraceEvent{ts, host, intern(entity), 0, EventKind::kEnd, 0});
+  }
+  void instant(std::int64_t ts, int host, std::string_view entity,
+               std::string_view name, std::int64_t arg = 0) {
+    events_.push_back(TraceEvent{ts, host, intern(entity), intern(name),
+                                 EventKind::kInstant, arg});
+  }
+  void counter(std::int64_t ts, int host, std::string_view name,
+               std::int64_t value) {
+    const std::uint32_t id = intern(name);
+    events_.push_back(TraceEvent{ts, host, id, id, EventKind::kCounter, value});
+  }
+
+  // ----- inspection -----------------------------------------------------
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::string_view name(std::uint32_t id) const { return names_[id]; }
+  std::size_t num_names() const { return names_.size(); }
+  std::uint32_t find_name(std::string_view s) const;  ///< kNoName if absent
+  static constexpr std::uint32_t kNoName = 0xFFFFFFFFu;
+
+  // ----- export ---------------------------------------------------------
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}) with deterministic
+  /// formatting: integer-derived timestamps, stable event order, interned
+  /// names. Loads in chrome://tracing and ui.perfetto.dev.
+  std::string chrome_json() const;
+
+  /// Compact binary form ("CJT1" header + intern table + packed events).
+  std::vector<std::uint8_t> binary() const;
+
+  /// Parses binary() output back into `out` (which must be empty).
+  /// Returns false on any structural error.
+  static bool parse_binary(const std::vector<std::uint8_t>& bytes, Tracer& out);
+
+ private:
+  std::uint32_t intern(std::string_view s);
+
+  std::map<std::string, std::uint32_t, std::less<>> ids_;
+  std::vector<std::string> names_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace cj::obs

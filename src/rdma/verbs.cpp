@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/trace.h"
+
 namespace cj::rdma {
 
 // ---------------------------------------------------------------- Device
@@ -17,7 +19,9 @@ Device::Device(sim::Engine& engine, sim::CorePool& host_cores, DeviceAttr attr,
 
 QueuePair& Device::create_qp(CompletionQueue* send_cq, CompletionQueue* recv_cq) {
   CJ_CHECK(send_cq != nullptr && recv_cq != nullptr);
-  qps_.push_back(std::unique_ptr<QueuePair>(new QueuePair(*this, send_cq, recv_cq)));
+  auto qp = std::unique_ptr<QueuePair>(new QueuePair(*this, send_cq, recv_cq));
+  qp->trace_name_ = "qp" + std::to_string(qps_.size());
+  qps_.push_back(std::move(qp));
   return *qps_.back();
 }
 
@@ -104,6 +108,8 @@ Status QueuePair::post_send(const WorkRequest& wr) {
   if (!send_queue_->try_push(wr)) {
     return resource_exhausted("send queue full");
   }
+  trace_instant("rdma.post",
+                static_cast<std::int64_t>(wr.inline_header_len + wr.length));
   return Status::ok();
 }
 
@@ -153,17 +159,26 @@ void QueuePair::deliver_send(const WorkRequest& send_wr,
     corruptor->corrupt(std::span<std::byte>(dst, wire_len), link_id);
   }
   recv_cq_->push(Completion{recv.wr_id, Opcode::kRecv, wire_len});
+  trace_instant("rdma.comp", static_cast<std::int64_t>(wire_len));
 }
 
 sim::Task<bool> QueuePair::send_with_retry(const WorkRequest& wr) {
   const DeviceAttr& attr = device_.attr_;
   const std::size_t wire_len = wr.inline_header_len + wr.length;
+  obs::Tracer* const t = device_.engine_.tracer();
+  if (t != nullptr) {
+    t->begin(device_.engine_.now(), device_.trace_host_, trace_name_,
+             "rdma.send", static_cast<std::int64_t>(wire_len));
+  }
   SimDuration backoff = attr.retry_backoff_initial;
   for (std::uint32_t attempt = 0;; ++attempt) {
     co_await out_link_->transfer(wire_len, attr.per_wr_nic_overhead);
     // A peer in the error state (crashed host, torn-down connection) NAKs
     // immediately: no amount of retrying will get the message placed.
-    if (remote_->error_) co_return false;
+    if (remote_->error_) {
+      if (t != nullptr) t->end(device_.engine_.now(), device_.trace_host_, trace_name_);
+      co_return false;
+    }
 
     auto verdict = sim::FaultInjector::Verdict::kDeliver;
     if (injector_ != nullptr) {
@@ -175,14 +190,32 @@ sim::Task<bool> QueuePair::send_with_retry(const WorkRequest& wr) {
         // hard abort inside deliver_send (flow-control bug, not a fault).
         const bool corrupt = verdict == sim::FaultInjector::Verdict::kCorrupt;
         remote_->deliver_send(wr, corrupt ? injector_ : nullptr, fault_link_id_);
+        if (t != nullptr) t->end(device_.engine_.now(), device_.trace_host_, trace_name_);
         co_return true;
       }
       ++rnr_retries_;  // RNR NAK: receiver slow, back off and re-send
+      trace_instant("rdma.rnr", static_cast<std::int64_t>(wire_len));
     }
-    if (attempt >= attr.retry_limit) co_return false;
+    if (attempt >= attr.retry_limit) {
+      if (t != nullptr) t->end(device_.engine_.now(), device_.trace_host_, trace_name_);
+      co_return false;
+    }
     if (verdict == sim::FaultInjector::Verdict::kDrop) ++retransmissions_;
+    // The backoff is a nested "rdma.retry" span inside the "rdma.send"
+    // span, so a viewer shows each retransmission round in place.
+    if (t != nullptr) {
+      t->begin(device_.engine_.now(), device_.trace_host_, trace_name_,
+               "rdma.retry", attempt);
+    }
     co_await device_.engine().sleep(backoff);
+    if (t != nullptr) t->end(device_.engine_.now(), device_.trace_host_, trace_name_);
     backoff = std::min(backoff * 2, attr.retry_backoff_cap);
+  }
+}
+
+void QueuePair::trace_instant(std::string_view name, std::int64_t arg) {
+  if (obs::Tracer* t = device_.engine_.tracer()) {
+    t->instant(device_.engine_.now(), device_.trace_host_, trace_name_, name, arg);
   }
 }
 

@@ -35,6 +35,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -236,6 +237,8 @@ class QueuePair {
   void set_error();
 
   bool connected() const { return remote_ != nullptr; }
+  /// Entity name of this QP on its host's trace tracks ("qp0", "qp1", ...).
+  const std::string& trace_name() const { return trace_name_; }
   bool in_error() const { return error_; }
   std::size_t recv_queue_depth() const { return recv_queue_.size(); }
 
@@ -263,6 +266,7 @@ class QueuePair {
   sim::Task<bool> send_with_retry(const WorkRequest& wr);
   void deliver_send(const WorkRequest& send_wr, sim::FaultInjector* corruptor,
                     int link_id);
+  void trace_instant(std::string_view name, std::int64_t arg);
 
   Device& device_;
   CompletionQueue* send_cq_;
@@ -274,6 +278,7 @@ class QueuePair {
   std::deque<WorkRequest> recv_queue_;
   sim::FaultInjector* injector_ = nullptr;
   int fault_link_id_ = -1;
+  std::string trace_name_;
   bool error_ = false;
   std::uint64_t retransmissions_ = 0;
   std::uint64_t rnr_retries_ = 0;
@@ -300,6 +305,10 @@ class Device {
   std::uint64_t total_retransmissions() const;
   std::uint64_t total_rnr_retries() const;
 
+  /// Host id stamped on this device's trace events (Chrome pid).
+  void set_trace_host(int host) { trace_host_ = host; }
+  int trace_host() const { return trace_host_; }
+
  private:
   friend class ProtectionDomain;
   friend class QueuePair;
@@ -308,6 +317,7 @@ class Device {
   sim::CorePool& host_cores_;
   DeviceAttr attr_;
   std::string name_;
+  int trace_host_ = 0;
   ProtectionDomain pd_;
   std::vector<std::unique_ptr<QueuePair>> qps_;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace cj::ring {
 
 namespace {
@@ -132,14 +134,18 @@ sim::Task<Status> RoundaboutNode::start(NodeCounts counts,
 
 sim::Task<InboundChunk> RoundaboutNode::next_chunk() {
   const SimTime wait_start = engine_.now();
+  obs::Tracer* const t = engine_.tracer();
+  if (t != nullptr) t->begin(wait_start, config_.trace_host, "join", "sync");
   auto chunk = co_await inbound_->pop();
   CJ_CHECK_MSG(chunk.has_value(), "inbound queue closed while joining");
+  if (t != nullptr) t->end(engine_.now(), config_.trace_host, "join");
   sync_time_ += engine_.now() - wait_start;
   co_return *chunk;
 }
 
 void RoundaboutNode::forward(InboundChunk chunk) {
   CJ_CHECK(chunk.buffer_idx >= 0);
+  trace_instant("forward", chunk.buffer_idx);
   if (resilient()) {
     // The buffer already holds header + payload contiguously; forward the
     // whole frame verbatim.
@@ -155,6 +161,7 @@ void RoundaboutNode::forward(InboundChunk chunk) {
 
 void RoundaboutNode::retire(InboundChunk chunk, bool send_ack) {
   CJ_CHECK(chunk.buffer_idx >= 0);
+  trace_instant("retire", chunk.buffer_idx);
   if (resilient()) {
     spawn_recycle(chunk.buffer_idx);
     if (send_ack && !stop_) {
@@ -183,6 +190,7 @@ sim::Task<void> RoundaboutNode::send_local(std::span<const std::byte> data) {
   co_await injection_window_->acquire();
   if (resilient()) {
     if (stop_) co_return;  // dying or stopping node: nothing more to inject
+    trace_instant("inject", static_cast<std::int64_t>(data.size()));
     const std::uint32_t seq = next_seq_++;
     SendRequest request;
     request.data = data;
@@ -195,7 +203,14 @@ sim::Task<void> RoundaboutNode::send_local(std::span<const std::byte> data) {
     push_outbound(request, /*priority=*/false);
     co_return;
   }
+  trace_instant("inject", static_cast<std::int64_t>(data.size()));
   push_outbound(SendRequest{data, -1}, /*priority=*/false);
+}
+
+void RoundaboutNode::trace_instant(std::string_view name, std::int64_t arg) {
+  if (obs::Tracer* t = engine_.tracer()) {
+    t->instant(engine_.now(), config_.trace_host, "ring", name, arg);
+  }
 }
 
 void RoundaboutNode::push_outbound(SendRequest request, bool priority) {
@@ -235,11 +250,13 @@ sim::Task<void> RoundaboutNode::receiver_process() {
     const int idx = static_cast<int>(arrival.tag);
     if (arrival.length == 0) {
       // Retire ack: one of our local chunks completed its revolution.
+      trace_instant("ack", idx);
       engine_.spawn(recycle(idx), "ring-recycle");
       injection_window_->release();
       continue;
     }
     ++chunks_received_;
+    trace_instant("recv", static_cast<std::int64_t>(arrival.length));
     co_await inbound_->push(
         InboundChunk{idx, std::span<const std::byte>(buffer(idx).data(),
                                                      arrival.length)});
@@ -254,7 +271,13 @@ sim::Task<void> RoundaboutNode::transmitter_process() {
     // explicit credits the transport's own backpressure plays this role.)
     if (config_.use_credits) co_await credits_->acquire();
     const SendRequest request = co_await OutboundAwaiter{this};
+    obs::Tracer* const t = engine_.tracer();
+    if (t != nullptr) {
+      t->begin(engine_.now(), config_.trace_host, "tx", "send",
+               static_cast<std::int64_t>(request.data.size()));
+    }
     const Status status = co_await out_wire_->send(request.data);
+    if (t != nullptr) t->end(engine_.now(), config_.trace_host, "tx");
     CJ_CHECK_MSG(status.is_ok(), "fault-free send failed");
     bytes_sent_ += request.data.size();
     if (request.recycle_idx >= 0) {
@@ -332,22 +355,26 @@ sim::Task<void> RoundaboutNode::receiver_resilient() {
       // Corrupted in flight: drop it. The origin still holds the payload
       // and re-injects after its ack timeout.
       ++discarded_corrupt_;
+      trace_instant("discard", idx);
       spawn_recycle(idx);
       continue;
     }
     if (header.kind == static_cast<std::uint8_t>(FrameKind::kRetireAck)) {
+      trace_instant("ack", header.seq);
       handle_ack(header);
       spawn_recycle(idx);
       continue;
     }
     if (static_cast<int>(header.origin) >= config_.resilience.num_hosts) {
       ++discarded_corrupt_;  // valid checksum but impossible origin
+      trace_instant("discard", idx);
       spawn_recycle(idx);
       continue;
     }
     if (static_cast<int>(header.origin) == config_.resilience.host_id) {
       // Our own chunk came full circle without anyone retiring it (a lost
       // ack crossed with a re-injection). Treat arrival as the ack.
+      trace_instant("ack", header.seq);
       handle_ack(header);
       spawn_recycle(idx);
       continue;
@@ -358,8 +385,12 @@ sim::Task<void> RoundaboutNode::receiver_resilient() {
     chunk.origin = static_cast<int>(header.origin);
     chunk.seq = header.seq;
     chunk.duplicate = !seen_[chunk.origin].insert(chunk.seq).second;
-    if (chunk.duplicate) ++duplicates_skipped_;
+    if (chunk.duplicate) {
+      ++duplicates_skipped_;
+      trace_instant("duplicate", chunk.seq);
+    }
     ++chunks_received_;
+    trace_instant("recv", static_cast<std::int64_t>(arrival.length));
     co_await inbound_->push(chunk);
   }
   done_receiver_.set();
@@ -393,12 +424,19 @@ sim::Task<void> RoundaboutNode::transmitter_resilient() {
     // Deliberately if/else, not a conditional expression: co_await inside
     // ?: miscompiles on this GCC (the child frame's result is not moved
     // out properly).
+    obs::Tracer* const t = engine_.tracer();
+    if (t != nullptr) {
+      t->begin(engine_.now(), config_.trace_host, "tx", "send",
+               static_cast<std::int64_t>(request.data.size() +
+                                         (request.framed ? kFrameBytes : 0)));
+    }
     Status status;
     if (request.framed) {
       status = co_await out_wire_->send_framed(request.header, request.data);
     } else {
       status = co_await out_wire_->send(request.data);
     }
+    if (t != nullptr) t->end(engine_.now(), config_.trace_host, "tx");
     if (status.is_ok()) {
       bytes_sent_ += request.data.size() + (request.framed ? kFrameBytes : 0);
       if (request.recycle_idx >= 0) spawn_recycle(request.recycle_idx);
@@ -448,6 +486,7 @@ sim::Task<void> RoundaboutNode::scanner_process() {
                    "chunk permanently lost: re-injection limit exceeded");
       ++chunk.reinjects;
       ++reinjected_;
+      trace_instant("reinject", seq);
       chunk.last_sent = now;
       SendRequest request;
       request.data = chunk.payload;

@@ -63,6 +63,7 @@
 #include <memory>
 #include <set>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -111,6 +112,8 @@ struct NodeConfig {
   bool use_credits = true;
   /// Fault-tolerance mode; see ResilienceConfig.
   ResilienceConfig resilience;
+  /// Host id stamped on this node's trace events (Chrome pid).
+  int trace_host = 0;
 };
 
 /// Exact message counts for one run, computed by the orchestration layer.
@@ -259,6 +262,10 @@ class RoundaboutNode {
   void push_outbound(SendRequest request, bool priority);
 
   bool resilient() const { return config_.resilience.enabled; }
+
+  /// One ring-protocol instant ("recv", "ack", "forward", ...) on this
+  /// host's "ring" trace track.
+  void trace_instant(std::string_view name, std::int64_t arg);
 
   sim::Task<void> receiver_process();
   sim::Task<void> transmitter_process();

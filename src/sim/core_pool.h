@@ -11,6 +11,7 @@
 #pragma once
 
 #include <coroutine>
+#include <cstdio>
 #include <deque>
 #include <functional>
 #include <map>
@@ -20,6 +21,7 @@
 #include "common/assert.h"
 #include "common/cputime.h"
 #include "common/units.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 #include "sim/task.h"
 
@@ -56,7 +58,9 @@ class CorePool {
     const auto measured = static_cast<double>(measure_cpu(work));
     const auto cost = static_cast<SimDuration>(measured * cpu_scale_);
     bill(tag, cost + cs);
+    trace_occupy(core, tag, cost + cs);
     co_await engine_.sleep(cost + cs);
+    trace_release(core);
     release(core);
     co_return cost;
   }
@@ -74,7 +78,9 @@ class CorePool {
     const int core = co_await acquire();
     const SimDuration cs = charge_switch(core, tag);
     bill(tag, cost + cs);
+    trace_occupy(core, tag, cost + cs);
     co_await engine_.sleep(cost + cs);
+    trace_release(core);
     release(core);
   }
 
@@ -106,6 +112,9 @@ class CorePool {
   double cpu_scale() const { return cpu_scale_; }
 
   void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Host id stamped on this pool's trace events (Chrome pid).
+  void set_trace_host(int host) { trace_host_ = host; }
 
   /// Utilization of the pool over a window, given a busy snapshot taken at
   /// the window start: (busy_now - busy_at_start) / (window * cores).
@@ -172,9 +181,32 @@ class CorePool {
     busy_by_tag_[tag] += d;
   }
 
+  // Trace spans bracket exactly the sleep(cost + cs) that follows bill(),
+  // so summed core-span time in a trace equals the busy ledger to the
+  // nanosecond (the overlap-invariant test relies on this).
+  void trace_occupy(int core, const std::string& tag, SimDuration dur) {
+    obs::Tracer* t = engine_.tracer();
+    if (t == nullptr) return;
+    char entity[16];
+    std::snprintf(entity, sizeof entity, "core%d", core);
+    t->begin(engine_.now(), trace_host_, entity, tag, dur);
+    t->counter(engine_.now(), trace_host_, "cores_busy", ++busy_now_);
+  }
+
+  void trace_release(int core) {
+    obs::Tracer* t = engine_.tracer();
+    if (t == nullptr) return;
+    char entity[16];
+    std::snprintf(entity, sizeof entity, "core%d", core);
+    t->end(engine_.now(), trace_host_, entity);
+    t->counter(engine_.now(), trace_host_, "cores_busy", --busy_now_);
+  }
+
   Engine& engine_;
   SimDuration context_switch_cost_;
   std::string name_;
+  int trace_host_ = 0;
+  int busy_now_ = 0;
   double cpu_scale_ = 1.0;
   std::deque<int> free_cores_;
   std::deque<std::pair<std::coroutine_handle<>, int*>> waiters_;

@@ -1,7 +1,9 @@
 #include "sim/engine.h"
 
-#include <cstdio>
 #include <cstdlib>
+#include <sstream>
+
+#include "common/log.h"
 
 namespace cj::sim {
 
@@ -28,12 +30,12 @@ Task<void> Engine::drive(Task<void> inner,
   try {
     co_await std::move(inner);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "fatal: simulation process '%s' failed: %s\n",
-                 state->name.c_str(), e.what());
+    CJ_LOG(kError) << "fatal: simulation process '" << state->name
+                   << "' failed: " << e.what();
     std::abort();
   } catch (...) {
-    std::fprintf(stderr, "fatal: simulation process '%s' failed with unknown error\n",
-                 state->name.c_str());
+    CJ_LOG(kError) << "fatal: simulation process '" << state->name
+                   << "' failed with unknown error";
     std::abort();
   }
   state->done = true;
@@ -79,30 +81,31 @@ bool Engine::run_until(SimTime deadline) {
   return true;
 }
 
-void Engine::dump_blocked(std::FILE* out) const {
+void Engine::dump_blocked() const {
   if (blocked_.empty()) return;
-  std::fprintf(out, "blocked waiters (%zu):\n", blocked_.size());
+  std::ostringstream out;
+  out << "blocked waiters (" << blocked_.size() << "):";
   for (const auto& [addr, info] : blocked_) {
     const char* kind = info.kind != nullptr ? info.kind : "?";
+    out << "\n  coroutine " << addr << " waiting on " << kind;
     if (info.name != nullptr && !info.name->empty()) {
-      std::fprintf(out, "  coroutine %p waiting on %s '%s'\n", addr, kind,
-                   info.name->c_str());
-    } else {
-      std::fprintf(out, "  coroutine %p waiting on %s\n", addr, kind);
+      out << " '" << *info.name << "'";
     }
   }
+  CJ_LOG(kError) << out.str();
 }
 
 void Engine::check_all_complete() const {
   bool all_done = true;
   for (const auto& root : roots_) {
     if (!root->state->done) {
-      std::fprintf(stderr, "deadlock: process '%s' never completed (t=%s)\n",
-                   root->state->name.c_str(), human_duration(now_).c_str());
+      CJ_LOG(kError) << "deadlock: process '" << root->state->name
+                     << "' never completed (t=" << human_duration(now_)
+                     << ", after " << events_processed_ << " events)";
       all_done = false;
     }
   }
-  if (!all_done) dump_blocked(stderr);
+  if (!all_done) dump_blocked();
   CJ_CHECK_MSG(all_done, "simulation ended with blocked processes");
 }
 

@@ -8,7 +8,6 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <cstdio>
 #include <map>
 #include <memory>
 #include <queue>
@@ -18,6 +17,10 @@
 #include "common/assert.h"
 #include "common/units.h"
 #include "sim/task.h"
+
+namespace cj::obs {
+class Tracer;
+}
 
 namespace cj::sim {
 
@@ -49,6 +52,15 @@ class Engine {
 
   /// Number of events processed so far (diagnostics).
   std::uint64_t events_processed() const { return events_processed_; }
+
+  // ----- observability ---------------------------------------------------
+  //
+  // The engine owns no tracer; callers (cluster setup, tests) install one
+  // for the run's lifetime. Null by default, so every instrumentation site
+  // in the simulator is a single pointer test when tracing is off.
+
+  obs::Tracer* tracer() const { return tracer_; }
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   /// Schedules a coroutine to resume at absolute virtual time t (>= now).
   void schedule_at(SimTime t, std::coroutine_handle<> h);
@@ -108,8 +120,9 @@ class Engine {
   }
   void note_unblocked(std::coroutine_handle<> h) { blocked_.erase(h.address()); }
 
-  /// Prints one line per currently-parked coroutine.
-  void dump_blocked(std::FILE* out) const;
+  /// Logs one line per currently-parked coroutine (CJ_LOG(kError), so a
+  /// test-installed log sink can capture and assert on the report).
+  void dump_blocked() const;
 
  private:
   struct Event {
@@ -131,6 +144,7 @@ class Engine {
   Task<void> drive(Task<void> inner, std::shared_ptr<ProcessHandle::State> state);
 
   std::map<void*, BlockInfo> blocked_;
+  obs::Tracer* tracer_ = nullptr;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "obs/trace.h"
 
 namespace cj::sim {
 
@@ -43,10 +44,12 @@ FaultInjector::Verdict FaultInjector::next_message_verdict(int link_id) {
   if (now < spec.active_from || now >= spec.active_until) return Verdict::kDeliver;
   if (u < spec.drop_prob) {
     ++counters_.messages_dropped;
+    trace_instant("fault.drop", link_id);
     return Verdict::kDrop;
   }
   if (u < spec.drop_prob + spec.corrupt_prob) {
     ++counters_.messages_corrupted;
+    trace_instant("fault.corrupt", link_id);
     return Verdict::kCorrupt;
   }
   return Verdict::kDeliver;
@@ -76,6 +79,7 @@ void FaultInjector::mark_crashed(int host) {
   CJ_CHECK_MSG(crash_scheduled(host), "crash fired for a host without a crash spec");
   if (!crashed_.insert(host).second) return;
   ++counters_.hosts_crashed;
+  trace_instant("fault.crash", host);
   crash_signal(host).set();
 }
 
@@ -92,6 +96,7 @@ Task<void> FaultInjector::slowdown_timer(HostSlowdownSpec spec, CorePool& cores)
   co_await engine_.sleep(spec.at > now ? spec.at - now : 0);
   cores.slow_down(spec.factor);
   ++counters_.slowdowns_applied;
+  trace_instant("fault.slowdown", spec.host);
 }
 
 void FaultInjector::arm_slowdowns(int host, CorePool& cores) {
@@ -99,6 +104,12 @@ void FaultInjector::arm_slowdowns(int host, CorePool& cores) {
     if (spec.host != host) continue;
     engine_.spawn(slowdown_timer(spec, cores),
                   "fault-slowdown-h" + std::to_string(host));
+  }
+}
+
+void FaultInjector::trace_instant(std::string_view name, std::int64_t arg) {
+  if (obs::Tracer* t = engine_.tracer()) {
+    t->instant(engine_.now(), obs::kGlobalHost, "fault", name, arg);
   }
 }
 

@@ -22,6 +22,7 @@
 #include <optional>
 #include <set>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.h"
@@ -120,6 +121,9 @@ class FaultInjector {
  private:
   Rng& link_rng(int link_id);
   Task<void> slowdown_timer(HostSlowdownSpec spec, CorePool& cores);
+
+  /// One "fault.*" instant on the cluster-global trace track per injection.
+  void trace_instant(std::string_view name, std::int64_t arg);
 
   Engine& engine_;
   FaultPlan plan_;

@@ -4,11 +4,14 @@
 // way — the survivors compute (R \ R_dead) ⋈ (S \ S_dead), nothing else.
 #include <gtest/gtest.h>
 
+#include <string_view>
 #include <tuple>
 #include <vector>
 
 #include "cyclo/cyclo_join.h"
 #include "join/local_join.h"
+#include "obs/analysis.h"
+#include "obs/trace.h"
 #include "rel/generator.h"
 #include "sim/engine.h"
 #include "sim/fault.h"
@@ -317,6 +320,135 @@ TEST(FaultFramework, SlowdownDelaysButDoesNotChangeTheAnswer) {
   EXPECT_EQ(report.matches, ref.matches);
   EXPECT_EQ(report.checksum, ref.checksum);
   EXPECT_FALSE(report.fault.degraded);
+}
+
+// ----- trace coverage of injections ----------------------------------------
+
+std::size_t count_instants(const obs::Tracer& t, std::string_view name) {
+  const std::uint32_t id = t.find_name(name);
+  if (id == obs::Tracer::kNoName) return 0;
+  std::size_t count = 0;
+  for (const obs::TraceEvent& e : t.events()) {
+    if (e.kind == obs::EventKind::kInstant && e.name == id) ++count;
+  }
+  return count;
+}
+
+// Every injected fault leaves exactly one "fault.*" instant on the global
+// trace track, so a trace is a complete audit log of what the plan did.
+TEST(FaultTrace, DropAndCorruptInstantsMatchTheLedger) {
+  auto r = make_r();
+  auto s = make_s();
+
+  ClusterConfig cfg = fault_cluster(4);
+  cfg.fault.seed = 7;
+  cfg.fault.link.drop_prob = 0.05;
+  cfg.fault.link.corrupt_prob = 0.05;
+  cfg.node.resilience.ack_timeout = 20 * kMillisecond;
+  cfg.trace.enabled = true;
+
+  CycloJoin cyclo(cfg, JoinSpec{.algorithm = Algorithm::kHashJoin});
+  const RunReport report = cyclo.run(r, s);
+  ASSERT_NE(report.trace, nullptr);
+  const obs::Tracer& t = *report.trace;
+
+  EXPECT_GT(report.fault.messages_dropped + report.fault.messages_corrupted, 0u);
+  EXPECT_EQ(count_instants(t, "fault.drop"), report.fault.messages_dropped);
+  EXPECT_EQ(count_instants(t, "fault.corrupt"), report.fault.messages_corrupted);
+  EXPECT_EQ(count_instants(t, "rdma.rnr"), report.fault.rnr_retries);
+  // The metrics snapshot mirrors the same ledger.
+  EXPECT_EQ(report.metrics.counters.at("messages_dropped"),
+            static_cast<std::int64_t>(report.fault.messages_dropped));
+  EXPECT_EQ(report.metrics.counters.at("messages_corrupted"),
+            static_cast<std::int64_t>(report.fault.messages_corrupted));
+}
+
+TEST(FaultTrace, CrashAndSpliceEmitOneInstantEach) {
+  const int hosts = 4;
+  const int dead = 2;
+  auto r = make_r();
+  auto s = make_s();
+
+  ClusterConfig cfg = fault_cluster(hosts);
+  cfg.fault.crashes.push_back({.host = dead, .at = 0});
+  cfg.node.resilience.ack_timeout = 20 * kMillisecond;
+  cfg.trace.enabled = true;
+
+  CycloJoin cyclo(cfg, JoinSpec{.algorithm = Algorithm::kHashJoin});
+  const RunReport report = cyclo.run(r, s);
+  ASSERT_NE(report.trace, nullptr);
+  const obs::Tracer& t = *report.trace;
+
+  EXPECT_EQ(count_instants(t, "fault.crash"), 1u);
+  EXPECT_EQ(count_instants(t, "fault.splice"), 1u);
+  for (const obs::TraceEvent& e : t.events()) {
+    if (e.kind != obs::EventKind::kInstant) continue;
+    const std::string_view name = t.name(e.name);
+    if (name == "fault.crash" || name == "fault.splice") {
+      EXPECT_EQ(e.host, obs::kGlobalHost);  // cluster-global track
+      EXPECT_EQ(e.arg, dead);               // names the victim
+    }
+  }
+}
+
+TEST(FaultTrace, SlowdownEmitsOneInstant) {
+  auto r = make_r();
+  auto s = make_s();
+
+  ClusterConfig cfg = fault_cluster(3);
+  cfg.fault.slowdowns.push_back({.host = 2, .at = 0, .factor = 2.0});
+  cfg.node.resilience.ack_timeout = 500 * kMillisecond;
+  cfg.trace.enabled = true;
+
+  CycloJoin cyclo(cfg, JoinSpec{.algorithm = Algorithm::kHashJoin});
+  const RunReport report = cyclo.run(r, s);
+  ASSERT_NE(report.trace, nullptr);
+  EXPECT_EQ(count_instants(*report.trace, "fault.slowdown"), 1u);
+}
+
+// A dropped delivery forces an RDMA-level retry: the backoff shows up as an
+// "rdma.retry" span nested (depth + 1) inside its owning "rdma.send" span
+// on the same queue-pair track.
+TEST(FaultTrace, RetrySpansNestInsideTheirSendSpans) {
+  auto r = make_r();
+  auto s = make_s();
+
+  ClusterConfig cfg = fault_cluster(4);
+  cfg.fault.seed = 9;
+  cfg.fault.link.drop_prob = 0.08;
+  cfg.node.resilience.ack_timeout = 20 * kMillisecond;
+  cfg.trace.enabled = true;
+
+  CycloJoin cyclo(cfg, JoinSpec{.algorithm = Algorithm::kHashJoin});
+  const RunReport report = cyclo.run(r, s);
+  ASSERT_NE(report.trace, nullptr);
+  const obs::Tracer& t = *report.trace;
+  ASSERT_GT(report.fault.retransmissions, 0u);
+
+  const std::uint32_t send_id = t.find_name("rdma.send");
+  const std::uint32_t retry_id = t.find_name("rdma.retry");
+  ASSERT_NE(send_id, obs::Tracer::kNoName);
+  ASSERT_NE(retry_id, obs::Tracer::kNoName);
+
+  const std::vector<obs::Span> spans = obs::extract_spans(t);
+  std::size_t retries = 0;
+  for (const obs::Span& retry : spans) {
+    if (retry.name != retry_id) continue;
+    ++retries;
+    EXPECT_GE(retry.depth, 1u);
+    // The enclosing span one level up on the same track is the send.
+    bool enclosed = false;
+    for (const obs::Span& send : spans) {
+      if (send.name == send_id && send.host == retry.host &&
+          send.entity == retry.entity && send.depth + 1 == retry.depth &&
+          send.start <= retry.start && retry.end <= send.end) {
+        enclosed = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(enclosed) << "orphan rdma.retry span at t=" << retry.start;
+  }
+  EXPECT_GT(retries, 0u);
 }
 
 // Other algorithms ride the same resilient transport.
