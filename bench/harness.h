@@ -148,7 +148,24 @@ class BenchJson {
         path_(flags.get_string("json_out", "BENCH_" + figure_ + ".json")) {}
 
   void row(std::initializer_list<std::pair<const char*, double>> cells) {
-    rows_.emplace_back(cells.begin(), cells.end());
+    row({}, cells);
+  }
+
+  /// Row with leading string-valued cells, e.g. kernel/variant labels:
+  /// row({{"kernel", "radix_cluster"}, {"variant", "legacy"}}, {{"rows", n}}).
+  void row(std::initializer_list<std::pair<const char*, const char*>> labels,
+           std::initializer_list<std::pair<const char*, double>> cells) {
+    std::vector<Cell> out;
+    out.reserve(labels.size() + cells.size());
+    for (const auto& [name, value] : labels) {
+      out.push_back(Cell{name, std::string("\"") + value + "\""});
+    }
+    for (const auto& [name, value] : cells) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.17g", value);
+      out.push_back(Cell{name, buf});
+    }
+    rows_.push_back(std::move(out));
   }
 
   /// Metrics of the run that best represents the figure (usually the last
@@ -163,9 +180,7 @@ class BenchJson {
       out += "{";
       for (std::size_t c = 0; c < rows_[r].size(); ++c) {
         if (c > 0) out += ",";
-        char buf[64];
-        std::snprintf(buf, sizeof buf, "%.17g", rows_[r][c].second);
-        out += "\"" + rows_[r][c].first + "\":" + buf;
+        out += "\"" + rows_[r][c].name + "\":" + rows_[r][c].json;
       }
       out += "}";
     }
@@ -181,9 +196,14 @@ class BenchJson {
   }
 
  private:
+  struct Cell {
+    std::string name;
+    std::string json;  // pre-rendered JSON value (number or quoted string)
+  };
+
   std::string figure_;
   std::string path_;
-  std::vector<std::vector<std::pair<std::string, double>>> rows_;
+  std::vector<std::vector<Cell>> rows_;
   obs::MetricsSnapshot metrics_;
 };
 

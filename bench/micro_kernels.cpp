@@ -1,11 +1,34 @@
 // Micro-benchmarks of the join kernels and workload generators
 // (google-benchmark). These are the raw building blocks whose measured CPU
 // costs drive the simulation's virtual time.
+//
+// The cache-sensitive kernels (radix clustering, hash build, hash probe)
+// come in legacy/optimized pairs driven by join::KernelConfig — the A/B
+// that docs/KERNELS.md describes. Besides the google-benchmark suite, the
+// binary runs a self-contained A/B sweep and writes its trajectory to
+// BENCH_kernels.json (BenchJson): one row per kernel x variant x size,
+// cross-validated by checksum. Flags, on top of the --benchmark_* ones:
+//
+//   --ab_only          skip google-benchmark, run just the A/B sweep (CI)
+//   --ab_rows=a,b,c    A/B input sizes          (default 2^16,2^20,2^22)
+//   --ab_reps=N        best-of-N repetitions    (default 5)
+//   --json_out=PATH    trajectory dump          (default BENCH_kernels.json)
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/cputime.h"
 #include "common/rng.h"
 #include "common/zipf.h"
 #include "cyclo/chunk.h"
+#include "harness.h"
 #include "join/hash_join.h"
 #include "join/radix.h"
 #include "join/sort_merge.h"
@@ -15,45 +38,65 @@ namespace {
 
 using namespace cj;
 
-rel::Relation make_rel(std::int64_t rows, double zipf = 0.0) {
+rel::Relation make_rel(std::int64_t rows, double zipf = 0.0,
+                       std::uint64_t seed = 99) {
   return rel::generate({.rows = static_cast<std::uint64_t>(rows),
                         .key_domain = static_cast<std::uint64_t>(rows),
                         .zipf_z = zipf,
-                        .seed = 99},
+                        .seed = seed},
                        "bench", 1);
 }
 
-void BM_RadixCluster(benchmark::State& state) {
+join::RadixConfig config_for(const join::KernelConfig& kernel) {
+  join::RadixConfig config;
+  config.kernel = kernel;
+  return config;
+}
+
+// ------------------------------------------------ legacy/optimized pairs
+
+void BM_RadixCluster(benchmark::State& state, join::KernelConfig kernel) {
   const auto rows = state.range(0);
   auto r = make_rel(rows);
-  const int bits = join::choose_radix_bits(static_cast<std::size_t>(rows), {});
+  const int bits =
+      join::choose_radix_bits(static_cast<std::size_t>(rows), config_for(kernel));
   for (auto _ : state) {
-    auto parts = join::radix_cluster(r.tuples(), bits, 8);
+    auto parts = join::radix_cluster(r.tuples(), bits, 8, kernel);
     benchmark::DoNotOptimize(parts.rows());
   }
   state.SetItemsProcessed(state.iterations() * rows);
 }
-BENCHMARK(BM_RadixCluster)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+BENCHMARK_CAPTURE(BM_RadixCluster, legacy, join::KernelConfig::legacy())
+    ->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+BENCHMARK_CAPTURE(BM_RadixCluster, optimized, join::KernelConfig{})
+    ->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
 
-void BM_HashBuild(benchmark::State& state) {
+void BM_HashBuild(benchmark::State& state, join::KernelConfig kernel) {
   const auto rows = state.range(0);
   auto s = make_rel(rows);
-  const int bits = join::choose_radix_bits(static_cast<std::size_t>(rows), {});
+  const auto config = config_for(kernel);
+  const int bits =
+      join::choose_radix_bits(static_cast<std::size_t>(rows), config);
   for (auto _ : state) {
-    auto stationary = join::HashJoinStationary::build(s.tuples(), bits);
+    auto stationary = join::HashJoinStationary::build(s.tuples(), bits, config);
     benchmark::DoNotOptimize(stationary.bytes());
   }
   state.SetItemsProcessed(state.iterations() * rows);
 }
-BENCHMARK(BM_HashBuild)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK_CAPTURE(BM_HashBuild, legacy, join::KernelConfig::legacy())
+    ->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK_CAPTURE(BM_HashBuild, optimized, join::KernelConfig{})
+    ->Arg(1 << 16)->Arg(1 << 20);
 
-void BM_HashProbe(benchmark::State& state) {
+void BM_HashProbe(benchmark::State& state, join::KernelConfig kernel) {
   const auto rows = state.range(0);
-  auto r = make_rel(rows);
-  auto s = make_rel(rows);
-  const int bits = join::choose_radix_bits(static_cast<std::size_t>(rows), {});
-  auto stationary = join::HashJoinStationary::build(s.tuples(), bits);
-  auto r_parts = join::radix_cluster(r.tuples(), bits, 8);
+  auto r = make_rel(rows, 0.0, 99);
+  auto s = make_rel(rows, 0.0, 98);
+  const auto config = config_for(kernel);
+  const int bits =
+      join::choose_radix_bits(static_cast<std::size_t>(rows), config);
+  auto stationary = join::HashJoinStationary::build(s.tuples(), bits, config);
+  auto r_parts = join::radix_cluster(r.tuples(), bits, 8, kernel);
   for (auto _ : state) {
     join::JoinResult result;
     for (std::uint32_t p = 0; p < r_parts.num_partitions(); ++p) {
@@ -63,7 +106,12 @@ void BM_HashProbe(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * rows);
 }
-BENCHMARK(BM_HashProbe)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+BENCHMARK_CAPTURE(BM_HashProbe, legacy, join::KernelConfig::legacy())
+    ->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+BENCHMARK_CAPTURE(BM_HashProbe, optimized, join::KernelConfig{})
+    ->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+
+// ------------------------------------------------------- other kernels
 
 void BM_Sort(benchmark::State& state) {
   const auto rows = state.range(0);
@@ -140,6 +188,138 @@ void BM_ChunkEncodeDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_ChunkEncodeDecode)->Arg(1 << 18);
 
+// ------------------------------------------------------ A/B trajectory
+//
+// Best-of-N CPU time per kernel and variant, cross-validated: both
+// variants of the probe must produce the identical order-independent
+// checksum. This is the machine-readable perf baseline the CI job uploads.
+
+double best_of(int reps, const std::function<void()>& fn) {
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  for (int i = 0; i < reps; ++i) best = std::min<std::int64_t>(best, measure_cpu(fn));
+  return static_cast<double>(best);
+}
+
+struct VariantTimes {
+  double legacy_ns = 0;
+  double optimized_ns = 0;
+};
+
+void emit(bench::BenchJson& json, const char* kernel, std::int64_t rows,
+          int radix_bits, const VariantTimes& t) {
+  const double rows_d = static_cast<double>(rows);
+  json.row({{"kernel", kernel}, {"variant", "legacy"}},
+           {{"rows", rows_d},
+            {"radix_bits", static_cast<double>(radix_bits)},
+            {"cpu_ns", t.legacy_ns},
+            {"items_per_sec", rows_d / (t.legacy_ns * 1e-9)}});
+  json.row({{"kernel", kernel}, {"variant", "optimized"}},
+           {{"rows", rows_d},
+            {"radix_bits", static_cast<double>(radix_bits)},
+            {"cpu_ns", t.optimized_ns},
+            {"items_per_sec", rows_d / (t.optimized_ns * 1e-9)}});
+  std::printf("%-16s %9" PRId64 " rows  bits %2d  legacy %7.1f Mit/s"
+              "   optimized %7.1f Mit/s   speedup %.2fx\n",
+              kernel, rows, radix_bits, rows_d / (t.legacy_ns * 1e-3),
+              rows_d / (t.optimized_ns * 1e-3), t.legacy_ns / t.optimized_ns);
+}
+
+void run_kernel_ab(bench::BenchJson& json, const std::vector<std::int64_t>& sizes,
+                   int reps) {
+  std::printf("\n== kernel A/B (best of %d, thread CPU time) ==\n", reps);
+  const join::KernelConfig legacy_kernel = join::KernelConfig::legacy();
+  const join::KernelConfig opt_kernel{};
+  const join::RadixConfig legacy_cfg = config_for(legacy_kernel);
+  const join::RadixConfig opt_cfg = config_for(opt_kernel);
+
+  for (const std::int64_t rows : sizes) {
+    auto r = make_rel(rows, 0.0, 41);
+    auto s = make_rel(rows, 0.0, 42);
+    // One partitioning task for both variants: the optimized layout's
+    // (slightly coarser) bit choice, so items/sec compares like for like.
+    const int bits =
+        join::choose_radix_bits(static_cast<std::size_t>(rows), opt_cfg);
+
+    VariantTimes cluster;
+    cluster.legacy_ns = best_of(reps, [&] {
+      auto parts = join::radix_cluster(r.tuples(), bits, 8, legacy_kernel);
+      benchmark::DoNotOptimize(parts.rows());
+    });
+    cluster.optimized_ns = best_of(reps, [&] {
+      auto parts = join::radix_cluster(r.tuples(), bits, 8, opt_kernel);
+      benchmark::DoNotOptimize(parts.rows());
+    });
+    emit(json, "radix_cluster", rows, bits, cluster);
+
+    VariantTimes build;
+    build.legacy_ns = best_of(reps, [&] {
+      auto t = join::HashJoinStationary::build(s.tuples(), bits, legacy_cfg);
+      benchmark::DoNotOptimize(t.bytes());
+    });
+    build.optimized_ns = best_of(reps, [&] {
+      auto t = join::HashJoinStationary::build(s.tuples(), bits, opt_cfg);
+      benchmark::DoNotOptimize(t.bytes());
+    });
+    emit(json, "hash_build", rows, bits, build);
+
+    // Probe A/B, two shapes. The primary `probe_partition` row uses
+    // radix_bits = 0: one table far larger than L2, so the measurement
+    // isolates the table walk itself — the part the fingerprint layout and
+    // prefetch pipeline redesign (this is also exactly the
+    // SingleTableHashJoin shape). `probe_cached` probes at the
+    // cache-budget bits the system would pick, where the radix clustering
+    // already keeps either layout L2-resident and the gap is small by
+    // design.
+    for (const auto& [label, probe_bits] :
+         {std::pair<const char*, int>{"probe_partition", 0},
+          std::pair<const char*, int>{"probe_cached", bits}}) {
+      const auto legacy_built =
+          join::HashJoinStationary::build(s.tuples(), probe_bits, legacy_cfg);
+      const auto opt_built =
+          join::HashJoinStationary::build(s.tuples(), probe_bits, opt_cfg);
+      const auto legacy_parts =
+          join::radix_cluster(r.tuples(), probe_bits, 8, legacy_kernel);
+      const auto opt_parts =
+          join::radix_cluster(r.tuples(), probe_bits, 8, opt_kernel);
+
+      std::uint64_t legacy_checksum = 0;
+      std::uint64_t opt_checksum = 0;
+      VariantTimes probe;
+      probe.legacy_ns = best_of(reps, [&] {
+        join::JoinResult result;
+        for (std::uint32_t p = 0; p < legacy_parts.num_partitions(); ++p) {
+          legacy_built.probe_partition(p, legacy_parts.partition(p), result);
+        }
+        legacy_checksum = result.checksum();
+      });
+      probe.optimized_ns = best_of(reps, [&] {
+        join::JoinResult result;
+        for (std::uint32_t p = 0; p < opt_parts.num_partitions(); ++p) {
+          opt_built.probe_partition(p, opt_parts.partition(p), result);
+        }
+        opt_checksum = result.checksum();
+      });
+      CJ_CHECK_MSG(legacy_checksum == opt_checksum,
+                   "kernel A/B checksum mismatch: the variants disagree");
+      emit(json, label, rows, probe_bits, probe);
+    }
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);  // strips --benchmark_* from argv
+  auto flags = bench::parse_flags_or_die(argc, argv);
+  const bool ab_only = flags.get_bool("ab_only", false);
+  const auto ab_rows =
+      flags.get_int_list("ab_rows", {1 << 16, 1 << 20, 1 << 22});
+  const int ab_reps = static_cast<int>(flags.get_int("ab_reps", 5));
+  bench::BenchJson json(flags, "kernels");
+  bench::check_unused_flags(flags);
+
+  if (!ab_only) benchmark::RunSpecifiedBenchmarks();
+  run_kernel_ab(json, ab_rows, ab_reps);
+  json.write();
+  return 0;
+}

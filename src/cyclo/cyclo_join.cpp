@@ -431,7 +431,8 @@ class Runner {
         tasks.push_back(cores.run(
             [&host, &writer, this] {
               join::PartitionedData r_parts = join::radix_cluster(
-                  host.r_frag.tuples(), radix_bits_, spec_.radix.bits_per_pass);
+                  host.r_frag.tuples(), radix_bits_, spec_.radix.bits_per_pass,
+                  spec_.radix.kernel);
               host.slab = writer.from_partitioned(r_parts, /*origin_host=*/0);
             },
             "setup"));

@@ -1,37 +1,142 @@
 #include "join/hash_join.h"
 
+#include <algorithm>
 #include <bit>
 
 namespace cj::join {
 
+namespace {
+
+/// Hard cap on the probe look-ahead ring (KernelConfig::prefetch_distance
+/// is clamped to it).
+constexpr std::size_t kMaxPrefetch = 64;
+
+inline void prefetch_read(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+inline void prefetch_write(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/1, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace
+
 void PartitionHashTable::build(std::span<const rel::Tuple> s_partition,
-                               int radix_bits) {
+                               int radix_bits, const KernelConfig& kernel) {
+  rows_ = s_partition.size();
+  shift_ = radix_bits;
+  fingerprint_ = kernel.fingerprint_table;
+  prefetch_ = std::clamp(kernel.prefetch_distance, 0,
+                         static_cast<int>(kMaxPrefetch));
+  if (fingerprint_) {
+    build_fingerprint(s_partition);
+  } else {
+    build_chained(s_partition);
+  }
+}
+
+void PartitionHashTable::build_chained(std::span<const rel::Tuple> s_partition) {
   tuples_.assign(s_partition.begin(), s_partition.end());
   const std::size_t n = tuples_.size();
-  shift_ = radix_bits;
 
-  const std::size_t buckets =
-      std::bit_ceil(std::max<std::size_t>(4, n));
+  const std::size_t buckets = std::bit_ceil(std::max<std::size_t>(4, n));
   mask_ = static_cast<std::uint32_t>(buckets - 1);
   heads_.assign(buckets, -1);
   next_.assign(n, -1);
 
   for (std::size_t i = 0; i < n; ++i) {
-    const std::uint32_t b = bucket_of(tuples_[i].key);
+    const std::uint32_t b = bucket_index(hash_key(tuples_[i].key));
     next_[i] = heads_[b];
     heads_[b] = static_cast<std::int32_t>(i);
   }
 }
 
+void PartitionHashTable::build_fingerprint(
+    std::span<const rel::Tuple> s_partition) {
+  // ≤50% load factor: collision clusters stay short and at least one
+  // bucket is always empty, which is what terminates a probe's walk.
+  const std::size_t buckets = std::bit_ceil(std::max<std::size_t>(8, rows_ * 2));
+  mask_ = static_cast<std::uint32_t>(buckets - 1);
+  buckets_.assign(buckets, Bucket{});
+
+  const auto insert = [this](const rel::Tuple& t, std::uint32_t h) {
+    std::uint32_t b = bucket_index(h);
+    while (buckets_[b].fp != 0) b = (b + 1) & mask_;
+    buckets_[b] = Bucket{t.key, fingerprint_of(h), 0, t.payload};
+  };
+
+  // Inserts land on random buckets; pipeline them like the probe loop so
+  // the (write) miss of insert i+k overlaps the work of inserts i..i+k-1.
+  const std::size_t n = s_partition.size();
+  const std::size_t k = std::bit_floor(
+      std::min(static_cast<std::size_t>(prefetch_), n));
+  if (k == 0) {
+    for (const rel::Tuple& t : s_partition) insert(t, hash_key(t.key));
+    return;
+  }
+  std::uint32_t ring[kMaxPrefetch];
+  for (std::size_t j = 0; j < k; ++j) {
+    ring[j] = hash_key(s_partition[j].key);
+    prefetch_write(&buckets_[bucket_index(ring[j])]);
+  }
+  const std::size_t ring_mask = k - 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t h = ring[i & ring_mask];
+    if (i + k < n) {
+      const std::uint32_t ahead = hash_key(s_partition[i + k].key);
+      ring[i & ring_mask] = ahead;
+      prefetch_write(&buckets_[bucket_index(ahead)]);
+    }
+    insert(s_partition[i], h);
+  }
+}
+
 void PartitionHashTable::probe(std::span<const rel::Tuple> r_run,
                                JoinResult& result) const {
-  if (tuples_.empty()) return;
-  for (const rel::Tuple& r : r_run) {
-    const std::uint32_t b = bucket_of(r.key);
-    for (std::int32_t i = heads_[b]; i >= 0; i = next_[static_cast<std::size_t>(i)]) {
-      const rel::Tuple& s = tuples_[static_cast<std::size_t>(i)];
-      if (s.key == r.key) result.add_match(r, s);
+  if (rows_ == 0) return;
+  if (!fingerprint_) {
+    for (const rel::Tuple& r : r_run) probe_one_chained(r, result);
+    return;
+  }
+
+  // Power-of-two look-ahead so the ring index is a mask, not a divide.
+  const std::size_t n = r_run.size();
+  const std::size_t k = std::bit_floor(
+      std::min(static_cast<std::size_t>(prefetch_), n));
+  if (k == 0) {
+    for (const rel::Tuple& r : r_run) {
+      probe_one_fingerprint(r, hash_key(r.key), result);
     }
+    return;
+  }
+
+  // Software pipeline: hash and prefetch the bucket of the tuple k
+  // positions ahead, carrying the hashes in a small ring so each is
+  // computed exactly once. By the time a tuple is probed its bucket line
+  // has been in flight for k probes.
+  std::uint32_t ring[kMaxPrefetch];
+  for (std::size_t j = 0; j < k; ++j) {
+    ring[j] = hash_key(r_run[j].key);
+    prefetch_read(&buckets_[bucket_index(ring[j])]);
+  }
+  const std::size_t ring_mask = k - 1;
+  for (std::size_t i = 0; i < n - k; ++i) {  // steady state: always refills
+    const std::uint32_t h = ring[i & ring_mask];
+    const std::uint32_t ahead = hash_key(r_run[i + k].key);
+    ring[i & ring_mask] = ahead;
+    prefetch_read(&buckets_[bucket_index(ahead)]);
+    probe_one_fingerprint(r_run[i], h, result);
+  }
+  for (std::size_t i = n - k; i < n; ++i) {  // drain the ring
+    probe_one_fingerprint(r_run[i], ring[i & ring_mask], result);
   }
 }
 
@@ -39,11 +144,11 @@ HashJoinStationary HashJoinStationary::build(std::span<const rel::Tuple> s,
                                              int radix_bits,
                                              const RadixConfig& config) {
   HashJoinStationary out;
-  out.parts_ = radix_cluster(s, radix_bits, config.bits_per_pass);
+  out.parts_ = radix_cluster(s, radix_bits, config.bits_per_pass, config.kernel);
   const std::uint32_t num_parts = out.parts_.num_partitions();
   out.tables_.resize(num_parts);
   for (std::uint32_t p = 0; p < num_parts; ++p) {
-    out.tables_[p].build(out.parts_.partition(p), radix_bits);
+    out.tables_[p].build(out.parts_.partition(p), radix_bits, config.kernel);
   }
   return out;
 }

@@ -1,11 +1,22 @@
 // Partitioned (radix) hash join — the paper's primary local join algorithm.
 //
-// Setup phase:  radix-cluster S_i and build a bucket-chained hash table per
-//               partition (HashJoinStationary::build); radix-cluster R_j
-//               with the same radix bits so probes hit exactly one table.
+// Setup phase:  radix-cluster S_i and build a hash table per partition
+//               (HashJoinStationary::build); radix-cluster R_j with the
+//               same radix bits so probes hit exactly one table.
 // Join phase:   scan R partitions, probe the matching S partition's table
 //               (probe_partition). When the radix bits were chosen so an S
 //               partition + table fits the L2 budget, probes run from cache.
+//
+// Two table layouts live behind KernelConfig (docs/KERNELS.md):
+//
+//   fingerprint (default)  a contiguous open-addressing bucket array;
+//                          each 16-byte bucket holds the tuple inline plus
+//                          a 16-bit hash fingerprint that rejects
+//                          non-matches before any key comparison. Probes
+//                          take whole tuple slices and software-prefetch
+//                          the bucket prefetch_distance tuples ahead.
+//   chained (legacy)       the original bucket-chained heads/next layout,
+//                          kept as the A/B baseline.
 //
 // The join phase is embarrassingly parallel across partitions — the cyclo
 // layer schedules disjoint partition ranges on the host's (virtual) cores,
@@ -18,45 +29,97 @@
 #include <vector>
 
 #include "join/join_result.h"
+#include "join/kernel_config.h"
 #include "join/radix.h"
 #include "rel/relation.h"
 
 namespace cj::join {
 
-/// Compact bucket-chained hash table over one partition of S.
-/// Buckets index on the high hash bits (the low bits are constant within a
-/// radix partition). Stores its own copy of the tuples so probes are a
-/// single structure walk.
+/// Compact hash table over one partition of S. Buckets index on the high
+/// hash bits (the low bits are constant within a radix partition). Stores
+/// its own copy of the tuples so probes are a single structure walk.
 class PartitionHashTable {
  public:
   PartitionHashTable() = default;
 
-  /// Builds over the tuples of one S partition.
-  void build(std::span<const rel::Tuple> s_partition, int radix_bits);
+  /// Builds over the tuples of one S partition. `kernel` picks the layout
+  /// and the probe prefetch distance.
+  void build(std::span<const rel::Tuple> s_partition, int radix_bits,
+             const KernelConfig& kernel = {});
 
   /// Probes every tuple of `r_run` (all from this partition) against the
-  /// table, emitting matches.
+  /// table, emitting matches. This is the single chain/cluster-walk
+  /// implementation — batched, with software prefetch in the fingerprint
+  /// layout.
   void probe(std::span<const rel::Tuple> r_run, JoinResult& result) const;
 
-  std::size_t rows() const { return tuples_.size(); }
+  std::size_t rows() const { return rows_; }
 
   /// Memory footprint (cache-budget accounting).
   std::size_t bytes() const {
     return tuples_.size() * sizeof(rel::Tuple) +
-           (heads_.size() + next_.size()) * sizeof(std::int32_t);
+           (heads_.size() + next_.size()) * sizeof(std::int32_t) +
+           buckets_.size() * sizeof(Bucket);
   }
 
  private:
-  std::uint32_t bucket_of(std::uint32_t key) const {
-    // High hash bits: independent of the radix partition (low) bits.
-    return (hash_key(key) >> shift_) & mask_;
+  /// Fingerprint-layout bucket: the tuple inline plus a fingerprint tag.
+  /// fp == 0 marks an empty bucket (occupied fingerprints have their top
+  /// bit set), so a probe is one load, a 2-byte reject, and linear steps
+  /// within the (≤50% loaded) bucket array.
+  struct Bucket {
+    std::uint32_t key = 0;
+    std::uint16_t fp = 0;
+    std::uint16_t pad = 0;
+    std::uint64_t payload = 0;
+  };
+  static_assert(sizeof(Bucket) == 16);
+
+  static std::uint16_t fingerprint_of(std::uint32_t h) {
+    return static_cast<std::uint16_t>(h >> 16) | 0x8000U;
   }
 
+  std::uint32_t bucket_index(std::uint32_t h) const {
+    // High hash bits: independent of the radix partition (low) bits.
+    return (h >> shift_) & mask_;
+  }
+
+  void probe_one_chained(const rel::Tuple& r, JoinResult& result) const {
+    const std::uint32_t b = bucket_index(hash_key(r.key));
+    for (std::int32_t i = heads_[b]; i >= 0; i = next_[static_cast<std::size_t>(i)]) {
+      const rel::Tuple& s = tuples_[static_cast<std::size_t>(i)];
+      if (s.key == r.key) result.add_match(r, s);
+    }
+  }
+
+  void probe_one_fingerprint(const rel::Tuple& r, std::uint32_t h,
+                             JoinResult& result) const {
+    const std::uint16_t want = fingerprint_of(h);
+    for (std::uint32_t b = bucket_index(h);; b = (b + 1) & mask_) {
+      const Bucket& bucket = buckets_[b];
+      if (bucket.fp == 0) return;  // end of this collision cluster
+      // Whether a visited bucket matches is data-dependent noise; fold it
+      // in branch-free instead of paying a mispredict per match.
+      const bool hit = bucket.fp == want && bucket.key == r.key;
+      result.add_match_if(hit, r, rel::Tuple{bucket.key, bucket.payload});
+    }
+  }
+
+  void build_chained(std::span<const rel::Tuple> s_partition);
+  void build_fingerprint(std::span<const rel::Tuple> s_partition);
+
+  // Fingerprint layout.
+  std::vector<Bucket> buckets_;
+  // Chained (legacy) layout.
   std::vector<rel::Tuple> tuples_;
   std::vector<std::int32_t> heads_;
   std::vector<std::int32_t> next_;
+
+  std::size_t rows_ = 0;
   std::uint32_t mask_ = 0;
   int shift_ = 0;
+  bool fingerprint_ = true;
+  int prefetch_ = 0;
 };
 
 /// Baseline: a single hash table over the whole fragment, no radix
@@ -65,9 +128,10 @@ class PartitionHashTable {
 /// `bench/abl_no_partition` quantifies the difference.
 class SingleTableHashJoin {
  public:
-  static SingleTableHashJoin build(std::span<const rel::Tuple> s) {
+  static SingleTableHashJoin build(std::span<const rel::Tuple> s,
+                                   const KernelConfig& kernel = {}) {
     SingleTableHashJoin out;
-    out.table_.build(s, /*radix_bits=*/0);
+    out.table_.build(s, /*radix_bits=*/0, kernel);
     return out;
   }
 
@@ -88,6 +152,7 @@ class SingleTableHashJoin {
 class HashJoinStationary {
  public:
   /// Clusters `s` into 2^radix_bits partitions and builds the tables.
+  /// config.kernel selects the clustering and table kernels.
   static HashJoinStationary build(std::span<const rel::Tuple> s, int radix_bits,
                                   const RadixConfig& config = {});
 
@@ -95,7 +160,8 @@ class HashJoinStationary {
   std::uint32_t num_partitions() const { return parts_.num_partitions(); }
   std::size_t rows() const { return parts_.rows(); }
 
-  /// Probes a run of R tuples that all belong to radix partition `p`.
+  /// Probes a whole run of R tuples that all belong to radix partition `p`
+  /// in one batch (prefetched in the fingerprint layout).
   void probe_partition(std::uint32_t p, std::span<const rel::Tuple> r_run,
                        JoinResult& result) const {
     tables_[p].probe(r_run, result);

@@ -35,11 +35,30 @@ class JoinResult {
     if (materialize_) output_.push_back(OutTuple{r.key, r.payload, s.payload});
   }
 
-  /// Folds another (e.g. per-partition) result into this one.
+  /// Conditional add_match whose counting path is branch-free: probe inner
+  /// loops call it with a data-dependent `hit` that no predictor can learn,
+  /// turning what would be a mispredict per match into plain arithmetic.
+  /// (Materializing results take the branch; output_.push_back needs it.)
+  void add_match_if(bool hit, const rel::Tuple& r, const rel::Tuple& s) {
+    if (materialize_) {
+      if (hit) add_match(r, s);
+      return;
+    }
+    const std::uint64_t mixed = pair_hash(r.payload, s.payload);
+    matches_ += hit ? 1 : 0;
+    checksum_ += hit ? mixed : 0;
+  }
+
+  /// Folds another (e.g. per-partition) result into this one. Counting-only
+  /// results skip the output splice entirely; materializing ones reserve up
+  /// front so per-partition merges don't reallocate repeatedly.
   void merge(const JoinResult& other) {
     matches_ += other.matches_;
     checksum_ += other.checksum_;
-    output_.insert(output_.end(), other.output_.begin(), other.output_.end());
+    if (materialize_ && !other.output_.empty()) {
+      output_.reserve(output_.size() + other.output_.size());
+      output_.insert(output_.end(), other.output_.begin(), other.output_.end());
+    }
   }
 
   std::uint64_t matches() const { return matches_; }

@@ -1,0 +1,49 @@
+// Cache-consciousness knobs for the join kernels.
+//
+// The measured CPU time of these kernels *is* the virtual duration of every
+// simulated task (DESIGN.md: "virtual time, real work"), so kernel speed
+// shapes both the reproduced figures and the real wall-clock of the whole
+// bench/test suite. Every optimization is individually switchable so the
+// legacy and optimized paths stay A/B-comparable — bench/micro_kernels
+// measures each pair, and the checksum-parity tests in tests/join_test.cpp
+// hold them to identical results. See docs/KERNELS.md.
+#pragma once
+
+namespace cj::join {
+
+struct KernelConfig {
+  /// Compute hash_key once per tuple and carry the values in a side array
+  /// across clustering passes, instead of rehashing in both the count and
+  /// scatter loops of every pass.
+  bool cache_hashes = true;
+
+  /// Software-managed scatter: stage tuples in cache-line-sized per-partition
+  /// buffers and flush them in bulk (Manegold, Boncz & Kersten), so a
+  /// high-fan-out pass keeps a handful of store streams hot instead of one
+  /// per partition. Only engages at fan-outs where it pays (see radix.cpp).
+  bool buffered_scatter = true;
+
+  /// Replace the bucket-chained heads/next hash-table layout with a
+  /// contiguous open-addressing bucket array whose 16-bit fingerprints
+  /// reject non-matches before any key comparison; tuples are stored inline
+  /// in the buckets, making a probe a single dependent cache-line touch.
+  bool fingerprint_table = true;
+
+  /// Look-ahead of the probe/build pipelines: hash and software-prefetch
+  /// the bucket of the tuple `prefetch_distance` positions ahead while
+  /// processing the current one (0 disables; rounded down to a power of
+  /// two, capped at 64). Fingerprint-table paths only. 16 gives an
+  /// out-of-L2 probe enough in-flight lines to cover L3/DRAM latency
+  /// without evicting its own useful prefetches (bench/micro_kernels).
+  int prefetch_distance = 16;
+
+  /// The pre-optimization kernels, kept as the A/B baseline.
+  static constexpr KernelConfig legacy() {
+    return KernelConfig{.cache_hashes = false,
+                        .buffered_scatter = false,
+                        .fingerprint_table = false,
+                        .prefetch_distance = 0};
+  }
+};
+
+}  // namespace cj::join

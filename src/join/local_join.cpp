@@ -15,7 +15,8 @@ JoinResult local_hash_join(std::span<const rel::Tuple> r,
   CpuStopwatch watch;
   const int bits = choose_radix_bits(s.size(), config);
   HashJoinStationary stationary = HashJoinStationary::build(s, bits, config);
-  PartitionedData r_parts = radix_cluster(r, bits, config.bits_per_pass);
+  PartitionedData r_parts =
+      radix_cluster(r, bits, config.bits_per_pass, config.kernel);
   if (timing) timing->setup_ns = watch.elapsed_ns();
 
   watch.restart();

@@ -1,37 +1,56 @@
 #include "join/radix.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 namespace cj::join {
 
 int choose_radix_bits(std::size_t s_rows, const RadixConfig& config) {
   CJ_CHECK(config.cache_budget_bytes > 0);
-  // Per-tuple footprint during the probe: the tuple itself plus the hash
-  // table's bucket-head and chain entries (4 bytes each, ~2x for the
-  // power-of-two bucket array).
-  constexpr std::size_t kBytesPerTuple = sizeof(rel::Tuple) + 12;
+  // Per-tuple probe-phase footprint of one S partition:
+  //  - chained layout: the tuple copy plus the table's bucket-head and
+  //    chain entries (4 bytes each, ~2x for the power-of-two bucket
+  //    array) ≈ 24 B;
+  //  - fingerprint layout: 16-byte buckets at ≤50% load with the tuple
+  //    stored inline ≈ 32 B (a probe touches nothing else).
+  const std::size_t bytes_per_tuple =
+      config.kernel.fingerprint_table ? 32 : sizeof(rel::Tuple) + 12;
   int bits = 0;
   while (bits < config.max_bits) {
     const std::size_t rows_per_part = s_rows >> bits;
-    if (rows_per_part * kBytesPerTuple <= config.cache_budget_bytes) break;
+    if (rows_per_part * bytes_per_tuple <= config.cache_budget_bytes) break;
     ++bits;
   }
   return bits;
 }
 
-PartitionedData radix_cluster(std::span<const rel::Tuple> input, int total_bits,
-                              int bits_per_pass) {
-  CJ_CHECK(total_bits >= 0 && total_bits <= 24);
-  CJ_CHECK(bits_per_pass >= 1);
+namespace {
+
+/// Clustering work item of the single-hash path: the tuple with its hash
+/// carried alongside, so no pass ever rehashes. 16 bytes — four per cache
+/// line, and unlike the bare 12-byte tuple no entry straddles a line.
+struct HashedTuple {
+  rel::Tuple t;
+  std::uint32_t h;
+};
+static_assert(sizeof(HashedTuple) == 16);
+
+/// Buffered scatter granularity: 16 entries x 16 B = 256 B (four cache
+/// lines) staged per destination partition, flushed in bulk. At fan-out
+/// 2^8 the staging area is 64 KB — resident while the destinations see
+/// long, TLB-friendly bursts instead of one interleaved stream each.
+constexpr std::uint32_t kStageCap = 16;
+/// Below this fan-out the destination streams are few enough that direct
+/// stores already combine in the cache; staging would only add copies.
+constexpr std::uint32_t kMinBufferedFanout = 16;
+
+/// The pre-optimization clustering kernel (KernelConfig::legacy()):
+/// rehashes in both the count and the scatter loop of every pass and
+/// scatters tuples directly to their destinations.
+PartitionedData cluster_legacy(std::span<const rel::Tuple> input, int total_bits,
+                               int bits_per_pass) {
   const std::size_t n = input.size();
-
-  if (total_bits == 0) {
-    std::vector<rel::Tuple> tuples(input.begin(), input.end());
-    return PartitionedData(std::move(tuples), {0, static_cast<std::uint32_t>(n)}, 0);
-  }
-  CJ_CHECK_MSG(n <= 0xFFFFFFFFULL, "32-bit partition directory limits fragments to 4G rows");
-
   std::vector<rel::Tuple> cur(input.begin(), input.end());
   std::vector<rel::Tuple> next(n);
 
@@ -41,6 +60,8 @@ PartitionedData radix_cluster(std::span<const rel::Tuple> input, int total_bits,
   std::vector<std::uint32_t> boundaries = {0, static_cast<std::uint32_t>(n)};
   int consumed = 0;
 
+  std::vector<std::uint32_t> counts;
+  std::vector<std::uint32_t> cursor;
   while (consumed < total_bits) {
     const int b = std::min(bits_per_pass, total_bits - consumed);
     const int slice_shift = total_bits - consumed - b;
@@ -51,7 +72,8 @@ PartitionedData radix_cluster(std::span<const rel::Tuple> input, int total_bits,
     new_boundaries.reserve((boundaries.size() - 1) * fanout + 1);
     new_boundaries.push_back(0);
 
-    std::vector<std::uint32_t> counts(fanout);
+    counts.resize(fanout);
+    cursor.resize(fanout);
     for (std::size_t r = 0; r + 1 < boundaries.size(); ++r) {
       const std::uint32_t begin = boundaries[r];
       const std::uint32_t end = boundaries[r + 1];
@@ -63,7 +85,6 @@ PartitionedData radix_cluster(std::span<const rel::Tuple> input, int total_bits,
         ++counts[slice];
       }
       // Exclusive prefix sum → write cursors within [begin, end).
-      std::vector<std::uint32_t> cursor(fanout);
       std::uint32_t acc = begin;
       for (std::uint32_t s = 0; s < fanout; ++s) {
         cursor[s] = acc;
@@ -82,8 +103,194 @@ PartitionedData radix_cluster(std::span<const rel::Tuple> input, int total_bits,
     consumed += b;
   }
 
-  CJ_CHECK(boundaries.size() == (1ULL << total_bits) + 1);
   return PartitionedData(std::move(cur), std::move(boundaries), total_bits);
+}
+
+/// Scatters `[begin, end)` source positions to `dst`, each to the write
+/// cursor of its destination slice. With `staged`, entries accumulate in a
+/// kStageCap-deep staging buffer per slice and move to `dst` in bulk
+/// bursts (software write combining); `fill` must be zero on entry and is
+/// zero again on return. slice_at(i) names the destination, entry_at(i)
+/// produces the value to store.
+template <typename Entry, typename SliceAt, typename EntryAt>
+void scatter_range(std::size_t begin, std::size_t end, bool staged,
+                   std::uint32_t fanout, std::vector<std::uint32_t>& cursor,
+                   std::vector<std::uint32_t>& fill, std::vector<Entry>& stage,
+                   Entry* dst, SliceAt&& slice_at, EntryAt&& entry_at) {
+  if (!staged) {
+    for (std::size_t i = begin; i < end; ++i) {
+      dst[cursor[slice_at(i)]++] = entry_at(i);
+    }
+    return;
+  }
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::uint32_t s = slice_at(i);
+    std::uint32_t& f = fill[s];
+    stage[static_cast<std::size_t>(s) * kStageCap + f] = entry_at(i);
+    if (++f == kStageCap) {
+      std::memcpy(dst + cursor[s], &stage[static_cast<std::size_t>(s) * kStageCap],
+                  kStageCap * sizeof(Entry));
+      cursor[s] += kStageCap;
+      f = 0;
+    }
+  }
+  for (std::uint32_t s = 0; s < fanout; ++s) {  // drain partial buffers
+    if (fill[s] != 0) {
+      std::memcpy(dst + cursor[s], &stage[static_cast<std::size_t>(s) * kStageCap],
+                  fill[s] * sizeof(Entry));
+      cursor[s] += fill[s];
+      fill[s] = 0;
+    }
+  }
+}
+
+/// The cache-conscious kernel. The first pass hashes each key exactly once
+/// (into a transient side array used by its own scatter); if more passes
+/// follow, the scatter materializes HashedTuples so no later pass ever
+/// rehashes, and the final pass strips the hashes while scattering bare
+/// tuples into the output. A single-pass clustering therefore never pays
+/// for the 16-byte representation at all. With `buffered`, every scatter
+/// stages kStageCap entries per destination and flushes them in bulk.
+PartitionedData cluster_single_hash(std::span<const rel::Tuple> input,
+                                    int total_bits, int bits_per_pass,
+                                    bool buffered) {
+  const std::size_t n = input.size();
+  const std::uint32_t id_mask = (1U << total_bits) - 1;
+  std::vector<rel::Tuple> out(n);
+
+  std::vector<std::uint32_t> counts;
+  std::vector<std::uint32_t> cursor;
+  std::vector<std::uint32_t> fill;
+  std::vector<rel::Tuple> stage_t;
+  std::vector<HashedTuple> stage_h;
+
+  // ---- first pass: counts straight off the bare input, hashing once ----
+  const int b1 = std::min(bits_per_pass, total_bits);
+  const int shift1 = total_bits - b1;
+  const std::uint32_t fanout1 = 1U << b1;
+  const bool only_pass = b1 == total_bits;
+  const bool staged1 = buffered && fanout1 >= kMinBufferedFanout;
+
+  std::vector<std::uint32_t> hashes(n);
+  counts.assign(fanout1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t h = hash_key(input[i].key);
+    hashes[i] = h;
+    ++counts[(h & id_mask) >> shift1];  // top slice: no further mask needed
+  }
+
+  std::vector<std::uint32_t> boundaries(static_cast<std::size_t>(fanout1) + 1);
+  cursor.resize(fanout1);
+  std::uint32_t acc = 0;
+  for (std::uint32_t s = 0; s < fanout1; ++s) {
+    cursor[s] = acc;
+    acc += counts[s];
+    boundaries[s + 1] = acc;
+  }
+  if (staged1) fill.assign(fanout1, 0);
+  const auto slice1 = [&](std::size_t i) { return (hashes[i] & id_mask) >> shift1; };
+
+  if (only_pass) {
+    if (staged1) stage_t.resize(static_cast<std::size_t>(fanout1) * kStageCap);
+    scatter_range<rel::Tuple>(0, n, staged1, fanout1, cursor, fill, stage_t,
+                              out.data(), slice1,
+                              [&](std::size_t i) { return input[i]; });
+    return PartitionedData(std::move(out), std::move(boundaries), total_bits);
+  }
+
+  std::vector<HashedTuple> cur(n);
+  if (staged1) stage_h.resize(static_cast<std::size_t>(fanout1) * kStageCap);
+  scatter_range<HashedTuple>(0, n, staged1, fanout1, cursor, fill, stage_h,
+                             cur.data(), slice1, [&](std::size_t i) {
+                               return HashedTuple{input[i], hashes[i]};
+                             });
+  hashes = {};  // later passes carry the hash inside the HashedTuples
+  int consumed = b1;
+  std::vector<HashedTuple> next;  // allocated only if a middle pass needs it
+
+  // ---- remaining passes over the HashedTuple representation ----
+  while (consumed < total_bits) {
+    const int b = std::min(bits_per_pass, total_bits - consumed);
+    const int slice_shift = total_bits - consumed - b;
+    const std::uint32_t slice_mask = (1U << b) - 1;
+    const std::uint32_t fanout = 1U << b;
+    const bool last_pass = consumed + b == total_bits;
+    if (!last_pass && next.size() != n) next.resize(n);
+
+    std::vector<std::uint32_t> new_boundaries;
+    new_boundaries.reserve((boundaries.size() - 1) * fanout + 1);
+    new_boundaries.push_back(0);
+
+    counts.resize(fanout);
+    cursor.resize(fanout);
+    const bool staged = buffered && fanout >= kMinBufferedFanout;
+    if (staged) {
+      fill.assign(fanout, 0);
+      if (last_pass) {
+        stage_t.resize(static_cast<std::size_t>(fanout) * kStageCap);
+      } else {
+        stage_h.resize(static_cast<std::size_t>(fanout) * kStageCap);
+      }
+    }
+
+    const auto slice_of = [&](std::size_t i) {
+      return ((cur[i].h & id_mask) >> slice_shift) & slice_mask;
+    };
+
+    for (std::size_t r = 0; r + 1 < boundaries.size(); ++r) {
+      const std::uint32_t begin = boundaries[r];
+      const std::uint32_t end = boundaries[r + 1];
+
+      std::fill(counts.begin(), counts.end(), 0);
+      for (std::uint32_t i = begin; i < end; ++i) ++counts[slice_of(i)];
+
+      std::uint32_t pos = begin;
+      for (std::uint32_t s = 0; s < fanout; ++s) {
+        cursor[s] = pos;
+        pos += counts[s];
+        new_boundaries.push_back(pos);
+      }
+
+      if (last_pass) {
+        scatter_range<rel::Tuple>(begin, end, staged, fanout, cursor, fill,
+                                  stage_t, out.data(), slice_of,
+                                  [&](std::size_t i) { return cur[i].t; });
+      } else {
+        scatter_range<HashedTuple>(begin, end, staged, fanout, cursor, fill,
+                                   stage_h, next.data(), slice_of,
+                                   [&](std::size_t i) { return cur[i]; });
+      }
+    }
+
+    if (!last_pass) cur.swap(next);
+    boundaries = std::move(new_boundaries);
+    consumed += b;
+  }
+
+  return PartitionedData(std::move(out), std::move(boundaries), total_bits);
+}
+
+}  // namespace
+
+PartitionedData radix_cluster(std::span<const rel::Tuple> input, int total_bits,
+                              int bits_per_pass, const KernelConfig& kernel) {
+  CJ_CHECK(total_bits >= 0 && total_bits <= 24);
+  CJ_CHECK(bits_per_pass >= 1);
+  const std::size_t n = input.size();
+
+  if (total_bits == 0) {
+    std::vector<rel::Tuple> tuples(input.begin(), input.end());
+    return PartitionedData(std::move(tuples), {0, static_cast<std::uint32_t>(n)}, 0);
+  }
+  CJ_CHECK_MSG(n <= 0xFFFFFFFFULL, "32-bit partition directory limits fragments to 4G rows");
+
+  if (kernel.cache_hashes) {
+    return cluster_single_hash(input, total_bits, bits_per_pass,
+                               kernel.buffered_scatter);
+  }
+  // buffered_scatter rides the HashedTuple representation (the staging
+  // entries carry the hash), so without cache_hashes it has no effect.
+  return cluster_legacy(input, total_bits, bits_per_pass);
 }
 
 }  // namespace cj::join

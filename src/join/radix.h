@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/assert.h"
+#include "join/kernel_config.h"
 #include "rel/relation.h"
 
 namespace cj::join {
@@ -26,6 +27,8 @@ struct RadixConfig {
   int bits_per_pass = 8;
   /// Hard cap on total radix bits (2^16 partitions is plenty).
   int max_bits = 16;
+  /// Cache-consciousness knobs of the kernels themselves (docs/KERNELS.md).
+  KernelConfig kernel;
 };
 
 /// 32-bit finalizer-style hash of a join key (murmur3 avalanche). Both
@@ -46,7 +49,8 @@ inline std::uint32_t partition_of(std::uint32_t key, int bits) {
 }
 
 /// Picks the number of radix bits so an even share of `s_rows` per
-/// partition (plus hash-table overhead) fits the cache budget.
+/// partition (plus hash-table overhead, whose per-tuple footprint depends
+/// on config.kernel's table layout) fits the cache budget.
 int choose_radix_bits(std::size_t s_rows, const RadixConfig& config);
 
 /// Tuples clustered into 2^bits partitions, with a partition directory.
@@ -82,8 +86,12 @@ class PartitionedData {
 
 /// Multi-pass radix clustering of `input` into 2^total_bits partitions.
 /// Each pass has fan-out at most 2^bits_per_pass. O(passes * n) time,
-/// 2n tuples of transient memory.
+/// 2n tuples of transient memory. `kernel` selects between the legacy
+/// kernels (rehash per loop, direct scatter) and the cache-conscious ones
+/// (hash side array, software-buffered scatter) — identical output
+/// partition directory either way; tuple order *within* a partition may
+/// differ between kernel configurations, like it does between pass shapes.
 PartitionedData radix_cluster(std::span<const rel::Tuple> input, int total_bits,
-                              int bits_per_pass);
+                              int bits_per_pass, const KernelConfig& kernel = {});
 
 }  // namespace cj::join

@@ -71,7 +71,9 @@ TEST(ChunkWriter, PartitionedRoundTripKeepsRunConsistency) {
   EXPECT_EQ(slab.total_tuples(), r.rows());
 
   std::multiset<std::uint64_t> in, out;
-  for (const auto& t : r.tuples()) in.insert(t.payload);
+  // uint64_t{...}: packed Tuple — a const& straight to the offset-4 payload
+  // member would be a misaligned reference (UB).
+  for (const auto& t : r.tuples()) in.insert(std::uint64_t{t.payload});
 
   std::uint32_t last_partition = 0;
   for (std::size_t c = 0; c < slab.num_chunks(); ++c) {
@@ -86,7 +88,7 @@ TEST(ChunkWriter, PartitionedRoundTripKeepsRunConsistency) {
       for (std::size_t i = 0; i < run.count; ++i) {
         const rel::Tuple& t = view.tuples[offset + i];
         EXPECT_EQ(join::partition_of(t.key, 6), run.partition_id);
-        out.insert(t.payload);
+        out.insert(std::uint64_t{t.payload});
       }
       offset += run.count;
     }

@@ -27,12 +27,22 @@ rel::Relation gen(std::uint64_t rows, std::uint64_t domain, std::uint64_t seed,
 // ----------------------------------------------------------------- radix
 
 TEST(Radix, ChooseBitsFitsCacheBudget) {
+  // The footprint per S tuple depends on the table layout: 32 B for the
+  // fingerprint buckets (default), 24 B for the legacy chained table.
   RadixConfig config;
-  config.cache_budget_bytes = 24 * 1024;  // 1024 tuples at 24 B/tuple
+  config.cache_budget_bytes = 32 * 1024;  // 1024 tuples at 32 B/tuple
   EXPECT_EQ(choose_radix_bits(1000, config), 0);
   EXPECT_EQ(choose_radix_bits(2000, config), 1);
   EXPECT_EQ(choose_radix_bits(4000, config), 2);
   EXPECT_EQ(choose_radix_bits(1 << 20, config), 10);
+
+  RadixConfig legacy;
+  legacy.kernel = KernelConfig::legacy();
+  legacy.cache_budget_bytes = 24 * 1024;  // 1024 tuples at 24 B/tuple
+  EXPECT_EQ(choose_radix_bits(1000, legacy), 0);
+  EXPECT_EQ(choose_radix_bits(2000, legacy), 1);
+  EXPECT_EQ(choose_radix_bits(4000, legacy), 2);
+  EXPECT_EQ(choose_radix_bits(1 << 20, legacy), 10);
 }
 
 TEST(Radix, ChooseBitsRespectsMaxBits) {
@@ -75,8 +85,10 @@ TEST_P(RadixClusterBits, IsAPermutationOfTheInput) {
   auto parts = radix_cluster(r.tuples(), total_bits, bits_per_pass);
 
   std::multiset<std::uint64_t> in, out;
-  for (const auto& t : r.tuples()) in.insert(t.payload);
-  for (const auto& t : parts.all_tuples()) out.insert(t.payload);
+  // uint64_t{...}: packed Tuple — a const& straight to the offset-4 payload
+  // member would be a misaligned reference (UB).
+  for (const auto& t : r.tuples()) in.insert(std::uint64_t{t.payload});
+  for (const auto& t : parts.all_tuples()) out.insert(std::uint64_t{t.payload});
   EXPECT_EQ(in, out);
 }
 
@@ -98,8 +110,8 @@ TEST(Radix, MultiPassEqualsSinglePass) {
   }
   for (std::uint32_t p = 0; p < one_pass.num_partitions(); ++p) {
     std::multiset<std::uint64_t> a, b;
-    for (const auto& t : one_pass.partition(p)) a.insert(t.payload);
-    for (const auto& t : multi_pass.partition(p)) b.insert(t.payload);
+    for (const auto& t : one_pass.partition(p)) a.insert(std::uint64_t{t.payload});
+    for (const auto& t : multi_pass.partition(p)) b.insert(std::uint64_t{t.payload});
     EXPECT_EQ(a, b);
   }
 }
@@ -291,7 +303,7 @@ TEST(LocalJoin, MaterializedOutputMatchesCount) {
   EXPECT_EQ(res.output().size(), res.matches());
   // Every materialized row must actually be a key match.
   std::map<std::uint64_t, std::uint32_t> r_keys;
-  for (const auto& t : r.tuples()) r_keys[t.payload] = t.key;
+  for (const auto& t : r.tuples()) r_keys[std::uint64_t{t.payload}] = t.key;
   for (const auto& out : res.output()) {
     EXPECT_EQ(r_keys.at(out.r_payload), out.key);
   }
@@ -341,6 +353,176 @@ TEST(JoinResult, ChecksumIsOrderIndependentButPairingSensitive) {
   crossed.add_match(r2, s1);
   EXPECT_EQ(ab.checksum(), ba.checksum());
   EXPECT_NE(ab.checksum(), crossed.checksum());
+}
+
+// ------------------------------------------------- kernel checksum parity
+//
+// The cache-conscious kernels (docs/KERNELS.md) must be bit-identical in
+// *result* to the legacy kernels and the nested-loops oracle — the
+// order-independent checksum catches any dropped, duplicated or miscrossed
+// match. Swept over skew, radix-bit settings (including 0 = no clustering)
+// and pass shapes.
+
+JoinResult hash_join_with(std::span<const rel::Tuple> r,
+                          std::span<const rel::Tuple> s, int bits,
+                          const KernelConfig& kernel, int bits_per_pass = 8) {
+  RadixConfig config;
+  config.kernel = kernel;
+  config.bits_per_pass = bits_per_pass;
+  const auto stationary = HashJoinStationary::build(s, bits, config);
+  const auto r_parts = radix_cluster(r, bits, bits_per_pass, kernel);
+  JoinResult result;
+  for (std::uint32_t p = 0; p < r_parts.num_partitions(); ++p) {
+    stationary.probe_partition(p, r_parts.partition(p), result);
+  }
+  return result;
+}
+
+struct KernelParityCase {
+  double zipf;
+  int radix_bits;
+};
+
+class KernelParity : public ::testing::TestWithParam<KernelParityCase> {};
+
+TEST_P(KernelParity, OptimizedLegacyAndOracleAgreeOnEqui) {
+  const auto [zipf, bits] = GetParam();
+  auto r = gen(3'000, 900, 31, zipf);
+  auto s = gen(3'000, 900, 32, zipf);
+
+  JoinResult oracle;
+  nested_loops_equi_join(r.tuples(), s.tuples(), oracle);
+  const auto legacy =
+      hash_join_with(r.tuples(), s.tuples(), bits, KernelConfig::legacy());
+  const auto optimized = hash_join_with(r.tuples(), s.tuples(), bits, {});
+
+  EXPECT_EQ(legacy.matches(), oracle.matches());
+  EXPECT_EQ(legacy.checksum(), oracle.checksum());
+  EXPECT_EQ(optimized.matches(), oracle.matches());
+  EXPECT_EQ(optimized.checksum(), oracle.checksum());
+}
+
+TEST_P(KernelParity, BandJoinAgreesWithOracle) {
+  const auto [zipf, band_width] = GetParam();  // reuse the int as the band
+  auto r = gen(1'200, 400, 33, zipf);
+  auto s = gen(1'200, 400, 34, zipf);
+  std::vector<rel::Tuple> rs(r.tuples().begin(), r.tuples().end());
+  std::vector<rel::Tuple> ss(s.tuples().begin(), s.tuples().end());
+  sort_fragment(rs);
+  sort_fragment(ss);
+
+  const auto band = static_cast<std::uint32_t>(band_width);
+  JoinResult got, oracle;
+  band_merge_join(rs, ss, band, got);
+  nested_loops_band_join(r.tuples(), s.tuples(), band, oracle);
+  EXPECT_EQ(got.matches(), oracle.matches());
+  EXPECT_EQ(got.checksum(), oracle.checksum());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SkewAndBits, KernelParity,
+    ::testing::Values(KernelParityCase{0.0, 0}, KernelParityCase{0.0, 4},
+                      KernelParityCase{0.0, 9}, KernelParityCase{0.5, 0},
+                      KernelParityCase{0.5, 6}, KernelParityCase{1.0, 0},
+                      KernelParityCase{1.0, 4}, KernelParityCase{1.0, 9},
+                      KernelParityCase{1.25, 0}, KernelParityCase{1.25, 6}));
+
+TEST(KernelParity, EveryKnobCombinationAgrees) {
+  auto r = gen(5'000, 1'500, 35, 0.8);
+  auto s = gen(5'000, 1'500, 36, 0.8);
+  JoinResult oracle;
+  nested_loops_equi_join(r.tuples(), s.tuples(), oracle);
+
+  for (const bool cache_hashes : {false, true}) {
+    for (const bool buffered : {false, true}) {
+      for (const bool fingerprint : {false, true}) {
+        for (const int prefetch : {0, 1, 8, 64, 1'000}) {  // 1000 → clamped
+          const KernelConfig kernel{.cache_hashes = cache_hashes,
+                                    .buffered_scatter = buffered,
+                                    .fingerprint_table = fingerprint,
+                                    .prefetch_distance = prefetch};
+          const auto got = hash_join_with(r.tuples(), s.tuples(), 5, kernel);
+          EXPECT_EQ(got.matches(), oracle.matches());
+          EXPECT_EQ(got.checksum(), oracle.checksum());
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelParity, ClusteringKernelsProduceTheSameDirectory) {
+  auto r = gen(40'000, 9'000, 37, 0.6);
+  for (const auto& [bits, per_pass] : {std::pair{5, 8}, std::pair{10, 8},
+                                       std::pair{12, 5}, std::pair{8, 3}}) {
+    const auto legacy =
+        radix_cluster(r.tuples(), bits, per_pass, KernelConfig::legacy());
+    const auto fast = radix_cluster(r.tuples(), bits, per_pass, {});
+    ASSERT_EQ(legacy.offsets().size(), fast.offsets().size());
+    for (std::size_t i = 0; i < legacy.offsets().size(); ++i) {
+      EXPECT_EQ(legacy.offsets()[i], fast.offsets()[i]);
+    }
+    for (std::uint32_t p = 0; p < legacy.num_partitions(); ++p) {
+      std::multiset<std::uint64_t> a, b;
+      for (const auto& t : legacy.partition(p)) a.insert(std::uint64_t{t.payload});
+      for (const auto& t : fast.partition(p)) b.insert(std::uint64_t{t.payload});
+      EXPECT_EQ(a, b) << "partition " << p << " bits " << bits;
+    }
+  }
+}
+
+TEST(KernelParity, SingleTableLayoutsAgree) {
+  auto r = gen(20'000, 6'000, 38, 0.5);
+  auto s = gen(20'000, 6'000, 39, 0.5);
+  JoinResult chained, fingerprinted;
+  SingleTableHashJoin::build(s.tuples(), KernelConfig::legacy())
+      .probe(r.tuples(), chained);
+  SingleTableHashJoin::build(s.tuples()).probe(r.tuples(), fingerprinted);
+  EXPECT_EQ(chained.matches(), fingerprinted.matches());
+  EXPECT_EQ(chained.checksum(), fingerprinted.checksum());
+}
+
+TEST(PartitionHashTable, FingerprintFindsAllDuplicates) {
+  // Heavier than the chained-layout twin above: one key's duplicates spill
+  // across several collision-cluster steps.
+  std::vector<rel::Tuple> s;
+  for (std::uint64_t i = 0; i < 40; ++i) s.push_back({5, i});
+  s.push_back({7, 100});
+  PartitionHashTable table;
+  table.build(s, 0);
+  std::vector<rel::Tuple> r = {{5, 1}, {7, 2}, {9, 3}};
+  JoinResult result;
+  table.probe(r, result);
+  EXPECT_EQ(result.matches(), 41u);
+}
+
+TEST(PartitionHashTable, FingerprintMaterializesCorrectPairs) {
+  std::vector<rel::Tuple> s = {{1, 10}, {2, 20}, {3, 30}};
+  PartitionHashTable table;
+  table.build(s, 0);
+  std::vector<rel::Tuple> r = {{2, 7}, {3, 8}};
+  JoinResult result(true);
+  table.probe(r, result);
+  ASSERT_EQ(result.output().size(), 2u);
+  for (const auto& out : result.output()) {
+    if (out.key == 2) {
+      EXPECT_EQ(out.r_payload, 7u);
+      EXPECT_EQ(out.s_payload, 20u);
+    } else {
+      EXPECT_EQ(out.key, 3u);
+      EXPECT_EQ(out.r_payload, 8u);
+      EXPECT_EQ(out.s_payload, 30u);
+    }
+  }
+}
+
+TEST(JoinResult, CountingMergeIgnoresStaleOutput) {
+  // A counting-only accumulator must not splice materialized tuples in.
+  JoinResult materialized(true), counting(false);
+  rel::Tuple t{1, 2};
+  materialized.add_match(t, t);
+  counting.merge(materialized);
+  EXPECT_EQ(counting.matches(), 1u);
+  EXPECT_TRUE(counting.output().empty());
 }
 
 TEST(NestedLoops, ArbitraryPredicate) {

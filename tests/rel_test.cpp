@@ -14,7 +14,9 @@ TEST(Tuple, IsExactlyTwelveBytes) {
   static_assert(sizeof(Tuple) == 12);
   Tuple t{0xDEADBEEF, 0x0123456789ABCDEFULL};
   EXPECT_EQ(t.key, 0xDEADBEEFu);
-  EXPECT_EQ(t.payload, 0x0123456789ABCDEFULL);
+  // Copy out: EXPECT_EQ binds const&, and the packed payload member sits at
+  // offset 4 — a uint64 reference to it would be misaligned (UB).
+  EXPECT_EQ(std::uint64_t{t.payload}, 0x0123456789ABCDEFULL);
 }
 
 TEST(Relation, BasicAccounting) {
@@ -86,7 +88,9 @@ TEST(Generate, DomainDefaultsToRows) {
 TEST(Generate, PayloadsAreUniqueRowIdsWithTag) {
   auto r = generate({.rows = 1000, .seed = 3}, "gen", /*payload_tag=*/5);
   std::set<std::uint64_t> payloads;
-  for (const auto& t : r.tuples()) payloads.insert(t.payload);
+  // Copy the payload out: Tuple is packed, so binding set::insert's const&
+  // parameter to the offset-4 uint64 member would be misaligned (UB).
+  for (const auto& t : r.tuples()) payloads.insert(std::uint64_t{t.payload});
   EXPECT_EQ(payloads.size(), 1000u);
   EXPECT_EQ(*payloads.begin() >> 48, 5u);
 }
