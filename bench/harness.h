@@ -31,7 +31,27 @@
 #include "obs/metrics.h"
 #include "rel/generator.h"
 
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 namespace cj::bench {
+
+/// Pins glibc malloc into sbrk-arena mode for the process. The kernels
+/// allocate their outputs inside measured regions (deliberately — the
+/// simulator bills that work as virtual time), and glibc's dynamic
+/// mmap threshold makes those allocations flip between warm arena reuse
+/// and mmap/munmap with fresh-page faults depending on what the process
+/// happened to allocate earlier (e.g. parsing a baseline JSON first
+/// fragments the arena and roughly doubled the measured chained-build
+/// time). Forcing every allocation through the arena and disabling trim
+/// makes a rep's cost depend on the kernel, not on allocation history.
+inline void pin_allocator_for_measurement() {
+#if defined(__GLIBC__)
+  mallopt(M_MMAP_THRESHOLD, 1 << 30);
+  mallopt(M_TRIM_THRESHOLD, 1 << 30);
+#endif
+}
 
 /// Calibration of this machine's cores to the paper's 2.33 GHz Xeon.
 inline constexpr double kPaperCpuScale = 1.35;
@@ -172,6 +192,10 @@ class BenchJson {
   /// or largest configuration).
   void set_metrics(obs::MetricsSnapshot metrics) { metrics_ = std::move(metrics); }
 
+  /// Pre-rendered kernel-profile JSON (obs::prof::KernelProfile::to_json())
+  /// of a profiled rep; emitted as a "profile" key when set.
+  void set_profile(std::string profile_json) { profile_ = std::move(profile_json); }
+
   void write() const {
     if (path_.empty()) return;
     std::string out = "{\"figure\":\"" + figure_ + "\",\"trajectory\":[";
@@ -184,7 +208,12 @@ class BenchJson {
       }
       out += "}";
     }
-    out += "],\"metrics\":" + metrics_.to_json() + "}\n";
+    out += "]";
+    // Benches that never call set_metrics would otherwise dump a dead
+    // {"counters":{},...} block that readers mistake for measurements.
+    if (!metrics_.empty()) out += ",\"metrics\":" + metrics_.to_json();
+    if (!profile_.empty()) out += ",\"profile\":" + profile_;
+    out += "}\n";
     std::FILE* f = std::fopen(path_.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot write %s\n", path_.c_str());
@@ -205,6 +234,7 @@ class BenchJson {
   std::string path_;
   std::vector<std::vector<Cell>> rows_;
   obs::MetricsSnapshot metrics_;
+  std::string profile_;  ///< pre-rendered JSON; empty = omit
 };
 
 }  // namespace cj::bench

@@ -13,6 +13,9 @@
 //   --ab_rows=a,b,c    A/B input sizes          (default 2^16,2^20,2^22)
 //   --ab_reps=N        best-of-N repetitions    (default 5)
 //   --json_out=PATH    trajectory dump          (default BENCH_kernels.json)
+//   --net_cost_check=BOOL         assert optimized build+probe nets out (on)
+//   --net_cost_revolutions=N      probes per revolution in that check (6)
+//   --net_cost_slack=F            allowed net-cost headroom (1.1)
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -23,6 +26,9 @@
 #include <limits>
 #include <vector>
 
+#include <map>
+#include <string>
+
 #include "common/assert.h"
 #include "common/cputime.h"
 #include "common/rng.h"
@@ -32,6 +38,8 @@
 #include "join/hash_join.h"
 #include "join/radix.h"
 #include "join/sort_merge.h"
+#include "kernels_ab.h"
+#include "obs/prof.h"
 #include "rel/generator.h"
 
 namespace {
@@ -190,9 +198,12 @@ BENCHMARK(BM_ChunkEncodeDecode)->Arg(1 << 18);
 
 // ------------------------------------------------------ A/B trajectory
 //
-// Best-of-N CPU time per kernel and variant, cross-validated: both
-// variants of the probe must produce the identical order-independent
-// checksum. This is the machine-readable perf baseline the CI job uploads.
+// Best-of-N CPU time per kernel and variant over the shared case list
+// (bench/kernels_ab.h), cross-validated: both variants of a probe must
+// produce the identical order-independent checksum. This is the
+// machine-readable perf baseline the CI regression gate (bench/regress)
+// compares against. One extra untimed rep per case runs under the kernel
+// profiler, so the JSON also carries per-phase counters ("profile" key).
 
 double best_of(int reps, const std::function<void()>& fn) {
   std::int64_t best = std::numeric_limits<std::int64_t>::max();
@@ -224,102 +235,93 @@ void emit(bench::BenchJson& json, const char* kernel, std::int64_t rows,
               rows_d / (t.optimized_ns * 1e-3), t.legacy_ns / t.optimized_ns);
 }
 
+/// The build-cost tradeoff guard (docs/KERNELS.md): the fingerprint table
+/// build is deliberately slower than the legacy chained build, paid back by
+/// faster probes over every revolution of the ring. This asserts the trade
+/// nets out — build + `revolutions` probes must not be more than `slack`
+/// above legacy — so a future "optimization" of the build that wrecks the
+/// probe side (or vice versa) fails the bench even when each kernel's own
+/// A/B row still looks plausible.
+void check_net_cost(std::int64_t rows, const VariantTimes& build,
+                    const VariantTimes& probe, int revolutions, double slack) {
+  const double legacy = build.legacy_ns + revolutions * probe.legacy_ns;
+  const double optimized = build.optimized_ns + revolutions * probe.optimized_ns;
+  std::printf("net cost @%d revolutions: legacy %.2f ms, optimized %.2f ms "
+              "(%.2fx)\n",
+              revolutions, legacy * 1e-6, optimized * 1e-6, legacy / optimized);
+  CJ_CHECK_MSG(optimized <= legacy * slack,
+               "optimized build+probe net cost regressed past the legacy "
+               "kernels — the fingerprint build's cost is no longer paid "
+               "back by its probes (docs/KERNELS.md)");
+  (void)rows;
+}
+
 void run_kernel_ab(bench::BenchJson& json, const std::vector<std::int64_t>& sizes,
-                   int reps) {
+                   int reps, int revolutions, double slack, bool net_cost) {
   std::printf("\n== kernel A/B (best of %d, thread CPU time) ==\n", reps);
-  const join::KernelConfig legacy_kernel = join::KernelConfig::legacy();
-  const join::KernelConfig opt_kernel{};
-  const join::RadixConfig legacy_cfg = config_for(legacy_kernel);
-  const join::RadixConfig opt_cfg = config_for(opt_kernel);
-
+  obs::prof::KernelProfiler profiler;
   for (const std::int64_t rows : sizes) {
-    auto r = make_rel(rows, 0.0, 41);
-    auto s = make_rel(rows, 0.0, 42);
-    // One partitioning task for both variants: the optimized layout's
-    // (slightly coarser) bit choice, so items/sec compares like for like.
-    const int bits =
-        join::choose_radix_bits(static_cast<std::size_t>(rows), opt_cfg);
-
-    VariantTimes cluster;
-    cluster.legacy_ns = best_of(reps, [&] {
-      auto parts = join::radix_cluster(r.tuples(), bits, 8, legacy_kernel);
-      benchmark::DoNotOptimize(parts.rows());
-    });
-    cluster.optimized_ns = best_of(reps, [&] {
-      auto parts = join::radix_cluster(r.tuples(), bits, 8, opt_kernel);
-      benchmark::DoNotOptimize(parts.rows());
-    });
-    emit(json, "radix_cluster", rows, bits, cluster);
-
-    VariantTimes build;
-    build.legacy_ns = best_of(reps, [&] {
-      auto t = join::HashJoinStationary::build(s.tuples(), bits, legacy_cfg);
-      benchmark::DoNotOptimize(t.bytes());
-    });
-    build.optimized_ns = best_of(reps, [&] {
-      auto t = join::HashJoinStationary::build(s.tuples(), bits, opt_cfg);
-      benchmark::DoNotOptimize(t.bytes());
-    });
-    emit(json, "hash_build", rows, bits, build);
-
-    // Probe A/B, two shapes. The primary `probe_partition` row uses
-    // radix_bits = 0: one table far larger than L2, so the measurement
-    // isolates the table walk itself — the part the fingerprint layout and
-    // prefetch pipeline redesign (this is also exactly the
-    // SingleTableHashJoin shape). `probe_cached` probes at the
-    // cache-budget bits the system would pick, where the radix clustering
-    // already keeps either layout L2-resident and the gap is small by
-    // design.
-    for (const auto& [label, probe_bits] :
-         {std::pair<const char*, int>{"probe_partition", 0},
-          std::pair<const char*, int>{"probe_cached", bits}}) {
-      const auto legacy_built =
-          join::HashJoinStationary::build(s.tuples(), probe_bits, legacy_cfg);
-      const auto opt_built =
-          join::HashJoinStationary::build(s.tuples(), probe_bits, opt_cfg);
-      const auto legacy_parts =
-          join::radix_cluster(r.tuples(), probe_bits, 8, legacy_kernel);
-      const auto opt_parts =
-          join::radix_cluster(r.tuples(), probe_bits, 8, opt_kernel);
-
-      std::uint64_t legacy_checksum = 0;
-      std::uint64_t opt_checksum = 0;
-      VariantTimes probe;
-      probe.legacy_ns = best_of(reps, [&] {
-        join::JoinResult result;
-        for (std::uint32_t p = 0; p < legacy_parts.num_partitions(); ++p) {
-          legacy_built.probe_partition(p, legacy_parts.partition(p), result);
-        }
-        legacy_checksum = result.checksum();
+    auto cases = bench::make_kernel_cases(rows);
+    std::map<std::string, std::uint64_t> checksums;
+    std::map<std::string, VariantTimes> times;  // kernel -> pair
+    std::map<std::string, int> bits_of;
+    std::vector<std::string> order;
+    for (const bench::KernelCase& c : cases) {
+      // One profiled (untimed) rep first — it warms the freshly generated
+      // inputs and the arena, and its per-phase counters (attributed under
+      // entity = "kernel/variant") end up in the JSON's "profile" key.
+      {
+        const std::string entity = c.label();
+        obs::prof::ScopedContext ctx(&profiler, /*host=*/0, entity);
+        c.run();
+      }
+      std::uint64_t checksum = 0;
+      const double ns = best_of(reps, [&] {
+        checksum = c.run();
+        benchmark::DoNotOptimize(checksum);
       });
-      probe.optimized_ns = best_of(reps, [&] {
-        join::JoinResult result;
-        for (std::uint32_t p = 0; p < opt_parts.num_partitions(); ++p) {
-          opt_built.probe_partition(p, opt_parts.partition(p), result);
-        }
-        opt_checksum = result.checksum();
-      });
-      CJ_CHECK_MSG(legacy_checksum == opt_checksum,
-                   "kernel A/B checksum mismatch: the variants disagree");
-      emit(json, label, rows, probe_bits, probe);
+      if (c.cross_validate) {
+        auto [it, inserted] = checksums.emplace(c.kernel, checksum);
+        CJ_CHECK_MSG(inserted || it->second == checksum,
+                     "kernel A/B checksum mismatch: the variants disagree");
+      }
+      if (times.find(c.kernel) == times.end()) order.push_back(c.kernel);
+      auto& t = times[c.kernel];
+      (c.variant == "legacy" ? t.legacy_ns : t.optimized_ns) = ns;
+      bits_of[c.kernel] = c.radix_bits;
+    }
+    for (const std::string& kernel : order) {
+      emit(json, kernel.c_str(), rows, bits_of[kernel], times[kernel]);
+    }
+    if (net_cost) {
+      check_net_cost(rows, times["hash_build"], times["probe_partition"],
+                     revolutions, slack);
     }
   }
+  std::printf("profile counters: %s\n", profiler.hardware() ? "hw" : "fallback");
+  json.set_profile(profiler.snapshot().to_json());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  cj::bench::pin_allocator_for_measurement();
   benchmark::Initialize(&argc, argv);  // strips --benchmark_* from argv
   auto flags = bench::parse_flags_or_die(argc, argv);
   const bool ab_only = flags.get_bool("ab_only", false);
   const auto ab_rows =
       flags.get_int_list("ab_rows", {1 << 16, 1 << 20, 1 << 22});
   const int ab_reps = static_cast<int>(flags.get_int("ab_reps", 5));
+  // Net-cost guard: a ring revolution probes each resident table about
+  // num_hosts times per full rotation of R (paper testbed: 6 hosts).
+  const bool net_cost = flags.get_bool("net_cost_check", true);
+  const int revolutions = static_cast<int>(flags.get_int("net_cost_revolutions", 6));
+  const double slack = flags.get_double("net_cost_slack", 1.1);
   bench::BenchJson json(flags, "kernels");
   bench::check_unused_flags(flags);
 
   if (!ab_only) benchmark::RunSpecifiedBenchmarks();
-  run_kernel_ab(json, ab_rows, ab_reps);
+  run_kernel_ab(json, ab_rows, ab_reps, revolutions, slack, net_cost);
   json.write();
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/prof.h"
+
 namespace cj::cyclo {
 
 namespace {
@@ -76,6 +78,8 @@ class SlabBuilder {
 
 ChunkSlab ChunkWriter::from_partitioned(const join::PartitionedData& data,
                                         int origin_host) const {
+  obs::prof::ScopedProfile prof(obs::prof::current(), "chunk_memcpy",
+                                data.all_tuples().size());
   SlabBuilder builder;
   std::vector<PartitionRun> runs;
   std::size_t chunk_tuples = 0;
@@ -123,6 +127,8 @@ ChunkSlab ChunkWriter::from_partitioned(const join::PartitionedData& data,
 
 ChunkSlab ChunkWriter::from_sorted(std::span<const rel::Tuple> sorted,
                                    int origin_host) const {
+  obs::prof::ScopedProfile prof(obs::prof::current(), "chunk_memcpy",
+                                sorted.size());
   SlabBuilder builder;
   const std::size_t per_chunk = tuples_per_chunk(0);
   const std::size_t max_chunks = sorted.size() / per_chunk + 1;
@@ -138,6 +144,8 @@ ChunkSlab ChunkWriter::from_sorted(std::span<const rel::Tuple> sorted,
 
 ChunkSlab ChunkWriter::from_raw(std::span<const rel::Tuple> tuples,
                                 int origin_host) const {
+  obs::prof::ScopedProfile prof(obs::prof::current(), "chunk_memcpy",
+                                tuples.size());
   SlabBuilder builder;
   const std::size_t per_chunk = tuples_per_chunk(0);
   const std::size_t max_chunks = tuples.size() / per_chunk + 1;

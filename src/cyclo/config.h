@@ -8,6 +8,7 @@
 
 #include "join/radix.h"
 #include "net/link.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "rdma/verbs.h"
 #include "rel/relation.h"
@@ -58,6 +59,13 @@ struct ClusterConfig {
   /// Tracing knobs. When enabled, the runner installs an obs::Tracer on
   /// the engine for the run and attaches it to RunReport::trace.
   obs::TraceConfig trace;
+
+  /// Kernel profiling knobs. When enabled, measured kernel regions record
+  /// hardware-counter (or fallback cpu_ns) deltas per (host, phase) into
+  /// RunReport::profile. Counter reads run inside measured closures, so a
+  /// profiled run's virtual timings are perturbed — use for attribution,
+  /// not for golden figures (docs/OBSERVABILITY.md).
+  obs::prof::ProfileConfig profile;
 };
 
 struct JoinSpec {

@@ -209,6 +209,9 @@ class Runner {
       tracer_ = std::make_shared<obs::Tracer>();
       engine_.set_tracer(tracer_.get());
     }
+    if (cluster_cfg_.profile.enabled) {
+      profiler_ = std::make_unique<obs::prof::KernelProfiler>();
+    }
     inject_times_.resize(static_cast<std::size_t>(n_));
     if (resilient_) {
       // The termination detector listens on every origin's retire acks; it
@@ -239,6 +242,7 @@ class Runner {
     const SimTime setup_start = engine_.now();
     if (obs::Tracer* t = engine_.tracer()) t->begin(setup_start, i, "phase", "setup");
     co_await run_setup(i);
+    flush_profile();
     if (obs::Tracer* t = engine_.tracer()) t->end(engine_.now(), i, "phase");
     host.stats.setup = engine_.now() - setup_start;
     host.r_frag = rel::Relation();  // originals no longer needed
@@ -382,6 +386,27 @@ class Runner {
     pending.pop_front();
   }
 
+  // Wraps a measured closure so that kernel regions inside it attribute
+  // their counter deltas to host i. When profiling is off the wrapper costs
+  // one null test; the counter reads it enables when ON run inside the
+  // measured region and perturb the virtual timings (ProfileConfig docs).
+  template <typename Fn>
+  auto profiled(int i, Fn fn) {
+    return [this, i, fn = std::move(fn)] {
+      obs::prof::ScopedContext ctx(profiler_.get(), i, "core");
+      fn();
+    };
+  }
+
+  // Streams the profile's changed counter tracks into the trace at the
+  // current virtual time. Must be called from simulation code, never from
+  // inside a measured closure (the flush itself is not kernel work).
+  void flush_profile() {
+    if (profiler_ != nullptr && tracer_ != nullptr) {
+      profiler_->flush_to_tracer(*tracer_, engine_.now());
+    }
+  }
+
   // Prepares every query's stationary state plus the rotating slab on host
   // i's cores. One setup task per stationary fragment, one for the
   // rotating side — all compete for the host's cores like the paper's
@@ -400,27 +425,30 @@ class Runner {
       switch (spec_.algorithm) {
         case Algorithm::kHashJoin:
           tasks.push_back(cores.run(
-              [state, this] {
-                state->hash = join::HashJoinStationary::build(
-                    state->s_frag.tuples(), radix_bits_, spec_.radix);
-              },
+              profiled(i,
+                       [state, this] {
+                         state->hash = join::HashJoinStationary::build(
+                             state->s_frag.tuples(), radix_bits_, spec_.radix);
+                       }),
               "setup"));
           break;
         case Algorithm::kSortMergeJoin:
           tasks.push_back(cores.run(
-              [state] {
-                state->s_sorted.assign(state->s_frag.tuples().begin(),
-                                       state->s_frag.tuples().end());
-                join::sort_fragment(state->s_sorted);
-              },
+              profiled(i,
+                       [state] {
+                         state->s_sorted.assign(state->s_frag.tuples().begin(),
+                                                state->s_frag.tuples().end());
+                         join::sort_fragment(state->s_sorted);
+                       }),
               "setup"));
           break;
         case Algorithm::kNestedLoops:
           tasks.push_back(cores.run(
-              [state] {
-                state->s_raw.assign(state->s_frag.tuples().begin(),
-                                    state->s_frag.tuples().end());
-              },
+              profiled(i,
+                       [state] {
+                         state->s_raw.assign(state->s_frag.tuples().begin(),
+                                             state->s_frag.tuples().end());
+                       }),
               "setup"));
           break;
       }
@@ -429,29 +457,34 @@ class Runner {
     switch (spec_.algorithm) {
       case Algorithm::kHashJoin:
         tasks.push_back(cores.run(
-            [&host, &writer, this] {
-              join::PartitionedData r_parts = join::radix_cluster(
-                  host.r_frag.tuples(), radix_bits_, spec_.radix.bits_per_pass,
-                  spec_.radix.kernel);
-              host.slab = writer.from_partitioned(r_parts, /*origin_host=*/0);
-            },
+            profiled(i,
+                     [&host, &writer, this] {
+                       join::PartitionedData r_parts = join::radix_cluster(
+                           host.r_frag.tuples(), radix_bits_,
+                           spec_.radix.bits_per_pass, spec_.radix.kernel);
+                       host.slab =
+                           writer.from_partitioned(r_parts, /*origin_host=*/0);
+                     }),
             "setup"));
         break;
       case Algorithm::kSortMergeJoin:
         tasks.push_back(cores.run(
-            [&host, &writer] {
-              std::vector<rel::Tuple> r_sorted(host.r_frag.tuples().begin(),
-                                               host.r_frag.tuples().end());
-              join::sort_fragment(r_sorted);
-              host.slab = writer.from_sorted(r_sorted, /*origin_host=*/0);
-            },
+            profiled(i,
+                     [&host, &writer] {
+                       std::vector<rel::Tuple> r_sorted(
+                           host.r_frag.tuples().begin(),
+                           host.r_frag.tuples().end());
+                       join::sort_fragment(r_sorted);
+                       host.slab = writer.from_sorted(r_sorted, /*origin_host=*/0);
+                     }),
             "setup"));
         break;
       case Algorithm::kNestedLoops:
         tasks.push_back(cores.run(
-            [&host, &writer] {
-              host.slab = writer.from_raw(host.r_frag.tuples(), 0);
-            },
+            profiled(i,
+                     [&host, &writer] {
+                       host.slab = writer.from_raw(host.r_frag.tuples(), 0);
+                     }),
             "setup"));
         break;
     }
@@ -594,14 +627,16 @@ class Runner {
             tasks.push_back(guarded(
                 *host.join_slots,
                 cores.run(
-                    [state, view, slices = std::move(slices), out] {
-                      for (const ProbeSlice& slice : slices) {
-                        state->hash->probe_partition(
-                            slice.partition_id,
-                            view.tuples.subspan(slice.tuple_offset, slice.count),
-                            *out);
-                      }
-                    },
+                    profiled(i,
+                             [state, view, slices = std::move(slices), out] {
+                               for (const ProbeSlice& slice : slices) {
+                                 state->hash->probe_partition(
+                                     slice.partition_id,
+                                     view.tuples.subspan(slice.tuple_offset,
+                                                         slice.count),
+                                     *out);
+                               }
+                             }),
                     "join")));
           }
           break;
@@ -621,13 +656,15 @@ class Runner {
             tasks.push_back(guarded(
                 *host.join_slots,
                 cores.run(
-                    [state, view, begin, end, band, out] {
-                      auto r_range = view.tuples.subspan(begin, end - begin);
-                      auto window = join::matching_window(state->s_sorted,
-                                                          r_range.front().key,
-                                                          r_range.back().key, band);
-                      join::band_merge_join(r_range, window, band, *out);
-                    },
+                    profiled(i,
+                             [state, view, begin, end, band, out] {
+                               auto r_range =
+                                   view.tuples.subspan(begin, end - begin);
+                               auto window = join::matching_window(
+                                   state->s_sorted, r_range.front().key,
+                                   r_range.back().key, band);
+                               join::band_merge_join(r_range, window, band, *out);
+                             }),
                     "join")));
           }
           break;
@@ -644,12 +681,13 @@ class Runner {
             tasks.push_back(guarded(
                 *host.join_slots,
                 cores.run(
-                    [state, view, begin, end, out] {
-                      join::nested_loops_join(
-                          view.tuples.subspan(begin, end - begin),
-                          std::span<const rel::Tuple>(state->s_raw),
-                          *state->predicate, *out);
-                    },
+                    profiled(i,
+                             [state, view, begin, end, out] {
+                               join::nested_loops_join(
+                                   view.tuples.subspan(begin, end - begin),
+                                   std::span<const rel::Tuple>(state->s_raw),
+                                   *state->predicate, *out);
+                             }),
                     "join")));
           }
           break;
@@ -658,6 +696,7 @@ class Runner {
     }
 
     co_await sim::when_all(engine_, std::move(tasks));
+    flush_profile();
     for (std::size_t p = 0; p < partials.size(); ++p) {
       partial_sink[p]->merge(partials[p]);
     }
@@ -770,6 +809,7 @@ class Runner {
       }
       report.trace = tracer_;
     }
+    if (profiler_ != nullptr) report.profile = profiler_->snapshot();
     report.metrics = metrics_.snapshot();
   }
 
@@ -802,6 +842,10 @@ class Runner {
   // ----- observability --------------------------------------------------
   /// Installed on the engine when cluster_cfg_.trace.enabled.
   std::shared_ptr<obs::Tracer> tracer_;
+  /// Non-null when cluster_cfg_.profile.enabled. Shared by all hosts (the
+  /// simulator runs every measured closure on one OS thread); attribution
+  /// comes from the ScopedContext each closure installs.
+  std::unique_ptr<obs::prof::KernelProfiler> profiler_;
   obs::MetricsRegistry metrics_;
   std::uint64_t probe_tuples_ = 0;
   /// Per origin host: injection times of its not-yet-retired chunks

@@ -27,6 +27,7 @@
 #include "cyclo/config.h"
 #include "join/join_result.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "rel/relation.h"
 
@@ -105,6 +106,9 @@ struct RunReport {
   /// Run metrics (counters/gauges/histograms) — always populated; see
   /// docs/OBSERVABILITY.md for the name catalog.
   obs::MetricsSnapshot metrics;
+  /// Per-(host, phase) kernel profile (empty unless
+  /// ClusterConfig::profile.enabled). Serialize with profile.to_json().
+  obs::prof::KernelProfile profile;
 };
 
 /// One query riding a shared rotation (Data Cyclotron mode): its own

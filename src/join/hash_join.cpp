@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/prof.h"
+
 namespace cj::join {
 
 namespace {
@@ -31,6 +33,8 @@ inline void prefetch_write(const void* p) {
 
 void PartitionHashTable::build(std::span<const rel::Tuple> s_partition,
                                int radix_bits, const KernelConfig& kernel) {
+  obs::prof::ScopedProfile prof(obs::prof::current(), "hash_build",
+                                s_partition.size());
   rows_ = s_partition.size();
   shift_ = radix_bits;
   fingerprint_ = kernel.fingerprint_table;
@@ -102,6 +106,7 @@ void PartitionHashTable::build_fingerprint(
 void PartitionHashTable::probe(std::span<const rel::Tuple> r_run,
                                JoinResult& result) const {
   if (rows_ == 0) return;
+  obs::prof::ScopedProfile prof(obs::prof::current(), "probe", r_run.size());
   if (!fingerprint_) {
     for (const rel::Tuple& r : r_run) probe_one_chained(r, result);
     return;

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
 #include <utility>
+
+#include "obs/prof.h"
 
 namespace cj::join {
 
@@ -63,6 +66,8 @@ PartitionedData cluster_legacy(std::span<const rel::Tuple> input, int total_bits
   std::vector<std::uint32_t> counts;
   std::vector<std::uint32_t> cursor;
   while (consumed < total_bits) {
+    obs::prof::ScopedProfile pass_prof(
+        obs::prof::current(), consumed == 0 ? "radix_pass1" : "radix_pass2", n);
     const int b = std::min(bits_per_pass, total_bits - consumed);
     const int slice_shift = total_bits - consumed - b;
     const std::uint32_t slice_mask = (1U << b) - 1;
@@ -134,6 +139,11 @@ void scatter_range(std::size_t begin, std::size_t end, bool staged,
       f = 0;
     }
   }
+  // Profiled as its own phase: the drain is the part of the buffered
+  // scatter that touches every destination once regardless of input size,
+  // so its LLC behaviour is what decides kMinBufferedFanout. Its time is
+  // also included in the enclosing radix pass phase.
+  obs::prof::ScopedProfile prof(obs::prof::current(), "scatter_flush");
   for (std::uint32_t s = 0; s < fanout; ++s) {  // drain partial buffers
     if (fill[s] != 0) {
       std::memcpy(dst + cursor[s], &stage[static_cast<std::size_t>(s) * kStageCap],
@@ -165,6 +175,8 @@ PartitionedData cluster_single_hash(std::span<const rel::Tuple> input,
   std::vector<HashedTuple> stage_h;
 
   // ---- first pass: counts straight off the bare input, hashing once ----
+  std::optional<obs::prof::ScopedProfile> pass_prof;
+  pass_prof.emplace(obs::prof::current(), "radix_pass1", n);
   const int b1 = std::min(bits_per_pass, total_bits);
   const int shift1 = total_bits - b1;
   const std::uint32_t fanout1 = 1U << b1;
@@ -205,11 +217,13 @@ PartitionedData cluster_single_hash(std::span<const rel::Tuple> input,
                                return HashedTuple{input[i], hashes[i]};
                              });
   hashes = {};  // later passes carry the hash inside the HashedTuples
+  pass_prof.reset();
   int consumed = b1;
   std::vector<HashedTuple> next;  // allocated only if a middle pass needs it
 
   // ---- remaining passes over the HashedTuple representation ----
   while (consumed < total_bits) {
+    obs::prof::ScopedProfile later_prof(obs::prof::current(), "radix_pass2", n);
     const int b = std::min(bits_per_pass, total_bits - consumed);
     const int slice_shift = total_bits - consumed - b;
     const std::uint32_t slice_mask = (1U << b) - 1;

@@ -3,10 +3,12 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "obs/prof.h"
 
 namespace cj::join {
 
 void sort_fragment(std::span<rel::Tuple> fragment) {
+  obs::prof::ScopedProfile prof(obs::prof::current(), "sort", fragment.size());
   std::sort(fragment.begin(), fragment.end(),
             [](const rel::Tuple& a, const rel::Tuple& b) { return a.key < b.key; });
 }
@@ -19,6 +21,7 @@ bool is_sorted_by_key(std::span<const rel::Tuple> fragment) {
 
 void merge_join(std::span<const rel::Tuple> r_sorted,
                 std::span<const rel::Tuple> s_sorted, JoinResult& result) {
+  obs::prof::ScopedProfile prof(obs::prof::current(), "merge", r_sorted.size());
   std::size_t i = 0;
   std::size_t j = 0;
   while (i < r_sorted.size() && j < s_sorted.size()) {
@@ -52,6 +55,7 @@ void band_merge_join(std::span<const rel::Tuple> r_sorted,
     merge_join(r_sorted, s_sorted, result);
     return;
   }
+  obs::prof::ScopedProfile prof(obs::prof::current(), "merge", r_sorted.size());
   // For each r (ascending), the matching s window [r.key - band,
   // r.key + band] only ever slides forward at its lower edge.
   std::size_t lo = 0;

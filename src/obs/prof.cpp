@@ -1,0 +1,289 @@
+#include "obs/prof.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <tuple>
+
+#include "common/cputime.h"
+#include "obs/trace.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace cj::obs::prof {
+
+namespace {
+
+// ----- thread-local attribution context ---------------------------------
+
+struct Context {
+  KernelProfiler* profiler = nullptr;
+  int host = 0;
+  std::string_view entity = "cpu";
+};
+
+thread_local Context t_context;
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+#if defined(__linux__)
+int open_event(std::uint32_t type, std::uint64_t config, int group_fd) {
+  perf_event_attr attr{};
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  // User-space only: works under perf_event_paranoid <= 2 and keeps the
+  // numbers about the kernels, not the OS underneath them.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.disabled = group_fd == -1 ? 1 : 0;  // leader starts the group
+  attr.read_format = PERF_FORMAT_GROUP;
+  return static_cast<int>(::syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                    /*cpu=*/-1, group_fd, /*flags=*/0UL));
+}
+#endif
+
+}  // namespace
+
+// ----- PerfCounters ------------------------------------------------------
+
+PerfCounters::PerfCounters() {
+#if defined(__linux__)
+  const int leader = open_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (leader < 0) return;  // fallback mode
+  const std::uint64_t siblings[3] = {PERF_COUNT_HW_INSTRUCTIONS,
+                                     PERF_COUNT_HW_CACHE_MISSES,
+                                     PERF_COUNT_HW_BRANCH_MISSES};
+  int fds[3];
+  for (int i = 0; i < 3; ++i) {
+    fds[i] = open_event(PERF_TYPE_HARDWARE, siblings[i], leader);
+    if (fds[i] < 0) {
+      // Degrade as a whole group: partial counter sets would make profiles
+      // incomparable across machines.
+      for (int j = 0; j < i; ++j) ::close(fds[j]);
+      ::close(leader);
+      return;
+    }
+  }
+  if (::ioctl(leader, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP) != 0 ||
+      ::ioctl(leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP) != 0) {
+    for (int fd : fds) ::close(fd);
+    ::close(leader);
+    return;
+  }
+  group_fd_ = leader;
+  for (int i = 0; i < 3; ++i) fds_[i] = fds[i];
+#endif
+}
+
+PerfCounters::~PerfCounters() {
+#if defined(__linux__)
+  if (group_fd_ >= 0) {
+    for (int fd : fds_) ::close(fd);
+    ::close(group_fd_);
+  }
+#endif
+}
+
+CounterSample PerfCounters::read() const {
+  CounterSample out;
+  out.cpu_ns = thread_cpu_now_ns();
+#if defined(__linux__)
+  if (group_fd_ >= 0) {
+    // PERF_FORMAT_GROUP layout: u64 nr; u64 values[nr];
+    std::uint64_t buf[1 + 4] = {};
+    const ssize_t n = ::read(group_fd_, buf, sizeof buf);
+    if (n == static_cast<ssize_t>(sizeof buf) && buf[0] == 4) {
+      out.cycles = buf[1];
+      out.instructions = buf[2];
+      out.llc_misses = buf[3];
+      out.branch_misses = buf[4];
+    }
+  }
+#endif
+  return out;
+}
+
+// ----- PhaseTotals / KernelProfile ---------------------------------------
+
+void PhaseTotals::add(const PhaseTotals& d) {
+  invocations += d.invocations;
+  tuples += d.tuples;
+  cpu_ns += d.cpu_ns;
+  cycles += d.cycles;
+  instructions += d.instructions;
+  llc_misses += d.llc_misses;
+  branch_misses += d.branch_misses;
+}
+
+double KernelProfile::Row::ipc() const {
+  return totals.cycles == 0
+             ? 0.0
+             : static_cast<double>(totals.instructions) /
+                   static_cast<double>(totals.cycles);
+}
+
+double KernelProfile::Row::llc_misses_per_tuple() const {
+  return totals.tuples == 0
+             ? 0.0
+             : static_cast<double>(totals.llc_misses) /
+                   static_cast<double>(totals.tuples);
+}
+
+double KernelProfile::Row::cycles_per_tuple() const {
+  return totals.tuples == 0 ? 0.0
+                            : static_cast<double>(totals.cycles) /
+                                  static_cast<double>(totals.tuples);
+}
+
+std::string KernelProfile::to_json() const {
+  std::string out = "{\"counters\":\"";
+  out += hardware ? "hw" : "fallback";
+  out += "\",\"phases\":[";
+  bool first = true;
+  for (const Row& row : rows) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"host\":";
+    append_i64(out, row.host);
+    out += ",\"entity\":\"";
+    append_escaped(out, row.entity);
+    out += "\",\"phase\":\"";
+    append_escaped(out, row.phase);
+    out += "\",\"invocations\":";
+    append_u64(out, row.totals.invocations);
+    out += ",\"tuples\":";
+    append_u64(out, row.totals.tuples);
+    out += ",\"cpu_ns\":";
+    append_i64(out, row.totals.cpu_ns);
+    if (hardware) {
+      out += ",\"cycles\":";
+      append_u64(out, row.totals.cycles);
+      out += ",\"instructions\":";
+      append_u64(out, row.totals.instructions);
+      out += ",\"llc_misses\":";
+      append_u64(out, row.totals.llc_misses);
+      out += ",\"branch_misses\":";
+      append_u64(out, row.totals.branch_misses);
+      out += ",\"ipc\":";
+      append_double(out, row.ipc());
+      out += ",\"cycles_per_tuple\":";
+      append_double(out, row.cycles_per_tuple());
+      out += ",\"llc_misses_per_tuple\":";
+      append_double(out, row.llc_misses_per_tuple());
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+// ----- KernelProfiler ----------------------------------------------------
+
+bool KernelProfiler::Key::operator<(const Key& o) const {
+  return std::tie(host, entity, phase) < std::tie(o.host, o.entity, o.phase);
+}
+
+void KernelProfiler::record(int host, std::string_view entity,
+                            std::string_view phase, const PhaseTotals& delta) {
+  totals_[Key{host, std::string(entity), std::string(phase)}].add(delta);
+}
+
+KernelProfile KernelProfiler::snapshot() const {
+  KernelProfile out;
+  out.hardware = hardware();
+  out.rows.reserve(totals_.size());
+  for (const auto& [key, totals] : totals_) {
+    out.rows.push_back(KernelProfile::Row{key.host, key.entity, key.phase, totals});
+  }
+  return out;  // std::map iteration: already sorted by (host, entity, phase)
+}
+
+void KernelProfiler::flush_to_tracer(Tracer& tracer, std::int64_t ts) {
+  const bool hw = hardware();
+  for (const auto& [key, totals] : totals_) {
+    PhaseTotals& last = flushed_[key];
+    if (std::memcmp(&last, &totals, sizeof(PhaseTotals)) == 0) continue;
+    const std::string base = "prof." + key.phase;
+    if (hw) {
+      tracer.counter(ts, key.host, base + ".cycles",
+                     static_cast<std::int64_t>(totals.cycles));
+      tracer.counter(ts, key.host, base + ".llc_misses",
+                     static_cast<std::int64_t>(totals.llc_misses));
+    } else {
+      tracer.counter(ts, key.host, base + ".cpu_ns", totals.cpu_ns);
+    }
+    last = totals;
+  }
+}
+
+// ----- context & regions -------------------------------------------------
+
+KernelProfiler* current() { return t_context.profiler; }
+int current_host() { return t_context.host; }
+std::string_view current_entity() { return t_context.entity; }
+
+ScopedContext::ScopedContext(KernelProfiler* profiler, int host,
+                             std::string_view entity) {
+  if (profiler == nullptr) return;
+  installed_ = true;
+  prev_profiler_ = t_context.profiler;
+  prev_host_ = t_context.host;
+  prev_entity_ = t_context.entity;
+  t_context = Context{profiler, host, entity};
+}
+
+ScopedContext::~ScopedContext() {
+  if (installed_) t_context = Context{prev_profiler_, prev_host_, prev_entity_};
+}
+
+ScopedProfile::ScopedProfile(KernelProfiler* profiler, std::string_view phase,
+                             std::uint64_t tuples)
+    : profiler_(profiler), phase_(phase), tuples_(tuples) {
+  if (profiler_ != nullptr) start_ = profiler_->counters().read();
+}
+
+ScopedProfile::~ScopedProfile() {
+  if (profiler_ == nullptr) return;
+  const CounterSample end = profiler_->counters().read();
+  PhaseTotals delta;
+  delta.invocations = 1;
+  delta.tuples = tuples_;
+  delta.cpu_ns = end.cpu_ns - start_.cpu_ns;
+  delta.cycles = end.cycles - start_.cycles;
+  delta.instructions = end.instructions - start_.instructions;
+  delta.llc_misses = end.llc_misses - start_.llc_misses;
+  delta.branch_misses = end.branch_misses - start_.branch_misses;
+  profiler_->record(current_host(), current_entity(), phase_, delta);
+}
+
+}  // namespace cj::obs::prof

@@ -1,0 +1,211 @@
+// Kernel-level profiling: where the real CPU cycles go.
+//
+// The simulator's "virtual time, real work" principle makes the *measured*
+// CPU cost of the join kernels the load-bearing quantity behind every
+// reproduced figure — yet cpu_ns totals alone cannot say whether a kernel
+// got slower because it executes more instructions or because it misses
+// the cache more. This subsystem attributes real hardware-counter deltas
+// (cycles, instructions, LLC misses, branch misses) to the kernel phases
+// the paper's cost model reasons about: radix passes, scatter flushes,
+// hash build, the probe pipeline, sort, merge, and chunk memcpy.
+//
+//   PerfCounters   one perf_event_open group (cycles/instructions/
+//                  LLC-misses/branch-misses) on the calling thread, with a
+//                  graceful degradation to thread-CPU-time-only when the
+//                  syscall is unavailable (containers, CI, non-Linux).
+//   ScopedProfile  RAII region: reads the counters on entry/exit and
+//                  records the delta under the current attribution
+//                  context's (host, entity) and the region's phase name.
+//   KernelProfiler per-(host, entity, phase) accumulation; snapshots to a
+//                  KernelProfile table (JSON for BENCH_*.json / RunReport)
+//                  and can stream cumulative per-phase counter tracks into
+//                  an obs::Tracer for Perfetto.
+//
+// Profiling is strictly opt-in and the instrumented kernels pay one
+// thread-local pointer test when it is off. When it is ON, the counter
+// reads execute *inside* measured kernel regions and therefore perturb the
+// measured CPU time that drives virtual clocks — a profiled run is for
+// attribution, never for golden figures (docs/OBSERVABILITY.md).
+//
+// Everything here is single-threaded by design, like the Tracer and the
+// MetricsRegistry: the simulator executes all measured work on one thread.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cj::obs {
+
+class Tracer;
+
+namespace prof {
+
+/// Profiling knobs carried by cluster configs (mirrors obs::TraceConfig).
+struct ProfileConfig {
+  bool enabled = false;
+};
+
+/// One reading of the counter group. cpu_ns is always valid; the hardware
+/// fields are meaningful only when the owning PerfCounters reports
+/// hardware() == true.
+struct CounterSample {
+  std::int64_t cpu_ns = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t branch_misses = 0;
+};
+
+/// A perf_event_open counter group bound to the constructing thread.
+///
+/// Opens cycles (group leader), instructions, LLC misses and branch misses
+/// with user-space-only scope. If any event cannot be opened — the syscall
+/// is blocked (seccomp), perf_event_paranoid forbids it, or the PMU is not
+/// virtualized — the group degrades as a whole: hardware() turns false and
+/// read() keeps returning thread CPU time only. Opening never throws and
+/// reading never fails; fallback is the expected mode on CI containers.
+class PerfCounters {
+ public:
+  PerfCounters();
+  ~PerfCounters();
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// True when the hardware group is live; false in fallback mode.
+  bool hardware() const { return group_fd_ >= 0; }
+
+  /// Cumulative counters since construction (monotone). In fallback mode
+  /// only cpu_ns advances.
+  CounterSample read() const;
+
+ private:
+  int group_fd_ = -1;  ///< leader (cycles); -1 in fallback mode
+  int fds_[3] = {-1, -1, -1};  ///< instructions, LLC misses, branch misses
+};
+
+/// Accumulated totals of one (host, entity, phase) attribution bucket.
+struct PhaseTotals {
+  std::uint64_t invocations = 0;
+  std::uint64_t tuples = 0;  ///< work items the regions declared
+  std::int64_t cpu_ns = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t branch_misses = 0;
+
+  void add(const PhaseTotals& d);
+};
+
+/// Frozen profile table, safe to copy into RunReport / BenchJson.
+struct KernelProfile {
+  struct Row {
+    int host = 0;
+    std::string entity;
+    std::string phase;
+    PhaseTotals totals;
+
+    double ipc() const;               ///< instructions / cycles (0 if n/a)
+    double llc_misses_per_tuple() const;
+    double cycles_per_tuple() const;
+  };
+
+  /// False = the run degraded to cpu_ns-only ("counters":"fallback").
+  bool hardware = false;
+  std::vector<Row> rows;  ///< sorted by (host, entity, phase)
+
+  bool empty() const { return rows.empty(); }
+
+  /// {"counters":"hw"|"fallback","phases":[{...}, ...]} with derived
+  /// ipc / per-tuple rates; hardware fields are omitted in fallback mode.
+  std::string to_json() const;
+};
+
+/// The accumulation side. Owns the thread's PerfCounters; regions read the
+/// group through counters() and record deltas with record().
+class KernelProfiler {
+ public:
+  KernelProfiler() = default;
+  KernelProfiler(const KernelProfiler&) = delete;
+  KernelProfiler& operator=(const KernelProfiler&) = delete;
+
+  bool hardware() const { return counters_.hardware(); }
+  const PerfCounters& counters() const { return counters_; }
+
+  void record(int host, std::string_view entity, std::string_view phase,
+              const PhaseTotals& delta);
+
+  KernelProfile snapshot() const;
+
+  /// Streams per-phase counter tracks into a trace: for every (host,
+  /// phase) whose totals changed since the last flush, emits cumulative
+  /// "prof.<phase>.cycles" and "prof.<phase>.llc_misses" counter samples
+  /// (or "prof.<phase>.cpu_ns" in fallback mode) at virtual time `ts`.
+  /// Call from simulation code *outside* measured closures.
+  void flush_to_tracer(Tracer& tracer, std::int64_t ts);
+
+ private:
+  struct Key {
+    int host;
+    std::string entity;
+    std::string phase;
+    bool operator<(const Key& o) const;
+  };
+
+  PerfCounters counters_;
+  std::map<Key, PhaseTotals> totals_;
+  std::map<Key, PhaseTotals> flushed_;  ///< totals at the last tracer flush
+};
+
+/// The current thread's attribution context: which profiler (if any) the
+/// instrumented kernels should record into, and as which (host, entity).
+/// Null unless a ScopedContext with a non-null profiler is live — this is
+/// the single pointer test every instrumentation site pays when profiling
+/// is off.
+KernelProfiler* current();
+int current_host();
+std::string_view current_entity();
+
+/// Installs `profiler` as the thread's attribution context for its
+/// lifetime (restoring the previous context on destruction, so contexts
+/// nest). A null profiler leaves the context untouched, making the guard
+/// free to install unconditionally.
+class ScopedContext {
+ public:
+  ScopedContext(KernelProfiler* profiler, int host, std::string_view entity);
+  ~ScopedContext();
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  bool installed_ = false;
+  KernelProfiler* prev_profiler_ = nullptr;
+  int prev_host_ = 0;
+  std::string_view prev_entity_;
+};
+
+/// RAII measured region. Reads the counters at construction and
+/// destruction and records the delta under `phase`. `phase` must outlive
+/// the region (instrumentation sites pass string literals). Regions nest;
+/// a nested region's delta is recorded under its own phase AND remains
+/// part of every enclosing region's delta (attribution detail, documented
+/// per phase in docs/OBSERVABILITY.md). No-op when `profiler` is null.
+class ScopedProfile {
+ public:
+  ScopedProfile(KernelProfiler* profiler, std::string_view phase,
+                std::uint64_t tuples = 0);
+  ~ScopedProfile();
+  ScopedProfile(const ScopedProfile&) = delete;
+  ScopedProfile& operator=(const ScopedProfile&) = delete;
+
+ private:
+  KernelProfiler* profiler_;
+  std::string_view phase_;
+  std::uint64_t tuples_;
+  CounterSample start_;
+};
+
+}  // namespace prof
+}  // namespace cj::obs

@@ -17,13 +17,16 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <tuple>
 #include <vector>
 
 #include "common/log.h"
+#include "common/rng.h"
 #include "cyclo/cluster.h"
 #include "cyclo/cyclo_join.h"
 #include "obs/analysis.h"
@@ -35,6 +38,11 @@
 #include "sim/sync.h"
 
 namespace cj::obs {
+
+/// Set by `--update-golden` in this binary's main (equivalent to running
+/// with CJ_UPDATE_GOLDEN=1): regenerate tests/golden/ instead of comparing.
+bool g_update_golden = false;
+
 namespace {
 
 using sim::Task;
@@ -156,6 +164,109 @@ TEST(Metrics, CountersGaugesAndHistogramSummaries) {
   EXPECT_EQ(h.p50, 60);
   EXPECT_EQ(h.p90, 100);
   EXPECT_EQ(h.p99, 100);
+}
+
+TEST(Metrics, HistogramQuantilesNearestRankEdgeCases) {
+  // Nearest rank is rank = floor(q * n) on the sorted samples — pin the
+  // edge cases so a future "improvement" to interpolated quantiles is a
+  // deliberate schema change, not an accident (summaries are diffed in
+  // checked-in BENCH_*.json files).
+  {
+    MetricsRegistry reg;  // single sample: every quantile is that sample
+    reg.record("h", -7);
+    const HistogramSummary& h = reg.snapshot().histograms.at("h");
+    EXPECT_EQ(h.count, 1u);
+    EXPECT_EQ(h.min, -7);
+    EXPECT_EQ(h.max, -7);
+    EXPECT_DOUBLE_EQ(h.mean, -7.0);
+    EXPECT_EQ(h.p50, -7);
+    EXPECT_EQ(h.p90, -7);
+    EXPECT_EQ(h.p99, -7);
+  }
+  {
+    MetricsRegistry reg;  // two samples: floor(0.5 * 2) = 1 -> upper sample
+    reg.record("h", 10);
+    reg.record("h", 20);
+    const HistogramSummary& h = reg.snapshot().histograms.at("h");
+    EXPECT_EQ(h.p50, 20);
+    EXPECT_EQ(h.p90, 20);
+    EXPECT_EQ(h.p99, 20);
+    EXPECT_DOUBLE_EQ(h.mean, 15.0);
+  }
+  {
+    MetricsRegistry reg;  // 100 distinct samples: ranks land exactly
+    for (std::int64_t v = 100; v >= 1; --v) reg.record("h", v);
+    const HistogramSummary& h = reg.snapshot().histograms.at("h");
+    EXPECT_EQ(h.p50, 51);   // sorted[50]
+    EXPECT_EQ(h.p90, 91);   // sorted[90]
+    EXPECT_EQ(h.p99, 100);  // sorted[99]
+  }
+  {
+    MetricsRegistry reg;  // all-equal samples collapse every statistic
+    for (int i = 0; i < 17; ++i) reg.record("h", 42);
+    const HistogramSummary& h = reg.snapshot().histograms.at("h");
+    EXPECT_EQ(h.min, 42);
+    EXPECT_EQ(h.max, 42);
+    EXPECT_EQ(h.p50, 42);
+    EXPECT_EQ(h.p99, 42);
+    EXPECT_DOUBLE_EQ(h.mean, 42.0);
+  }
+  {
+    MetricsRegistry reg;  // never-recorded histograms do not exist at all
+    reg.add_counter("c", 1);
+    EXPECT_EQ(reg.snapshot().histograms.count("h"), 0u);
+  }
+}
+
+TEST(Tracer, BinaryRoundTripFuzz) {
+  // Randomized CJT1 round trips: any event sequence the tracer can record
+  // must survive binary() -> parse_binary() exactly, and every *strict
+  // prefix* of the encoding must be rejected (the format has no trailing
+  // slack: truncation anywhere is detectable).
+  Rng rng(0xC17'0BEEF);
+  const char* entities[] = {"core0", "core1", "tx", "ring", "qp0"};
+  const char* names[] = {"join", "send", "recv", "probe", "fault.crash"};
+
+  for (int iter = 0; iter < 8; ++iter) {
+    Tracer t;
+    const int events = static_cast<int>(rng.next_in(1, 40));
+    std::int64_t ts = 0;
+    for (int e = 0; e < events; ++e) {
+      ts += static_cast<std::int64_t>(rng.next_below(1'000'000));
+      const int host = static_cast<int>(rng.next_below(4));
+      const char* entity = entities[rng.next_below(std::size(entities))];
+      const char* name = names[rng.next_below(std::size(names))];
+      const auto arg = static_cast<std::int64_t>(rng.next()) >> 1;
+      switch (rng.next_below(4)) {
+        case 0: t.begin(ts, host, entity, name, arg); break;
+        case 1: t.end(ts, host, entity); break;
+        case 2: t.instant(ts, host, entity, name, arg); break;
+        default: t.counter(ts, host, name, arg); break;
+      }
+    }
+
+    const std::vector<std::uint8_t> bytes = t.binary();
+    Tracer back;
+    ASSERT_TRUE(Tracer::parse_binary(bytes, back)) << "iter " << iter;
+    ASSERT_EQ(back.events().size(), t.events().size());
+    for (std::size_t i = 0; i < t.events().size(); ++i) {
+      EXPECT_EQ(back.events()[i], t.events()[i]) << "iter " << iter;
+    }
+    ASSERT_EQ(back.num_names(), t.num_names());
+    for (std::uint32_t i = 0; i < t.num_names(); ++i) {
+      EXPECT_EQ(back.name(i), t.name(i));
+    }
+
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+      Tracer reject;
+      ASSERT_FALSE(Tracer::parse_binary(
+          std::vector<std::uint8_t>(bytes.begin(),
+                                    bytes.begin() + static_cast<std::ptrdiff_t>(cut)),
+          reject))
+          << "iter " << iter << ": strict prefix of " << cut << "/"
+          << bytes.size() << " bytes parsed";
+    }
+  }
 }
 
 TEST(Metrics, SnapshotJsonIsStable) {
@@ -353,7 +464,7 @@ TEST(GoldenTrace, ThreeHostRingMatchesCheckedInGolden) {
 
   const std::string path =
       std::string(CJ_TEST_GOLDEN_DIR) + "/obs_3host_trace.json";
-  if (std::getenv("CJ_UPDATE_GOLDEN") != nullptr) {
+  if (g_update_golden || std::getenv("CJ_UPDATE_GOLDEN") != nullptr) {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     ASSERT_TRUE(out.good()) << "cannot write " << path;
     out << json;
@@ -524,3 +635,16 @@ TEST(LogSink, NullSinkRestoresStderrPath) {
 
 }  // namespace
 }  // namespace cj::obs
+
+// Custom main (NO_GTEST_MAIN in tests/CMakeLists.txt) so the golden files
+// can be regenerated with `obs_test --update-golden` after an intentional
+// trace-schema change (docs/OBSERVABILITY.md).
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--update-golden") {
+      cj::obs::g_update_golden = true;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

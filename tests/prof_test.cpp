@@ -1,0 +1,273 @@
+// Tests for the kernel-level profiling subsystem (src/obs/prof):
+// attribution context semantics, region accumulation, the profile JSON
+// contract ("counters":"hw"|"fallback"), the Perfetto counter-track flush,
+// and the end-to-end path through a profiled cyclo-join run.
+//
+// Hardware counters may or may not open in the test environment; every
+// assertion here holds in both modes (cpu_ns is always live, and the
+// hardware fields are only inspected behind a hardware() check).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cyclo/cyclo_join.h"
+#include "obs/prof.h"
+#include "obs/trace.h"
+#include "rel/generator.h"
+
+namespace cj::obs::prof {
+namespace {
+
+// Spends enough real CPU that thread-CPU-time clocks must advance.
+void burn_cpu() {
+  volatile std::uint64_t acc = 0;
+  for (int i = 0; i < 200'000; ++i) acc += static_cast<std::uint64_t>(i) * i;
+}
+
+// ----- attribution context -------------------------------------------------
+
+TEST(ScopedContextTest, NullUnlessInstalledAndRestoresOnExit) {
+  EXPECT_EQ(current(), nullptr);
+  KernelProfiler outer_prof, inner_prof;
+  {
+    ScopedContext outer(&outer_prof, 1, "core");
+    EXPECT_EQ(current(), &outer_prof);
+    EXPECT_EQ(current_host(), 1);
+    EXPECT_EQ(current_entity(), "core");
+    {
+      ScopedContext inner(&inner_prof, 2, "kernel/legacy");
+      EXPECT_EQ(current(), &inner_prof);
+      EXPECT_EQ(current_host(), 2);
+      EXPECT_EQ(current_entity(), "kernel/legacy");
+    }
+    EXPECT_EQ(current(), &outer_prof);
+    EXPECT_EQ(current_host(), 1);
+  }
+  EXPECT_EQ(current(), nullptr);
+}
+
+TEST(ScopedContextTest, NullProfilerLeavesContextUntouched) {
+  KernelProfiler prof;
+  ScopedContext outer(&prof, 3, "core");
+  {
+    // The unconditional guard instrumentation sites install: a null
+    // profiler must not shadow a live context.
+    ScopedContext noop(nullptr, 9, "ignored");
+    EXPECT_EQ(current(), &prof);
+    EXPECT_EQ(current_host(), 3);
+  }
+  EXPECT_EQ(current(), &prof);
+}
+
+TEST(ScopedContextTest, ContextIsThreadLocal) {
+  KernelProfiler prof;
+  ScopedContext ctx(&prof, 0, "core");
+  KernelProfiler* seen = &prof;
+  std::thread([&] { seen = current(); }).join();
+  EXPECT_EQ(seen, nullptr);  // other threads see no context
+  EXPECT_EQ(current(), &prof);
+}
+
+// ----- regions and accumulation --------------------------------------------
+
+TEST(ScopedProfileTest, RecordsUnderContextAndAccumulates) {
+  KernelProfiler prof;
+  {
+    ScopedContext ctx(&prof, 2, "core");
+    for (int i = 0; i < 3; ++i) {
+      ScopedProfile region(current(), "hash_build", 1'000);
+      burn_cpu();
+    }
+    {
+      ScopedProfile region(current(), "probe", 500);
+      burn_cpu();
+    }
+  }
+
+  const KernelProfile profile = prof.snapshot();
+  ASSERT_EQ(profile.rows.size(), 2u);  // sorted by (host, entity, phase)
+  const KernelProfile::Row& build = profile.rows[0];
+  EXPECT_EQ(build.host, 2);
+  EXPECT_EQ(build.entity, "core");
+  EXPECT_EQ(build.phase, "hash_build");
+  EXPECT_EQ(build.totals.invocations, 3u);
+  EXPECT_EQ(build.totals.tuples, 3'000u);
+  EXPECT_GT(build.totals.cpu_ns, 0);
+  const KernelProfile::Row& probe = profile.rows[1];
+  EXPECT_EQ(probe.phase, "probe");
+  EXPECT_EQ(probe.totals.invocations, 1u);
+  EXPECT_EQ(probe.totals.tuples, 500u);
+
+  if (prof.hardware()) {
+    EXPECT_GT(build.totals.cycles, 0u);
+    EXPECT_GT(build.totals.instructions, 0u);
+  } else {
+    EXPECT_EQ(build.totals.cycles, 0u);
+  }
+}
+
+TEST(ScopedProfileTest, NoOpWithoutProfilerOrContext) {
+  // The exact expression every instrumentation site evaluates when
+  // profiling is off: current() is null and the region must cost nothing
+  // and record nowhere.
+  ScopedProfile region(current(), "hash_build", 123);
+  burn_cpu();
+  // Nothing to assert into — the absence of a crash plus the context
+  // staying null is the contract.
+  EXPECT_EQ(current(), nullptr);
+}
+
+TEST(ScopedProfileTest, NestedRegionsAttributeToBothPhases) {
+  KernelProfiler prof;
+  {
+    ScopedContext ctx(&prof, 0, "core");
+    ScopedProfile outer(current(), "merge", 10);
+    burn_cpu();
+    {
+      ScopedProfile inner(current(), "sort", 10);
+      burn_cpu();
+    }
+  }
+  const KernelProfile profile = prof.snapshot();
+  ASSERT_EQ(profile.rows.size(), 2u);
+  const auto& merge = profile.rows[0];  // "merge" < "sort"
+  const auto& sort = profile.rows[1];
+  EXPECT_EQ(merge.phase, "merge");
+  EXPECT_EQ(sort.phase, "sort");
+  // The nested sort interval is part of the enclosing merge delta.
+  EXPECT_GE(merge.totals.cpu_ns, sort.totals.cpu_ns);
+}
+
+// ----- JSON contract -------------------------------------------------------
+
+TEST(KernelProfileTest, JsonDeclaresCounterModeAndDerivedRates) {
+  KernelProfiler prof;
+  {
+    ScopedContext ctx(&prof, 0, "probe_cached/optimized");
+    ScopedProfile region(current(), "probe", 4'096);
+    burn_cpu();
+  }
+  const KernelProfile profile = prof.snapshot();
+  const std::string json = profile.to_json();
+  if (profile.hardware) {
+    EXPECT_NE(json.find("\"counters\":\"hw\""), std::string::npos);
+    EXPECT_NE(json.find("\"ipc\":"), std::string::npos);
+    EXPECT_NE(json.find("\"llc_misses\":"), std::string::npos);
+  } else {
+    EXPECT_NE(json.find("\"counters\":\"fallback\""), std::string::npos);
+    // Hardware fields are omitted, not zero-filled, in fallback mode.
+    EXPECT_EQ(json.find("\"cycles\":"), std::string::npos);
+    EXPECT_EQ(json.find("\"llc_misses\":"), std::string::npos);
+  }
+  EXPECT_NE(json.find("\"phase\":\"probe\""), std::string::npos);
+  EXPECT_NE(json.find("\"entity\":\"probe_cached/optimized\""), std::string::npos);
+  EXPECT_NE(json.find("\"tuples\":4096"), std::string::npos);
+  EXPECT_NE(json.find("\"cpu_ns\":"), std::string::npos);
+}
+
+TEST(KernelProfileTest, EmptyProfile) {
+  KernelProfiler prof;
+  const KernelProfile profile = prof.snapshot();
+  EXPECT_TRUE(profile.empty());
+  EXPECT_NE(profile.to_json().find("\"phases\":[]"), std::string::npos);
+}
+
+// ----- tracer flush --------------------------------------------------------
+
+TEST(KernelProfilerTest, FlushEmitsCounterTracksOnlyForChangedPhases) {
+  KernelProfiler prof;
+  Tracer tracer;
+  {
+    ScopedContext ctx(&prof, 1, "core");
+    ScopedProfile region(current(), "radix_pass1", 100);
+    burn_cpu();
+  }
+  prof.flush_to_tracer(tracer, 5'000);
+  const std::size_t after_first = tracer.events().size();
+  ASSERT_GT(after_first, 0u);
+  const char* track =
+      prof.hardware() ? "prof.radix_pass1.cycles" : "prof.radix_pass1.cpu_ns";
+  EXPECT_NE(tracer.find_name(track), Tracer::kNoName);
+  for (const TraceEvent& e : tracer.events()) {
+    EXPECT_EQ(e.kind, EventKind::kCounter);
+    EXPECT_EQ(e.ts, 5'000);
+    EXPECT_EQ(e.host, 1);
+  }
+
+  // No new samples since the last flush: a second flush emits nothing
+  // (cumulative tracks only advance when the totals do).
+  prof.flush_to_tracer(tracer, 6'000);
+  EXPECT_EQ(tracer.events().size(), after_first);
+
+  {
+    ScopedContext ctx(&prof, 1, "core");
+    ScopedProfile region(current(), "radix_pass1", 100);
+    burn_cpu();
+  }
+  prof.flush_to_tracer(tracer, 7'000);
+  EXPECT_GT(tracer.events().size(), after_first);
+}
+
+// ----- end to end through the simulator ------------------------------------
+
+TEST(ProfiledRun, ReportCarriesPerPhaseProfileAndTraceGetsTracks) {
+  rel::Relation r = rel::generate({.rows = 20'000, .seed = 61}, "R", 1);
+  rel::Relation s = rel::generate({.rows = 20'000, .seed = 62}, "S", 2);
+  cyclo::ClusterConfig cfg;
+  cfg.num_hosts = 3;
+  cfg.node.buffer_bytes = 16 * 1024;
+  cfg.trace.enabled = true;
+  cfg.profile.enabled = true;
+
+  cyclo::CycloJoin cyclo(cfg, {.algorithm = cyclo::Algorithm::kHashJoin});
+  const cyclo::RunReport report = cyclo.run(r, s);
+
+  ASSERT_FALSE(report.profile.empty());
+  bool saw_build = false, saw_probe = false;
+  for (const KernelProfile::Row& row : report.profile.rows) {
+    EXPECT_GE(row.host, 0);
+    EXPECT_LT(row.host, 3);
+    EXPECT_GT(row.totals.invocations, 0u);
+    EXPECT_GT(row.totals.cpu_ns, 0);
+    saw_build |= row.phase == "hash_build";
+    saw_probe |= row.phase == "probe";
+  }
+  EXPECT_TRUE(saw_build);
+  EXPECT_TRUE(saw_probe);
+
+  // The trace carries the cumulative per-phase counter tracks.
+  ASSERT_NE(report.trace, nullptr);
+  const char* track = report.profile.hardware ? "prof.probe.cycles"
+                                              : "prof.probe.cpu_ns";
+  EXPECT_NE(report.trace->find_name(track), Tracer::kNoName);
+
+  // An unprofiled run of the same workload reports no profile.
+  cyclo::ClusterConfig off = cfg;
+  off.profile.enabled = false;
+  off.trace.enabled = false;
+  cyclo::CycloJoin plain(off, {.algorithm = cyclo::Algorithm::kHashJoin});
+  EXPECT_TRUE(plain.run(r, s).profile.empty());
+}
+
+TEST(ProfiledRun, JoinResultsMatchUnprofiledRun) {
+  // Profiling perturbs virtual-time *measurements*, never join semantics:
+  // the result checksum must be identical with and without it.
+  rel::Relation r = rel::generate({.rows = 10'000, .seed = 71}, "R", 1);
+  rel::Relation s = rel::generate({.rows = 10'000, .seed = 72}, "S", 2);
+  cyclo::ClusterConfig cfg;
+  cfg.num_hosts = 2;
+  cyclo::JoinSpec spec{.algorithm = cyclo::Algorithm::kHashJoin};
+
+  cyclo::CycloJoin plain(cfg, spec);
+  const cyclo::RunReport a = plain.run(r, s);
+  cfg.profile.enabled = true;
+  cyclo::CycloJoin profiled(cfg, spec);
+  const cyclo::RunReport b = profiled.run(r, s);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.matches, b.matches);
+}
+
+}  // namespace
+}  // namespace cj::obs::prof
