@@ -14,12 +14,19 @@ int main(int argc, char** argv) {
   const std::int64_t scale = flags.get_int("scale", bench::kDefaultScale);
   const auto nodes = flags.get_int_list("nodes", {1, 2, 3, 4, 5, 6});
   const bool trace = flags.get_bool("trace", false);
+  const cyclo::Backend backend = bench::backend_flag(flags);
   bench::BenchJson json(flags, "fig07_hash_scaleout");
+  json.set_backend(backend);
   bench::check_unused_flags(flags);
 
   bench::print_banner(
       "Figure 7 — fixed data set, partitioned hash join, ring size 1..6",
       "setup cost ~ 1/n; join phase constant; network fully hidden", scale);
+  if (backend == cyclo::Backend::kRt) {
+    std::printf("backend: rt — real threads and shared-memory wires; the "
+                "time columns are THIS machine's wall clock, not the "
+                "calibrated testbed's virtual time\n\n");
+  }
 
   auto [r, s] = bench::uniform_pair(bench::kRowsFig7, scale);
   std::printf("|R| = |S| = %llu rows (%s per relation)\n\n",
@@ -31,6 +38,7 @@ int main(int argc, char** argv) {
               trace ? "  overlap" : "");
   for (const auto n : nodes) {
     cyclo::ClusterConfig cfg = bench::paper_cluster(static_cast<int>(n), scale);
+    cfg.backend = backend;
     cfg.trace.enabled = trace;
     cyclo::CycloJoin cyclo(cfg,
                            cyclo::JoinSpec{.algorithm = cyclo::Algorithm::kHashJoin});

@@ -118,6 +118,24 @@ inline Flags parse_flags_or_die(int argc, char** argv) {
   return std::move(flags).value();
 }
 
+inline const char* backend_name(cyclo::Backend backend) {
+  return backend == cyclo::Backend::kRt ? "rt" : "sim";
+}
+
+/// Parses --backend=sim|rt (default sim). sim reports virtual time on the
+/// calibrated simulated testbed; rt executes the same protocol as real
+/// threads and reports THIS machine's wall clock — the two are different
+/// quantities, which is why BenchJson tags its output and the regression
+/// gate refuses to compare across backends.
+inline cyclo::Backend backend_flag(Flags& flags) {
+  const std::string name = flags.get_string("backend", "sim");
+  if (name == "sim") return cyclo::Backend::kSim;
+  if (name == "rt") return cyclo::Backend::kRt;
+  std::fprintf(stderr, "unknown --backend=%s (expected sim or rt)\n",
+               name.c_str());
+  std::exit(2);
+}
+
 inline void check_unused_flags(const Flags& flags) {
   for (const auto& name : flags.unused()) {
     std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
@@ -196,9 +214,15 @@ class BenchJson {
   /// of a profiled rep; emitted as a "profile" key when set.
   void set_profile(std::string profile_json) { profile_ = std::move(profile_json); }
 
+  /// Tags the dump with the backend the numbers came from. Defaults to
+  /// "sim"; a bench that honors --backend must call this so sim virtual
+  /// time and rt wall time can never be mistaken for each other downstream.
+  void set_backend(cyclo::Backend backend) { backend_ = backend_name(backend); }
+
   void write() const {
     if (path_.empty()) return;
-    std::string out = "{\"figure\":\"" + figure_ + "\",\"trajectory\":[";
+    std::string out = "{\"figure\":\"" + figure_ + "\",\"backend\":\"" +
+                      backend_ + "\",\"trajectory\":[";
     for (std::size_t r = 0; r < rows_.size(); ++r) {
       if (r > 0) out += ",";
       out += "{";
@@ -232,6 +256,7 @@ class BenchJson {
 
   std::string figure_;
   std::string path_;
+  std::string backend_ = "sim";
   std::vector<std::vector<Cell>> rows_;
   obs::MetricsSnapshot metrics_;
   std::string profile_;  ///< pre-rendered JSON; empty = omit

@@ -222,12 +222,21 @@ std::optional<std::string> read_file(const std::string& path) {
 }
 
 /// Parses a BENCH_kernels.json trajectory into a Table (rows that carry a
-/// "kernel" label; anything else in the file is ignored).
-std::optional<Table> load_baseline(const std::string& path) {
+/// "kernel" label; anything else in the file is ignored). `backend_out`
+/// receives the file's top-level "backend" tag; files from before the tag
+/// existed are sim measurements, so that is the default.
+std::optional<Table> load_baseline(const std::string& path,
+                                   std::string* backend_out) {
   auto text = read_file(path);
   if (!text.has_value()) return std::nullopt;
   auto root = JsonParser(*text).parse();
   if (!root.has_value()) return std::nullopt;
+  *backend_out = "sim";
+  if (const JsonValue* backend = root->find("backend")) {
+    if (backend->kind == JsonValue::Kind::kString) {
+      *backend_out = backend->string;
+    }
+  }
   const JsonValue* trajectory = root->find("trajectory");
   if (trajectory == nullptr || trajectory->kind != JsonValue::Kind::kArray)
     return std::nullopt;
@@ -428,7 +437,7 @@ void write_report(const std::string& path, const std::string& baseline_path,
 /// micro_kernels emits, so either binary can produce the file the other
 /// consumes.
 void write_baseline_file(const std::string& path, const Table& measured) {
-  std::string out = "{\"figure\":\"kernels\",\"trajectory\":[";
+  std::string out = "{\"figure\":\"kernels\",\"backend\":\"sim\",\"trajectory\":[";
   bool first = true;
   for (const auto& [key, sample] : measured) {
     if (!first) out += ",";
@@ -562,10 +571,22 @@ int main(int argc, char** argv) {
                  "       regress --self_check\n");
     return 2;
   }
-  auto baseline = load_baseline(baseline_path);
+  std::string baseline_backend;
+  auto baseline = load_baseline(baseline_path, &baseline_backend);
   if (!baseline.has_value() || baseline->empty()) {
     std::fprintf(stderr, "cannot load baseline from %s\n",
                  baseline_path.c_str());
+    return 2;
+  }
+  // The gate re-measures sim-backend kernel costs; judging them against a
+  // wall-clock (rt) baseline would compare different quantities and either
+  // mask real regressions or flag phantom ones. Refuse outright.
+  if (baseline_backend != "sim") {
+    std::fprintf(stderr,
+                 "baseline %s is tagged backend=\"%s\" but this gate "
+                 "measures sim-backend kernels; refusing to cross-compare "
+                 "(re-create the baseline without --backend=rt)\n",
+                 baseline_path.c_str(), baseline_backend.c_str());
     return 2;
   }
   if (sizes.empty()) {

@@ -21,9 +21,20 @@ namespace cj::cyclo {
 
 enum class Transport { kRdma, kTcp };
 
+/// Execution backend. kSim runs the cluster on the deterministic
+/// single-threaded DES engine (virtual time, simulated transports). kRt
+/// executes the same protocol as real concurrency: one OS thread plus a
+/// wall-clock engine per host, real worker threads for the join kernels,
+/// and shared-memory wires between neighbors (docs/RUNTIME.md). The
+/// roundabout protocol itself is backend-agnostic; results are identical.
+enum class Backend { kSim, kRt };
+
 enum class Algorithm { kHashJoin, kSortMergeJoin, kNestedLoops };
 
 struct ClusterConfig {
+  /// Execution backend; see Backend. The rt backend ignores the simulated
+  /// transport/link knobs below and supports crash-only fault plans.
+  Backend backend = Backend::kSim;
   /// Ring size (number of hosts). The paper's testbed has up to six.
   int num_hosts = 6;
   /// Cores per host (the paper's blades are quad-core Xeons).

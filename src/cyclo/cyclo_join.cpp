@@ -3,15 +3,14 @@
 #include <algorithm>
 #include <deque>
 #include <memory>
-#include <optional>
 #include <set>
+#include <utility>
 
 #include "cyclo/chunk.h"
 #include "cyclo/cluster.h"
+#include "cyclo/runner_common.h"
+#include "cyclo/runner_rt.h"
 #include "obs/analysis.h"
-#include "join/hash_join.h"
-#include "join/nested_loops.h"
-#include "join/sort_merge.h"
 #include "sim/engine.h"
 #include "sim/sync.h"
 #include "sim/when_all.h"
@@ -35,35 +34,10 @@ class Barrier {
   sim::Event event_;
 };
 
-/// One query's state on one host: its stationary fragment (prepared) and
-/// its partial result. With a single query this is classic cyclo-join;
-/// with several, one rotation feeds them all (Data Cyclotron mode).
-struct QueryState {
-  rel::Relation s_frag;  // released after setup (except nested loops)
-
-  // Exactly one is populated, per algorithm.
-  std::optional<join::HashJoinStationary> hash;
-  std::vector<rel::Tuple> s_sorted;
-  std::vector<rel::Tuple> s_raw;
-
-  std::uint32_t band = 0;
-  const std::function<bool(const rel::Tuple&, const rel::Tuple&)>* predicate =
-      nullptr;
-
-  join::JoinResult result{false};
-  /// Resilient mode only: partial results keyed by the rotating chunk's
-  /// origin host. A crash retracts R_dead by dropping its bucket — the
-  /// reported result is exactly (R \ R_dead) ⋈ (S \ S_dead).
-  std::vector<join::JoinResult> per_origin;
-};
-
-/// Everything one simulated host owns during a run.
+/// Everything one simulated host owns during a run beyond its share of the
+/// plan (which lives in RunPlan::hosts at a stable address).
 struct HostRun {
-  rel::Relation r_frag;  // released after setup
-  std::vector<QueryState> queries;
-
-  // The prepared rotating fragment, wire-ready.
-  ChunkSlab slab;
+  detail::HostPlan* plan = nullptr;
 
   // Join-phase concurrency limiter: at most `join_threads` join tasks run
   // at once (the work is over-decomposed for load balancing, so the task
@@ -75,60 +49,6 @@ struct HostRun {
   SimTime join_started_at = 0;
 };
 
-/// Splits [0, n) into `parts` near-even contiguous ranges.
-std::vector<std::pair<std::size_t, std::size_t>> split_ranges(std::size_t n,
-                                                              int parts) {
-  std::vector<std::pair<std::size_t, std::size_t>> out;
-  const auto p = static_cast<std::size_t>(std::max(1, parts));
-  for (std::size_t i = 0; i < p; ++i) {
-    const std::size_t begin = n * i / p;
-    const std::size_t end = n * (i + 1) / p;
-    if (begin != end) out.emplace_back(begin, end);
-  }
-  return out;
-}
-
-/// A contiguous range of one partition's tuples within a chunk: the unit of
-/// probe work handed to one join thread. Probes are per-tuple, so a run may
-/// be split at any point — this is what keeps all join threads busy even
-/// when a chunk holds fewer partitions than the host has cores.
-struct ProbeSlice {
-  std::uint32_t partition_id;
-  std::size_t tuple_offset;  // offset into the chunk's tuple array
-  std::size_t count;
-};
-
-std::vector<std::vector<ProbeSlice>> split_probe_work(
-    std::span<const PartitionRun> runs, int parts) {
-  std::uint64_t total = 0;
-  for (const auto& run : runs) total += run.count;
-  std::vector<std::vector<ProbeSlice>> groups;
-  if (total == 0) return groups;
-
-  const std::uint64_t per_group = (total + static_cast<std::uint64_t>(parts) - 1) /
-                                  static_cast<std::uint64_t>(parts);
-  groups.emplace_back();
-  std::uint64_t group_fill = 0;
-  std::size_t offset = 0;
-  for (const auto& run : runs) {
-    std::size_t run_offset = 0;
-    while (run_offset < run.count) {
-      if (group_fill >= per_group) {
-        groups.emplace_back();
-        group_fill = 0;
-      }
-      const std::size_t take = std::min<std::size_t>(
-          run.count - run_offset, static_cast<std::size_t>(per_group - group_fill));
-      groups.back().push_back(
-          ProbeSlice{run.partition_id, offset + run_offset, take});
-      group_fill += take;
-      run_offset += take;
-    }
-    offset += run.count;
-  }
-  return groups;
-}
-
 class Runner {
  public:
   Runner(const ClusterConfig& cluster_cfg, const JoinSpec& spec,
@@ -139,69 +59,19 @@ class Runner {
         n_(cluster_cfg.num_hosts),
         queries_(queries),  // owned copy: QueryState keeps pointers into it
         num_queries_(queries.size()),
+        plan_(detail::plan_run(cluster_cfg_, spec_, r, queries_)),
         setup_barrier_(engine_, n_),
         start_barrier_(engine_, n_),
         join_barrier_(engine_, n_) {
-    CJ_CHECK_MSG(!queries.empty(), "a run needs at least one query");
-    if (spec_.algorithm == Algorithm::kNestedLoops) {
-      for (const auto& q : queries) {
-        CJ_CHECK_MSG(static_cast<bool>(q.predicate),
-                     "nested-loops cyclo-join needs a predicate");
-      }
-    }
-    CJ_CHECK_MSG(!spec_.materialize || queries.size() == 1,
-                 "materialization is only supported for single-query runs");
-
-    resilient_ = !cluster_cfg_.fault.empty() && n_ > 1;
-    if (resilient_) {
-      CJ_CHECK_MSG(!spec_.materialize,
-                   "materialization is not supported under fault injection");
-      retired_board_.resize(static_cast<std::size_t>(n_));
-    }
-    if (!cluster_cfg_.fault.crashes.empty()) {
-      CJ_CHECK_MSG(cluster_cfg_.fault.crashes.size() == 1,
-                   "the fault framework supports at most one host crash");
-      const sim::HostCrashSpec& crash = cluster_cfg_.fault.crashes.front();
-      CJ_CHECK_MSG(crash.host >= 0 && crash.host < n_,
-                   "crash host out of range");
-      CJ_CHECK_MSG(n_ >= 3, "surviving a crash needs at least three hosts");
-    }
-
-    // Distribute the rotating relation and every stationary relation
-    // evenly over the hosts.
-    auto r_frags = rel::split_even(r, n_);
+    if (plan_.resilient) retired_board_.resize(static_cast<std::size_t>(n_));
     hosts_.resize(static_cast<std::size_t>(n_));
-    s_rows_.assign(static_cast<std::size_t>(n_), 0);
     for (int i = 0; i < n_; ++i) {
       auto& host = hosts_[static_cast<std::size_t>(i)];
       host = std::make_unique<HostRun>();
-      host->r_frag = std::move(r_frags[static_cast<std::size_t>(i)]);
-      r_rows_.push_back(host->r_frag.rows());
+      host->plan = &plan_.hosts[static_cast<std::size_t>(i)];
       host->join_slots =
           std::make_unique<sim::Semaphore>(engine_, spec_.join_threads);
-      host->queries.resize(queries.size());
     }
-    std::size_t max_s_rows = 0;
-    for (std::size_t q = 0; q < queries_.size(); ++q) {
-      CJ_CHECK(queries_[q].stationary != nullptr);
-      auto s_frags = rel::split_even(*queries_[q].stationary, n_);
-      for (int i = 0; i < n_; ++i) {
-        QueryState& state = hosts_[static_cast<std::size_t>(i)]->queries[q];
-        state.s_frag = std::move(s_frags[static_cast<std::size_t>(i)]);
-        state.band = queries_[q].band;  // run() copies spec_.band here
-        state.predicate = &queries_[q].predicate;
-        state.result = join::JoinResult(spec_.materialize);
-        if (resilient_) {
-          state.per_origin.reserve(static_cast<std::size_t>(n_));
-          for (int o = 0; o < n_; ++o) state.per_origin.emplace_back(false);
-        }
-        s_rows_[static_cast<std::size_t>(i)] += state.s_frag.rows();
-        max_s_rows = std::max(max_s_rows, state.s_frag.rows());
-      }
-    }
-    // Radix bits are a global agreement (every R chunk must be partitioned
-    // exactly like every host's — and every query's — S_i).
-    radix_bits_ = join::choose_radix_bits(max_s_rows, spec_.radix);
   }
 
   SharedRunReport execute() {
@@ -213,7 +83,7 @@ class Runner {
       profiler_ = std::make_unique<obs::prof::KernelProfiler>();
     }
     inject_times_.resize(static_cast<std::size_t>(n_));
-    if (resilient_) {
+    if (plan_.resilient) {
       // The termination detector listens on every origin's retire acks; it
       // must be installed before any node starts.
       for (int i = 0; i < n_; ++i) {
@@ -245,9 +115,9 @@ class Runner {
     flush_profile();
     if (obs::Tracer* t = engine_.tracer()) t->end(engine_.now(), i, "phase");
     host.stats.setup = engine_.now() - setup_start;
-    host.r_frag = rel::Relation();  // originals no longer needed
+    host.plan->r_frag = rel::Relation();  // originals no longer needed
     if (spec_.algorithm != Algorithm::kNestedLoops) {
-      for (auto& query : host.queries) query.s_frag = rel::Relation();
+      for (auto& query : host.plan->queries) query.s_frag = rel::Relation();
     }
 
     co_await setup_barrier_.arrive_and_wait();
@@ -258,14 +128,14 @@ class Runner {
       std::vector<std::span<std::byte>> slabs;
       ring::NodeCounts counts;
       if (n_ > 1) {
-        slabs.push_back(host.slab.slab());
+        slabs.push_back(host.plan->slab.slab());
         counts = counts_for(i);
       }
       const Status started = co_await node.start(counts, std::move(slabs));
       CJ_CHECK_MSG(started.is_ok(), started.to_string().c_str());
     }
     co_await start_barrier_.arrive_and_wait();
-    if (resilient_) join_phase_started_.set();
+    if (plan_.resilient) join_phase_started_.set();
 
     // ---- join phase ----------------------------------------------------
     host.join_started_at = engine_.now();
@@ -274,16 +144,16 @@ class Runner {
       t->begin(host.join_started_at, i, "phase", "join");
     }
 
-    if (n_ > 1 && host.slab.num_chunks() > 0) {
+    if (n_ > 1 && host.plan->slab.num_chunks() > 0) {
       engine_.spawn(injector(i), "injector" + std::to_string(i));
     }
 
     // Local chunks first (they are resident), then arrivals in ring order.
-    for (std::size_t c = 0; c < host.slab.num_chunks(); ++c) {
-      if (resilient_ && node.stopped()) break;  // this host died mid-run
-      co_await join_chunk(i, decode_chunk(host.slab.chunk(c)));
+    for (std::size_t c = 0; c < host.plan->slab.num_chunks(); ++c) {
+      if (plan_.resilient && node.stopped()) break;  // this host died mid-run
+      co_await join_chunk(i, decode_chunk(host.plan->slab.chunk(c)));
     }
-    if (resilient_) {
+    if (plan_.resilient) {
       // Dynamic termination: pull chunks until the retire-board detector
       // (or this host's own crash) delivers a stop chunk. An all-empty run
       // produces no acks, so kick the detector once here.
@@ -309,7 +179,7 @@ class Runner {
       }
     } else {
       const std::uint64_t arrivals =
-          n_ > 1 ? global_chunks() - host.slab.num_chunks() : 0;
+          n_ > 1 ? plan_.global_chunks() - host.plan->slab.num_chunks() : 0;
       for (std::uint64_t k = 0; k < arrivals; ++k) {
         ring::InboundChunk inbound = co_await node.next_chunk();
         const ChunkView view = decode_chunk(inbound.payload);
@@ -333,11 +203,11 @@ class Runner {
     co_await join_barrier_.arrive_and_wait();
     co_await node.drain();
 
-    if (resilient_) {
+    if (plan_.resilient) {
       // A crashed host contributes nothing; surviving hosts count only the
       // surviving origins' buckets (dead R fragments are retracted).
       if (crashed_.count(i) == 0) {
-        for (const auto& query : host.queries) {
+        for (const auto& query : host.plan->queries) {
           for (int o = 0; o < n_; ++o) {
             if (crashed_.count(o) != 0) continue;
             const auto& partial = query.per_origin[static_cast<std::size_t>(o)];
@@ -347,7 +217,7 @@ class Runner {
         }
       }
     } else {
-      for (const auto& query : host.queries) {
+      for (const auto& query : host.plan->queries) {
         host.stats.matches += query.result.matches();
         host.stats.checksum += query.result.checksum();
       }
@@ -364,13 +234,13 @@ class Runner {
   sim::Task<void> injector(int i) {
     HostRun& host = *hosts_[static_cast<std::size_t>(i)];
     ring::RoundaboutNode& node = cluster_.node(i);
-    for (std::size_t c = 0; c < host.slab.num_chunks(); ++c) {
-      if (resilient_ && node.stopped()) break;  // this host died
-      co_await node.send_local(host.slab.chunk(c));
+    for (std::size_t c = 0; c < host.plan->slab.num_chunks(); ++c) {
+      if (plan_.resilient && node.stopped()) break;  // this host died
+      co_await node.send_local(host.plan->slab.chunk(c));
       // send_local resumes us synchronously once the chunk is queued, so
       // this timestamp is the chunk's true injection time. The retire side
       // pops the front entry: the ring preserves per-origin order.
-      if (!resilient_) {
+      if (!plan_.resilient) {
         inject_times_[static_cast<std::size_t>(i)].push_back(engine_.now());
       }
     }
@@ -417,102 +287,21 @@ class Runner {
     // Resilient frames travel in-buffer ahead of the payload; chunks must
     // leave them headroom or a full chunk would overflow the ring buffer.
     const ChunkWriter writer(cluster_cfg_.node.buffer_bytes -
-                             (resilient_ ? ring::kFrameBytes : 0));
+                             (plan_.resilient ? ring::kFrameBytes : 0));
 
     std::vector<sim::Task<void>> tasks;
-    for (auto& query : host.queries) {
-      QueryState* state = &query;
-      switch (spec_.algorithm) {
-        case Algorithm::kHashJoin:
-          tasks.push_back(cores.run(
-              profiled(i,
-                       [state, this] {
-                         state->hash = join::HashJoinStationary::build(
-                             state->s_frag.tuples(), radix_bits_, spec_.radix);
-                       }),
-              "setup"));
-          break;
-        case Algorithm::kSortMergeJoin:
-          tasks.push_back(cores.run(
-              profiled(i,
-                       [state] {
-                         state->s_sorted.assign(state->s_frag.tuples().begin(),
-                                                state->s_frag.tuples().end());
-                         join::sort_fragment(state->s_sorted);
-                       }),
-              "setup"));
-          break;
-        case Algorithm::kNestedLoops:
-          tasks.push_back(cores.run(
-              profiled(i,
-                       [state] {
-                         state->s_raw.assign(state->s_frag.tuples().begin(),
-                                             state->s_frag.tuples().end());
-                       }),
-              "setup"));
-          break;
-      }
-    }
-
-    switch (spec_.algorithm) {
-      case Algorithm::kHashJoin:
-        tasks.push_back(cores.run(
-            profiled(i,
-                     [&host, &writer, this] {
-                       join::PartitionedData r_parts = join::radix_cluster(
-                           host.r_frag.tuples(), radix_bits_,
-                           spec_.radix.bits_per_pass, spec_.radix.kernel);
-                       host.slab =
-                           writer.from_partitioned(r_parts, /*origin_host=*/0);
-                     }),
-            "setup"));
-        break;
-      case Algorithm::kSortMergeJoin:
-        tasks.push_back(cores.run(
-            profiled(i,
-                     [&host, &writer] {
-                       std::vector<rel::Tuple> r_sorted(
-                           host.r_frag.tuples().begin(),
-                           host.r_frag.tuples().end());
-                       join::sort_fragment(r_sorted);
-                       host.slab = writer.from_sorted(r_sorted, /*origin_host=*/0);
-                     }),
-            "setup"));
-        break;
-      case Algorithm::kNestedLoops:
-        tasks.push_back(cores.run(
-            profiled(i,
-                     [&host, &writer] {
-                       host.slab = writer.from_raw(host.r_frag.tuples(), 0);
-                     }),
-            "setup"));
-        break;
+    for (auto& fn :
+         detail::setup_closures(spec_, plan_.radix_bits, writer, host.plan)) {
+      tasks.push_back(cores.run(profiled(i, std::move(fn)), "setup"));
     }
     co_await sim::when_all(engine_, std::move(tasks));
-    patch_origin(host.slab, i);
-  }
-
-  // The ChunkWriter runs inside measured closures that do not know their
-  // host id; stamp it afterwards (directly in the encoded headers).
-  static void patch_origin(ChunkSlab& slab, int origin) {
-    for (std::size_t c = 0; c < slab.num_chunks(); ++c) {
-      auto bytes = slab.chunk(c);
-      auto* header =
-          reinterpret_cast<ChunkHeader*>(const_cast<std::byte*>(bytes.data()));
-      header->origin_host = static_cast<std::uint16_t>(origin);
-    }
-  }
-
-  std::uint64_t global_chunks() const {
-    std::uint64_t global = 0;
-    for (const auto& host : hosts_) global += host->slab.num_chunks();
-    return global;
+    detail::patch_origin(host.plan->slab, i);
   }
 
   // With retire acks every host sends and receives exactly G messages
   // (see ring/node.h).
   ring::NodeCounts counts_for(int) const {
-    const std::uint64_t g = global_chunks();
+    const std::uint64_t g = plan_.global_chunks();
     return ring::NodeCounts{g, g};
   }
 
@@ -539,7 +328,7 @@ class Runner {
       if (crashed_.count(o) != 0) continue;
       const HostRun& host = *hosts_[static_cast<std::size_t>(o)];
       if (retired_board_[static_cast<std::size_t>(o)].size() <
-          host.slab.num_chunks()) {
+          host.plan->slab.num_chunks()) {
         return false;
       }
       if (cluster_.node(o).outstanding_unacked() != 0) return false;
@@ -551,7 +340,7 @@ class Runner {
   /// while a ring repair is splicing (stopping a node mid-splice would
   /// strand the repair handshake).
   void maybe_finish() {
-    if (!resilient_ || finished_ || repairing_ || !all_work_done()) return;
+    if (!plan_.resilient || finished_ || repairing_ || !all_work_done()) return;
     finished_ = true;
     for (int i = 0; i < n_; ++i) {
       if (crashed_.count(i) == 0) cluster_.node(i).request_stop();
@@ -575,131 +364,26 @@ class Runner {
     maybe_finish();
   }
 
-  // Runs one join work item under the host's join-thread limit.
-  static sim::Task<void> guarded(sim::Semaphore& slots, sim::Task<void> inner) {
-    co_await slots.acquire();
-    co_await std::move(inner);
-    slots.release();
-  }
-
   // Joins one chunk against every query's stationary state on host i using
-  // up to spec_.join_threads virtual cores. The chunk is over-decomposed
-  // (kTasksPerThread work items per thread) so that one slow item — e.g.
-  // the item that first pulls an S partition into cache — does not idle
-  // the other join threads at the per-chunk barrier.
-  static constexpr int kTasksPerThread = 4;
-
+  // up to spec_.join_threads virtual cores (work items over-decomposed per
+  // detail::kTasksPerThread).
   sim::Task<void> join_chunk(int i, ChunkView view) {
     HostRun& host = *hosts_[static_cast<std::size_t>(i)];
     sim::CorePool& cores = cluster_.cores(i);
     ++host.stats.chunks_processed;
-    probe_tuples_ += view.tuples.size() * host.queries.size();
+    probe_tuples_ += view.tuples.size() * host.plan->queries.size();
 
-    // deque: references to elements stay valid while later queries append.
-    std::deque<join::JoinResult> partials;
-    std::vector<join::JoinResult*> partial_sink;
+    detail::ChunkJoinWork work;
+    detail::build_chunk_work(spec_, plan_.radix_bits, plan_.resilient,
+                             *host.plan, view, work);
     std::vector<sim::Task<void>> tasks;
-    const int parts = spec_.join_threads * kTasksPerThread;
-
-    for (auto& query : host.queries) {
-      QueryState* state = &query;
-      // Resilient mode tallies per origin so a crash can retract R_dead.
-      join::JoinResult* sink =
-          resilient_
-              ? &query.per_origin[static_cast<std::size_t>(view.origin_host)]
-              : &query.result;
-      const std::size_t first_partial = partials.size();
-
-      switch (spec_.algorithm) {
-        case Algorithm::kHashJoin: {
-          CJ_CHECK_MSG(view.kind == ChunkKind::kPartitioned,
-                       "hash cyclo-join received a non-partitioned chunk");
-          CJ_CHECK_MSG(view.radix_bits == radix_bits_,
-                       "chunk partitioned with different radix bits");
-          auto groups = split_probe_work(view.runs, parts);
-          for (std::size_t g = 0; g < groups.size(); ++g) {
-            partials.emplace_back(spec_.materialize);
-            partial_sink.push_back(sink);
-          }
-          for (std::size_t g = 0; g < groups.size(); ++g) {
-            std::vector<ProbeSlice> slices = std::move(groups[g]);
-            join::JoinResult* out = &partials[first_partial + g];
-            tasks.push_back(guarded(
-                *host.join_slots,
-                cores.run(
-                    profiled(i,
-                             [state, view, slices = std::move(slices), out] {
-                               for (const ProbeSlice& slice : slices) {
-                                 state->hash->probe_partition(
-                                     slice.partition_id,
-                                     view.tuples.subspan(slice.tuple_offset,
-                                                         slice.count),
-                                     *out);
-                               }
-                             }),
-                    "join")));
-          }
-          break;
-        }
-        case Algorithm::kSortMergeJoin: {
-          CJ_CHECK_MSG(view.kind == ChunkKind::kSorted,
-                       "sort-merge cyclo-join received an unsorted chunk");
-          const auto ranges = split_ranges(view.tuples.size(), parts);
-          for (std::size_t ri = 0; ri < ranges.size(); ++ri) {
-            partials.emplace_back(spec_.materialize);
-            partial_sink.push_back(sink);
-          }
-          for (std::size_t ri = 0; ri < ranges.size(); ++ri) {
-            const auto [begin, end] = ranges[ri];
-            join::JoinResult* out = &partials[first_partial + ri];
-            const std::uint32_t band = state->band;
-            tasks.push_back(guarded(
-                *host.join_slots,
-                cores.run(
-                    profiled(i,
-                             [state, view, begin, end, band, out] {
-                               auto r_range =
-                                   view.tuples.subspan(begin, end - begin);
-                               auto window = join::matching_window(
-                                   state->s_sorted, r_range.front().key,
-                                   r_range.back().key, band);
-                               join::band_merge_join(r_range, window, band, *out);
-                             }),
-                    "join")));
-          }
-          break;
-        }
-        case Algorithm::kNestedLoops: {
-          const auto ranges = split_ranges(view.tuples.size(), parts);
-          for (std::size_t ri = 0; ri < ranges.size(); ++ri) {
-            partials.emplace_back(spec_.materialize);
-            partial_sink.push_back(sink);
-          }
-          for (std::size_t ri = 0; ri < ranges.size(); ++ri) {
-            const auto [begin, end] = ranges[ri];
-            join::JoinResult* out = &partials[first_partial + ri];
-            tasks.push_back(guarded(
-                *host.join_slots,
-                cores.run(
-                    profiled(i,
-                             [state, view, begin, end, out] {
-                               join::nested_loops_join(
-                                   view.tuples.subspan(begin, end - begin),
-                                   std::span<const rel::Tuple>(state->s_raw),
-                                   *state->predicate, *out);
-                             }),
-                    "join")));
-          }
-          break;
-        }
-      }
+    for (auto& item : work.items) {
+      tasks.push_back(detail::guarded(
+          *host.join_slots, cores.run(profiled(i, std::move(item)), "join")));
     }
-
     co_await sim::when_all(engine_, std::move(tasks));
     flush_profile();
-    for (std::size_t p = 0; p < partials.size(); ++p) {
-      partial_sink[p]->merge(partials[p]);
-    }
+    work.merge_into_sinks();
   }
 
   SharedRunReport build_report() {
@@ -711,23 +395,23 @@ class Runner {
       report.join_wall = std::max(report.join_wall, host.stats.join_phase);
       report.cpu_load_join += host.stats.cpu_load_join;
       for (std::size_t q = 0; q < num_queries_; ++q) {
-        if (resilient_) {
+        if (plan_.resilient) {
           if (crashed_.count(i) != 0) continue;
           for (int o = 0; o < n_; ++o) {
             if (crashed_.count(o) != 0) continue;
             const auto& partial =
-                host.queries[q].per_origin[static_cast<std::size_t>(o)];
+                host.plan->queries[q].per_origin[static_cast<std::size_t>(o)];
             report.queries[q].matches += partial.matches();
             report.queries[q].checksum += partial.checksum();
           }
         } else {
-          report.queries[q].matches += host.queries[q].result.matches();
-          report.queries[q].checksum += host.queries[q].result.checksum();
+          report.queries[q].matches += host.plan->queries[q].result.matches();
+          report.queries[q].checksum += host.plan->queries[q].result.checksum();
         }
       }
       report.hosts.push_back(host.stats);
       if (spec_.materialize) {
-        report.host_results.push_back(std::move(host.queries[0].result));
+        report.host_results.push_back(std::move(host.plan->queries[0].result));
       }
     }
     for (const auto& query : report.queries) {
@@ -747,8 +431,8 @@ class Runner {
       fault.degraded = !crashed_.empty();
       fault.crashed_hosts.assign(crashed_.begin(), crashed_.end());
       for (const int dead : crashed_) {
-        fault.lost_r_rows += r_rows_[static_cast<std::size_t>(dead)];
-        fault.lost_s_rows += s_rows_[static_cast<std::size_t>(dead)];
+        fault.lost_r_rows += plan_.r_rows[static_cast<std::size_t>(dead)];
+        fault.lost_s_rows += plan_.s_rows[static_cast<std::size_t>(dead)];
       }
       fault.messages_dropped = injector->counters().messages_dropped;
       fault.messages_corrupted = injector->counters().messages_corrupted;
@@ -772,7 +456,7 @@ class Runner {
     metrics_.add_counter("bytes_on_wire",
                          static_cast<std::int64_t>(report.bytes_on_wire));
     metrics_.add_counter("chunks_injected",
-                         static_cast<std::int64_t>(global_chunks()));
+                         static_cast<std::int64_t>(plan_.global_chunks()));
     metrics_.add_counter("probe_tuples",
                          static_cast<std::int64_t>(probe_tuples_));
     std::uint64_t rotated = 0;
@@ -820,24 +504,19 @@ class Runner {
   int n_;
   std::vector<SharedQuery> queries_;
   std::size_t num_queries_;
-  int radix_bits_ = 0;
+  detail::RunPlan plan_;
   Barrier setup_barrier_;
   Barrier start_barrier_;
   Barrier join_barrier_;
   std::vector<std::unique_ptr<HostRun>> hosts_;
 
   // ----- resilient-mode state ------------------------------------------
-  bool resilient_ = false;
   bool finished_ = false;   // termination detector fired
   bool repairing_ = false;  // a ring splice is in flight
   sim::Event join_phase_started_{engine_, "join-phase-started"};
   std::set<int> crashed_;
   /// Per origin: sequence numbers of its chunks that completed a revolution.
   std::vector<std::set<std::uint32_t>> retired_board_;
-  /// Row counts per host at distribution time (degraded-loss accounting;
-  /// the fragments themselves are released after setup).
-  std::vector<std::uint64_t> r_rows_;
-  std::vector<std::uint64_t> s_rows_;
 
   // ----- observability --------------------------------------------------
   /// Installed on the engine when cluster_cfg_.trace.enabled.
@@ -863,12 +542,18 @@ RunReport CycloJoin::run(const rel::Relation& r, const rel::Relation& s) {
   query.stationary = &s;
   query.band = spec_.band;
   query.predicate = spec_.predicate;
+  if (cluster_.backend == Backend::kRt) {
+    return run_rt(cluster_, spec_, r, {query});
+  }
   Runner runner(cluster_, spec_, r, {query});
   return runner.execute();
 }
 
 SharedRunReport CycloJoin::run_shared(const rel::Relation& rotating,
                                       const std::vector<SharedQuery>& queries) {
+  if (cluster_.backend == Backend::kRt) {
+    return run_rt(cluster_, spec_, rotating, queries);
+  }
   Runner runner(cluster_, spec_, rotating, queries);
   return runner.execute();
 }

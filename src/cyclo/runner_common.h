@@ -1,0 +1,387 @@
+// Backend-independent pieces of the cyclo-join runners.
+//
+// The sim runner (cyclo_join.cpp) and the rt runner (runner_rt.cpp) execute
+// the same logical plan — distribute fragments over hosts, build per-query
+// stationary state, chunk the rotating side, join every passing chunk
+// against every query — and differ only in *where* the work runs: virtual
+// cores on one deterministic DES engine versus real worker threads behind
+// per-host wall-clock engines. Everything in cj::cyclo::detail is the
+// shared plan/work layer: plain data plus std::function closures with no
+// engine affinity. Keeping a single implementation of the validation, the
+// data distribution and the kernel closures is what makes the two backends
+// result-identical (the rt parity tests in tests/rt_test.cpp rely on it).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "cyclo/chunk.h"
+#include "cyclo/config.h"
+#include "cyclo/cyclo_join.h"
+#include "join/hash_join.h"
+#include "join/join_result.h"
+#include "join/nested_loops.h"
+#include "join/sort_merge.h"
+#include "rel/relation.h"
+#include "ring/frame.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace cj::cyclo::detail {
+
+/// One query's state on one host: its stationary fragment (prepared) and
+/// its partial result. With a single query this is classic cyclo-join;
+/// with several, one rotation feeds them all (Data Cyclotron mode).
+struct QueryState {
+  rel::Relation s_frag;  // released after setup (except nested loops)
+
+  // Exactly one is populated, per algorithm.
+  std::optional<join::HashJoinStationary> hash;
+  std::vector<rel::Tuple> s_sorted;
+  std::vector<rel::Tuple> s_raw;
+
+  std::uint32_t band = 0;
+  const std::function<bool(const rel::Tuple&, const rel::Tuple&)>* predicate =
+      nullptr;
+
+  join::JoinResult result{false};
+  /// Resilient mode only: partial results keyed by the rotating chunk's
+  /// origin host. A crash retracts R_dead by dropping its bucket — the
+  /// reported result is exactly (R \ R_dead) ⋈ (S \ S_dead).
+  std::vector<join::JoinResult> per_origin;
+};
+
+/// One host's share of the plan: its rotating fragment, its per-query
+/// stationary fragments, and (after setup) its wire-ready chunk slab.
+struct HostPlan {
+  rel::Relation r_frag;  // released after setup
+  std::vector<QueryState> queries;
+  ChunkSlab slab;  // filled by the rotating-side setup closure
+};
+
+/// The validated, distributed run: what every backend executes.
+struct RunPlan {
+  bool resilient = false;
+  int radix_bits = 0;
+  std::vector<HostPlan> hosts;
+  /// Row counts per host at distribution time (degraded-loss accounting;
+  /// the fragments themselves are released after setup).
+  std::vector<std::uint64_t> r_rows;
+  std::vector<std::uint64_t> s_rows;
+
+  std::uint64_t global_chunks() const {
+    std::uint64_t global = 0;
+    for (const HostPlan& host : hosts) global += host.slab.num_chunks();
+    return global;
+  }
+};
+
+/// Validates the (cluster, spec, queries) combination and distributes the
+/// rotating and stationary relations evenly over the hosts. `queries` must
+/// outlive the plan: QueryState keeps pointers to the predicates.
+inline RunPlan plan_run(const ClusterConfig& cluster, const JoinSpec& spec,
+                        const rel::Relation& r,
+                        const std::vector<SharedQuery>& queries) {
+  const int n = cluster.num_hosts;
+  CJ_CHECK_MSG(!queries.empty(), "a run needs at least one query");
+  if (spec.algorithm == Algorithm::kNestedLoops) {
+    for (const auto& q : queries) {
+      CJ_CHECK_MSG(static_cast<bool>(q.predicate),
+                   "nested-loops cyclo-join needs a predicate");
+    }
+  }
+  CJ_CHECK_MSG(!spec.materialize || queries.size() == 1,
+               "materialization is only supported for single-query runs");
+
+  RunPlan plan;
+  plan.resilient = !cluster.fault.empty() && n > 1;
+  if (plan.resilient) {
+    CJ_CHECK_MSG(!spec.materialize,
+                 "materialization is not supported under fault injection");
+  }
+  if (!cluster.fault.crashes.empty()) {
+    CJ_CHECK_MSG(cluster.fault.crashes.size() == 1,
+                 "the fault framework supports at most one host crash");
+    const sim::HostCrashSpec& crash = cluster.fault.crashes.front();
+    CJ_CHECK_MSG(crash.host >= 0 && crash.host < n, "crash host out of range");
+    CJ_CHECK_MSG(n >= 3, "surviving a crash needs at least three hosts");
+  }
+
+  auto r_frags = rel::split_even(r, n);
+  plan.hosts.resize(static_cast<std::size_t>(n));
+  plan.s_rows.assign(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    HostPlan& host = plan.hosts[static_cast<std::size_t>(i)];
+    host.r_frag = std::move(r_frags[static_cast<std::size_t>(i)]);
+    plan.r_rows.push_back(host.r_frag.rows());
+    host.queries.resize(queries.size());
+  }
+  std::size_t max_s_rows = 0;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    CJ_CHECK(queries[q].stationary != nullptr);
+    auto s_frags = rel::split_even(*queries[q].stationary, n);
+    for (int i = 0; i < n; ++i) {
+      QueryState& state = plan.hosts[static_cast<std::size_t>(i)].queries[q];
+      state.s_frag = std::move(s_frags[static_cast<std::size_t>(i)]);
+      state.band = queries[q].band;
+      state.predicate = &queries[q].predicate;
+      state.result = join::JoinResult(spec.materialize);
+      if (plan.resilient) {
+        state.per_origin.reserve(static_cast<std::size_t>(n));
+        for (int o = 0; o < n; ++o) state.per_origin.emplace_back(false);
+      }
+      plan.s_rows[static_cast<std::size_t>(i)] += state.s_frag.rows();
+      max_s_rows = std::max(max_s_rows, state.s_frag.rows());
+    }
+  }
+  // Radix bits are a global agreement (every R chunk must be partitioned
+  // exactly like every host's — and every query's — S_i).
+  plan.radix_bits = join::choose_radix_bits(max_s_rows, spec.radix);
+  return plan;
+}
+
+/// Splits [0, n) into `parts` near-even contiguous ranges.
+inline std::vector<std::pair<std::size_t, std::size_t>> split_ranges(
+    std::size_t n, int parts) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  const auto p = static_cast<std::size_t>(std::max(1, parts));
+  for (std::size_t i = 0; i < p; ++i) {
+    const std::size_t begin = n * i / p;
+    const std::size_t end = n * (i + 1) / p;
+    if (begin != end) out.emplace_back(begin, end);
+  }
+  return out;
+}
+
+/// A contiguous range of one partition's tuples within a chunk: the unit of
+/// probe work handed to one join thread. Probes are per-tuple, so a run may
+/// be split at any point — this is what keeps all join threads busy even
+/// when a chunk holds fewer partitions than the host has cores.
+struct ProbeSlice {
+  std::uint32_t partition_id;
+  std::size_t tuple_offset;  // offset into the chunk's tuple array
+  std::size_t count;
+};
+
+inline std::vector<std::vector<ProbeSlice>> split_probe_work(
+    std::span<const PartitionRun> runs, int parts) {
+  std::uint64_t total = 0;
+  for (const auto& run : runs) total += run.count;
+  std::vector<std::vector<ProbeSlice>> groups;
+  if (total == 0) return groups;
+
+  const std::uint64_t per_group = (total + static_cast<std::uint64_t>(parts) - 1) /
+                                  static_cast<std::uint64_t>(parts);
+  groups.emplace_back();
+  std::uint64_t group_fill = 0;
+  std::size_t offset = 0;
+  for (const auto& run : runs) {
+    std::size_t run_offset = 0;
+    while (run_offset < run.count) {
+      if (group_fill >= per_group) {
+        groups.emplace_back();
+        group_fill = 0;
+      }
+      const std::size_t take = std::min<std::size_t>(
+          run.count - run_offset, static_cast<std::size_t>(per_group - group_fill));
+      groups.back().push_back(
+          ProbeSlice{run.partition_id, offset + run_offset, take});
+      group_fill += take;
+      run_offset += take;
+    }
+    offset += run.count;
+  }
+  return groups;
+}
+
+/// Join work is over-decomposed (kTasksPerThread work items per join
+/// thread) so that one slow item — e.g. the item that first pulls an S
+/// partition into cache — does not idle the other join threads at the
+/// per-chunk barrier.
+inline constexpr int kTasksPerThread = 4;
+
+/// Builds host i's setup-phase closures: one per query's stationary
+/// fragment plus one for the rotating slab. The caller schedules each on a
+/// core (tag "setup") and stamps the slab with patch_origin() afterwards.
+/// `host` must stay at a stable address until every closure has run.
+inline std::vector<std::function<void()>> setup_closures(
+    const JoinSpec& spec, int radix_bits, ChunkWriter writer, HostPlan* host) {
+  std::vector<std::function<void()>> out;
+  const join::RadixConfig radix = spec.radix;
+  for (auto& query : host->queries) {
+    QueryState* state = &query;
+    switch (spec.algorithm) {
+      case Algorithm::kHashJoin:
+        out.push_back([state, radix_bits, radix] {
+          state->hash = join::HashJoinStationary::build(state->s_frag.tuples(),
+                                                        radix_bits, radix);
+        });
+        break;
+      case Algorithm::kSortMergeJoin:
+        out.push_back([state] {
+          state->s_sorted.assign(state->s_frag.tuples().begin(),
+                                 state->s_frag.tuples().end());
+          join::sort_fragment(state->s_sorted);
+        });
+        break;
+      case Algorithm::kNestedLoops:
+        out.push_back([state] {
+          state->s_raw.assign(state->s_frag.tuples().begin(),
+                              state->s_frag.tuples().end());
+        });
+        break;
+    }
+  }
+
+  switch (spec.algorithm) {
+    case Algorithm::kHashJoin:
+      out.push_back([host, writer, radix_bits, radix] {
+        join::PartitionedData r_parts = join::radix_cluster(
+            host->r_frag.tuples(), radix_bits, radix.bits_per_pass,
+            radix.kernel);
+        host->slab = writer.from_partitioned(r_parts, /*origin_host=*/0);
+      });
+      break;
+    case Algorithm::kSortMergeJoin:
+      out.push_back([host, writer] {
+        std::vector<rel::Tuple> r_sorted(host->r_frag.tuples().begin(),
+                                         host->r_frag.tuples().end());
+        join::sort_fragment(r_sorted);
+        host->slab = writer.from_sorted(r_sorted, /*origin_host=*/0);
+      });
+      break;
+    case Algorithm::kNestedLoops:
+      out.push_back([host, writer] {
+        host->slab = writer.from_raw(host->r_frag.tuples(), 0);
+      });
+      break;
+  }
+  return out;
+}
+
+/// The ChunkWriter runs inside measured closures that do not know their
+/// host id; stamp it afterwards (directly in the encoded headers).
+inline void patch_origin(ChunkSlab& slab, int origin) {
+  for (std::size_t c = 0; c < slab.num_chunks(); ++c) {
+    auto bytes = slab.chunk(c);
+    auto* header =
+        reinterpret_cast<ChunkHeader*>(const_cast<std::byte*>(bytes.data()));
+    header->origin_host = static_cast<std::uint16_t>(origin);
+  }
+}
+
+/// One chunk's join work against every query on one host: per-item
+/// closures writing into per-item partial results, merged into the
+/// per-query sinks after all items ran. The struct must stay at a stable
+/// address while the items run (closures point into `partials`).
+struct ChunkJoinWork {
+  // deque: references to elements stay valid while later queries append.
+  std::deque<join::JoinResult> partials;
+  std::vector<join::JoinResult*> sinks;  ///< parallel to partials
+  std::vector<std::function<void()>> items;
+
+  /// Call after every item completed (single-threaded with respect to the
+  /// sinks — each host merges only into its own QueryStates).
+  void merge_into_sinks() {
+    for (std::size_t p = 0; p < partials.size(); ++p) {
+      sinks[p]->merge(partials[p]);
+    }
+  }
+};
+
+inline void build_chunk_work(const JoinSpec& spec, int radix_bits,
+                             bool resilient, HostPlan& host,
+                             const ChunkView& view, ChunkJoinWork& out) {
+  const int parts = spec.join_threads * kTasksPerThread;
+  for (auto& query : host.queries) {
+    QueryState* state = &query;
+    // Resilient mode tallies per origin so a crash can retract R_dead.
+    join::JoinResult* sink =
+        resilient
+            ? &query.per_origin[static_cast<std::size_t>(view.origin_host)]
+            : &query.result;
+    const std::size_t first_partial = out.partials.size();
+
+    switch (spec.algorithm) {
+      case Algorithm::kHashJoin: {
+        CJ_CHECK_MSG(view.kind == ChunkKind::kPartitioned,
+                     "hash cyclo-join received a non-partitioned chunk");
+        CJ_CHECK_MSG(view.radix_bits == radix_bits,
+                     "chunk partitioned with different radix bits");
+        auto groups = split_probe_work(view.runs, parts);
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+          out.partials.emplace_back(spec.materialize);
+          out.sinks.push_back(sink);
+        }
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+          std::vector<ProbeSlice> slices = std::move(groups[g]);
+          join::JoinResult* partial = &out.partials[first_partial + g];
+          out.items.push_back(
+              [state, view, slices = std::move(slices), partial] {
+                for (const ProbeSlice& slice : slices) {
+                  state->hash->probe_partition(
+                      slice.partition_id,
+                      view.tuples.subspan(slice.tuple_offset, slice.count),
+                      *partial);
+                }
+              });
+        }
+        break;
+      }
+      case Algorithm::kSortMergeJoin: {
+        CJ_CHECK_MSG(view.kind == ChunkKind::kSorted,
+                     "sort-merge cyclo-join received an unsorted chunk");
+        const auto ranges = split_ranges(view.tuples.size(), parts);
+        for (std::size_t ri = 0; ri < ranges.size(); ++ri) {
+          out.partials.emplace_back(spec.materialize);
+          out.sinks.push_back(sink);
+        }
+        for (std::size_t ri = 0; ri < ranges.size(); ++ri) {
+          const auto [begin, end] = ranges[ri];
+          join::JoinResult* partial = &out.partials[first_partial + ri];
+          const std::uint32_t band = state->band;
+          out.items.push_back([state, view, begin, end, band, partial] {
+            auto r_range = view.tuples.subspan(begin, end - begin);
+            auto window = join::matching_window(
+                state->s_sorted, r_range.front().key, r_range.back().key, band);
+            join::band_merge_join(r_range, window, band, *partial);
+          });
+        }
+        break;
+      }
+      case Algorithm::kNestedLoops: {
+        const auto ranges = split_ranges(view.tuples.size(), parts);
+        for (std::size_t ri = 0; ri < ranges.size(); ++ri) {
+          out.partials.emplace_back(spec.materialize);
+          out.sinks.push_back(sink);
+        }
+        for (std::size_t ri = 0; ri < ranges.size(); ++ri) {
+          const auto [begin, end] = ranges[ri];
+          join::JoinResult* partial = &out.partials[first_partial + ri];
+          out.items.push_back([state, view, begin, end, partial] {
+            join::nested_loops_join(view.tuples.subspan(begin, end - begin),
+                                    std::span<const rel::Tuple>(state->s_raw),
+                                    *state->predicate, *partial);
+          });
+        }
+        break;
+      }
+    }
+  }
+}
+
+/// Runs one join work item under the host's join-thread limit.
+inline sim::Task<void> guarded(sim::Semaphore& slots, sim::Task<void> inner) {
+  co_await slots.acquire();
+  co_await std::move(inner);
+  slots.release();
+}
+
+}  // namespace cj::cyclo::detail

@@ -1,0 +1,757 @@
+// The rt backend: the cyclo-join cluster as real concurrency.
+//
+// Topology. Every host gets its own wall-clock sim::Engine (one shared
+// epoch, so timestamps are comparable) driven by a dedicated OS thread; the
+// host's protocol entities — the RoundaboutNode's receiver/transmitter/
+// credit coroutines and the join loop — run single-threaded on that engine,
+// exactly as they do on the DES engine. Join kernels leave the engine
+// thread: CorePool::set_executor routes measured closures to a per-host
+// rt::Executor worker pool. Ring neighbors are connected by shared-memory
+// wires (rt/ShmLink) that keep RDMA's pre-posted-buffer + credit contract,
+// so ring/node.cpp runs unmodified.
+//
+// Cross-thread protocol. A wall-clock engine's only thread-safe entry point
+// is post(); everything here funnels through it: wire producers wake parked
+// consumers, WallBarrier releases waiters, workers complete kernels, and
+// the crash-watcher thread marshals die()/splice calls onto the victims'
+// engines. Shared runner state (retire board, crash set, termination
+// flags) lives behind one mutex; per-host state (plan, stats, node) is
+// touched only by its host's engine thread, with barriers providing the
+// happens-before edges at phase boundaries.
+//
+// Termination (resilient mode). The sim detector reads any node's
+// outstanding_unacked() at ack time; across threads that would race, so the
+// rt detector keeps a per-host "all local chunks acked" flag that is
+// updated only on that host's engine thread (where the count is private)
+// and combines it with the shared retire board under the runner mutex.
+#include "cyclo/runner_rt.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "cyclo/chunk.h"
+#include "cyclo/runner_common.h"
+#include "obs/analysis.h"
+#include "obs/metrics.h"
+#include "obs/prof.h"
+#include "obs/trace.h"
+#include "ring/frame.h"
+#include "ring/node.h"
+#include "rt/barrier.h"
+#include "rt/executor.h"
+#include "rt/wire.h"
+#include "sim/core_pool.h"
+#include "sim/engine.h"
+#include "sim/sync.h"
+#include "sim/when_all.h"
+
+namespace cj::cyclo {
+
+namespace {
+
+/// A parked run (no events, no posts) this long is a protocol deadlock.
+constexpr SimDuration kIdleAbort = 120 * kSecond;
+
+/// ack_timeout is *wall* time on this backend; the sim default (5 virtual
+/// milliseconds) is shorter than ordinary scheduler jitter and would cause
+/// spurious re-injections, so the runner enforces a floor. Dedup makes
+/// early re-injection harmless, but fault counters should stay quiet in
+/// crash-free stretches.
+constexpr SimDuration kMinAckTimeout = 200 * kMillisecond;
+
+class RtRunner {
+ public:
+  RtRunner(const ClusterConfig& cfg, const JoinSpec& spec,
+           const rel::Relation& r, const std::vector<SharedQuery>& queries)
+      : cfg_(cfg),
+        spec_(spec),
+        n_(cfg.num_hosts),
+        queries_(queries),  // owned copy: QueryState keeps pointers into it
+        num_queries_(queries.size()),
+        epoch_(sim::Engine::WallClock::now()),
+        setup_barrier_(n_),
+        start_barrier_(n_),
+        join_barrier_(n_) {
+    // The rt backend has no fault-injecting transport: messages cross a
+    // mutex, not a lossy link. Crashes (fail-stop + ring repair) are the
+    // supported — and the interesting — fault class.
+    CJ_CHECK_MSG(
+        cfg_.fault.link.drop_prob == 0.0 && cfg_.fault.link.corrupt_prob == 0.0,
+        "the rt backend supports crash faults only (no link faults)");
+    CJ_CHECK_MSG(cfg_.fault.slowdowns.empty(),
+                 "the rt backend supports crash faults only (no slowdowns)");
+    plan_ = detail::plan_run(cfg_, spec_, r, queries_);
+  }
+
+  SharedRunReport execute() {
+    if (cfg_.trace.enabled) tracer_ = std::make_shared<obs::Tracer>();
+    if (cfg_.profile.enabled) {
+      profiler_ = std::make_unique<obs::prof::KernelProfiler>();
+    }
+    build_hosts();
+    if (plan_.resilient) {
+      retired_board_.resize(static_cast<std::size_t>(n_));
+      acked_clear_.assign(static_cast<std::size_t>(n_), false);
+      injector_done_.assign(static_cast<std::size_t>(n_), false);
+    }
+    inject_times_.resize(static_cast<std::size_t>(n_));
+
+    // Roots are spawned before the engine threads start (an engine is
+    // single-threaded; pre-start spawns are published by thread creation).
+    for (int i = 0; i < n_; ++i) {
+      host(i).engine->spawn(host_process(i), "host" + std::to_string(i));
+    }
+
+    std::vector<std::thread> watchers;
+    for (const sim::HostCrashSpec& crash : cfg_.fault.crashes) {
+      watchers.emplace_back([this, crash] { crash_watcher_main(crash); });
+    }
+    for (int i = 0; i < n_; ++i) {
+      HostRt& h = host(i);
+      h.thread = std::thread([&h] {
+        h.engine->run();
+        h.engine->check_all_complete();
+      });
+    }
+    for (int i = 0; i < n_; ++i) host(i).thread.join();
+    {
+      // Release a watcher whose crash time never arrived.
+      std::lock_guard<std::mutex> lk(mu_);
+      finished_ = true;
+      crash_cv_.notify_all();
+    }
+    for (std::thread& w : watchers) w.join();
+    return build_report();
+  }
+
+ private:
+  struct HostRt {
+    std::unique_ptr<sim::Engine> engine;
+    std::unique_ptr<rt::Executor> executor;
+    std::unique_ptr<sim::CorePool> cores;
+    std::unique_ptr<ring::RoundaboutNode> node;
+    std::unique_ptr<sim::Semaphore> join_slots;
+    std::thread thread;
+    detail::HostPlan* plan = nullptr;
+    HostStats stats;
+    SimDuration busy_at_join_start = 0;
+    SimTime join_started_at = 0;
+    SimTime done_at = 0;
+  };
+
+  HostRt& host(int i) { return *hosts_[static_cast<std::size_t>(i)]; }
+
+  int successor(int i) const { return (i + 1) % n_; }
+  int predecessor(int i) const { return (i + n_ - 1) % n_; }
+
+  void build_hosts() {
+    hosts_.reserve(static_cast<std::size_t>(n_));
+    for (int i = 0; i < n_; ++i) {
+      auto h = std::make_unique<HostRt>();
+      h->engine = std::make_unique<sim::Engine>(sim::ClockMode::kWall, epoch_);
+      h->engine->set_idle_abort(kIdleAbort);
+      if (tracer_ != nullptr) h->engine->set_tracer(tracer_.get());
+      h->executor = std::make_unique<rt::Executor>(cfg_.cores_per_host);
+      // cpu_scale / context-switch billing do not apply: wall time already
+      // is real time (CorePool::set_executor docs).
+      h->cores = std::make_unique<sim::CorePool>(*h->engine, cfg_.cores_per_host);
+      h->cores->set_trace_host(i);
+      h->cores->set_executor(h->executor.get());
+      h->join_slots =
+          std::make_unique<sim::Semaphore>(*h->engine, spec_.join_threads);
+      h->plan = &plan_.hosts[static_cast<std::size_t>(i)];
+      hosts_.push_back(std::move(h));
+    }
+
+    if (n_ > 1) {
+      for (int i = 0; i < n_; ++i) {
+        links_.push_back(std::make_unique<rt::ShmLink>());
+        // links_[i] is the edge i -> succ(i): endpoint a is host i's out
+        // wire, endpoint b the successor's in wire. Each endpoint's engine
+        // is the one running its consumer coroutines.
+        links_.back()->a().attach_engine(host(i).engine.get());
+        links_.back()->b().attach_engine(host(successor(i)).engine.get());
+      }
+    }
+
+    ring::NodeConfig node_cfg = cfg_.node;
+    // Shared-memory wires keep the posted-buffer contract, so credits are
+    // as mandatory as over RDMA regardless of the configured transport.
+    node_cfg.use_credits = true;
+    node_cfg.resilience.enabled = plan_.resilient;
+    node_cfg.resilience.num_hosts = n_;
+    node_cfg.resilience.ack_timeout =
+        std::max(node_cfg.resilience.ack_timeout, kMinAckTimeout);
+    for (int i = 0; i < n_; ++i) {
+      HostRt& h = host(i);
+      node_cfg.resilience.host_id = i;
+      node_cfg.trace_host = i;
+      ring::Wire* in =
+          n_ > 1 ? &links_[static_cast<std::size_t>(predecessor(i))]->b()
+                 : nullptr;
+      ring::Wire* out =
+          n_ > 1 ? &links_[static_cast<std::size_t>(i)]->a() : nullptr;
+      h.node = std::make_unique<ring::RoundaboutNode>(*h.engine, *h.cores, in,
+                                                      out, node_cfg);
+      if (plan_.resilient) {
+        // Runs on host i's engine thread each time one of i's local chunks
+        // is acknowledged (must be installed before start()).
+        h.node->set_on_ack([this, i] { on_ack(i); });
+      }
+    }
+  }
+
+  sim::Task<void> host_process(int i) {
+    HostRt& host = this->host(i);
+    sim::Engine& engine = *host.engine;
+    sim::CorePool& cores = *host.cores;
+    ring::RoundaboutNode& node = *host.node;
+
+    // ---- setup phase -------------------------------------------------
+    const SimTime setup_start = engine.now();
+    if (obs::Tracer* t = engine.tracer()) t->begin(setup_start, i, "phase", "setup");
+    co_await run_setup(i);
+    flush_profile(engine);
+    if (obs::Tracer* t = engine.tracer()) t->end(engine.now(), i, "phase");
+    host.stats.setup = engine.now() - setup_start;
+    host.plan->r_frag = rel::Relation();  // originals no longer needed
+    if (spec_.algorithm != Algorithm::kNestedLoops) {
+      for (auto& query : host.plan->queries) query.s_frag = rel::Relation();
+    }
+
+    co_await setup_barrier_.arrive_and_wait(engine);
+
+    // ---- transport bring-up -------------------------------------------
+    // Counts are known only now (chunking is data-dependent); the barrier
+    // above also publishes every host's slab for counts_for().
+    {
+      std::vector<std::span<std::byte>> slabs;
+      ring::NodeCounts counts;
+      if (n_ > 1) {
+        slabs.push_back(host.plan->slab.slab());
+        counts = counts_for();
+      }
+      const Status started = co_await node.start(counts, std::move(slabs));
+      CJ_CHECK_MSG(started.is_ok(), started.to_string().c_str());
+    }
+    co_await start_barrier_.arrive_and_wait(engine);
+    if (plan_.resilient) {
+      std::lock_guard<std::mutex> lk(mu_);
+      join_started_ = true;
+      crash_cv_.notify_all();
+    }
+
+    // ---- join phase ----------------------------------------------------
+    host.join_started_at = engine.now();
+    host.busy_at_join_start = cores.busy_total();
+    if (obs::Tracer* t = engine.tracer()) {
+      t->begin(host.join_started_at, i, "phase", "join");
+    }
+
+    if (n_ > 1 && host.plan->slab.num_chunks() > 0) {
+      engine.spawn(injector(i), "injector" + std::to_string(i));
+    } else if (plan_.resilient) {
+      mark_injector_done(i);  // nothing to inject, nothing to await acks for
+    }
+
+    // Local chunks first (they are resident), then arrivals in ring order.
+    for (std::size_t c = 0; c < host.plan->slab.num_chunks(); ++c) {
+      if (plan_.resilient && node.stopped()) break;  // this host died mid-run
+      co_await join_chunk(i, decode_chunk(host.plan->slab.chunk(c)));
+    }
+    if (plan_.resilient) {
+      maybe_finish();  // an all-empty run produces no acks or retires
+      while (true) {
+        ring::InboundChunk inbound = co_await node.next_chunk();
+        if (inbound.stop) break;
+        const ChunkView view = decode_chunk(inbound.payload);
+        const int origin = inbound.origin;
+        const std::uint32_t seq = inbound.seq;
+        const bool origin_dead = is_crashed(origin);
+        if (!inbound.duplicate && !origin_dead) co_await join_chunk(i, view);
+        if (origin_dead) {
+          // A dead origin can neither take an ack nor re-inject; retire its
+          // chunk quietly at the first surviving host that notices.
+          node.retire(inbound, /*send_ack=*/false);
+        } else if (surviving_successor(i) == origin) {
+          node.retire(inbound);  // full revolution completed
+          note_retired(origin, seq);
+        } else {
+          node.forward(inbound);
+        }
+      }
+    } else {
+      const std::uint64_t arrivals =
+          n_ > 1 ? plan_.global_chunks() - host.plan->slab.num_chunks() : 0;
+      for (std::uint64_t k = 0; k < arrivals; ++k) {
+        ring::InboundChunk inbound = co_await node.next_chunk();
+        const ChunkView view = decode_chunk(inbound.payload);
+        co_await join_chunk(i, view);
+        if (successor(i) == view.origin_host) {
+          record_revolution(view.origin_host, engine.now());
+          node.retire(inbound);  // full revolution completed
+        } else {
+          node.forward(inbound);
+        }
+      }
+    }
+
+    const SimTime join_end = engine.now();
+    if (obs::Tracer* t = engine.tracer()) t->end(join_end, i, "phase");
+    host.stats.join_phase = join_end - host.join_started_at;
+    host.stats.sync = node.sync_time();
+    host.stats.cpu_load_join =
+        cores.utilization(host.busy_at_join_start, host.stats.join_phase);
+
+    co_await join_barrier_.arrive_and_wait(engine);
+    co_await node.drain();
+
+    if (plan_.resilient) {
+      // A crashed host contributes nothing; surviving hosts count only the
+      // surviving origins' buckets (dead R fragments are retracted).
+      if (!is_crashed(i)) {
+        for (const auto& query : host.plan->queries) {
+          for (int o = 0; o < n_; ++o) {
+            if (is_crashed(o)) continue;
+            const auto& partial = query.per_origin[static_cast<std::size_t>(o)];
+            host.stats.matches += partial.matches();
+            host.stats.checksum += partial.checksum();
+          }
+        }
+      }
+    } else {
+      for (const auto& query : host.plan->queries) {
+        host.stats.matches += query.result.matches();
+        host.stats.checksum += query.result.checksum();
+      }
+    }
+    host.stats.bytes_sent = node.bytes_sent();
+    host.stats.busy_by_tag = cores.busy_by_tag();
+    host.stats.chunks_reinjected = node.chunks_reinjected();
+    host.stats.chunks_recovered = node.chunks_recovered();
+    host.stats.corrupt_discards = node.chunks_discarded_corrupt();
+    host.stats.duplicates_skipped = node.duplicates_skipped();
+    host.stats.send_failures = node.send_failures();
+    host.done_at = engine.now();
+  }
+
+  sim::Task<void> injector(int i) {
+    HostRt& host = this->host(i);
+    ring::RoundaboutNode& node = *host.node;
+    for (std::size_t c = 0; c < host.plan->slab.num_chunks(); ++c) {
+      if (plan_.resilient && node.stopped()) break;  // this host died
+      co_await node.send_local(host.plan->slab.chunk(c));
+      if (!plan_.resilient) {
+        std::lock_guard<std::mutex> lk(mu_);
+        inject_times_[static_cast<std::size_t>(i)].push_back(
+            host.engine->now());
+      }
+    }
+    if (plan_.resilient) mark_injector_done(i);
+  }
+
+  /// Coarse revolution-makespan sample (retire order across threads is not
+  /// exactly injection order, unlike the deterministic sim pairing).
+  void record_revolution(int origin, SimTime now) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto& pending = inject_times_[static_cast<std::size_t>(origin)];
+    if (pending.empty()) return;
+    metrics_.record("revolution_ns", now - pending.front());
+    pending.pop_front();
+  }
+
+  template <typename Fn>
+  auto profiled(int i, Fn fn) {
+    return [this, i, fn = std::move(fn)] {
+      // Installed on the *worker* thread the kernel runs on; the profiler
+      // accumulates from all workers under its own lock.
+      obs::prof::ScopedContext ctx(profiler_.get(), i, "core");
+      fn();
+    };
+  }
+
+  void flush_profile(sim::Engine& engine) {
+    if (profiler_ != nullptr && tracer_ != nullptr) {
+      profiler_->flush_to_tracer(*tracer_, engine.now());
+    }
+  }
+
+  sim::Task<void> run_setup(int i) {
+    HostRt& host = this->host(i);
+    // Resilient frames travel in-buffer ahead of the payload; chunks must
+    // leave them headroom or a full chunk would overflow the ring buffer.
+    const ChunkWriter writer(cfg_.node.buffer_bytes -
+                             (plan_.resilient ? ring::kFrameBytes : 0));
+    std::vector<sim::Task<void>> tasks;
+    for (auto& fn :
+         detail::setup_closures(spec_, plan_.radix_bits, writer, host.plan)) {
+      tasks.push_back(host.cores->run(profiled(i, std::move(fn)), "setup"));
+    }
+    co_await sim::when_all(*host.engine, std::move(tasks));
+    detail::patch_origin(host.plan->slab, i);
+  }
+
+  sim::Task<void> join_chunk(int i, ChunkView view) {
+    HostRt& host = this->host(i);
+    ++host.stats.chunks_processed;
+    probe_tuples_ += view.tuples.size() * host.plan->queries.size();
+
+    detail::ChunkJoinWork work;
+    detail::build_chunk_work(spec_, plan_.radix_bits, plan_.resilient,
+                             *host.plan, view, work);
+    std::vector<sim::Task<void>> tasks;
+    for (auto& item : work.items) {
+      tasks.push_back(detail::guarded(
+          *host.join_slots,
+          host.cores->run(profiled(i, std::move(item)), "join")));
+    }
+    co_await sim::when_all(*host.engine, std::move(tasks));
+    flush_profile(*host.engine);
+    work.merge_into_sinks();
+  }
+
+  ring::NodeCounts counts_for() const {
+    const std::uint64_t g = plan_.global_chunks();
+    return ring::NodeCounts{g, g};
+  }
+
+  // ----- resilient-mode termination detection --------------------------
+
+  bool is_crashed(int h) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return crashed_.count(h) != 0;
+  }
+
+  /// The next alive host downstream of i on the (possibly spliced) ring.
+  int surviving_successor(int i) {
+    std::lock_guard<std::mutex> lk(mu_);
+    int s = successor(i);
+    while (crashed_.count(s) != 0) s = successor(s);
+    return s;
+  }
+
+  /// Host i's engine thread: one of i's local chunks was acknowledged.
+  /// outstanding_unacked() is engine-thread private, so this is the only
+  /// place (besides mark_injector_done) allowed to read it.
+  void on_ack(int i) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      acked_clear_[static_cast<std::size_t>(i)] =
+          injector_done_[static_cast<std::size_t>(i)] &&
+          host(i).node->outstanding_unacked() == 0;
+    }
+    maybe_finish();
+  }
+
+  /// Host i's engine thread: the injector sent its last local chunk (or had
+  /// none). Until this, acked_clear_ stays pinned false — a transient
+  /// outstanding == 0 between two injections must not look like completion.
+  void mark_injector_done(int i) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      injector_done_[static_cast<std::size_t>(i)] = true;
+      acked_clear_[static_cast<std::size_t>(i)] =
+          host(i).node->outstanding_unacked() == 0;
+    }
+    maybe_finish();
+  }
+
+  void note_retired(int origin, std::uint32_t seq) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      retired_board_[static_cast<std::size_t>(origin)].insert(seq);
+    }
+    maybe_finish();
+  }
+
+  /// Caller holds mu_. Slab chunk counts are safe to read: they are written
+  /// before the setup barrier, which happens-before every join-phase event.
+  bool all_work_done_locked() {
+    for (int o = 0; o < n_; ++o) {
+      if (crashed_.count(o) != 0) continue;
+      if (retired_board_[static_cast<std::size_t>(o)].size() <
+          host(o).plan->slab.num_chunks()) {
+        return false;
+      }
+      if (!acked_clear_[static_cast<std::size_t>(o)]) return false;
+    }
+    return true;
+  }
+
+  void maybe_finish() {
+    std::vector<int> survivors;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!plan_.resilient || finished_ || repairing_ || !all_work_done_locked()) {
+        return;
+      }
+      finished_ = true;
+      crash_cv_.notify_all();  // a pending watcher stands down
+      for (int i = 0; i < n_; ++i) {
+        if (crashed_.count(i) == 0) survivors.push_back(i);
+      }
+    }
+    for (const int i : survivors) {
+      host(i).engine->post([this, i] { host(i).node->request_stop(); });
+    }
+  }
+
+  // ----- crash control (watcher thread) -------------------------------
+
+  /// Blocks the watcher thread until `fn` has run on `h`'s engine thread.
+  void post_and_wait(int h, std::function<void()> fn) {
+    auto done = std::make_shared<std::promise<void>>();
+    auto ran = done->get_future();
+    host(h).engine->post([fn = std::move(fn), done] {
+      fn();
+      done->set_value();
+    });
+    ran.get();
+  }
+
+  static sim::Task<void> notify_when_done(
+      sim::Task<void> inner, std::shared_ptr<std::promise<void>> done) {
+    co_await std::move(inner);
+    done->set_value();
+  }
+
+  static sim::Task<void> splice_in_task(RtRunner* self, int succ,
+                                        rt::ShmLink* link,
+                                        std::shared_ptr<int> credits) {
+    *credits = co_await self->host(succ).node->splice_in(&link->b());
+  }
+
+  static sim::Task<void> splice_out_task(RtRunner* self, int pred,
+                                         rt::ShmLink* link,
+                                         std::shared_ptr<int> credits) {
+    co_await self->host(pred).node->splice_out(&link->a(), *credits);
+  }
+
+  /// Spawns the coroutine `make()` produces on `h`'s engine and blocks the
+  /// watcher thread until it completes.
+  void run_coro_on(int h, std::function<sim::Task<void>()> make) {
+    auto done = std::make_shared<std::promise<void>>();
+    auto ran = done->get_future();
+    host(h).engine->post([this, h, make = std::move(make), done] {
+      host(h).engine->spawn(notify_when_done(make(), done), "repair");
+    });
+    ran.get();
+  }
+
+  void crash_watcher_main(sim::HostCrashSpec spec) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      // spec.at is wall time since the run's epoch on this backend.
+      crash_cv_.wait_until(lk, epoch_ + std::chrono::nanoseconds(spec.at),
+                           [this] { return finished_; });
+      if (finished_) return;
+      // A crash during setup degenerates to a shorter ring from the start;
+      // the interesting (and supported) case is a crash of a live ring.
+      crash_cv_.wait(lk, [this] { return join_started_ || finished_; });
+      if (finished_) return;  // the run beat the crash to the finish line
+      repairing_ = true;
+      crashed_.insert(spec.host);
+    }
+    // Fail-stop on the victim's own engine thread: wires break, entities
+    // unwind, the victim's join loop sees a stop chunk.
+    post_and_wait(spec.host, [this, spec] { host(spec.host).node->die(); });
+    splice_around(spec.host);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      repairing_ = false;
+    }
+    // The crash may itself complete the run (the dead host's unfinished
+    // work no longer counts).
+    maybe_finish();
+  }
+
+  /// Ring repair after `dead` fail-stopped: a fresh shared-memory link
+  /// between the dead host's neighbors, spliced in the same order as
+  /// Cluster::splice_around — inbound side first, because the successor
+  /// reports how many receive buffers it re-posted, which is exactly the
+  /// predecessor's opening credit balance.
+  void splice_around(int dead) {
+    const int pred = predecessor(dead);
+    const int succ = successor(dead);
+    auto link = std::make_unique<rt::ShmLink>();
+    link->a().attach_engine(host(pred).engine.get());
+    link->b().attach_engine(host(succ).engine.get());
+    rt::ShmLink* raw = link.get();
+    repair_links_.push_back(std::move(link));
+
+    if (tracer_ != nullptr) {
+      tracer_->instant(host(pred).engine->now(), obs::kGlobalHost, "fault",
+                       "fault.splice", dead);
+    }
+
+    auto credits = std::make_shared<int>(0);
+    // The factories below must stay ordinary lambdas returning a task built
+    // from a *function* coroutine: a capturing-lambda coroutine keeps its
+    // captures in the lambda object, which dies with the posted closure
+    // while the splice is still suspended. Function parameters are copied
+    // into the coroutine frame and survive.
+    run_coro_on(succ, [this, succ, raw, credits] {
+      return splice_in_task(this, succ, raw, credits);
+    });
+    run_coro_on(pred, [this, pred, raw, credits] {
+      return splice_out_task(this, pred, raw, credits);
+    });
+  }
+
+  // ----- reporting ------------------------------------------------------
+
+  SharedRunReport build_report() {
+    // All engine and watcher threads are joined: every host's state is
+    // published to this thread and the run is single-threaded again.
+    SharedRunReport report;
+    report.queries.resize(num_queries_);
+    for (int i = 0; i < n_; ++i) {
+      HostRt& host = this->host(i);
+      report.setup_wall = std::max(report.setup_wall, host.stats.setup);
+      report.join_wall = std::max(report.join_wall, host.stats.join_phase);
+      report.total_wall = std::max(report.total_wall, host.done_at);
+      report.cpu_load_join += host.stats.cpu_load_join;
+      for (std::size_t q = 0; q < num_queries_; ++q) {
+        if (plan_.resilient) {
+          if (crashed_.count(i) != 0) continue;
+          for (int o = 0; o < n_; ++o) {
+            if (crashed_.count(o) != 0) continue;
+            const auto& partial =
+                host.plan->queries[q].per_origin[static_cast<std::size_t>(o)];
+            report.queries[q].matches += partial.matches();
+            report.queries[q].checksum += partial.checksum();
+          }
+        } else {
+          report.queries[q].matches += host.plan->queries[q].result.matches();
+          report.queries[q].checksum += host.plan->queries[q].result.checksum();
+        }
+      }
+      report.hosts.push_back(host.stats);
+      if (spec_.materialize) {
+        report.host_results.push_back(std::move(host.plan->queries[0].result));
+      }
+    }
+    for (const auto& query : report.queries) {
+      report.matches += query.matches;
+      report.checksum += query.checksum;
+    }
+    report.cpu_load_join /= n_;
+    for (const auto& link : links_) report.bytes_on_wire += link->bytes_sent(0);
+    for (const auto& link : repair_links_) {
+      report.bytes_on_wire += link->bytes_sent(0);
+    }
+    if (n_ > 1 && report.join_wall > 0) {
+      report.link_throughput_bps =
+          static_cast<double>(links_[0]->bytes_sent(0)) /
+          to_seconds(report.join_wall);
+    }
+    if (!cfg_.fault.empty()) {
+      FaultReport& fault = report.fault;
+      fault.degraded = !crashed_.empty();
+      fault.crashed_hosts.assign(crashed_.begin(), crashed_.end());
+      for (const int dead : crashed_) {
+        fault.lost_r_rows += plan_.r_rows[static_cast<std::size_t>(dead)];
+        fault.lost_s_rows += plan_.s_rows[static_cast<std::size_t>(dead)];
+      }
+      // No lossy transport, no simulated RNIC: drop/corrupt/retransmit
+      // counters are structurally zero on this backend.
+      for (const HostStats& stats : report.hosts) {
+        fault.chunks_reinjected += stats.chunks_reinjected;
+        fault.chunks_recovered += stats.chunks_recovered;
+        fault.corrupt_discards += stats.corrupt_discards;
+        fault.duplicates_skipped += stats.duplicates_skipped;
+      }
+    }
+    fill_metrics(report);
+    return report;
+  }
+
+  void fill_metrics(SharedRunReport& report) {
+    metrics_.add_counter("bytes_on_wire",
+                         static_cast<std::int64_t>(report.bytes_on_wire));
+    metrics_.add_counter("chunks_injected",
+                         static_cast<std::int64_t>(plan_.global_chunks()));
+    metrics_.add_counter("probe_tuples",
+                         static_cast<std::int64_t>(probe_tuples_.load()));
+    std::uint64_t rotated = 0;
+    for (int i = 0; i < n_; ++i) {
+      rotated += host(i).stats.chunks_processed;
+      for (const auto& [tag, busy] : host(i).stats.busy_by_tag) {
+        metrics_.add_counter("busy." + tag, busy);
+      }
+    }
+    metrics_.add_counter("chunks_rotated", static_cast<std::int64_t>(rotated));
+    metrics_.add_counter("context_switches", 0);  // real cores: not modeled
+    metrics_.set_gauge("cpu_load_join", report.cpu_load_join);
+    metrics_.set_gauge("link_throughput_bps", report.link_throughput_bps);
+    if (tracer_ != nullptr) {
+      for (const obs::HostOverlap& o : obs::overlap_by_host(*tracer_)) {
+        metrics_.set_gauge("host" + std::to_string(o.host) + ".overlap_ratio",
+                           o.ratio);
+      }
+      report.trace = tracer_;
+    }
+    if (profiler_ != nullptr) report.profile = profiler_->snapshot();
+    report.metrics = metrics_.snapshot();
+  }
+
+  ClusterConfig cfg_;
+  JoinSpec spec_;
+  int n_;
+  std::vector<SharedQuery> queries_;
+  std::size_t num_queries_;
+  sim::Engine::WallClock::time_point epoch_;
+  detail::RunPlan plan_;
+  rt::WallBarrier setup_barrier_;
+  rt::WallBarrier start_barrier_;
+  rt::WallBarrier join_barrier_;
+  std::vector<std::unique_ptr<HostRt>> hosts_;
+  std::vector<std::unique_ptr<rt::ShmLink>> links_;
+  std::vector<std::unique_ptr<rt::ShmLink>> repair_links_;
+
+  // ----- shared runner state, guarded by mu_ ---------------------------
+  std::mutex mu_;
+  std::condition_variable crash_cv_;
+  bool join_started_ = false;
+  bool finished_ = false;
+  bool repairing_ = false;
+  std::set<int> crashed_;
+  /// Per origin: sequence numbers of its chunks that completed a revolution.
+  std::vector<std::set<std::uint32_t>> retired_board_;
+  /// Per host: injector finished, and (strictly after that) all of the
+  /// host's local chunks acked. Written only from that host's engine
+  /// thread; read by the detector under mu_.
+  std::vector<bool> acked_clear_;
+  std::vector<bool> injector_done_;
+  std::vector<std::deque<SimTime>> inject_times_;
+
+  // ----- observability --------------------------------------------------
+  std::shared_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::prof::KernelProfiler> profiler_;
+  obs::MetricsRegistry metrics_;
+  std::atomic<std::uint64_t> probe_tuples_{0};
+};
+
+}  // namespace
+
+SharedRunReport run_rt(const ClusterConfig& cluster, const JoinSpec& spec,
+                       const rel::Relation& rotating,
+                       const std::vector<SharedQuery>& queries) {
+  RtRunner runner(cluster, spec, rotating, queries);
+  return runner.execute();
+}
+
+}  // namespace cj::cyclo

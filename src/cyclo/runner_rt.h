@@ -1,0 +1,24 @@
+// The wall-clock runtime backend's run entry point (Backend::kRt).
+//
+// run_rt() executes the same plan as the sim Runner — same validation, same
+// distribution, same kernel closures (runner_common.h), same unmodified
+// roundabout protocol (ring/node.cpp) — but as real concurrency: one OS
+// thread and wall-clock engine per host, a real worker-thread pool per
+// host's CorePool, and shared-memory wires (rt/wire.h) between ring
+// neighbors. See docs/RUNTIME.md.
+#pragma once
+
+#include <vector>
+
+#include "cyclo/cyclo_join.h"
+
+namespace cj::cyclo {
+
+/// Runs the query set on the rt backend and reports like the sim runner
+/// (matches/checksums are identical; timings are wall-clock nanoseconds).
+/// Supports crash-only fault plans; link faults and slowdowns are rejected.
+SharedRunReport run_rt(const ClusterConfig& cluster, const JoinSpec& spec,
+                       const rel::Relation& rotating,
+                       const std::vector<SharedQuery>& queries);
+
+}  // namespace cj::cyclo

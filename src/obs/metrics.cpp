@@ -39,6 +39,7 @@ void append_double(std::string& out, double v) {
 }  // namespace
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
   MetricsSnapshot snap;
   snap.counters = counters_;
   snap.gauges = gauges_;

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -48,17 +49,24 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
+  // Writes are internally locked so rt host threads can share one
+  // registry; the sim backend pays only an uncontended lock.
+
   void add_counter(const std::string& name, std::int64_t delta) {
+    std::lock_guard<std::mutex> lk(mu_);
     counters_[name] += delta;
   }
   void set_gauge(const std::string& name, double value) {
+    std::lock_guard<std::mutex> lk(mu_);
     gauges_[name] = value;
   }
   void record(const std::string& name, std::int64_t sample) {
+    std::lock_guard<std::mutex> lk(mu_);
     histograms_[name].push_back(sample);
   }
 
   std::int64_t counter(const std::string& name) const {
+    std::lock_guard<std::mutex> lk(mu_);
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
   }
@@ -66,6 +74,7 @@ class MetricsRegistry {
   MetricsSnapshot snapshot() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, std::int64_t> counters_;
   std::map<std::string, double> gauges_;
   std::map<std::string, std::vector<std::int64_t>> histograms_;

@@ -213,12 +213,19 @@ bool KernelProfiler::Key::operator<(const Key& o) const {
   return std::tie(host, entity, phase) < std::tie(o.host, o.entity, o.phase);
 }
 
+const PerfCounters& KernelProfiler::thread_counters() {
+  thread_local PerfCounters counters;
+  return counters;
+}
+
 void KernelProfiler::record(int host, std::string_view entity,
                             std::string_view phase, const PhaseTotals& delta) {
+  std::lock_guard<std::mutex> lk(mu_);
   totals_[Key{host, std::string(entity), std::string(phase)}].add(delta);
 }
 
 KernelProfile KernelProfiler::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
   KernelProfile out;
   out.hardware = hardware();
   out.rows.reserve(totals_.size());
@@ -229,6 +236,7 @@ KernelProfile KernelProfiler::snapshot() const {
 }
 
 void KernelProfiler::flush_to_tracer(Tracer& tracer, std::int64_t ts) {
+  std::lock_guard<std::mutex> lk(mu_);
   const bool hw = hardware();
   for (const auto& [key, totals] : totals_) {
     PhaseTotals& last = flushed_[key];
@@ -269,12 +277,12 @@ ScopedContext::~ScopedContext() {
 ScopedProfile::ScopedProfile(KernelProfiler* profiler, std::string_view phase,
                              std::uint64_t tuples)
     : profiler_(profiler), phase_(phase), tuples_(tuples) {
-  if (profiler_ != nullptr) start_ = profiler_->counters().read();
+  if (profiler_ != nullptr) start_ = KernelProfiler::thread_counters().read();
 }
 
 ScopedProfile::~ScopedProfile() {
   if (profiler_ == nullptr) return;
-  const CounterSample end = profiler_->counters().read();
+  const CounterSample end = KernelProfiler::thread_counters().read();
   PhaseTotals delta;
   delta.invocations = 1;
   delta.tuples = tuples_;

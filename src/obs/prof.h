@@ -27,12 +27,17 @@
 // measured CPU time that drives virtual clocks — a profiled run is for
 // attribution, never for golden figures (docs/OBSERVABILITY.md).
 //
-// Everything here is single-threaded by design, like the Tracer and the
-// MetricsRegistry: the simulator executes all measured work on one thread.
+// Threading: the sim backend executes all measured work on one thread; the
+// rt backend runs kernels on real worker threads. Counter groups are bound
+// to a thread by perf_event_open, so ScopedProfile reads a *thread-local*
+// group (each worker lazily opens its own), and KernelProfiler locks its
+// accumulation maps so regions from several threads can record into one
+// profiler.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -134,6 +139,11 @@ class KernelProfiler {
   bool hardware() const { return counters_.hardware(); }
   const PerfCounters& counters() const { return counters_; }
 
+  /// The calling thread's counter group, opened on first use. Regions read
+  /// this one — never counters() — so a region measures the thread it runs
+  /// on (rt workers included).
+  static const PerfCounters& thread_counters();
+
   void record(int host, std::string_view entity, std::string_view phase,
               const PhaseTotals& delta);
 
@@ -155,6 +165,7 @@ class KernelProfiler {
   };
 
   PerfCounters counters_;
+  mutable std::mutex mu_;
   std::map<Key, PhaseTotals> totals_;
   std::map<Key, PhaseTotals> flushed_;  ///< totals at the last tracer flush
 };

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -63,28 +64,38 @@ class Tracer {
   Tracer& operator=(const Tracer&) = delete;
 
   // ----- recording ------------------------------------------------------
+  //
+  // Recording is internally locked: under the rt backend, core workers and
+  // several per-host engine threads append concurrently. The sim backend is
+  // single-threaded, so the uncontended lock costs a few nanoseconds per
+  // event and event order — hence the golden traces — is unchanged.
 
   void begin(std::int64_t ts, int host, std::string_view entity,
              std::string_view name, std::int64_t arg = 0) {
+    std::lock_guard<std::mutex> lk(mu_);
     events_.push_back(TraceEvent{ts, host, intern(entity), intern(name),
                                  EventKind::kBegin, arg});
   }
   void end(std::int64_t ts, int host, std::string_view entity) {
+    std::lock_guard<std::mutex> lk(mu_);
     events_.push_back(
         TraceEvent{ts, host, intern(entity), 0, EventKind::kEnd, 0});
   }
   void instant(std::int64_t ts, int host, std::string_view entity,
                std::string_view name, std::int64_t arg = 0) {
+    std::lock_guard<std::mutex> lk(mu_);
     events_.push_back(TraceEvent{ts, host, intern(entity), intern(name),
                                  EventKind::kInstant, arg});
   }
   void counter(std::int64_t ts, int host, std::string_view name,
                std::int64_t value) {
+    std::lock_guard<std::mutex> lk(mu_);
     const std::uint32_t id = intern(name);
     events_.push_back(TraceEvent{ts, host, id, id, EventKind::kCounter, value});
   }
 
-  // ----- inspection -----------------------------------------------------
+  // ----- inspection (not locked: read after the recording threads have
+  // been joined) ---------------------------------------------------------
 
   const std::vector<TraceEvent>& events() const { return events_; }
   std::string_view name(std::uint32_t id) const { return names_[id]; }
@@ -107,8 +118,9 @@ class Tracer {
   static bool parse_binary(const std::vector<std::uint8_t>& bytes, Tracer& out);
 
  private:
-  std::uint32_t intern(std::string_view s);
+  std::uint32_t intern(std::string_view s);  ///< caller holds mu_
 
+  std::mutex mu_;
   std::map<std::string, std::uint32_t, std::less<>> ids_;
   std::vector<std::string> names_;
   std::vector<TraceEvent> events_;

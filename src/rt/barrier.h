@@ -1,0 +1,67 @@
+// WallBarrier: a rendezvous for coroutines running on different wall-clock
+// engines (one per host thread in the rt backend).
+//
+// std::barrier would block the whole engine thread — and a host parked in a
+// blocking barrier cannot run its buffer-recycle coroutines, which starves
+// its predecessor of credits and deadlocks the ring. This barrier parks
+// only the awaiting coroutine: the engine keeps processing its other
+// events, and the last arriver wakes every parked peer through
+// Engine::post(). One-shot; create one per rendezvous point.
+#pragma once
+
+#include <coroutine>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "sim/engine.h"
+
+namespace cj::rt {
+
+class WallBarrier {
+ public:
+  explicit WallBarrier(int parties) : remaining_(parties) {
+    CJ_CHECK(parties >= 1);
+  }
+  WallBarrier(const WallBarrier&) = delete;
+  WallBarrier& operator=(const WallBarrier&) = delete;
+
+  /// Awaitable: suspends until all parties have arrived. `engine` must be
+  /// the engine the awaiting coroutine runs on.
+  auto arrive_and_wait(sim::Engine& engine) {
+    struct Awaiter {
+      WallBarrier* barrier;
+      sim::Engine* engine;
+
+      bool await_ready() { return false; }
+      bool await_suspend(std::coroutine_handle<> h) {
+        // Decrement and (if not last) registration happen under one lock:
+        // a ready-check before suspension would let the last arriver's
+        // wake-up race our own parking.
+        std::vector<std::pair<sim::Engine*, std::coroutine_handle<>>> wake;
+        {
+          std::lock_guard<std::mutex> lk(barrier->mu_);
+          CJ_CHECK_MSG(barrier->remaining_ > 0,
+                       "WallBarrier is one-shot and already released");
+          if (--barrier->remaining_ > 0) {
+            barrier->waiters_.emplace_back(engine, h);
+            return true;
+          }
+          wake.swap(barrier->waiters_);
+        }
+        for (auto& [e, waiter] : wake) e->post(waiter);
+        return false;  // last arriver continues inline
+      }
+      void await_resume() {}
+    };
+    return Awaiter{this, &engine};
+  }
+
+ private:
+  std::mutex mu_;
+  int remaining_;
+  std::vector<std::pair<sim::Engine*, std::coroutine_handle<>>> waiters_;
+};
+
+}  // namespace cj::rt

@@ -1,0 +1,52 @@
+#include "rt/executor.h"
+
+#include <utility>
+
+#include "common/assert.h"
+
+namespace cj::rt {
+
+Executor::Executor(int workers) {
+  CJ_CHECK_MSG(workers >= 1, "an executor needs at least one worker");
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  // Work left in the queue at teardown would mean a coroutine is still
+  // suspended waiting for its completion — a shutdown-ordering bug.
+  CJ_CHECK_MSG(queue_.empty(), "executor destroyed with queued work");
+}
+
+void Executor::submit(std::function<void(int worker)> fn) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    CJ_CHECK_MSG(!stop_, "submit on a stopped executor");
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void Executor::worker_main(int id) {
+  for (;;) {
+    std::function<void(int)> fn;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    fn(id);
+  }
+}
+
+}  // namespace cj::rt

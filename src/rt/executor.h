@@ -1,0 +1,38 @@
+// Executor: the rt backend's real core pool — N OS worker threads feeding
+// from one queue. Implements sim::CoreExecutor, so a CorePool with an
+// attached Executor runs its execute() closures as true parallel work while
+// the host's protocol coroutines keep running on the engine thread.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/core_pool.h"
+
+namespace cj::rt {
+
+class Executor final : public sim::CoreExecutor {
+ public:
+  explicit Executor(int workers);
+  ~Executor() override;  ///< drains nothing: all work must have completed
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  void submit(std::function<void(int worker)> fn) override;
+  int workers() const override { return static_cast<int>(threads_.size()); }
+
+ private:
+  void worker_main(int id);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void(int)>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace cj::rt

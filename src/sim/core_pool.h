@@ -27,6 +27,18 @@
 
 namespace cj::sim {
 
+/// Real-thread execution backend for a CorePool (rt backend). When one is
+/// attached, execute() stops simulating core occupancy and instead hands the
+/// closure to submit(), which must run `fn(worker)` on one of `workers()`
+/// OS threads and may do so concurrently with the engine thread. The worker
+/// index takes the place of the virtual core id in traces.
+class CoreExecutor {
+ public:
+  virtual ~CoreExecutor() = default;
+  virtual void submit(std::function<void(int worker)> fn) = 0;
+  virtual int workers() const = 0;
+};
+
 class CorePool {
  public:
   /// A pool of `cores` identical cores. `context_switch_cost` is billed
@@ -50,9 +62,26 @@ class CorePool {
 
   int cores() const { return static_cast<int>(last_tag_.size()); }
 
+  /// Routes execute() through real worker threads instead of simulated
+  /// cores. Requires a wall-clock engine (the completion is post()ed back).
+  /// Measured durations are billed raw — wall time already is real time,
+  /// so cpu_scale calibration and context-switch billing do not apply.
+  void set_executor(CoreExecutor* executor) {
+    CJ_CHECK_MSG(executor == nullptr ||
+                     engine_.clock_mode() == ClockMode::kWall,
+                 "a CoreExecutor needs a wall-clock engine");
+    executor_ = executor;
+  }
+
   /// Runs `work` for real on a core and advances virtual time by its
   /// measured thread-CPU duration. Returns that duration.
   Task<SimDuration> execute(std::function<void()> work, std::string tag) {
+    if (executor_ != nullptr) {
+      RealRunAwaiter real{this, std::move(work), std::move(tag)};
+      co_await real;
+      bill(real.tag, real.measured);
+      co_return real.measured;
+    }
     const int core = co_await acquire();
     const SimDuration cs = charge_switch(core, tag);
     const auto measured = static_cast<double>(measure_cpu(work));
@@ -131,6 +160,37 @@ class CorePool {
   }
 
  private:
+  // Awaited at most once; lives in the coroutine frame of execute(), which
+  // stays suspended until the worker posts the handle back, so `this` is
+  // valid for the whole closure. The trace span is emitted from the worker
+  // thread (Tracer is internally locked; engine_.now() only reads the OS
+  // clock in wall mode), but billing happens in execute() on the engine
+  // thread, keeping the ledger single-threaded.
+  struct RealRunAwaiter {
+    CorePool* pool;
+    std::function<void()> work;
+    std::string tag;
+    SimDuration measured = 0;
+
+    bool await_ready() { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      pool->executor_->submit([this, h](int worker) {
+        obs::Tracer* t = pool->engine_.tracer();
+        char entity[16];
+        if (t != nullptr) {
+          std::snprintf(entity, sizeof entity, "core%d", worker);
+          t->begin(pool->engine_.now(), pool->trace_host_, entity, tag);
+        }
+        measured = static_cast<SimDuration>(measure_cpu(work));
+        if (t != nullptr) {
+          t->end(pool->engine_.now(), pool->trace_host_, entity);
+        }
+        pool->engine_.post(h);
+      });
+    }
+    void await_resume() {}
+  };
+
   struct CoreAwaiter {
     CorePool* pool;
     int core = -1;
@@ -203,6 +263,7 @@ class CorePool {
   }
 
   Engine& engine_;
+  CoreExecutor* executor_ = nullptr;
   SimDuration context_switch_cost_;
   std::string name_;
   int trace_host_ = 0;

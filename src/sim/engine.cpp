@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <sstream>
+#include <utility>
 
 #include "common/log.h"
 
@@ -17,10 +18,14 @@ struct Engine::Root {
 };
 
 Engine::Engine() = default;
+
+Engine::Engine(ClockMode mode, WallClock::time_point epoch)
+    : mode_(mode), epoch_(epoch) {}
+
 Engine::~Engine() = default;
 
 void Engine::schedule_at(SimTime t, std::coroutine_handle<> h) {
-  CJ_CHECK_MSG(t >= now_, "cannot schedule an event in the virtual past");
+  CJ_CHECK_MSG(t >= now_, "cannot schedule an event in the past");
   CJ_CHECK(h != nullptr);
   queue_.push(Event{t, next_seq_++, h});
 }
@@ -39,6 +44,7 @@ Task<void> Engine::drive(Task<void> inner,
     std::abort();
   }
   state->done = true;
+  --live_roots_;
 }
 
 ProcessHandle Engine::spawn(Task<void> task, std::string name) {
@@ -50,12 +56,14 @@ ProcessHandle Engine::spawn(Task<void> task, std::string name) {
   auto root = std::make_unique<Root>();
   root->handle = driver.release_to_engine();
   root->state = state;
+  ++live_roots_;
   schedule_now(root->handle);
   roots_.push_back(std::move(root));
   return ProcessHandle(std::move(state));
 }
 
 SimTime Engine::run() {
+  if (mode_ == ClockMode::kWall) return run_wall();
   while (!queue_.empty()) {
     const Event ev = queue_.top();
     queue_.pop();
@@ -67,6 +75,8 @@ SimTime Engine::run() {
 }
 
 bool Engine::run_until(SimTime deadline) {
+  CJ_CHECK_MSG(mode_ == ClockMode::kVirtual,
+               "run_until is only meaningful in virtual time");
   while (!queue_.empty()) {
     const Event ev = queue_.top();
     if (ev.time > deadline) {
@@ -79,6 +89,86 @@ bool Engine::run_until(SimTime deadline) {
     ev.handle.resume();
   }
   return true;
+}
+
+void Engine::post(std::coroutine_handle<> h) {
+  CJ_CHECK_MSG(mode_ == ClockMode::kWall,
+               "post() requires a wall-clock engine");
+  CJ_CHECK(h != nullptr);
+  {
+    std::lock_guard<std::mutex> lk(wall_mu_);
+    external_.push_back(External{h, nullptr});
+  }
+  wall_cv_.notify_one();
+}
+
+void Engine::post(std::function<void()> fn) {
+  CJ_CHECK_MSG(mode_ == ClockMode::kWall,
+               "post() requires a wall-clock engine");
+  CJ_CHECK(fn != nullptr);
+  {
+    std::lock_guard<std::mutex> lk(wall_mu_);
+    external_.push_back(External{nullptr, std::move(fn)});
+  }
+  wall_cv_.notify_one();
+}
+
+bool Engine::drain_external() {
+  std::deque<External> batch;
+  {
+    std::lock_guard<std::mutex> lk(wall_mu_);
+    batch.swap(external_);
+  }
+  for (External& e : batch) {
+    if (e.handle != nullptr) {
+      schedule_now(e.handle);
+    } else {
+      e.fn();
+    }
+  }
+  return !batch.empty();
+}
+
+SimTime Engine::run_wall() {
+  for (;;) {
+    drain_external();
+    now_ = wall_now();
+    bool resumed = false;
+    while (!queue_.empty() && queue_.top().time <= now_) {
+      const Event ev = queue_.top();
+      queue_.pop();
+      ++events_processed_;
+      ev.handle.resume();
+      resumed = true;
+      now_ = wall_now();
+    }
+    // A resume may have generated posts on our own queue or finished a
+    // root; loop back around before deciding to sleep or exit.
+    if (resumed) continue;
+    if (live_roots_ == 0) break;
+
+    std::unique_lock<std::mutex> lk(wall_mu_);
+    if (!external_.empty()) continue;
+    const auto has_posts = [this] { return !external_.empty(); };
+    if (!queue_.empty()) {
+      const auto deadline = epoch_ + std::chrono::nanoseconds(queue_.top().time);
+      wall_cv_.wait_until(lk, deadline, has_posts);
+    } else if (idle_abort_ > 0) {
+      if (!wall_cv_.wait_for(lk, std::chrono::nanoseconds(idle_abort_),
+                             has_posts)) {
+        lk.unlock();
+        CJ_LOG(kError) << "wall-clock engine idle for "
+                       << human_duration(idle_abort_) << " with "
+                       << live_roots_ << " incomplete processes";
+        dump_blocked();
+        CJ_CHECK_MSG(false, "wall-clock engine deadlocked (idle watchdog)");
+      }
+    } else {
+      wall_cv_.wait(lk, has_posts);
+    }
+  }
+  now_ = wall_now();
+  return now_;
 }
 
 void Engine::dump_blocked() const {

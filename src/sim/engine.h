@@ -4,12 +4,25 @@
 // as coroutines on one event loop ordered by (virtual time, insertion
 // sequence). Real computation (join kernels) executes inline inside events
 // and its measured CPU time advances the virtual clock — see DESIGN.md.
+//
+// The engine also has a wall-clock mode (ClockMode::kWall) used by the rt
+// backend (docs/RUNTIME.md): now() reads the monotonic OS clock instead of
+// the event queue, timers wait for real time to pass, and run() exits when
+// every spawned root process has completed rather than when the queue
+// drains (a wall-clock engine is never "out of events" — a peer thread may
+// post() more). Coroutines still execute single-threaded on whichever
+// thread calls run(); post() is the only thread-safe entry point.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <coroutine>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <queue>
 #include <string>
 #include <vector>
@@ -40,15 +53,33 @@ class ProcessHandle {
   std::shared_ptr<State> state_;
 };
 
+/// What now() means: virtual event time (deterministic DES) or nanoseconds
+/// of real time since a shared epoch (rt backend).
+enum class ClockMode { kVirtual, kWall };
+
 class Engine {
  public:
+  using WallClock = std::chrono::steady_clock;
+
   Engine();
+  /// Wall-clock engines that should report coherent timestamps (e.g. the
+  /// per-host engines of one rt cluster) are constructed with one shared
+  /// `epoch`, so now() is comparable across them.
+  explicit Engine(ClockMode mode, WallClock::time_point epoch = WallClock::now());
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
   ~Engine();
 
-  /// Current virtual time.
-  SimTime now() const { return now_; }
+  ClockMode clock_mode() const { return mode_; }
+  WallClock::time_point epoch() const { return epoch_; }
+
+  /// Current time: virtual nanoseconds in kVirtual mode, real nanoseconds
+  /// since the epoch in kWall mode. Safe to call from any thread in kWall
+  /// mode (it only reads the OS clock).
+  SimTime now() const {
+    if (mode_ == ClockMode::kWall) return wall_now();
+    return now_;
+  }
 
   /// Number of events processed so far (diagnostics).
   std::uint64_t events_processed() const { return events_processed_; }
@@ -62,21 +93,22 @@ class Engine {
   obs::Tracer* tracer() const { return tracer_; }
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
-  /// Schedules a coroutine to resume at absolute virtual time t (>= now).
+  /// Schedules a coroutine to resume at absolute time t (>= now).
   void schedule_at(SimTime t, std::coroutine_handle<> h);
 
   /// Schedules a coroutine to resume at the current time, after all events
   /// already queued for this instant (FIFO within a timestamp).
-  void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
+  void schedule_now(std::coroutine_handle<> h) { schedule_at(now(), h); }
 
-  /// Awaitable: suspends the current task for d virtual nanoseconds.
+  /// Awaitable: suspends the current task for d nanoseconds (virtual in
+  /// kVirtual mode, real in kWall mode).
   auto sleep(SimDuration d) {
     struct Awaiter {
       Engine* engine;
       SimDuration d;
       bool await_ready() { return false; }
       void await_suspend(std::coroutine_handle<> h) {
-        engine->schedule_at(engine->now_ + d, h);
+        engine->schedule_at(engine->now() + d, h);
       }
       void await_resume() {}
     };
@@ -92,11 +124,13 @@ class Engine {
   /// process aborts the simulation with its message.
   ProcessHandle spawn(Task<void> task, std::string name = "process");
 
-  /// Processes events until the queue is empty. Returns the final time.
+  /// kVirtual: processes events until the queue is empty. kWall: processes
+  /// events (sleeping through real timer gaps, waking for post()s) until
+  /// every spawned root process has completed. Returns the final time.
   SimTime run();
 
   /// Processes events until the queue is empty or virtual time would exceed
-  /// `deadline`. Returns true if the queue drained.
+  /// `deadline`. Returns true if the queue drained. kVirtual mode only.
   bool run_until(SimTime deadline);
 
   /// Aborts (with the stuck process names) if any spawned root process has
@@ -104,6 +138,24 @@ class Engine {
   /// Before aborting it dumps the blocked-waiter registry so the report
   /// names the primitive each stuck coroutine is parked on.
   void check_all_complete() const;
+
+  // ----- cross-thread entry points (kWall mode only) ---------------------
+  //
+  // The only way another thread may touch a wall-clock engine. Handles and
+  // thunks are queued under a mutex and executed on the engine's run()
+  // thread, so everything downstream of them stays single-threaded.
+
+  /// Resumes `h` on the engine thread as soon as it gets around to it.
+  void post(std::coroutine_handle<> h);
+
+  /// Runs `fn` on the engine thread (e.g. to spawn a process or poke a
+  /// node from a controller thread).
+  void post(std::function<void()> fn);
+
+  /// Aborts (after dump_blocked()) if a wall-clock run() sees no events,
+  /// posts, or timers for this long with roots still incomplete — the
+  /// wall-clock analogue of the drained-queue deadlock check. 0 disables.
+  void set_idle_abort(SimDuration d) { idle_abort_ = d; }
 
   // ----- blocked-waiter registry (deadlock watchdog) -------------------
   //
@@ -141,15 +193,36 @@ class Engine {
     const char* kind = nullptr;
     const std::string* name = nullptr;
   };
+  struct External {
+    std::coroutine_handle<> handle;   // exactly one of handle/fn is set
+    std::function<void()> fn;
+  };
   Task<void> drive(Task<void> inner, std::shared_ptr<ProcessHandle::State> state);
+  SimTime wall_now() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               WallClock::now() - epoch_)
+        .count();
+  }
+  SimTime run_wall();
+  bool drain_external();
 
   std::map<void*, BlockInfo> blocked_;
   obs::Tracer* tracer_ = nullptr;
+  ClockMode mode_ = ClockMode::kVirtual;
+  WallClock::time_point epoch_{};
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   std::vector<std::unique_ptr<Root>> roots_;
+  int live_roots_ = 0;       ///< engine-thread only
+  SimDuration idle_abort_ = 0;
+
+  // Cross-thread post queue (kWall). wall_mu_ guards external_ only; every
+  // other member is engine-thread private.
+  std::mutex wall_mu_;
+  std::condition_variable wall_cv_;
+  std::deque<External> external_;
 };
 
 }  // namespace cj::sim

@@ -64,6 +64,29 @@ TEST_P(CycloRingSizes, SortMergeJoinMatchesLocalReference) {
 
 INSTANTIATE_TEST_SUITE_P(RingSizes, CycloRingSizes, ::testing::Values(1, 2, 3, 4, 6));
 
+// The rt backend runs the same protocol as real threads and shared-memory
+// wires; results must still equal the local reference exactly. (The full
+// sim-vs-rt parity sweep, including skew and crashes, lives in rt_test.)
+class CycloRtRingSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(CycloRtRingSizes, HashJoinOnRtBackendMatchesLocalReference) {
+  const int hosts = GetParam();
+  auto r = rel::generate({.rows = 20'000, .key_domain = 5'000, .seed = 7}, "R", 1);
+  auto s = rel::generate({.rows = 20'000, .key_domain = 5'000, .seed = 8}, "S", 2);
+  const Reference ref = reference_equi(r, s);
+
+  ClusterConfig cfg = small_cluster(hosts);
+  cfg.backend = Backend::kRt;
+  CycloJoin cyclo(cfg, JoinSpec{.algorithm = Algorithm::kHashJoin});
+  const RunReport report = cyclo.run(r, s);
+
+  EXPECT_EQ(report.matches, ref.matches);
+  EXPECT_EQ(report.checksum, ref.checksum);
+  EXPECT_EQ(static_cast<int>(report.hosts.size()), hosts);
+}
+
+INSTANTIATE_TEST_SUITE_P(RingSizes, CycloRtRingSizes, ::testing::Values(1, 2, 4));
+
 TEST(CycloJoinTcp, HashJoinOverTcpTransport) {
   auto r = rel::generate({.rows = 20'000, .key_domain = 5'000, .seed = 3}, "R", 1);
   auto s = rel::generate({.rows = 20'000, .key_domain = 5'000, .seed = 4}, "S", 2);

@@ -1,0 +1,183 @@
+// Backend parity suite: the wall-clock rt backend must produce exactly the
+// matches and checksum of the deterministic sim backend for the same input
+// — uniform and Zipf-skewed keys, equi- and band-joins, shared rotations,
+// and the crash-bypass path. Parity is structural (both backends run the
+// same plan, kernels, and roundabout protocol; result merging is
+// commutative), so any divergence here is a real concurrency bug, which is
+// also why CI runs this binary under TSan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cyclo/cyclo_join.h"
+#include "rel/generator.h"
+
+namespace cj::cyclo {
+namespace {
+
+ClusterConfig parity_cluster(Backend backend, int hosts) {
+  ClusterConfig cfg;
+  cfg.backend = backend;
+  cfg.num_hosts = hosts;
+  cfg.cores_per_host = 2;
+  cfg.node.buffer_bytes = 32 * 1024;  // small buffers → many chunks rotate
+  cfg.node.num_buffers = 4;
+  return cfg;
+}
+
+RunReport run_on(Backend backend, int hosts, const JoinSpec& spec,
+                 const rel::Relation& r, const rel::Relation& s) {
+  CycloJoin cyclo(parity_cluster(backend, hosts), spec);
+  return cyclo.run(r, s);
+}
+
+/// Key skew sweep: 0 is uniform; the paper's skew experiments use Zipf.
+class RtParitySkew : public ::testing::TestWithParam<double> {};
+
+TEST_P(RtParitySkew, HashEquiJoinMatchesSim) {
+  const double z = GetParam();
+  auto r = rel::generate(
+      {.rows = 30'000, .key_domain = 6'000, .zipf_z = z, .seed = 11}, "R", 1);
+  auto s = rel::generate(
+      {.rows = 30'000, .key_domain = 6'000, .zipf_z = z, .seed = 12}, "S", 2);
+  const JoinSpec spec{.algorithm = Algorithm::kHashJoin};
+
+  const RunReport sim = run_on(Backend::kSim, 4, spec, r, s);
+  const RunReport rt = run_on(Backend::kRt, 4, spec, r, s);
+
+  EXPECT_GT(sim.matches, 0u);
+  EXPECT_EQ(rt.matches, sim.matches);
+  EXPECT_EQ(rt.checksum, sim.checksum);
+  EXPECT_EQ(rt.hosts.size(), sim.hosts.size());
+  EXPECT_GT(rt.total_wall, 0);
+}
+
+TEST_P(RtParitySkew, SortMergeBandJoinMatchesSim) {
+  const double z = GetParam();
+  auto r = rel::generate(
+      {.rows = 12'000, .key_domain = 20'000, .zipf_z = z, .seed = 21}, "R", 1);
+  auto s = rel::generate(
+      {.rows = 12'000, .key_domain = 20'000, .zipf_z = z, .seed = 22}, "S", 2);
+  const JoinSpec spec{.algorithm = Algorithm::kSortMergeJoin, .band = 5};
+
+  const RunReport sim = run_on(Backend::kSim, 3, spec, r, s);
+  const RunReport rt = run_on(Backend::kRt, 3, spec, r, s);
+
+  EXPECT_GT(sim.matches, 0u);
+  EXPECT_EQ(rt.matches, sim.matches);
+  EXPECT_EQ(rt.checksum, sim.checksum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skew, RtParitySkew,
+                         ::testing::Values(0.0, 0.5, 1.0, 1.25));
+
+TEST(RtParity, SingleHostDegeneratesToLocalJoin) {
+  auto r = rel::generate({.rows = 10'000, .key_domain = 2'500, .seed = 5}, "R", 1);
+  auto s = rel::generate({.rows = 10'000, .key_domain = 2'500, .seed = 6}, "S", 2);
+  const JoinSpec spec{.algorithm = Algorithm::kHashJoin};
+
+  const RunReport sim = run_on(Backend::kSim, 1, spec, r, s);
+  const RunReport rt = run_on(Backend::kRt, 1, spec, r, s);
+
+  EXPECT_EQ(rt.matches, sim.matches);
+  EXPECT_EQ(rt.checksum, sim.checksum);
+  EXPECT_EQ(rt.bytes_on_wire, 0u);
+}
+
+TEST(RtParity, SharedRotationMatchesSimPerQuery) {
+  auto r = rel::generate({.rows = 24'000, .key_domain = 5'000, .seed = 31}, "R", 1);
+  auto s1 = rel::generate({.rows = 9'000, .key_domain = 5'000, .seed = 32}, "S1", 2);
+  auto s2 = rel::generate({.rows = 9'000, .key_domain = 5'000, .seed = 33}, "S2", 3);
+  const JoinSpec spec{.algorithm = Algorithm::kHashJoin};
+  const std::vector<SharedQuery> queries{SharedQuery{.stationary = &s1},
+                                         SharedQuery{.stationary = &s2}};
+
+  CycloJoin sim_cyclo(parity_cluster(Backend::kSim, 4), spec);
+  const SharedRunReport sim = sim_cyclo.run_shared(r, queries);
+  CycloJoin rt_cyclo(parity_cluster(Backend::kRt, 4), spec);
+  const SharedRunReport rt = rt_cyclo.run_shared(r, queries);
+
+  ASSERT_EQ(rt.queries.size(), sim.queries.size());
+  for (std::size_t q = 0; q < sim.queries.size(); ++q) {
+    EXPECT_EQ(rt.queries[q].matches, sim.queries[q].matches) << "query " << q;
+    EXPECT_EQ(rt.queries[q].checksum, sim.queries[q].checksum) << "query " << q;
+  }
+  EXPECT_EQ(rt.matches, sim.matches);
+  EXPECT_EQ(rt.checksum, sim.checksum);
+}
+
+// ----- crash bypass ---------------------------------------------------------
+
+// The degraded answer depends only on WHICH host died, never on when the
+// crash landed relative to the rotation: survivors retract the dead host's
+// R buckets and its S fragment wholesale. Crashing at t=0 on both backends
+// therefore must yield identical survivor sets, lost-row accounting, and
+// degraded checksums even though the rt rotation interleaves differently.
+TEST(RtFault, CrashBypassMatchesSimSurvivorsAndDegradedChecksum) {
+  const int hosts = 4;
+  const int dead = 2;
+  auto r = rel::generate({.rows = 24'000, .key_domain = 5'000, .seed = 41}, "R", 1);
+  auto s = rel::generate({.rows = 24'000, .key_domain = 5'000, .seed = 42}, "S", 2);
+  const JoinSpec spec{.algorithm = Algorithm::kHashJoin};
+
+  ClusterConfig sim_cfg = parity_cluster(Backend::kSim, hosts);
+  sim_cfg.fault.crashes.push_back({.host = dead, .at = 0});
+  ClusterConfig rt_cfg = parity_cluster(Backend::kRt, hosts);
+  rt_cfg.fault.crashes.push_back({.host = dead, .at = 0});
+
+  const RunReport sim = CycloJoin(sim_cfg, spec).run(r, s);
+  const RunReport rt = CycloJoin(rt_cfg, spec).run(r, s);
+
+  ASSERT_TRUE(sim.fault.degraded);
+  ASSERT_TRUE(rt.fault.degraded);
+  EXPECT_EQ(rt.fault.crashed_hosts, sim.fault.crashed_hosts);
+  EXPECT_EQ(rt.fault.lost_r_rows, sim.fault.lost_r_rows);
+  EXPECT_EQ(rt.fault.lost_s_rows, sim.fault.lost_s_rows);
+  EXPECT_EQ(rt.matches, sim.matches);
+  EXPECT_EQ(rt.checksum, sim.checksum);
+  // No lossy transport on the rt backend: every fault counter besides the
+  // crash accounting is structurally zero.
+  EXPECT_EQ(rt.fault.messages_dropped, 0u);
+  EXPECT_EQ(rt.fault.corrupt_discards, 0u);
+}
+
+// A crash scheduled after the run completes must leave the rt result
+// undegraded and identical to the crash-free sim answer (the watcher
+// stands down when the detector finishes first).
+TEST(RtFault, CrashAfterCompletionIsHarmless) {
+  auto r = rel::generate({.rows = 8'000, .key_domain = 2'000, .seed = 51}, "R", 1);
+  auto s = rel::generate({.rows = 8'000, .key_domain = 2'000, .seed = 52}, "S", 2);
+  const JoinSpec spec{.algorithm = Algorithm::kHashJoin};
+
+  const RunReport sim = run_on(Backend::kSim, 3, spec, r, s);
+
+  ClusterConfig rt_cfg = parity_cluster(Backend::kRt, 3);
+  rt_cfg.fault.crashes.push_back({.host = 1, .at = 3600LL * 1'000'000'000LL});
+  const RunReport rt = CycloJoin(rt_cfg, spec).run(r, s);
+
+  EXPECT_FALSE(rt.fault.degraded);
+  EXPECT_EQ(rt.matches, sim.matches);
+  EXPECT_EQ(rt.checksum, sim.checksum);
+}
+
+// Observability rides along on the rt backend: wall-clock traces and
+// metrics come from the same obs layer, with per-host engines feeding one
+// shared (internally locked) tracer.
+TEST(RtObs, TraceAndMetricsPopulated) {
+  auto r = rel::generate({.rows = 8'000, .key_domain = 2'000, .seed = 61}, "R", 1);
+  auto s = rel::generate({.rows = 8'000, .key_domain = 2'000, .seed = 62}, "S", 2);
+  ClusterConfig cfg = parity_cluster(Backend::kRt, 3);
+  cfg.trace.enabled = true;
+
+  const RunReport report =
+      CycloJoin(cfg, JoinSpec{.algorithm = Algorithm::kHashJoin}).run(r, s);
+
+  ASSERT_NE(report.trace, nullptr);
+  EXPECT_FALSE(report.trace->events().empty());
+  EXPECT_GT(report.metrics.counters.at("chunks_rotated"), 0);
+  EXPECT_GT(report.metrics.counters.at("bytes_on_wire"), 0);
+}
+
+}  // namespace
+}  // namespace cj::cyclo
