@@ -6,15 +6,21 @@
 // (frame headers, retire acks, origin re-injection, crash bypass — see
 // docs/FAULTS.md) against the baseline on the same workload:
 //
-//   none       fault-free run of the *baseline* protocol
-//   clean      fault-free run with resilience armed (frames + acks only;
-//              the injector is enabled by a 1.0x no-op slowdown)
-//   transient  seeded message drops + corruptions on every link
-//   crash      one host fails at join start; survivors splice the ring
-//              and finish degraded
+//   none        fault-free run of the *baseline* protocol
+//   clean       fault-free run with resilience armed (frames + acks only;
+//               the injector is enabled by a 1.0x no-op slowdown)
+//   repl-clean  fault-free run with resilience + ring-neighbor replication
+//               armed — the pure cost of streaming every S_i and R slab
+//               one hop during the replication phase
+//   transient   seeded message drops + corruptions on every link
+//   crash       one host fails at join start; survivors splice the ring
+//               and finish degraded
+//   crash+repl  same crash with replication on: the successor adopts the
+//               dead host's partition and the result is the EXACT R ⋈ S
 //
-// Reported makespans are join-phase wall clock; the crash row also shows
-// how many R/S rows the dead host took with it.
+// Reported makespans are join-phase wall clock; crash rows also show how
+// many R/S rows the dead host took with it (0/0 when recovered) and the
+// replica bytes shipped.
 #include "harness.h"
 
 int main(int argc, char** argv) {
@@ -42,14 +48,14 @@ int main(int argc, char** argv) {
               drop * 100.0, corrupt * 100.0,
               static_cast<unsigned long long>(seed));
 
-  std::printf("%5s  %-10s  %10s  %9s  %8s  %9s  %9s  %14s\n", "ring",
+  std::printf("%5s  %-10s  %10s  %9s  %8s  %9s  %9s  %10s  %14s\n", "ring",
               "scenario", "join[s]", "overhead", "retrans", "reinject",
-              "recovered", "lost rows R/S");
+              "recovered", "repl[MB]", "lost rows R/S");
 
   for (const auto ring_ll : rings) {
     const int ring = static_cast<int>(ring_ll);
     double baseline = 0.0;
-    for (int scenario = 0; scenario < 4; ++scenario) {
+    for (int scenario = 0; scenario < 6; ++scenario) {
       cyclo::ClusterConfig cfg = bench::paper_cluster(ring, scale);
       cfg.node.resilience.ack_timeout = ack_ms * kMillisecond;
       cfg.node.resilience.max_reinjections = 64;
@@ -65,15 +71,27 @@ int main(int argc, char** argv) {
           cfg.fault.slowdowns.push_back({.host = 0, .at = 0, .factor = 1.0});
           break;
         case 2:
+          name = "repl-clean";
+          cfg.fault.seed = seed;
+          cfg.fault.slowdowns.push_back({.host = 0, .at = 0, .factor = 1.0});
+          cfg.node.resilience.replicate = true;
+          break;
+        case 3:
           name = "transient";
           cfg.fault.seed = seed;
           cfg.fault.link.drop_prob = drop;
           cfg.fault.link.corrupt_prob = corrupt;
           break;
-        case 3:
+        case 4:
           name = "crash";
           cfg.fault.seed = seed;
           cfg.fault.crashes.push_back({.host = ring / 2, .at = 0});
+          break;
+        case 5:
+          name = "crash+repl";
+          cfg.fault.seed = seed;
+          cfg.fault.crashes.push_back({.host = ring / 2, .at = 0});
+          cfg.node.resilience.replicate = true;
           break;
       }
 
@@ -88,18 +106,27 @@ int main(int argc, char** argv) {
         std::snprintf(lost, sizeof(lost), "%llu/%llu",
                       static_cast<unsigned long long>(rep.fault.lost_r_rows),
                       static_cast<unsigned long long>(rep.fault.lost_s_rows));
+      } else if (rep.fault.recovered) {
+        std::snprintf(lost, sizeof(lost), "0/0 (exact)");
       }
-      std::printf("%5d  %-10s  %10.3f  %8.1f%%  %8llu  %9llu  %9llu  %14s\n",
+      char repl[16] = "-";
+      if (rep.fault.replica_bytes > 0) {
+        std::snprintf(repl, sizeof(repl), "%.1f",
+                      static_cast<double>(rep.fault.replica_bytes) / 1e6);
+      }
+      std::printf("%5d  %-10s  %10.3f  %8.1f%%  %8llu  %9llu  %9llu  %10s  "
+                  "%14s\n",
                   ring, name, wall, (wall / baseline - 1.0) * 100.0,
                   static_cast<unsigned long long>(rep.fault.retransmissions),
                   static_cast<unsigned long long>(rep.fault.chunks_reinjected),
                   static_cast<unsigned long long>(rep.fault.chunks_recovered),
-                  lost);
+                  repl, lost);
     }
     std::printf("\n");
   }
   std::printf("overhead is vs the baseline ('none') row of the same ring "
               "size; 'crash' completes degraded: the result is exactly "
-              "(R \\ R_dead) JOIN (S \\ S_dead)\n");
+              "(R \\ R_dead) JOIN (S \\ S_dead); 'crash+repl' recovers the "
+              "full R JOIN S from the ring-neighbor replica\n");
   return 0;
 }

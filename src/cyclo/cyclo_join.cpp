@@ -47,6 +47,21 @@ struct HostRun {
   HostStats stats;
   SimDuration busy_at_join_start = 0;
   SimTime join_started_at = 0;
+
+  // ----- adoption state (resilience.replicate; installed by the crash
+  // watcher on the dead host's surviving successor only) -----------------
+  /// Dead origin this host adopted (-1: none).
+  int adopted_origin = -1;
+  /// The promoted replica partition: one state per query, `result` as sink.
+  std::vector<detail::QueryState> adopted;
+  /// Per origin: seqs already joined against the adopted partition. At
+  /// install time each surviving origin's entry is pre-marked with the
+  /// seen-set snapshot — those chunks' adopted joins arrive as replay
+  /// copies, so a stale original duplicate must not double-join.
+  std::vector<std::set<std::uint32_t>> adopted_seen;
+  /// Set once the adopted partition is built; the join loop parks until
+  /// then so no post-adoption arrival misses its adopted join.
+  std::unique_ptr<sim::Event> adoption_ready;
 };
 
 class Runner {
@@ -62,6 +77,7 @@ class Runner {
         plan_(detail::plan_run(cluster_cfg_, spec_, r, queries_)),
         setup_barrier_(engine_, n_),
         start_barrier_(engine_, n_),
+        replicate_barrier_(engine_, n_),
         join_barrier_(engine_, n_) {
     if (plan_.resilient) retired_board_.resize(static_cast<std::size_t>(n_));
     hosts_.resize(static_cast<std::size_t>(n_));
@@ -89,6 +105,21 @@ class Runner {
       for (int i = 0; i < n_; ++i) {
         cluster_.node(i).set_on_ack([this] { maybe_finish(); });
       }
+      injector_done_.resize(static_cast<std::size_t>(n_));
+      for (int i = 0; i < n_; ++i) {
+        injector_done_[static_cast<std::size_t>(i)] = std::make_unique<sim::Event>(
+            engine_, "injector-done" + std::to_string(i));
+      }
+      if (plan_.replicate) {
+        replicas_.resize(static_cast<std::size_t>(n_));
+        replica_records_.resize(static_cast<std::size_t>(n_));
+        for (int i = 0; i < n_; ++i) {
+          cluster_.node(i).set_on_replica(
+              [this, i](int origin, std::span<const std::byte> record) {
+                replicas_[static_cast<std::size_t>(i)].absorb(origin, record);
+              });
+        }
+      }
       for (const sim::HostCrashSpec& crash : cluster_cfg_.fault.crashes) {
         engine_.spawn(crash_watcher(crash),
                       "crash-watcher" + std::to_string(crash.host));
@@ -115,6 +146,13 @@ class Runner {
     flush_profile();
     if (obs::Tracer* t = engine_.tracer()) t->end(engine_.now(), i, "phase");
     host.stats.setup = engine_.now() - setup_start;
+    if (plan_.replicate && n_ > 1) {
+      // Serialize this host's crash-relevant state (S_i pieces + the slab's
+      // encoded chunks) while the fragments are still resident; the records
+      // stream to the successor once the ring is up.
+      replica_records_[static_cast<std::size_t>(i)] = detail::build_replica_records(
+          *host.plan, cluster_cfg_.node.buffer_bytes - ring::kFrameBytes);
+    }
     host.plan->r_frag = rel::Relation();  // originals no longer needed
     if (spec_.algorithm != Algorithm::kNestedLoops) {
       for (auto& query : host.plan->queries) query.s_frag = rel::Relation();
@@ -129,12 +167,39 @@ class Runner {
       ring::NodeCounts counts;
       if (n_ > 1) {
         slabs.push_back(host.plan->slab.slab());
+        // Replica records are sent from where they were serialized, so they
+        // register up front like the slab (Sec. III-C: never on the data
+        // path).
+        if (plan_.replicate) {
+          for (auto& record : replica_records_[static_cast<std::size_t>(i)]) {
+            slabs.push_back(record);
+          }
+        }
         counts = counts_for(i);
       }
       const Status started = co_await node.start(counts, std::move(slabs));
       CJ_CHECK_MSG(started.is_ok(), started.to_string().c_str());
     }
     co_await start_barrier_.arrive_and_wait();
+    if (plan_.replicate && n_ > 1) {
+      // ---- replication phase -------------------------------------------
+      // Stream the replica of this host's state one hop ahead, then wait
+      // until the successor acked every record. The barrier (and the crash
+      // gate staying closed until after it) guarantees a crash never
+      // interrupts replication: every host's replica is complete before
+      // any chunk rotates.
+      if (obs::Tracer* t = engine_.tracer()) {
+        t->begin(engine_.now(), i, "phase", "replicate");
+      }
+      for (const auto& record : replica_records_[static_cast<std::size_t>(i)]) {
+        co_await node.send_replica(record);
+      }
+      co_await node.replicas_drained();
+      co_await replicate_barrier_.arrive_and_wait();
+      // The records stay resident (they are registered memory; freeing them
+      // would leave stale regions in the protection domain).
+      if (obs::Tracer* t = engine_.tracer()) t->end(engine_.now(), i, "phase");
+    }
     if (plan_.resilient) join_phase_started_.set();
 
     // ---- join phase ----------------------------------------------------
@@ -146,6 +211,8 @@ class Runner {
 
     if (n_ > 1 && host.plan->slab.num_chunks() > 0) {
       engine_.spawn(injector(i), "injector" + std::to_string(i));
+    } else if (plan_.resilient) {
+      injector_done_[static_cast<std::size_t>(i)]->set();
     }
 
     // Local chunks first (they are resident), then arrivals in ring order.
@@ -161,16 +228,57 @@ class Runner {
       while (true) {
         ring::InboundChunk inbound = co_await node.next_chunk();
         if (inbound.stop) break;
+        if (host.adopted_origin >= 0 && !host.adoption_ready->is_set()) {
+          // Adopter with the partition still being promoted: every arrival
+          // from here on may need an adopted join too — park until the
+          // build finishes (the ring backs up behind this host's buffers
+          // briefly; that stall is recovery's latency cost, not a
+          // deadlock: promotion runs on cores, not the ring).
+          co_await host.adoption_ready->wait();
+        }
         const ChunkView view = decode_chunk(inbound.payload);
         const int origin = inbound.origin;
         const std::uint32_t seq = inbound.seq;
         const bool origin_dead = crashed_.count(origin) != 0;
-        if (!inbound.duplicate && !origin_dead) co_await join_chunk(i, view);
-        if (origin_dead) {
-          // A dead origin can neither take an ack nor re-inject; retire its
-          // chunk quietly at the first surviving host that notices.
+        if (inbound.replay) {
+          // Recovery replay copy: joined only at the adopter (against the
+          // adopted partition), forwarded by everyone else. Never touches
+          // the retire board — the original already accounted there.
+          if (host.adopted_origin >= 0 &&
+              host.adopted_seen[static_cast<std::size_t>(origin)]
+                  .insert(seq)
+                  .second) {
+            co_await join_adopted_chunk(i, view);
+          }
+          if (surviving_successor(i) == origin) {
+            node.retire(inbound);  // ack the replaying origin
+          } else {
+            node.forward(inbound);
+          }
+          continue;
+        }
+        if (origin_dead && !recovering_) {
+          // PR-1 degraded mode: a dead origin can neither take an ack nor
+          // re-inject; retire its chunk quietly at the first surviving
+          // host that notices.
           node.retire(inbound, /*send_ack=*/false);
-        } else if (surviving_successor(i) == origin) {
+          continue;
+        }
+        if (!inbound.duplicate) co_await join_chunk(i, view);
+        if (host.adopted_origin >= 0 && origin != host.adopted_origin &&
+            host.adopted_seen[static_cast<std::size_t>(origin)]
+                .insert(seq)
+                .second) {
+          // Post-adoption arrival not covered by the replay snapshot: this
+          // is its only pass by the adopter, so its join against the
+          // adopted partition happens here.
+          co_await join_adopted_chunk(i, view);
+        }
+        // Under recovery a dead origin's chunks stay first-class: they are
+        // joined everywhere and retire one hop before the adopter, which
+        // consumes their acks on the dead host's behalf.
+        const int home = origin_dead ? adopter_ : origin;
+        if (surviving_successor(i) == home) {
           node.retire(inbound);  // full revolution completed
           note_retired(origin, seq);
         } else {
@@ -204,16 +312,22 @@ class Runner {
     co_await node.drain();
 
     if (plan_.resilient) {
-      // A crashed host contributes nothing; surviving hosts count only the
-      // surviving origins' buckets (dead R fragments are retracted).
+      // A crashed host contributes nothing. Without recovery the surviving
+      // hosts count only the surviving origins' buckets (dead R fragments
+      // are retracted); under exact recovery every origin's bucket counts
+      // and the adopter adds the partition it recomputed for the dead host.
       if (crashed_.count(i) == 0) {
         for (const auto& query : host.plan->queries) {
           for (int o = 0; o < n_; ++o) {
-            if (crashed_.count(o) != 0) continue;
+            if (crashed_.count(o) != 0 && !recovering_) continue;
             const auto& partial = query.per_origin[static_cast<std::size_t>(o)];
             host.stats.matches += partial.matches();
             host.stats.checksum += partial.checksum();
           }
+        }
+        for (const auto& adopted : host.adopted) {
+          host.stats.matches += adopted.result.matches();
+          host.stats.checksum += adopted.result.checksum();
         }
       }
     } else {
@@ -244,6 +358,9 @@ class Runner {
         inject_times_[static_cast<std::size_t>(i)].push_back(engine_.now());
       }
     }
+    // Recovery replay waits for this: once set, seq numbers handed out by
+    // send_local(replay=true) cannot collide with the slab numbering.
+    if (plan_.resilient) injector_done_[static_cast<std::size_t>(i)]->set();
   }
 
   /// A chunk from `origin` just completed its revolution at pred(origin):
@@ -261,9 +378,9 @@ class Runner {
   // one null test; the counter reads it enables when ON run inside the
   // measured region and perturb the virtual timings (ProfileConfig docs).
   template <typename Fn>
-  auto profiled(int i, Fn fn) {
-    return [this, i, fn = std::move(fn)] {
-      obs::prof::ScopedContext ctx(profiler_.get(), i, "core");
+  auto profiled(int i, Fn fn, const char* phase = "core") {
+    return [this, i, phase, fn = std::move(fn)] {
+      obs::prof::ScopedContext ctx(profiler_.get(), i, phase);
       fn();
     };
   }
@@ -286,8 +403,12 @@ class Runner {
     sim::CorePool& cores = cluster_.cores(i);
     // Resilient frames travel in-buffer ahead of the payload; chunks must
     // leave them headroom or a full chunk would overflow the ring buffer.
-    const ChunkWriter writer(cluster_cfg_.node.buffer_bytes -
-                             (plan_.resilient ? ring::kFrameBytes : 0));
+    // With replication on, chunks additionally ride inside replica records,
+    // so they leave room for the record header too.
+    const ChunkWriter writer(
+        cluster_cfg_.node.buffer_bytes -
+        (plan_.resilient ? ring::kFrameBytes : 0) -
+        (plan_.replicate ? sizeof(detail::ReplicaHeader) : 0));
 
     std::vector<sim::Task<void>> tasks;
     for (auto& fn :
@@ -323,15 +444,20 @@ class Runner {
 
   /// Every surviving origin's chunks all retired *and* all acked back — the
   /// board proves the revolutions, the outstanding count proves the acks.
+  /// Under exact recovery the dead origin's board must fill too (the
+  /// adopter's re-injections retire on the dead host's behalf) and every
+  /// recovery task must have registered and finished its work.
   bool all_work_done() {
+    if (recovering_ && recovery_pending_ > 0) return false;
     for (int o = 0; o < n_; ++o) {
-      if (crashed_.count(o) != 0) continue;
+      const bool dead = crashed_.count(o) != 0;
+      if (dead && !recovering_) continue;
       const HostRun& host = *hosts_[static_cast<std::size_t>(o)];
       if (retired_board_[static_cast<std::size_t>(o)].size() <
           host.plan->slab.num_chunks()) {
         return false;
       }
-      if (cluster_.node(o).outstanding_unacked() != 0) return false;
+      if (!dead && cluster_.node(o).outstanding_unacked() != 0) return false;
     }
     return true;
   }
@@ -355,12 +481,143 @@ class Runner {
     if (finished_) co_return;  // the run beat the crash to the finish line
     repairing_ = true;
     crashed_.insert(spec.host);
+    if (plan_.replicate) {
+      // Published together with the crash: any host observing the origin
+      // as dead also sees recovery mode and the retire home, so no chunk
+      // is quiet-retired in the window before adoption installs.
+      CJ_CHECK_MSG(!recovering_, "replicated recovery supports a single crash");
+      recovering_ = true;
+      adopter_ = surviving_successor(spec.host);
+      crash_at_ = engine_.now();
+    }
     cluster_.node(spec.host).die();
     cluster_.injector()->mark_crashed(spec.host);
     co_await cluster_.splice_around(spec.host);
+    if (plan_.replicate) install_recovery(spec.host);
     repairing_ = false;
-    // The crash may itself complete the run (the dead host's unfinished
-    // work no longer counts).
+    // Without recovery the crash may itself complete the run (the dead
+    // host's unfinished work no longer counts).
+    maybe_finish();
+  }
+
+  /// Flips the run into exact-recovery mode: the dead host's surviving
+  /// successor adopts its partition. Runs synchronously inside the crash
+  /// watcher, before `repairing_` clears, so the termination detector never
+  /// observes a half-installed recovery.
+  void install_recovery(int dead) {
+    HostRun& a = *hosts_[static_cast<std::size_t>(adopter_)];
+    ring::RoundaboutNode& node = cluster_.node(adopter_);
+    node.adopt(dead);
+    a.adopted_origin = dead;
+    a.adoption_ready =
+        std::make_unique<sim::Event>(engine_, "adoption-ready");
+    a.adopted_seen.assign(static_cast<std::size_t>(n_), {});
+    // Snapshot: chunks the adopter has already seen from each surviving
+    // origin get their adopted join from a replay copy, so the entry is
+    // pre-marked — a stale original duplicate must not double-join.
+    for (int o = 0; o < n_; ++o) {
+      if (o == adopter_ || crashed_.count(o) != 0) continue;
+      a.adopted_seen[static_cast<std::size_t>(o)] = node.seen(o);
+    }
+    // One adoption task on the adopter plus one replay task per other
+    // survivor; termination stays blocked until each registered and
+    // finished its share of the recovery work.
+    recovery_pending_ = 1;
+    engine_.spawn(adoption_task(adopter_, dead), "adopt");
+    for (int o = 0; o < n_; ++o) {
+      if (o == adopter_ || crashed_.count(o) != 0) continue;
+      ++recovery_pending_;
+      engine_.spawn(
+          replay_task(o, a.adopted_seen[static_cast<std::size_t>(o)]),
+          "replay" + std::to_string(o));
+    }
+    if (tracer_ != nullptr) {
+      tracer_->instant(crash_at_, adopter_, "fault", "adopt-install");
+    }
+  }
+
+  /// The adopter's recovery work: promote the replica S_dead into a live
+  /// join partition, re-inject the dead origin's unretired chunks from the
+  /// replica log, then run the local joins the dead host can no longer do.
+  sim::Task<void> adoption_task(int a, int dead) {
+    HostRun& host = *hosts_[static_cast<std::size_t>(a)];
+    detail::ReplicaStore& store = replicas_[static_cast<std::size_t>(a)];
+    sim::CorePool& cores = cluster_.cores(a);
+    ring::RoundaboutNode& node = cluster_.node(a);
+    CJ_CHECK_MSG(store.origin == dead, "replica store holds the wrong host");
+    obs::Tracer* const t = engine_.tracer();
+    if (t != nullptr) t->begin(engine_.now(), a, "adopt", "promote-replica");
+    // 1. Promote the replica stationary fragments (re-build hash tables /
+    //    re-sort on this host's cores). The join loop parks until ready.
+    host.adopted.resize(num_queries_);
+    for (std::size_t q = 0; q < num_queries_; ++q) {
+      auto& state = host.adopted[q];
+      state.band = queries_[q].band;
+      state.predicate = &queries_[q].predicate;
+    }
+    {
+      std::vector<sim::Task<void>> tasks;
+      for (auto& fn : detail::adopted_setup_closures(
+               spec_, plan_.radix_bits, store.s_tuples, &host.adopted)) {
+        tasks.push_back(cores.run(profiled(a, std::move(fn), "adopt"), "adopt"));
+      }
+      co_await sim::when_all(engine_, std::move(tasks));
+      flush_profile();
+    }
+    host.adoption_ready->set();
+    if (t != nullptr) t->end(engine_.now(), a, "adopt");
+    // 2. Re-inject the dead origin's unretired chunks under their original
+    //    sequence numbers. A chunk still circulating (this host saw it
+    //    before the crash) is registered for ack/timeout tracking but not
+    //    pushed — the live copy completes the revolution by itself and the
+    //    scanner re-injects only if its ack never lands. The replica log
+    //    becomes send-worthy only now, so register it with the wire first.
+    for (auto& [seq, bytes] : store.r_chunks) {
+      co_await node.prepare_memory(bytes);
+    }
+    const std::size_t c_dead =
+        plan_.hosts[static_cast<std::size_t>(dead)].slab.num_chunks();
+    for (std::uint32_t seq = 0; seq < c_dead; ++seq) {
+      if (retired_board_[static_cast<std::size_t>(dead)].count(seq) != 0) {
+        continue;  // already completed its revolution before the crash
+      }
+      const auto it = store.r_chunks.find(seq);
+      CJ_CHECK_MSG(it != store.r_chunks.end(),
+                   "replica log is missing an unretired chunk");
+      const bool circulating = node.seen(dead).count(seq) != 0;
+      co_await node.send_adopted(seq, it->second, /*send_now=*/!circulating);
+    }
+    // 3. Local joins the dead host can no longer perform: the whole replica
+    //    log against the adopted partition (R_dead ⋈ S_dead), the dead
+    //    chunks this host never saw against its own queries (R_dead ⋈ S_a —
+    //    post-splice they retire one hop upstream and never pass here), and
+    //    this host's own slab against the adopted partition (R_a ⋈ S_dead).
+    for (const auto& [seq, bytes] : store.r_chunks) {
+      const ChunkView view = decode_chunk(bytes);
+      co_await join_adopted_chunk(a, view);
+      if (node.seen(dead).count(seq) == 0) co_await join_chunk(a, view);
+    }
+    for (std::size_t c = 0; c < host.plan->slab.num_chunks(); ++c) {
+      co_await join_adopted_chunk(a, decode_chunk(host.plan->slab.chunk(c)));
+    }
+    adoption_done_at_ = engine_.now();
+    --recovery_pending_;
+    maybe_finish();
+  }
+
+  /// A surviving origin's recovery work: re-send every chunk the adopter
+  /// had already consumed at install time as a flagged replay copy, so its
+  /// join against the adopted partition is not lost. Runs after the
+  /// origin's own injector so replay seqs extend the slab numbering.
+  sim::Task<void> replay_task(int o, std::set<std::uint32_t> seqs) {
+    co_await injector_done_[static_cast<std::size_t>(o)]->wait();
+    HostRun& host = *hosts_[static_cast<std::size_t>(o)];
+    ring::RoundaboutNode& node = cluster_.node(o);
+    for (const std::uint32_t seq : seqs) {
+      if (node.stopped()) break;
+      co_await node.send_local(host.plan->slab.chunk(seq), /*replay=*/true);
+    }
+    --recovery_pending_;
     maybe_finish();
   }
 
@@ -386,6 +643,31 @@ class Runner {
     work.merge_into_sinks();
   }
 
+  // Joins one chunk against the adopter's promoted replica partition
+  // (recovery only). Same decomposition and thread limit as join_chunk,
+  // but the sinks are the adopted QueryStates' own results so recovered
+  // matches stay separately attributable.
+  sim::Task<void> join_adopted_chunk(int i, ChunkView view) {
+    HostRun& host = *hosts_[static_cast<std::size_t>(i)];
+    sim::CorePool& cores = cluster_.cores(i);
+    probe_tuples_ += view.tuples.size() * host.adopted.size();
+
+    detail::ChunkJoinWork work;
+    for (auto& query : host.adopted) {
+      detail::build_query_chunk_work(spec_, plan_.radix_bits, query,
+                                     &query.result, view, work);
+    }
+    std::vector<sim::Task<void>> tasks;
+    for (auto& item : work.items) {
+      tasks.push_back(detail::guarded(
+          *host.join_slots,
+          cores.run(profiled(i, std::move(item), "adopt"), "adopt")));
+    }
+    co_await sim::when_all(engine_, std::move(tasks));
+    flush_profile();
+    work.merge_into_sinks();
+  }
+
   SharedRunReport build_report() {
     SharedRunReport report;
     report.queries.resize(num_queries_);
@@ -398,11 +680,15 @@ class Runner {
         if (plan_.resilient) {
           if (crashed_.count(i) != 0) continue;
           for (int o = 0; o < n_; ++o) {
-            if (crashed_.count(o) != 0) continue;
+            if (crashed_.count(o) != 0 && !recovering_) continue;
             const auto& partial =
                 host.plan->queries[q].per_origin[static_cast<std::size_t>(o)];
             report.queries[q].matches += partial.matches();
             report.queries[q].checksum += partial.checksum();
+          }
+          if (q < host.adopted.size()) {
+            report.queries[q].matches += host.adopted[q].result.matches();
+            report.queries[q].checksum += host.adopted[q].result.checksum();
           }
         } else {
           report.queries[q].matches += host.plan->queries[q].result.matches();
@@ -428,11 +714,26 @@ class Runner {
     }
     if (sim::FaultInjector* injector = cluster_.injector()) {
       FaultReport& fault = report.fault;
-      fault.degraded = !crashed_.empty();
+      fault.recovered = recovering_;
+      fault.degraded = !crashed_.empty() && !recovering_;
       fault.crashed_hosts.assign(crashed_.begin(), crashed_.end());
-      for (const int dead : crashed_) {
-        fault.lost_r_rows += plan_.r_rows[static_cast<std::size_t>(dead)];
-        fault.lost_s_rows += plan_.s_rows[static_cast<std::size_t>(dead)];
+      if (!recovering_) {
+        // Exact recovery loses nothing; degraded mode accounts the gap.
+        for (const int dead : crashed_) {
+          fault.lost_r_rows += plan_.r_rows[static_cast<std::size_t>(dead)];
+          fault.lost_s_rows += plan_.s_rows[static_cast<std::size_t>(dead)];
+        }
+      }
+      if (plan_.replicate) {
+        for (int i = 0; i < n_; ++i) {
+          fault.replica_bytes += cluster_.node(i).replica_bytes();
+          fault.replicas_resent += cluster_.node(i).replicas_resent();
+        }
+      }
+      if (recovering_) {
+        fault.adopter = adopter_;
+        fault.chunks_adopted = cluster_.node(adopter_).chunks_adopted();
+        fault.recovery_time = adoption_done_at_ - crash_at_;
       }
       fault.messages_dropped = injector->counters().messages_dropped;
       fault.messages_corrupted = injector->counters().messages_corrupted;
@@ -486,6 +787,63 @@ class Runner {
       metrics_.add_counter("rnr_retries",
                            static_cast<std::int64_t>(report.fault.rnr_retries));
     }
+    if (plan_.resilient) {
+      // Summed from the per-host stats, not report.fault: the counters are
+      // live even when no fault plan is configured.
+      std::int64_t reinjected = 0;
+      std::int64_t recovered = 0;
+      std::int64_t dups = 0;
+      std::int64_t corrupt = 0;
+      for (const HostStats& stats : report.hosts) {
+        reinjected += static_cast<std::int64_t>(stats.chunks_reinjected);
+        recovered += static_cast<std::int64_t>(stats.chunks_recovered);
+        dups += static_cast<std::int64_t>(stats.duplicates_skipped);
+        corrupt += static_cast<std::int64_t>(stats.corrupt_discards);
+      }
+      metrics_.add_counter("chunks_reinjected", reinjected);
+      metrics_.add_counter("chunks_recovered", recovered);
+      metrics_.add_counter("duplicates_skipped", dups);
+      metrics_.add_counter("chunks_discarded_corrupt", corrupt);
+      if (plan_.replicate) {
+        std::int64_t replica_bytes = 0;
+        std::int64_t resent = 0;
+        std::int64_t adopted = 0;
+        for (int i = 0; i < n_; ++i) {
+          replica_bytes +=
+              static_cast<std::int64_t>(cluster_.node(i).replica_bytes());
+          resent +=
+              static_cast<std::int64_t>(cluster_.node(i).replicas_resent());
+          adopted +=
+              static_cast<std::int64_t>(cluster_.node(i).chunks_adopted());
+        }
+        metrics_.add_counter("replica_bytes", replica_bytes);
+        metrics_.add_counter("replicas_resent", resent);
+        metrics_.add_counter("chunks_adopted", adopted);
+      }
+      const std::int64_t end_ts = engine_.now();
+      for (int i = 0; i < n_; ++i) {
+        const ring::RoundaboutNode& node = cluster_.node(i);
+        for (const SimDuration rtt : node.ack_rtts()) {
+          metrics_.record("ack_rtt_ns", rtt);
+        }
+        metrics_.set_gauge(
+            "host" + std::to_string(i) + ".ack_timeout_ns",
+            static_cast<double>(node.current_ack_timeout()));
+        if (tracer_ != nullptr) {
+          // Counter tracks: one sample per host at end-of-run is enough for
+          // Perfetto to draw per-host recovery bars next to the phases.
+          tracer_->counter(end_ts, i, "chunks_recovered",
+                           static_cast<std::int64_t>(node.chunks_recovered()));
+          tracer_->counter(end_ts, i, "chunks_reinjected",
+                           static_cast<std::int64_t>(node.chunks_reinjected()));
+          tracer_->counter(end_ts, i, "duplicates_skipped",
+                           static_cast<std::int64_t>(node.duplicates_skipped()));
+          tracer_->counter(
+              end_ts, i, "chunks_discarded_corrupt",
+              static_cast<std::int64_t>(node.chunks_discarded_corrupt()));
+        }
+      }
+    }
     if (tracer_ != nullptr) {
       for (const obs::HostOverlap& o : obs::overlap_by_host(*tracer_)) {
         metrics_.set_gauge("host" + std::to_string(o.host) + ".overlap_ratio",
@@ -507,6 +865,7 @@ class Runner {
   detail::RunPlan plan_;
   Barrier setup_barrier_;
   Barrier start_barrier_;
+  Barrier replicate_barrier_;
   Barrier join_barrier_;
   std::vector<std::unique_ptr<HostRun>> hosts_;
 
@@ -517,6 +876,23 @@ class Runner {
   std::set<int> crashed_;
   /// Per origin: sequence numbers of its chunks that completed a revolution.
   std::vector<std::set<std::uint32_t>> retired_board_;
+
+  // ----- replication / exact-recovery state (resilience.replicate) -----
+  /// Per host: the successor-held copy of its predecessor's state.
+  std::vector<detail::ReplicaStore> replicas_;
+  /// Per host: the serialized records it streams during the replication
+  /// phase (must outlive replicas_drained — sends are by reference).
+  std::vector<std::vector<std::vector<std::byte>>> replica_records_;
+  /// Per host: set when its injector finished first sends. Replay waits on
+  /// this so replay seqs never collide with the origin's own numbering.
+  std::vector<std::unique_ptr<sim::Event>> injector_done_;
+  bool recovering_ = false;  ///< a crash is being exactly recovered
+  int adopter_ = -1;
+  /// Recovery tasks (adoption + per-survivor replays) still registering
+  /// work; termination is held off until all of them finished.
+  int recovery_pending_ = 0;
+  SimTime crash_at_ = 0;
+  SimTime adoption_done_at_ = 0;
 
   // ----- observability --------------------------------------------------
   /// Installed on the engine when cluster_cfg_.trace.enabled.

@@ -64,6 +64,22 @@ struct FaultReport {
   /// Rows of R / S resident on crashed hosts, excluded from the result.
   std::uint64_t lost_r_rows = 0;
   std::uint64_t lost_s_rows = 0;
+  // ----- replication / exact recovery (resilience.replicate) -----------
+  /// True when a crash was fully recovered from the ring-neighbor replica:
+  /// the result is the exact R ⋈ S (degraded stays false, lost rows zero).
+  bool recovered = false;
+  /// Surviving successor that adopted the dead host's partition (-1: none).
+  int adopter = -1;
+  /// Replica payload bytes streamed during the replication phase (sum over
+  /// hosts, first sends only).
+  std::uint64_t replica_bytes = 0;
+  /// Dead host's unretired chunks the adopter re-injected / re-registered
+  /// from its replica log.
+  std::uint64_t chunks_adopted = 0;
+  /// Replica records re-sent after an ack timeout.
+  std::uint64_t replicas_resent = 0;
+  /// Crash-to-adoption-complete latency (replica promotion + replay setup).
+  SimDuration recovery_time = 0;
   // Transient-fault accounting (sums over hosts / links).
   std::uint64_t messages_dropped = 0;    ///< injected link drops
   std::uint64_t messages_corrupted = 0;  ///< injected payload corruptions

@@ -14,8 +14,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <deque>
 #include <functional>
+#include <map>
 #include <optional>
 #include <span>
 #include <utility>
@@ -69,6 +71,9 @@ struct HostPlan {
 /// The validated, distributed run: what every backend executes.
 struct RunPlan {
   bool resilient = false;
+  /// Ring-neighbor replication (exact-result crash recovery) is active:
+  /// resilient mode plus the resilience.replicate knob.
+  bool replicate = false;
   int radix_bits = 0;
   std::vector<HostPlan> hosts;
   /// Row counts per host at distribution time (degraded-loss accounting;
@@ -102,6 +107,7 @@ inline RunPlan plan_run(const ClusterConfig& cluster, const JoinSpec& spec,
 
   RunPlan plan;
   plan.resilient = !cluster.fault.empty() && n > 1;
+  plan.replicate = plan.resilient && cluster.node.resilience.replicate;
   if (plan.resilient) {
     CJ_CHECK_MSG(!spec.materialize,
                  "materialization is not supported under fault injection");
@@ -145,6 +151,162 @@ inline RunPlan plan_run(const ClusterConfig& cluster, const JoinSpec& spec,
   // exactly like every host's — and every query's — S_i).
   plan.radix_bits = join::choose_radix_bits(max_s_rows, spec.radix);
   return plan;
+}
+
+// ----- ring-neighbor replication (exact-result crash recovery) ------------
+//
+// With resilience.replicate on, every host streams its crash-relevant state
+// to its ring successor during a dedicated replication phase (between
+// transport bring-up and the join phase, so a scheduled crash can never
+// interrupt it): the stationary fragment S_i of every query, in pieces, and
+// a byte-exact copy of every encoded chunk of its rotating slab. Each
+// record rides one kReplica frame (checksummed, acked, re-sent on timeout)
+// and is prefixed by this header.
+
+enum class ReplicaKind : std::uint32_t { kStationary = 0, kRotating = 1 };
+
+struct ReplicaHeader {
+  std::uint32_t kind = 0;   ///< ReplicaKind
+  std::uint32_t query = 0;  ///< kStationary: query index (0 otherwise)
+  /// kStationary: piece index; kRotating: the chunk's slab index, which is
+  /// also its ring sequence number (the injector assigns seqs in slab
+  /// order) — the key the adopter uses to match the retire board and the
+  /// seen-set against the replica log.
+  std::uint32_t seq = 0;
+  std::uint32_t count = 0;  ///< kStationary: tuples in this piece
+};
+static_assert(sizeof(ReplicaHeader) == 16);
+
+/// One host's durable copy of its predecessor's crash-relevant state.
+/// Filled by the node's on_replica callback (one-hop kReplica frames,
+/// deduplicated at the ring layer); promoted to a live join partition by
+/// the adoption step after the predecessor crashes.
+struct ReplicaStore {
+  int origin = -1;  ///< predecessor that streamed this state
+  /// Per query: the predecessor's stationary fragment (piece order is
+  /// irrelevant — the adopter re-hashes / re-sorts during promotion).
+  std::vector<std::vector<rel::Tuple>> s_tuples;
+  /// Byte-exact encoded chunks of the predecessor's rotating slab, keyed
+  /// by slab index == ring sequence number.
+  std::map<std::uint32_t, std::vector<std::byte>> r_chunks;
+  std::uint64_t bytes = 0;
+
+  void absorb(int from, std::span<const std::byte> record) {
+    CJ_CHECK_MSG(record.size() >= sizeof(ReplicaHeader),
+                 "truncated replica record");
+    CJ_CHECK_MSG(origin == -1 || origin == from,
+                 "replica records from two different predecessors");
+    origin = from;
+    ReplicaHeader header;
+    std::memcpy(&header, record.data(), sizeof(ReplicaHeader));
+    const auto body = record.subspan(sizeof(ReplicaHeader));
+    bytes += record.size();
+    if (header.kind == static_cast<std::uint32_t>(ReplicaKind::kStationary)) {
+      if (s_tuples.size() <= header.query) s_tuples.resize(header.query + 1);
+      CJ_CHECK_MSG(body.size() == header.count * sizeof(rel::Tuple),
+                   "stationary replica piece size mismatch");
+      auto& dst = s_tuples[header.query];
+      const std::size_t old = dst.size();
+      dst.resize(old + header.count);
+      std::memcpy(dst.data() + old, body.data(), body.size());
+    } else {
+      CJ_CHECK_MSG(
+          header.kind == static_cast<std::uint32_t>(ReplicaKind::kRotating),
+          "unknown replica record kind");
+      r_chunks[header.seq].assign(body.begin(), body.end());
+    }
+  }
+};
+
+/// Serializes one replica record (header + body) into owned storage — the
+/// ring node sends replica payloads by reference, so records must outlive
+/// replicas_drained().
+inline std::vector<std::byte> make_replica_record(
+    ReplicaKind kind, std::uint32_t query, std::uint32_t seq,
+    std::uint32_t count, std::span<const std::byte> body) {
+  std::vector<std::byte> record(sizeof(ReplicaHeader) + body.size());
+  ReplicaHeader header;
+  header.kind = static_cast<std::uint32_t>(kind);
+  header.query = query;
+  header.seq = seq;
+  header.count = count;
+  std::memcpy(record.data(), &header, sizeof(ReplicaHeader));
+  std::memcpy(record.data() + sizeof(ReplicaHeader), body.data(), body.size());
+  return record;
+}
+
+/// Builds every replica record host `host` streams to its successor: the
+/// stationary fragments split into `max_record_bytes`-sized pieces, then
+/// the rotating slab chunk by chunk. Call after setup (the slab must be
+/// written and origin-patched) and before the stationary fragments are
+/// released; the records copy everything they need.
+inline std::vector<std::vector<std::byte>> build_replica_records(
+    const HostPlan& host, std::size_t max_record_bytes) {
+  CJ_CHECK(max_record_bytes > sizeof(ReplicaHeader) + sizeof(rel::Tuple));
+  const std::size_t body_budget = max_record_bytes - sizeof(ReplicaHeader);
+  const std::size_t tuples_per_piece = body_budget / sizeof(rel::Tuple);
+  std::vector<std::vector<std::byte>> records;
+  for (std::size_t q = 0; q < host.queries.size(); ++q) {
+    const auto tuples = host.queries[q].s_frag.tuples();
+    std::uint32_t piece = 0;
+    for (std::size_t off = 0; off < tuples.size(); off += tuples_per_piece) {
+      const std::size_t n = std::min(tuples_per_piece, tuples.size() - off);
+      records.push_back(make_replica_record(
+          ReplicaKind::kStationary, static_cast<std::uint32_t>(q), piece++,
+          static_cast<std::uint32_t>(n),
+          std::span<const std::byte>(
+              reinterpret_cast<const std::byte*>(tuples.data() + off),
+              n * sizeof(rel::Tuple))));
+    }
+  }
+  for (std::size_t c = 0; c < host.slab.num_chunks(); ++c) {
+    const auto chunk = host.slab.chunk(c);
+    CJ_CHECK_MSG(chunk.size() <= body_budget,
+                 "slab chunk exceeds the replica record budget");
+    records.push_back(make_replica_record(ReplicaKind::kRotating, 0,
+                                          static_cast<std::uint32_t>(c), 0,
+                                          chunk));
+  }
+  return records;
+}
+
+/// Prepares the adopted join partition: one QueryState per query built from
+/// the replica copy of the dead host's stationary fragments. The caller
+/// pre-sizes `states` (band/predicate/result set) and schedules the
+/// returned closures on the adopter's cores; `s_tuples` must stay at a
+/// stable address until they ran (the ReplicaStore owns it).
+inline std::vector<std::function<void()>> adopted_setup_closures(
+    const JoinSpec& spec, int radix_bits,
+    const std::vector<std::vector<rel::Tuple>>& s_tuples,
+    std::vector<QueryState>* states) {
+  std::vector<std::function<void()>> out;
+  const join::RadixConfig radix = spec.radix;
+  static const std::vector<rel::Tuple> kNoTuples;
+  for (std::size_t q = 0; q < states->size(); ++q) {
+    QueryState* state = &(*states)[q];
+    // A query the dead host had no S rows for simply yields an empty
+    // partition (replication sends no pieces for it).
+    const std::vector<rel::Tuple>* tuples =
+        q < s_tuples.size() ? &s_tuples[q] : &kNoTuples;
+    switch (spec.algorithm) {
+      case Algorithm::kHashJoin:
+        out.push_back([state, tuples, radix_bits, radix] {
+          state->hash = join::HashJoinStationary::build(
+              std::span<const rel::Tuple>(*tuples), radix_bits, radix);
+        });
+        break;
+      case Algorithm::kSortMergeJoin:
+        out.push_back([state, tuples] {
+          state->s_sorted = *tuples;
+          join::sort_fragment(state->s_sorted);
+        });
+        break;
+      case Algorithm::kNestedLoops:
+        out.push_back([state, tuples] { state->s_raw = *tuples; });
+        break;
+    }
+  }
+  return out;
 }
 
 /// Splits [0, n) into `parts` near-even contiguous ranges.
@@ -296,17 +458,15 @@ struct ChunkJoinWork {
   }
 };
 
-inline void build_chunk_work(const JoinSpec& spec, int radix_bits,
-                             bool resilient, HostPlan& host,
-                             const ChunkView& view, ChunkJoinWork& out) {
+/// One chunk's join work against a single query's stationary state, written
+/// into `sink`. Shared by the regular per-host path (build_chunk_work) and
+/// the adopter's promoted-replica partition.
+inline void build_query_chunk_work(const JoinSpec& spec, int radix_bits,
+                                   QueryState& query, join::JoinResult* sink,
+                                   const ChunkView& view, ChunkJoinWork& out) {
   const int parts = spec.join_threads * kTasksPerThread;
-  for (auto& query : host.queries) {
+  {
     QueryState* state = &query;
-    // Resilient mode tallies per origin so a crash can retract R_dead.
-    join::JoinResult* sink =
-        resilient
-            ? &query.per_origin[static_cast<std::size_t>(view.origin_host)]
-            : &query.result;
     const std::size_t first_partial = out.partials.size();
 
     switch (spec.algorithm) {
@@ -374,6 +534,19 @@ inline void build_chunk_work(const JoinSpec& spec, int radix_bits,
         break;
       }
     }
+  }
+}
+
+inline void build_chunk_work(const JoinSpec& spec, int radix_bits,
+                             bool resilient, HostPlan& host,
+                             const ChunkView& view, ChunkJoinWork& out) {
+  for (auto& query : host.queries) {
+    // Resilient mode tallies per origin so a crash can retract R_dead.
+    join::JoinResult* sink =
+        resilient
+            ? &query.per_origin[static_cast<std::size_t>(view.origin_host)]
+            : &query.result;
+    build_query_chunk_work(spec, radix_bits, query, sink, view, out);
   }
 }
 

@@ -67,9 +67,11 @@ constexpr SimDuration kIdleAbort = 120 * kSecond;
 
 /// ack_timeout is *wall* time on this backend; the sim default (5 virtual
 /// milliseconds) is shorter than ordinary scheduler jitter and would cause
-/// spurious re-injections, so the runner enforces a floor. Dedup makes
-/// early re-injection harmless, but fault counters should stay quiet in
-/// crash-free stretches.
+/// spurious re-injections. The runner turns on the adaptive ack-timeout
+/// policy with this floor: until enough RTT samples arrive the effective
+/// timeout is max(floor, configured), afterwards a multiple of the observed
+/// p99 — machines faster than the floor converge down to their real RTT,
+/// loaded ones move up instead of re-injecting spuriously.
 constexpr SimDuration kMinAckTimeout = 200 * kMillisecond;
 
 class RtRunner {
@@ -84,6 +86,7 @@ class RtRunner {
         epoch_(sim::Engine::WallClock::now()),
         setup_barrier_(n_),
         start_barrier_(n_),
+        replicate_barrier_(n_),
         join_barrier_(n_) {
     // The rt backend has no fault-injecting transport: messages cross a
     // mutex, not a lossy link. Crashes (fail-stop + ring repair) are the
@@ -100,6 +103,10 @@ class RtRunner {
     if (cfg_.trace.enabled) tracer_ = std::make_shared<obs::Tracer>();
     if (cfg_.profile.enabled) {
       profiler_ = std::make_unique<obs::prof::KernelProfiler>();
+    }
+    if (plan_.replicate) {
+      replicas_.resize(static_cast<std::size_t>(n_));
+      replica_records_.resize(static_cast<std::size_t>(n_));
     }
     build_hosts();
     if (plan_.resilient) {
@@ -150,6 +157,19 @@ class RtRunner {
     SimDuration busy_at_join_start = 0;
     SimTime join_started_at = 0;
     SimTime done_at = 0;
+
+    // ----- adoption state (resilience.replicate) -----------------------
+    // All of it engine-thread private: the install closure that writes it
+    // runs on this host's engine, as do the join loop and adoption task
+    // that read it.
+    int adopted_origin = -1;
+    std::vector<detail::QueryState> adopted;
+    std::vector<std::set<std::uint32_t>> adopted_seen;
+    std::unique_ptr<sim::Event> adoption_ready;
+    /// Set on this host's engine once its injector sent the last first
+    /// copy; the replay task awaits it so replay seqs extend the slab
+    /// numbering instead of colliding with it.
+    std::unique_ptr<sim::Event> injector_done_ev;
   };
 
   HostRt& host(int i) { return *hosts_[static_cast<std::size_t>(i)]; }
@@ -193,8 +213,10 @@ class RtRunner {
     node_cfg.use_credits = true;
     node_cfg.resilience.enabled = plan_.resilient;
     node_cfg.resilience.num_hosts = n_;
-    node_cfg.resilience.ack_timeout =
-        std::max(node_cfg.resilience.ack_timeout, kMinAckTimeout);
+    node_cfg.resilience.adaptive.enabled = true;
+    if (node_cfg.resilience.adaptive.floor == 0) {
+      node_cfg.resilience.adaptive.floor = kMinAckTimeout;
+    }
     for (int i = 0; i < n_; ++i) {
       HostRt& h = host(i);
       node_cfg.resilience.host_id = i;
@@ -210,6 +232,16 @@ class RtRunner {
         // Runs on host i's engine thread each time one of i's local chunks
         // is acknowledged (must be installed before start()).
         h.node->set_on_ack([this, i] { on_ack(i); });
+        h.injector_done_ev =
+            std::make_unique<sim::Event>(*h.engine, "injector-done");
+      }
+      if (plan_.replicate) {
+        // Runs on host i's engine thread (the receiver consumes kReplica
+        // frames inline), so the store needs no lock.
+        h.node->set_on_replica(
+            [this, i](int origin, std::span<const std::byte> record) {
+              replicas_[static_cast<std::size_t>(i)].absorb(origin, record);
+            });
       }
     }
   }
@@ -227,6 +259,13 @@ class RtRunner {
     flush_profile(engine);
     if (obs::Tracer* t = engine.tracer()) t->end(engine.now(), i, "phase");
     host.stats.setup = engine.now() - setup_start;
+    if (plan_.replicate && n_ > 1) {
+      // Serialize this host's crash-relevant state (S_i pieces + the slab's
+      // encoded chunks) while the fragments are still resident.
+      replica_records_[static_cast<std::size_t>(i)] =
+          detail::build_replica_records(
+              *host.plan, cfg_.node.buffer_bytes - ring::kFrameBytes);
+    }
     host.plan->r_frag = rel::Relation();  // originals no longer needed
     if (spec_.algorithm != Algorithm::kNestedLoops) {
       for (auto& query : host.plan->queries) query.s_frag = rel::Relation();
@@ -242,12 +281,36 @@ class RtRunner {
       ring::NodeCounts counts;
       if (n_ > 1) {
         slabs.push_back(host.plan->slab.slab());
+        // Replica records are sent from where they were serialized; register
+        // them up front like the slab (a no-op on shared-memory wires).
+        if (plan_.replicate) {
+          for (auto& record : replica_records_[static_cast<std::size_t>(i)]) {
+            slabs.push_back(record);
+          }
+        }
         counts = counts_for();
       }
       const Status started = co_await node.start(counts, std::move(slabs));
       CJ_CHECK_MSG(started.is_ok(), started.to_string().c_str());
     }
     co_await start_barrier_.arrive_and_wait(engine);
+    if (plan_.replicate && n_ > 1) {
+      // ---- replication phase -------------------------------------------
+      // Stream the replica one hop ahead and wait for the successor's
+      // acks. The barrier (and the crash gate opening only after it)
+      // guarantees a crash never interrupts replication.
+      if (obs::Tracer* t = engine.tracer()) {
+        t->begin(engine.now(), i, "phase", "replicate");
+      }
+      for (const auto& record : replica_records_[static_cast<std::size_t>(i)]) {
+        co_await node.send_replica(record);
+      }
+      co_await node.replicas_drained();
+      co_await replicate_barrier_.arrive_and_wait(engine);
+      // The records stay resident (registered memory; freeing would leave
+      // stale regions behind on wires that do register).
+      if (obs::Tracer* t = engine.tracer()) t->end(engine.now(), i, "phase");
+    }
     if (plan_.resilient) {
       std::lock_guard<std::mutex> lk(mu_);
       join_started_ = true;
@@ -277,16 +340,55 @@ class RtRunner {
       while (true) {
         ring::InboundChunk inbound = co_await node.next_chunk();
         if (inbound.stop) break;
+        if (host.adopted_origin >= 0 && !host.adoption_ready->is_set()) {
+          // Adopter with the partition still being promoted: park until
+          // the build finishes so no arrival misses its adopted join (the
+          // ring backs up behind this host briefly — recovery's latency
+          // cost, not a deadlock: promotion runs on workers).
+          co_await host.adoption_ready->wait();
+        }
         const ChunkView view = decode_chunk(inbound.payload);
         const int origin = inbound.origin;
         const std::uint32_t seq = inbound.seq;
         const bool origin_dead = is_crashed(origin);
-        if (!inbound.duplicate && !origin_dead) co_await join_chunk(i, view);
-        if (origin_dead) {
-          // A dead origin can neither take an ack nor re-inject; retire its
-          // chunk quietly at the first surviving host that notices.
+        if (inbound.replay) {
+          // Recovery replay copy: joined only at the adopter (against the
+          // adopted partition), forwarded by everyone else; never on the
+          // retire board — the original already accounted there.
+          if (host.adopted_origin >= 0 &&
+              host.adopted_seen[static_cast<std::size_t>(origin)]
+                  .insert(seq)
+                  .second) {
+            co_await join_adopted_chunk(i, view);
+          }
+          if (surviving_successor(i) == origin) {
+            node.retire(inbound);  // ack the replaying origin
+          } else {
+            node.forward(inbound);
+          }
+          continue;
+        }
+        if (origin_dead && !is_recovering()) {
+          // Degraded mode: a dead origin can neither take an ack nor
+          // re-inject; retire its chunk quietly at the first surviving
+          // host that notices.
           node.retire(inbound, /*send_ack=*/false);
-        } else if (surviving_successor(i) == origin) {
+          continue;
+        }
+        if (!inbound.duplicate) co_await join_chunk(i, view);
+        if (host.adopted_origin >= 0 && origin != host.adopted_origin &&
+            host.adopted_seen[static_cast<std::size_t>(origin)]
+                .insert(seq)
+                .second) {
+          // Post-adoption arrival not covered by the replay snapshot: this
+          // is its only pass by the adopter.
+          co_await join_adopted_chunk(i, view);
+        }
+        // Under recovery a dead origin's chunks stay first-class: joined
+        // everywhere, retiring one hop before the adopter, which consumes
+        // their acks on the dead host's behalf.
+        const int home = origin_dead ? dead_home() : origin;
+        if (surviving_successor(i) == home) {
           node.retire(inbound);  // full revolution completed
           note_retired(origin, seq);
         } else {
@@ -320,16 +422,23 @@ class RtRunner {
     co_await node.drain();
 
     if (plan_.resilient) {
-      // A crashed host contributes nothing; surviving hosts count only the
-      // surviving origins' buckets (dead R fragments are retracted).
+      // A crashed host contributes nothing. Without recovery the surviving
+      // hosts count only the surviving origins' buckets (dead R fragments
+      // are retracted); under exact recovery every origin's bucket counts
+      // and the adopter adds the partition it recomputed.
       if (!is_crashed(i)) {
+        const bool recovering = is_recovering();
         for (const auto& query : host.plan->queries) {
           for (int o = 0; o < n_; ++o) {
-            if (is_crashed(o)) continue;
+            if (is_crashed(o) && !recovering) continue;
             const auto& partial = query.per_origin[static_cast<std::size_t>(o)];
             host.stats.matches += partial.matches();
             host.stats.checksum += partial.checksum();
           }
+        }
+        for (const auto& adopted : host.adopted) {
+          host.stats.matches += adopted.result.matches();
+          host.stats.checksum += adopted.result.checksum();
         }
       }
     } else {
@@ -374,11 +483,11 @@ class RtRunner {
   }
 
   template <typename Fn>
-  auto profiled(int i, Fn fn) {
-    return [this, i, fn = std::move(fn)] {
+  auto profiled(int i, Fn fn, const char* phase = "core") {
+    return [this, i, phase, fn = std::move(fn)] {
       // Installed on the *worker* thread the kernel runs on; the profiler
       // accumulates from all workers under its own lock.
-      obs::prof::ScopedContext ctx(profiler_.get(), i, "core");
+      obs::prof::ScopedContext ctx(profiler_.get(), i, phase);
       fn();
     };
   }
@@ -393,8 +502,11 @@ class RtRunner {
     HostRt& host = this->host(i);
     // Resilient frames travel in-buffer ahead of the payload; chunks must
     // leave them headroom or a full chunk would overflow the ring buffer.
-    const ChunkWriter writer(cfg_.node.buffer_bytes -
-                             (plan_.resilient ? ring::kFrameBytes : 0));
+    // With replication on, chunks additionally ride inside replica records,
+    // so they leave room for the record header too.
+    const ChunkWriter writer(
+        cfg_.node.buffer_bytes - (plan_.resilient ? ring::kFrameBytes : 0) -
+        (plan_.replicate ? sizeof(detail::ReplicaHeader) : 0));
     std::vector<sim::Task<void>> tasks;
     for (auto& fn :
          detail::setup_closures(spec_, plan_.radix_bits, writer, host.plan)) {
@@ -423,6 +535,29 @@ class RtRunner {
     work.merge_into_sinks();
   }
 
+  // Joins one chunk against the adopter's promoted replica partition
+  // (recovery only); the adopted QueryStates' own results keep recovered
+  // matches separately attributable.
+  sim::Task<void> join_adopted_chunk(int i, ChunkView view) {
+    HostRt& host = this->host(i);
+    probe_tuples_ += view.tuples.size() * host.adopted.size();
+
+    detail::ChunkJoinWork work;
+    for (auto& query : host.adopted) {
+      detail::build_query_chunk_work(spec_, plan_.radix_bits, query,
+                                     &query.result, view, work);
+    }
+    std::vector<sim::Task<void>> tasks;
+    for (auto& item : work.items) {
+      tasks.push_back(detail::guarded(
+          *host.join_slots,
+          host.cores->run(profiled(i, std::move(item), "adopt"), "adopt")));
+    }
+    co_await sim::when_all(*host.engine, std::move(tasks));
+    flush_profile(*host.engine);
+    work.merge_into_sinks();
+  }
+
   ring::NodeCounts counts_for() const {
     const std::uint64_t g = plan_.global_chunks();
     return ring::NodeCounts{g, g};
@@ -433,6 +568,19 @@ class RtRunner {
   bool is_crashed(int h) {
     std::lock_guard<std::mutex> lk(mu_);
     return crashed_.count(h) != 0;
+  }
+
+  bool is_recovering() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return recovering_;
+  }
+
+  /// Where a recovered dead origin's chunks retire: at the predecessor of
+  /// the adopter, which consumes their acks. Only meaningful once
+  /// recovering_ is set (it is published together with crashed_).
+  int dead_home() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return adopter_;
   }
 
   /// The next alive host downstream of i on the (possibly spliced) ring.
@@ -466,6 +614,7 @@ class RtRunner {
       acked_clear_[static_cast<std::size_t>(i)] =
           host(i).node->outstanding_unacked() == 0;
     }
+    host(i).injector_done_ev->set();  // on i's engine thread
     maybe_finish();
   }
 
@@ -479,14 +628,19 @@ class RtRunner {
 
   /// Caller holds mu_. Slab chunk counts are safe to read: they are written
   /// before the setup barrier, which happens-before every join-phase event.
+  /// Under exact recovery the dead origin's board must fill too (the
+  /// adopter's re-injections retire on the dead host's behalf) and every
+  /// recovery task must have finished.
   bool all_work_done_locked() {
+    if (recovering_ && recovery_pending_ > 0) return false;
     for (int o = 0; o < n_; ++o) {
-      if (crashed_.count(o) != 0) continue;
+      const bool dead = crashed_.count(o) != 0;
+      if (dead && !recovering_) continue;
       if (retired_board_[static_cast<std::size_t>(o)].size() <
           host(o).plan->slab.num_chunks()) {
         return false;
       }
-      if (!acked_clear_[static_cast<std::size_t>(o)]) return false;
+      if (!dead && !acked_clear_[static_cast<std::size_t>(o)]) return false;
     }
     return true;
   }
@@ -564,18 +718,203 @@ class RtRunner {
       if (finished_) return;  // the run beat the crash to the finish line
       repairing_ = true;
       crashed_.insert(spec.host);
+      if (plan_.replicate) {
+        // Published together with the crash: any host observing the origin
+        // as dead also sees recovery mode and the retire home, so no chunk
+        // is ever quiet-retired in the window before adoption installs.
+        CJ_CHECK_MSG(!recovering_,
+                     "replicated recovery supports a single crash");
+        recovering_ = true;
+        int s = successor(spec.host);
+        while (crashed_.count(s) != 0) s = successor(s);
+        adopter_ = s;
+        crash_at_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        sim::Engine::WallClock::now() - epoch_)
+                        .count();
+      }
     }
     // Fail-stop on the victim's own engine thread: wires break, entities
     // unwind, the victim's join loop sees a stop chunk.
     post_and_wait(spec.host, [this, spec] { host(spec.host).node->die(); });
     splice_around(spec.host);
+    if (plan_.replicate) install_recovery(spec.host);
     {
       std::lock_guard<std::mutex> lk(mu_);
       repairing_ = false;
     }
-    // The crash may itself complete the run (the dead host's unfinished
-    // work no longer counts).
+    // Without recovery the crash may itself complete the run (the dead
+    // host's unfinished work no longer counts).
     maybe_finish();
+  }
+
+  /// Watcher thread: flips the run into exact-recovery mode. The install
+  /// closure runs on the adopter's engine (its node and seen-sets are
+  /// engine-thread private); the recovery tasks are registered under mu_
+  /// before repairing_ clears, so the termination detector never observes
+  /// a half-installed recovery.
+  void install_recovery(int dead) {
+    int a;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      a = adopter_;
+    }
+    auto replay_sets =
+        std::make_shared<std::vector<std::set<std::uint32_t>>>();
+    post_and_wait(a, [this, a, dead, replay_sets] {
+      HostRt& h = host(a);
+      h.node->adopt(dead);
+      h.adopted_origin = dead;
+      h.adoption_ready =
+          std::make_unique<sim::Event>(*h.engine, "adoption-ready");
+      h.adopted_seen.assign(static_cast<std::size_t>(n_), {});
+      replay_sets->assign(static_cast<std::size_t>(n_), {});
+      for (int o = 0; o < n_; ++o) {
+        if (o == a || is_crashed(o)) continue;
+        // Snapshot: chunks the adopter already consumed from o get their
+        // adopted join from a replay copy, so pre-mark them — a stale
+        // original duplicate must not double-join.
+        h.adopted_seen[static_cast<std::size_t>(o)] = h.node->seen(o);
+        (*replay_sets)[static_cast<std::size_t>(o)] =
+            h.adopted_seen[static_cast<std::size_t>(o)];
+      }
+    });
+    std::vector<int> replayers;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      recovery_pending_ = 1;  // the adoption task
+      // The tasks register fresh outstanding work; pin the flags false
+      // until each task's tail recomputes them on its own engine.
+      acked_clear_[static_cast<std::size_t>(a)] = false;
+      for (int o = 0; o < n_; ++o) {
+        if (o == a || crashed_.count(o) != 0) continue;
+        ++recovery_pending_;
+        acked_clear_[static_cast<std::size_t>(o)] = false;
+        replayers.push_back(o);
+      }
+    }
+    host(a).engine->post([this, a, dead] {
+      host(a).engine->spawn(adoption_task(this, a, dead), "adopt");
+    });
+    for (const int o : replayers) {
+      std::set<std::uint32_t> seqs =
+          std::move((*replay_sets)[static_cast<std::size_t>(o)]);
+      host(o).engine->post([this, o, seqs = std::move(seqs)]() mutable {
+        host(o).engine->spawn(replay_task(this, o, std::move(seqs)),
+                              "replay");
+      });
+    }
+    if (tracer_ != nullptr) {
+      tracer_->instant(host(a).engine->now(), obs::kGlobalHost, "fault",
+                       "adopt-install", a);
+    }
+  }
+
+  /// Tail of every recovery task, on the owning host's engine thread:
+  /// refresh the host's acked-clear flag (the task may have registered no
+  /// new work, in which case no ack would ever recompute it) and release
+  /// the termination detector.
+  void recovery_task_done(int i) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --recovery_pending_;
+      acked_clear_[static_cast<std::size_t>(i)] =
+          injector_done_[static_cast<std::size_t>(i)] &&
+          host(i).node->outstanding_unacked() == 0;
+    }
+    maybe_finish();
+  }
+
+  /// The adopter's recovery work (function coroutine: frame-owned copies
+  /// survive the posted spawn closure). Promote the replica S_dead, then
+  /// re-inject the dead origin's unretired chunks from the replica log,
+  /// then run the local joins the dead host can no longer perform.
+  static sim::Task<void> adoption_task(RtRunner* self, int a, int dead) {
+    HostRt& host = self->host(a);
+    detail::ReplicaStore& store = self->replicas_[static_cast<std::size_t>(a)];
+    ring::RoundaboutNode& node = *host.node;
+    sim::Engine& engine = *host.engine;
+    CJ_CHECK_MSG(store.origin == dead, "replica store holds the wrong host");
+    obs::Tracer* const t = engine.tracer();
+    if (t != nullptr) t->begin(engine.now(), a, "adopt", "promote-replica");
+    host.adopted.resize(self->num_queries_);
+    for (std::size_t q = 0; q < self->num_queries_; ++q) {
+      host.adopted[q].band = self->queries_[q].band;
+      host.adopted[q].predicate = &self->queries_[q].predicate;
+    }
+    {
+      std::vector<sim::Task<void>> tasks;
+      for (auto& fn : detail::adopted_setup_closures(
+               self->spec_, self->plan_.radix_bits, store.s_tuples,
+               &host.adopted)) {
+        tasks.push_back(host.cores->run(
+            self->profiled(a, std::move(fn), "adopt"), "adopt"));
+      }
+      co_await sim::when_all(engine, std::move(tasks));
+      self->flush_profile(engine);
+    }
+    host.adoption_ready->set();
+    if (t != nullptr) t->end(engine.now(), a, "adopt");
+    // Re-inject unretired chunks under their original seqs. A chunk this
+    // host saw before the crash is still circulating: register it for
+    // ack/timeout tracking without pushing — the live copy completes the
+    // revolution by itself and the scanner re-injects only if needed. The
+    // replica log becomes send-worthy only now; register it with the wire
+    // first (no-op on shared memory).
+    for (auto& [seq, bytes] : store.r_chunks) {
+      co_await node.prepare_memory(bytes);
+    }
+    const std::size_t c_dead =
+        self->plan_.hosts[static_cast<std::size_t>(dead)].slab.num_chunks();
+    for (std::uint32_t seq = 0; seq < static_cast<std::uint32_t>(c_dead);
+         ++seq) {
+      bool retired;
+      {
+        std::lock_guard<std::mutex> lk(self->mu_);
+        retired =
+            self->retired_board_[static_cast<std::size_t>(dead)].count(seq) !=
+            0;
+      }
+      if (retired) continue;
+      const auto it = store.r_chunks.find(seq);
+      CJ_CHECK_MSG(it != store.r_chunks.end(),
+                   "replica log is missing an unretired chunk");
+      const bool circulating = node.seen(dead).count(seq) != 0;
+      co_await node.send_adopted(seq, it->second, /*send_now=*/!circulating);
+    }
+    // Local joins the dead host can no longer perform: the whole replica
+    // log against the adopted partition (R_dead ⋈ S_dead), the dead chunks
+    // this host never saw against its own queries (post-splice they retire
+    // one hop upstream and never pass here), and this host's own slab
+    // against the adopted partition (R_a ⋈ S_dead).
+    for (const auto& [seq, bytes] : store.r_chunks) {
+      const ChunkView view = decode_chunk(bytes);
+      co_await self->join_adopted_chunk(a, view);
+      if (node.seen(dead).count(seq) == 0) {
+        co_await self->join_chunk(a, view);
+      }
+    }
+    for (std::size_t c = 0; c < host.plan->slab.num_chunks(); ++c) {
+      co_await self->join_adopted_chunk(
+          a, decode_chunk(host.plan->slab.chunk(c)));
+    }
+    self->adoption_done_at_ = engine.now();
+    self->recovery_task_done(a);
+  }
+
+  /// A surviving origin's recovery work: re-send every chunk the adopter
+  /// had consumed by install time as a flagged replay copy, after the
+  /// origin's own injector finished (replay seqs extend the slab
+  /// numbering). Function coroutine: `seqs` lives in the frame.
+  static sim::Task<void> replay_task(RtRunner* self, int o,
+                                     std::set<std::uint32_t> seqs) {
+    co_await self->host(o).injector_done_ev->wait();
+    HostRt& host = self->host(o);
+    ring::RoundaboutNode& node = *host.node;
+    for (const std::uint32_t seq : seqs) {
+      if (node.stopped()) break;
+      co_await node.send_local(host.plan->slab.chunk(seq), /*replay=*/true);
+    }
+    self->recovery_task_done(o);
   }
 
   /// Ring repair after `dead` fail-stopped: a fresh shared-memory link
@@ -628,11 +967,15 @@ class RtRunner {
         if (plan_.resilient) {
           if (crashed_.count(i) != 0) continue;
           for (int o = 0; o < n_; ++o) {
-            if (crashed_.count(o) != 0) continue;
+            if (crashed_.count(o) != 0 && !recovering_) continue;
             const auto& partial =
                 host.plan->queries[q].per_origin[static_cast<std::size_t>(o)];
             report.queries[q].matches += partial.matches();
             report.queries[q].checksum += partial.checksum();
+          }
+          if (q < host.adopted.size()) {
+            report.queries[q].matches += host.adopted[q].result.matches();
+            report.queries[q].checksum += host.adopted[q].result.checksum();
           }
         } else {
           report.queries[q].matches += host.plan->queries[q].result.matches();
@@ -660,11 +1003,26 @@ class RtRunner {
     }
     if (!cfg_.fault.empty()) {
       FaultReport& fault = report.fault;
-      fault.degraded = !crashed_.empty();
+      fault.recovered = recovering_;
+      fault.degraded = !crashed_.empty() && !recovering_;
       fault.crashed_hosts.assign(crashed_.begin(), crashed_.end());
-      for (const int dead : crashed_) {
-        fault.lost_r_rows += plan_.r_rows[static_cast<std::size_t>(dead)];
-        fault.lost_s_rows += plan_.s_rows[static_cast<std::size_t>(dead)];
+      if (!recovering_) {
+        // Exact recovery loses nothing; degraded mode accounts the gap.
+        for (const int dead : crashed_) {
+          fault.lost_r_rows += plan_.r_rows[static_cast<std::size_t>(dead)];
+          fault.lost_s_rows += plan_.s_rows[static_cast<std::size_t>(dead)];
+        }
+      }
+      if (plan_.replicate) {
+        for (int i = 0; i < n_; ++i) {
+          fault.replica_bytes += host(i).node->replica_bytes();
+          fault.replicas_resent += host(i).node->replicas_resent();
+        }
+      }
+      if (recovering_) {
+        fault.adopter = adopter_;
+        fault.chunks_adopted = host(adopter_).node->chunks_adopted();
+        fault.recovery_time = adoption_done_at_ - crash_at_;
       }
       // No lossy transport, no simulated RNIC: drop/corrupt/retransmit
       // counters are structurally zero on this backend.
@@ -697,6 +1055,58 @@ class RtRunner {
     metrics_.add_counter("context_switches", 0);  // real cores: not modeled
     metrics_.set_gauge("cpu_load_join", report.cpu_load_join);
     metrics_.set_gauge("link_throughput_bps", report.link_throughput_bps);
+    if (plan_.resilient) {
+      // Summed from the per-host stats, not report.fault: the counters are
+      // live even when no fault plan is configured (e.g. spurious-timeout
+      // re-injections under the adaptive policy's warm-up).
+      std::int64_t reinjected = 0;
+      std::int64_t recovered = 0;
+      std::int64_t dups = 0;
+      std::int64_t corrupt = 0;
+      for (const HostStats& stats : report.hosts) {
+        reinjected += static_cast<std::int64_t>(stats.chunks_reinjected);
+        recovered += static_cast<std::int64_t>(stats.chunks_recovered);
+        dups += static_cast<std::int64_t>(stats.duplicates_skipped);
+        corrupt += static_cast<std::int64_t>(stats.corrupt_discards);
+      }
+      metrics_.add_counter("chunks_reinjected", reinjected);
+      metrics_.add_counter("chunks_recovered", recovered);
+      metrics_.add_counter("duplicates_skipped", dups);
+      metrics_.add_counter("chunks_discarded_corrupt", corrupt);
+      if (plan_.replicate) {
+        std::int64_t replica_bytes = 0;
+        std::int64_t resent = 0;
+        std::int64_t adopted = 0;
+        for (int i = 0; i < n_; ++i) {
+          replica_bytes +=
+              static_cast<std::int64_t>(host(i).node->replica_bytes());
+          resent += static_cast<std::int64_t>(host(i).node->replicas_resent());
+          adopted += static_cast<std::int64_t>(host(i).node->chunks_adopted());
+        }
+        metrics_.add_counter("replica_bytes", replica_bytes);
+        metrics_.add_counter("replicas_resent", resent);
+        metrics_.add_counter("chunks_adopted", adopted);
+      }
+      for (int i = 0; i < n_; ++i) {
+        const ring::RoundaboutNode& node = *host(i).node;
+        for (const SimDuration rtt : node.ack_rtts()) {
+          metrics_.record("ack_rtt_ns", rtt);
+        }
+        metrics_.set_gauge("host" + std::to_string(i) + ".ack_timeout_ns",
+                           static_cast<double>(node.current_ack_timeout()));
+        if (tracer_ != nullptr) {
+          tracer_->counter(host(i).done_at, i, "chunks_recovered",
+                           static_cast<std::int64_t>(node.chunks_recovered()));
+          tracer_->counter(host(i).done_at, i, "chunks_reinjected",
+                           static_cast<std::int64_t>(node.chunks_reinjected()));
+          tracer_->counter(host(i).done_at, i, "duplicates_skipped",
+                           static_cast<std::int64_t>(node.duplicates_skipped()));
+          tracer_->counter(
+              host(i).done_at, i, "chunks_discarded_corrupt",
+              static_cast<std::int64_t>(node.chunks_discarded_corrupt()));
+        }
+      }
+    }
     if (tracer_ != nullptr) {
       for (const obs::HostOverlap& o : obs::overlap_by_host(*tracer_)) {
         metrics_.set_gauge("host" + std::to_string(o.host) + ".overlap_ratio",
@@ -717,10 +1127,21 @@ class RtRunner {
   detail::RunPlan plan_;
   rt::WallBarrier setup_barrier_;
   rt::WallBarrier start_barrier_;
+  rt::WallBarrier replicate_barrier_;
   rt::WallBarrier join_barrier_;
   std::vector<std::unique_ptr<HostRt>> hosts_;
   std::vector<std::unique_ptr<rt::ShmLink>> links_;
   std::vector<std::unique_ptr<rt::ShmLink>> repair_links_;
+
+  // ----- replication / exact-recovery state ----------------------------
+  /// Per host: the successor-held copy of its predecessor's state. Written
+  /// by host i's receiver (on i's engine), read by i's adoption task.
+  std::vector<detail::ReplicaStore> replicas_;
+  /// Per host: serialized records for the replication phase (engine-thread
+  /// private; must outlive replicas_drained — sends are by reference).
+  std::vector<std::vector<std::vector<std::byte>>> replica_records_;
+  SimTime crash_at_ = 0;          ///< watcher thread; read after join
+  SimTime adoption_done_at_ = 0;  ///< adopter engine; read after join
 
   // ----- shared runner state, guarded by mu_ ---------------------------
   std::mutex mu_;
@@ -728,6 +1149,11 @@ class RtRunner {
   bool join_started_ = false;
   bool finished_ = false;
   bool repairing_ = false;
+  bool recovering_ = false;  ///< a crash is being exactly recovered
+  int adopter_ = -1;
+  /// Recovery tasks (adoption + per-survivor replays) still running;
+  /// termination is held off until all of them finished.
+  int recovery_pending_ = 0;
   std::set<int> crashed_;
   /// Per origin: sequence numbers of its chunks that completed a revolution.
   std::vector<std::set<std::uint32_t>> retired_board_;

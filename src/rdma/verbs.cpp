@@ -103,6 +103,7 @@ void QueuePair::validate(const WorkRequest& wr) const {
 Status QueuePair::post_send(const WorkRequest& wr) {
   if (!connected()) return failed_precondition("post_send on unconnected QP");
   if (error_) return failed_precondition("post_send on QP in error state");
+  if (closed()) return unavailable("post_send on closed QP");
   CJ_CHECK_MSG(wr.opcode != Opcode::kRecv, "kRecv posted to the send queue");
   validate(wr);
   if (!send_queue_->try_push(wr)) {

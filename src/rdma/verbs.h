@@ -240,6 +240,10 @@ class QueuePair {
   /// Entity name of this QP on its host's trace tracks ("qp0", "qp1", ...).
   const std::string& trace_name() const { return trace_name_; }
   bool in_error() const { return error_; }
+  /// True once close() ran: the send queue no longer accepts work. At
+  /// teardown a peer's post can legitimately race this (both ends are
+  /// stopping); post_send then fails with a status instead of aborting.
+  bool closed() const { return send_queue_ == nullptr || send_queue_->closed(); }
   std::size_t recv_queue_depth() const { return recv_queue_.size(); }
 
   /// Routes this QP's outbound messages through `injector`'s decision

@@ -22,8 +22,20 @@
 namespace cj::ring {
 
 enum class FrameKind : std::uint8_t {
-  kData = 1,       ///< chunk payload follows the header
-  kRetireAck = 2,  ///< header-only: (origin, seq) completed its revolution
+  kData = 1,        ///< chunk payload follows the header
+  kRetireAck = 2,   ///< header-only: (origin, seq) completed its revolution
+  kReplica = 3,     ///< replication record for the successor (one hop, stored)
+  kReplicaAck = 4,  ///< header-only: replica (origin, seq) stored durably;
+                    ///< forwarded around the ring back to the origin
+};
+
+/// FrameHeader::flags bits.
+enum : std::uint8_t {
+  /// Replay copy injected during crash recovery: carries a fresh sequence
+  /// number and is joined only by the adopter (against the adopted
+  /// partition) — every other host forwards it without joining, and it
+  /// never enters the retire board.
+  kFrameFlagReplay = 0x1,
 };
 
 constexpr std::uint32_t kFrameMagic = 0x52DAB007;  // "ring data bot"
@@ -31,7 +43,8 @@ constexpr std::uint32_t kFrameMagic = 0x52DAB007;  // "ring data bot"
 struct FrameHeader {
   std::uint32_t magic = kFrameMagic;
   std::uint8_t kind = 0;
-  std::uint8_t reserved[3] = {0, 0, 0};
+  std::uint8_t flags = 0;  ///< kFrameFlag* bits (checksummed like the rest)
+  std::uint8_t reserved[2] = {0, 0};
   std::uint16_t origin = 0;  ///< host that injected the chunk
   std::uint16_t pad = 0;
   std::uint32_t seq = 0;  ///< per-origin chunk sequence number
@@ -64,9 +77,11 @@ inline std::uint64_t frame_checksum(const FrameHeader& h,
 
 /// Builds a sealed (checksummed) header for a frame.
 inline FrameHeader make_frame(FrameKind kind, int origin, std::uint32_t seq,
-                              std::span<const std::byte> payload) {
+                              std::span<const std::byte> payload,
+                              std::uint8_t flags = 0) {
   FrameHeader h;
   h.kind = static_cast<std::uint8_t>(kind);
+  h.flags = flags;
   h.origin = static_cast<std::uint16_t>(origin);
   h.seq = seq;
   h.checksum = frame_checksum(h, payload);
@@ -82,8 +97,8 @@ inline bool decode_frame(std::span<const std::byte> message, FrameHeader* out) {
   FrameHeader h;
   std::memcpy(&h, message.data(), kFrameBytes);
   if (h.magic != kFrameMagic) return false;
-  if (h.kind != static_cast<std::uint8_t>(FrameKind::kData) &&
-      h.kind != static_cast<std::uint8_t>(FrameKind::kRetireAck)) {
+  if (h.kind < static_cast<std::uint8_t>(FrameKind::kData) ||
+      h.kind > static_cast<std::uint8_t>(FrameKind::kReplicaAck)) {
     return false;
   }
   if (h.checksum != frame_checksum(h, message.subspan(kFrameBytes))) return false;

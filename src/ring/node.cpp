@@ -41,6 +41,7 @@ RoundaboutNode::RoundaboutNode(sim::Engine& engine, sim::CorePool& cores,
   credits_ = std::make_unique<sim::Semaphore>(engine, buffers, "ring-credits");
   injection_window_ = std::make_unique<sim::Semaphore>(
       engine, std::max(1, config_.injection_window), "injection-window");
+  replica_acked_ = std::make_unique<sim::Semaphore>(engine, 0, "replica-acked");
 }
 
 sim::Task<Status> RoundaboutNode::start(NodeCounts counts,
@@ -184,7 +185,8 @@ void RoundaboutNode::retire(InboundChunk chunk, bool send_ack) {
       /*priority=*/true);
 }
 
-sim::Task<void> RoundaboutNode::send_local(std::span<const std::byte> data) {
+sim::Task<void> RoundaboutNode::send_local(std::span<const std::byte> data,
+                                           bool replay) {
   CJ_CHECK_MSG(!data.empty(), "empty chunks cannot be injected");
   if (resilient() && stop_) co_return;  // dead/stopped node injects nothing
   co_await injection_window_->acquire();
@@ -192,19 +194,81 @@ sim::Task<void> RoundaboutNode::send_local(std::span<const std::byte> data) {
     if (stop_) co_return;  // dying or stopping node: nothing more to inject
     trace_instant("inject", static_cast<std::int64_t>(data.size()));
     const std::uint32_t seq = next_seq_++;
+    const std::uint8_t flags = replay ? kFrameFlagReplay : 0;
     SendRequest request;
     request.data = data;
     request.framed = true;
-    request.header =
-        make_frame(FrameKind::kData, config_.resilience.host_id, seq, data);
+    request.header = make_frame(FrameKind::kData, config_.resilience.host_id,
+                                seq, data, flags);
     // Hold the payload until its retire ack lands — the retransmission
     // buffer is simply the local slab the chunk already lives in.
-    outstanding_[seq] = Outstanding{data, engine_.now(), 0};
+    outstanding_[seq] =
+        Outstanding{data, engine_.now(), engine_.now(), 0, flags};
     push_outbound(request, /*priority=*/false);
     co_return;
   }
+  CJ_CHECK_MSG(!replay, "replay injection is a resilient-mode operation");
   trace_instant("inject", static_cast<std::int64_t>(data.size()));
   push_outbound(SendRequest{data, -1}, /*priority=*/false);
+}
+
+sim::Task<void> RoundaboutNode::prepare_memory(std::span<std::byte> region) {
+  CJ_CHECK_MSG(started_, "prepare_memory before start()");
+  if (in_wire_ != nullptr && !region.empty()) {
+    co_await in_wire_->prepare(region);
+  }
+}
+
+sim::Task<void> RoundaboutNode::send_replica(std::span<const std::byte> data) {
+  CJ_CHECK_MSG(resilient() && config_.resilience.replicate,
+               "send_replica needs resilience.replicate");
+  CJ_CHECK_MSG(!data.empty(), "empty replica records cannot be sent");
+  if (stop_) co_return;
+  co_await injection_window_->acquire();
+  if (stop_) co_return;
+  const std::uint32_t seq = replica_seq_++;
+  ++replicas_sent_;
+  replica_bytes_ += data.size();
+  trace_instant("replica", static_cast<std::int64_t>(data.size()));
+  SendRequest request;
+  request.data = data;
+  request.framed = true;
+  request.header =
+      make_frame(FrameKind::kReplica, config_.resilience.host_id, seq, data);
+  replica_outstanding_[seq] =
+      Outstanding{data, engine_.now(), engine_.now(), 0, 0};
+  push_outbound(request, /*priority=*/false);
+}
+
+sim::Task<void> RoundaboutNode::replicas_drained() {
+  for (std::uint64_t i = 0; i < replicas_sent_; ++i) {
+    co_await replica_acked_->acquire();
+  }
+}
+
+void RoundaboutNode::adopt(int origin) {
+  CJ_CHECK_MSG(resilient() && config_.resilience.replicate,
+               "adopt needs resilience.replicate");
+  adopted_origin_ = origin;
+}
+
+sim::Task<void> RoundaboutNode::send_adopted(std::uint32_t seq,
+                                             std::span<const std::byte> payload,
+                                             bool send_now) {
+  CJ_CHECK_MSG(adopted_origin_ >= 0, "send_adopted before adopt()");
+  if (stop_) co_return;
+  co_await injection_window_->acquire();
+  if (stop_) co_return;
+  ++adopted_injected_;
+  adopted_outstanding_[seq] =
+      Outstanding{payload, engine_.now(), engine_.now(), 0, 0};
+  if (!send_now) co_return;  // likely still circulating; scanner takes over
+  trace_instant("adopt-inject", seq);
+  SendRequest request;
+  request.data = payload;
+  request.framed = true;
+  request.header = make_frame(FrameKind::kData, adopted_origin_, seq, payload);
+  push_outbound(request, /*priority=*/false);
 }
 
 void RoundaboutNode::trace_instant(std::string_view name, std::int64_t arg) {
@@ -365,10 +429,49 @@ sim::Task<void> RoundaboutNode::receiver_resilient() {
       spawn_recycle(idx);
       continue;
     }
+    if (header.kind == static_cast<std::uint8_t>(FrameKind::kReplicaAck)) {
+      if (static_cast<int>(header.origin) == config_.resilience.host_id) {
+        // One of our replica records is durably stored at the successor.
+        trace_instant("replica-ack", header.seq);
+        if (replica_outstanding_.erase(header.seq) > 0) {
+          injection_window_->release();
+          replica_acked_->release();
+        }
+        spawn_recycle(idx);
+      } else {
+        // Replica acks travel the long way home (the replica's one-hop
+        // sender is our topological predecessor-of-predecessor relative to
+        // the ack): forward anything not addressed to us.
+        push_outbound(SendRequest{std::span<const std::byte>(
+                                      buffer(idx).data(), kFrameBytes),
+                                  idx},
+                      /*priority=*/true);
+      }
+      continue;
+    }
     if (static_cast<int>(header.origin) >= config_.resilience.num_hosts) {
       ++discarded_corrupt_;  // valid checksum but impossible origin
       trace_instant("discard", idx);
       spawn_recycle(idx);
+      continue;
+    }
+    if (header.kind == static_cast<std::uint8_t>(FrameKind::kReplica)) {
+      // Replication is strictly one hop: store (dedup'd), ack, recycle.
+      // Never enters the inbound queue — the join loop stays oblivious.
+      trace_instant("replica-recv", header.seq);
+      const bool fresh = replica_seen_.insert(header.seq).second;
+      if (fresh && config_.resilience.on_replica) {
+        config_.resilience.on_replica(static_cast<int>(header.origin),
+                                      message.subspan(kFrameBytes));
+      }
+      spawn_recycle(idx);
+      // Always (re-)ack — a lost ack makes the sender re-send, and only a
+      // fresh ack can settle it.
+      SendRequest ack;
+      ack.framed = true;
+      ack.header = make_frame(FrameKind::kReplicaAck, header.origin,
+                              header.seq, std::span<const std::byte>());
+      push_outbound(ack, /*priority=*/true);
       continue;
     }
     if (static_cast<int>(header.origin) == config_.resilience.host_id) {
@@ -384,6 +487,7 @@ sim::Task<void> RoundaboutNode::receiver_resilient() {
     chunk.payload = message.subspan(kFrameBytes);
     chunk.origin = static_cast<int>(header.origin);
     chunk.seq = header.seq;
+    chunk.replay = (header.flags & kFrameFlagReplay) != 0;
     chunk.duplicate = !seen_[chunk.origin].insert(chunk.seq).second;
     if (chunk.duplicate) {
       ++duplicates_skipped_;
@@ -397,16 +501,55 @@ sim::Task<void> RoundaboutNode::receiver_resilient() {
 }
 
 void RoundaboutNode::handle_ack(const FrameHeader& header) {
-  if (static_cast<int>(header.origin) != config_.resilience.host_id) {
+  const int origin = static_cast<int>(header.origin);
+  if (origin == adopted_origin_) {
+    // The spliced ring routes the dead origin's acks here — this node is
+    // its effective home now. Settles replica-log re-injections, including
+    // circulating pre-crash copies completing their revolution.
+    auto it = adopted_outstanding_.find(header.seq);
+    if (it == adopted_outstanding_.end()) return;  // stale or duplicate ack
+    ++recovered_;
+    adopted_outstanding_.erase(it);
+    injection_window_->release();
+    if (config_.resilience.on_ack) config_.resilience.on_ack();
+    return;
+  }
+  if (origin != config_.resilience.host_id) {
     return;  // an ack for someone else's chunk would be a routing bug;
              // after a splice a stray copy can pass by — ignore it
   }
   auto it = outstanding_.find(header.seq);
   if (it == outstanding_.end()) return;  // duplicate ack: already retired
-  if (it->second.reinjects > 0) ++recovered_;
+  if (it->second.reinjects > 0) {
+    ++recovered_;
+  } else {
+    // Clean round trip: one revolution plus the ack hop. Feeds the
+    // adaptive timeout; re-injected chunks are excluded (their RTT spans
+    // the timeout itself and would inflate the estimate).
+    ack_rtts_.push_back(engine_.now() - it->second.first_sent);
+  }
   outstanding_.erase(it);
   injection_window_->release();
   if (config_.resilience.on_ack) config_.resilience.on_ack();
+}
+
+SimDuration RoundaboutNode::current_ack_timeout() const {
+  const ResilienceConfig& r = config_.resilience;
+  if (!r.adaptive.enabled) return r.ack_timeout;
+  const SimDuration floored = std::max(r.adaptive.floor, r.ack_timeout);
+  if (ack_rtts_.size() < static_cast<std::size_t>(
+                             std::max(1, r.adaptive.min_samples))) {
+    return floored;
+  }
+  std::vector<SimDuration> sorted = ack_rtts_;
+  const std::size_t p99 = (sorted.size() * 99) / 100;
+  std::nth_element(sorted.begin(),
+                   sorted.begin() + static_cast<std::ptrdiff_t>(p99),
+                   sorted.end());
+  const auto scaled = static_cast<SimDuration>(
+      r.adaptive.multiplier *
+      static_cast<double>(sorted[p99]));
+  return std::max(r.adaptive.floor, std::max<SimDuration>(1, scaled));
 }
 
 sim::Task<void> RoundaboutNode::transmitter_resilient() {
@@ -472,18 +615,25 @@ sim::Task<void> RoundaboutNode::credit_receiver_resilient() {
 }
 
 sim::Task<void> RoundaboutNode::scanner_process() {
-  const SimDuration timeout = config_.resilience.ack_timeout;
-  const SimDuration interval = config_.resilience.scan_interval > 0
-                                   ? config_.resilience.scan_interval
-                                   : std::max<SimDuration>(1, timeout / 4);
   while (!stop_) {
+    // Both the timeout and the wake-up period are recomputed every pass:
+    // with the adaptive policy on, the deadline tightens (or relaxes) as
+    // ack-RTT samples accumulate.
+    const SimDuration timeout = current_ack_timeout();
+    const SimDuration interval = config_.resilience.scan_interval > 0
+                                     ? config_.resilience.scan_interval
+                                     : std::max<SimDuration>(1, timeout / 4);
     co_await engine_.sleep(interval);
     if (stop_) break;
     const SimTime now = engine_.now();
-    for (auto& [seq, chunk] : outstanding_) {
-      if (now - chunk.last_sent < timeout) continue;
+    auto overdue = [&](const Outstanding& chunk) {
+      if (now - chunk.last_sent < timeout) return false;
       CJ_CHECK_MSG(chunk.reinjects < config_.resilience.max_reinjections,
                    "chunk permanently lost: re-injection limit exceeded");
+      return true;
+    };
+    for (auto& [seq, chunk] : outstanding_) {
+      if (!overdue(chunk)) continue;
       ++chunk.reinjects;
       ++reinjected_;
       trace_instant("reinject", seq);
@@ -492,9 +642,42 @@ sim::Task<void> RoundaboutNode::scanner_process() {
       request.data = chunk.payload;
       request.framed = true;
       request.header = make_frame(FrameKind::kData, config_.resilience.host_id,
-                                  seq, chunk.payload);
+                                  seq, chunk.payload, chunk.flags);
       // Re-injection reuses the window slot the original acquisition still
       // holds — it is the same chunk, not a new one.
+      push_outbound(request, /*priority=*/false);
+    }
+    // Adopted-origin chunks: re-injected under the dead origin's identity
+    // so dedup and the retire board treat them as the originals. This is
+    // also the only injection path for send_adopted(send_now=false)
+    // entries — chunks that were likely still circulating at crash time
+    // and are re-sent only once the timeout proves them lost.
+    for (auto& [seq, chunk] : adopted_outstanding_) {
+      if (!overdue(chunk)) continue;
+      ++chunk.reinjects;
+      ++reinjected_;
+      trace_instant("adopt-reinject", seq);
+      chunk.last_sent = now;
+      SendRequest request;
+      request.data = chunk.payload;
+      request.framed = true;
+      request.header =
+          make_frame(FrameKind::kData, adopted_origin_, seq, chunk.payload);
+      push_outbound(request, /*priority=*/false);
+    }
+    // Replica records whose one-hop ack got lost (or whose first send was
+    // eaten by a mid-replication fault): same deadline, same window slot.
+    for (auto& [seq, chunk] : replica_outstanding_) {
+      if (!overdue(chunk)) continue;
+      ++chunk.reinjects;
+      ++replicas_resent_;
+      trace_instant("replica-resend", seq);
+      chunk.last_sent = now;
+      SendRequest request;
+      request.data = chunk.payload;
+      request.framed = true;
+      request.header = make_frame(FrameKind::kReplica,
+                                  config_.resilience.host_id, seq, chunk.payload);
       push_outbound(request, /*priority=*/false);
     }
   }
@@ -511,6 +694,9 @@ void RoundaboutNode::request_stop() {
     push_outbound(SendRequest{.stop = true}, /*priority=*/true);
     credits_->set_count(1);           // wake a credit-blocked transmitter
     injection_window_->set_count(1);  // wake a window-blocked send_local
+    // A replicas_drained() waiter must not hang on acks that will never
+    // arrive now.
+    replica_acked_->set_count(static_cast<int>(replicas_sent_));
     in_wire_->close_recv();
     out_wire_->close_recv();
   }
@@ -534,6 +720,7 @@ void RoundaboutNode::die() {
     push_outbound(SendRequest{.stop = true}, /*priority=*/true);
     credits_->set_count(1);
     injection_window_->set_count(1);
+    replica_acked_->set_count(static_cast<int>(replicas_sent_));
     // A crash while parked for a splice must still unwind.
     splice_in_done_.set();
     splice_out_done_.set();

@@ -77,6 +77,24 @@
 
 namespace cj::ring {
 
+/// Adaptive ack-timeout policy: instead of trusting a fixed ack_timeout,
+/// derive the re-injection deadline from observed ack round-trip times
+/// (a full revolution plus one ack hop). This removes the documented
+/// false-re-injection failure mode — a static timeout tuned below the real
+/// revolution time re-injects healthy chunks every scan — while still
+/// reacting quickly when the ring genuinely lost a chunk.
+struct AdaptiveAckConfig {
+  bool enabled = false;
+  /// Lower bound on the effective timeout regardless of samples (wall-clock
+  /// backends need this: scheduler jitter exceeds any simulated latency).
+  SimDuration floor = 0;
+  /// Effective timeout = max(floor, multiplier * p99 observed ack RTT).
+  double multiplier = 4.0;
+  /// Below this many samples the static ack_timeout (clamped to the floor)
+  /// stays in charge.
+  int min_samples = 4;
+};
+
 /// Fault-tolerance knobs; enabled only when a fault plan is active.
 struct ResilienceConfig {
   bool enabled = false;
@@ -86,14 +104,25 @@ struct ResilienceConfig {
   int num_hosts = 1;
   /// A local chunk not acked within this window is re-injected.
   SimDuration ack_timeout = 5 * kMillisecond;
-  /// Scanner wake-up period (0 = ack_timeout / 4).
+  /// Scanner wake-up period (0 = effective timeout / 4).
   SimDuration scan_interval = 0;
   /// Re-injections per chunk before the node declares it permanently lost
   /// and aborts (faults must not pass silently).
   int max_reinjections = 16;
+  /// Adaptive ack-timeout policy (off = static ack_timeout).
+  AdaptiveAckConfig adaptive;
+  /// Ring-neighbor fragment replication: during the load phase every host
+  /// streams kReplica frames (stationary fragment + rotating chunk log) to
+  /// its successor, enabling exact-result crash recovery (docs/FAULTS.md,
+  /// Layer 4). Off = PR-1 degraded-result behavior.
+  bool replicate = false;
   /// Invoked each time one of this node's local chunks is acknowledged
   /// (the orchestration layer's termination detector listens here).
   std::function<void()> on_ack;
+  /// Invoked for every fresh replica record received from the predecessor
+  /// (the orchestration layer stores a copy; the span aliases the ring
+  /// buffer and is only valid for the duration of the call).
+  std::function<void(int, std::span<const std::byte>)> on_replica;
 };
 
 struct NodeConfig {
@@ -139,6 +168,9 @@ struct InboundChunk {
   /// True when this host already joined this (origin, seq): forward or
   /// retire it, but do not join it again.
   bool duplicate = false;
+  /// Recovery replay copy (kFrameFlagReplay): only the adopter joins it,
+  /// and only against the adopted partition; it stays off the retire board.
+  bool replay = false;
   /// Control signal: the ring is shutting down (or this node died); no
   /// buffer is attached and the join loop must exit.
   bool stop = false;
@@ -179,7 +211,51 @@ class RoundaboutNode {
   /// Injects a locally-born chunk (sent directly from local slab memory;
   /// it must lie within a slab passed to start()). Blocks while the
   /// injection window is exhausted — forwards always jump ahead of locals.
-  sim::Task<void> send_local(std::span<const std::byte> data);
+  /// `replay=true` (recovery only) stamps kFrameFlagReplay: the chunk gets
+  /// a fresh sequence number and full ack/retransmission protection, but
+  /// only the adopter joins it (against the adopted partition).
+  sim::Task<void> send_local(std::span<const std::byte> data,
+                             bool replay = false);
+
+  // ----- replication & adoption (resilience.replicate) -----------------
+
+  /// Registers extra memory with the wire after start() — sends must come
+  /// from registered regions, and the adopter's replica log only becomes
+  /// send-worthy (via send_adopted) once a crash lands. No-op on wires
+  /// without registration (rt shared memory).
+  sim::Task<void> prepare_memory(std::span<std::byte> region);
+
+  /// Streams one replica record to the ring successor (kReplica frame,
+  /// checksummed, acked, re-sent on timeout like a data chunk). The payload
+  /// must stay valid until replicas_drained() returns. Shares the injection
+  /// window with send_local, preserving the deadlock-freedom bound.
+  sim::Task<void> send_replica(std::span<const std::byte> data);
+
+  /// Completes once every send_replica() record has been acknowledged by
+  /// the successor (i.e. is durably stored off-host). Call once, after the
+  /// last send_replica().
+  sim::Task<void> replicas_drained();
+
+  /// Marks `origin` as adopted by this node: retire acks naming that origin
+  /// are now consumed here (the spliced ring routes them to us, the dead
+  /// host's effective home), settling entries registered via send_adopted().
+  void adopt(int origin);
+
+  /// Registers (and, when send_now, immediately injects) one of the adopted
+  /// origin's unretired chunks from the replica log, under the adopted
+  /// origin's original sequence number. With send_now=false the chunk is
+  /// assumed to still be circulating: the scanner re-injects it only if no
+  /// ack lands within the timeout — exactly the dead origin's own recovery
+  /// semantics. Acquires an injection-window slot either way.
+  sim::Task<void> send_adopted(std::uint32_t seq,
+                               std::span<const std::byte> payload,
+                               bool send_now);
+
+  /// Per-origin sequence numbers this host has received (resilient mode).
+  /// The adopter snapshots these at adoption time to plan the replay.
+  const std::set<std::uint32_t>& seen(int origin) const {
+    return seen_[static_cast<std::size_t>(origin)];
+  }
 
   /// Completes when every counted arrival, send, credit and recycle has
   /// happened, then shuts the wires down. Call after the join work is done.
@@ -210,12 +286,24 @@ class RoundaboutNode {
   sim::Task<void> splice_out(Wire* new_out_wire, int initial_credits);
 
   bool stopped() const { return stop_; }
-  /// Local chunks injected but not yet acknowledged.
-  std::size_t outstanding_unacked() const { return outstanding_.size(); }
+  /// Local chunks injected but not yet acknowledged (adopted-origin chunks
+  /// this node answers for count too).
+  std::size_t outstanding_unacked() const {
+    return outstanding_.size() + adopted_outstanding_.size();
+  }
+  /// The re-injection deadline currently in force: the static ack_timeout,
+  /// or — with the adaptive policy armed and enough samples — the observed
+  /// p99 ack RTT scaled by the policy multiplier (never below the floor).
+  SimDuration current_ack_timeout() const;
   /// Installs the orchestration layer's ack listener (must be set before
   /// start(); the termination detector listens here).
   void set_on_ack(std::function<void()> on_ack) {
     config_.resilience.on_ack = std::move(on_ack);
+  }
+  /// Installs the replica-record sink (must be set before start()).
+  void set_on_replica(
+      std::function<void(int, std::span<const std::byte>)> on_replica) {
+    config_.resilience.on_replica = std::move(on_replica);
   }
 
   // ----- statistics ---------------------------------------------------
@@ -230,6 +318,14 @@ class RoundaboutNode {
   /// Re-injected chunks that were later acknowledged (recovered in-flight).
   std::uint64_t chunks_recovered() const { return recovered_; }
   std::uint64_t send_failures() const { return send_failures_; }
+  /// Replica payload bytes shipped to the successor (first sends only).
+  std::uint64_t replica_bytes() const { return replica_bytes_; }
+  /// Replica records re-sent after an ack timeout.
+  std::uint64_t replicas_resent() const { return replicas_resent_; }
+  /// Adopted-origin chunks re-injected from the replica log.
+  std::uint64_t chunks_adopted() const { return adopted_injected_; }
+  /// Clean (first-try) ack round trips observed, in injection order.
+  const std::vector<SimDuration>& ack_rtts() const { return ack_rtts_; }
   const NodeConfig& config() const { return config_; }
 
  private:
@@ -313,15 +409,29 @@ class RoundaboutNode {
   /// A locally injected chunk awaiting its retire ack.
   struct Outstanding {
     std::span<const std::byte> payload;
+    SimTime first_sent = 0;  ///< ack-RTT sampling (adaptive timeout)
     SimTime last_sent = 0;
     int reinjects = 0;
+    std::uint8_t flags = 0;  ///< frame flags, preserved across re-sends
   };
   std::map<std::uint32_t, Outstanding> outstanding_;  // keyed by seq
+  /// Replica records awaiting their kReplicaAck (keyed by replica seq).
+  std::map<std::uint32_t, Outstanding> replica_outstanding_;
+  /// Adopted-origin chunks this node re-injected and answers acks for
+  /// (keyed by the adopted origin's original seq).
+  std::map<std::uint32_t, Outstanding> adopted_outstanding_;
   /// Per-origin sequence numbers already seen (dedup of re-injections).
   std::vector<std::set<std::uint32_t>> seen_;
+  /// Replica seqs already stored (dedup; duplicates are re-acked).
+  std::set<std::uint32_t> replica_seen_;
   /// Ring buffers currently posted on the inbound wire (repair reposts).
   std::set<int> posted_idx_;
   std::uint32_t next_seq_ = 0;
+  std::uint32_t replica_seq_ = 0;
+  std::uint64_t replicas_sent_ = 0;
+  /// Released once per unique replica ack; replicas_drained() collects.
+  std::unique_ptr<sim::Semaphore> replica_acked_;
+  int adopted_origin_ = -1;
   bool stop_ = false;
   std::uint64_t recycles_inflight_ = 0;
   sim::Event splice_in_done_;
@@ -340,6 +450,11 @@ class RoundaboutNode {
   std::uint64_t reinjected_ = 0;
   std::uint64_t recovered_ = 0;
   std::uint64_t send_failures_ = 0;
+  std::uint64_t replica_bytes_ = 0;
+  std::uint64_t replicas_resent_ = 0;
+  std::uint64_t adopted_injected_ = 0;
+  /// Clean (no-re-injection) ack round trips, for the adaptive timeout.
+  std::vector<SimDuration> ack_rtts_;
 };
 
 }  // namespace cj::ring

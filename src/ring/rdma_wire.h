@@ -101,8 +101,9 @@ class RdmaWire final : public Wire {
     if (!status.is_ok()) {
       send_mutex_.release();
       // Queue-full is a protocol bug in every mode; only error-state QPs
-      // (injected faults) surface as a recoverable failure.
-      CJ_CHECK_MSG(qp_.in_error(), status.to_string().c_str());
+      // (injected faults) and QPs the peer already closed at teardown
+      // surface as a recoverable failure.
+      CJ_CHECK_MSG(qp_.in_error() || qp_.closed(), status.to_string().c_str());
       co_return status;
     }
     const rdma::Completion c = co_await send_cq_.next();

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <coroutine>
+#include <cstdio>
 #include <deque>
 #include <optional>
 #include <string>
@@ -144,13 +145,22 @@ class Channel {
   bool closed() const { return closed_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
+  /// Pushing to a closed channel is a programming error; name the channel
+  /// in the abort so the culprit is identifiable without a debugger.
+  void check_open() const {
+    if (closed_) {
+      std::fprintf(stderr, "channel '%s':\n", name_.c_str());
+    }
+    CJ_CHECK_MSG(!closed_, "push on closed channel");
+  }
+
   /// Awaitable push. Pushing to a closed channel is a programming error.
   auto push(T item) {
     struct Awaiter {
       Channel* ch;
       T item;
       bool await_ready() {
-        CJ_CHECK_MSG(!ch->closed_, "push on closed channel");
+        ch->check_open();
         if (ch->items_.size() < ch->capacity_ && ch->push_waiters_.empty()) {
           ch->enqueue(std::move(item));
           return true;
@@ -200,7 +210,7 @@ class Channel {
   /// Non-blocking push: fails (returns false) when the channel is full or
   /// pushers are already queued, instead of suspending.
   bool try_push(T item) {
-    CJ_CHECK_MSG(!closed_, "push on closed channel");
+    check_open();
     if (items_.size() >= capacity_ || !push_waiters_.empty()) return false;
     enqueue(std::move(item));
     return true;
@@ -211,7 +221,7 @@ class Channel {
   /// ignoring capacity. Used to deliver stop/crash sentinels that must be
   /// seen before any still-buffered data.
   void push_front_now(T item) {
-    CJ_CHECK_MSG(!closed_, "push on closed channel");
+    check_open();
     if (!pop_waiters_.empty()) {
       auto [handle, slot] = pop_waiters_.front();
       pop_waiters_.pop_front();

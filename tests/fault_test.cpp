@@ -4,6 +4,7 @@
 // way — the survivors compute (R \ R_dead) ⋈ (S \ S_dead), nothing else.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string_view>
 #include <tuple>
 #include <vector>
@@ -449,6 +450,269 @@ TEST(FaultTrace, RetrySpansNestInsideTheirSendSpans) {
     EXPECT_TRUE(enclosed) << "orphan rdma.retry span at t=" << retry.start;
   }
   EXPECT_GT(retries, 0u);
+}
+
+// ----- exact crash recovery (ring-neighbor replication) --------------------
+
+/// Crash with resilience.replicate on: the survivors plus the adopted
+/// replica partition must reproduce the *full* R ⋈ S — matches and
+/// checksum identical to the fault-free join, nothing degraded.
+class RecoveryRings : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecoveryRings, ReplicatedCrashRecoversTheExactJoin) {
+  const int hosts = GetParam();
+  const int dead = hosts / 2;
+  auto r = make_r();
+  auto s = make_s();
+  const Reference ref = reference_equi(r, s);
+
+  ClusterConfig cfg = fault_cluster(hosts);
+  cfg.fault.crashes.push_back({.host = dead, .at = 0});
+  cfg.node.resilience.ack_timeout = 20 * kMillisecond;
+  cfg.node.resilience.replicate = true;
+
+  CycloJoin cyclo(cfg, JoinSpec{.algorithm = Algorithm::kHashJoin});
+  const RunReport report = cyclo.run(r, s);
+
+  EXPECT_TRUE(report.fault.recovered);
+  EXPECT_FALSE(report.fault.degraded);
+  EXPECT_EQ(report.fault.lost_r_rows, 0u);
+  EXPECT_EQ(report.fault.lost_s_rows, 0u);
+  ASSERT_EQ(report.fault.crashed_hosts.size(), 1u);
+  EXPECT_EQ(report.fault.crashed_hosts[0], dead);
+  EXPECT_EQ(report.fault.adopter, (dead + 1) % hosts);
+  EXPECT_GT(report.fault.replica_bytes, 0u);
+  EXPECT_GT(report.fault.recovery_time, 0);
+  EXPECT_EQ(report.matches, ref.matches);
+  EXPECT_EQ(report.checksum, ref.checksum);
+  // The dead host still contributes nothing itself — its partition was
+  // recomputed by the adopter.
+  EXPECT_EQ(report.hosts[static_cast<std::size_t>(dead)].matches, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RingSizes, RecoveryRings, ::testing::Values(3, 4, 6));
+
+// A crash later in the join phase: chunks are already circulating, some of
+// the dead host's chunks are retired, the adopter has consumed arrivals
+// that now need replay. Exactness must hold at any crash point.
+TEST(FaultRecovery, MidJoinCrashRecoversTheExactJoin) {
+  const int hosts = 4;
+  const int dead = 2;
+  auto r = make_r();
+  auto s = make_s();
+  const Reference ref = reference_equi(r, s);
+
+  for (const SimDuration at :
+       {1 * kMillisecond, 5 * kMillisecond, 20 * kMillisecond}) {
+    ClusterConfig cfg = fault_cluster(hosts);
+    cfg.fault.crashes.push_back({.host = dead, .at = at});
+    cfg.node.resilience.ack_timeout = 20 * kMillisecond;
+    cfg.node.resilience.replicate = true;
+
+    CycloJoin cyclo(cfg, JoinSpec{.algorithm = Algorithm::kHashJoin});
+    const RunReport report = cyclo.run(r, s);
+
+    if (report.fault.crashed_hosts.empty()) continue;  // run beat the crash
+    EXPECT_TRUE(report.fault.recovered) << "crash at " << at;
+    EXPECT_EQ(report.matches, ref.matches) << "crash at " << at;
+    EXPECT_EQ(report.checksum, ref.checksum) << "crash at " << at;
+  }
+}
+
+// Skew concentrates both the replica payload and the recovered join work;
+// the band predicate exercises the sort-merge adopted partition.
+TEST(FaultRecovery, ZipfAndBandJoinRecoverExactly) {
+  auto r = rel::generate(
+      {.rows = 12'000, .key_domain = 3'000, .zipf_z = 1.0, .seed = 31}, "R", 1);
+  auto s = rel::generate(
+      {.rows = 12'000, .key_domain = 3'000, .zipf_z = 1.0, .seed = 32}, "S", 2);
+  const std::uint32_t band = 3;
+  join::JoinResult expect =
+      join::local_sort_merge_join(r.tuples(), s.tuples(), band);
+
+  ClusterConfig cfg = fault_cluster(4);
+  cfg.fault.crashes.push_back({.host = 1, .at = 0});
+  cfg.node.resilience.ack_timeout = 20 * kMillisecond;
+  cfg.node.resilience.replicate = true;
+
+  CycloJoin cyclo(cfg,
+                  JoinSpec{.algorithm = Algorithm::kSortMergeJoin, .band = band});
+  const RunReport report = cyclo.run(r, s);
+
+  EXPECT_TRUE(report.fault.recovered);
+  EXPECT_EQ(report.matches, expect.matches());
+  EXPECT_EQ(report.checksum, expect.checksum());
+}
+
+// With replication *off*, a crash still yields the PR-1 degraded contract —
+// recovery must not change existing behavior when disabled.
+TEST(FaultRecovery, ReplicationOffStaysDegraded) {
+  const int hosts = 4;
+  const int dead = 2;
+  auto r = make_r();
+  auto s = make_s();
+  const Reference ref = degraded_reference(r, s, hosts, dead);
+
+  ClusterConfig cfg = fault_cluster(hosts);
+  cfg.fault.crashes.push_back({.host = dead, .at = 0});
+  cfg.node.resilience.ack_timeout = 20 * kMillisecond;
+  cfg.node.resilience.replicate = false;
+
+  CycloJoin cyclo(cfg, JoinSpec{.algorithm = Algorithm::kHashJoin});
+  const RunReport report = cyclo.run(r, s);
+
+  EXPECT_FALSE(report.fault.recovered);
+  EXPECT_TRUE(report.fault.degraded);
+  EXPECT_EQ(report.matches, ref.matches);
+  EXPECT_EQ(report.checksum, ref.checksum);
+}
+
+// Replication without any crash: the answer and the degraded/recovered
+// flags are untouched; the only observable difference is replica traffic.
+TEST(FaultRecovery, ReplicationWithoutCrashIsInvisible) {
+  auto r = make_r();
+  auto s = make_s();
+  const Reference ref = reference_equi(r, s);
+
+  ClusterConfig cfg = fault_cluster(4);
+  cfg.fault.slowdowns.push_back({.host = 0, .at = 0, .factor = 1.0});
+  cfg.node.resilience.ack_timeout = 500 * kMillisecond;
+  cfg.node.resilience.replicate = true;
+
+  CycloJoin cyclo(cfg, JoinSpec{.algorithm = Algorithm::kHashJoin});
+  const RunReport report = cyclo.run(r, s);
+
+  EXPECT_EQ(report.matches, ref.matches);
+  EXPECT_EQ(report.checksum, ref.checksum);
+  EXPECT_FALSE(report.fault.degraded);
+  EXPECT_FALSE(report.fault.recovered);
+  EXPECT_GT(report.fault.replica_bytes, 0u);
+  EXPECT_EQ(report.metrics.counters.at("chunks_adopted"), 0);
+}
+
+// Recovery under transient faults on top: drops and corruptions while the
+// adopter is re-injecting. The final answer must still be exact.
+TEST(FaultRecovery, RecoveryUnderTransientFaults) {
+  auto r = make_r();
+  auto s = make_s();
+  const Reference ref = reference_equi(r, s);
+
+  ClusterConfig cfg = fault_cluster(5);
+  cfg.fault.seed = 13;
+  cfg.fault.link.drop_prob = 0.03;
+  cfg.fault.link.corrupt_prob = 0.03;
+  cfg.fault.crashes.push_back({.host = 1, .at = 0});
+  cfg.node.resilience.ack_timeout = 20 * kMillisecond;
+  cfg.node.resilience.replicate = true;
+
+  CycloJoin cyclo(cfg, JoinSpec{.algorithm = Algorithm::kHashJoin});
+  const RunReport report = cyclo.run(r, s);
+
+  EXPECT_TRUE(report.fault.recovered);
+  EXPECT_EQ(report.matches, ref.matches);
+  EXPECT_EQ(report.checksum, ref.checksum);
+}
+
+// The recovery counters surface in the metrics snapshot (satellite of the
+// replication work): present for any resilient run, with the adoption
+// counters non-zero exactly when a replicated crash happened.
+TEST(FaultRecovery, MetricsSurfaceRecoveryCounters) {
+  auto r = make_r();
+  auto s = make_s();
+
+  ClusterConfig cfg = fault_cluster(4);
+  cfg.fault.crashes.push_back({.host = 2, .at = 0});
+  cfg.node.resilience.ack_timeout = 20 * kMillisecond;
+  cfg.node.resilience.replicate = true;
+  cfg.trace.enabled = true;
+
+  CycloJoin cyclo(cfg, JoinSpec{.algorithm = Algorithm::kHashJoin});
+  const RunReport report = cyclo.run(r, s);
+
+  EXPECT_TRUE(report.fault.recovered);
+  for (const char* name : {"chunks_recovered", "chunks_reinjected",
+                           "duplicates_skipped", "chunks_discarded_corrupt",
+                           "replica_bytes", "replicas_resent",
+                           "chunks_adopted"}) {
+    EXPECT_TRUE(report.metrics.counters.count(name) != 0U) << name;
+  }
+  EXPECT_GT(report.metrics.counters.at("replica_bytes"), 0);
+  EXPECT_EQ(report.metrics.counters.at("chunks_adopted"),
+            static_cast<std::int64_t>(report.fault.chunks_adopted));
+  // Per-host adaptive-timeout gauges ride along even when the policy is
+  // off (they then report the static timeout).
+  EXPECT_TRUE(report.metrics.gauges.count("host0.ack_timeout_ns") != 0U);
+  // The Perfetto counter tracks exist on the trace.
+  ASSERT_NE(report.trace, nullptr);
+  EXPECT_NE(report.trace->find_name("chunks_recovered"), obs::Tracer::kNoName);
+}
+
+// The adaptive ack-timeout policy (used by default on the rt backend) also
+// works under simulation: enough clean acks move the effective timeout to
+// a multiple of the observed p99 RTT, and nothing is re-injected spuriously.
+TEST(FaultRecovery, AdaptiveAckTimeoutConvergesWithoutSpuriousReinjects) {
+  auto r = make_r();
+  auto s = make_s();
+  const Reference ref = reference_equi(r, s);
+
+  ClusterConfig cfg = fault_cluster(4);
+  // Small buffers: each host circulates enough chunks to clear the
+  // adaptive policy's min_samples threshold.
+  cfg.node.buffer_bytes = 4 * 1024;
+  cfg.fault.slowdowns.push_back({.host = 0, .at = 0, .factor = 1.0});
+  cfg.node.resilience.ack_timeout = 500 * kMillisecond;
+  cfg.node.resilience.adaptive.enabled = true;
+  cfg.node.resilience.adaptive.floor = 1 * kMillisecond;
+  cfg.node.resilience.adaptive.multiplier = 8.0;
+
+  CycloJoin cyclo(cfg, JoinSpec{.algorithm = Algorithm::kHashJoin});
+  const RunReport report = cyclo.run(r, s);
+
+  EXPECT_EQ(report.matches, ref.matches);
+  EXPECT_EQ(report.checksum, ref.checksum);
+  EXPECT_EQ(report.fault.chunks_reinjected, 0u);
+  // RTTs were sampled and the effective timeout left the static setting.
+  EXPECT_TRUE(report.metrics.histograms.count("ack_rtt_ns") != 0U);
+  const double t0 = report.metrics.gauges.at("host0.ack_timeout_ns");
+  EXPECT_LT(t0, static_cast<double>(500 * kMillisecond));
+  EXPECT_GE(t0, static_cast<double>(1 * kMillisecond));
+}
+
+// Randomized chaos soak (CI runs this with a randomized base seed under
+// TSan): seeded drop/corrupt/crash combinations with replication on must
+// always converge to the exact answer.
+TEST(FaultRecovery, ChaosSoakExactUnderRandomSeeds) {
+  const char* base_env = std::getenv("CHAOS_SOAK_BASE");
+  const char* iters_env = std::getenv("CHAOS_SOAK");
+  const std::uint64_t base =
+      base_env != nullptr ? std::strtoull(base_env, nullptr, 10) : 100;
+  const int iters = iters_env != nullptr ? std::atoi(iters_env) : 2;
+
+  auto r = make_r();
+  auto s = make_s();
+  const Reference ref = reference_equi(r, s);
+
+  for (int k = 0; k < iters; ++k) {
+    const std::uint64_t seed = base + static_cast<std::uint64_t>(k);
+    ClusterConfig cfg = fault_cluster(4);
+    cfg.fault.seed = seed;
+    cfg.fault.link.drop_prob = 0.02;
+    cfg.fault.link.corrupt_prob = 0.02;
+    cfg.fault.crashes.push_back(
+        {.host = static_cast<int>(seed % 4),
+         .at = static_cast<SimDuration>(seed % 7) * kMillisecond});
+    cfg.node.resilience.ack_timeout = 20 * kMillisecond;
+    cfg.node.resilience.replicate = true;
+
+    CycloJoin cyclo(cfg, JoinSpec{.algorithm = Algorithm::kHashJoin});
+    const RunReport report = cyclo.run(r, s);
+
+    EXPECT_EQ(report.matches, ref.matches) << "seed " << seed;
+    EXPECT_EQ(report.checksum, ref.checksum) << "seed " << seed;
+    if (!report.fault.crashed_hosts.empty()) {
+      EXPECT_TRUE(report.fault.recovered) << "seed " << seed;
+    }
+  }
 }
 
 // Other algorithms ride the same resilient transport.

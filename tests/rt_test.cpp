@@ -142,6 +142,109 @@ TEST(RtFault, CrashBypassMatchesSimSurvivorsAndDegradedChecksum) {
   EXPECT_EQ(rt.fault.corrupt_discards, 0u);
 }
 
+// With replication on, a real-thread crash recovers the EXACT join: the
+// rt result must equal the crash-free answer bit for bit, not the degraded
+// survivor join. This is the strongest parity statement in the suite —
+// adoption, replica promotion and replay all run on live engine threads.
+TEST(RtFault, ReplicatedCrashRecoversExactJoinOnBothBackends) {
+  const int hosts = 4;
+  const int dead = 2;
+  auto r = rel::generate({.rows = 24'000, .key_domain = 5'000, .seed = 41}, "R", 1);
+  auto s = rel::generate({.rows = 24'000, .key_domain = 5'000, .seed = 42}, "S", 2);
+  const JoinSpec spec{.algorithm = Algorithm::kHashJoin};
+
+  const RunReport clean = run_on(Backend::kSim, hosts, spec, r, s);
+
+  for (const Backend backend : {Backend::kSim, Backend::kRt}) {
+    ClusterConfig cfg = parity_cluster(backend, hosts);
+    cfg.fault.crashes.push_back({.host = dead, .at = 0});
+    cfg.node.resilience.replicate = true;
+    if (backend == Backend::kSim) {
+      cfg.node.resilience.ack_timeout = 20 * kMillisecond;
+    }
+    const RunReport report = CycloJoin(cfg, spec).run(r, s);
+
+    const char* which = backend == Backend::kSim ? "sim" : "rt";
+    ASSERT_TRUE(report.fault.recovered) << which;
+    EXPECT_FALSE(report.fault.degraded) << which;
+    EXPECT_EQ(report.fault.lost_r_rows, 0u) << which;
+    EXPECT_EQ(report.fault.lost_s_rows, 0u) << which;
+    EXPECT_EQ(report.fault.adopter, (dead + 1) % hosts) << which;
+    EXPECT_GT(report.fault.replica_bytes, 0u) << which;
+    EXPECT_EQ(report.matches, clean.matches) << which;
+    EXPECT_EQ(report.checksum, clean.checksum) << which;
+  }
+}
+
+// Band joins recover too: the adopted partition is re-sorted from the
+// replica and the sort-merge kernel runs against it on the adopter.
+TEST(RtFault, ReplicatedCrashRecoversBandJoin) {
+  auto r = rel::generate(
+      {.rows = 12'000, .key_domain = 20'000, .zipf_z = 1.0, .seed = 21}, "R", 1);
+  auto s = rel::generate(
+      {.rows = 12'000, .key_domain = 20'000, .zipf_z = 1.0, .seed = 22}, "S", 2);
+  const JoinSpec spec{.algorithm = Algorithm::kSortMergeJoin, .band = 5};
+
+  const RunReport clean = run_on(Backend::kSim, 3, spec, r, s);
+
+  ClusterConfig cfg = parity_cluster(Backend::kRt, 3);
+  cfg.fault.crashes.push_back({.host = 1, .at = 0});
+  cfg.node.resilience.replicate = true;
+  const RunReport rt = CycloJoin(cfg, spec).run(r, s);
+
+  ASSERT_TRUE(rt.fault.recovered);
+  EXPECT_EQ(rt.matches, clean.matches);
+  EXPECT_EQ(rt.checksum, clean.checksum);
+}
+
+// Replication off: the rt crash keeps its PR-1 degraded contract, so
+// enabling the feature elsewhere cannot have changed the default path.
+TEST(RtFault, ReplicationOffKeepsDegradedContract) {
+  const int hosts = 4;
+  const int dead = 2;
+  auto r = rel::generate({.rows = 24'000, .key_domain = 5'000, .seed = 41}, "R", 1);
+  auto s = rel::generate({.rows = 24'000, .key_domain = 5'000, .seed = 42}, "S", 2);
+  const JoinSpec spec{.algorithm = Algorithm::kHashJoin};
+
+  ClusterConfig sim_cfg = parity_cluster(Backend::kSim, hosts);
+  sim_cfg.fault.crashes.push_back({.host = dead, .at = 0});
+  ClusterConfig rt_cfg = parity_cluster(Backend::kRt, hosts);
+  rt_cfg.fault.crashes.push_back({.host = dead, .at = 0});
+
+  const RunReport sim = CycloJoin(sim_cfg, spec).run(r, s);
+  const RunReport rt = CycloJoin(rt_cfg, spec).run(r, s);
+
+  ASSERT_TRUE(rt.fault.degraded);
+  EXPECT_FALSE(rt.fault.recovered);
+  EXPECT_EQ(rt.matches, sim.matches);
+  EXPECT_EQ(rt.checksum, sim.checksum);
+}
+
+// The adaptive ack-timeout policy is always on for rt: after enough clean
+// acks every host's effective timeout tightens below the 200 ms floor-era
+// static clamp, and the RTT histogram is populated.
+TEST(RtFault, AdaptiveTimeoutGaugesAndRttsSurface) {
+  auto r = rel::generate({.rows = 8'000, .key_domain = 2'000, .seed = 51}, "R", 1);
+  auto s = rel::generate({.rows = 8'000, .key_domain = 2'000, .seed = 52}, "S", 2);
+
+  ClusterConfig cfg = parity_cluster(Backend::kRt, 3);
+  // Arm resilient mode without a fault landing: the crash is scheduled an
+  // hour out, far past any realistic run (rt rejects slowdown faults).
+  cfg.fault.crashes.push_back({.host = 1, .at = 3600LL * 1'000'000'000LL});
+
+  const RunReport report =
+      CycloJoin(cfg, JoinSpec{.algorithm = Algorithm::kHashJoin}).run(r, s);
+
+  EXPECT_FALSE(report.fault.degraded);
+  EXPECT_EQ(report.fault.chunks_reinjected, 0u);
+  EXPECT_TRUE(report.metrics.histograms.count("ack_rtt_ns") != 0U);
+  for (int i = 0; i < 3; ++i) {
+    const std::string key = "host" + std::to_string(i) + ".ack_timeout_ns";
+    ASSERT_TRUE(report.metrics.gauges.count(key) != 0U) << key;
+    EXPECT_GT(report.metrics.gauges.at(key), 0.0) << key;
+  }
+}
+
 // A crash scheduled after the run completes must leave the rt result
 // undegraded and identical to the crash-free sim answer (the watcher
 // stands down when the detector finishes first).
