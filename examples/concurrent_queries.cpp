@@ -1,57 +1,95 @@
-// Concurrent queries on a shared rotation — a taste of the Data Cyclotron
-// (the paper's ongoing-work direction, Sec. VII): the warehouse's hot
-// `events` table spins in the ring once, and several analysts' joins hook
-// into the same stream.
+// Concurrent queries through the serving layer — the Data Cyclotron
+// direction (paper Sec. VII) with an operator's knobs on top: the
+// warehouse's hot `events` table spins in the ring while analysts' joins
+// arrive over time, and serve::QueryScheduler batches them into waves,
+// splitting wave slots by tenant weight. One revolution answers a whole
+// wave, so the wire cost is paid per wave, not per query.
 #include <cstdio>
 
-#include "cyclo/cyclo_join.h"
 #include "rel/generator.h"
+#include "serve/scheduler.h"
 
 int main() {
   using namespace cj;
 
-  // The hot relation: 6 M events.
-  rel::Relation events = rel::generate({.rows = 6'000'000, .seed = 51}, "events", 1);
+  // The hot relation: 3 M events.
+  rel::Relation events = rel::generate({.rows = 3'000'000, .seed = 51}, "events", 1);
 
-  // Three analysts join against their own dimension tables.
+  // Dimension tables the analysts join against.
   rel::Relation users = rel::generate(
-      {.rows = 2'000'000, .key_domain = 6'000'000, .seed = 52}, "users", 2);
+      {.rows = 1'000'000, .key_domain = 3'000'000, .seed = 52}, "users", 2);
   rel::Relation devices = rel::generate(
-      {.rows = 1'000'000, .key_domain = 6'000'000, .seed = 53}, "devices", 3);
+      {.rows = 500'000, .key_domain = 3'000'000, .seed = 53}, "devices", 3);
   rel::Relation alerts = rel::generate(
-      {.rows = 50'000, .key_domain = 6'000'000, .seed = 54}, "alerts", 4);
+      {.rows = 50'000, .key_domain = 3'000'000, .seed = 54}, "alerts", 4);
 
-  cyclo::ClusterConfig cluster;
-  cluster.num_hosts = 6;
+  serve::ServeConfig cfg;
+  cfg.cluster.num_hosts = 6;
+  cfg.spec = cyclo::JoinSpec{.algorithm = cyclo::Algorithm::kHashJoin};
+  cfg.max_inflight = 3;              // wave width: 3 queries per revolution
+  cfg.slo_target = 2 * kSecond;      // flag anything slower than 2 s
+  serve::QueryScheduler scheduler(cfg);
 
-  cyclo::CycloJoin engine(cluster, cyclo::JoinSpec{.algorithm = cyclo::Algorithm::kHashJoin});
-  const cyclo::SharedRunReport shared = engine.run_shared(
-      events, {cyclo::SharedQuery{.stationary = &users},
-               cyclo::SharedQuery{.stationary = &devices},
-               cyclo::SharedQuery{.stationary = &alerts}});
+  // Two teams share the ring: dashboards carry 3x the weight of ad-hoc
+  // analysts, so a full wave gives them slots 3:1. Queries arrive
+  // staggered, 10 ms apart — faster than a revolution serves them, so a
+  // queue builds and later waves multiplex several queries.
+  struct Arrival {
+    const char* name;
+    const rel::Relation* table;
+    const char* tenant;
+    double weight;
+  };
+  const Arrival arrivals[] = {
+      {"events ⋈ users", &users, "dashboards", 3.0},
+      {"events ⋈ alerts", &alerts, "adhoc", 1.0},
+      {"events ⋈ devices", &devices, "dashboards", 3.0},
+      {"events ⋈ users", &users, "dashboards", 3.0},
+      {"events ⋈ devices", &devices, "adhoc", 1.0},
+      {"events ⋈ alerts", &alerts, "dashboards", 3.0},
+      {"events ⋈ devices", &devices, "dashboards", 3.0},
+      {"events ⋈ alerts", &alerts, "adhoc", 1.0},
+      {"events ⋈ users", &users, "adhoc", 1.0},
+  };
+  SimTime when = 0;
+  for (const Arrival& a : arrivals) {
+    scheduler.submit(serve::QuerySpec{.stationary = a.table,
+                                      .tenant = a.tenant,
+                                      .weight = a.weight},
+                     when);
+    when += 10 * kMillisecond;
+  }
 
-  std::printf("one revolution of 'events' (%s) answered three joins:\n\n",
+  const serve::ServeReport report = scheduler.drain(events);
+
+  std::printf("%zu queries served in %d waves — each wave one revolution of "
+              "'events' (%s):\n\n",
+              report.queries.size(), report.waves,
               human_bytes(events.bytes()).c_str());
-  const char* names[] = {"events ⋈ users", "events ⋈ devices", "events ⋈ alerts"};
-  for (std::size_t q = 0; q < shared.queries.size(); ++q) {
-    std::printf("  %-18s %12llu matches\n", names[q],
-                static_cast<unsigned long long>(shared.queries[q].matches));
+  std::printf("  %3s  %-18s  %-10s  %4s  %10s  %10s  %12s\n", "id", "query",
+              "tenant", "wave", "wait", "latency", "matches");
+  for (const serve::QueryRecord& q : report.queries) {
+    const Arrival& a = arrivals[q.id];
+    std::printf("  %3llu  %-18s  %-10s  %4d  %10s  %10s  %12llu%s\n",
+                static_cast<unsigned long long>(q.id), a.name,
+                q.tenant.c_str(), q.wave,
+                human_duration(q.queue_wait()).c_str(),
+                human_duration(q.latency()).c_str(),
+                static_cast<unsigned long long>(q.result.matches),
+                q.slo_violated ? "  (SLO!)" : "");
   }
-  std::printf("\nsetup %s | join %s | %s over the wire — paid once, "
-              "not once per query\n",
-              human_duration(shared.setup_wall).c_str(),
-              human_duration(shared.join_wall).c_str(),
-              human_bytes(shared.bytes_on_wire).c_str());
 
-  // The same three queries as separate runs, for comparison.
-  SimDuration separate = 0;
-  for (const rel::Relation* table : {&users, &devices, &alerts}) {
-    const cyclo::RunReport solo = engine.run(events, *table);
-    separate += solo.setup_wall + solo.join_wall;
+  const obs::HistogramSummary& lat =
+      report.metrics.histograms.at("serve.latency_ns");
+  std::printf("\nlatency p50 %s | p99 %s | %s over the wire for %zu queries\n",
+              human_duration(lat.p50).c_str(), human_duration(lat.p99).c_str(),
+              human_bytes(report.bytes_on_wire).c_str(),
+              report.queries.size());
+
+  std::printf("achieved busy share:");
+  for (const auto& [tenant, share] : report.share_by_tenant) {
+    std::printf("  %s %.0f%%", tenant.c_str(), share * 100.0);
   }
-  std::printf("separate runs would take %s — %.2fx the shared rotation\n",
-              human_duration(separate).c_str(),
-              to_seconds(separate) /
-                  to_seconds(shared.setup_wall + shared.join_wall));
+  std::printf("  (weights 3:1, wave slots split to match)\n");
   return 0;
 }

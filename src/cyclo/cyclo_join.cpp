@@ -19,6 +19,9 @@ namespace cj::cyclo {
 
 namespace {
 
+/// Default core-busy tag for untagged join work.
+const std::string kJoinTag = "join";
+
 /// Reusable all-hosts rendezvous.
 class Barrier {
  public:
@@ -341,6 +344,7 @@ class Runner {
     host.stats.chunks_reinjected = node.chunks_reinjected();
     host.stats.chunks_recovered = node.chunks_recovered();
     host.stats.corrupt_discards = node.chunks_discarded_corrupt();
+    host.stats.stale_query_discards = node.stale_query_discards();
     host.stats.duplicates_skipped = node.duplicates_skipped();
     host.stats.send_failures = node.send_failures();
   }
@@ -634,9 +638,14 @@ class Runner {
     detail::build_chunk_work(spec_, plan_.radix_bits, plan_.resilient,
                              *host.plan, view, work);
     std::vector<sim::Task<void>> tasks;
-    for (auto& item : work.items) {
+    for (std::size_t k = 0; k < work.items.size(); ++k) {
+      // Busy time bills to the owning query's tag so the serving layer can
+      // attribute core time per query; untagged queries share "join".
+      const std::string& tag =
+          work.tags[k]->empty() ? kJoinTag : *work.tags[k];
       tasks.push_back(detail::guarded(
-          *host.join_slots, cores.run(profiled(i, std::move(item)), "join")));
+          *host.join_slots,
+          cores.run(profiled(i, std::move(work.items[k])), tag)));
     }
     co_await sim::when_all(engine_, std::move(tasks));
     flush_profile();
@@ -794,16 +803,19 @@ class Runner {
       std::int64_t recovered = 0;
       std::int64_t dups = 0;
       std::int64_t corrupt = 0;
+      std::int64_t stale = 0;
       for (const HostStats& stats : report.hosts) {
         reinjected += static_cast<std::int64_t>(stats.chunks_reinjected);
         recovered += static_cast<std::int64_t>(stats.chunks_recovered);
         dups += static_cast<std::int64_t>(stats.duplicates_skipped);
         corrupt += static_cast<std::int64_t>(stats.corrupt_discards);
+        stale += static_cast<std::int64_t>(stats.stale_query_discards);
       }
       metrics_.add_counter("chunks_reinjected", reinjected);
       metrics_.add_counter("chunks_recovered", recovered);
       metrics_.add_counter("duplicates_skipped", dups);
       metrics_.add_counter("chunks_discarded_corrupt", corrupt);
+      metrics_.add_counter("stale_query_discards", stale);
       if (plan_.replicate) {
         std::int64_t replica_bytes = 0;
         std::int64_t resent = 0;

@@ -51,6 +51,7 @@ struct HostStats {
   std::uint64_t chunks_reinjected = 0;   ///< ack-timeout re-injections
   std::uint64_t chunks_recovered = 0;    ///< re-injected and later acked
   std::uint64_t corrupt_discards = 0;    ///< frames failing their checksum
+  std::uint64_t stale_query_discards = 0;  ///< frames from another serving wave
   std::uint64_t duplicates_skipped = 0;  ///< re-injected copies not re-joined
   std::uint64_t send_failures = 0;       ///< sends lost to a dead neighbor
 };
@@ -136,6 +137,10 @@ struct SharedQuery {
   std::uint32_t band = 0;
   /// Predicate (nested-loops algorithm only).
   std::function<bool(const rel::Tuple&, const rel::Tuple&)> predicate;
+  /// Billing tag for this query's join work: core-busy time lands in the
+  /// `busy.<tag>` counter (the serving layer uses "q<id>"). Empty = the
+  /// default shared "join" tag, preserving solo-run accounting.
+  std::string tag;
 };
 
 struct QueryResult {

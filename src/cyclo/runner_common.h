@@ -52,6 +52,10 @@ struct QueryState {
   std::uint32_t band = 0;
   const std::function<bool(const rel::Tuple&, const rel::Tuple&)>* predicate =
       nullptr;
+  /// Core-busy billing tag (SharedQuery::tag; empty = the shared "join"
+  /// tag). Chunk work items keep pointers into this string — HostPlan's
+  /// query vector is sized once at plan time and never reallocates.
+  std::string tag;
 
   join::JoinResult result{false};
   /// Resilient mode only: partial results keyed by the rotating chunk's
@@ -138,6 +142,7 @@ inline RunPlan plan_run(const ClusterConfig& cluster, const JoinSpec& spec,
       state.s_frag = std::move(s_frags[static_cast<std::size_t>(i)]);
       state.band = queries[q].band;
       state.predicate = &queries[q].predicate;
+      state.tag = queries[q].tag;
       state.result = join::JoinResult(spec.materialize);
       if (plan.resilient) {
         state.per_origin.reserve(static_cast<std::size_t>(n));
@@ -448,6 +453,9 @@ struct ChunkJoinWork {
   std::deque<join::JoinResult> partials;
   std::vector<join::JoinResult*> sinks;  ///< parallel to partials
   std::vector<std::function<void()>> items;
+  /// Parallel to items: the owning query's billing tag (QueryState::tag;
+  /// empty = the shared "join" tag).
+  std::vector<const std::string*> tags;
 
   /// Call after every item completed (single-threaded with respect to the
   /// sinks — each host merges only into its own QueryStates).
@@ -534,6 +542,7 @@ inline void build_query_chunk_work(const JoinSpec& spec, int radix_bits,
         break;
       }
     }
+    while (out.tags.size() < out.items.size()) out.tags.push_back(&state->tag);
   }
 }
 

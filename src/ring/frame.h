@@ -46,8 +46,8 @@ struct FrameHeader {
   std::uint8_t flags = 0;  ///< kFrameFlag* bits (checksummed like the rest)
   std::uint8_t reserved[2] = {0, 0};
   std::uint16_t origin = 0;  ///< host that injected the chunk
-  std::uint16_t pad = 0;
-  std::uint32_t seq = 0;  ///< per-origin chunk sequence number
+  std::uint16_t query = 0;   ///< serving-wave query group (0 = standalone run)
+  std::uint32_t seq = 0;     ///< per-origin chunk sequence number
   std::uint64_t checksum = 0;
 };
 static_assert(sizeof(FrameHeader) == 24, "frame header is 24 bytes on the wire");
@@ -75,14 +75,18 @@ inline std::uint64_t frame_checksum(const FrameHeader& h,
                  payload);
 }
 
-/// Builds a sealed (checksummed) header for a frame.
+/// Builds a sealed (checksummed) header for a frame. `query` stamps data
+/// frames with the serving wave that produced them so a node can reject
+/// stale chunks from a wave it is no longer (or not yet) part of; acks and
+/// replica traffic identify themselves by (origin, seq) and leave it 0.
 inline FrameHeader make_frame(FrameKind kind, int origin, std::uint32_t seq,
                               std::span<const std::byte> payload,
-                              std::uint8_t flags = 0) {
+                              std::uint8_t flags = 0, std::uint16_t query = 0) {
   FrameHeader h;
   h.kind = static_cast<std::uint8_t>(kind);
   h.flags = flags;
   h.origin = static_cast<std::uint16_t>(origin);
+  h.query = query;
   h.seq = seq;
   h.checksum = frame_checksum(h, payload);
   return h;

@@ -199,7 +199,8 @@ sim::Task<void> RoundaboutNode::send_local(std::span<const std::byte> data,
     request.data = data;
     request.framed = true;
     request.header = make_frame(FrameKind::kData, config_.resilience.host_id,
-                                seq, data, flags);
+                                seq, data, flags,
+                                config_.resilience.query_group);
     // Hold the payload until its retire ack lands — the retransmission
     // buffer is simply the local slab the chunk already lives in.
     outstanding_[seq] =
@@ -267,7 +268,8 @@ sim::Task<void> RoundaboutNode::send_adopted(std::uint32_t seq,
   SendRequest request;
   request.data = payload;
   request.framed = true;
-  request.header = make_frame(FrameKind::kData, adopted_origin_, seq, payload);
+  request.header = make_frame(FrameKind::kData, adopted_origin_, seq, payload,
+                              /*flags=*/0, config_.resilience.query_group);
   push_outbound(request, /*priority=*/false);
 }
 
@@ -474,6 +476,15 @@ sim::Task<void> RoundaboutNode::receiver_resilient() {
       push_outbound(ack, /*priority=*/true);
       continue;
     }
+    if (header.query != config_.resilience.query_group) {
+      // Data frame from another serving wave: stale. Never join, ack or
+      // forward it — its own wave's origin re-injection recovers the chunk
+      // if it was still live there.
+      ++stale_query_discards_;
+      trace_instant("stale-query", header.query);
+      spawn_recycle(idx);
+      continue;
+    }
     if (static_cast<int>(header.origin) == config_.resilience.host_id) {
       // Our own chunk came full circle without anyone retiring it (a lost
       // ack crossed with a re-injection). Treat arrival as the ack.
@@ -642,7 +653,8 @@ sim::Task<void> RoundaboutNode::scanner_process() {
       request.data = chunk.payload;
       request.framed = true;
       request.header = make_frame(FrameKind::kData, config_.resilience.host_id,
-                                  seq, chunk.payload, chunk.flags);
+                                  seq, chunk.payload, chunk.flags,
+                                  config_.resilience.query_group);
       // Re-injection reuses the window slot the original acquisition still
       // holds — it is the same chunk, not a new one.
       push_outbound(request, /*priority=*/false);
@@ -662,7 +674,8 @@ sim::Task<void> RoundaboutNode::scanner_process() {
       request.data = chunk.payload;
       request.framed = true;
       request.header =
-          make_frame(FrameKind::kData, adopted_origin_, seq, chunk.payload);
+          make_frame(FrameKind::kData, adopted_origin_, seq, chunk.payload,
+                     /*flags=*/0, config_.resilience.query_group);
       push_outbound(request, /*priority=*/false);
     }
     // Replica records whose one-hop ack got lost (or whose first send was

@@ -116,6 +116,13 @@ struct ResilienceConfig {
   /// its successor, enabling exact-result crash recovery (docs/FAULTS.md,
   /// Layer 4). Off = PR-1 degraded-result behavior.
   bool replicate = false;
+  /// Query group stamped on this run's data frames (the serving layer
+  /// allocates one group per scheduler wave). An inbound data frame whose
+  /// group differs is stale — left over from another wave — and is
+  /// discarded (counted) instead of joined, acked or forwarded. Acks and
+  /// replica frames identify themselves by (origin, seq) and stay
+  /// group-agnostic.
+  std::uint16_t query_group = 0;
   /// Invoked each time one of this node's local chunks is acknowledged
   /// (the orchestration layer's termination detector listens here).
   std::function<void()> on_ack;
@@ -305,6 +312,11 @@ class RoundaboutNode {
       std::function<void(int, std::span<const std::byte>)> on_replica) {
     config_.resilience.on_replica = std::move(on_replica);
   }
+  /// Overrides the wire query group (must be called before start(); tests
+  /// use this to model a node still pinned to another serving wave).
+  void set_query_group(std::uint16_t group) {
+    config_.resilience.query_group = group;
+  }
 
   // ----- statistics ---------------------------------------------------
 
@@ -313,6 +325,8 @@ class RoundaboutNode {
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t chunks_received() const { return chunks_received_; }
   std::uint64_t chunks_discarded_corrupt() const { return discarded_corrupt_; }
+  /// Data frames discarded because their query group named another wave.
+  std::uint64_t stale_query_discards() const { return stale_query_discards_; }
   std::uint64_t duplicates_skipped() const { return duplicates_skipped_; }
   std::uint64_t chunks_reinjected() const { return reinjected_; }
   /// Re-injected chunks that were later acknowledged (recovered in-flight).
@@ -446,6 +460,7 @@ class RoundaboutNode {
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t chunks_received_ = 0;
   std::uint64_t discarded_corrupt_ = 0;
+  std::uint64_t stale_query_discards_ = 0;
   std::uint64_t duplicates_skipped_ = 0;
   std::uint64_t reinjected_ = 0;
   std::uint64_t recovered_ = 0;

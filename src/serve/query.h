@@ -1,0 +1,95 @@
+// Per-query serving types: what a client submits to the QueryScheduler and
+// what it gets back. A query is one stationary-side join hooked into the
+// spinning rotating relation (the paper's Sec. VII vision of many analysts
+// sharing one hot ring); the scheduler batches admitted queries into waves
+// that each ride a single shared rotation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/units.h"
+#include "cyclo/cyclo_join.h"
+#include "rel/relation.h"
+
+namespace cj::serve {
+
+/// Dense query handle: the scheduler assigns ids in submission order.
+using QueryId = std::uint64_t;
+
+/// Lifecycle: submitted → admitted → joining → retired, with the off-ramps
+/// kRejected (admission control bounced it) and kCancelled (client cancel
+/// or deadline expiry while still queued).
+enum class QueryPhase {
+  kQueued,     ///< submitted, waiting for a wave slot
+  kAdmitted,   ///< picked for the next wave, not yet joining
+  kJoining,    ///< its wave's rotation is in flight
+  kRetired,    ///< result complete
+  kCancelled,  ///< cancelled (or deadline-expired) while queued
+  kRejected,   ///< bounced at submit: queue depth limit reached
+};
+
+inline const char* phase_name(QueryPhase phase) {
+  switch (phase) {
+    case QueryPhase::kQueued: return "queued";
+    case QueryPhase::kAdmitted: return "admitted";
+    case QueryPhase::kJoining: return "joining";
+    case QueryPhase::kRetired: return "retired";
+    case QueryPhase::kCancelled: return "cancelled";
+    case QueryPhase::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+/// One join submitted to the serving layer. The stationary relation must
+/// outlive the drain that retires the query.
+struct QuerySpec {
+  const rel::Relation* stationary = nullptr;
+  /// Band half-width (sort-merge algorithm only; 0 = equi).
+  std::uint32_t band = 0;
+  /// Predicate (nested-loops algorithm only).
+  std::function<bool(const rel::Tuple&, const rel::Tuple&)> predicate;
+  /// Fair-share tenant this query bills to. Queries of one tenant are
+  /// served FIFO; across tenants the scheduler stride-schedules wave slots
+  /// proportionally to weight.
+  std::string tenant = "default";
+  /// Fair-share weight (> 0): a tenant submitting weight-3 queries gets
+  /// three wave slots for every slot of a weight-1 tenant while both are
+  /// backlogged.
+  double weight = 1.0;
+  /// Auto-cancel if the query is still queued when a wave forms at or
+  /// after this serve-clock time (-1 = never). Queries already dispatched
+  /// always run to completion.
+  SimTime cancel_at = -1;
+};
+
+/// Everything the scheduler knows about one query after drain().
+struct QueryRecord {
+  QueryId id = 0;
+  std::string tenant;
+  double weight = 1.0;
+  QueryPhase phase = QueryPhase::kQueued;
+  SimTime arrival = 0;
+  SimTime admitted_at = -1;  ///< wave formation time (-1: never admitted)
+  SimTime started_at = -1;   ///< wave rotation start (== admitted_at)
+  SimTime finished_at = -1;  ///< wave rotation end
+  int wave = -1;             ///< wave index the query rode (-1: none)
+  cyclo::QueryResult result;
+  /// Core-busy time attributed to this query's join work, summed over all
+  /// hosts (from the wave report's busy.q<id> counter).
+  SimDuration busy = 0;
+  /// Latency exceeded ServeConfig::slo_target (only when a target is set).
+  bool slo_violated = false;
+
+  /// Submit-to-result latency (-1 until retired).
+  SimDuration latency() const {
+    return finished_at >= 0 ? finished_at - arrival : -1;
+  }
+  /// Time spent queued before the wave departed (-1 until dispatched).
+  SimDuration queue_wait() const {
+    return started_at >= 0 ? started_at - arrival : -1;
+  }
+};
+
+}  // namespace cj::serve

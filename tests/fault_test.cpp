@@ -9,8 +9,10 @@
 #include <tuple>
 #include <vector>
 
+#include "cyclo/cluster.h"
 #include "cyclo/cyclo_join.h"
 #include "join/local_join.h"
+#include "ring/node.h"
 #include "obs/analysis.h"
 #include "obs/trace.h"
 #include "rel/generator.h"
@@ -713,6 +715,126 @@ TEST(FaultRecovery, ChaosSoakExactUnderRandomSeeds) {
       EXPECT_TRUE(report.fault.recovered) << "seed " << seed;
     }
   }
+}
+
+// ----- stale query-group frames (serving-layer wave isolation) -------------
+
+namespace stale {
+
+sim::Task<void> consume(Cluster& cluster, int i) {
+  ring::RoundaboutNode& node = cluster.node(i);
+  while (true) {
+    ring::InboundChunk chunk = co_await node.next_chunk();
+    if (chunk.stop) break;
+    // Ring protocol: retire at the host just before the origin (the ack's
+    // next hop is the origin itself), forward everywhere else.
+    if (cluster.fabric().successor(i) == chunk.origin) {
+      node.retire(chunk);
+    } else {
+      node.forward(chunk);
+    }
+  }
+}
+
+/// Resilient 3-host cluster with no actual faults (a factor-1.0 slowdown
+/// arms the frame protocol) and a huge ack timeout so the scanner never
+/// re-injects during the test window.
+ClusterConfig stale_cluster(std::uint16_t group) {
+  ClusterConfig cfg = fault_cluster(3);
+  cfg.node.buffer_bytes = 4096;
+  cfg.fault.slowdowns.push_back({.host = 0, .at = 0, .factor = 1.0});
+  cfg.node.resilience.ack_timeout = 3600 * kSecond;
+  cfg.node.resilience.query_group = group;
+  return cfg;
+}
+
+struct Outcome {
+  std::uint64_t stale_at_1 = 0;
+  std::uint64_t received_at_1 = 0;
+  std::uint64_t received_at_2 = 0;
+  std::size_t unacked_at_0 = 0;
+};
+
+/// Injects one chunk from host 0 and reports what the ring did with it.
+/// `group_at_1` overrides host 1's query group (it models a node still
+/// pinned to another serving wave).
+Outcome rotate_one_chunk(std::uint16_t group, std::uint16_t group_at_1) {
+  sim::Engine engine;
+  Cluster cluster(engine, stale_cluster(group));
+  cluster.node(1).set_query_group(group_at_1);
+
+  std::vector<std::byte> slab(512, std::byte{0xAB});
+  bool done = false;
+  engine.spawn(
+      [](sim::Engine& engine, Cluster& cluster, std::span<std::byte> slab,
+         bool* done) -> sim::Task<void> {
+        for (int i = 0; i < 3; ++i) {
+          std::vector<std::span<std::byte>> slabs;
+          if (i == 0) slabs.push_back(slab);
+          co_await cluster.node(i).start({}, std::move(slabs));
+        }
+        for (int i = 0; i < 3; ++i) {
+          engine.spawn(consume(cluster, i), "consume");
+        }
+        co_await cluster.node(0).send_local(
+            std::span<const std::byte>(slab.data(), 512));
+        co_await engine.sleep(100 * kMillisecond);
+        for (int i = 0; i < 3; ++i) cluster.node(i).request_stop();
+        for (int i = 0; i < 3; ++i) co_await cluster.node(i).drain();
+        *done = true;
+      }(engine, cluster, slab, &done),
+      "driver");
+  engine.run();
+  engine.check_all_complete();
+  CJ_CHECK(done);
+
+  Outcome out;
+  out.stale_at_1 = cluster.node(1).stale_query_discards();
+  out.received_at_1 = cluster.node(1).chunks_received();
+  out.received_at_2 = cluster.node(2).chunks_received();
+  out.unacked_at_0 = cluster.node(0).outstanding_unacked();
+  return out;
+}
+
+}  // namespace stale
+
+TEST(StaleQueryFrames, MismatchedGroupIsDiscardedWithCounter) {
+  // Host 1 believes it serves wave 9; the rotation is stamped wave 7. The
+  // chunk must be dropped at host 1 — never joined, acked or forwarded —
+  // and counted as a stale-query discard.
+  const stale::Outcome out = stale::rotate_one_chunk(7, 9);
+  EXPECT_EQ(out.stale_at_1, 1u);
+  EXPECT_EQ(out.received_at_1, 0u);
+  EXPECT_EQ(out.received_at_2, 0u);
+  // The discard must not acknowledge the origin's chunk either.
+  EXPECT_EQ(out.unacked_at_0, 1u);
+}
+
+TEST(StaleQueryFrames, MatchingGroupPassesThrough) {
+  const stale::Outcome out = stale::rotate_one_chunk(7, 7);
+  EXPECT_EQ(out.stale_at_1, 0u);
+  EXPECT_EQ(out.received_at_1, 1u);
+  // Host 1 retired the chunk; the ack made it home around the ring.
+  EXPECT_EQ(out.unacked_at_0, 0u);
+}
+
+TEST(StaleQueryFrames, UniformNonZeroGroupRunStaysExact) {
+  auto r = make_r();
+  auto s = make_s();
+  const Reference ref = reference_equi(r, s);
+
+  ClusterConfig cfg = fault_cluster(4);
+  cfg.fault.slowdowns.push_back({.host = 0, .at = 0, .factor = 1.0});
+  cfg.node.resilience.query_group = 12;  // all hosts in the same wave
+
+  CycloJoin cyclo(cfg, JoinSpec{.algorithm = Algorithm::kHashJoin});
+  const RunReport report = cyclo.run(r, s);
+
+  EXPECT_EQ(report.matches, ref.matches);
+  EXPECT_EQ(report.checksum, ref.checksum);
+  // The counter is surfaced and zero: same group everywhere.
+  ASSERT_TRUE(report.metrics.counters.count("stale_query_discards") != 0U);
+  EXPECT_EQ(report.metrics.counters.at("stale_query_discards"), 0);
 }
 
 // Other algorithms ride the same resilient transport.

@@ -107,6 +107,37 @@ TEST(RtParity, SharedRotationMatchesSimPerQuery) {
   EXPECT_EQ(rt.checksum, sim.checksum);
 }
 
+TEST(RtParity, TaggedSharedRotationBillsPerQueryOnBothBackends) {
+  auto r = rel::generate({.rows = 16'000, .key_domain = 4'000, .seed = 35}, "R", 1);
+  auto s1 = rel::generate({.rows = 8'000, .key_domain = 4'000, .seed = 36}, "S1", 2);
+  auto s2 = rel::generate({.rows = 8'000, .key_domain = 4'000, .seed = 37}, "S2", 3);
+  const JoinSpec spec{.algorithm = Algorithm::kHashJoin};
+  const std::vector<SharedQuery> queries{
+      SharedQuery{.stationary = &s1, .tag = "q7"},
+      SharedQuery{.stationary = &s2, .tag = "q8"}};
+
+  CycloJoin sim_cyclo(parity_cluster(Backend::kSim, 3), spec);
+  const SharedRunReport sim = sim_cyclo.run_shared(r, queries);
+  CycloJoin rt_cyclo(parity_cluster(Backend::kRt, 3), spec);
+  const SharedRunReport rt = rt_cyclo.run_shared(r, queries);
+
+  // Tags change accounting only, never results: per-query parity holds and
+  // both backends bill core-busy time to the per-query counters.
+  ASSERT_EQ(rt.queries.size(), sim.queries.size());
+  for (std::size_t q = 0; q < sim.queries.size(); ++q) {
+    EXPECT_EQ(rt.queries[q].matches, sim.queries[q].matches) << "query " << q;
+    EXPECT_EQ(rt.queries[q].checksum, sim.queries[q].checksum) << "query " << q;
+  }
+  for (const SharedRunReport* report : {&sim, &rt}) {
+    const auto& counters = report->metrics.counters;
+    ASSERT_TRUE(counters.contains("busy.q7"));
+    ASSERT_TRUE(counters.contains("busy.q8"));
+    EXPECT_GT(counters.at("busy.q7"), 0);
+    EXPECT_GT(counters.at("busy.q8"), 0);
+    EXPECT_FALSE(counters.contains("busy.join"));
+  }
+}
+
 // ----- crash bypass ---------------------------------------------------------
 
 // The degraded answer depends only on WHICH host died, never on when the

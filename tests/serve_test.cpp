@@ -1,0 +1,586 @@
+// Tests for the multi-query serving layer (src/serve): admission control,
+// weighted fair-share wave scheduling, per-query lifecycle/SLO accounting,
+// and exactness — every retired query's result must be byte-identical to a
+// solo run of the same join.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "cyclo/cyclo_join.h"
+#include "join/local_join.h"
+#include "rel/generator.h"
+#include "serve/scheduler.h"
+
+namespace cj::serve {
+namespace {
+
+using cyclo::Algorithm;
+using cyclo::ClusterConfig;
+using cyclo::CycloJoin;
+using cyclo::JoinSpec;
+using cyclo::RunReport;
+
+ServeConfig serve_config(int hosts = 3, int inflight = 4) {
+  ServeConfig cfg;
+  cfg.cluster.num_hosts = hosts;
+  cfg.cluster.node.buffer_bytes = 32 * 1024;
+  cfg.spec = JoinSpec{.algorithm = Algorithm::kHashJoin};
+  cfg.max_inflight = inflight;
+  return cfg;
+}
+
+rel::Relation make_r() {
+  return rel::generate({.rows = 12'000, .key_domain = 3'000, .seed = 31}, "R", 1);
+}
+
+/// A family of distinguishable stationary relations.
+rel::Relation make_s(int which) {
+  return rel::generate({.rows = 8'000 + 1'000 * which,
+                        .key_domain = 3'000,
+                        .seed = 40 + static_cast<std::uint64_t>(which)},
+                       "S" + std::to_string(which), 2);
+}
+
+QuerySpec query(const rel::Relation& s, std::string tenant = "default",
+                double weight = 1.0) {
+  QuerySpec spec;
+  spec.stationary = &s;
+  spec.tenant = std::move(tenant);
+  spec.weight = weight;
+  return spec;
+}
+
+// ----- lifecycle -----------------------------------------------------------
+
+TEST(Serve, SingleQueryRetiresWithExactResult) {
+  auto r = make_r();
+  auto s = make_s(0);
+  QueryScheduler scheduler(serve_config());
+  const QueryId id = scheduler.submit(query(s), 0);
+  EXPECT_EQ(scheduler.phase(id), QueryPhase::kQueued);
+
+  const ServeReport report = scheduler.drain(r);
+
+  const auto reference = join::local_hash_join(r.tuples(), s.tuples());
+  const QueryRecord& record = report.query(id);
+  EXPECT_EQ(record.phase, QueryPhase::kRetired);
+  EXPECT_EQ(record.result.matches, reference.matches());
+  EXPECT_EQ(record.result.checksum, reference.checksum());
+  EXPECT_EQ(record.wave, 0);
+  EXPECT_GT(record.latency(), 0);
+  EXPECT_EQ(record.queue_wait(), 0);
+  EXPECT_EQ(report.waves, 1);
+}
+
+TEST(Serve, ResultsMatchSoloRunsByteForByte) {
+  auto r = make_r();
+  std::vector<rel::Relation> tables;
+  for (int i = 0; i < 3; ++i) tables.push_back(make_s(i));
+
+  ServeConfig cfg = serve_config(3, 2);  // forces multi-wave interleaving
+  QueryScheduler scheduler(cfg);
+  std::vector<QueryId> ids;
+  for (int q = 0; q < 6; ++q) {
+    ids.push_back(scheduler.submit(
+        query(tables[static_cast<std::size_t>(q % 3)], q % 2 ? "a" : "b"),
+        static_cast<SimTime>(q) * kMicrosecond));
+  }
+  const ServeReport report = scheduler.drain(r);
+
+  CycloJoin solo(cfg.cluster, cfg.spec);
+  for (int q = 0; q < 6; ++q) {
+    const RunReport ref = solo.run(r, tables[static_cast<std::size_t>(q % 3)]);
+    const QueryRecord& record = report.query(ids[static_cast<std::size_t>(q)]);
+    EXPECT_EQ(record.phase, QueryPhase::kRetired) << "query " << q;
+    EXPECT_EQ(record.result.matches, ref.matches) << "query " << q;
+    EXPECT_EQ(record.result.checksum, ref.checksum) << "query " << q;
+  }
+}
+
+TEST(Serve, EveryAdmittedQueryRetiresUnderRandomizedMixes) {
+  auto r = make_r();
+  std::vector<rel::Relation> tables;
+  for (int i = 0; i < 3; ++i) tables.push_back(make_s(i));
+  const char* tenants[] = {"alpha", "beta", "gamma"};
+
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<int> pick(0, 2);
+    std::uniform_real_distribution<double> weight(0.5, 4.0);
+    std::uniform_int_distribution<SimTime> gap(0, 2 * kMicrosecond);
+
+    QueryScheduler scheduler(serve_config(3, 3));
+    SimTime arrival = 0;
+    std::vector<QueryId> ids;
+    for (int q = 0; q < 12; ++q) {
+      arrival += gap(rng);
+      ids.push_back(scheduler.submit(
+          query(tables[static_cast<std::size_t>(pick(rng))],
+                tenants[pick(rng)], weight(rng)),
+          arrival));
+    }
+    const ServeReport report = scheduler.drain(r);
+
+    // No starvation: every submitted query retired (none rejected at this
+    // depth, none cancelled).
+    for (const QueryId id : ids) {
+      EXPECT_EQ(report.query(id).phase, QueryPhase::kRetired)
+          << "seed " << seed << " query " << id;
+      EXPECT_GE(report.query(id).latency(), 0);
+    }
+    EXPECT_EQ(report.metrics.counters.at("serve.retired"), 12);
+  }
+}
+
+TEST(Serve, DrainIsDeterministic) {
+  auto r = make_r();
+  auto s0 = make_s(0);
+  auto s1 = make_s(1);
+
+  auto run_once = [&] {
+    QueryScheduler scheduler(serve_config(3, 2));
+    for (int q = 0; q < 6; ++q) {
+      scheduler.submit(query(q % 2 ? s1 : s0, q % 2 ? "a" : "b", q % 2 ? 2.0 : 1.0),
+                       static_cast<SimTime>(q) * kMicrosecond);
+    }
+    return scheduler.drain(r);
+  };
+
+  // Scheduling decisions and results are exactly reproducible. (Virtual
+  // timestamps are not compared: the sim engine charges join kernels their
+  // measured execution time, which varies run to run.)
+  const ServeReport first = run_once();
+  const ServeReport second = run_once();
+  ASSERT_EQ(first.queries.size(), second.queries.size());
+  for (std::size_t q = 0; q < first.queries.size(); ++q) {
+    EXPECT_EQ(first.queries[q].phase, second.queries[q].phase) << q;
+    EXPECT_EQ(first.queries[q].wave, second.queries[q].wave) << q;
+    EXPECT_EQ(first.queries[q].result.matches, second.queries[q].result.matches);
+    EXPECT_EQ(first.queries[q].result.checksum, second.queries[q].result.checksum);
+  }
+  EXPECT_EQ(first.waves, second.waves);
+  EXPECT_EQ(first.metrics.counters.at("serve.retired"),
+            second.metrics.counters.at("serve.retired"));
+}
+
+// ----- fairness ------------------------------------------------------------
+
+TEST(Serve, WeightedTenantsSplitWaveSlotsByWeight) {
+  auto r = make_r();
+  auto s = make_s(0);
+
+  QueryScheduler scheduler(serve_config(3, 4));
+  std::vector<QueryId> heavy, light;
+  for (int q = 0; q < 16; ++q) heavy.push_back(scheduler.submit(query(s, "a-heavy", 3.0), 0));
+  for (int q = 0; q < 16; ++q) light.push_back(scheduler.submit(query(s, "b-light", 1.0), 0));
+  const ServeReport report = scheduler.drain(r);
+
+  // While both tenants are backlogged (waves 0..4) stride scheduling gives
+  // the weight-3 tenant exactly 3 of every 4 slots.
+  for (int wave = 0; wave < 5; ++wave) {
+    int heavy_slots = 0;
+    int light_slots = 0;
+    for (const QueryId id : heavy) heavy_slots += report.query(id).wave == wave;
+    for (const QueryId id : light) light_slots += report.query(id).wave == wave;
+    EXPECT_EQ(heavy_slots, 3) << "wave " << wave;
+    EXPECT_EQ(light_slots, 1) << "wave " << wave;
+  }
+
+  // Busy-time share over the backlogged window tracks the 3:1 weights.
+  SimDuration heavy_busy = 0;
+  SimDuration total_busy = 0;
+  for (const QueryId id : heavy) {
+    if (report.query(id).wave < 5) heavy_busy += report.query(id).busy;
+  }
+  for (const QueryRecord& record : report.queries) {
+    if (record.wave >= 0 && record.wave < 5) total_busy += record.busy;
+  }
+  ASSERT_GT(total_busy, 0);
+  const double share =
+      static_cast<double>(heavy_busy) / static_cast<double>(total_busy);
+  EXPECT_NEAR(share, 0.75, 0.15);
+}
+
+TEST(Serve, FifoWithinOneTenant) {
+  auto r = make_r();
+  auto s = make_s(0);
+  QueryScheduler scheduler(serve_config(3, 2));
+  std::vector<QueryId> ids;
+  for (int q = 0; q < 6; ++q) ids.push_back(scheduler.submit(query(s), 0));
+  const ServeReport report = scheduler.drain(r);
+
+  for (std::size_t q = 0; q < ids.size(); ++q) {
+    EXPECT_EQ(report.query(ids[q]).wave, static_cast<int>(q / 2)) << q;
+  }
+}
+
+TEST(Serve, LateTenantIsNotStarved) {
+  auto r = make_r();
+  auto s = make_s(0);
+  QueryScheduler scheduler(serve_config(3, 2));
+  for (int q = 0; q < 8; ++q) scheduler.submit(query(s, "early"), 0);
+  const QueryId late = scheduler.submit(query(s, "late"), 1);
+  const ServeReport report = scheduler.drain(r);
+
+  EXPECT_EQ(report.query(late).phase, QueryPhase::kRetired);
+  // The newcomer's stride pass starts at the running floor, so it wins a
+  // slot in the very next wave rather than waiting out the backlog.
+  EXPECT_LE(report.query(late).wave, 1);
+}
+
+TEST(Serve, ShareByTenantSumsToOne) {
+  auto r = make_r();
+  auto s = make_s(0);
+  QueryScheduler scheduler(serve_config(3, 2));
+  for (int q = 0; q < 4; ++q) scheduler.submit(query(s, q % 2 ? "a" : "b"), 0);
+  const ServeReport report = scheduler.drain(r);
+
+  double total = 0;
+  for (const auto& [tenant, share] : report.share_by_tenant) {
+    EXPECT_GT(share, 0.0) << tenant;
+    total += share;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_TRUE(report.metrics.gauges.count("serve.share.a") != 0U);
+  EXPECT_TRUE(report.metrics.gauges.count("serve.share.b") != 0U);
+}
+
+// ----- admission control & cancellation ------------------------------------
+
+TEST(Serve, AdmissionRejectsBeyondQueueDepth) {
+  auto r = make_r();
+  auto s = make_s(0);
+  ServeConfig cfg = serve_config();
+  cfg.max_queue_depth = 2;
+  QueryScheduler scheduler(cfg);
+
+  const QueryId a = scheduler.submit(query(s), 0);
+  const QueryId b = scheduler.submit(query(s), 0);
+  const QueryId c = scheduler.submit(query(s), 0);
+  EXPECT_EQ(scheduler.phase(a), QueryPhase::kQueued);
+  EXPECT_EQ(scheduler.phase(b), QueryPhase::kQueued);
+  EXPECT_EQ(scheduler.phase(c), QueryPhase::kRejected);
+  EXPECT_EQ(scheduler.queue_depth(), 2u);
+
+  const ServeReport report = scheduler.drain(r);
+  EXPECT_EQ(report.query(c).phase, QueryPhase::kRejected);
+  EXPECT_EQ(report.metrics.counters.at("serve.rejected"), 1);
+  EXPECT_EQ(report.metrics.counters.at("serve.retired"), 2);
+
+  // Capacity frees up after the drain: new submissions are admitted.
+  const QueryId d = scheduler.submit(query(s), report.end_time);
+  EXPECT_EQ(scheduler.phase(d), QueryPhase::kQueued);
+}
+
+TEST(Serve, CancelQueuedQueryNeverRuns) {
+  auto r = make_r();
+  auto s = make_s(0);
+  QueryScheduler scheduler(serve_config());
+  const QueryId keep = scheduler.submit(query(s), 0);
+  const QueryId gone = scheduler.submit(query(s), 0);
+
+  EXPECT_TRUE(scheduler.cancel(gone));
+  EXPECT_FALSE(scheduler.cancel(gone));  // already cancelled
+  const ServeReport report = scheduler.drain(r);
+
+  EXPECT_EQ(report.query(keep).phase, QueryPhase::kRetired);
+  EXPECT_EQ(report.query(gone).phase, QueryPhase::kCancelled);
+  EXPECT_EQ(report.query(gone).wave, -1);
+  EXPECT_EQ(report.metrics.counters.at("serve.cancelled"), 1);
+  EXPECT_FALSE(scheduler.cancel(keep));  // retired queries cannot cancel
+}
+
+TEST(Serve, DeadlineExpiresQueriesStillQueued) {
+  auto r = make_r();
+  auto s = make_s(0);
+  QueryScheduler scheduler(serve_config(3, 1));  // one query per wave
+  const QueryId first = scheduler.submit(query(s), 0);
+  const QueryId second = scheduler.submit(query(s), 0);
+  QuerySpec expiring = query(s);
+  expiring.cancel_at = 1;  // any wave after the first exceeds 1 ns
+  const QueryId third = scheduler.submit(expiring, 0);
+
+  const ServeReport report = scheduler.drain(r);
+  EXPECT_EQ(report.query(first).phase, QueryPhase::kRetired);
+  EXPECT_EQ(report.query(second).phase, QueryPhase::kRetired);
+  EXPECT_EQ(report.query(third).phase, QueryPhase::kCancelled);
+  EXPECT_EQ(report.metrics.counters.at("serve.cancelled"), 1);
+}
+
+TEST(Serve, CountersAreConsistent) {
+  auto r = make_r();
+  auto s = make_s(0);
+  ServeConfig cfg = serve_config();
+  cfg.max_queue_depth = 3;
+  QueryScheduler scheduler(cfg);
+  for (int q = 0; q < 5; ++q) scheduler.submit(query(s), 0);  // 2 rejected
+  scheduler.cancel(0);
+  const ServeReport report = scheduler.drain(r);
+
+  const auto& counters = report.metrics.counters;
+  EXPECT_EQ(counters.at("serve.submitted"),
+            counters.at("serve.retired") + counters.at("serve.rejected") +
+                counters.at("serve.cancelled"));
+  EXPECT_EQ(counters.at("serve.admitted"), counters.at("serve.retired"));
+}
+
+// ----- waves, arrivals & the serve clock -----------------------------------
+
+TEST(Serve, WaveWidthIsBoundedByMaxInflight) {
+  auto r = make_r();
+  auto s = make_s(0);
+  QueryScheduler scheduler(serve_config(3, 3));
+  for (int q = 0; q < 10; ++q) scheduler.submit(query(s), 0);
+  const ServeReport report = scheduler.drain(r);
+
+  std::map<int, int> width;
+  for (const QueryRecord& record : report.queries) ++width[record.wave];
+  EXPECT_EQ(report.waves, 4);  // 3 + 3 + 3 + 1
+  for (const auto& [wave, count] : width) {
+    EXPECT_LE(count, 3) << "wave " << wave;
+  }
+}
+
+TEST(Serve, LateArrivalWaitsForItsOwnWave) {
+  auto r = make_r();
+  auto s = make_s(0);
+  QueryScheduler scheduler(serve_config(3, 2));
+  const QueryId early = scheduler.submit(query(s), 0);
+  const SimTime much_later = 10 * kSecond;  // beyond any wave's service time
+  const QueryId late = scheduler.submit(query(s), much_later);
+
+  const ServeReport report = scheduler.drain(r);
+  EXPECT_EQ(report.waves, 2);
+  EXPECT_EQ(report.query(early).wave, 0);
+  EXPECT_EQ(report.query(late).wave, 1);
+  // The serve clock idles until the late query arrives.
+  EXPECT_EQ(report.query(late).started_at, much_later);
+  EXPECT_EQ(report.query(late).queue_wait(), 0);
+}
+
+TEST(Serve, EmptyDrainIsANoOp) {
+  auto r = make_r();
+  QueryScheduler scheduler(serve_config());
+  const ServeReport report = scheduler.drain(r);
+  EXPECT_EQ(report.waves, 0);
+  EXPECT_TRUE(report.queries.empty());
+  EXPECT_EQ(report.bytes_on_wire, 0u);
+}
+
+TEST(Serve, SingleHostClusterServes) {
+  auto r = make_r();
+  auto s = make_s(0);
+  QueryScheduler scheduler(serve_config(1, 2));
+  const QueryId a = scheduler.submit(query(s), 0);
+  const QueryId b = scheduler.submit(query(s), 0);
+  const ServeReport report = scheduler.drain(r);
+
+  const auto reference = join::local_hash_join(r.tuples(), s.tuples());
+  EXPECT_EQ(report.query(a).result.matches, reference.matches());
+  EXPECT_EQ(report.query(b).result.matches, reference.matches());
+  EXPECT_EQ(report.bytes_on_wire, 0u);  // no ring neighbors, no wire
+}
+
+// ----- SLOs, histograms & per-query accounting -----------------------------
+
+TEST(Serve, LatencyAndQueueWaitHistogramsArePopulated) {
+  auto r = make_r();
+  auto s = make_s(0);
+  QueryScheduler scheduler(serve_config(3, 2));
+  for (int q = 0; q < 4; ++q) scheduler.submit(query(s), 0);
+  const ServeReport report = scheduler.drain(r);
+
+  const auto& latency = report.metrics.histograms.at("serve.latency_ns");
+  const auto& wait = report.metrics.histograms.at("serve.queue_wait_ns");
+  EXPECT_EQ(latency.count, 4u);
+  EXPECT_EQ(wait.count, 4u);
+  EXPECT_GT(latency.p99, 0);
+  // Wave-0 queries depart immediately; wave-1 queries waited a full wave.
+  EXPECT_EQ(wait.min, 0);
+  EXPECT_GT(wait.max, 0);
+  // Latency dominates queue wait (it includes service).
+  EXPECT_GE(latency.max, wait.max);
+}
+
+TEST(Serve, SloViolationsAreFlaggedAndCounted) {
+  auto r = make_r();
+  auto s = make_s(0);
+  ServeConfig cfg = serve_config();
+  cfg.slo_target = 1;  // 1 ns: every real wave violates it
+  QueryScheduler strict(cfg);
+  for (int q = 0; q < 3; ++q) strict.submit(query(s), 0);
+  const ServeReport violated = strict.drain(r);
+  EXPECT_EQ(violated.metrics.counters.at("serve.slo_violations"), 3);
+  for (const QueryRecord& record : violated.queries) {
+    EXPECT_TRUE(record.slo_violated);
+  }
+
+  cfg.slo_target = 0;  // accounting off
+  QueryScheduler relaxed(cfg);
+  for (int q = 0; q < 3; ++q) relaxed.submit(query(s), 0);
+  const ServeReport clean = relaxed.drain(r);
+  EXPECT_EQ(clean.metrics.counters.count("serve.slo_violations"), 0u);
+  for (const QueryRecord& record : clean.queries) {
+    EXPECT_FALSE(record.slo_violated);
+  }
+}
+
+TEST(Serve, PerQueryBusyTimeIsAttributed) {
+  auto r = make_r();
+  auto s0 = make_s(0);
+  auto s1 = make_s(3);  // distinctly larger stationary side
+  QueryScheduler scheduler(serve_config(3, 2));
+  const QueryId small = scheduler.submit(query(s0, "a"), 0);
+  const QueryId big = scheduler.submit(query(s1, "b"), 0);
+  const ServeReport report = scheduler.drain(r);
+
+  EXPECT_GT(report.query(small).busy, 0);
+  EXPECT_GT(report.query(big).busy, 0);
+  EXPECT_TRUE(report.metrics.counters.count("busy.q0") != 0U);
+  EXPECT_TRUE(report.metrics.counters.count("busy.q1") != 0U);
+
+  SimDuration from_tenants = 0;
+  for (const auto& [tenant, busy] : report.busy_by_tenant) from_tenants += busy;
+  EXPECT_EQ(from_tenants, report.query(small).busy + report.query(big).busy);
+}
+
+// ----- the sharing argument ------------------------------------------------
+
+TEST(Serve, SharedWaveMovesFewerBytesThanSoloRuns) {
+  auto r = make_r();
+  std::vector<rel::Relation> tables;
+  for (int i = 0; i < 4; ++i) tables.push_back(make_s(i));
+
+  ServeConfig cfg = serve_config(3, 4);
+  QueryScheduler scheduler(cfg);
+  for (int q = 0; q < 4; ++q) {
+    scheduler.submit(query(tables[static_cast<std::size_t>(q)]), 0);
+  }
+  const ServeReport report = scheduler.drain(r);
+  ASSERT_EQ(report.waves, 1);
+
+  CycloJoin solo(cfg.cluster, cfg.spec);
+  const std::uint64_t solo_bytes = solo.run(r, tables[0]).bytes_on_wire;
+  // One wave of 4 queries pays the rotation once, not 4 times.
+  EXPECT_LT(report.bytes_on_wire, 4 * solo_bytes);
+  EXPECT_LT(static_cast<double>(report.bytes_on_wire),
+            static_cast<double>(solo_bytes) * 1.1);
+}
+
+// ----- faults through the serving layer ------------------------------------
+
+TEST(ServeFault, CrashDuringWaveRecoversExactResults) {
+  auto r = make_r();
+  auto s0 = make_s(0);
+  auto s1 = make_s(1);
+
+  ServeConfig cfg = serve_config(4, 2);
+  cfg.cluster.cores_per_host = 2;
+  cfg.cluster.fault.seed = 9;
+  cfg.cluster.fault.crashes.push_back({.host = 1, .at = 2 * kMillisecond});
+  cfg.cluster.node.resilience.ack_timeout = 20 * kMillisecond;
+  cfg.cluster.node.resilience.replicate = true;
+
+  QueryScheduler scheduler(cfg);
+  const QueryId a = scheduler.submit(query(s0, "a"), 0);
+  const QueryId b = scheduler.submit(query(s1, "b"), 0);
+  const ServeReport report = scheduler.drain(r);
+
+  const auto ref0 = join::local_hash_join(r.tuples(), s0.tuples());
+  const auto ref1 = join::local_hash_join(r.tuples(), s1.tuples());
+  EXPECT_EQ(report.query(a).phase, QueryPhase::kRetired);
+  EXPECT_EQ(report.query(b).phase, QueryPhase::kRetired);
+  EXPECT_EQ(report.query(a).result.matches, ref0.matches());
+  EXPECT_EQ(report.query(a).result.checksum, ref0.checksum());
+  EXPECT_EQ(report.query(b).result.matches, ref1.matches());
+  EXPECT_EQ(report.query(b).result.checksum, ref1.checksum());
+}
+
+// Randomized multi-query chaos soak (CI runs this with a randomized base
+// seed under TSan; see also FaultRecovery.ChaosSoakExactUnderRandomSeeds):
+// seeded drop/corrupt/crash combinations with replication on must leave
+// every served query with the exact answer.
+TEST(ServeChaos, ChaosSoakMultiQueryServing) {
+  const char* base_env = std::getenv("CHAOS_SOAK_BASE");
+  const char* iters_env = std::getenv("CHAOS_SOAK");
+  const std::uint64_t base =
+      base_env != nullptr ? std::strtoull(base_env, nullptr, 10) : 200;
+  const int iters = iters_env != nullptr ? std::atoi(iters_env) : 1;
+
+  auto r = make_r();
+  auto s0 = make_s(0);
+  auto s1 = make_s(1);
+  const auto ref0 = join::local_hash_join(r.tuples(), s0.tuples());
+  const auto ref1 = join::local_hash_join(r.tuples(), s1.tuples());
+
+  for (int k = 0; k < iters; ++k) {
+    const std::uint64_t seed = base + static_cast<std::uint64_t>(k);
+    ServeConfig cfg = serve_config(4, 2);
+    cfg.cluster.cores_per_host = 2;
+    cfg.cluster.fault.seed = seed;
+    cfg.cluster.fault.link.drop_prob = 0.02;
+    cfg.cluster.fault.link.corrupt_prob = 0.02;
+    cfg.cluster.fault.crashes.push_back(
+        {.host = static_cast<int>(seed % 4),
+         .at = static_cast<SimDuration>(seed % 7) * kMillisecond});
+    cfg.cluster.node.resilience.ack_timeout = 20 * kMillisecond;
+    cfg.cluster.node.resilience.replicate = true;
+
+    // Two waves: each re-applies the fault plan, so every wave crashes and
+    // recovers independently.
+    QueryScheduler scheduler(cfg);
+    const QueryId q0 = scheduler.submit(query(s0, "a"), 0);
+    const QueryId q1 = scheduler.submit(query(s1, "b"), 0);
+    const QueryId q2 = scheduler.submit(query(s0, "a"), 0);
+    const QueryId q3 = scheduler.submit(query(s1, "b"), 0);
+    const ServeReport report = scheduler.drain(r);
+
+    for (const QueryRecord& record : report.queries) {
+      EXPECT_EQ(record.phase, QueryPhase::kRetired)
+          << "seed " << seed << " query " << record.id;
+    }
+    EXPECT_EQ(report.query(q0).result.matches, ref0.matches()) << "seed " << seed;
+    EXPECT_EQ(report.query(q1).result.matches, ref1.matches()) << "seed " << seed;
+    EXPECT_EQ(report.query(q2).result.checksum, ref0.checksum()) << "seed " << seed;
+    EXPECT_EQ(report.query(q3).result.checksum, ref1.checksum()) << "seed " << seed;
+  }
+}
+
+// ----- rt backend ----------------------------------------------------------
+
+TEST(ServeRt, RtBackendRetiresAllWithSimParity) {
+  auto r = rel::generate({.rows = 6'000, .key_domain = 1'500, .seed = 51}, "R", 1);
+  auto s0 = rel::generate({.rows = 4'000, .key_domain = 1'500, .seed = 52}, "S0", 2);
+  auto s1 = rel::generate({.rows = 3'000, .key_domain = 1'500, .seed = 53}, "S1", 3);
+
+  auto serve_on = [&](cyclo::Backend backend) {
+    ServeConfig cfg = serve_config(3, 2);
+    cfg.cluster.backend = backend;
+    cfg.cluster.cores_per_host = 2;
+    QueryScheduler scheduler(cfg);
+    scheduler.submit(query(s0, "a"), 0);
+    scheduler.submit(query(s1, "b"), 0);
+    scheduler.submit(query(s0, "a"), 0);
+    return scheduler.drain(r);
+  };
+
+  const ServeReport sim = serve_on(cyclo::Backend::kSim);
+  const ServeReport rt = serve_on(cyclo::Backend::kRt);
+
+  ASSERT_EQ(sim.queries.size(), rt.queries.size());
+  for (std::size_t q = 0; q < sim.queries.size(); ++q) {
+    EXPECT_EQ(rt.queries[q].phase, QueryPhase::kRetired) << q;
+    EXPECT_EQ(sim.queries[q].result.matches, rt.queries[q].result.matches) << q;
+    EXPECT_EQ(sim.queries[q].result.checksum, rt.queries[q].result.checksum) << q;
+    EXPECT_EQ(sim.queries[q].wave, rt.queries[q].wave) << q;
+    EXPECT_GT(rt.queries[q].busy, 0) << q;
+  }
+  EXPECT_GT(rt.metrics.histograms.at("serve.latency_ns").count, 0u);
+}
+
+}  // namespace
+}  // namespace cj::serve

@@ -104,6 +104,44 @@ TEST(SharedRotation, WorksOnSingleHost) {
             join::local_hash_join(r.tuples(), s2.tuples()).matches());
 }
 
+TEST(SharedRotation, TaggedQueriesBillBusyTimePerQuery) {
+  auto r = rel::generate({.rows = 20'000, .key_domain = 5'000, .seed = 17}, "R", 1);
+  auto s1 = rel::generate({.rows = 15'000, .key_domain = 5'000, .seed = 18}, "S1", 2);
+  auto s2 = rel::generate({.rows = 15'000, .key_domain = 5'000, .seed = 19}, "S2", 3);
+
+  CycloJoin cyclo(small_cluster(3), JoinSpec{.algorithm = Algorithm::kHashJoin});
+  const SharedRunReport shared = cyclo.run_shared(
+      r, {SharedQuery{.stationary = &s1, .tag = "q1"},
+          SharedQuery{.stationary = &s2, .tag = "q2"}});
+
+  // Each tagged query accumulates its own core-busy counter, and the shared
+  // default bucket stays empty: every join work item belongs to some query.
+  const auto& counters = shared.metrics.counters;
+  ASSERT_TRUE(counters.contains("busy.q1"));
+  ASSERT_TRUE(counters.contains("busy.q2"));
+  EXPECT_GT(counters.at("busy.q1"), 0);
+  EXPECT_GT(counters.at("busy.q2"), 0);
+  EXPECT_FALSE(counters.contains("busy.join"));
+}
+
+TEST(SharedRotation, UntaggedQueriesKeepTheSharedJoinBucket) {
+  auto r = rel::generate({.rows = 10'000, .key_domain = 2'500, .seed = 20}, "R", 1);
+  auto s = rel::generate({.rows = 8'000, .key_domain = 2'500, .seed = 21}, "S", 2);
+
+  CycloJoin cyclo(small_cluster(3), JoinSpec{.algorithm = Algorithm::kHashJoin});
+  const SharedRunReport shared = cyclo.run_shared(
+      r, {SharedQuery{.stationary = &s}, SharedQuery{.stationary = &s}});
+
+  // No tags -> the historical "busy.join" accounting is untouched and no
+  // per-query counters appear.
+  const auto& counters = shared.metrics.counters;
+  ASSERT_TRUE(counters.contains("busy.join"));
+  EXPECT_GT(counters.at("busy.join"), 0);
+  for (const auto& [name, value] : counters) {
+    EXPECT_FALSE(name.starts_with("busy.q")) << name << "=" << value;
+  }
+}
+
 TEST(SharedRotationDeath, MaterializationRequiresSingleQuery) {
   auto r = rel::generate({.rows = 100, .key_domain = 50, .seed = 15}, "R", 1);
   auto s = rel::generate({.rows = 100, .key_domain = 50, .seed = 16}, "S", 2);
