@@ -13,11 +13,13 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "join/hash_join.h"
 #include "join/radix.h"
+#include "join/simd.h"
 #include "rel/generator.h"
 
 namespace cj::bench {
@@ -28,10 +30,17 @@ namespace cj::bench {
 /// (0 otherwise). Inputs are owned by the closure (shared with the other
 /// cases of the same size).
 struct KernelCase {
-  std::string kernel;   ///< "radix_cluster", "hash_build", "probe_partition", "probe_cached"
+  std::string kernel;   ///< "radix_cluster", "hash_build", "hash_build_staged",
+                        ///< "probe_partition", "probe_cached", "probe_simd"
   std::string variant;  ///< "legacy" | "optimized"
   std::int64_t rows = 0;
   int radix_bits = 0;
+  /// Resolved SIMD dispatch tier this case's kernels execute under
+  /// ("scalar" | "neon" | "avx2"). Stamped into the BENCH row; the
+  /// regression gate refuses to compare a baseline taken at one tier with
+  /// a measurement taken at another — kernel times across tiers are
+  /// different code paths, not noise.
+  std::string tier;
   /// True when run()'s return value is an order-independent join checksum
   /// that must agree across this kernel's variants (probe cases). False
   /// where the variants legitimately return different values (e.g.
@@ -55,6 +64,7 @@ struct AbInputs {
   join::PartitionedData legacy_single_r, opt_single_r;
   join::HashJoinStationary legacy_cached, opt_cached;    // cache-budget bits
   join::PartitionedData legacy_cached_r, opt_cached_r;
+  join::HashJoinStationary scalar_cached;  // simd forced off, same layout
 };
 
 }  // namespace internal
@@ -79,11 +89,18 @@ inline std::vector<KernelCase> make_kernel_cases(std::int64_t rows) {
   // coarser pick) so items/sec compares like for like.
   const int bits = join::choose_radix_bits(static_cast<std::size_t>(rows), opt_cfg);
 
+  const std::string legacy_tier =
+      join::simd_tier_name(join::resolve_simd(legacy_kernel.simd));
+  const std::string opt_tier =
+      join::simd_tier_name(join::resolve_simd(opt_kernel.simd));
+
   std::vector<KernelCase> cases;
   const auto add = [&](const char* kernel, const char* variant, int case_bits,
                        std::function<std::uint64_t()> run,
                        bool cross_validate = false) {
-    cases.push_back(KernelCase{kernel, variant, rows, case_bits, cross_validate,
+    const bool legacy = std::string_view(variant) == "legacy";
+    cases.push_back(KernelCase{kernel, variant, rows, case_bits,
+                               legacy ? legacy_tier : opt_tier, cross_validate,
                                std::move(run)});
   };
 
@@ -101,6 +118,24 @@ inline std::vector<KernelCase> make_kernel_cases(std::int64_t rows) {
     return static_cast<std::uint64_t>(t.bytes());
   });
   add("hash_build", "optimized", bits, [in, bits, opt_cfg] {
+    auto t = join::HashJoinStationary::build(in->s.tuples(), bits, opt_cfg);
+    return static_cast<std::uint64_t>(t.bytes());
+  });
+
+  // Staged-build A/B: same bucket-group layout on both sides, but the
+  // "legacy" variant switches the write-combining machinery off
+  // (buffered_scatter = false disables both the staged scatter of the radix
+  // pass and the fused region-staged table build), so this pair isolates
+  // what the software write-combining path buys over random direct stores.
+  // Below the staged-build size gate both variants run the direct build and
+  // the ratio is ~1 by construction.
+  join::RadixConfig unstaged_cfg = opt_cfg;
+  unstaged_cfg.kernel.buffered_scatter = false;
+  add("hash_build_staged", "legacy", bits, [in, bits, unstaged_cfg] {
+    auto t = join::HashJoinStationary::build(in->s.tuples(), bits, unstaged_cfg);
+    return static_cast<std::uint64_t>(t.bytes());
+  });
+  add("hash_build_staged", "optimized", bits, [in, bits, opt_cfg] {
     auto t = join::HashJoinStationary::build(in->s.tuples(), bits, opt_cfg);
     return static_cast<std::uint64_t>(t.bytes());
   });
@@ -137,6 +172,23 @@ inline std::vector<KernelCase> make_kernel_cases(std::int64_t rows) {
       [in, probe_all] { return probe_all(in->legacy_cached, in->legacy_cached_r); },
       /*cross_validate=*/true);
   add("probe_cached", "optimized", bits,
+      [in, probe_all] { return probe_all(in->opt_cached, in->opt_cached_r); },
+      /*cross_validate=*/true);
+
+  // SIMD-tier A/B over identical bucket-group tables: the layout does not
+  // depend on KernelConfig::simd, so forcing the scalar tier ("legacy")
+  // against the resolved best tier ("optimized") isolates the vector
+  // fingerprint compare itself. On a machine whose best tier IS scalar the
+  // pair degenerates to a self-compare at ratio ~1 — which is what makes
+  // the scalar-fallback CI job's numbers comparable.
+  join::RadixConfig scalar_cfg = opt_cfg;
+  scalar_cfg.kernel.simd = join::Simd::kScalar;
+  in->scalar_cached =
+      join::HashJoinStationary::build(in->s.tuples(), bits, scalar_cfg);
+  add("probe_simd", "legacy", bits,
+      [in, probe_all] { return probe_all(in->scalar_cached, in->opt_cached_r); },
+      /*cross_validate=*/true);
+  add("probe_simd", "optimized", bits,
       [in, probe_all] { return probe_all(in->opt_cached, in->opt_cached_r); },
       /*cross_validate=*/true);
   return cases;

@@ -214,17 +214,23 @@ double best_of(int reps, const std::function<void()>& fn) {
 struct VariantTimes {
   double legacy_ns = 0;
   double optimized_ns = 0;
+  std::string legacy_tier;
+  std::string optimized_tier;
 };
 
 void emit(bench::BenchJson& json, const char* kernel, std::int64_t rows,
           int radix_bits, const VariantTimes& t) {
   const double rows_d = static_cast<double>(rows);
-  json.row({{"kernel", kernel}, {"variant", "legacy"}},
+  json.row({{"kernel", kernel},
+            {"variant", "legacy"},
+            {"tier", t.legacy_tier.c_str()}},
            {{"rows", rows_d},
             {"radix_bits", static_cast<double>(radix_bits)},
             {"cpu_ns", t.legacy_ns},
             {"items_per_sec", rows_d / (t.legacy_ns * 1e-9)}});
-  json.row({{"kernel", kernel}, {"variant", "optimized"}},
+  json.row({{"kernel", kernel},
+            {"variant", "optimized"},
+            {"tier", t.optimized_tier.c_str()}},
            {{"rows", rows_d},
             {"radix_bits", static_cast<double>(radix_bits)},
             {"cpu_ns", t.optimized_ns},
@@ -287,7 +293,13 @@ void run_kernel_ab(bench::BenchJson& json, const std::vector<std::int64_t>& size
       }
       if (times.find(c.kernel) == times.end()) order.push_back(c.kernel);
       auto& t = times[c.kernel];
-      (c.variant == "legacy" ? t.legacy_ns : t.optimized_ns) = ns;
+      if (c.variant == "legacy") {
+        t.legacy_ns = ns;
+        t.legacy_tier = c.tier;
+      } else {
+        t.optimized_ns = ns;
+        t.optimized_tier = c.tier;
+      }
       bits_of[c.kernel] = c.radix_bits;
     }
     for (const std::string& kernel : order) {

@@ -15,6 +15,12 @@
 //     relative noise on microsecond kernels and absolute jitter on
 //     millisecond kernels both stay below the gate.
 //
+// Two refusals guard the comparison itself (exit 2, nothing judged): a
+// baseline tagged with a different backend (sim vs rt wall time) and a
+// baseline row whose recorded SIMD dispatch tier differs from the tier
+// this run resolves — cross-tier times are different code paths, not a
+// regression signal.
+//
 // Exit codes: 0 clean (improvements included), 1 regression, 2 usage.
 // Writes REGRESS_report.json (the verdict table, machine-readable) and
 // REGRESS_profile.json (per-phase counters of one profiled rep).
@@ -206,6 +212,7 @@ struct CaseKey {
 struct Sample {
   double cpu_ns = 0;
   int radix_bits = 0;
+  std::string tier;  ///< resolved SIMD dispatch tier ("" in pre-tier files)
 };
 
 using Table = std::map<CaseKey, Sample>;
@@ -257,6 +264,9 @@ std::optional<Table> load_baseline(const std::string& path,
     if (const JsonValue* bits = row.find("radix_bits")) {
       sample.radix_bits = static_cast<int>(bits->number);
     }
+    if (const JsonValue* tier = row.find("tier")) {
+      if (tier->kind == JsonValue::Kind::kString) sample.tier = tier->string;
+    }
     table.emplace(std::move(key), sample);
   }
   return table;
@@ -301,7 +311,8 @@ Table measure(const std::vector<std::int64_t>& sizes, int reps,
         CJ_CHECK_MSG(inserted || it->second == checksum,
                      "kernel A/B checksum mismatch: the variants disagree");
       }
-      out[CaseKey{c.kernel, c.variant, rows}] = Sample{median(times), c.radix_bits};
+      out[CaseKey{c.kernel, c.variant, rows}] =
+          Sample{median(times), c.radix_bits, c.tier};
     }
   }
   return out;
@@ -443,6 +454,7 @@ void write_baseline_file(const std::string& path, const Table& measured) {
     if (!first) out += ",";
     first = false;
     out += "{\"kernel\":\"" + key.kernel + "\",\"variant\":\"" + key.variant +
+           "\",\"tier\":\"" + sample.tier +
            "\",\"rows\":" + std::to_string(key.rows) +
            ",\"radix_bits\":" + std::to_string(sample.radix_bits) + ",\"cpu_ns\":";
     append_double(out, sample.cpu_ns);
@@ -614,6 +626,27 @@ int main(int argc, char** argv) {
   std::printf("counters: %s\n\n", profiler.hardware() ? "hw" : "fallback");
   Table measured = measure(sizes, reps, &profiler);
   if (!inject.empty() && !apply_injection(measured, inject)) return 2;
+
+  // Cross-tier refusal, the SIMD sibling of the backend refusal above: a
+  // baseline measured at one dispatch tier (say avx2) judged against a
+  // re-measurement at another (a scalar-forced CI job, a different
+  // machine) compares different code paths, and the machine-speed
+  // normalization would silently absorb most of the difference. Refuse;
+  // pre-tier baseline rows (no "tier" key) are exempt.
+  for (const auto& [key, sample] : measured) {
+    auto it = baseline->find(key);
+    if (it == baseline->end() || it->second.tier.empty()) continue;
+    if (it->second.tier != sample.tier) {
+      std::fprintf(stderr,
+                   "baseline case %s was measured at SIMD tier \"%s\" but "
+                   "this run dispatches to \"%s\"; refusing to cross-compare "
+                   "(re-create the baseline at this tier, or match it via "
+                   "CJ_SIMD=%s)\n",
+                   key.to_string().c_str(), it->second.tier.c_str(),
+                   sample.tier.c_str(), it->second.tier.c_str());
+      return 2;
+    }
+  }
 
   GateResult result = apply_gate(*baseline, measured, tolerance, min_abs_ns);
   print_gate(result, tolerance, min_abs_ns);

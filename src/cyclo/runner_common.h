@@ -515,11 +515,12 @@ inline void build_query_chunk_work(const JoinSpec& spec, int radix_bits,
           const auto [begin, end] = ranges[ri];
           join::JoinResult* partial = &out.partials[first_partial + ri];
           const std::uint32_t band = state->band;
-          out.items.push_back([state, view, begin, end, band, partial] {
+          const join::KernelConfig kernel = spec.radix.kernel;
+          out.items.push_back([state, view, begin, end, band, kernel, partial] {
             auto r_range = view.tuples.subspan(begin, end - begin);
             auto window = join::matching_window(
                 state->s_sorted, r_range.front().key, r_range.back().key, band);
-            join::band_merge_join(r_range, window, band, *partial);
+            join::band_merge_join(r_range, window, band, *partial, kernel);
           });
         }
         break;

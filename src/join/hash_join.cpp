@@ -2,24 +2,21 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <emmintrin.h>
+#endif
+
+#include "join/hash_group_impl.h"
+#include "join/scatter.h"
 #include "obs/prof.h"
 
 namespace cj::join {
 
 namespace {
 
-/// Hard cap on the probe look-ahead ring (KernelConfig::prefetch_distance
-/// is clamped to it).
-constexpr std::size_t kMaxPrefetch = 64;
-
-inline void prefetch_read(const void* p) {
-#if defined(__GNUC__) || defined(__clang__)
-  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
-#else
-  (void)p;
-#endif
-}
+using detail::kMaxProbeBatch;
 
 inline void prefetch_write(const void* p) {
 #if defined(__GNUC__) || defined(__clang__)
@@ -29,21 +26,124 @@ inline void prefetch_write(const void* p) {
 #endif
 }
 
+/// Stationary setups whose total table footprint is at least this large
+/// take the fused (write-combining) build: the radix pass clusters on extra
+/// high hash bits so every table is built region by region from an
+/// L2-resident staging image and streamed out with non-temporal stores.
+/// Below it the tables stay LLC-resident across the whole build and the
+/// direct lean loop is cheaper.
+constexpr std::size_t kStagedBuildMinTableBytes = 8U << 20;
+
+/// Target final-table bytes per staged-build region. The compact staging
+/// image is a quarter of this (16 B/slot table, 4 B/slot image), so a
+/// region's random stores land in ≤ kStagedRegionTableBytes/4 of hot
+/// scratch — comfortably inside L2.
+constexpr std::size_t kStagedRegionTableBytes = 512U << 10;
+
+/// Fan-out cap of the fused clustering pass (partitions × regions).
+constexpr int kMaxFusedFanoutBits = 10;
+
+/// Direct builds whose whole table fits this budget skip the batched-hash
+/// + prefetch pipeline: the random inserts stay cache-resident, so the
+/// pipeline's extra pass and bookkeeping is all cost and no latency hidden.
+constexpr std::size_t kDirectPipelineMinTableBytes = 1U << 20;
+
+/// Compact staging image of one bucket group: the fingerprint lanes plus a
+/// 16-bit index per slot naming the tuple that will occupy it (region-slice
+/// position, or carry-list position when kCarryFlag is set). One cache line
+/// per group at G = 16 — a quarter of the final group — so the random
+/// stores of an insert burst stay inside a scratch window that fits L2.
+/// The final inline-tuple table is then written strictly sequentially.
+template <int G>
+struct StagedGroup {
+  std::uint16_t fp[G];
+  std::uint16_t idx[G];
+};
+static_assert(sizeof(StagedGroup<16>) == 64);
+static_assert(sizeof(StagedGroup<8>) == 32);
+
+/// idx tag: the slot's tuple lives in the carry list (spill from the
+/// previous region), not the region slice.
+constexpr std::uint16_t kCarryFlag = 0x8000;
+
 }  // namespace
+
+void PartitionHashTable::init_build(std::size_t rows, int radix_bits,
+                                    const KernelConfig& kernel) {
+  rows_ = rows;
+  shift_ = radix_bits;
+  fingerprint_ = kernel.fingerprint_table;
+  prefetch_ = std::clamp(kernel.prefetch_distance, 0,
+                         static_cast<int>(kMaxProbeBatch));
+  group_size_ = kernel.group_size == 8 ? 8 : 16;
+  tier_ = resolve_simd(kernel.simd);
+
+  // Reset whichever layout a previous build left behind.
+  slab_ = TableSlab();
+  groups_ = nullptr;
+  num_groups_ = 0;
+  tuples_.clear();
+  heads_.clear();
+  next_.clear();
+}
+
+void PartitionHashTable::attach_groups(std::size_t table_bytes,
+                                       std::byte* storage) {
+  if (storage != nullptr) {
+    groups_ = storage;
+    return;
+  }
+  slab_ = TableSlab(table_bytes);
+  groups_ = slab_.data();
+}
 
 void PartitionHashTable::build(std::span<const rel::Tuple> s_partition,
                                int radix_bits, const KernelConfig& kernel) {
   obs::prof::ScopedProfile prof(obs::prof::current(), "hash_build",
                                 s_partition.size());
-  rows_ = s_partition.size();
-  shift_ = radix_bits;
-  fingerprint_ = kernel.fingerprint_table;
-  prefetch_ = std::clamp(kernel.prefetch_distance, 0,
-                         static_cast<int>(kMaxPrefetch));
-  if (fingerprint_) {
-    build_fingerprint(s_partition);
-  } else {
+  init_build(s_partition.size(), radix_bits, kernel);
+  if (!fingerprint_) {
     build_chained(s_partition);
+  } else if (group_size_ == 8) {
+    build_groups<8>(s_partition, kernel, nullptr);
+  } else {
+    build_groups<16>(s_partition, kernel, nullptr);
+  }
+}
+
+void PartitionHashTable::build_direct(std::span<const rel::Tuple> s_partition,
+                                      int radix_bits, const KernelConfig& kernel,
+                                      std::byte* storage) {
+  obs::prof::ScopedProfile prof(obs::prof::current(), "hash_build",
+                                s_partition.size());
+  init_build(s_partition.size(), radix_bits, kernel);
+  CJ_DCHECK(fingerprint_);
+  if (group_size_ == 8) {
+    build_groups<8>(s_partition, kernel, storage);
+  } else {
+    build_groups<16>(s_partition, kernel, storage);
+  }
+}
+
+void PartitionHashTable::build_staged(std::span<const rel::Tuple> slice,
+                                      std::span<const std::uint32_t> region_offsets,
+                                      int radix_bits, const KernelConfig& kernel,
+                                      std::byte* storage) {
+  obs::prof::ScopedProfile prof(obs::prof::current(), "hash_build", slice.size());
+  init_build(slice.size(), radix_bits, kernel);
+  CJ_DCHECK(fingerprint_);
+  const bool ok = group_size_ == 8
+                      ? build_groups_staged<8>(slice, region_offsets, storage)
+                      : build_groups_staged<16>(slice, region_offsets, storage);
+  if (!ok) {
+    // Pathological region skew (≥ 2^15 tuples hashing into one region's
+    // range): the 16-bit staging indices cannot span it, so rebuild this
+    // partition with the direct pipelined path.
+    if (group_size_ == 8) {
+      build_groups<8>(slice, kernel, storage);
+    } else {
+      build_groups<16>(slice, kernel, storage);
+    }
   }
 }
 
@@ -63,97 +163,412 @@ void PartitionHashTable::build_chained(std::span<const rel::Tuple> s_partition) 
   }
 }
 
-void PartitionHashTable::build_fingerprint(
-    std::span<const rel::Tuple> s_partition) {
-  // ≤50% load factor: collision clusters stay short and at least one
-  // bucket is always empty, which is what terminates a probe's walk.
-  const std::size_t buckets = std::bit_ceil(std::max<std::size_t>(8, rows_ * 2));
-  mask_ = static_cast<std::uint32_t>(buckets - 1);
-  buckets_.assign(buckets, Bucket{});
+template <int G>
+void PartitionHashTable::build_groups(std::span<const rel::Tuple> s_partition,
+                                      const KernelConfig& kernel,
+                                      std::byte* storage) {
+  (void)kernel;
+  const std::size_t n = s_partition.size();
+  num_groups_ = groups_for(n, G);
 
-  const auto insert = [this](const rel::Tuple& t, std::uint32_t h) {
-    std::uint32_t b = bucket_index(h);
-    while (buckets_[b].fp != 0) b = (b + 1) & mask_;
-    buckets_[b] = Bucket{t.key, fingerprint_of(h), 0, t.payload};
+  // Clear only the fingerprint lanes (never value-initialize the table:
+  // the zero-fill of a full value-init, 32 B/slot, was the single largest
+  // cost of the old build). Keys/payloads are written exactly once, by
+  // their insert; fp == 0 alone defines emptiness.
+  attach_groups(num_groups_ * sizeof(BucketGroup<G>), storage);
+  BucketGroup<G>* groups = static_cast<BucketGroup<G>*>(groups_);
+  for (std::uint32_t g = 0; g < num_groups_; ++g) {
+    std::memset(groups[g].fp, 0, sizeof(groups[g].fp));
+  }
+  if (n == 0) return;
+
+  // Per-group occupancy counters, one byte per group: table_bytes/256 of
+  // transient state, hot in L1 throughout the build. Inserts assign slots
+  // from the counter instead of scanning fingerprints for the first zero —
+  // the scan's data-dependent exit was one branch mispredict per insert.
+  // Slot order is identical (fps start zeroed, slots fill 0..G-1), so the
+  // layout matches a scan-built table bit for bit.
+  std::vector<std::uint8_t> fill(num_groups_, 0);
+  const auto insert = [&](const rel::Tuple& t, std::uint32_t h) {
+    std::uint32_t g = group_index(h);
+    while (fill[g] == G) g = next_group(g);  // spill only if full
+    const int c = fill[g]++;
+    BucketGroup<G>& grp = groups[g];
+    grp.fp[c] = fingerprint_of(h);
+    grp.key[c] = t.key;
+    grp.payload[c] = t.payload;
   };
 
-  // Inserts land on random buckets; pipeline them like the probe loop so
-  // the (write) miss of insert i+k overlaps the work of inserts i..i+k-1.
-  const std::size_t n = s_partition.size();
-  const std::size_t k = std::bit_floor(
-      std::min(static_cast<std::size_t>(prefetch_), n));
-  if (k == 0) {
-    for (const rel::Tuple& t : s_partition) insert(t, hash_key(t.key));
+  // Cache-resident tables (the common case: choose_radix_bits sizes
+  // partitions for the cache budget) take the lean loop — hash inline,
+  // insert, nothing else. The batched-hash + prefetch machinery below
+  // only earns its bookkeeping when inserts actually miss.
+  if (num_groups_ * sizeof(BucketGroup<G>) <= kDirectPipelineMinTableBytes ||
+      prefetch_ == 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      insert(s_partition[i], hash_key(s_partition[i].key));
+    }
     return;
   }
-  std::uint32_t ring[kMaxPrefetch];
-  for (std::size_t j = 0; j < k; ++j) {
-    ring[j] = hash_key(s_partition[j].key);
-    prefetch_write(&buckets_[bucket_index(ring[j])]);
-  }
-  const std::size_t ring_mask = k - 1;
+
+  // Batched hashing: the whole slice is hashed before any bucket is
+  // touched, so the hash ALU work never serializes behind bucket misses
+  // and the insert loop reads hashes from a sequential array.
+  std::vector<std::uint32_t> hashes(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const std::uint32_t h = ring[i & ring_mask];
-    if (i + k < n) {
-      const std::uint32_t ahead = hash_key(s_partition[i + k].key);
-      ring[i & ring_mask] = ahead;
-      prefetch_write(&buckets_[bucket_index(ahead)]);
-    }
-    insert(s_partition[i], h);
+    hashes[i] = hash_key(s_partition[i].key);
   }
+
+  // Pipelined build: inserts land on random groups; prefetch the group of
+  // the insert k positions ahead so its (write) miss overlaps inserts
+  // i..i+k-1. Builds want a much deeper pipeline than probes — a store
+  // burst per insert leaves less independent work per miss — so k runs at
+  // 4x the probe distance, up to the shared batch cap.
+  const std::size_t k =
+      std::min({static_cast<std::size_t>(4 * prefetch_), kMaxProbeBatch, n});
+  for (std::size_t j = 0; j < k; ++j) {
+    prefetch_write(groups[group_index(hashes[j])].fp);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + k < n) prefetch_write(groups[group_index(hashes[i + k])].fp);
+    insert(s_partition[i], hashes[i]);
+  }
+}
+
+template <int G>
+bool PartitionHashTable::build_groups_staged(
+    std::span<const rel::Tuple> slice,
+    std::span<const std::uint32_t> region_offsets, std::byte* storage) {
+  const std::size_t n = slice.size();
+  const std::uint32_t nreg =
+      static_cast<std::uint32_t>(region_offsets.size() - 1);
+  const int rb = std::countr_zero(nreg);
+  num_groups_ = groups_for(n, G);
+  const std::uint32_t ng = num_groups_;
+
+  // No fingerprint pre-clear here: the sequential finalization below
+  // writes every group's full fingerprint block exactly once.
+  attach_groups(ng * sizeof(BucketGroup<G>), storage);
+  BucketGroup<G>* groups = static_cast<BucketGroup<G>*>(groups_);
+
+  // Region r owns the contiguous group range [g_lo(r), g_lo(r+1)).
+  // Exact because group_index is fastrange over the remixed key and the
+  // regions are equal slices of that key's top bits: the smallest remixed
+  // key of region r maps to precisely (r * ng) >> rb.
+  const auto g_lo = [&](std::uint32_t r) {
+    return static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(r) * ng) >> rb);
+  };
+
+  const std::uint32_t max_region_groups = (ng + nreg - 1) / nreg + 1;
+  std::vector<StagedGroup<G>> scratch(max_region_groups);
+  std::vector<std::uint8_t> fill(max_region_groups);
+
+  // Spills that walked past a region's last group; they resume at the next
+  // region's first group (everything in between was full, which also keeps
+  // the probe-walk termination invariant intact).
+  struct Carry {
+    rel::Tuple t;
+    std::uint16_t fp;
+  };
+  std::vector<Carry> carry_in;
+  std::vector<Carry> carry_out;
+
+  obs::prof::ScopedProfile stage_prof(obs::prof::current(), "build_stage", n);
+  const std::uint32_t base_off = region_offsets.front();
+  for (std::uint32_t r = 0; r < nreg; ++r) {
+    const std::uint32_t lo = g_lo(r);
+    const std::uint32_t ngr = g_lo(r + 1) - lo;
+    const std::uint32_t rows = region_offsets[r + 1] - region_offsets[r];
+    if (rows >= kCarryFlag || carry_in.size() >= kCarryFlag) return false;
+    const rel::Tuple* base = slice.data() + (region_offsets[r] - base_off);
+
+    std::memset(scratch.data(), 0, ngr * sizeof(StagedGroup<G>));
+    std::fill(fill.begin(), fill.begin() + ngr, 0);
+    carry_out.clear();
+
+    const auto place = [&](std::uint32_t local, std::uint16_t fp,
+                           std::uint16_t id, const rel::Tuple& t) {
+      while (local < ngr && fill[local] == G) ++local;
+      if (local >= ngr) {
+        carry_out.push_back(Carry{t, fp});
+        return;
+      }
+      const int c = fill[local]++;
+      scratch[local].fp[c] = fp;
+      scratch[local].idx[c] = id;
+    };
+
+    for (std::size_t ci = 0; ci < carry_in.size(); ++ci) {
+      place(0, carry_in[ci].fp, static_cast<std::uint16_t>(kCarryFlag | ci),
+            carry_in[ci].t);
+    }
+    for (std::uint32_t i = 0; i < rows; ++i) {
+      const std::uint32_t h = hash_key(base[i].key);
+      // A hash on the region's upper boundary can map to g_lo(r+1) itself
+      // (fastrange rounding); place() then carries it to the next region,
+      // which is exactly its home group.
+      place(group_index(h) - lo, fingerprint_of(h),
+            static_cast<std::uint16_t>(i), base[i]);
+    }
+
+    // Sequential finalization: stream the region's groups out in index
+    // order — fingerprint block from scratch (including its zeros; empty
+    // slots' key/payload lanes stay unwritten, probes never read them),
+    // tuples gathered through the staging indices. Prefetch one group
+    // ahead: the gather's reads wander the region slice, not the table.
+    // On x86 each group is composed in a cache-hot local image and
+    // streamed to the table with non-temporal stores: the table is
+    // write-only DRAM traffic, no read-for-ownership of lines this build
+    // never reads — the direct build cannot do this (random stores), and
+    // it is the staged path's decisive edge once the tables in aggregate
+    // overflow the LLC.
+#if defined(__x86_64__) || defined(__i386__)
+    alignas(64) BucketGroup<G> image;
+#endif
+    for (std::uint32_t lg = 0; lg < ngr; ++lg) {
+      if (lg + 1 < ngr) {
+        const StagedGroup<G>& nx = scratch[lg + 1];
+        const int ncnt = fill[lg + 1];
+        for (int c = 0; c < ncnt; ++c) {
+          if (!(nx.idx[c] & kCarryFlag)) detail::prefetch_ro(&base[nx.idx[c]]);
+        }
+      }
+#if defined(__x86_64__) || defined(__i386__)
+      BucketGroup<G>& dst = image;
+#else
+      BucketGroup<G>& dst = groups[lo + lg];
+#endif
+      const StagedGroup<G>& src = scratch[lg];
+      std::memcpy(dst.fp, src.fp, sizeof(dst.fp));
+      const int cnt = fill[lg];
+      for (int c = 0; c < cnt; ++c) {
+        const std::uint16_t id = src.idx[c];
+        const rel::Tuple& t =
+            (id & kCarryFlag) ? carry_in[id & (kCarryFlag - 1U)].t : base[id];
+        dst.key[c] = t.key;
+        dst.payload[c] = t.payload;
+      }
+#if defined(__x86_64__) || defined(__i386__)
+      // Stale image bytes in empty key/payload lanes are streamed along
+      // with the live ones — probes never read an empty slot's lanes.
+      auto* out128 = reinterpret_cast<__m128i*>(&groups[lo + lg]);
+      const auto* img128 = reinterpret_cast<const __m128i*>(&image);
+      for (std::size_t q = 0; q < sizeof(BucketGroup<G>) / 16; ++q) {
+        _mm_stream_si128(out128 + q, _mm_load_si128(img128 + q));
+      }
+#endif
+    }
+    carry_in.swap(carry_out);
+  }
+
+#if defined(__x86_64__) || defined(__i386__)
+  // Drain the non-temporal stores before anything reads the table — the
+  // wrap-carry patch below scans fingerprint lanes, and the rt backend
+  // probes from other threads.
+  _mm_sfence();
+#endif
+
+  // Spills past the table's last group wrap to group 0, whose region is
+  // long finalized — patch them straight into the table. The walk from
+  // their (full) home groups wraps the same way, and every group before
+  // the patched slot is full, so probes still find them. The load factor
+  // guarantees an empty slot exists.
+  for (const Carry& cw : carry_in) {
+    std::uint32_t g = 0;
+    for (;;) {
+      BucketGroup<G>& dst = groups[g];
+      int c = 0;
+      while (c < G && dst.fp[c] != 0) ++c;
+      if (c < G) {
+        dst.fp[c] = cw.fp;
+        dst.key[c] = cw.t.key;
+        dst.payload[c] = cw.t.payload;
+        break;
+      }
+      g = next_group(g);
+    }
+  }
+
+  return true;
 }
 
 void PartitionHashTable::probe(std::span<const rel::Tuple> r_run,
                                JoinResult& result) const {
   if (rows_ == 0) return;
   obs::prof::ScopedProfile prof(obs::prof::current(), "probe", r_run.size());
+  // One reserve per probe batch: with unique build keys a probe yields at
+  // most one match, so this bound makes the per-match append allocation-free
+  // and its capacity branch perfectly predicted.
+  result.reserve_batch(r_run.size());
   if (!fingerprint_) {
     for (const rel::Tuple& r : r_run) probe_one_chained(r, result);
     return;
   }
 
-  // Power-of-two look-ahead so the ring index is a mask, not a divide.
-  const std::size_t n = r_run.size();
-  const std::size_t k = std::bit_floor(
-      std::min(static_cast<std::size_t>(prefetch_), n));
-  if (k == 0) {
-    for (const rel::Tuple& r : r_run) {
-      probe_one_fingerprint(r, hash_key(r.key), result);
-    }
-    return;
+  switch (tier_) {
+#if defined(__x86_64__) || defined(__i386__)
+    case SimdTier::kAvx2:
+      probe_dispatch_avx2(r_run, result);
+      return;
+#endif
+#if defined(__aarch64__) || defined(__ARM_NEON)
+    case SimdTier::kNeon:
+      probe_dispatch_neon(r_run, result);
+      return;
+#endif
+    default:
+      break;
   }
-
-  // Software pipeline: hash and prefetch the bucket of the tuple k
-  // positions ahead, carrying the hashes in a small ring so each is
-  // computed exactly once. By the time a tuple is probed its bucket line
-  // has been in flight for k probes.
-  std::uint32_t ring[kMaxPrefetch];
-  for (std::size_t j = 0; j < k; ++j) {
-    ring[j] = hash_key(r_run[j].key);
-    prefetch_read(&buckets_[bucket_index(ring[j])]);
-  }
-  const std::size_t ring_mask = k - 1;
-  for (std::size_t i = 0; i < n - k; ++i) {  // steady state: always refills
-    const std::uint32_t h = ring[i & ring_mask];
-    const std::uint32_t ahead = hash_key(r_run[i + k].key);
-    ring[i & ring_mask] = ahead;
-    prefetch_read(&buckets_[bucket_index(ahead)]);
-    probe_one_fingerprint(r_run[i], h, result);
-  }
-  for (std::size_t i = n - k; i < n; ++i) {  // drain the ring
-    probe_one_fingerprint(r_run[i], ring[i & ring_mask], result);
+  if (group_size_ == 8) {
+    probe_groups<8, detail::ScalarGroupOps<8>>(r_run, result);
+  } else {
+    probe_groups<16, detail::ScalarGroupOps<16>>(r_run, result);
   }
 }
 
 HashJoinStationary HashJoinStationary::build(std::span<const rel::Tuple> s,
                                              int radix_bits,
                                              const RadixConfig& config) {
+  const KernelConfig& kernel = config.kernel;
   HashJoinStationary out;
-  out.parts_ = radix_cluster(s, radix_bits, config.bits_per_pass, config.kernel);
-  const std::uint32_t num_parts = out.parts_.num_partitions();
-  out.tables_.resize(num_parts);
+  const std::size_t n = s.size();
+
+  // Fused setup for large bucket-group builds: one extended-fanout
+  // clustering pass serves as both the radix pass and the write-combining
+  // stage of every table build. Clustering on rb extra top hash bits
+  // splits each partition into 2^rb regions that map to contiguous group
+  // ranges, so the staged per-table build (build_staged) inserts into an
+  // L2-resident scratch and writes the final tables sequentially. rb < 0
+  // selects the classic two-step setup.
+  int rb = -1;
+  if (kernel.fingerprint_table && kernel.cache_hashes &&
+      kernel.buffered_scatter && radix_bits >= 1 &&
+      radix_bits <= kMaxFusedFanoutBits && n <= 0xFFFFFFFFULL) {
+    const std::size_t table_bytes =
+        n * (PartitionHashTable::bytes_per_stationary_tuple(kernel) -
+             sizeof(rel::Tuple));
+    // Staging pays when the tables in aggregate overflow the LLC: there
+    // the direct build is bound by read-for-ownership traffic on random
+    // table lines, while the staged build's strictly sequential
+    // finalization streams the table with non-temporal stores — write-only
+    // DRAM traffic. Below the threshold the tables stay cache-resident
+    // across the build and the direct path's lean loop wins.
+    if (table_bytes >= kStagedBuildMinTableBytes) {
+      const std::size_t part_table = table_bytes >> radix_bits;
+      rb = 0;
+      while (radix_bits + rb < kMaxFusedFanoutBits &&
+             (part_table >> rb) > kStagedRegionTableBytes) {
+        ++rb;
+      }
+      if ((1U << (radix_bits + rb)) < detail::kMinBufferedFanout) rb = -1;
+    }
+  }
+
+  // Carves one backing range per partition table out of a single shared
+  // slab (see table_slab.h) and returns the per-partition base pointers;
+  // the slab itself moves into out.table_slab_. Chained tables manage
+  // their own vectors — no slab.
+  const auto carve_slab = [&](const PartitionedData& parts)
+      -> std::vector<std::byte*> {
+    const std::uint32_t num_parts = parts.num_partitions();
+    std::vector<std::size_t> bytes(num_parts);
+    std::size_t total = 0;
+    for (std::uint32_t p = 0; p < num_parts; ++p) {
+      bytes[p] =
+          PartitionHashTable::table_bytes_for(parts.partition(p).size(), kernel);
+      total += bytes[p];
+    }
+    out.table_slab_ = TableSlab(total);
+    std::vector<std::byte*> bases(num_parts);
+    std::byte* cursor = out.table_slab_.data();
+    for (std::uint32_t p = 0; p < num_parts; ++p) {
+      bases[p] = cursor;
+      cursor += bytes[p];
+    }
+    return bases;
+  };
+
+  if (rb < 0) {
+    out.parts_ =
+        radix_cluster(s, radix_bits, config.bits_per_pass, kernel);
+    const std::uint32_t num_parts = out.parts_.num_partitions();
+    out.tables_.resize(num_parts);
+    if (!kernel.fingerprint_table) {
+      for (std::uint32_t p = 0; p < num_parts; ++p) {
+        out.tables_[p].build(out.parts_.partition(p), radix_bits, kernel);
+      }
+      return out;
+    }
+    const std::vector<std::byte*> bases = carve_slab(out.parts_);
+    for (std::uint32_t p = 0; p < num_parts; ++p) {
+      out.tables_[p].build_direct(out.parts_.partition(p), radix_bits, kernel,
+                                  bases[p]);
+    }
+    return out;
+  }
+
+  const std::uint32_t num_parts = 1U << radix_bits;
+  const std::uint32_t regions = 1U << rb;
+  const std::uint32_t fanout = num_parts << rb;
+  const std::uint32_t pmask = num_parts - 1;
+  // Extended bucket: partition id (low hash bits) majored over the region
+  // id — the top rb bits of the *remixed* group-index key, so within a
+  // partition the buckets are exactly the contiguous group-range regions
+  // that group_index (monotone in the remixed key) assigns.
+  const int xw = 32 - radix_bits;  // usable width of the remixed key
+  const auto bucket_of = [&](std::uint32_t h) {
+    const std::uint32_t p = h & pmask;
+    if (rb == 0) return p;
+    const std::uint32_t x = PartitionHashTable::remix(h, radix_bits);
+    return (p << rb) | (x >> (xw - rb));
+  };
+
+  std::vector<std::uint32_t> boundaries(static_cast<std::size_t>(fanout) + 1);
+  std::vector<rel::Tuple> clustered(n);
+  {
+    obs::prof::ScopedProfile pass_prof(obs::prof::current(), "radix_pass1", n);
+    std::vector<std::uint32_t> hashes(n);
+    std::vector<std::uint32_t> counts(fanout, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t h = hash_key(s[i].key);
+      hashes[i] = h;
+      ++counts[bucket_of(h)];
+    }
+    std::vector<std::uint32_t> cursor(fanout);
+    std::uint32_t acc = 0;
+    for (std::uint32_t b = 0; b < fanout; ++b) {
+      cursor[b] = acc;
+      acc += counts[b];
+      boundaries[b + 1] = acc;
+    }
+    std::vector<std::uint32_t> fill(fanout, 0);
+    std::vector<rel::Tuple> stage(static_cast<std::size_t>(fanout) *
+                                  detail::kStageCap);
+    detail::scatter_range<rel::Tuple>(
+        0, n, /*staged=*/true, fanout, cursor, fill, stage, clustered.data(),
+        [&](std::size_t i) { return bucket_of(hashes[i]); },
+        [&](std::size_t i) { return s[i]; });
+  }
+
+  // Partition directory at partition granularity; tuple order within a
+  // partition is region-major, which PartitionedData's contract allows.
+  std::vector<std::uint32_t> offsets(static_cast<std::size_t>(num_parts) + 1);
   for (std::uint32_t p = 0; p < num_parts; ++p) {
-    out.tables_[p].build(out.parts_.partition(p), radix_bits, config.kernel);
+    offsets[p] = boundaries[static_cast<std::size_t>(p) << rb];
+  }
+  offsets[num_parts] = static_cast<std::uint32_t>(n);
+  out.parts_ =
+      PartitionedData(std::move(clustered), std::move(offsets), radix_bits);
+
+  out.tables_.resize(num_parts);
+  const std::vector<std::byte*> bases = carve_slab(out.parts_);
+  for (std::uint32_t p = 0; p < num_parts; ++p) {
+    const auto region_offsets =
+        std::span<const std::uint32_t>(boundaries)
+            .subspan(static_cast<std::size_t>(p) << rb, regions + 1);
+    out.tables_[p].build_staged(out.parts_.partition(p), region_offsets,
+                                radix_bits, kernel, bases[p]);
   }
   return out;
 }

@@ -9,14 +9,16 @@
 //
 // Two table layouts live behind KernelConfig (docs/KERNELS.md):
 //
-//   fingerprint (default)  a contiguous open-addressing bucket array;
-//                          each 16-byte bucket holds the tuple inline plus
-//                          a 16-bit hash fingerprint that rejects
-//                          non-matches before any key comparison. Probes
-//                          take whole tuple slices and software-prefetch
-//                          the bucket prefetch_distance tuples ahead.
-//   chained (legacy)       the original bucket-chained heads/next layout,
-//                          kept as the A/B baseline.
+//   bucket-group (default)  F14/Swiss-style: groups of `group_size` 16-bit
+//                           fingerprints packed contiguously next to their
+//                           inline tuples, probed with one vector compare
+//                           per group (AVX2 / NEON / scalar, resolved at
+//                           runtime via join/simd.h). The build batches
+//                           hashing ahead of any bucket touch and stages
+//                           out-of-cache inserts through the same
+//                           write-combining scatter as the radix pass.
+//   chained (legacy)        the original bucket-chained heads/next layout,
+//                           kept as the A/B baseline.
 //
 // The join phase is embarrassingly parallel across partitions — the cyclo
 // layer schedules disjoint partition ranges on the host's (virtual) cores,
@@ -31,26 +33,28 @@
 #include "join/join_result.h"
 #include "join/kernel_config.h"
 #include "join/radix.h"
+#include "join/simd.h"
+#include "join/table_slab.h"
 #include "rel/relation.h"
 
 namespace cj::join {
 
-/// Compact hash table over one partition of S. Buckets index on the high
+/// Compact hash table over one partition of S. Groups index on the high
 /// hash bits (the low bits are constant within a radix partition). Stores
 /// its own copy of the tuples so probes are a single structure walk.
 class PartitionHashTable {
  public:
   PartitionHashTable() = default;
 
-  /// Builds over the tuples of one S partition. `kernel` picks the layout
-  /// and the probe prefetch distance.
+  /// Builds over the tuples of one S partition. `kernel` picks the layout,
+  /// the SIMD tier, the group size and the probe prefetch distance.
   void build(std::span<const rel::Tuple> s_partition, int radix_bits,
              const KernelConfig& kernel = {});
 
   /// Probes every tuple of `r_run` (all from this partition) against the
-  /// table, emitting matches. This is the single chain/cluster-walk
-  /// implementation — batched, with software prefetch in the fingerprint
-  /// layout.
+  /// table, emitting matches. This is the single chain/group-walk
+  /// implementation — batched, with a two-stage software-prefetch pipeline
+  /// and one vector fingerprint compare per group in the group layout.
   void probe(std::span<const rel::Tuple> r_run, JoinResult& result) const;
 
   std::size_t rows() const { return rows_; }
@@ -59,30 +63,118 @@ class PartitionHashTable {
   std::size_t bytes() const {
     return tuples_.size() * sizeof(rel::Tuple) +
            (heads_.size() + next_.size()) * sizeof(std::int32_t) +
-           buckets_.size() * sizeof(Bucket);
+           static_cast<std::size_t>(num_groups_) * group_bytes();
+  }
+
+  /// Build load factor of the bucket-group layout: kLoadNum/kLoadDen = 1/2
+  /// occupied slots per slot allocated (50%). Duplicate-heavy keys (the
+  /// benchmark's key_domain = |S| sampled with replacement is the common
+  /// case) inflate group-occupancy variance well past Poisson: at 80% load
+  /// ~40% of 16-slot groups come out completely full and nearly half the
+  /// probes walk past their home group (measured ~1.5-2x probe slowdown);
+  /// at 50% load <5% of groups are full and ~7% of probes walk one extra
+  /// group. Probe speed is the product here, so the table buys it with
+  /// space — and fastrange sizing (no power-of-two rounding) claws back
+  /// most of what the old bit_ceil layout wasted anyway.
+  static constexpr std::size_t kLoadNum = 1;
+  static constexpr std::size_t kLoadDen = 2;
+
+  /// Probe-phase footprint of one stationary tuple under `kernel`'s table
+  /// layout — what choose_radix_bits sizes partitions with. Derived from
+  /// the layout itself so a layout change resizes partitions automatically:
+  ///  - chained: the tuple copy plus bucket-head and chain entries;
+  ///  - bucket-group: the tuple copy the partition directory keeps plus
+  ///    kLoadDen/kLoadNum slots of sizeof(group)/group_size bytes each
+  ///    (16 B/slot at either group size ⇒ 32 B of table, 44 B total).
+  static std::size_t bytes_per_stationary_tuple(const KernelConfig& kernel) {
+    if (!kernel.fingerprint_table) return sizeof(rel::Tuple) + 12;
+    const std::size_t slot = kernel.group_size == 8
+                                 ? sizeof(BucketGroup<8>) / 8
+                                 : sizeof(BucketGroup<16>) / 16;
+    return sizeof(rel::Tuple) + slot * kLoadDen / kLoadNum;
   }
 
  private:
-  /// Fingerprint-layout bucket: the tuple inline plus a fingerprint tag.
-  /// fp == 0 marks an empty bucket (occupied fingerprints have their top
-  /// bit set), so a probe is one load, a 2-byte reject, and linear steps
-  /// within the (≤50% loaded) bucket array.
-  struct Bucket {
-    std::uint32_t key = 0;
-    std::uint16_t fp = 0;
-    std::uint16_t pad = 0;
-    std::uint64_t payload = 0;
+  /// One group of the bucket-group layout: G 16-bit fingerprints packed
+  /// contiguously (one vector compare covers all of them) next to the G
+  /// inline tuples they tag, in structure-of-arrays order. fp == 0 marks
+  /// an empty slot (occupied fingerprints have their top bit set); a group
+  /// with any empty slot terminates a probe's walk, because inserts only
+  /// spill to the next group when a group is completely full. alignas(64)
+  /// starts every fingerprint block on its own cache line (and pads
+  /// sizeof to 128/256 B), so a probe touches the fingerprint line plus
+  /// exactly the candidate tuple's line.
+  template <int G>
+  struct alignas(64) BucketGroup {
+    std::uint16_t fp[G];
+    std::uint32_t key[G];
+    std::uint64_t payload[G];
   };
-  static_assert(sizeof(Bucket) == 16);
+  static_assert(sizeof(BucketGroup<8>) == 128);
+  static_assert(sizeof(BucketGroup<16>) == 256);
 
   static std::uint16_t fingerprint_of(std::uint32_t h) {
     return static_cast<std::uint16_t>(h >> 16) | 0x8000U;
   }
 
-  std::uint32_t bucket_index(std::uint32_t h) const {
-    // High hash bits: independent of the radix partition (low) bits.
+  /// Fibonacci multiplier (2^32/φ, odd) remixing the usable hash bits
+  /// before fastrange. Load-bearing, not hygiene: the fingerprint is the
+  /// top 16 hash bits, and fastrange indexes mostly on the top bits of its
+  /// input — feed it the raw hash and every tuple in a group shares (up to
+  /// rounding) one fingerprint, so the vector compare flags all occupied
+  /// slots and each probe key-checks ~G candidates instead of ~1 (measured
+  /// 2x probe slowdown). The remix decorrelates group index from
+  /// fingerprint while staying a bijection on the usable bits.
+  static constexpr std::uint32_t kGroupMix = 0x9E3779B9U;
+
+  /// The remixed group-index key of hash `h`: the 32-shift usable (high)
+  /// hash bits, Fibonacci-scrambled within that width. group_index is
+  /// monotone in this value, which the staged build exploits: tuples
+  /// pre-clustered on remix()'s top bits land in contiguous group ranges.
+  static std::uint32_t remix(std::uint32_t h, int shift) {
+    return ((h >> shift) * kGroupMix) & (0xFFFFFFFFU >> shift);
+  }
+
+  /// Home group of hash `h`: fastrange (Lemire) over the remixed high hash
+  /// bits (the low bits are constant within a radix partition). Maps the
+  /// 32-shift_ usable bits onto [0, num_groups_) with a multiply and a
+  /// shift, so num_groups_ can be ceil(n/(load·G)) exactly instead of the
+  /// next power of two — the table never over-allocates by up to 2x.
+  std::uint32_t group_index(std::uint32_t h) const {
+    const std::uint64_t x = remix(h, shift_);
+    return static_cast<std::uint32_t>((x * num_groups_) >> (32 - shift_));
+  }
+
+  /// Successor in a probe/insert walk, wrapping the (arbitrary, not
+  /// power-of-two) group count.
+  std::uint32_t next_group(std::uint32_t g) const {
+    return g + 1 == num_groups_ ? 0 : g + 1;
+  }
+
+  std::uint32_t bucket_index(std::uint32_t h) const {  // chained layout
     return (h >> shift_) & mask_;
   }
+
+  template <int G>
+  const BucketGroup<G>* groups_ptr() const {
+    return static_cast<const BucketGroup<G>*>(groups_);
+  }
+
+  std::size_t group_bytes() const {
+    return group_size_ == 8 ? sizeof(BucketGroup<8>) : sizeof(BucketGroup<16>);
+  }
+
+ public:
+  /// Exact group-table bytes a build over `rows` tuples will use under
+  /// `kernel` — what HashJoinStationary sizes its shared table slab with.
+  static std::size_t table_bytes_for(std::size_t rows,
+                                     const KernelConfig& kernel) {
+    return kernel.group_size == 8
+               ? groups_for(rows, 8) * sizeof(BucketGroup<8>)
+               : groups_for(rows, 16) * sizeof(BucketGroup<16>);
+  }
+
+ private:
 
   void probe_one_chained(const rel::Tuple& r, JoinResult& result) const {
     const std::uint32_t b = bucket_index(hash_key(r.key));
@@ -92,24 +184,84 @@ class PartitionHashTable {
     }
   }
 
-  void probe_one_fingerprint(const rel::Tuple& r, std::uint32_t h,
-                             JoinResult& result) const {
-    const std::uint16_t want = fingerprint_of(h);
-    for (std::uint32_t b = bucket_index(h);; b = (b + 1) & mask_) {
-      const Bucket& bucket = buckets_[b];
-      if (bucket.fp == 0) return;  // end of this collision cluster
-      // Whether a visited bucket matches is data-dependent noise; fold it
-      // in branch-free instead of paying a mispredict per match.
-      const bool hit = bucket.fp == want && bucket.key == r.key;
-      result.add_match_if(hit, r, rel::Tuple{bucket.key, bucket.payload});
-    }
+  friend class HashJoinStationary;
+
+  /// Shared build prologue: records the layout knobs and resets whichever
+  /// layout a previous build left behind.
+  void init_build(std::size_t rows, int radix_bits, const KernelConfig& kernel);
+
+  /// Group count for `n` tuples at the build load factor (at least 1, so
+  /// group_index is always valid and walks always terminate: at 50% load
+  /// the table keeps ≥ n spare slots).
+  static std::uint32_t groups_for(std::size_t n, int g) {
+    const std::uint64_t ng = (n * kLoadDen + kLoadNum * g - 1) / (kLoadNum * g);
+    return static_cast<std::uint32_t>(std::max<std::uint64_t>(1, ng));
   }
 
-  void build_chained(std::span<const rel::Tuple> s_partition);
-  void build_fingerprint(std::span<const rel::Tuple> s_partition);
+  /// Points the table at its group storage: `storage` when the caller
+  /// carved a range out of a shared slab (HashJoinStationary), else a
+  /// freshly allocated slab of its own (huge-page backed when large).
+  void attach_groups(std::size_t table_bytes, std::byte* storage);
 
-  // Fingerprint layout.
-  std::vector<Bucket> buckets_;
+  void build_chained(std::span<const rel::Tuple> s_partition);
+  template <int G>
+  void build_groups(std::span<const rel::Tuple> s_partition,
+                    const KernelConfig& kernel, std::byte* storage);
+
+  /// Staged bucket-group build over a partition slice that was clustered
+  /// into `region_offsets.size()-1` (a power of two) equal hash ranges on
+  /// the top hash bits — the fused setup path of HashJoinStationary. Every
+  /// region's inserts go to a compact L2-resident scratch (fingerprint +
+  /// 16-bit tuple index), and the final inline-tuple table is then written
+  /// strictly sequentially, so it is never the target of a random store.
+  /// The 16-bit staging indices require every region to hold < 2^15 tuples;
+  /// build_groups_staged reports false on (pathological) skew beyond that
+  /// and build_staged falls back to the direct build.
+  /// build() with caller-carved group storage (fingerprint layout only).
+  void build_direct(std::span<const rel::Tuple> s_partition, int radix_bits,
+                    const KernelConfig& kernel, std::byte* storage);
+
+  void build_staged(std::span<const rel::Tuple> slice,
+                    std::span<const std::uint32_t> region_offsets,
+                    int radix_bits, const KernelConfig& kernel,
+                    std::byte* storage);
+  template <int G>
+  bool build_groups_staged(std::span<const rel::Tuple> slice,
+                           std::span<const std::uint32_t> region_offsets,
+                           std::byte* storage);
+
+  // Group-probe kernels, templated on the fingerprint-compare policy of
+  // each SIMD tier; definitions live in join/hash_group_impl.h and are
+  // instantiated by hash_join.cpp (scalar) and the per-ISA translation
+  // units (kernels_avx2.cpp / kernels_neon.cpp).
+  template <int G, typename Ops>
+  void probe_groups(std::span<const rel::Tuple> r_run, JoinResult& result) const;
+  template <int G, typename Ops>
+  void probe_groups_batched(std::span<const rel::Tuple> r_run,
+                            JoinResult& result) const;
+  template <int G, typename Ops>
+  void probe_walk(const rel::Tuple& r, std::uint32_t h, std::uint32_t g,
+                  JoinResult& result) const;
+
+#if defined(__x86_64__) || defined(__i386__)
+  void probe_dispatch_avx2(std::span<const rel::Tuple> r_run,
+                           JoinResult& result) const;
+#endif
+#if defined(__aarch64__) || defined(__ARM_NEON)
+  void probe_dispatch_neon(std::span<const rel::Tuple> r_run,
+                           JoinResult& result) const;
+#endif
+
+  // Bucket-group layout. groups_ is the active BucketGroup<group_size_>
+  // array — slab_'s storage when this table allocated for itself, or a
+  // range carved from HashJoinStationary's shared slab (which then owns
+  // the bytes and outlives the table).
+  TableSlab slab_;
+  void* groups_ = nullptr;
+  std::uint32_t num_groups_ = 0;
+  int group_size_ = 16;
+  SimdTier tier_ = SimdTier::kScalar;
+
   // Chained (legacy) layout.
   std::vector<rel::Tuple> tuples_;
   std::vector<std::int32_t> heads_;
@@ -161,7 +313,7 @@ class HashJoinStationary {
   std::size_t rows() const { return parts_.rows(); }
 
   /// Probes a whole run of R tuples that all belong to radix partition `p`
-  /// in one batch (prefetched in the fingerprint layout).
+  /// in one batch (prefetch-pipelined in the bucket-group layout).
   void probe_partition(std::uint32_t p, std::span<const rel::Tuple> r_run,
                        JoinResult& result) const {
     tables_[p].probe(r_run, result);
@@ -176,6 +328,11 @@ class HashJoinStationary {
  private:
   PartitionedData parts_;
   std::vector<PartitionHashTable> tables_;
+  /// Shared backing store for every partition's group table: one
+  /// huge-page-advised allocation instead of num_partitions small ones, so
+  /// sub-2MB per-partition tables still share 2 MB pages (build faults and
+  /// probe TLB reach both scale with page count; see table_slab.h).
+  TableSlab table_slab_;
 };
 
 }  // namespace cj::join

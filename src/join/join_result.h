@@ -8,6 +8,7 @@
 // validate each other on large inputs.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -47,6 +48,20 @@ class JoinResult {
     const std::uint64_t mixed = pair_hash(r.payload, s.payload);
     matches_ += hit ? 1 : 0;
     checksum_ += hit ? mixed : 0;
+  }
+
+  /// Pre-sizes the output for a probe batch about to be resolved: callers
+  /// pass the batch's match upper bound once, so the per-match push_back
+  /// almost never hits the capacity check mid-batch. Growth stays
+  /// geometric (never shrinks to the exact bound), keeping the amortized
+  /// O(1) append that repeated exact reserves would destroy. Counting-only
+  /// results ignore it.
+  void reserve_batch(std::size_t upper_bound_matches) {
+    if (!materialize_) return;
+    const std::size_t want = output_.size() + upper_bound_matches;
+    if (want > output_.capacity()) {
+      output_.reserve(std::max(want, output_.capacity() * 2));
+    }
   }
 
   /// Folds another (e.g. per-partition) result into this one. Counting-only

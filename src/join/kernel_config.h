@@ -11,6 +11,20 @@
 
 namespace cj::join {
 
+/// Requested vector tier for the SIMD kernels (fingerprint compare in the
+/// bucket-group hash table, key compares in the merge joins). The request
+/// is resolved against what the running CPU supports (join/simd.h):
+/// kAuto picks the best available tier; forcing a tier the machine lacks
+/// falls back to the portable scalar path. The CJ_SIMD environment
+/// variable ("scalar" | "neon" | "avx2") caps detection process-wide —
+/// CI's scalar-fallback job runs the whole suite under CJ_SIMD=scalar.
+enum class Simd {
+  kAuto = 0,
+  kScalar,
+  kNeon,
+  kAvx2,
+};
+
 struct KernelConfig {
   /// Compute hash_key once per tuple and carry the values in a side array
   /// across clustering passes, instead of rehashing in both the count and
@@ -21,28 +35,43 @@ struct KernelConfig {
   /// buffers and flush them in bulk (Manegold, Boncz & Kersten), so a
   /// high-fan-out pass keeps a handful of store streams hot instead of one
   /// per partition. Only engages at fan-outs where it pays (see radix.cpp).
+  /// The hash-table build reuses the same staging machinery to cluster
+  /// inserts into cache-sized table regions before touching any bucket.
   bool buffered_scatter = true;
 
-  /// Replace the bucket-chained heads/next hash-table layout with a
-  /// contiguous open-addressing bucket array whose 16-bit fingerprints
-  /// reject non-matches before any key comparison; tuples are stored inline
-  /// in the buckets, making a probe a single dependent cache-line touch.
+  /// Replace the bucket-chained heads/next hash-table layout with the
+  /// bucket-group layout: groups of `group_size` contiguous 16-bit
+  /// fingerprints packed next to their inline tuples, probed with one
+  /// vector compare per group (docs/KERNELS.md).
   bool fingerprint_table = true;
 
   /// Look-ahead of the probe/build pipelines: hash and software-prefetch
-  /// the bucket of the tuple `prefetch_distance` positions ahead while
-  /// processing the current one (0 disables; rounded down to a power of
-  /// two, capped at 64). Fingerprint-table paths only. 16 gives an
-  /// out-of-L2 probe enough in-flight lines to cover L3/DRAM latency
-  /// without evicting its own useful prefetches (bench/micro_kernels).
+  /// the bucket group of the tuple `prefetch_distance` positions ahead
+  /// while processing the current one (0 disables the batched pipeline;
+  /// rounded down to a power of two, capped at 64). Bucket-group paths
+  /// only. 16 gives an out-of-L2 probe enough in-flight lines to cover
+  /// L3/DRAM latency without evicting its own useful prefetches
+  /// (bench/micro_kernels).
   int prefetch_distance = 16;
 
-  /// The pre-optimization kernels, kept as the A/B baseline.
+  /// Vector tier for the fingerprint-group compare and the merge-join key
+  /// compares. kAuto resolves to the best tier the CPU supports.
+  Simd simd = Simd::kAuto;
+
+  /// Fingerprints per bucket group: 16 (one AVX2 compare, two NEON
+  /// compares) or 8 (one SSE2/NEON compare). Anything else is clamped to
+  /// 16. Probe cost per group is one vector compare either way; 16 keeps
+  /// collision spill across groups rarer.
+  int group_size = 16;
+
+  /// The pre-optimization kernels, kept as the A/B baseline. Scalar key
+  /// compares everywhere — the legacy kernels predate the SIMD tiers.
   static constexpr KernelConfig legacy() {
     return KernelConfig{.cache_hashes = false,
                         .buffered_scatter = false,
                         .fingerprint_table = false,
-                        .prefetch_distance = 0};
+                        .prefetch_distance = 0,
+                        .simd = Simd::kScalar};
   }
 };
 

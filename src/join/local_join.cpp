@@ -30,7 +30,8 @@ JoinResult local_hash_join(std::span<const rel::Tuple> r,
 
 JoinResult local_sort_merge_join(std::span<const rel::Tuple> r,
                                  std::span<const rel::Tuple> s, std::uint32_t band,
-                                 LocalJoinTiming* timing, bool materialize) {
+                                 LocalJoinTiming* timing, bool materialize,
+                                 const KernelConfig& kernel) {
   CpuStopwatch watch;
   std::vector<rel::Tuple> r_sorted(r.begin(), r.end());
   std::vector<rel::Tuple> s_sorted(s.begin(), s.end());
@@ -40,7 +41,7 @@ JoinResult local_sort_merge_join(std::span<const rel::Tuple> r,
 
   watch.restart();
   JoinResult result(materialize);
-  band_merge_join(r_sorted, s_sorted, band, result);
+  band_merge_join(r_sorted, s_sorted, band, result, kernel);
   if (timing) timing->join_ns = watch.elapsed_ns();
   return result;
 }

@@ -29,10 +29,12 @@ JoinResult local_hash_join(std::span<const rel::Tuple> r,
                            bool materialize = false);
 
 /// Sort-merge join of r ⋈ s; band > 0 evaluates |r.key - s.key| <= band.
+/// kernel.simd selects the merge key-scan tier (join/sort_merge.h).
 JoinResult local_sort_merge_join(std::span<const rel::Tuple> r,
                                  std::span<const rel::Tuple> s,
                                  std::uint32_t band = 0,
                                  LocalJoinTiming* timing = nullptr,
-                                 bool materialize = false);
+                                 bool materialize = false,
+                                 const KernelConfig& kernel = {});
 
 }  // namespace cj::join

@@ -5,20 +5,19 @@
 #include <optional>
 #include <utility>
 
+#include "join/hash_join.h"
+#include "join/scatter.h"
 #include "obs/prof.h"
 
 namespace cj::join {
 
 int choose_radix_bits(std::size_t s_rows, const RadixConfig& config) {
   CJ_CHECK(config.cache_budget_bytes > 0);
-  // Per-tuple probe-phase footprint of one S partition:
-  //  - chained layout: the tuple copy plus the table's bucket-head and
-  //    chain entries (4 bytes each, ~2x for the power-of-two bucket
-  //    array) ≈ 24 B;
-  //  - fingerprint layout: 16-byte buckets at ≤50% load with the tuple
-  //    stored inline ≈ 32 B (a probe touches nothing else).
+  // Per-tuple probe-phase footprint of one S partition, derived from the
+  // active table layout (group geometry and load factor live with the
+  // table, not here) — a layout change resizes partitions automatically.
   const std::size_t bytes_per_tuple =
-      config.kernel.fingerprint_table ? 32 : sizeof(rel::Tuple) + 12;
+      PartitionHashTable::bytes_per_stationary_tuple(config.kernel);
   int bits = 0;
   while (bits < config.max_bits) {
     const std::size_t rows_per_part = s_rows >> bits;
@@ -39,14 +38,9 @@ struct HashedTuple {
 };
 static_assert(sizeof(HashedTuple) == 16);
 
-/// Buffered scatter granularity: 16 entries x 16 B = 256 B (four cache
-/// lines) staged per destination partition, flushed in bulk. At fan-out
-/// 2^8 the staging area is 64 KB — resident while the destinations see
-/// long, TLB-friendly bursts instead of one interleaved stream each.
-constexpr std::uint32_t kStageCap = 16;
-/// Below this fan-out the destination streams are few enough that direct
-/// stores already combine in the cache; staging would only add copies.
-constexpr std::uint32_t kMinBufferedFanout = 16;
+using detail::kMinBufferedFanout;
+using detail::kStageCap;
+using detail::scatter_range;
 
 /// The pre-optimization clustering kernel (KernelConfig::legacy()):
 /// rehashes in both the count and the scatter loop of every pass and
@@ -109,49 +103,6 @@ PartitionedData cluster_legacy(std::span<const rel::Tuple> input, int total_bits
   }
 
   return PartitionedData(std::move(cur), std::move(boundaries), total_bits);
-}
-
-/// Scatters `[begin, end)` source positions to `dst`, each to the write
-/// cursor of its destination slice. With `staged`, entries accumulate in a
-/// kStageCap-deep staging buffer per slice and move to `dst` in bulk
-/// bursts (software write combining); `fill` must be zero on entry and is
-/// zero again on return. slice_at(i) names the destination, entry_at(i)
-/// produces the value to store.
-template <typename Entry, typename SliceAt, typename EntryAt>
-void scatter_range(std::size_t begin, std::size_t end, bool staged,
-                   std::uint32_t fanout, std::vector<std::uint32_t>& cursor,
-                   std::vector<std::uint32_t>& fill, std::vector<Entry>& stage,
-                   Entry* dst, SliceAt&& slice_at, EntryAt&& entry_at) {
-  if (!staged) {
-    for (std::size_t i = begin; i < end; ++i) {
-      dst[cursor[slice_at(i)]++] = entry_at(i);
-    }
-    return;
-  }
-  for (std::size_t i = begin; i < end; ++i) {
-    const std::uint32_t s = slice_at(i);
-    std::uint32_t& f = fill[s];
-    stage[static_cast<std::size_t>(s) * kStageCap + f] = entry_at(i);
-    if (++f == kStageCap) {
-      std::memcpy(dst + cursor[s], &stage[static_cast<std::size_t>(s) * kStageCap],
-                  kStageCap * sizeof(Entry));
-      cursor[s] += kStageCap;
-      f = 0;
-    }
-  }
-  // Profiled as its own phase: the drain is the part of the buffered
-  // scatter that touches every destination once regardless of input size,
-  // so its LLC behaviour is what decides kMinBufferedFanout. Its time is
-  // also included in the enclosing radix pass phase.
-  obs::prof::ScopedProfile prof(obs::prof::current(), "scatter_flush");
-  for (std::uint32_t s = 0; s < fanout; ++s) {  // drain partial buffers
-    if (fill[s] != 0) {
-      std::memcpy(dst + cursor[s], &stage[static_cast<std::size_t>(s) * kStageCap],
-                  fill[s] * sizeof(Entry));
-      cursor[s] += fill[s];
-      fill[s] = 0;
-    }
-  }
 }
 
 /// The cache-conscious kernel. The first pass hashes each key exactly once

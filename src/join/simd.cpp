@@ -1,0 +1,71 @@
+#include "join/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace cj::join {
+
+namespace {
+
+/// Hardware ceiling, independent of any override.
+SimdTier hardware_tier() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") ? SimdTier::kAvx2 : SimdTier::kScalar;
+#elif defined(__aarch64__) || defined(__ARM_NEON)
+  return SimdTier::kNeon;
+#else
+  return SimdTier::kScalar;
+#endif
+}
+
+/// CJ_SIMD cap, parsed once. An unrecognized value is ignored (the env var
+/// is a test/CI hook, not user input worth failing over).
+SimdTier capped_tier() {
+  const SimdTier hw = hardware_tier();
+  const char* env = std::getenv("CJ_SIMD");
+  if (env == nullptr) return hw;
+  if (std::strcmp(env, "scalar") == 0) return SimdTier::kScalar;
+  if (std::strcmp(env, "neon") == 0) {
+    return hw == SimdTier::kNeon ? SimdTier::kNeon : SimdTier::kScalar;
+  }
+  if (std::strcmp(env, "avx2") == 0) {
+    return hw == SimdTier::kAvx2 ? SimdTier::kAvx2 : SimdTier::kScalar;
+  }
+  return hw;
+}
+
+}  // namespace
+
+const char* simd_tier_name(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar: return "scalar";
+    case SimdTier::kNeon: return "neon";
+    case SimdTier::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+SimdTier detect_simd_tier() {
+  static const SimdTier tier = capped_tier();
+  return tier;
+}
+
+bool simd_tier_available(SimdTier tier) {
+  return tier == SimdTier::kScalar || tier == detect_simd_tier();
+}
+
+SimdTier resolve_simd(Simd requested) {
+  switch (requested) {
+    case Simd::kAuto: return detect_simd_tier();
+    case Simd::kScalar: return SimdTier::kScalar;
+    case Simd::kNeon:
+      return simd_tier_available(SimdTier::kNeon) ? SimdTier::kNeon
+                                                  : SimdTier::kScalar;
+    case Simd::kAvx2:
+      return simd_tier_available(SimdTier::kAvx2) ? SimdTier::kAvx2
+                                                  : SimdTier::kScalar;
+  }
+  return SimdTier::kScalar;
+}
+
+}  // namespace cj::join

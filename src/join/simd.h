@@ -1,0 +1,40 @@
+// Runtime SIMD dispatch for the join kernels.
+//
+// The kernels carry three implementations of their innermost compare loops
+// — AVX2 (x86-64), NEON (aarch64) and a portable scalar fallback — and
+// pick one at table-build / join time from (a) what the CPU reports via
+// CPUID-style detection and (b) what KernelConfig::simd requests. The
+// tiers are held to bit-identical join results by the dispatch-tier parity
+// suite in tests/join_test.cpp; CI runs the whole kernel suite once more
+// under CJ_SIMD=scalar so the portable path cannot rot (docs/KERNELS.md).
+#pragma once
+
+#include "join/kernel_config.h"
+
+namespace cj::join {
+
+/// A concrete vector tier the running process can execute. Unlike
+/// KernelConfig::Simd there is no kAuto — this is the *resolved* answer.
+enum class SimdTier { kScalar = 0, kNeon, kAvx2 };
+
+/// "scalar" | "neon" | "avx2" — the tag benches stamp into BENCH rows so
+/// the regression gate can refuse cross-tier comparisons.
+const char* simd_tier_name(SimdTier tier);
+
+/// Best tier the running CPU supports, detected once per process
+/// (__builtin_cpu_supports on x86, architecture baseline on aarch64).
+/// The CJ_SIMD environment variable caps the result: CJ_SIMD=scalar
+/// forces the portable path everywhere, CJ_SIMD=avx2/neon caps at that
+/// tier (still subject to hardware support).
+SimdTier detect_simd_tier();
+
+/// True when `tier` can execute on this machine (scalar always can).
+bool simd_tier_available(SimdTier tier);
+
+/// Resolves a KernelConfig request against the hardware: kAuto becomes
+/// detect_simd_tier(); a forced tier the machine lacks degrades to scalar
+/// (never to a different vector ISA — results stay comparable, the test
+/// suite skips what it cannot execute).
+SimdTier resolve_simd(Simd requested);
+
+}  // namespace cj::join

@@ -3,9 +3,71 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "join/sort_merge_simd.h"
 #include "obs/prof.h"
 
 namespace cj::join {
+
+namespace detail {
+
+std::size_t run_end_scalar(const rel::Tuple* t, std::size_t i, std::size_t n,
+                           std::uint32_t key) {
+  while (i < n && t[i].key == key) ++i;
+  return i;
+}
+
+std::size_t window_end_scalar(const rel::Tuple* t, std::size_t i, std::size_t n,
+                              std::uint32_t hi_key) {
+  while (i < n && t[i].key <= hi_key) ++i;
+  return i;
+}
+
+MergeScanOps merge_scan_ops(SimdTier tier) {
+  switch (tier) {
+#if defined(__x86_64__) || defined(__i386__)
+    case SimdTier::kAvx2:
+      return {run_end_avx2, window_end_avx2};
+#endif
+#if defined(__aarch64__) || defined(__ARM_NEON)
+    case SimdTier::kNeon:
+      return {run_end_neon, window_end_neon};
+#endif
+    default:
+      return {run_end_scalar, window_end_scalar};
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Scalar steps taken inline before handing a scan to the (possibly
+/// vectorized) tier function: most equal-key runs are one or two tuples
+/// long, where the indirect call alone would outweigh the whole scan.
+/// Only scans still going after kInlineScan steps — long duplicate runs,
+/// wide band windows — pay the call and reap the vector width.
+constexpr std::size_t kInlineScan = 4;
+
+inline std::size_t run_end(const detail::MergeScanOps& ops, const rel::Tuple* t,
+                           std::size_t i, std::size_t n, std::uint32_t key) {
+  const std::size_t quick = std::min(n, i + kInlineScan);
+  while (i < quick && t[i].key == key) ++i;
+  if (i == quick && i < n && t[i].key == key) return ops.run_end(t, i, n, key);
+  return i;
+}
+
+inline std::size_t window_end(const detail::MergeScanOps& ops,
+                              const rel::Tuple* t, std::size_t i, std::size_t n,
+                              std::uint32_t hi_key) {
+  const std::size_t quick = std::min(n, i + kInlineScan);
+  while (i < quick && t[i].key <= hi_key) ++i;
+  if (i == quick && i < n && t[i].key <= hi_key) {
+    return ops.window_end(t, i, n, hi_key);
+  }
+  return i;
+}
+
+}  // namespace
 
 void sort_fragment(std::span<rel::Tuple> fragment) {
   obs::prof::ScopedProfile prof(obs::prof::current(), "sort", fragment.size());
@@ -20,26 +82,31 @@ bool is_sorted_by_key(std::span<const rel::Tuple> fragment) {
 }
 
 void merge_join(std::span<const rel::Tuple> r_sorted,
-                std::span<const rel::Tuple> s_sorted, JoinResult& result) {
+                std::span<const rel::Tuple> s_sorted, JoinResult& result,
+                const KernelConfig& kernel) {
   obs::prof::ScopedProfile prof(obs::prof::current(), "merge", r_sorted.size());
+  const detail::MergeScanOps ops = detail::merge_scan_ops(resolve_simd(kernel.simd));
+  const rel::Tuple* r = r_sorted.data();
+  const rel::Tuple* s = s_sorted.data();
+  const std::size_t rn = r_sorted.size();
+  const std::size_t sn = s_sorted.size();
   std::size_t i = 0;
   std::size_t j = 0;
-  while (i < r_sorted.size() && j < s_sorted.size()) {
-    const std::uint32_t rk = r_sorted[i].key;
-    const std::uint32_t sk = s_sorted[j].key;
+  while (i < rn && j < sn) {
+    const std::uint32_t rk = r[i].key;
+    const std::uint32_t sk = s[j].key;
     if (rk < sk) {
       ++i;
     } else if (rk > sk) {
       ++j;
     } else {
       // Key group: emit the cross product of equal-key runs.
-      std::size_t i_end = i + 1;
-      while (i_end < r_sorted.size() && r_sorted[i_end].key == rk) ++i_end;
-      std::size_t j_end = j + 1;
-      while (j_end < s_sorted.size() && s_sorted[j_end].key == rk) ++j_end;
+      const std::size_t i_end = run_end(ops, r, i + 1, rn, rk);
+      const std::size_t j_end = run_end(ops, s, j + 1, sn, rk);
+      result.reserve_batch((i_end - i) * (j_end - j));
       for (std::size_t a = i; a < i_end; ++a) {
         for (std::size_t b = j; b < j_end; ++b) {
-          result.add_match(r_sorted[a], s_sorted[b]);
+          result.add_match(r[a], s[b]);
         }
       }
       i = i_end;
@@ -50,12 +117,15 @@ void merge_join(std::span<const rel::Tuple> r_sorted,
 
 void band_merge_join(std::span<const rel::Tuple> r_sorted,
                      std::span<const rel::Tuple> s_sorted, std::uint32_t band,
-                     JoinResult& result) {
+                     JoinResult& result, const KernelConfig& kernel) {
   if (band == 0) {
-    merge_join(r_sorted, s_sorted, result);
+    merge_join(r_sorted, s_sorted, result, kernel);
     return;
   }
   obs::prof::ScopedProfile prof(obs::prof::current(), "merge", r_sorted.size());
+  const detail::MergeScanOps ops = detail::merge_scan_ops(resolve_simd(kernel.simd));
+  const rel::Tuple* s = s_sorted.data();
+  const std::size_t sn = s_sorted.size();
   // For each r (ascending), the matching s window [r.key - band,
   // r.key + band] only ever slides forward at its lower edge.
   std::size_t lo = 0;
@@ -64,9 +134,11 @@ void band_merge_join(std::span<const rel::Tuple> r_sorted,
     // Saturating upper bound: keys are 32-bit.
     const std::uint32_t hi_key =
         r.key > 0xFFFFFFFFU - band ? 0xFFFFFFFFU : r.key + band;
-    while (lo < s_sorted.size() && s_sorted[lo].key < lo_key) ++lo;
-    for (std::size_t j = lo; j < s_sorted.size() && s_sorted[j].key <= hi_key; ++j) {
-      result.add_match(r, s_sorted[j]);
+    while (lo < sn && s[lo].key < lo_key) ++lo;
+    const std::size_t j_end = window_end(ops, s, lo, sn, hi_key);
+    result.reserve_batch(j_end - lo);
+    for (std::size_t j = lo; j < j_end; ++j) {
+      result.add_match(r, s[j]);
     }
   }
 }

@@ -6,9 +6,11 @@
 //               exactly the setup-vs-join trade-off of paper Sec. V-E.
 // Join phase:   a strictly sequential merge over the two sorted runs —
 //               maximally cache-friendly — with full duplicate-group
-//               handling. A band variant evaluates |r.key - s.key| <= band
-//               (the paper highlights band joins as something hash join
-//               cannot do).
+//               handling. The inner key scans (equal-key run ends, band
+//               window ends) dispatch to AVX2/NEON/scalar variants per
+//               KernelConfig::simd (join/simd.h). A band variant evaluates
+//               |r.key - s.key| <= band (the paper highlights band joins
+//               as something hash join cannot do).
 //
 // Parallelism: split sorted R into contiguous chunks; each chunk merges
 // against S independently starting from a binary-searched position.
@@ -18,6 +20,7 @@
 #include <span>
 
 #include "join/join_result.h"
+#include "join/kernel_config.h"
 #include "rel/relation.h"
 
 namespace cj::join {
@@ -29,15 +32,17 @@ void sort_fragment(std::span<rel::Tuple> fragment);
 bool is_sorted_by_key(std::span<const rel::Tuple> fragment);
 
 /// Equi-join two sorted runs. Handles duplicate keys on both sides
-/// (emits the full cross product per key group).
+/// (emits the full cross product per key group). kernel.simd selects the
+/// key-scan tier; every tier produces identical results.
 void merge_join(std::span<const rel::Tuple> r_sorted,
-                std::span<const rel::Tuple> s_sorted, JoinResult& result);
+                std::span<const rel::Tuple> s_sorted, JoinResult& result,
+                const KernelConfig& kernel = {});
 
 /// Band join over sorted runs: matches where |r.key - s.key| <= band.
 /// band == 0 degenerates to the equi-join.
 void band_merge_join(std::span<const rel::Tuple> r_sorted,
                      std::span<const rel::Tuple> s_sorted, std::uint32_t band,
-                     JoinResult& result);
+                     JoinResult& result, const KernelConfig& kernel = {});
 
 /// The part of s_sorted that can match any key in [lo_key, hi_key] given a
 /// band — used to bound per-chunk merge work when parallelizing.

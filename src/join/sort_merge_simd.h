@@ -1,0 +1,53 @@
+// Vectorized scan helpers of the merge join — internal header.
+//
+// The merge join's inner loops are key scans over a sorted tuple array:
+// "where does this equal-key run end?" and "where does this band window
+// end?". Each has one implementation per SIMD tier, picked at join time
+// via merge_scan_ops(); the AVX2/NEON bodies live in kernels_avx2.cpp /
+// kernels_neon.cpp (the only TUs built with those ISAs enabled), the
+// scalar ones in sort_merge.cpp. All variants share the contract below so
+// the dispatch-tier parity tests can hold them to identical results.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "join/simd.h"
+#include "rel/relation.h"
+
+namespace cj::join::detail {
+
+/// First index in [i, n) whose key differs from `key` (end of the
+/// equal-key run), or n. Requires t[i-1..] sorted by key only in the sense
+/// the merge join guarantees: the caller stops at the first mismatch.
+using ScanFn = std::size_t (*)(const rel::Tuple* t, std::size_t i,
+                               std::size_t n, std::uint32_t key);
+
+std::size_t run_end_scalar(const rel::Tuple* t, std::size_t i, std::size_t n,
+                           std::uint32_t key);
+/// First index in [i, n) whose key exceeds `hi_key` (end of the band
+/// window), or n. Assumes keys ascending from i.
+std::size_t window_end_scalar(const rel::Tuple* t, std::size_t i, std::size_t n,
+                              std::uint32_t hi_key);
+
+#if defined(__x86_64__) || defined(__i386__)
+std::size_t run_end_avx2(const rel::Tuple* t, std::size_t i, std::size_t n,
+                         std::uint32_t key);
+std::size_t window_end_avx2(const rel::Tuple* t, std::size_t i, std::size_t n,
+                            std::uint32_t hi_key);
+#endif
+#if defined(__aarch64__) || defined(__ARM_NEON)
+std::size_t run_end_neon(const rel::Tuple* t, std::size_t i, std::size_t n,
+                         std::uint32_t key);
+std::size_t window_end_neon(const rel::Tuple* t, std::size_t i, std::size_t n,
+                            std::uint32_t hi_key);
+#endif
+
+/// The two scans of the resolved tier.
+struct MergeScanOps {
+  ScanFn run_end;
+  ScanFn window_end;
+};
+MergeScanOps merge_scan_ops(SimdTier tier);
+
+}  // namespace cj::join::detail

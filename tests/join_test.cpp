@@ -11,6 +11,7 @@
 #include "join/local_join.h"
 #include "join/nested_loops.h"
 #include "join/radix.h"
+#include "join/simd.h"
 #include "join/sort_merge.h"
 #include "rel/generator.h"
 
@@ -27,10 +28,15 @@ rel::Relation gen(std::uint64_t rows, std::uint64_t domain, std::uint64_t seed,
 // ----------------------------------------------------------------- radix
 
 TEST(Radix, ChooseBitsFitsCacheBudget) {
-  // The footprint per S tuple depends on the table layout: 32 B for the
-  // fingerprint buckets (default), 24 B for the legacy chained table.
+  // The footprint per S tuple is derived from the active table layout
+  // (PartitionHashTable::bytes_per_stationary_tuple), so size the budget
+  // from the same source instead of hard-coding layout constants: a budget
+  // of exactly 1024 tuples must split 1000 tuples into one partition,
+  // 2000 into two, and so on.
   RadixConfig config;
-  config.cache_budget_bytes = 32 * 1024;  // 1024 tuples at 32 B/tuple
+  const std::size_t group_bpt =
+      PartitionHashTable::bytes_per_stationary_tuple(config.kernel);
+  config.cache_budget_bytes = group_bpt * 1024;
   EXPECT_EQ(choose_radix_bits(1000, config), 0);
   EXPECT_EQ(choose_radix_bits(2000, config), 1);
   EXPECT_EQ(choose_radix_bits(4000, config), 2);
@@ -38,7 +44,10 @@ TEST(Radix, ChooseBitsFitsCacheBudget) {
 
   RadixConfig legacy;
   legacy.kernel = KernelConfig::legacy();
-  legacy.cache_budget_bytes = 24 * 1024;  // 1024 tuples at 24 B/tuple
+  const std::size_t legacy_bpt =
+      PartitionHashTable::bytes_per_stationary_tuple(legacy.kernel);
+  EXPECT_LT(legacy_bpt, group_bpt);  // chained layout is denser per tuple
+  legacy.cache_budget_bytes = legacy_bpt * 1024;
   EXPECT_EQ(choose_radix_bits(1000, legacy), 0);
   EXPECT_EQ(choose_radix_bits(2000, legacy), 1);
   EXPECT_EQ(choose_radix_bits(4000, legacy), 2);
@@ -479,6 +488,148 @@ TEST(KernelParity, SingleTableLayoutsAgree) {
   SingleTableHashJoin::build(s.tuples()).probe(r.tuples(), fingerprinted);
   EXPECT_EQ(chained.matches(), fingerprinted.matches());
   EXPECT_EQ(chained.checksum(), fingerprinted.checksum());
+}
+
+// ------------------------------------------- dispatch-tier checksum parity
+//
+// The SIMD tiers (scalar/AVX2/NEON, at both group sizes) must be
+// bit-identical in result: same matches, same order-independent checksum,
+// against the nested-loops oracle. Tiers the running machine cannot
+// execute are skipped (resolve_simd would silently degrade them to scalar,
+// which the scalar cases already cover).
+
+SimdTier tier_for(Simd request) {
+  switch (request) {
+    case Simd::kAvx2: return SimdTier::kAvx2;
+    case Simd::kNeon: return SimdTier::kNeon;
+    default: return SimdTier::kScalar;
+  }
+}
+
+struct TierCase {
+  Simd simd;
+  int group_size;
+};
+
+class DispatchTierParity : public ::testing::TestWithParam<TierCase> {};
+
+TEST_P(DispatchTierParity, EquiJoinAgreesWithOracleAcrossDistributions) {
+  const auto [simd, group] = GetParam();
+  if (!simd_tier_available(tier_for(simd))) {
+    GTEST_SKIP() << "tier " << simd_tier_name(tier_for(simd))
+                 << " not executable on this machine";
+  }
+  KernelConfig kernel{};
+  kernel.simd = simd;
+  kernel.group_size = group;
+  // 4'097 rows: partitions of non-power-of-two size, so group counts and
+  // fastrange region boundaries get no accidental alignment help.
+  for (const double zipf : {0.0, 0.5, 1.0, 1.25}) {
+    auto r = gen(4'097, 1'300, 41, zipf);
+    auto s = gen(4'097, 1'300, 42, zipf);
+    JoinResult oracle;
+    nested_loops_equi_join(r.tuples(), s.tuples(), oracle);
+    for (const int bits : {0, 3}) {
+      const auto got = hash_join_with(r.tuples(), s.tuples(), bits, kernel);
+      EXPECT_EQ(got.matches(), oracle.matches())
+          << "zipf " << zipf << " bits " << bits;
+      EXPECT_EQ(got.checksum(), oracle.checksum())
+          << "zipf " << zipf << " bits " << bits;
+    }
+  }
+}
+
+TEST_P(DispatchTierParity, BandMergeJoinAgreesWithOracle) {
+  const auto [simd, group] = GetParam();
+  if (!simd_tier_available(tier_for(simd))) {
+    GTEST_SKIP() << "tier " << simd_tier_name(tier_for(simd))
+                 << " not executable on this machine";
+  }
+  KernelConfig kernel{};
+  kernel.simd = simd;
+  kernel.group_size = group;  // irrelevant to the merge scan; must be inert
+  auto r = gen(2'001, 700, 45, 0.8);
+  auto s = gen(2'001, 700, 46, 0.8);
+  std::vector<rel::Tuple> rs(r.tuples().begin(), r.tuples().end());
+  std::vector<rel::Tuple> ss(s.tuples().begin(), s.tuples().end());
+  sort_fragment(rs);
+  sort_fragment(ss);
+  for (const std::uint32_t band : {0u, 3u}) {
+    JoinResult got, oracle;
+    band_merge_join(rs, ss, band, got, kernel);
+    nested_loops_band_join(r.tuples(), s.tuples(), band, oracle);
+    EXPECT_EQ(got.matches(), oracle.matches()) << "band " << band;
+    EXPECT_EQ(got.checksum(), oracle.checksum()) << "band " << band;
+  }
+}
+
+TEST_P(DispatchTierParity, AllDuplicateKeysOverflowWalk) {
+  // Every S tuple carries the same key: the home group fills, inserts walk
+  // a long run of consecutive groups, and a probe must traverse the whole
+  // run — the overflow walk at its most adversarial.
+  const auto [simd, group] = GetParam();
+  if (!simd_tier_available(tier_for(simd))) {
+    GTEST_SKIP() << "tier " << simd_tier_name(tier_for(simd))
+                 << " not executable on this machine";
+  }
+  KernelConfig kernel{};
+  kernel.simd = simd;
+  kernel.group_size = group;
+  std::vector<rel::Tuple> s;
+  for (std::uint64_t i = 0; i < 3'000; ++i) s.push_back({5, i});
+  PartitionHashTable table;
+  table.build(s, 0, kernel);
+  const std::vector<rel::Tuple> r = {{5, 1}, {7, 2}, {9, 3}};
+  JoinResult result;
+  table.probe(r, result);
+  EXPECT_EQ(result.matches(), 3'000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TiersAndGroups, DispatchTierParity,
+    ::testing::Values(TierCase{Simd::kScalar, 16}, TierCase{Simd::kScalar, 8},
+                      TierCase{Simd::kAvx2, 16}, TierCase{Simd::kAvx2, 8},
+                      TierCase{Simd::kNeon, 16}, TierCase{Simd::kNeon, 8}));
+
+// ------------------------------------------------ staged-build coverage
+//
+// Sized past kStagedBuildMinTableBytes so HashJoinStationary::build takes
+// the fused region-staged path (radix_bits = 1 maximizes regions per
+// partition and exercises the cross-region carry). The nested-loops oracle
+// is quadratic and unusable here; the legacy chained join — itself held to
+// the oracle at small sizes above — serves as the reference.
+
+TEST(KernelParity, StagedBuildAgreesWithLegacyAtScale) {
+  auto r = gen(320'000, 90'000, 43, 0.9);
+  auto s = gen(320'000, 90'000, 44, 0.9);
+  const auto legacy =
+      hash_join_with(r.tuples(), s.tuples(), 1, KernelConfig::legacy());
+  for (const int bits : {1, 6}) {
+    const auto staged = hash_join_with(r.tuples(), s.tuples(), bits, {});
+    EXPECT_EQ(staged.matches(), legacy.matches()) << "bits " << bits;
+    EXPECT_EQ(staged.checksum(), legacy.checksum()) << "bits " << bits;
+  }
+}
+
+TEST(KernelParity, StagedBuildSkewFallbackOnAllDuplicates) {
+  // One key for all 320k rows: every tuple lands in one staging region,
+  // whose row count blows the staged path's carry-index budget, forcing
+  // the per-table skew fallback to the direct build. Parity of the result
+  // (every probe of the hot key matches all |S|) is what proves the
+  // fallback engaged correctly rather than corrupting the table.
+  const std::uint64_t n = 320'000;
+  std::vector<rel::Tuple> s;
+  s.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) s.push_back({5, i});
+  const std::vector<rel::Tuple> r = {{5, 1}, {7, 2}};
+  RadixConfig config;
+  const auto stationary = HashJoinStationary::build(s, 1, config);
+  const auto r_parts = radix_cluster(r, 1, 8, config.kernel);
+  JoinResult result;
+  for (std::uint32_t p = 0; p < r_parts.num_partitions(); ++p) {
+    stationary.probe_partition(p, r_parts.partition(p), result);
+  }
+  EXPECT_EQ(result.matches(), n);
 }
 
 TEST(PartitionHashTable, FingerprintFindsAllDuplicates) {
