@@ -10,7 +10,17 @@
 // rest, and we sweep the buffer depth. Deeper buffer pools should absorb
 // the jitter (less sync at the fast hosts) until the slow host's raw
 // compute deficit dominates.
+// The always-on flight recorder adds a second, direct lens: per-host
+// residency records feed the straggler detector (live on --backend=rt,
+// replayed post-run on sim), so each row also reports how often — and how
+// loudly — host 0 was flagged. With --resilient the wire carries frames and
+// the run's chunk journeys are reconstructed and summarized into
+// BENCH_journeys.json (--journey_flow adds a Perfetto flow trace).
+#include <cstdio>
+#include <string>
+
 #include "harness.h"
+#include "obs/journey.h"
 
 int main(int argc, char** argv) {
   using namespace cj;
@@ -20,7 +30,13 @@ int main(int argc, char** argv) {
   const double slowdown = flags.get_double("slowdown", 1.5);
   const auto buffer_counts = flags.get_int_list("buffers", {2, 4, 8, 16, 32});
   const bool trace = flags.get_bool("trace", false);
+  const bool resilient = flags.get_bool("resilient", false);
+  const std::string journeys_out =
+      flags.get_string("journeys_out", "BENCH_journeys.json");
+  const std::string journey_flow = flags.get_string("journey_flow", "");
+  const cyclo::Backend backend = bench::backend_flag(flags);
   bench::BenchJson json(flags, "abl_straggler");
+  json.set_backend(backend);
   bench::check_unused_flags(flags);
 
   bench::print_banner(
@@ -29,17 +45,25 @@ int main(int argc, char** argv) {
       "(paper Sec. V-D)", scale);
 
   auto [r, s] = bench::uniform_pair(bench::kRowsFig7, scale);
-  std::printf("host 0 runs %.1fx slower than the others\n\n", slowdown);
+  std::printf("host 0 runs %.1fx slower than the others (backend %s)\n\n",
+              slowdown, bench::backend_name(backend));
 
-  std::printf("%8s  %12s  %16s  %16s%s\n", "buffers", "join[s]",
-              "sync fast[s]", "sync slow[s]",
+  std::printf("%8s  %12s  %16s  %16s  %8s  %8s%s\n", "buffers", "join[s]",
+              "sync fast[s]", "sync slow[s]", "flags", "z(h0)",
               trace ? "  ovl slow  ovl fast" : "");
+  cyclo::RunReport last_report;
   for (const auto buffers : buffer_counts) {
     cyclo::ClusterConfig cfg = bench::paper_cluster(ring, scale);
+    cfg.backend = backend;
     cfg.node.num_buffers = static_cast<int>(buffers);
     cfg.per_host_cpu_scale.assign(static_cast<std::size_t>(ring), 1.0);
     cfg.per_host_cpu_scale[0] = slowdown;
     cfg.trace.enabled = trace;
+    // Frames on the wire give chunks identity: journeys reconstruct. The
+    // ack timeout opens wide: this run wants tracing, not recovery, and a
+    // deliberately slowed host would otherwise trip re-injection storms.
+    cfg.fault.force_resilient = resilient;
+    if (resilient) cfg.node.resilience.ack_timeout = 60 * kSecond;
 
     cyclo::CycloJoin cyclo(cfg, cyclo::JoinSpec{.algorithm = cyclo::Algorithm::kHashJoin});
     const cyclo::RunReport rep = cyclo.run(r, s);
@@ -48,9 +72,20 @@ int main(int argc, char** argv) {
     for (std::size_t h = 1; h < rep.hosts.size(); ++h) {
       fast_sync = std::max(fast_sync, rep.hosts[h].sync);
     }
-    std::printf("%8lld  %12.3f  %16.3f  %16.3f", static_cast<long long>(buffers),
+    // Straggler detector verdict (live sampler on rt, replay on sim): how
+    // often residency on some host sat z_threshold sigmas above the rest,
+    // and host 0's final z-score.
+    const auto flag_it = rep.metrics.counters.find("obs.straggler_flags");
+    const std::int64_t straggler_flags =
+        flag_it == rep.metrics.counters.end() ? 0 : flag_it->second;
+    const auto z_it = rep.metrics.gauges.find("host0.straggler_z");
+    const double z_slow = z_it == rep.metrics.gauges.end() ? 0.0 : z_it->second;
+
+    std::printf("%8lld  %12.3f  %16.3f  %16.3f  %8lld  %8.2f",
+                static_cast<long long>(buffers),
                 bench::seconds(rep.join_wall), bench::seconds(fast_sync),
-                bench::seconds(rep.hosts[0].sync));
+                bench::seconds(rep.hosts[0].sync),
+                static_cast<long long>(straggler_flags), z_slow);
     // The straggler's overlap ratio should *exceed* the fast hosts': its
     // slower cores stretch join work over the same transfer windows, so the
     // ring buffers — not the straggler's NIC — carry the absorption.
@@ -77,12 +112,47 @@ int main(int argc, char** argv) {
               {"join_s", bench::seconds(rep.join_wall)},
               {"sync_fast_s", bench::seconds(fast_sync)},
               {"sync_slow_s", bench::seconds(rep.hosts[0].sync)},
+              {"straggler_flags", static_cast<double>(straggler_flags)},
+              {"z_slow", z_slow},
               {"overlap_slow", slow_overlap},
               {"overlap_fast", fast_overlap}});
     json.set_metrics(rep.metrics);
+    last_report = rep;
   }
   std::printf("\nthe slow host never waits (it is the bottleneck); the fast "
               "hosts' waiting shrinks as buffers deepen\n");
   json.write();
+
+  // Chunk journeys from the last (deepest-buffer) run: only meaningful
+  // when frames carry identity on the wire.
+  if (resilient && last_report.flight != nullptr) {
+    const auto journeys = obs::reconstruct_journeys(*last_report.flight);
+    obs::JourneySummary summary =
+        obs::summarize_journeys(journeys, ring);
+    for (const auto& rec : last_report.flight->snapshot_all()) {
+      summary.unkeyed_records += rec.origin == obs::kNoOrigin;
+    }
+    const std::string body =
+        obs::journeys_json(summary, bench::backend_name(backend));
+    if (std::FILE* f = std::fopen(journeys_out.c_str(), "w")) {
+      std::fwrite(body.data(), 1, body.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s (%zu journeys, %zu retired)\n",
+                  journeys_out.c_str(), summary.journeys, summary.retired);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", journeys_out.c_str());
+    }
+    if (!journey_flow.empty()) {
+      const std::string flow = obs::journey_flow_json(journeys);
+      if (std::FILE* f = std::fopen(journey_flow.c_str(), "w")) {
+        std::fwrite(flow.data(), 1, flow.size(), f);
+        std::fclose(f);
+        std::printf("wrote %s (Perfetto flow trace)\n", journey_flow.c_str());
+      }
+    }
+  } else if (resilient) {
+    std::fprintf(stderr, "no flight recorder in the report; %s not written\n",
+                 journeys_out.c_str());
+  }
   return 0;
 }

@@ -25,6 +25,13 @@
 // Writes REGRESS_report.json (the verdict table, machine-readable) and
 // REGRESS_profile.json (per-phase counters of one profiled rep).
 //
+// A second mode gates the serving layer: --serve_baseline + --serve_current
+// compare two BENCH_serve.json files (from bench/serve_throughput) row by
+// row, keyed by wave width. The same two defenses apply, made
+// direction-aware: qps regresses when it drops, p99_ms / wait_p99_ms when
+// they rise, and the median slowness ratio over every (row, metric) pair is
+// divided out first. Cross-backend files are refused like kernel baselines.
+//
 // Flags:
 //   --baseline=PATH        baseline BENCH_kernels.json (required for gating)
 //   --rows=a,b,...         restrict to these sizes (default: all in baseline)
@@ -37,6 +44,10 @@
 //   --self_check           deterministic in-process test of the gate logic
 //   --report_out=PATH      verdict table    (default REGRESS_report.json)
 //   --profile_out=PATH     kernel profile   (default REGRESS_profile.json)
+//   --serve_baseline=PATH  baseline BENCH_serve.json  (enables serve mode)
+//   --serve_current=PATH   current  BENCH_serve.json  (required with above)
+//   --serve_min_abs_ms=F   absolute latency threshold, serve mode (default 1)
+//   --serve_min_abs_qps=F  absolute qps threshold, serve mode   (default 0.5)
 #include <algorithm>
 #include <cctype>
 #include <cinttypes>
@@ -470,6 +481,195 @@ void write_baseline_file(const std::string& path, const Table& measured) {
   std::printf("wrote baseline %s (%zu cases)\n", path.c_str(), measured.size());
 }
 
+// ------------------------------------------------------------ serve gate
+//
+// Same philosophy applied to the serving layer's BENCH_serve.json: compare
+// a current file against a baseline file row by row (keyed by the wave
+// width "inflight"), direction-aware — qps regresses downward, p99_ms /
+// wait_p99_ms regress upward. No re-measurement happens here (a serving
+// sweep is minutes, not microseconds); the CI job produces the current
+// file anyway and this gate judges it. Machine-speed normalization works
+// on "slowness ratios": each latency contributes current/baseline, qps
+// contributes baseline/current, and the median over every (row, metric)
+// pair is divided out before judging — a uniformly slower machine shifts
+// all ratios together, a real regression shifts one against the rest.
+// Comparing across backends (sim virtual seconds vs rt wall seconds) is
+// refused outright, like the kernel gate's backend refusal.
+
+struct ServeRow {
+  double qps = 0;
+  double p99_ms = 0;
+  double wait_p99_ms = 0;
+};
+
+using ServeTable = std::map<std::int64_t, ServeRow>;
+
+std::optional<ServeTable> load_serve(const std::string& path,
+                                     std::string* backend_out) {
+  auto text = read_file(path);
+  if (!text.has_value()) return std::nullopt;
+  auto root = JsonParser(*text).parse();
+  if (!root.has_value()) return std::nullopt;
+  *backend_out = "sim";
+  if (const JsonValue* backend = root->find("backend")) {
+    if (backend->kind == JsonValue::Kind::kString) {
+      *backend_out = backend->string;
+    }
+  }
+  const JsonValue* trajectory = root->find("trajectory");
+  if (trajectory == nullptr || trajectory->kind != JsonValue::Kind::kArray)
+    return std::nullopt;
+  ServeTable table;
+  for (const JsonValue& row : trajectory->array) {
+    const JsonValue* inflight = row.find("inflight");
+    const JsonValue* qps = row.find("qps");
+    const JsonValue* p99 = row.find("p99_ms");
+    const JsonValue* wait = row.find("wait_p99_ms");
+    if (inflight == nullptr || qps == nullptr || p99 == nullptr ||
+        wait == nullptr) {
+      continue;
+    }
+    table[static_cast<std::int64_t>(inflight->number)] =
+        ServeRow{qps->number, p99->number, wait->number};
+  }
+  return table;
+}
+
+struct ServeVerdict {
+  std::int64_t inflight = 0;
+  const char* metric = "";
+  double baseline = 0;
+  double measured = 0;
+  double normalized = 0;
+  Status status = Status::kOk;
+};
+
+struct ServeGateResult {
+  double speed_ratio = 1.0;  ///< median slowness over all (row, metric)
+  std::vector<ServeVerdict> verdicts;
+  int regressions = 0;
+  int improvements = 0;
+};
+
+ServeGateResult apply_serve_gate(const ServeTable& baseline,
+                                 const ServeTable& current, double tolerance,
+                                 double min_abs_ms, double min_abs_qps) {
+  ServeGateResult result;
+  std::vector<double> slowness;
+  for (const auto& [inflight, row] : current) {
+    auto it = baseline.find(inflight);
+    if (it == baseline.end()) continue;
+    const ServeRow& base = it->second;
+    if (base.qps > 0 && row.qps > 0) slowness.push_back(base.qps / row.qps);
+    if (base.p99_ms > 0 && row.p99_ms > 0) {
+      slowness.push_back(row.p99_ms / base.p99_ms);
+    }
+    if (base.wait_p99_ms > 0 && row.wait_p99_ms > 0) {
+      slowness.push_back(row.wait_p99_ms / base.wait_p99_ms);
+    }
+  }
+  if (!slowness.empty()) result.speed_ratio = median(slowness);
+
+  // judge(higher_better): latencies divide the slowness out, qps multiplies
+  // it back in (a slower machine yields fewer queries/sec, not more).
+  const auto judge = [&](std::int64_t inflight, const char* metric,
+                         double base, double measured, bool higher_better,
+                         double min_abs) {
+    ServeVerdict v;
+    v.inflight = inflight;
+    v.metric = metric;
+    v.baseline = base;
+    v.measured = measured;
+    v.normalized = higher_better ? measured * result.speed_ratio
+                                 : measured / result.speed_ratio;
+    if (base > 0) {
+      const double delta =
+          higher_better ? base - v.normalized : v.normalized - base;
+      if (delta > base * tolerance && delta > min_abs) {
+        v.status = Status::kRegression;
+        ++result.regressions;
+      } else if (-delta > base * tolerance && -delta > min_abs) {
+        v.status = Status::kImprovement;
+        ++result.improvements;
+      }
+    }
+    result.verdicts.push_back(v);
+  };
+
+  for (const auto& [inflight, row] : current) {
+    auto it = baseline.find(inflight);
+    if (it == baseline.end()) {
+      result.verdicts.push_back(ServeVerdict{
+          inflight, "row", 0, 0, 0, Status::kNoBaseline});
+      continue;
+    }
+    const ServeRow& base = it->second;
+    judge(inflight, "qps", base.qps, row.qps, /*higher_better=*/true,
+          min_abs_qps);
+    judge(inflight, "p99_ms", base.p99_ms, row.p99_ms,
+          /*higher_better=*/false, min_abs_ms);
+    judge(inflight, "wait_p99_ms", base.wait_p99_ms, row.wait_p99_ms,
+          /*higher_better=*/false, min_abs_ms);
+  }
+  return result;
+}
+
+void print_serve_gate(const ServeGateResult& result, double tolerance) {
+  std::printf("serve machine speed ratio (median slowness): %.3f\n",
+              result.speed_ratio);
+  std::printf("tolerance: %.0f%% (direction-aware)\n\n", tolerance * 100.0);
+  std::printf("%10s %-12s %12s %12s %12s  %s\n", "inflight", "metric",
+              "baseline", "measured", "normalized", "status");
+  for (const ServeVerdict& v : result.verdicts) {
+    std::printf("%10lld %-12s %12.3f %12.3f %12.3f  %s\n",
+                static_cast<long long>(v.inflight), v.metric, v.baseline,
+                v.measured, v.normalized, status_name(v.status));
+  }
+  std::printf("\n%d regression(s), %d improvement(s) over %zu check(s)\n",
+              result.regressions, result.improvements,
+              result.verdicts.size());
+}
+
+void write_serve_report(const std::string& path,
+                        const std::string& baseline_path,
+                        const std::string& current_path,
+                        const ServeGateResult& result, double tolerance) {
+  if (path.empty()) return;
+  std::string out = "{\"mode\":\"serve\",\"baseline\":\"" + baseline_path +
+                    "\",\"current\":\"" + current_path + "\",\"speed_ratio\":";
+  append_double(out, result.speed_ratio);
+  out += ",\"tolerance\":";
+  append_double(out, tolerance);
+  out += ",\"regressions\":" + std::to_string(result.regressions);
+  out += ",\"improvements\":" + std::to_string(result.improvements);
+  out += ",\"cases\":[";
+  bool first = true;
+  for (const ServeVerdict& v : result.verdicts) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"inflight\":" + std::to_string(v.inflight) + ",\"metric\":\"";
+    out += v.metric;
+    out += "\",\"baseline\":";
+    append_double(out, v.baseline);
+    out += ",\"measured\":";
+    append_double(out, v.measured);
+    out += ",\"normalized\":";
+    append_double(out, v.normalized);
+    out += ",\"status\":\"";
+    out += status_name(v.status);
+    out += "\"}";
+  }
+  out += "]}\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 /// --inject_slowdown=kernel[/variant]:PCT — multiplies the matching
 /// measured times. Returns false on a malformed spec.
 bool apply_injection(Table& measured, const std::string& spec) {
@@ -538,8 +738,85 @@ int self_check(const std::vector<std::int64_t>& sizes, int reps) {
       return 1;
     }
   }
-  std::printf("injected +20%% on hash_build: flagged %d/%d case(s)\nPASS\n",
+  std::printf("injected +20%% on hash_build: flagged %d/%d case(s)\n",
               gate.regressions, expected);
+
+  // -- serve gate: synthetic tables, no files, no machine dependence.
+  std::printf("\n-- serve gate --\n");
+  ServeTable serve_base;
+  serve_base[1] = ServeRow{10.0, 100.0, 40.0};
+  serve_base[2] = ServeRow{18.0, 120.0, 70.0};
+  serve_base[4] = ServeRow{30.0, 150.0, 90.0};
+  serve_base[8] = ServeRow{40.0, 200.0, 140.0};
+
+  ServeGateResult serve_clean =
+      apply_serve_gate(serve_base, serve_base, /*tolerance=*/0.10,
+                       /*min_abs_ms=*/1.0, /*min_abs_qps=*/0.5);
+  if (serve_clean.regressions != 0 || serve_clean.improvements != 0 ||
+      serve_clean.speed_ratio != 1.0) {
+    std::printf("FAIL: serve self-compare not clean\n");
+    print_serve_gate(serve_clean, 0.10);
+    return 1;
+  }
+  std::printf("clean serve self-compare: ok (%zu checks)\n",
+              serve_clean.verdicts.size());
+
+  // A uniformly 1.5x-slower machine — every latency up, qps down by the
+  // same factor — must normalize away completely.
+  ServeTable uniform = serve_base;
+  for (auto& [inflight, row] : uniform) {
+    row.qps /= 1.5;
+    row.p99_ms *= 1.5;
+    row.wait_p99_ms *= 1.5;
+  }
+  ServeGateResult absorbed =
+      apply_serve_gate(serve_base, uniform, 0.10, 1.0, 0.5);
+  if (absorbed.regressions != 0) {
+    std::printf("FAIL: uniform 1.5x slowdown not absorbed (ratio %.3f)\n",
+                absorbed.speed_ratio);
+    print_serve_gate(absorbed, 0.10);
+    return 1;
+  }
+  std::printf("uniform 1.5x slowdown absorbed: ok (ratio %.3f)\n",
+              absorbed.speed_ratio);
+
+  // A single-row tail blowup must be flagged — and nothing else.
+  ServeTable spiked = serve_base;
+  spiked[4].p99_ms *= 1.4;
+  ServeGateResult spike = apply_serve_gate(serve_base, spiked, 0.10, 1.0, 0.5);
+  bool spike_ok = spike.regressions == 1;
+  for (const ServeVerdict& v : spike.verdicts) {
+    if (v.status == Status::kRegression &&
+        (v.inflight != 4 || std::strcmp(v.metric, "p99_ms") != 0)) {
+      spike_ok = false;
+    }
+  }
+  if (!spike_ok) {
+    std::printf("FAIL: +40%% p99 at inflight=4 not isolated\n");
+    print_serve_gate(spike, 0.10);
+    return 1;
+  }
+  std::printf("injected +40%% p99 at inflight=4: flagged exactly it\n");
+
+  // A throughput collapse on one row — qps is higher-better, so the drop
+  // itself must regress, not its reciprocal.
+  ServeTable throttled = serve_base;
+  throttled[2].qps *= 0.6;
+  ServeGateResult drop =
+      apply_serve_gate(serve_base, throttled, 0.10, 1.0, 0.5);
+  bool drop_ok = drop.regressions == 1;
+  for (const ServeVerdict& v : drop.verdicts) {
+    if (v.status == Status::kRegression &&
+        (v.inflight != 2 || std::strcmp(v.metric, "qps") != 0)) {
+      drop_ok = false;
+    }
+  }
+  if (!drop_ok) {
+    std::printf("FAIL: -40%% qps at inflight=2 not isolated\n");
+    print_serve_gate(drop, 0.10);
+    return 1;
+  }
+  std::printf("injected -40%% qps at inflight=2: flagged exactly it\nPASS\n");
   return 0;
 }
 
@@ -560,6 +837,11 @@ int main(int argc, char** argv) {
       flags.get_string("report_out", "REGRESS_report.json");
   const std::string profile_out =
       flags.get_string("profile_out", "REGRESS_profile.json");
+  const std::string serve_baseline_path =
+      flags.get_string("serve_baseline", "");
+  const std::string serve_current_path = flags.get_string("serve_current", "");
+  const double serve_min_abs_ms = flags.get_double("serve_min_abs_ms", 1.0);
+  const double serve_min_abs_qps = flags.get_double("serve_min_abs_qps", 0.5);
   bench::check_unused_flags(flags);
 
   std::vector<std::int64_t> sizes(rows_flag.begin(), rows_flag.end());
@@ -567,6 +849,50 @@ int main(int argc, char** argv) {
   if (run_self_check) {
     if (sizes.empty()) sizes = {1 << 14};
     return self_check(sizes, reps);
+  }
+
+  if (!serve_baseline_path.empty() || !serve_current_path.empty()) {
+    if (serve_baseline_path.empty() || serve_current_path.empty()) {
+      std::fprintf(stderr,
+                   "serve mode needs both --serve_baseline and "
+                   "--serve_current\n");
+      return 2;
+    }
+    std::string base_backend;
+    std::string cur_backend;
+    auto serve_base = load_serve(serve_baseline_path, &base_backend);
+    auto serve_cur = load_serve(serve_current_path, &cur_backend);
+    if (!serve_base.has_value() || serve_base->empty()) {
+      std::fprintf(stderr, "cannot load serve baseline from %s\n",
+                   serve_baseline_path.c_str());
+      return 2;
+    }
+    if (!serve_cur.has_value() || serve_cur->empty()) {
+      std::fprintf(stderr, "cannot load serve current from %s\n",
+                   serve_current_path.c_str());
+      return 2;
+    }
+    // Same refusal as the kernel gate: sim virtual seconds and rt wall
+    // seconds are different quantities; the normalization would silently
+    // absorb most of a backend switch and judge the residue as perf.
+    if (base_backend != cur_backend) {
+      std::fprintf(stderr,
+                   "serve baseline %s is tagged backend=\"%s\" but current "
+                   "%s is backend=\"%s\"; refusing to cross-compare\n",
+                   serve_baseline_path.c_str(), base_backend.c_str(),
+                   serve_current_path.c_str(), cur_backend.c_str());
+      return 2;
+    }
+    std::printf("== serve-regression gate (%s vs %s, backend %s) ==\n",
+                serve_current_path.c_str(), serve_baseline_path.c_str(),
+                cur_backend.c_str());
+    ServeGateResult result = apply_serve_gate(
+        *serve_base, *serve_cur, tolerance, serve_min_abs_ms,
+        serve_min_abs_qps);
+    print_serve_gate(result, tolerance);
+    write_serve_report(report_out, serve_baseline_path, serve_current_path,
+                       result, tolerance);
+    return result.regressions > 0 ? 1 : 0;
   }
 
   if (!write_baseline.empty()) {
@@ -579,6 +905,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: regress --baseline=BENCH_kernels.json "
                  "[--rows=...] [--reps=N] [--tolerance=F] [--min_abs_ns=N]\n"
+                 "       regress --serve_baseline=BENCH_serve.json "
+                 "--serve_current=BENCH_serve.json\n"
                  "       regress --write_baseline=PATH [--rows=...]\n"
                  "       regress --self_check\n");
     return 2;

@@ -8,7 +8,9 @@
 
 #include "join/radix.h"
 #include "net/link.h"
+#include "obs/flight.h"
 #include "obs/prof.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "rdma/verbs.h"
 #include "rel/relation.h"
@@ -45,7 +47,9 @@ struct ClusterConfig {
   /// Optional per-host overrides (heterogeneous clusters / stragglers);
   /// host i runs at cpu_scale * per_host_cpu_scale[i]. Empty = uniform.
   /// Paper Sec. V-D: the ring buffers keep one slow host from immediately
-  /// stalling the rest of the ring.
+  /// stalling the rest of the ring. The rt backend honors values > 1 by
+  /// stretching each probe to scale x its measured wall time on a real
+  /// core (cpu_scale itself stays sim-only: wall time is already real).
   std::vector<double> per_host_cpu_scale;
   /// Billed whenever a core switches between different work tags — models
   /// the scheduler + cache-pollution overhead the paper attributes to
@@ -77,6 +81,17 @@ struct ClusterConfig {
   /// profiled run's virtual timings are perturbed — use for attribution,
   /// not for golden figures (docs/OBSERVABILITY.md).
   obs::prof::ProfileConfig profile;
+
+  /// Flight-recorder sizing + black-box triggers. Unlike the tracer the
+  /// recorder is *always on*: both runners install one unconditionally
+  /// (bounded memory, lock-free emits) and attach it to RunReport::flight.
+  obs::FlightConfig flight;
+
+  /// Live telemetry (rt backend): a background LiveSampler snapshots the
+  /// metrics registry and runs the straggler detector while the ring spins.
+  /// The sim backend replays the recorder through the same detector after
+  /// the run, so both backends report the same straggler columns.
+  obs::SamplerConfig sampler;
 };
 
 struct JoinSpec {

@@ -11,6 +11,8 @@
 #include "cyclo/runner_common.h"
 #include "cyclo/runner_rt.h"
 #include "obs/analysis.h"
+#include "obs/flight.h"
+#include "obs/sampler.h"
 #include "sim/engine.h"
 #include "sim/sync.h"
 #include "sim/when_all.h"
@@ -21,6 +23,13 @@ namespace {
 
 /// Default core-busy tag for untagged join work.
 const std::string kJoinTag = "join";
+
+/// Nanosecond duration -> saturating microseconds for flight-record args.
+std::uint32_t duration_us(SimDuration ns) {
+  if (ns <= 0) return 0;
+  const SimDuration us = ns / kMicrosecond;
+  return us > 0xFFFFFFFF ? 0xFFFFFFFFu : static_cast<std::uint32_t>(us);
+}
 
 /// Reusable all-hosts rendezvous.
 class Barrier {
@@ -94,6 +103,10 @@ class Runner {
   }
 
   SharedRunReport execute() {
+    // The flight recorder is always on: bounded memory, lock-free emits,
+    // installed before any node can run (ring/node.cpp reads it per hop).
+    flight_ = std::make_shared<obs::FlightRecorder>(n_, cluster_cfg_.flight);
+    engine_.set_flight(flight_.get());
     if (cluster_cfg_.trace.enabled) {
       tracer_ = std::make_shared<obs::Tracer>();
       engine_.set_tracer(tracer_.get());
@@ -219,9 +232,12 @@ class Runner {
     }
 
     // Local chunks first (they are resident), then arrivals in ring order.
+    // Slab order is injection order, so chunk index == wire seq.
     for (std::size_t c = 0; c < host.plan->slab.num_chunks(); ++c) {
       if (plan_.resilient && node.stopped()) break;  // this host died mid-run
-      co_await join_chunk(i, decode_chunk(host.plan->slab.chunk(c)));
+      co_await join_chunk(i, decode_chunk(host.plan->slab.chunk(c)),
+                          plan_.resilient ? i : -1,
+                          static_cast<std::uint32_t>(c));
     }
     if (plan_.resilient) {
       // Dynamic termination: pull chunks until the retire-board detector
@@ -251,7 +267,7 @@ class Runner {
               host.adopted_seen[static_cast<std::size_t>(origin)]
                   .insert(seq)
                   .second) {
-            co_await join_adopted_chunk(i, view);
+            co_await join_adopted_chunk(i, view, origin, seq);
           }
           if (surviving_successor(i) == origin) {
             node.retire(inbound);  // ack the replaying origin
@@ -267,7 +283,7 @@ class Runner {
           node.retire(inbound, /*send_ack=*/false);
           continue;
         }
-        if (!inbound.duplicate) co_await join_chunk(i, view);
+        if (!inbound.duplicate) co_await join_chunk(i, view, origin, seq);
         if (host.adopted_origin >= 0 && origin != host.adopted_origin &&
             host.adopted_seen[static_cast<std::size_t>(origin)]
                 .insert(seq)
@@ -275,7 +291,7 @@ class Runner {
           // Post-adoption arrival not covered by the replay snapshot: this
           // is its only pass by the adopter, so its join against the
           // adopted partition happens here.
-          co_await join_adopted_chunk(i, view);
+          co_await join_adopted_chunk(i, view, origin, seq);
         }
         // Under recovery a dead origin's chunks stay first-class: they are
         // joined everywhere and retire one hop before the adopter, which
@@ -485,6 +501,11 @@ class Runner {
     if (finished_) co_return;  // the run beat the crash to the finish line
     repairing_ = true;
     crashed_.insert(spec.host);
+    // Black box: snapshot the recorder's window as it stood at the crash.
+    if (!cluster_cfg_.flight.blackbox_path.empty() && !blackbox_written_) {
+      blackbox_written_ = obs::write_blackbox(
+          *flight_, cluster_cfg_.flight.blackbox_path, "crash");
+    }
     if (plan_.replicate) {
       // Published together with the crash: any host observing the origin
       // as dead also sees recovery mode and the retire home, so no chunk
@@ -598,11 +619,14 @@ class Runner {
     //    this host's own slab against the adopted partition (R_a ⋈ S_dead).
     for (const auto& [seq, bytes] : store.r_chunks) {
       const ChunkView view = decode_chunk(bytes);
-      co_await join_adopted_chunk(a, view);
-      if (node.seen(dead).count(seq) == 0) co_await join_chunk(a, view);
+      co_await join_adopted_chunk(a, view, dead, seq);
+      if (node.seen(dead).count(seq) == 0) {
+        co_await join_chunk(a, view, dead, seq);
+      }
     }
     for (std::size_t c = 0; c < host.plan->slab.num_chunks(); ++c) {
-      co_await join_adopted_chunk(a, decode_chunk(host.plan->slab.chunk(c)));
+      co_await join_adopted_chunk(a, decode_chunk(host.plan->slab.chunk(c)),
+                                  a, static_cast<std::uint32_t>(c));
     }
     adoption_done_at_ = engine_.now();
     --recovery_pending_;
@@ -625,14 +649,33 @@ class Runner {
     maybe_finish();
   }
 
+  // One flight record from runner code (probe hops; the per-hop wire
+  // records come from ring/node.cpp). Never called inside a measured
+  // closure, so the emit cannot perturb virtual timings.
+  void flight_probe(int i, int origin, std::uint32_t seq, SimTime start) {
+    obs::FlightRecord r;
+    r.ts = engine_.now();
+    r.seq = seq;
+    r.origin =
+        origin < 0 ? obs::kNoOrigin : static_cast<std::uint16_t>(origin);
+    r.query = cluster_cfg_.node.resilience.query_group;
+    r.host = static_cast<std::int16_t>(i);
+    r.kind = obs::HopKind::kProbe;
+    r.arg_us = duration_us(engine_.now() - start);
+    flight_->emit(i, r);
+  }
+
   // Joins one chunk against every query's stationary state on host i using
   // up to spec_.join_threads virtual cores (work items over-decomposed per
-  // detail::kTasksPerThread).
-  sim::Task<void> join_chunk(int i, ChunkView view) {
+  // detail::kTasksPerThread). `origin`/`seq` identify the chunk for the
+  // flight recorder's probe record (-1 = no wire identity, fault-free runs).
+  sim::Task<void> join_chunk(int i, ChunkView view, int origin = -1,
+                             std::uint32_t seq = 0) {
     HostRun& host = *hosts_[static_cast<std::size_t>(i)];
     sim::CorePool& cores = cluster_.cores(i);
     ++host.stats.chunks_processed;
     probe_tuples_ += view.tuples.size() * host.plan->queries.size();
+    const SimTime probe_start = engine_.now();
 
     detail::ChunkJoinWork work;
     detail::build_chunk_work(spec_, plan_.radix_bits, plan_.resilient,
@@ -650,16 +693,19 @@ class Runner {
     co_await sim::when_all(engine_, std::move(tasks));
     flush_profile();
     work.merge_into_sinks();
+    flight_probe(i, origin, seq, probe_start);
   }
 
   // Joins one chunk against the adopter's promoted replica partition
   // (recovery only). Same decomposition and thread limit as join_chunk,
   // but the sinks are the adopted QueryStates' own results so recovered
   // matches stay separately attributable.
-  sim::Task<void> join_adopted_chunk(int i, ChunkView view) {
+  sim::Task<void> join_adopted_chunk(int i, ChunkView view, int origin = -1,
+                                     std::uint32_t seq = 0) {
     HostRun& host = *hosts_[static_cast<std::size_t>(i)];
     sim::CorePool& cores = cluster_.cores(i);
     probe_tuples_ += view.tuples.size() * host.adopted.size();
+    const SimTime probe_start = engine_.now();
 
     detail::ChunkJoinWork work;
     for (auto& query : host.adopted) {
@@ -675,6 +721,7 @@ class Runner {
     co_await sim::when_all(engine_, std::move(tasks));
     flush_profile();
     work.merge_into_sinks();
+    flight_probe(i, origin, seq, probe_start);
   }
 
   SharedRunReport build_report() {
@@ -856,6 +903,33 @@ class Runner {
         }
       }
     }
+    // ----- flight-recorder / journey plane (always on) -------------------
+    std::uint64_t revolutions = 0;
+    int max_hops = 0;
+    std::int64_t flight_dropped = 0;
+    for (int i = 0; i < n_; ++i) {
+      const ring::RoundaboutNode& node = cluster_.node(i);
+      revolutions += node.revolutions_observed();
+      max_hops = std::max(max_hops, node.max_hops_observed());
+      flight_dropped += static_cast<std::int64_t>(flight_->dropped(i));
+    }
+    metrics_.add_counter("revolutions_observed",
+                         static_cast<std::int64_t>(revolutions));
+    metrics_.set_gauge("max_hops", static_cast<double>(max_hops));
+    metrics_.add_counter("obs.flight_records",
+                         static_cast<std::int64_t>(flight_->total_emitted()));
+    metrics_.add_counter("obs.flight_dropped", flight_dropped);
+    // Post-run straggler replay: the same detector the rt backend runs
+    // live, fed from the recorder window, so both backends report the same
+    // obs.straggler_flags / host<i>.straggler_z columns.
+    obs::StragglerDetector detector(n_, cluster_cfg_.sampler);
+    obs::replay_stragglers(*flight_, detector, &metrics_, tracer_.get());
+    for (int i = 0; i < n_; ++i) {
+      metrics_.set_gauge("host" + std::to_string(i) + ".straggler_z",
+                         detector.last_z(i));
+    }
+    maybe_dump_retry_storm();
+    report.flight = flight_;
     if (tracer_ != nullptr) {
       for (const obs::HostOverlap& o : obs::overlap_by_host(*tracer_)) {
         metrics_.set_gauge("host" + std::to_string(o.host) + ".overlap_ratio",
@@ -865,6 +939,22 @@ class Runner {
     }
     if (profiler_ != nullptr) report.profile = profiler_->snapshot();
     report.metrics = metrics_.snapshot();
+  }
+
+  void maybe_dump_retry_storm() {
+    const obs::FlightConfig& fcfg = cluster_cfg_.flight;
+    if (fcfg.retry_storm_threshold == 0 || fcfg.blackbox_path.empty() ||
+        blackbox_written_) {
+      return;
+    }
+    std::uint64_t reinjected = 0;
+    for (int i = 0; i < n_; ++i) {
+      reinjected += cluster_.node(i).chunks_reinjected();
+    }
+    if (reinjected >= fcfg.retry_storm_threshold) {
+      blackbox_written_ =
+          obs::write_blackbox(*flight_, fcfg.blackbox_path, "retry-storm");
+    }
   }
 
   ClusterConfig cluster_cfg_;
@@ -907,6 +997,10 @@ class Runner {
   SimTime adoption_done_at_ = 0;
 
   // ----- observability --------------------------------------------------
+  /// Always installed on the engine (ring/node.cpp emits per-hop records).
+  std::shared_ptr<obs::FlightRecorder> flight_;
+  /// First black-box trigger wins; a later one must not overwrite it.
+  bool blackbox_written_ = false;
   /// Installed on the engine when cluster_cfg_.trace.enabled.
   std::shared_ptr<obs::Tracer> tracer_;
   /// Non-null when cluster_cfg_.profile.enabled. Shared by all hosts (the

@@ -26,6 +26,7 @@
 #include "common/units.h"
 #include "cyclo/config.h"
 #include "join/join_result.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/prof.h"
 #include "obs/trace.h"
@@ -120,6 +121,10 @@ struct RunReport {
   /// The run's recorded trace (null unless ClusterConfig::trace.enabled).
   /// Export with trace->chrome_json() or trace->binary().
   std::shared_ptr<obs::Tracer> trace;
+  /// The always-on flight recorder's bounded hop-record window (never null
+  /// after a run). Stitch with obs::reconstruct_journeys, serialize with
+  /// obs::blackbox_dump, or replay through obs::StragglerDetector.
+  std::shared_ptr<obs::FlightRecorder> flight;
   /// Run metrics (counters/gauges/histograms) — always populated; see
   /// docs/OBSERVABILITY.md for the name catalog.
   obs::MetricsSnapshot metrics;

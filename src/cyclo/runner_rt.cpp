@@ -45,8 +45,10 @@
 #include "cyclo/chunk.h"
 #include "cyclo/runner_common.h"
 #include "obs/analysis.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/prof.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "ring/frame.h"
 #include "ring/node.h"
@@ -64,6 +66,13 @@ namespace {
 
 /// Default core-busy tag for untagged join work.
 const std::string kJoinTag = "join";
+
+/// Nanosecond duration -> saturating microseconds for flight-record args.
+std::uint32_t duration_us(SimDuration ns) {
+  if (ns <= 0) return 0;
+  const SimDuration us = ns / kMicrosecond;
+  return us > 0xFFFFFFFF ? 0xFFFFFFFFu : static_cast<std::uint32_t>(us);
+}
 
 /// A parked run (no events, no posts) this long is a protocol deadlock.
 constexpr SimDuration kIdleAbort = 120 * kSecond;
@@ -103,6 +112,9 @@ class RtRunner {
   }
 
   SharedRunReport execute() {
+    // Always-on flight recorder: one lane per host, written concurrently
+    // from every engine thread (lock-free emits; obs/flight.h).
+    flight_ = std::make_shared<obs::FlightRecorder>(n_, cfg_.flight);
     if (cfg_.trace.enabled) tracer_ = std::make_shared<obs::Tracer>();
     if (cfg_.profile.enabled) {
       profiler_ = std::make_unique<obs::prof::KernelProfiler>();
@@ -129,6 +141,16 @@ class RtRunner {
     for (const sim::HostCrashSpec& crash : cfg_.fault.crashes) {
       watchers.emplace_back([this, crash] { crash_watcher_main(crash); });
     }
+    // Live telemetry: a background sampler thread snapshots the metrics
+    // registry and runs the straggler detector over fresh recorder records
+    // while the ring spins (engines share an epoch, so any host's now()
+    // yields coherent sample timestamps).
+    if (cfg_.sampler.enabled) {
+      sampler_ = std::make_unique<obs::LiveSampler>(
+          cfg_.sampler, &metrics_, flight_.get(), tracer_.get(), n_,
+          [this] { return host(0).engine->now(); });
+      sampler_->start();
+    }
     for (int i = 0; i < n_; ++i) {
       HostRt& h = host(i);
       h.thread = std::thread([&h] {
@@ -144,6 +166,9 @@ class RtRunner {
       crash_cv_.notify_all();
     }
     for (std::thread& w : watchers) w.join();
+    // Final sample + lane drain happen inside stop(); the detector's
+    // verdicts are read (single-threaded again) in fill_metrics.
+    if (sampler_ != nullptr) sampler_->stop();
     return build_report();
   }
 
@@ -186,10 +211,12 @@ class RtRunner {
       auto h = std::make_unique<HostRt>();
       h->engine = std::make_unique<sim::Engine>(sim::ClockMode::kWall, epoch_);
       h->engine->set_idle_abort(kIdleAbort);
+      h->engine->set_flight(flight_.get());
       if (tracer_ != nullptr) h->engine->set_tracer(tracer_.get());
       h->executor = std::make_unique<rt::Executor>(cfg_.cores_per_host);
       // cpu_scale / context-switch billing do not apply: wall time already
-      // is real time (CorePool::set_executor docs).
+      // is real time (CorePool::set_executor docs). per_host_cpu_scale > 1
+      // IS honored — see stretch_probe.
       h->cores = std::make_unique<sim::CorePool>(*h->engine, cfg_.cores_per_host);
       h->cores->set_trace_host(i);
       h->cores->set_executor(h->executor.get());
@@ -334,9 +361,12 @@ class RtRunner {
     }
 
     // Local chunks first (they are resident), then arrivals in ring order.
+    // Slab order is injection order, so chunk index == wire seq.
     for (std::size_t c = 0; c < host.plan->slab.num_chunks(); ++c) {
       if (plan_.resilient && node.stopped()) break;  // this host died mid-run
-      co_await join_chunk(i, decode_chunk(host.plan->slab.chunk(c)));
+      co_await join_chunk(i, decode_chunk(host.plan->slab.chunk(c)),
+                          plan_.resilient ? i : -1,
+                          static_cast<std::uint32_t>(c));
     }
     if (plan_.resilient) {
       maybe_finish();  // an all-empty run produces no acks or retires
@@ -362,7 +392,7 @@ class RtRunner {
               host.adopted_seen[static_cast<std::size_t>(origin)]
                   .insert(seq)
                   .second) {
-            co_await join_adopted_chunk(i, view);
+            co_await join_adopted_chunk(i, view, origin, seq);
           }
           if (surviving_successor(i) == origin) {
             node.retire(inbound);  // ack the replaying origin
@@ -378,14 +408,14 @@ class RtRunner {
           node.retire(inbound, /*send_ack=*/false);
           continue;
         }
-        if (!inbound.duplicate) co_await join_chunk(i, view);
+        if (!inbound.duplicate) co_await join_chunk(i, view, origin, seq);
         if (host.adopted_origin >= 0 && origin != host.adopted_origin &&
             host.adopted_seen[static_cast<std::size_t>(origin)]
                 .insert(seq)
                 .second) {
           // Post-adoption arrival not covered by the replay snapshot: this
           // is its only pass by the adopter.
-          co_await join_adopted_chunk(i, view);
+          co_await join_adopted_chunk(i, view, origin, seq);
         }
         // Under recovery a dead origin's chunks stay first-class: joined
         // everywhere, retiring one hop before the adopter, which consumes
@@ -520,10 +550,59 @@ class RtRunner {
     detail::patch_origin(host.plan->slab, i);
   }
 
-  sim::Task<void> join_chunk(int i, ChunkView view) {
+  double cpu_scale(int i) const {
+    const auto& v = cfg_.per_host_cpu_scale;
+    return static_cast<std::size_t>(i) < v.size()
+               ? v[static_cast<std::size_t>(i)]
+               : 1.0;
+  }
+
+  // Honors per_host_cpu_scale on real hardware: a scale s > 1 stretches
+  // each probe to s x its measured wall time by spinning on one of the
+  // host's join cores, so a "slow host" exists on the rt backend too
+  // (abl_straggler runs the same config on both backends). The spin is a
+  // plain core task — it occupies a real core and bills to join busy time,
+  // exactly like genuinely slower compute — and stays outside profiled()
+  // so kernel profiles are unperturbed.
+  sim::Task<void> stretch_probe(int i, SimTime probe_start) {
+    const double scale = cpu_scale(i);
+    if (scale <= 1.0) co_return;
+    HostRt& host = this->host(i);
+    const SimTime elapsed = host.engine->now() - probe_start;
+    const SimTime extra =
+        static_cast<SimTime>((scale - 1.0) * static_cast<double>(elapsed));
+    if (extra <= 0) co_return;
+    co_await host.cores->run(
+        [extra] {
+          const auto until = std::chrono::steady_clock::now() +
+                             std::chrono::nanoseconds(extra);
+          while (std::chrono::steady_clock::now() < until) {
+          }
+        },
+        kJoinTag);
+  }
+
+  // One probe record from the join loop (host i's engine thread; never
+  // inside a measured closure, so kernels stay unperturbed).
+  void flight_probe(int i, int origin, std::uint32_t seq, SimTime start) {
+    obs::FlightRecord r;
+    r.ts = host(i).engine->now();
+    r.seq = seq;
+    r.origin =
+        origin < 0 ? obs::kNoOrigin : static_cast<std::uint16_t>(origin);
+    r.query = cfg_.node.resilience.query_group;
+    r.host = static_cast<std::int16_t>(i);
+    r.kind = obs::HopKind::kProbe;
+    r.arg_us = duration_us(r.ts - start);
+    flight_->emit(i, r);
+  }
+
+  sim::Task<void> join_chunk(int i, ChunkView view, int origin = -1,
+                             std::uint32_t seq = 0) {
     HostRt& host = this->host(i);
     ++host.stats.chunks_processed;
     probe_tuples_ += view.tuples.size() * host.plan->queries.size();
+    const SimTime probe_start = host.engine->now();
 
     detail::ChunkJoinWork work;
     detail::build_chunk_work(spec_, plan_.radix_bits, plan_.resilient,
@@ -539,16 +618,20 @@ class RtRunner {
           host.cores->run(profiled(i, std::move(work.items[k])), tag)));
     }
     co_await sim::when_all(*host.engine, std::move(tasks));
+    co_await stretch_probe(i, probe_start);
     flush_profile(*host.engine);
     work.merge_into_sinks();
+    flight_probe(i, origin, seq, probe_start);
   }
 
   // Joins one chunk against the adopter's promoted replica partition
   // (recovery only); the adopted QueryStates' own results keep recovered
   // matches separately attributable.
-  sim::Task<void> join_adopted_chunk(int i, ChunkView view) {
+  sim::Task<void> join_adopted_chunk(int i, ChunkView view, int origin = -1,
+                                     std::uint32_t seq = 0) {
     HostRt& host = this->host(i);
     probe_tuples_ += view.tuples.size() * host.adopted.size();
+    const SimTime probe_start = host.engine->now();
 
     detail::ChunkJoinWork work;
     for (auto& query : host.adopted) {
@@ -562,8 +645,10 @@ class RtRunner {
           host.cores->run(profiled(i, std::move(item), "adopt"), "adopt")));
     }
     co_await sim::when_all(*host.engine, std::move(tasks));
+    co_await stretch_probe(i, probe_start);
     flush_profile(*host.engine);
     work.merge_into_sinks();
+    flight_probe(i, origin, seq, probe_start);
   }
 
   ring::NodeCounts counts_for() const {
@@ -741,6 +826,12 @@ class RtRunner {
                         .count();
       }
     }
+    // Black box: snapshot the recorder's window as it stood at the crash
+    // (watcher thread; the recorder is safe to read under concurrent emits).
+    if (!cfg_.flight.blackbox_path.empty() &&
+        !blackbox_written_.exchange(true)) {
+      obs::write_blackbox(*flight_, cfg_.flight.blackbox_path, "crash");
+    }
     // Fail-stop on the victim's own engine thread: wires break, entities
     // unwind, the victim's join loop sees a stop chunk.
     post_and_wait(spec.host, [this, spec] { host(spec.host).node->die(); });
@@ -896,14 +987,15 @@ class RtRunner {
     // against the adopted partition (R_a ⋈ S_dead).
     for (const auto& [seq, bytes] : store.r_chunks) {
       const ChunkView view = decode_chunk(bytes);
-      co_await self->join_adopted_chunk(a, view);
+      co_await self->join_adopted_chunk(a, view, dead, seq);
       if (node.seen(dead).count(seq) == 0) {
-        co_await self->join_chunk(a, view);
+        co_await self->join_chunk(a, view, dead, seq);
       }
     }
     for (std::size_t c = 0; c < host.plan->slab.num_chunks(); ++c) {
       co_await self->join_adopted_chunk(
-          a, decode_chunk(host.plan->slab.chunk(c)));
+          a, decode_chunk(host.plan->slab.chunk(c)), a,
+          static_cast<std::uint32_t>(c));
     }
     self->adoption_done_at_ = engine.now();
     self->recovery_task_done(a);
@@ -1118,6 +1210,44 @@ class RtRunner {
         }
       }
     }
+    // ----- flight-recorder / journey plane (always on) -------------------
+    std::uint64_t revolutions = 0;
+    int max_hops = 0;
+    std::int64_t flight_dropped = 0;
+    for (int i = 0; i < n_; ++i) {
+      const ring::RoundaboutNode& node = *host(i).node;
+      revolutions += node.revolutions_observed();
+      max_hops = std::max(max_hops, node.max_hops_observed());
+      flight_dropped += static_cast<std::int64_t>(flight_->dropped(i));
+    }
+    metrics_.add_counter("revolutions_observed",
+                         static_cast<std::int64_t>(revolutions));
+    metrics_.set_gauge("max_hops", static_cast<double>(max_hops));
+    metrics_.add_counter("obs.flight_records",
+                         static_cast<std::int64_t>(flight_->total_emitted()));
+    metrics_.add_counter("obs.flight_dropped", flight_dropped);
+    if (sampler_ != nullptr) {
+      // The live detector already bumped obs.straggler_flags as flags were
+      // raised; surface its final per-host verdicts and sampling volume.
+      metrics_.add_counter(
+          "obs.sampler_samples",
+          static_cast<std::int64_t>(sampler_->samples_taken()));
+      for (int i = 0; i < n_; ++i) {
+        metrics_.set_gauge("host" + std::to_string(i) + ".straggler_z",
+                           sampler_->detector().last_z(i));
+      }
+    } else {
+      // Sampler off: fall back to the sim backend's post-run replay so the
+      // straggler columns exist either way.
+      obs::StragglerDetector detector(n_, cfg_.sampler);
+      obs::replay_stragglers(*flight_, detector, &metrics_, tracer_.get());
+      for (int i = 0; i < n_; ++i) {
+        metrics_.set_gauge("host" + std::to_string(i) + ".straggler_z",
+                           detector.last_z(i));
+      }
+    }
+    maybe_dump_retry_storm();
+    report.flight = flight_;
     if (tracer_ != nullptr) {
       for (const obs::HostOverlap& o : obs::overlap_by_host(*tracer_)) {
         metrics_.set_gauge("host" + std::to_string(o.host) + ".overlap_ratio",
@@ -1127,6 +1257,19 @@ class RtRunner {
     }
     if (profiler_ != nullptr) report.profile = profiler_->snapshot();
     report.metrics = metrics_.snapshot();
+  }
+
+  void maybe_dump_retry_storm() {
+    const obs::FlightConfig& fcfg = cfg_.flight;
+    if (fcfg.retry_storm_threshold == 0 || fcfg.blackbox_path.empty()) return;
+    std::uint64_t reinjected = 0;
+    for (int i = 0; i < n_; ++i) {
+      reinjected += host(i).node->chunks_reinjected();
+    }
+    if (reinjected >= fcfg.retry_storm_threshold &&
+        !blackbox_written_.exchange(true)) {
+      obs::write_blackbox(*flight_, fcfg.blackbox_path, "retry-storm");
+    }
   }
 
   ClusterConfig cfg_;
@@ -1176,6 +1319,13 @@ class RtRunner {
   std::vector<std::deque<SimTime>> inject_times_;
 
   // ----- observability --------------------------------------------------
+  /// Always installed on every host engine (ring/node.cpp emits per hop).
+  std::shared_ptr<obs::FlightRecorder> flight_;
+  /// Live telemetry thread (cfg_.sampler.enabled); stopped before reports.
+  std::unique_ptr<obs::LiveSampler> sampler_;
+  /// First black-box trigger wins (crash watcher threads race the end-of-
+  /// run retry-storm check).
+  std::atomic<bool> blackbox_written_{false};
   std::shared_ptr<obs::Tracer> tracer_;
   std::unique_ptr<obs::prof::KernelProfiler> profiler_;
   obs::MetricsRegistry metrics_;

@@ -1,0 +1,78 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace cj::obs {
+namespace {
+
+bool valid_metric_char(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+      c == ':') {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
+void append_printf(std::string& out, const char* fmt, auto... args) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  // Integral values print without a fraction so counters stay readable.
+  if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+    append_printf(out, "%" PRId64, static_cast<std::int64_t>(v));
+  } else {
+    append_printf(out, "%.6g", v);
+  }
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name, std::string_view prefix) {
+  std::string out;
+  out.reserve(prefix.size() + 1 + name.size());
+  out.append(prefix);
+  if (!out.empty()) out.push_back('_');
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    out.push_back(valid_metric_char(c, out.empty()) ? c : '_');
+  }
+  return out;
+}
+
+std::string prometheus_text(const MetricsSnapshot& snapshot,
+                            std::string_view prefix) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string m = prometheus_name(name, prefix);
+    out += "# TYPE " + m + " counter\n";
+    append_printf(out, "%s %" PRId64 "\n", m.c_str(), value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string m = prometheus_name(name, prefix);
+    out += "# TYPE " + m + " gauge\n";
+    out += m + " ";
+    append_double(out, value);
+    out.push_back('\n');
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string m = prometheus_name(name, prefix);
+    out += "# TYPE " + m + " summary\n";
+    append_printf(out, "%s{quantile=\"0.5\"} %" PRId64 "\n", m.c_str(), h.p50);
+    append_printf(out, "%s{quantile=\"0.9\"} %" PRId64 "\n", m.c_str(), h.p90);
+    append_printf(out, "%s{quantile=\"0.99\"} %" PRId64 "\n", m.c_str(),
+                  h.p99);
+    append_printf(out, "%s_count %" PRIu64 "\n", m.c_str(), h.count);
+    append_printf(out, "%s_min %" PRId64 "\n", m.c_str(), h.min);
+    append_printf(out, "%s_max %" PRId64 "\n", m.c_str(), h.max);
+    out += m + "_mean ";
+    append_double(out, h.mean);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace cj::obs

@@ -1,0 +1,28 @@
+// Prometheus-style text exposition for metrics snapshots.
+//
+// No HTTP server (the build has no network dependency): callers take the
+// rendered page and serve / print / write it themselves — `cyclotop`
+// renders it live, and `LiveSampler::latest()` gives a fresh snapshot any
+// time. Format follows the Prometheus text format 0.0.4: `# TYPE` lines,
+// sanitized names (dots and other invalid characters become '_'), and
+// histogram summaries exposed as quantile-labelled gauges plus _count.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace cj::obs {
+
+// "ring.bytes_sent" -> "cj_ring_bytes_sent" (with the default prefix).
+std::string prometheus_name(std::string_view name,
+                            std::string_view prefix = "cj");
+
+// Render a full exposition page. Counters become `counter`, gauges
+// `gauge`, histogram summaries a `summary` with p50/p90/p99 quantile
+// samples plus `_count`, `_min`, `_max` and `_mean` companions.
+std::string prometheus_text(const MetricsSnapshot& snapshot,
+                            std::string_view prefix = "cj");
+
+}  // namespace cj::obs

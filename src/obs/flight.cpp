@@ -1,0 +1,276 @@
+#include "obs/flight.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/assert.h"
+#include "obs/trace.h"
+
+namespace cj::obs {
+namespace {
+
+constexpr std::uint64_t kBusy = ~std::uint64_t{0};
+
+constexpr std::string_view kHopNames[kNumHopKinds] = {
+    "inject", "recv",     "forward", "probe",   "retire",    "ack",
+    "reinject", "adopt",  "discard", "duplicate", "stale",
+};
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+std::string_view hop_kind_name(HopKind kind) {
+  auto idx = static_cast<std::size_t>(kind);
+  CJ_CHECK_MSG(idx < kNumHopKinds, "bad HopKind");
+  return kHopNames[idx];
+}
+
+std::array<std::uint64_t, 3> pack_record(const FlightRecord& r) {
+  std::array<std::uint64_t, 3> w;
+  w[0] = static_cast<std::uint64_t>(r.ts);
+  w[1] = static_cast<std::uint64_t>(r.seq) |
+         (static_cast<std::uint64_t>(r.origin) << 32) |
+         (static_cast<std::uint64_t>(r.query) << 48);
+  w[2] = static_cast<std::uint64_t>(r.arg_us) |
+         (static_cast<std::uint64_t>(static_cast<std::uint16_t>(r.host)) << 32) |
+         (static_cast<std::uint64_t>(static_cast<std::uint8_t>(r.kind)) << 48) |
+         (static_cast<std::uint64_t>(r.revolution) << 56);
+  return w;
+}
+
+FlightRecord unpack_record(const std::array<std::uint64_t, 3>& w) {
+  FlightRecord r;
+  r.ts = static_cast<SimTime>(w[0]);
+  r.seq = static_cast<std::uint32_t>(w[1]);
+  r.origin = static_cast<std::uint16_t>(w[1] >> 32);
+  r.query = static_cast<std::uint16_t>(w[1] >> 48);
+  r.arg_us = static_cast<std::uint32_t>(w[2]);
+  r.host = static_cast<std::int16_t>(static_cast<std::uint16_t>(w[2] >> 32));
+  r.kind = static_cast<HopKind>(static_cast<std::uint8_t>(w[2] >> 48) %
+                                kNumHopKinds);
+  r.revolution = static_cast<std::uint8_t>(w[2] >> 56);
+  return r;
+}
+
+FlightRecorder::FlightRecorder(int num_hosts, FlightConfig config)
+    : num_hosts_(std::max(num_hosts, 1)),
+      capacity_(round_up_pow2(std::max<std::size_t>(config.slots_per_host, 8))),
+      mask_(capacity_ - 1),
+      lanes_(static_cast<std::size_t>(num_hosts_)) {
+  for (Lane& lane : lanes_) {
+    lane.slots = std::make_unique<Slot[]>(capacity_);
+  }
+}
+
+void FlightRecorder::emit(int host, const FlightRecord& record) {
+  if (host < 0 || host >= num_hosts_) {
+    out_of_range_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Lane& lane = lanes_[static_cast<std::size_t>(host)];
+  const std::uint64_t ticket =
+      lane.head.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = lane.slots[ticket & mask_];
+  const auto words = pack_record(record);
+  // Per-slot seqlock: mark busy, publish the words behind a release fence,
+  // then publish the ticket. A reader that observes any of the new words
+  // and then re-reads the ticket is guaranteed (acquire fence on its side)
+  // to see at least kBusy, so it skips the slot instead of returning a mix
+  // of two records. Writers only collide on a slot a full wrap apart.
+  slot.ticket.store(kBusy, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.words[0].store(words[0], std::memory_order_relaxed);
+  slot.words[1].store(words[1], std::memory_order_relaxed);
+  slot.words[2].store(words[2], std::memory_order_relaxed);
+  slot.ticket.store(ticket + 1, std::memory_order_release);
+}
+
+bool FlightRecorder::read_slot(const Lane& lane, std::size_t idx,
+                               std::uint64_t* ticket,
+                               FlightRecord* out) const {
+  const Slot& slot = lane.slots[idx];
+  const std::uint64_t t1 = slot.ticket.load(std::memory_order_acquire);
+  if (t1 == 0 || t1 == kBusy) return false;
+  std::array<std::uint64_t, 3> words;
+  words[0] = slot.words[0].load(std::memory_order_relaxed);
+  words[1] = slot.words[1].load(std::memory_order_relaxed);
+  words[2] = slot.words[2].load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  const std::uint64_t t2 = slot.ticket.load(std::memory_order_relaxed);
+  if (t1 != t2) return false;
+  *ticket = t1 - 1;
+  *out = unpack_record(words);
+  return true;
+}
+
+std::vector<FlightRecord> FlightRecorder::snapshot(int host) const {
+  std::vector<FlightRecord> out;
+  if (host < 0 || host >= num_hosts_) return out;
+  const Lane& lane = lanes_[static_cast<std::size_t>(host)];
+  const std::uint64_t head = lane.head.load(std::memory_order_acquire);
+  if (head == 0) return out;
+  const std::uint64_t first = head > capacity_ ? head - capacity_ : 0;
+  out.reserve(static_cast<std::size_t>(head - first));
+  std::vector<std::pair<std::uint64_t, FlightRecord>> got;
+  got.reserve(static_cast<std::size_t>(head - first));
+  for (std::uint64_t t = first; t < head; ++t) {
+    std::uint64_t ticket = 0;
+    FlightRecord r;
+    if (read_slot(lane, static_cast<std::size_t>(t & mask_), &ticket, &r) &&
+        ticket >= first) {
+      got.emplace_back(ticket, r);
+    }
+  }
+  // Concurrent writers may have lapped some slots; order by claim ticket.
+  std::sort(got.begin(), got.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [t, r] : got) out.push_back(r);
+  return out;
+}
+
+std::vector<FlightRecord> FlightRecorder::snapshot_all() const {
+  std::vector<FlightRecord> all;
+  for (int h = 0; h < num_hosts_; ++h) {
+    auto lane = snapshot(h);
+    all.insert(all.end(), lane.begin(), lane.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const FlightRecord& a, const FlightRecord& b) {
+                     return a.ts < b.ts;
+                   });
+  return all;
+}
+
+void FlightRecorder::scan(int host, std::uint64_t* cursor,
+                          std::vector<FlightRecord>* out) const {
+  if (host < 0 || host >= num_hosts_) return;
+  const Lane& lane = lanes_[static_cast<std::size_t>(host)];
+  const std::uint64_t head = lane.head.load(std::memory_order_acquire);
+  std::uint64_t from = *cursor;
+  if (head > capacity_ && from < head - capacity_) from = head - capacity_;
+  for (std::uint64_t t = from; t < head; ++t) {
+    std::uint64_t ticket = 0;
+    FlightRecord r;
+    if (read_slot(lane, static_cast<std::size_t>(t & mask_), &ticket, &r) &&
+        ticket == t) {
+      out->push_back(r);
+    }
+  }
+  *cursor = head;
+}
+
+std::uint64_t FlightRecorder::emitted(int host) const {
+  if (host < 0 || host >= num_hosts_) return 0;
+  return lanes_[static_cast<std::size_t>(host)].head.load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t FlightRecorder::total_emitted() const {
+  std::uint64_t total = 0;
+  for (int h = 0; h < num_hosts_; ++h) total += emitted(h);
+  return total;
+}
+
+std::uint64_t FlightRecorder::dropped(int host) const {
+  if (host < 0 || host >= num_hosts_) {
+    return out_of_range_.load(std::memory_order_relaxed);
+  }
+  const std::uint64_t head = emitted(host);
+  return head > capacity_ ? head - capacity_ : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Black-box dumps.
+
+std::int64_t pack_blackbox_arg(const FlightRecord& r) {
+  const std::uint64_t us = std::min<std::uint64_t>(r.arg_us, 0xFFFFFF);
+  const std::uint64_t packed =
+      us | (static_cast<std::uint64_t>(r.revolution) << 24) |
+      (static_cast<std::uint64_t>(r.origin) << 32) |
+      (static_cast<std::uint64_t>(r.query) << 48);
+  return static_cast<std::int64_t>(packed);
+}
+
+void unpack_blackbox_arg(std::int64_t arg, FlightRecord* r) {
+  const auto packed = static_cast<std::uint64_t>(arg);
+  r->arg_us = static_cast<std::uint32_t>(packed & 0xFFFFFF);
+  r->revolution = static_cast<std::uint8_t>(packed >> 24);
+  r->origin = static_cast<std::uint16_t>(packed >> 32);
+  r->query = static_cast<std::uint16_t>(packed >> 48);
+}
+
+std::vector<std::uint8_t> blackbox_dump(const std::vector<FlightRecord>& window,
+                                        std::string_view reason) {
+  Tracer tracer;
+  tracer.instant(0, kGlobalHost, "flight",
+                 std::string("blackbox.") + std::string(reason),
+                 static_cast<std::int64_t>(window.size()));
+  for (const FlightRecord& r : window) {
+    tracer.instant(r.ts, r.host, std::to_string(r.seq),
+                   std::string("flight.") + std::string(hop_kind_name(r.kind)),
+                   pack_blackbox_arg(r));
+  }
+  return tracer.binary();
+}
+
+std::vector<std::uint8_t> blackbox_dump(const FlightRecorder& recorder,
+                                        std::string_view reason) {
+  return blackbox_dump(recorder.snapshot_all(), reason);
+}
+
+bool write_blackbox(const FlightRecorder& recorder, const std::string& path,
+                    std::string_view reason) {
+  const std::vector<std::uint8_t> bytes = blackbox_dump(recorder, reason);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+bool parse_blackbox(const std::vector<std::uint8_t>& bytes,
+                    std::vector<FlightRecord>* out, std::string* reason) {
+  Tracer tracer;
+  if (!Tracer::parse_binary(bytes, tracer)) return false;
+  if (reason != nullptr) reason->clear();
+  // Map interned names back to hop kinds once.
+  std::vector<int> kind_of(tracer.num_names(), -1);
+  for (std::uint32_t id = 0; id < tracer.num_names(); ++id) {
+    const std::string_view name = tracer.name(id);
+    if (name.substr(0, 7) == "flight.") {
+      for (int k = 0; k < kNumHopKinds; ++k) {
+        if (name.substr(7) == kHopNames[k]) {
+          kind_of[id] = k;
+          break;
+        }
+      }
+    } else if (reason != nullptr && name.substr(0, 9) == "blackbox.") {
+      *reason = std::string(name.substr(9));
+    }
+  }
+  for (const TraceEvent& ev : tracer.events()) {
+    if (ev.kind != EventKind::kInstant) continue;
+    if (ev.name >= kind_of.size() || kind_of[ev.name] < 0) continue;
+    FlightRecord r;
+    r.ts = ev.ts;
+    r.host = static_cast<std::int16_t>(ev.host);
+    const std::string_view ent = tracer.name(ev.entity);
+    std::uint64_t seq = 0;
+    for (char c : ent) {
+      if (c < '0' || c > '9') break;
+      seq = seq * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    r.seq = static_cast<std::uint32_t>(seq);
+    r.kind = static_cast<HopKind>(kind_of[ev.name]);
+    unpack_blackbox_arg(ev.arg, &r);
+    out->push_back(r);
+  }
+  return true;
+}
+
+}  // namespace cj::obs

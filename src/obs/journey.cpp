@@ -1,0 +1,240 @@
+#include "obs/journey.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "common/stats.h"
+
+namespace cj::obs {
+namespace {
+
+using Key = std::tuple<std::uint16_t, std::uint32_t, std::uint16_t>;
+
+void append_printf(std::string& out, const char* fmt, auto... args) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  out += buf;
+}
+
+}  // namespace
+
+std::vector<ChunkJourney> reconstruct_journeys(
+    const std::vector<FlightRecord>& window) {
+  std::map<Key, ChunkJourney> by_key;
+  for (const FlightRecord& r : window) {
+    if (r.origin == kNoOrigin) continue;  // no frame identity: not stitchable
+    ChunkJourney& j = by_key[Key{r.origin, r.seq, r.query}];
+    j.origin = r.origin;
+    j.seq = r.seq;
+    j.query = r.query;
+    j.hops.push_back(r);
+  }
+  std::vector<ChunkJourney> out;
+  out.reserve(by_key.size());
+  for (auto& [key, j] : by_key) {
+    std::stable_sort(j.hops.begin(), j.hops.end(),
+                     [](const FlightRecord& a, const FlightRecord& b) {
+                       return a.ts < b.ts;
+                     });
+    for (const FlightRecord& r : j.hops) {
+      j.max_hops = std::max(j.max_hops, static_cast<int>(r.revolution));
+      switch (r.kind) {
+        case HopKind::kInject:
+          if (j.inject_ts < 0) j.inject_ts = r.ts;
+          break;
+        case HopKind::kRetire:
+          j.retired = true;
+          j.retire_ts = r.ts;
+          j.residency_us += r.arg_us;
+          break;
+        case HopKind::kForward:
+          j.residency_us += r.arg_us;
+          break;
+        case HopKind::kProbe:
+          j.probe_us += r.arg_us;
+          break;
+        case HopKind::kReinject:
+          ++j.reinjects;
+          break;
+        case HopKind::kAdopt:
+          j.adopted = true;
+          break;
+        default:
+          break;
+      }
+    }
+    out.push_back(std::move(j));
+  }
+  return out;
+}
+
+std::vector<ChunkJourney> reconstruct_journeys(
+    const FlightRecorder& recorder) {
+  return reconstruct_journeys(recorder.snapshot_all());
+}
+
+JourneySummary summarize_journeys(const std::vector<ChunkJourney>& journeys,
+                                  int num_hosts) {
+  JourneySummary s;
+  s.journeys = journeys.size();
+  Summary duration;
+  PercentileSketch duration_pct;
+  Summary flight_frac;
+  std::map<int, std::pair<Summary, PercentileSketch>> residency_by_host;
+  std::map<int, std::int64_t> probe_by_host;
+  for (const ChunkJourney& j : journeys) {
+    if (j.retired) ++s.retired;
+    if (j.reinjects > 0) ++s.reinjected;
+    if (j.adopted) ++s.adopted;
+    s.max_hops = std::max(s.max_hops, j.max_hops);
+    const std::int64_t d = j.duration_ns();
+    if (d >= 0) {
+      duration.add(static_cast<double>(d));
+      duration_pct.add(static_cast<double>(d));
+      if (d > 0) {
+        const std::int64_t wire = j.in_flight_ns();
+        flight_frac.add(wire <= 0 ? 0.0
+                                  : static_cast<double>(wire) /
+                                        static_cast<double>(d));
+      }
+    }
+    for (const FlightRecord& r : j.hops) {
+      if (r.kind == HopKind::kForward || r.kind == HopKind::kRetire) {
+        auto& [sum, pct] = residency_by_host[r.host];
+        sum.add(static_cast<double>(r.arg_us));
+        pct.add(static_cast<double>(r.arg_us));
+      } else if (r.kind == HopKind::kProbe) {
+        probe_by_host[r.host] += r.arg_us;
+      }
+    }
+  }
+  if (num_hosts > 0) s.max_revolutions = s.max_hops / num_hosts;
+  s.duration_p50_ns = duration_pct.percentile(50.0);
+  s.duration_p99_ns = duration_pct.percentile(99.0);
+  s.duration_mean_ns = duration.mean();
+  s.in_flight_fraction = flight_frac.mean();
+  // One row per ring host (plus any out-of-range host ids that slipped
+  // into records), so a host with zero residency hops — an origin that
+  // only injected, probed and collected acks — still shows up.
+  std::set<int> hosts;
+  for (int h = 0; h < num_hosts; ++h) hosts.insert(h);
+  for (const auto& [host, stats] : residency_by_host) hosts.insert(host);
+  for (const auto& [host, probe] : probe_by_host) hosts.insert(host);
+  for (const int host : hosts) {
+    HostHopStats h;
+    h.host = host;
+    if (auto it = residency_by_host.find(host);
+        it != residency_by_host.end()) {
+      auto& [sum, pct] = it->second;
+      h.hops = sum.count();
+      h.residency_us = static_cast<std::int64_t>(sum.sum());
+      h.residency_mean_us = sum.mean();
+      h.residency_p99_us = pct.percentile(99.0);
+    }
+    if (auto it = probe_by_host.find(host); it != probe_by_host.end()) {
+      h.probe_us = it->second;
+    }
+    s.hosts.push_back(h);
+  }
+  return s;
+}
+
+std::string journeys_json(const JourneySummary& s, std::string_view backend) {
+  std::string out;
+  out += "{\n";
+  out += "  \"figure\": \"journeys\",\n";
+  append_printf(out, "  \"backend\": \"%.*s\",\n",
+                static_cast<int>(backend.size()), backend.data());
+  out += "  \"summary\": {\n";
+  append_printf(out, "    \"journeys\": %zu,\n", s.journeys);
+  append_printf(out, "    \"retired\": %zu,\n", s.retired);
+  append_printf(out, "    \"reinjected\": %zu,\n", s.reinjected);
+  append_printf(out, "    \"adopted\": %zu,\n", s.adopted);
+  append_printf(out, "    \"max_hops\": %d,\n", s.max_hops);
+  append_printf(out, "    \"max_revolutions\": %d,\n", s.max_revolutions);
+  append_printf(out, "    \"unkeyed_records\": %zu,\n", s.unkeyed_records);
+  append_printf(out, "    \"duration_p50_ns\": %.0f,\n", s.duration_p50_ns);
+  append_printf(out, "    \"duration_p99_ns\": %.0f,\n", s.duration_p99_ns);
+  append_printf(out, "    \"duration_mean_ns\": %.0f,\n", s.duration_mean_ns);
+  append_printf(out, "    \"in_flight_fraction\": %.4f\n",
+                s.in_flight_fraction);
+  out += "  },\n";
+  out += "  \"hosts\": [\n";
+  for (std::size_t i = 0; i < s.hosts.size(); ++i) {
+    const HostHopStats& h = s.hosts[i];
+    append_printf(out,
+                  "    {\"host\": %d, \"hops\": %" PRIu64
+                  ", \"residency_us\": %" PRId64
+                  ", \"residency_mean_us\": %.1f, \"residency_p99_us\": %.1f, "
+                  "\"probe_us\": %" PRId64 "}%s\n",
+                  h.host, h.hops, h.residency_us, h.residency_mean_us,
+                  h.residency_p99_us, h.probe_us,
+                  i + 1 < s.hosts.size() ? "," : "");
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string journey_flow_json(const std::vector<ChunkJourney>& journeys) {
+  // Chrome trace: one "X" slice per on-host residency, flow s/t/f events
+  // with id = journey index stitching consecutive hops together. ts is in
+  // microseconds (Chrome convention); sub-us hops get a 1 us floor so the
+  // slice is visible.
+  std::string out;
+  out += "{\"traceEvents\":[\n";
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    if (!first) out += ",\n";
+    first = false;
+    out += line;
+  };
+  for (std::size_t ji = 0; ji < journeys.size(); ++ji) {
+    const ChunkJourney& j = journeys[ji];
+    // Residency slices: a recv opens a hop, the matching forward/retire
+    // closes it (arg_us = residency).
+    int flow_step = 0;
+    for (const FlightRecord& r : j.hops) {
+      if (r.kind != HopKind::kForward && r.kind != HopKind::kRetire &&
+          r.kind != HopKind::kInject) {
+        continue;
+      }
+      const double end_us = static_cast<double>(r.ts) / 1000.0;
+      const double dur_us =
+          r.kind == HopKind::kInject ? 1.0 : std::max<double>(r.arg_us, 1.0);
+      const double start_us = r.kind == HopKind::kInject ? end_us
+                                                         : end_us - dur_us;
+      std::string line;
+      append_printf(line,
+                    "{\"ph\":\"X\",\"pid\":%d,\"tid\":\"flight\","
+                    "\"ts\":%.3f,\"dur\":%.3f,\"name\":\"o%u#%u%s\","
+                    "\"args\":{\"hop\":%u,\"kind\":\"%.*s\"}}",
+                    r.host, start_us, dur_us, j.origin, j.seq,
+                    r.kind == HopKind::kRetire ? " retire" : "",
+                    r.revolution,
+                    static_cast<int>(hop_kind_name(r.kind).size()),
+                    hop_kind_name(r.kind).data());
+      emit(line);
+      const char* ph = flow_step == 0 ? "s"
+                       : r.kind == HopKind::kRetire ? "f"
+                                                    : "t";
+      std::string flow;
+      append_printf(flow,
+                    "{\"ph\":\"%s\",\"pid\":%d,\"tid\":\"flight\","
+                    "\"ts\":%.3f,\"id\":%zu,\"cat\":\"journey\","
+                    "\"name\":\"o%u#%u\"%s}",
+                    ph, r.host, start_us + dur_us / 2, ji, j.origin, j.seq,
+                    ph[0] == 'f' ? ",\"bp\":\"e\"" : "");
+      emit(flow);
+      ++flow_step;
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace cj::obs

@@ -1,0 +1,103 @@
+// Journey reconstruction: stitch flight-recorder records into end-to-end
+// chunk spans.
+//
+// A journey is everything that happened to one injected chunk, keyed by
+// (origin, seq, query): inject at the origin, then per hop a recv / probe /
+// forward triple on each host, possibly re-injections after ack timeouts or
+// adoption after a crash, and finally retire at pred(origin) plus the ack
+// back at the origin. Reconstruction merges all host lanes by timestamp and
+// groups by key; records with origin == kNoOrigin (fault-free wire, no
+// frame identity) are counted but not stitched — journeys are a resilient-
+// mode analysis, matching where the frame carries identity on the wire.
+//
+// Exports: a per-host/per-journey summary (BENCH_journeys.json) and a
+// Chrome/Perfetto JSON with flow arrows following each chunk around the
+// ring (hop slices linked by flow events).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/flight.h"
+
+namespace cj::obs {
+
+struct ChunkJourney {
+  std::uint16_t origin = 0;
+  std::uint32_t seq = 0;
+  std::uint16_t query = 0;
+  std::vector<FlightRecord> hops;  // ts-ordered, all kinds
+
+  SimTime inject_ts = -1;  // first kInject (-1 if the window lost it)
+  SimTime retire_ts = -1;  // last kRetire (-1 if not retired in-window)
+  int max_hops = 0;        // highest frame hop counter observed
+  int reinjects = 0;
+  bool retired = false;
+  bool adopted = false;
+  std::int64_t residency_us = 0;  // sum of per-host residency (fwd+retire)
+  std::int64_t probe_us = 0;      // sum of probe time across hops
+
+  // Wall/virtual span from injection to retire; -1 when either end is
+  // missing from the recorder window.
+  std::int64_t duration_ns() const {
+    return (inject_ts >= 0 && retire_ts >= 0) ? retire_ts - inject_ts : -1;
+  }
+  // Time on the wire (or queued in transport) = span minus on-host
+  // residency; -1 when the span is unknown.
+  std::int64_t in_flight_ns() const {
+    const std::int64_t d = duration_ns();
+    return d < 0 ? -1 : d - residency_us * 1000;
+  }
+};
+
+// Per-host attribution across all journeys: where do spinning chunks
+// spend their time? A straggling host shows up as the residency outlier.
+struct HostHopStats {
+  int host = -1;
+  std::uint64_t hops = 0;          // forward + retire records
+  std::int64_t residency_us = 0;   // total on-host time
+  double residency_mean_us = 0.0;
+  double residency_p99_us = 0.0;
+  std::int64_t probe_us = 0;
+};
+
+struct JourneySummary {
+  std::size_t journeys = 0;
+  std::size_t retired = 0;
+  std::size_t reinjected = 0;  // journeys with >= 1 re-injection
+  std::size_t adopted = 0;
+  int max_hops = 0;
+  int max_revolutions = 0;  // max_hops / num_hosts (0 if unknown)
+  std::size_t unkeyed_records = 0;  // origin == kNoOrigin, not stitched
+  // Journey duration distribution (retired journeys only), nanoseconds.
+  double duration_p50_ns = 0.0;
+  double duration_p99_ns = 0.0;
+  double duration_mean_ns = 0.0;
+  double in_flight_fraction = 0.0;  // mean share of span not on a host
+  std::vector<HostHopStats> hosts;
+};
+
+// Merge + group one recorder (or a pre-merged window) into journeys,
+// ts-ordered within each journey and ordered by (origin, seq, query).
+std::vector<ChunkJourney> reconstruct_journeys(
+    const std::vector<FlightRecord>& window);
+std::vector<ChunkJourney> reconstruct_journeys(const FlightRecorder& recorder);
+
+// Aggregate journeys; num_hosts > 0 enables revolution counts and sizes
+// `hosts` to cover every ring host (zero-hop hosts included).
+JourneySummary summarize_journeys(const std::vector<ChunkJourney>& journeys,
+                                  int num_hosts);
+
+// BENCH_journeys.json body: {"figure":"journeys","backend":...,
+//  "summary":{...},"hosts":[...]} with deterministic key order.
+std::string journeys_json(const JourneySummary& summary,
+                          std::string_view backend);
+
+// Chrome trace JSON ({"traceEvents":[...]}) rendering each journey as hop
+// slices (one per residency on a host) linked with flow arrows (s/t/f
+// events, id = journey index) so Perfetto draws the chunk's path around
+// the ring.
+std::string journey_flow_json(const std::vector<ChunkJourney>& journeys);
+
+}  // namespace cj::obs

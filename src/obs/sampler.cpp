@@ -1,0 +1,212 @@
+#include "obs/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace cj::obs {
+
+StragglerDetector::StragglerDetector(int num_hosts,
+                                     const SamplerConfig& config)
+    : config_(config), hosts_(static_cast<std::size_t>(std::max(num_hosts, 1))) {}
+
+bool StragglerDetector::observe(int host, double residency_us) {
+  if (host < 0 || host >= num_hosts()) return false;
+  HostWindow& w = hosts_[static_cast<std::size_t>(host)];
+  w.values.push_back(residency_us);
+  w.sum += residency_us;
+  if (w.values.size() > static_cast<std::size_t>(config_.window)) {
+    w.sum -= w.values.front();
+    w.values.pop_front();
+  }
+  if (w.values.size() < static_cast<std::size_t>(config_.min_samples)) {
+    return false;
+  }
+  // Leave-one-out z-score of this host's rolling mean against the other
+  // hosts' rolling means. Requires at least two peers with enough samples,
+  // and floors sigma at 10% of the peer mean so a perfectly uniform ring
+  // (sigma ~ 0) cannot manufacture flags out of noise.
+  double peer_sum = 0.0, peer_sq = 0.0;
+  int peers = 0;
+  for (int h = 0; h < num_hosts(); ++h) {
+    if (h == host) continue;
+    const HostWindow& p = hosts_[static_cast<std::size_t>(h)];
+    if (p.values.size() < static_cast<std::size_t>(config_.min_samples)) {
+      continue;
+    }
+    const double m = p.sum / static_cast<double>(p.values.size());
+    peer_sum += m;
+    peer_sq += m * m;
+    ++peers;
+  }
+  if (peers < 2) return false;
+  const double peer_mean = peer_sum / peers;
+  const double peer_var =
+      std::max(0.0, peer_sq / peers - peer_mean * peer_mean);
+  const double sigma =
+      std::max(std::sqrt(peer_var), 0.1 * std::max(peer_mean, 1.0));
+  const double mine = w.sum / static_cast<double>(w.values.size());
+  const double z = (mine - peer_mean) / sigma;
+  w.last_z = z;
+  if (z > config_.z_threshold) {
+    ++w.flags;
+    ++total_flags_;
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t StragglerDetector::flags(int host) const {
+  if (host < 0 || host >= num_hosts()) return 0;
+  return hosts_[static_cast<std::size_t>(host)].flags;
+}
+
+std::uint64_t StragglerDetector::total_flags() const { return total_flags_; }
+
+double StragglerDetector::last_z(int host) const {
+  if (host < 0 || host >= num_hosts()) return 0.0;
+  return hosts_[static_cast<std::size_t>(host)].last_z;
+}
+
+double StragglerDetector::mean_residency_us(int host) const {
+  if (host < 0 || host >= num_hosts()) return 0.0;
+  const HostWindow& w = hosts_[static_cast<std::size_t>(host)];
+  return w.values.empty() ? 0.0
+                          : w.sum / static_cast<double>(w.values.size());
+}
+
+int StragglerDetector::hottest() const {
+  int best = -1;
+  std::uint64_t best_flags = 0;
+  for (int h = 0; h < num_hosts(); ++h) {
+    const std::uint64_t f = hosts_[static_cast<std::size_t>(h)].flags;
+    if (f > best_flags) {
+      best_flags = f;
+      best = h;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+void count_flag(MetricsRegistry* metrics, Tracer* tracer, int host,
+                std::int64_t ts, std::uint32_t residency_us) {
+  if (metrics != nullptr) {
+    metrics->add_counter("obs.straggler_flags", 1);
+    metrics->add_counter("host" + std::to_string(host) + ".straggler_flags",
+                         1);
+  }
+  if (tracer != nullptr) {
+    tracer->instant(ts, host, "ring", "straggler", residency_us);
+  }
+}
+
+}  // namespace
+
+std::uint64_t replay_stragglers(const FlightRecorder& recorder,
+                                StragglerDetector& detector,
+                                MetricsRegistry* metrics, Tracer* tracer) {
+  std::uint64_t raised = 0;
+  for (const FlightRecord& r : recorder.snapshot_all()) {
+    if (r.kind != HopKind::kForward && r.kind != HopKind::kRetire) continue;
+    if (detector.observe(r.host, static_cast<double>(r.arg_us))) {
+      count_flag(metrics, tracer, r.host, r.ts, r.arg_us);
+      ++raised;
+    }
+  }
+  return raised;
+}
+
+LiveSampler::LiveSampler(const SamplerConfig& config, MetricsRegistry* metrics,
+                         const FlightRecorder* recorder, Tracer* tracer,
+                         int num_hosts, std::function<std::int64_t()> now_ns)
+    : config_(config),
+      metrics_(metrics),
+      recorder_(recorder),
+      tracer_(tracer),
+      now_ns_(std::move(now_ns)),
+      detector_(num_hosts, config),
+      cursors_(static_cast<std::size_t>(std::max(num_hosts, 1)), 0) {}
+
+LiveSampler::~LiveSampler() { stop(); }
+
+void LiveSampler::start() {
+  if (running_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+void LiveSampler::stop() {
+  if (!running_.load()) return;
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    stop_requested_ = true;
+  }
+  wake_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false);
+}
+
+void LiveSampler::run() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(wake_mu_);
+      if (wake_cv_.wait_for(lk, config_.interval,
+                            [this] { return stop_requested_; })) {
+        break;
+      }
+    }
+    sample_once();
+  }
+  sample_once();  // final sample so short runs still get a point
+}
+
+void LiveSampler::sample_once() {
+  Point p;
+  p.ts_ns = now_ns_ ? now_ns_() : 0;
+  if (metrics_ != nullptr) p.metrics = metrics_->snapshot();
+  scratch_.clear();
+  if (recorder_ != nullptr) {
+    for (int h = 0; h < recorder_->num_hosts(); ++h) {
+      if (static_cast<std::size_t>(h) < cursors_.size()) {
+        recorder_->scan(h, &cursors_[static_cast<std::size_t>(h)], &scratch_);
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const FlightRecord& r : scratch_) {
+      if (r.kind != HopKind::kForward && r.kind != HopKind::kRetire) continue;
+      if (detector_.observe(r.host, static_cast<double>(r.arg_us))) {
+        count_flag(metrics_, tracer_, r.host, r.ts, r.arg_us);
+      }
+    }
+    series_.push_back(std::move(p));
+    while (series_.size() > config_.max_points) series_.pop_front();
+    ++samples_;
+  }
+  if (config_.on_sample) config_.on_sample(*this);
+}
+
+std::vector<LiveSampler::Point> LiveSampler::series() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return {series_.begin(), series_.end()};
+}
+
+LiveSampler::Point LiveSampler::latest() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return series_.empty() ? Point{} : series_.back();
+}
+
+std::uint64_t LiveSampler::samples_taken() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return samples_;
+}
+
+}  // namespace cj::obs

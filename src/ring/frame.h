@@ -44,6 +44,11 @@ struct FrameHeader {
   std::uint32_t magic = kFrameMagic;
   std::uint8_t kind = 0;
   std::uint8_t flags = 0;  ///< kFrameFlag* bits (checksummed like the rest)
+  /// reserved[0] is the hop counter: 0 at injection, +1 at every forward
+  /// (saturating at 255), re-sealed into the checksum by the forwarding
+  /// host. hops / num_hosts = completed revolutions; journey reconstruction
+  /// and the revolutions_observed/max_hops metrics read it per hop.
+  /// reserved[1] stays zero for future use (checksummed like the rest).
   std::uint8_t reserved[2] = {0, 0};
   std::uint16_t origin = 0;  ///< host that injected the chunk
   std::uint16_t query = 0;   ///< serving-wave query group (0 = standalone run)
@@ -114,6 +119,19 @@ inline bool decode_frame(std::span<const std::byte> message, FrameHeader* out) {
 /// inline on the wire).
 inline void encode_frame(const FrameHeader& h, std::byte* dst) {
   std::memcpy(dst, &h, kFrameBytes);
+}
+
+/// Increments the hop counter (reserved[0], saturating at 255) of a sealed
+/// frame in place — `message` holds header + payload contiguous — and
+/// re-seals the checksum. Forwarding hosts call this so every frame carries
+/// how far around the ring it has travelled. Returns the new hop count.
+inline std::uint8_t stamp_hop(std::span<std::byte> message) {
+  FrameHeader h;
+  std::memcpy(&h, message.data(), kFrameBytes);
+  if (h.reserved[0] != 0xFF) ++h.reserved[0];
+  h.checksum = frame_checksum(h, message.subspan(kFrameBytes));
+  std::memcpy(message.data(), &h, kFrameBytes);
+  return h.reserved[0];
 }
 
 }  // namespace cj::ring

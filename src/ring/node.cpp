@@ -8,6 +8,14 @@ namespace cj::ring {
 
 namespace {
 constexpr std::size_t kCreditBytes = 8;  // tiny control message
+
+/// Nanoseconds -> saturated microseconds for flight-record args.
+std::uint32_t to_us(SimDuration ns) {
+  const SimDuration us = ns / kMicrosecond;
+  if (us < 0) return 0;
+  if (us > static_cast<SimDuration>(0xFFFFFFFFu)) return 0xFFFFFFFFu;
+  return static_cast<std::uint32_t>(us);
+}
 }
 
 RoundaboutNode::RoundaboutNode(sim::Engine& engine, sim::CorePool& cores,
@@ -148,22 +156,41 @@ void RoundaboutNode::forward(InboundChunk chunk) {
   CJ_CHECK(chunk.buffer_idx >= 0);
   trace_instant("forward", chunk.buffer_idx);
   if (resilient()) {
-    // The buffer already holds header + payload contiguously; forward the
-    // whole frame verbatim.
+    // The buffer already holds header + payload contiguously. Bump the hop
+    // counter in place (re-sealing the checksum) so the frame carries how
+    // far around the ring it has travelled, then forward the whole frame.
+    const auto message = std::span<std::byte>(
+        buffer(chunk.buffer_idx).data(), kFrameBytes + chunk.payload.size());
+    const std::uint8_t hops = stamp_hop(message);
+    max_hops_observed_ = std::max(max_hops_observed_, static_cast<int>(hops));
+    flight_emit(obs::HopKind::kForward, chunk.origin, chunk.seq, hops,
+                to_us(engine_.now() - chunk.recv_ts));
     push_outbound(SendRequest{std::span<const std::byte>(
-                                  buffer(chunk.buffer_idx).data(),
-                                  kFrameBytes + chunk.payload.size()),
+                                  message.data(), message.size()),
                               chunk.buffer_idx},
                   /*priority=*/true);
     return;
   }
+  flight_emit(obs::HopKind::kForward, chunk.origin, chunk.seq, 0,
+              to_us(engine_.now() - chunk.recv_ts));
   push_outbound(SendRequest{chunk.payload, chunk.buffer_idx}, /*priority=*/true);
 }
 
 void RoundaboutNode::retire(InboundChunk chunk, bool send_ack) {
   CJ_CHECK(chunk.buffer_idx >= 0);
   trace_instant("retire", chunk.buffer_idx);
+  flight_emit(obs::HopKind::kRetire, chunk.origin, chunk.seq,
+              static_cast<std::uint8_t>(std::min(chunk.hops, 255)),
+              to_us(engine_.now() - chunk.recv_ts));
   if (resilient()) {
+    // A chunk injected at `origin` arrives here (pred(origin)) with hop
+    // counter num_hosts - 2 after one full revolution: +1 for the final
+    // (implicit) hop it just completed, +1 for the injection hop.
+    if (config_.resilience.num_hosts > 1) {
+      revolutions_observed_ += static_cast<std::uint64_t>(chunk.hops + 2) /
+                               static_cast<std::uint64_t>(
+                                   config_.resilience.num_hosts);
+    }
     spawn_recycle(chunk.buffer_idx);
     if (send_ack && !stop_) {
       // Header-only ack naming the exact (origin, seq): survives re-orders
@@ -194,6 +221,9 @@ sim::Task<void> RoundaboutNode::send_local(std::span<const std::byte> data,
     if (stop_) co_return;  // dying or stopping node: nothing more to inject
     trace_instant("inject", static_cast<std::int64_t>(data.size()));
     const std::uint32_t seq = next_seq_++;
+    flight_emit(obs::HopKind::kInject, config_.resilience.host_id, seq, 0,
+                static_cast<std::uint32_t>(
+                    std::min<std::size_t>(data.size(), 0xFFFFFFFFu)));
     const std::uint8_t flags = replay ? kFrameFlagReplay : 0;
     SendRequest request;
     request.data = data;
@@ -210,6 +240,9 @@ sim::Task<void> RoundaboutNode::send_local(std::span<const std::byte> data,
   }
   CJ_CHECK_MSG(!replay, "replay injection is a resilient-mode operation");
   trace_instant("inject", static_cast<std::int64_t>(data.size()));
+  flight_emit(obs::HopKind::kInject, /*origin=*/-1, 0, 0,
+              static_cast<std::uint32_t>(
+                  std::min<std::size_t>(data.size(), 0xFFFFFFFFu)));
   push_outbound(SendRequest{data, -1}, /*priority=*/false);
 }
 
@@ -265,6 +298,7 @@ sim::Task<void> RoundaboutNode::send_adopted(std::uint32_t seq,
       Outstanding{payload, engine_.now(), engine_.now(), 0, 0};
   if (!send_now) co_return;  // likely still circulating; scanner takes over
   trace_instant("adopt-inject", seq);
+  flight_emit(obs::HopKind::kAdopt, adopted_origin_, seq, 0, 0);
   SendRequest request;
   request.data = payload;
   request.framed = true;
@@ -276,6 +310,24 @@ sim::Task<void> RoundaboutNode::send_adopted(std::uint32_t seq,
 void RoundaboutNode::trace_instant(std::string_view name, std::int64_t arg) {
   if (obs::Tracer* t = engine_.tracer()) {
     t->instant(engine_.now(), config_.trace_host, "ring", name, arg);
+  }
+}
+
+void RoundaboutNode::flight_emit(obs::HopKind kind, int origin,
+                                 std::uint32_t seq, std::uint8_t hops,
+                                 std::uint32_t arg_us) {
+  if (obs::FlightRecorder* f = engine_.flight()) {
+    obs::FlightRecord r;
+    r.ts = engine_.now();
+    r.seq = seq;
+    r.origin =
+        origin < 0 ? obs::kNoOrigin : static_cast<std::uint16_t>(origin);
+    r.query = config_.resilience.query_group;
+    r.host = static_cast<std::int16_t>(config_.trace_host);
+    r.kind = kind;
+    r.revolution = hops;
+    r.arg_us = arg_us;
+    f->emit(config_.trace_host, r);
   }
 }
 
@@ -317,15 +369,19 @@ sim::Task<void> RoundaboutNode::receiver_process() {
     if (arrival.length == 0) {
       // Retire ack: one of our local chunks completed its revolution.
       trace_instant("ack", idx);
+      flight_emit(obs::HopKind::kAck, /*origin=*/-1, 0, 0, 0);
       engine_.spawn(recycle(idx), "ring-recycle");
       injection_window_->release();
       continue;
     }
     ++chunks_received_;
     trace_instant("recv", static_cast<std::int64_t>(arrival.length));
-    co_await inbound_->push(
-        InboundChunk{idx, std::span<const std::byte>(buffer(idx).data(),
-                                                     arrival.length)});
+    flight_emit(obs::HopKind::kRecv, /*origin=*/-1, 0, 0,
+                static_cast<std::uint32_t>(arrival.length));
+    InboundChunk chunk{idx, std::span<const std::byte>(buffer(idx).data(),
+                                                       arrival.length)};
+    chunk.recv_ts = engine_.now();
+    co_await inbound_->push(chunk);
   }
   done_receiver_.set();
 }
@@ -422,6 +478,8 @@ sim::Task<void> RoundaboutNode::receiver_resilient() {
       // and re-injects after its ack timeout.
       ++discarded_corrupt_;
       trace_instant("discard", idx);
+      flight_emit(obs::HopKind::kDiscard, /*origin=*/-1, 0, 0,
+                  static_cast<std::uint32_t>(arrival.length));
       spawn_recycle(idx);
       continue;
     }
@@ -454,6 +512,8 @@ sim::Task<void> RoundaboutNode::receiver_resilient() {
     if (static_cast<int>(header.origin) >= config_.resilience.num_hosts) {
       ++discarded_corrupt_;  // valid checksum but impossible origin
       trace_instant("discard", idx);
+      flight_emit(obs::HopKind::kDiscard, /*origin=*/-1, header.seq,
+                  header.reserved[0], static_cast<std::uint32_t>(arrival.length));
       spawn_recycle(idx);
       continue;
     }
@@ -482,6 +542,8 @@ sim::Task<void> RoundaboutNode::receiver_resilient() {
       // if it was still live there.
       ++stale_query_discards_;
       trace_instant("stale-query", header.query);
+      flight_emit(obs::HopKind::kStale, static_cast<int>(header.origin),
+                  header.seq, header.reserved[0], header.query);
       spawn_recycle(idx);
       continue;
     }
@@ -496,16 +558,23 @@ sim::Task<void> RoundaboutNode::receiver_resilient() {
     InboundChunk chunk;
     chunk.buffer_idx = idx;
     chunk.payload = message.subspan(kFrameBytes);
+    chunk.recv_ts = engine_.now();
+    chunk.hops = static_cast<int>(header.reserved[0]);
     chunk.origin = static_cast<int>(header.origin);
     chunk.seq = header.seq;
     chunk.replay = (header.flags & kFrameFlagReplay) != 0;
     chunk.duplicate = !seen_[chunk.origin].insert(chunk.seq).second;
+    max_hops_observed_ = std::max(max_hops_observed_, chunk.hops);
     if (chunk.duplicate) {
       ++duplicates_skipped_;
       trace_instant("duplicate", chunk.seq);
+      flight_emit(obs::HopKind::kDuplicate, chunk.origin, chunk.seq,
+                  header.reserved[0], 0);
     }
     ++chunks_received_;
     trace_instant("recv", static_cast<std::int64_t>(arrival.length));
+    flight_emit(obs::HopKind::kRecv, chunk.origin, chunk.seq,
+                header.reserved[0], static_cast<std::uint32_t>(arrival.length));
     co_await inbound_->push(chunk);
   }
   done_receiver_.set();
@@ -520,6 +589,8 @@ void RoundaboutNode::handle_ack(const FrameHeader& header) {
     auto it = adopted_outstanding_.find(header.seq);
     if (it == adopted_outstanding_.end()) return;  // stale or duplicate ack
     ++recovered_;
+    flight_emit(obs::HopKind::kAck, origin, header.seq, 0,
+                to_us(engine_.now() - it->second.first_sent));
     adopted_outstanding_.erase(it);
     injection_window_->release();
     if (config_.resilience.on_ack) config_.resilience.on_ack();
@@ -531,6 +602,8 @@ void RoundaboutNode::handle_ack(const FrameHeader& header) {
   }
   auto it = outstanding_.find(header.seq);
   if (it == outstanding_.end()) return;  // duplicate ack: already retired
+  flight_emit(obs::HopKind::kAck, origin, header.seq, 0,
+              to_us(engine_.now() - it->second.first_sent));
   if (it->second.reinjects > 0) {
     ++recovered_;
   } else {
@@ -648,6 +721,8 @@ sim::Task<void> RoundaboutNode::scanner_process() {
       ++chunk.reinjects;
       ++reinjected_;
       trace_instant("reinject", seq);
+      flight_emit(obs::HopKind::kReinject, config_.resilience.host_id, seq, 0,
+                  static_cast<std::uint32_t>(chunk.reinjects));
       chunk.last_sent = now;
       SendRequest request;
       request.data = chunk.payload;
@@ -669,6 +744,8 @@ sim::Task<void> RoundaboutNode::scanner_process() {
       ++chunk.reinjects;
       ++reinjected_;
       trace_instant("adopt-reinject", seq);
+      flight_emit(obs::HopKind::kReinject, adopted_origin_, seq, 0,
+                  static_cast<std::uint32_t>(chunk.reinjects));
       chunk.last_sent = now;
       SendRequest request;
       request.data = chunk.payload;

@@ -68,6 +68,7 @@
 
 #include "common/status.h"
 #include "common/units.h"
+#include "obs/flight.h"
 #include "ring/frame.h"
 #include "ring/wire.h"
 #include "sim/core_pool.h"
@@ -167,6 +168,12 @@ struct NodeCounts {
 struct InboundChunk {
   int buffer_idx = -1;
   std::span<const std::byte> payload;
+  /// Engine time the receiver handed the chunk off the wire. The gap to
+  /// the matching forward()/retire() is the chunk's on-host residency —
+  /// the flight recorder's straggler-attribution signal.
+  SimTime recv_ts = 0;
+  /// Frame hop counter at arrival (reserved[0]; 0 when frames are off).
+  int hops = 0;
   // ----- resilient-mode metadata (defaults in fault-free runs) ---------
   /// Host that injected the chunk (-1 when frames are off).
   int origin = -1;
@@ -340,6 +347,11 @@ class RoundaboutNode {
   std::uint64_t chunks_adopted() const { return adopted_injected_; }
   /// Clean (first-try) ack round trips observed, in injection order.
   const std::vector<SimDuration>& ack_rtts() const { return ack_rtts_; }
+  /// Completed revolutions observed at retire time, from the frame hop
+  /// counter (resilient mode; fault-free wires carry no counter).
+  std::uint64_t revolutions_observed() const { return revolutions_observed_; }
+  /// Highest frame hop counter seen on any frame through this node.
+  int max_hops_observed() const { return max_hops_observed_; }
   const NodeConfig& config() const { return config_; }
 
  private:
@@ -376,6 +388,12 @@ class RoundaboutNode {
   /// One ring-protocol instant ("recv", "ack", "forward", ...) on this
   /// host's "ring" trace track.
   void trace_instant(std::string_view name, std::int64_t arg);
+
+  /// One chunk-hop record into the always-on flight recorder (single
+  /// pointer test when no recorder is installed). origin < 0 maps to
+  /// obs::kNoOrigin (fault-free wire: no frame identity).
+  void flight_emit(obs::HopKind kind, int origin, std::uint32_t seq,
+                   std::uint8_t hops, std::uint32_t arg_us);
 
   sim::Task<void> receiver_process();
   sim::Task<void> transmitter_process();
@@ -470,6 +488,8 @@ class RoundaboutNode {
   std::uint64_t adopted_injected_ = 0;
   /// Clean (no-re-injection) ack round trips, for the adaptive timeout.
   std::vector<SimDuration> ack_rtts_;
+  std::uint64_t revolutions_observed_ = 0;
+  int max_hops_observed_ = 0;
 };
 
 }  // namespace cj::ring

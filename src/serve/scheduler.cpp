@@ -167,6 +167,7 @@ ServeReport QueryScheduler::drain(const rel::Relation& rotating) {
     bytes_on_wire_ += report.bytes_on_wire;
     metrics_.add_counter("serve.waves", 1);
 
+    bool wave_breached = false;
     for (std::size_t q = 0; q < wave_ids.size(); ++q) {
       QueryRecord& record = records_[wave_ids[q]];
       record.phase = QueryPhase::kRetired;
@@ -182,8 +183,16 @@ ServeReport QueryScheduler::drain(const rel::Relation& rotating) {
       metrics_.add_counter("serve.retired", 1);
       if (config_.slo_target > 0 && record.latency() > config_.slo_target) {
         record.slo_violated = true;
+        wave_breached = true;
         metrics_.add_counter("serve.slo_violations", 1);
       }
+    }
+    // Black box: on the first SLO breach, persist the breaching wave's
+    // flight-recorder window (per-chunk hop records) for post-mortems.
+    if (wave_breached && !blackbox_written_ && !config_.blackbox_path.empty() &&
+        report.flight != nullptr) {
+      blackbox_written_ = obs::write_blackbox(
+          *report.flight, config_.blackbox_path, "slo-breach");
     }
     clock_ = wave_end;
     ++waves_;

@@ -44,6 +44,10 @@ struct ServeConfig {
   /// Latency SLO (0 = no SLO accounting): retired queries whose latency
   /// exceeds it are flagged and counted in serve.slo_violations.
   SimDuration slo_target = 0;
+  /// When non-empty, the first wave containing an SLO violation writes a
+  /// CJT1 black-box dump of that wave's flight-recorder window here
+  /// (reason "slo-breach"); later breaches do not overwrite it.
+  std::string blackbox_path;
 };
 
 /// What drain() returns: every query's record plus run-level accounting.
@@ -111,6 +115,7 @@ class QueryScheduler {
   SimTime last_arrival_ = 0;
   int waves_ = 0;
   std::uint64_t bytes_on_wire_ = 0;
+  bool blackbox_written_ = false;
   obs::MetricsRegistry metrics_;
 };
 

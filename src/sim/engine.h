@@ -32,6 +32,7 @@
 #include "sim/task.h"
 
 namespace cj::obs {
+class FlightRecorder;
 class Tracer;
 }
 
@@ -92,6 +93,11 @@ class Engine {
 
   obs::Tracer* tracer() const { return tracer_; }
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// The always-on flight recorder (bounded, lock-free; obs/flight.h).
+  /// Runners install one unconditionally; null only in bare-engine tests.
+  obs::FlightRecorder* flight() const { return flight_; }
+  void set_flight(obs::FlightRecorder* flight) { flight_ = flight; }
 
   /// Schedules a coroutine to resume at absolute time t (>= now).
   void schedule_at(SimTime t, std::coroutine_handle<> h);
@@ -208,6 +214,7 @@ class Engine {
 
   std::map<void*, BlockInfo> blocked_;
   obs::Tracer* tracer_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
   ClockMode mode_ = ClockMode::kVirtual;
   WallClock::time_point epoch_{};
   SimTime now_ = 0;

@@ -63,10 +63,15 @@ struct FaultPlan {
   LinkFaultSpec link;
   std::vector<HostCrashSpec> crashes;
   std::vector<HostSlowdownSpec> slowdowns;
+  /// Arms the resilient protocol (framed messages, acked retires, dynamic
+  /// termination) without scheduling any fault. Chunk-journey tracing
+  /// needs frame identity on the wire, and the rt backend refuses
+  /// slowdown specs — this is the backend-neutral way to get frames.
+  bool force_resilient = false;
 
   bool empty() const {
-    return link.drop_prob == 0.0 && link.corrupt_prob == 0.0 &&
-           crashes.empty() && slowdowns.empty();
+    return !force_resilient && link.drop_prob == 0.0 &&
+           link.corrupt_prob == 0.0 && crashes.empty() && slowdowns.empty();
   }
 };
 

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <string>
 #include <string_view>
 #include <tuple>
 #include <vector>
@@ -686,6 +687,10 @@ TEST(FaultRecovery, AdaptiveAckTimeoutConvergesWithoutSpuriousReinjects) {
 TEST(FaultRecovery, ChaosSoakExactUnderRandomSeeds) {
   const char* base_env = std::getenv("CHAOS_SOAK_BASE");
   const char* iters_env = std::getenv("CHAOS_SOAK");
+  // When set, every soak iteration arms the flight recorder's crash black
+  // box into this directory (one CJT1 dump per seed) — CI uploads them as
+  // build artifacts, so a failing seed ships its own evidence.
+  const char* blackbox_env = std::getenv("CHAOS_BLACKBOX_DIR");
   const std::uint64_t base =
       base_env != nullptr ? std::strtoull(base_env, nullptr, 10) : 100;
   const int iters = iters_env != nullptr ? std::atoi(iters_env) : 2;
@@ -705,6 +710,10 @@ TEST(FaultRecovery, ChaosSoakExactUnderRandomSeeds) {
          .at = static_cast<SimDuration>(seed % 7) * kMillisecond});
     cfg.node.resilience.ack_timeout = 20 * kMillisecond;
     cfg.node.resilience.replicate = true;
+    if (blackbox_env != nullptr) {
+      cfg.flight.blackbox_path = std::string(blackbox_env) + "/blackbox_seed" +
+                                 std::to_string(seed) + ".cjt";
+    }
 
     CycloJoin cyclo(cfg, JoinSpec{.algorithm = Algorithm::kHashJoin});
     const RunReport report = cyclo.run(r, s);

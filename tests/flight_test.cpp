@@ -1,0 +1,586 @@
+// Tests for the always-on flight recorder and its satellites: record
+// packing, the lock-free ring (wrap-around, overflow accounting, cursor
+// scans, concurrent emit — run under TSan in CI), CJT1 black-box dumps,
+// journey reconstruction (synthetic windows and a real resilient sim run),
+// the straggler detector, the frame hop counter, and the Prometheus text
+// exposition.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cyclo/cyclo_join.h"
+#include "join/local_join.h"
+#include "obs/export.h"
+#include "obs/flight.h"
+#include "obs/journey.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "rel/generator.h"
+#include "ring/frame.h"
+
+namespace cj::obs {
+namespace {
+
+FlightRecord make_record(SimTime ts, int host, HopKind kind,
+                         std::uint16_t origin, std::uint32_t seq,
+                         std::uint32_t arg_us = 0, std::uint8_t rev = 0,
+                         std::uint16_t query = 0) {
+  FlightRecord r;
+  r.ts = ts;
+  r.host = static_cast<std::int16_t>(host);
+  r.kind = kind;
+  r.origin = origin;
+  r.seq = seq;
+  r.arg_us = arg_us;
+  r.revolution = rev;
+  r.query = query;
+  return r;
+}
+
+// ----- record packing ------------------------------------------------------
+
+TEST(FlightRecordTest, PackRoundTripsEveryField) {
+  FlightRecord r = make_record(123'456'789, 3, HopKind::kForward, 7, 42,
+                               999, 2, 11);
+  EXPECT_EQ(unpack_record(pack_record(r)), r);
+}
+
+TEST(FlightRecordTest, PackRoundTripFuzz) {
+  std::mt19937_64 rng(20260808);
+  for (int i = 0; i < 10'000; ++i) {
+    FlightRecord r;
+    r.ts = static_cast<SimTime>(rng() >> 1);  // non-negative
+    r.seq = static_cast<std::uint32_t>(rng());
+    r.origin = static_cast<std::uint16_t>(rng());
+    r.query = static_cast<std::uint16_t>(rng());
+    r.host = static_cast<std::int16_t>(rng());
+    r.kind = static_cast<HopKind>(rng() % kNumHopKinds);
+    r.revolution = static_cast<std::uint8_t>(rng());
+    r.arg_us = static_cast<std::uint32_t>(rng());
+    ASSERT_EQ(unpack_record(pack_record(r)), r) << "iteration " << i;
+  }
+}
+
+TEST(FlightRecordTest, HopKindNamesAreUniqueAndNonEmpty) {
+  std::vector<std::string> names;
+  for (int k = 0; k < kNumHopKinds; ++k) {
+    std::string name(hop_kind_name(static_cast<HopKind>(k)));
+    EXPECT_FALSE(name.empty());
+    for (const std::string& prev : names) EXPECT_NE(name, prev);
+    names.push_back(std::move(name));
+  }
+}
+
+// ----- ring buffer ---------------------------------------------------------
+
+TEST(FlightRecorderTest, CapacityRoundsUpToPowerOfTwo) {
+  FlightRecorder rec(2, FlightConfig{.slots_per_host = 100});
+  EXPECT_EQ(rec.capacity_per_host(), 128u);
+  EXPECT_EQ(rec.num_hosts(), 2);
+}
+
+TEST(FlightRecorderTest, SnapshotReturnsOldestFirst) {
+  FlightRecorder rec(1, FlightConfig{.slots_per_host = 16});
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    rec.emit(0, make_record(100 + i, 0, HopKind::kRecv, 1, i));
+  }
+  const auto window = rec.snapshot(0);
+  ASSERT_EQ(window.size(), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(window[i].seq, i);
+    EXPECT_EQ(window[i].ts, 100 + static_cast<SimTime>(i));
+  }
+  EXPECT_EQ(rec.emitted(0), 10u);
+  EXPECT_EQ(rec.dropped(0), 0u);
+}
+
+TEST(FlightRecorderTest, WrapAroundKeepsTheNewestWindow) {
+  FlightRecorder rec(1, FlightConfig{.slots_per_host = 8});
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    rec.emit(0, make_record(i, 0, HopKind::kRecv, 1, i));
+  }
+  const auto window = rec.snapshot(0);
+  ASSERT_EQ(window.size(), 8u);
+  // Survivors are exactly the last capacity emits, oldest first.
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    EXPECT_EQ(window[i].seq, 12 + i);
+  }
+  EXPECT_EQ(rec.emitted(0), 20u);
+  EXPECT_EQ(rec.dropped(0), 12u);  // overwritten before any read
+}
+
+TEST(FlightRecorderTest, OutOfRangeHostIsCountedNotStored) {
+  FlightRecorder rec(2, FlightConfig{.slots_per_host = 8});
+  rec.emit(-1, make_record(1, -1, HopKind::kRecv, 0, 0));
+  rec.emit(2, make_record(2, 2, HopKind::kRecv, 0, 0));
+  rec.emit(99, make_record(3, 99, HopKind::kRecv, 0, 0));
+  EXPECT_EQ(rec.total_emitted(), 0u);
+  EXPECT_TRUE(rec.snapshot_all().empty());
+  EXPECT_EQ(rec.dropped(0), 0u);
+  EXPECT_EQ(rec.dropped(-1), 3u);  // any out-of-range index reports them
+}
+
+TEST(FlightRecorderTest, SnapshotAllMergesLanesByTimestamp) {
+  FlightRecorder rec(3, FlightConfig{.slots_per_host = 16});
+  rec.emit(2, make_record(30, 2, HopKind::kRecv, 1, 0));
+  rec.emit(0, make_record(10, 0, HopKind::kInject, 1, 0));
+  rec.emit(1, make_record(20, 1, HopKind::kRecv, 1, 0));
+  const auto all = rec.snapshot_all();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].ts, 10);
+  EXPECT_EQ(all[1].ts, 20);
+  EXPECT_EQ(all[2].ts, 30);
+}
+
+TEST(FlightRecorderTest, ScanIsIncrementalPerLane) {
+  FlightRecorder rec(1, FlightConfig{.slots_per_host = 16});
+  std::uint64_t cursor = 0;
+  std::vector<FlightRecord> out;
+
+  rec.emit(0, make_record(1, 0, HopKind::kInject, 1, 0));
+  rec.emit(0, make_record(2, 0, HopKind::kRecv, 1, 1));
+  rec.scan(0, &cursor, &out);
+  EXPECT_EQ(out.size(), 2u);
+
+  rec.scan(0, &cursor, &out);  // nothing new
+  EXPECT_EQ(out.size(), 2u);
+
+  rec.emit(0, make_record(3, 0, HopKind::kForward, 1, 2));
+  rec.scan(0, &cursor, &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[2].seq, 2u);
+}
+
+// Writers on several threads, a reader snapshotting concurrently. Run
+// under TSan this is the data-race check for the slot seqlock; in any mode
+// it checks that every surviving record is internally consistent (a torn
+// read would break the seq == arg_us - 7 invariant).
+TEST(FlightRecorderTest, ConcurrentEmitAndSnapshotStaysConsistent) {
+  constexpr int kWriters = 4;
+  constexpr std::uint32_t kPerWriter = 50'000;
+  FlightRecorder rec(kWriters, FlightConfig{.slots_per_host = 256});
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const FlightRecord& r : rec.snapshot_all()) {
+        ASSERT_EQ(r.arg_us, r.seq + 7);
+        ASSERT_EQ(r.origin, static_cast<std::uint16_t>(r.host));
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (std::uint32_t i = 0; i < kPerWriter; ++i) {
+        rec.emit(w, make_record(i, w, HopKind::kRecv,
+                                static_cast<std::uint16_t>(w), i, i + 7));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(rec.total_emitted(), kWriters * std::uint64_t{kPerWriter});
+  const auto window = rec.snapshot_all();
+  EXPECT_EQ(window.size(), kWriters * rec.capacity_per_host());
+  for (const FlightRecord& r : window) {
+    EXPECT_EQ(r.arg_us, r.seq + 7);
+  }
+}
+
+// ----- black box (CJT1) ----------------------------------------------------
+
+TEST(BlackboxTest, ArgPackRoundTripsAndSaturates) {
+  FlightRecord r = make_record(0, 2, HopKind::kProbe, 5, 1234, 999, 3, 17);
+  FlightRecord out;
+  unpack_blackbox_arg(pack_blackbox_arg(r), &out);
+  EXPECT_EQ(out.origin, r.origin);
+  EXPECT_EQ(out.query, r.query);
+  EXPECT_EQ(out.revolution, r.revolution);
+  EXPECT_EQ(out.arg_us, r.arg_us);
+
+  r.arg_us = 0xFFFFFFFF;  // beyond the 24-bit dump field: saturates
+  unpack_blackbox_arg(pack_blackbox_arg(r), &out);
+  EXPECT_EQ(out.arg_us, 0xFFFFFFu);
+}
+
+TEST(BlackboxTest, DumpParseRoundTripFuzz) {
+  std::mt19937_64 rng(7);
+  std::vector<FlightRecord> window;
+  for (int i = 0; i < 500; ++i) {
+    FlightRecord r;
+    r.ts = static_cast<SimTime>(i) * 1000;
+    r.seq = static_cast<std::uint32_t>(rng() % 100'000);
+    r.origin = static_cast<std::uint16_t>(rng() % 64);
+    r.query = static_cast<std::uint16_t>(rng() % 8);
+    r.host = static_cast<std::int16_t>(rng() % 64);
+    r.kind = static_cast<HopKind>(rng() % kNumHopKinds);
+    r.revolution = static_cast<std::uint8_t>(rng() % 16);
+    r.arg_us = static_cast<std::uint32_t>(rng() % 0xFFFFFF);  // no saturation
+    window.push_back(r);
+  }
+
+  const std::vector<std::uint8_t> bytes = blackbox_dump(window, "fuzz");
+  std::vector<FlightRecord> parsed;
+  std::string reason;
+  ASSERT_TRUE(parse_blackbox(bytes, &parsed, &reason));
+  EXPECT_EQ(reason, "fuzz");
+  ASSERT_EQ(parsed.size(), window.size());
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    EXPECT_EQ(parsed[i], window[i]) << "record " << i;
+  }
+}
+
+TEST(BlackboxTest, GarbageBytesAreRejected) {
+  std::vector<std::uint8_t> garbage = {0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01};
+  std::vector<FlightRecord> parsed;
+  EXPECT_FALSE(parse_blackbox(garbage, &parsed));
+}
+
+TEST(BlackboxTest, WriteBlackboxRoundTripsThroughAFile) {
+  FlightRecorder rec(2, FlightConfig{.slots_per_host = 16});
+  rec.emit(0, make_record(10, 0, HopKind::kInject, 0, 0, 4096));
+  rec.emit(1, make_record(20, 1, HopKind::kRecv, 0, 0));
+  rec.emit(1, make_record(25, 1, HopKind::kRetire, 0, 0, 15));
+
+  const std::string path = ::testing::TempDir() + "/flight_blackbox.cjt";
+  ASSERT_TRUE(write_blackbox(rec, path, "crash"));
+
+  std::ifstream in(path, std::ios::binary);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  std::vector<FlightRecord> parsed;
+  std::string reason;
+  ASSERT_TRUE(parse_blackbox(bytes, &parsed, &reason));
+  EXPECT_EQ(reason, "crash");
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_EQ(parsed[0].kind, HopKind::kInject);
+  EXPECT_EQ(parsed[2].kind, HopKind::kRetire);
+  std::remove(path.c_str());
+}
+
+// ----- journey reconstruction ----------------------------------------------
+
+// A synthetic 3-host journey: inject at 0, probe+forward on 1 and 2, retire
+// at 2 (pred of 0 on a 3-ring), ack back at 0.
+std::vector<FlightRecord> synthetic_journey(std::uint16_t origin,
+                                            std::uint32_t seq) {
+  return {
+      make_record(1000, origin, HopKind::kInject, origin, seq, 4096),
+      make_record(2000, 1, HopKind::kRecv, origin, seq),
+      make_record(2100, 1, HopKind::kProbe, origin, seq, 80),
+      make_record(2500, 1, HopKind::kForward, origin, seq, 500, 1),
+      make_record(3500, 2, HopKind::kRecv, origin, seq, 0, 1),
+      make_record(3600, 2, HopKind::kProbe, origin, seq, 90, 1),
+      make_record(4000, 2, HopKind::kRetire, origin, seq, 500, 1),
+      make_record(5000, origin, HopKind::kAck, origin, seq, 4000, 1),
+  };
+}
+
+TEST(JourneyTest, ReconstructsOneJourneyEndToEnd) {
+  const auto journeys = reconstruct_journeys(synthetic_journey(0, 7));
+  ASSERT_EQ(journeys.size(), 1u);
+  const ChunkJourney& j = journeys[0];
+  EXPECT_EQ(j.origin, 0);
+  EXPECT_EQ(j.seq, 7u);
+  EXPECT_EQ(j.hops.size(), 8u);
+  EXPECT_TRUE(j.retired);
+  EXPECT_FALSE(j.adopted);
+  EXPECT_EQ(j.reinjects, 0);
+  EXPECT_EQ(j.inject_ts, 1000);
+  EXPECT_EQ(j.retire_ts, 4000);
+  EXPECT_EQ(j.duration_ns(), 3000);
+  EXPECT_EQ(j.max_hops, 1);
+  EXPECT_EQ(j.residency_us, 1000);  // two 500us residencies
+  EXPECT_EQ(j.probe_us, 170);
+}
+
+TEST(JourneyTest, GroupsByOriginSeqAndQueryAndSkipsUnkeyed) {
+  std::vector<FlightRecord> window = synthetic_journey(0, 7);
+  const auto second = synthetic_journey(1, 7);  // same seq, other origin
+  window.insert(window.end(), second.begin(), second.end());
+  // Same (origin, seq) under a different serving wave = a third journey.
+  auto waved = synthetic_journey(0, 7);
+  for (auto& r : waved) r.query = 3;
+  window.insert(window.end(), waved.begin(), waved.end());
+  // Fault-free records carry no identity and must not be stitched.
+  window.push_back(make_record(1, 0, HopKind::kRecv, kNoOrigin, 0));
+
+  const auto journeys = reconstruct_journeys(window);
+  EXPECT_EQ(journeys.size(), 3u);
+}
+
+TEST(JourneyTest, ReinjectionAndAdoptionAreCounted) {
+  std::vector<FlightRecord> window = synthetic_journey(0, 7);
+  window.push_back(make_record(6000, 0, HopKind::kReinject, 0, 7, 1));
+  window.push_back(make_record(6500, 1, HopKind::kAdopt, 0, 7));
+  const auto journeys = reconstruct_journeys(window);
+  ASSERT_EQ(journeys.size(), 1u);
+  EXPECT_EQ(journeys[0].reinjects, 1);
+  EXPECT_TRUE(journeys[0].adopted);
+}
+
+TEST(JourneyTest, SummaryAggregatesHostsAndDurations) {
+  std::vector<FlightRecord> window = synthetic_journey(0, 1);
+  const auto more = synthetic_journey(0, 2);
+  window.insert(window.end(), more.begin(), more.end());
+
+  const auto journeys = reconstruct_journeys(window);
+  const JourneySummary summary = summarize_journeys(journeys, 3);
+  EXPECT_EQ(summary.journeys, 2u);
+  EXPECT_EQ(summary.retired, 2u);
+  EXPECT_EQ(summary.reinjected, 0u);
+  EXPECT_EQ(summary.duration_p50_ns, 3000.0);
+  EXPECT_EQ(summary.duration_mean_ns, 3000.0);
+  ASSERT_EQ(summary.hosts.size(), 3u);
+  // Hosts 1 and 2 each saw both chunks for 500us.
+  EXPECT_EQ(summary.hosts[1].hops, 2u);
+  EXPECT_EQ(summary.hosts[1].residency_us, 1000);
+  EXPECT_EQ(summary.hosts[2].residency_us, 1000);
+
+  const std::string json = journeys_json(summary, "sim");
+  EXPECT_NE(json.find("\"figure\": \"journeys\""), std::string::npos);
+  EXPECT_NE(json.find("\"backend\": \"sim\""), std::string::npos);
+  EXPECT_NE(json.find("\"journeys\": 2"), std::string::npos);
+
+  const std::string flow = journey_flow_json(journeys);
+  EXPECT_NE(flow.find("traceEvents"), std::string::npos);
+  EXPECT_NE(flow.find("\"ph\":\"s\""), std::string::npos);  // flow start
+  EXPECT_NE(flow.find("\"ph\":\"f\""), std::string::npos);  // flow finish
+}
+
+// ----- journeys from a real resilient sim run ------------------------------
+
+class JourneyIntegrationTest : public ::testing::Test {
+ protected:
+  static cyclo::RunReport run(bool resilient) {
+    auto r = rel::generate({.rows = 8'000, .key_domain = 2'000, .seed = 31},
+                           "R", 1);
+    auto s = rel::generate({.rows = 8'000, .key_domain = 2'000, .seed = 32},
+                           "S", 2);
+    cyclo::ClusterConfig cfg;
+    cfg.num_hosts = 4;
+    cfg.cores_per_host = 2;
+    cfg.node.buffer_bytes = 32 * 1024;
+    cfg.node.num_buffers = 4;
+    if (resilient) {
+      // A 1.0x slowdown injects nothing but switches the ring into
+      // resilient mode: frames carry identity, journeys reconstruct.
+      cfg.fault.slowdowns.push_back({.host = 0, .at = 0, .factor = 1.0});
+      cfg.node.resilience.ack_timeout = 500 * kMillisecond;
+    }
+    cyclo::CycloJoin join(cfg,
+                          cyclo::JoinSpec{.algorithm = cyclo::Algorithm::kHashJoin});
+    return join.run(r, s);
+  }
+};
+
+TEST_F(JourneyIntegrationTest, ResilientRunYieldsCompleteJourneys) {
+  const cyclo::RunReport report = run(/*resilient=*/true);
+  ASSERT_NE(report.flight, nullptr);
+  EXPECT_GT(report.flight->total_emitted(), 0u);
+
+  const auto journeys = reconstruct_journeys(*report.flight);
+  ASSERT_FALSE(journeys.empty());
+  constexpr int kHosts = 4;
+  for (const ChunkJourney& j : journeys) {
+    EXPECT_TRUE(j.retired);
+    EXPECT_FALSE(j.adopted);
+    EXPECT_EQ(j.reinjects, 0);
+    EXPECT_GE(j.inject_ts, 0);
+    EXPECT_GE(j.duration_ns(), 0);
+    // Clean single revolution: stamped by the kHosts - 2 intermediate
+    // forwards between origin's successor and pred(origin).
+    EXPECT_EQ(j.max_hops, kHosts - 2);
+    int injects = 0, recvs = 0, forwards = 0, retires = 0, acks = 0;
+    for (const FlightRecord& rec : j.hops) {
+      injects += rec.kind == HopKind::kInject;
+      recvs += rec.kind == HopKind::kRecv;
+      forwards += rec.kind == HopKind::kForward;
+      retires += rec.kind == HopKind::kRetire;
+      acks += rec.kind == HopKind::kAck;
+    }
+    EXPECT_EQ(injects, 1);
+    EXPECT_EQ(recvs, kHosts - 1);
+    EXPECT_EQ(forwards, kHosts - 2);
+    EXPECT_EQ(retires, 1);
+    EXPECT_EQ(acks, 1);
+  }
+
+  // The metric plane agrees with the reconstruction: one revolution per
+  // retired chunk, hop ceiling kHosts - 2.
+  const auto& counters = report.metrics.counters;
+  ASSERT_TRUE(counters.contains("revolutions_observed"));
+  EXPECT_EQ(counters.at("revolutions_observed"),
+            static_cast<std::int64_t>(journeys.size()));
+  ASSERT_TRUE(report.metrics.gauges.contains("max_hops"));
+  EXPECT_EQ(report.metrics.gauges.at("max_hops"), kHosts - 2);
+  ASSERT_TRUE(counters.contains("obs.flight_records"));
+  EXPECT_EQ(counters.at("obs.flight_records"),
+            static_cast<std::int64_t>(report.flight->total_emitted()));
+
+  const JourneySummary summary = summarize_journeys(journeys, kHosts);
+  EXPECT_EQ(summary.retired, journeys.size());
+  EXPECT_EQ(summary.reinjected, 0u);
+}
+
+TEST_F(JourneyIntegrationTest, FaultFreeRunRecordsButDoesNotStitch) {
+  const cyclo::RunReport report = run(/*resilient=*/false);
+  ASSERT_NE(report.flight, nullptr);
+  // The emit cost is always paid...
+  EXPECT_GT(report.flight->total_emitted(), 0u);
+  // ...but raw chunk bytes carry no identity, so nothing stitches.
+  const auto window = report.flight->snapshot_all();
+  std::size_t unkeyed = 0;
+  for (const FlightRecord& rec : window) unkeyed += rec.origin == kNoOrigin;
+  EXPECT_EQ(unkeyed, window.size());
+  EXPECT_TRUE(reconstruct_journeys(window).empty());
+}
+
+// ----- straggler detector --------------------------------------------------
+
+TEST(StragglerDetectorTest, UniformRingNeverFlags) {
+  SamplerConfig cfg;
+  cfg.min_samples = 4;
+  StragglerDetector det(4, cfg);
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 400; ++i) {
+    const int host = i % 4;
+    const double jitter = static_cast<double>(rng() % 100) / 100.0;
+    EXPECT_FALSE(det.observe(host, 100.0 + jitter));
+  }
+  EXPECT_EQ(det.total_flags(), 0u);
+  EXPECT_EQ(det.hottest(), -1);
+}
+
+TEST(StragglerDetectorTest, SlowHostIsFlagged) {
+  SamplerConfig cfg;
+  cfg.min_samples = 4;
+  StragglerDetector det(4, cfg);
+  std::uint64_t flags = 0;
+  for (int i = 0; i < 200; ++i) {
+    for (int host = 0; host < 4; ++host) {
+      const double residency = host == 2 ? 500.0 : 100.0;
+      flags += det.observe(host, residency + (i % 3));
+    }
+  }
+  EXPECT_GT(flags, 0u);
+  EXPECT_EQ(det.total_flags(), flags);
+  EXPECT_EQ(det.hottest(), 2);
+  EXPECT_GT(det.flags(2), 0u);
+  EXPECT_EQ(det.flags(0) + det.flags(1) + det.flags(3), 0u);
+  EXPECT_GT(det.last_z(2), cfg.z_threshold);
+  EXPECT_GT(det.mean_residency_us(2), det.mean_residency_us(0));
+}
+
+TEST(StragglerDetectorTest, NeedsMinSamplesAndPeers) {
+  SamplerConfig cfg;
+  cfg.min_samples = 8;
+  StragglerDetector det(2, cfg);
+  // Too few observations: never flags, however extreme.
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_FALSE(det.observe(0, 1'000'000.0));
+    EXPECT_FALSE(det.observe(1, 1.0));
+  }
+}
+
+TEST(StragglerDetectorTest, ReplayFeedsMetricsFromRecorder) {
+  FlightRecorder rec(3, FlightConfig{.slots_per_host = 1024});
+  SimTime ts = 0;
+  for (std::uint32_t i = 0; i < 60; ++i) {
+    for (int host = 0; host < 3; ++host) {
+      const std::uint32_t residency = host == 1 ? 900 : 100;
+      rec.emit(host, make_record(ts += 10, host, HopKind::kForward, 0,
+                                 i * 3 + static_cast<std::uint32_t>(host),
+                                 residency + (i % 5)));
+    }
+  }
+  SamplerConfig cfg;
+  cfg.min_samples = 4;
+  StragglerDetector det(3, cfg);
+  MetricsRegistry metrics;
+  const std::uint64_t flags = replay_stragglers(rec, det, &metrics, nullptr);
+  EXPECT_GT(flags, 0u);
+  EXPECT_EQ(det.hottest(), 1);
+  const MetricsSnapshot snap = metrics.snapshot();
+  ASSERT_TRUE(snap.counters.contains("obs.straggler_flags"));
+  EXPECT_EQ(snap.counters.at("obs.straggler_flags"),
+            static_cast<std::int64_t>(flags));
+  ASSERT_TRUE(snap.counters.contains("host1.straggler_flags"));
+  EXPECT_EQ(snap.counters.at("host1.straggler_flags"),
+            static_cast<std::int64_t>(det.flags(1)));
+}
+
+// ----- frame hop counter ---------------------------------------------------
+
+TEST(FrameHopTest, StampHopIncrementsAndResealsChecksum) {
+  std::vector<std::byte> payload(64, std::byte{0x5A});
+  const ring::FrameHeader h =
+      ring::make_frame(ring::FrameKind::kData, /*origin=*/2, /*seq=*/9, payload);
+  std::vector<std::byte> message(ring::kFrameBytes + payload.size());
+  ring::encode_frame(h, message.data());
+  std::copy(payload.begin(), payload.end(),
+            message.begin() + ring::kFrameBytes);
+
+  EXPECT_EQ(ring::stamp_hop(message), 1);
+  EXPECT_EQ(ring::stamp_hop(message), 2);
+
+  ring::FrameHeader decoded;
+  ASSERT_TRUE(ring::decode_frame(message, &decoded));  // checksum re-sealed
+  EXPECT_EQ(decoded.reserved[0], 2);
+  EXPECT_EQ(decoded.origin, 2);
+  EXPECT_EQ(decoded.seq, 9u);
+}
+
+TEST(FrameHopTest, HopCounterSaturatesAt255) {
+  std::vector<std::byte> payload(8, std::byte{1});
+  const ring::FrameHeader h =
+      ring::make_frame(ring::FrameKind::kData, 0, 0, payload);
+  std::vector<std::byte> message(ring::kFrameBytes + payload.size());
+  ring::encode_frame(h, message.data());
+  std::copy(payload.begin(), payload.end(),
+            message.begin() + ring::kFrameBytes);
+
+  for (int i = 0; i < 300; ++i) ring::stamp_hop(message);
+  ring::FrameHeader decoded;
+  ASSERT_TRUE(ring::decode_frame(message, &decoded));
+  EXPECT_EQ(decoded.reserved[0], 255);
+}
+
+// ----- prometheus exposition -----------------------------------------------
+
+TEST(PrometheusTest, NamesAreSanitizedAndPrefixed) {
+  EXPECT_EQ(prometheus_name("ring.bytes_sent"), "cj_ring_bytes_sent");
+  EXPECT_EQ(prometheus_name("host0.straggler_z"), "cj_host0_straggler_z");
+  EXPECT_EQ(prometheus_name("a-b c", "x"), "x_a_b_c");
+}
+
+TEST(PrometheusTest, RendersCountersGaugesAndSummaries) {
+  MetricsRegistry metrics;
+  metrics.add_counter("obs.flight_records", 42);
+  metrics.set_gauge("max_hops", 2.0);
+  for (int i = 1; i <= 100; ++i) metrics.record("probe_ns", i * 1000);
+
+  const std::string page = prometheus_text(metrics.snapshot());
+  EXPECT_NE(page.find("# TYPE cj_obs_flight_records counter"),
+            std::string::npos);
+  EXPECT_NE(page.find("cj_obs_flight_records 42"), std::string::npos);
+  EXPECT_NE(page.find("# TYPE cj_max_hops gauge"), std::string::npos);
+  EXPECT_NE(page.find("# TYPE cj_probe_ns summary"), std::string::npos);
+  EXPECT_NE(page.find("cj_probe_ns{quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(page.find("cj_probe_ns_count 100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cj::obs
