@@ -32,6 +32,13 @@
 // they rise, and the median slowness ratio over every (row, metric) pair is
 // divided out first. Cross-backend files are refused like kernel baselines.
 //
+// A third mode gates the query planner: --plan_baseline + --plan_current
+// compare two BENCH_plan.json files (from bench/abl_plan) row by row,
+// keyed by (shape, variant). total_s regresses upward with the machine-
+// speed normalization computed over the time ratios alone; wire_mb is a
+// deterministic byte count — the executor moved more data, no speed to
+// normalize away — so it is judged raw. Cross-backend files are refused.
+//
 // Flags:
 //   --baseline=PATH        baseline BENCH_kernels.json (required for gating)
 //   --rows=a,b,...         restrict to these sizes (default: all in baseline)
@@ -48,6 +55,10 @@
 //   --serve_current=PATH   current  BENCH_serve.json  (required with above)
 //   --serve_min_abs_ms=F   absolute latency threshold, serve mode (default 1)
 //   --serve_min_abs_qps=F  absolute qps threshold, serve mode   (default 0.5)
+//   --plan_baseline=PATH   baseline BENCH_plan.json   (enables plan mode)
+//   --plan_current=PATH    current  BENCH_plan.json   (required with above)
+//   --plan_min_abs_s=F     absolute time threshold, plan mode (default 0.01)
+//   --plan_min_abs_mb=F    absolute wire threshold, plan mode (default 1)
 #include <algorithm>
 #include <cctype>
 #include <cinttypes>
@@ -58,6 +69,7 @@
 #include <optional>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "common/assert.h"
@@ -670,6 +682,179 @@ void write_serve_report(const std::string& path,
   std::printf("wrote %s\n", path.c_str());
 }
 
+// ------------------------------------------------------------- plan gate
+//
+// Gate over the planner ablation's BENCH_plan.json: rows keyed by
+// (shape, variant), two metrics per row. total_s is wall time — machine
+// speed matters, so the median current/baseline time ratio is divided out
+// first (computed over the time pairs only). wire_mb is a byte count the
+// executor either moved or did not; a "faster machine" cannot shrink it,
+// so it is judged raw against the same relative tolerance. Cross-backend
+// comparison (sim virtual seconds vs rt wall seconds) is refused.
+
+struct PlanRow {
+  double total_s = 0;
+  double wire_mb = 0;
+};
+
+using PlanTable = std::map<std::pair<std::string, std::string>, PlanRow>;
+
+std::optional<PlanTable> load_plan(const std::string& path,
+                                   std::string* backend_out) {
+  auto text = read_file(path);
+  if (!text.has_value()) return std::nullopt;
+  auto root = JsonParser(*text).parse();
+  if (!root.has_value()) return std::nullopt;
+  *backend_out = "sim";
+  if (const JsonValue* backend = root->find("backend")) {
+    if (backend->kind == JsonValue::Kind::kString) {
+      *backend_out = backend->string;
+    }
+  }
+  const JsonValue* trajectory = root->find("trajectory");
+  if (trajectory == nullptr || trajectory->kind != JsonValue::Kind::kArray)
+    return std::nullopt;
+  PlanTable table;
+  for (const JsonValue& row : trajectory->array) {
+    const JsonValue* shape = row.find("shape");
+    const JsonValue* variant = row.find("variant");
+    const JsonValue* total_s = row.find("total_s");
+    const JsonValue* wire_mb = row.find("wire_mb");
+    if (shape == nullptr || variant == nullptr || total_s == nullptr ||
+        wire_mb == nullptr) {
+      continue;
+    }
+    table[{shape->string, variant->string}] =
+        PlanRow{total_s->number, wire_mb->number};
+  }
+  return table;
+}
+
+struct PlanVerdict {
+  std::string row;  ///< "shape/variant"
+  const char* metric = "";
+  double baseline = 0;
+  double measured = 0;
+  double normalized = 0;
+  Status status = Status::kOk;
+};
+
+struct PlanGateResult {
+  double speed_ratio = 1.0;  ///< median current/baseline over time pairs
+  std::vector<PlanVerdict> verdicts;
+  int regressions = 0;
+  int improvements = 0;
+};
+
+PlanGateResult apply_plan_gate(const PlanTable& baseline,
+                               const PlanTable& current, double tolerance,
+                               double min_abs_s, double min_abs_mb) {
+  PlanGateResult result;
+  std::vector<double> slowness;
+  for (const auto& [key, row] : current) {
+    auto it = baseline.find(key);
+    if (it == baseline.end()) continue;
+    if (it->second.total_s > 0 && row.total_s > 0) {
+      slowness.push_back(row.total_s / it->second.total_s);
+    }
+  }
+  if (!slowness.empty()) result.speed_ratio = median(slowness);
+
+  const auto judge = [&](const std::string& name, const char* metric,
+                         double base, double measured, bool normalize,
+                         double min_abs) {
+    PlanVerdict v;
+    v.row = name;
+    v.metric = metric;
+    v.baseline = base;
+    v.measured = measured;
+    v.normalized = normalize ? measured / result.speed_ratio : measured;
+    if (base > 0) {
+      const double delta = v.normalized - base;
+      if (delta > base * tolerance && delta > min_abs) {
+        v.status = Status::kRegression;
+        ++result.regressions;
+      } else if (-delta > base * tolerance && -delta > min_abs) {
+        v.status = Status::kImprovement;
+        ++result.improvements;
+      }
+    }
+    result.verdicts.push_back(std::move(v));
+  };
+
+  for (const auto& [key, row] : current) {
+    const std::string name = key.first + "/" + key.second;
+    auto it = baseline.find(key);
+    if (it == baseline.end()) {
+      result.verdicts.push_back(
+          PlanVerdict{name, "row", 0, 0, 0, Status::kNoBaseline});
+      continue;
+    }
+    judge(name, "total_s", it->second.total_s, row.total_s,
+          /*normalize=*/true, min_abs_s);
+    judge(name, "wire_mb", it->second.wire_mb, row.wire_mb,
+          /*normalize=*/false, min_abs_mb);
+  }
+  return result;
+}
+
+void print_plan_gate(const PlanGateResult& result, double tolerance) {
+  std::printf("plan machine speed ratio (median time ratio): %.3f\n",
+              result.speed_ratio);
+  std::printf("tolerance: %.0f%% (wire bytes judged raw)\n\n",
+              tolerance * 100.0);
+  std::printf("%-18s %-8s %12s %12s %12s  %s\n", "row", "metric", "baseline",
+              "measured", "normalized", "status");
+  for (const PlanVerdict& v : result.verdicts) {
+    std::printf("%-18s %-8s %12.3f %12.3f %12.3f  %s\n", v.row.c_str(),
+                v.metric, v.baseline, v.measured, v.normalized,
+                status_name(v.status));
+  }
+  std::printf("\n%d regression(s), %d improvement(s) over %zu check(s)\n",
+              result.regressions, result.improvements,
+              result.verdicts.size());
+}
+
+void write_plan_report(const std::string& path,
+                       const std::string& baseline_path,
+                       const std::string& current_path,
+                       const PlanGateResult& result, double tolerance) {
+  if (path.empty()) return;
+  std::string out = "{\"mode\":\"plan\",\"baseline\":\"" + baseline_path +
+                    "\",\"current\":\"" + current_path + "\",\"speed_ratio\":";
+  append_double(out, result.speed_ratio);
+  out += ",\"tolerance\":";
+  append_double(out, tolerance);
+  out += ",\"regressions\":" + std::to_string(result.regressions);
+  out += ",\"improvements\":" + std::to_string(result.improvements);
+  out += ",\"cases\":[";
+  bool first = true;
+  for (const PlanVerdict& v : result.verdicts) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"row\":\"" + v.row + "\",\"metric\":\"";
+    out += v.metric;
+    out += "\",\"baseline\":";
+    append_double(out, v.baseline);
+    out += ",\"measured\":";
+    append_double(out, v.measured);
+    out += ",\"normalized\":";
+    append_double(out, v.normalized);
+    out += ",\"status\":\"";
+    out += status_name(v.status);
+    out += "\"}";
+  }
+  out += "]}\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 /// --inject_slowdown=kernel[/variant]:PCT — multiplies the matching
 /// measured times. Returns false on a malformed spec.
 bool apply_injection(Table& measured, const std::string& spec) {
@@ -816,7 +1001,62 @@ int self_check(const std::vector<std::int64_t>& sizes, int reps) {
     print_serve_gate(drop, 0.10);
     return 1;
   }
-  std::printf("injected -40%% qps at inflight=2: flagged exactly it\nPASS\n");
+  std::printf("injected -40%% qps at inflight=2: flagged exactly it\n");
+
+  // -- plan gate: synthetic tables, same philosophy.
+  std::printf("\n-- plan gate --\n");
+  PlanTable plan_base;
+  plan_base[{"chain", "planner"}] = PlanRow{0.5, 48.0};
+  plan_base[{"chain", "worst"}] = PlanRow{0.8, 60.0};
+  plan_base[{"star", "planner"}] = PlanRow{0.1, 0.7};
+  plan_base[{"star", "worst"}] = PlanRow{0.4, 28.0};
+
+  PlanGateResult plan_clean = apply_plan_gate(
+      plan_base, plan_base, /*tolerance=*/0.10, /*min_abs_s=*/0.01,
+      /*min_abs_mb=*/1.0);
+  if (plan_clean.regressions != 0 || plan_clean.improvements != 0 ||
+      plan_clean.speed_ratio != 1.0) {
+    std::printf("FAIL: plan self-compare not clean\n");
+    print_plan_gate(plan_clean, 0.10);
+    return 1;
+  }
+  std::printf("clean plan self-compare: ok (%zu checks)\n",
+              plan_clean.verdicts.size());
+
+  // A uniformly 2x-slower machine shifts every time together and must
+  // normalize away; the wire bytes it cannot touch stay clean too.
+  PlanTable plan_slow = plan_base;
+  for (auto& [key, row] : plan_slow) row.total_s *= 2.0;
+  PlanGateResult plan_absorbed =
+      apply_plan_gate(plan_base, plan_slow, 0.10, 0.01, 1.0);
+  if (plan_absorbed.regressions != 0) {
+    std::printf("FAIL: uniform 2x plan slowdown not absorbed (ratio %.3f)\n",
+                plan_absorbed.speed_ratio);
+    print_plan_gate(plan_absorbed, 0.10);
+    return 1;
+  }
+  std::printf("uniform 2x slowdown absorbed: ok (ratio %.3f)\n",
+              plan_absorbed.speed_ratio);
+
+  // Extra wire traffic on one row is a plan-quality regression no machine
+  // normalization may excuse — e.g. the DP starts picking a worse order.
+  PlanTable plan_chatty = plan_base;
+  plan_chatty[{"star", "planner"}].wire_mb = 14.0;
+  PlanGateResult chatty =
+      apply_plan_gate(plan_base, plan_chatty, 0.10, 0.01, 1.0);
+  bool chatty_ok = chatty.regressions == 1;
+  for (const PlanVerdict& v : chatty.verdicts) {
+    if (v.status == Status::kRegression &&
+        (v.row != "star/planner" || std::strcmp(v.metric, "wire_mb") != 0)) {
+      chatty_ok = false;
+    }
+  }
+  if (!chatty_ok) {
+    std::printf("FAIL: star/planner wire blowup not isolated\n");
+    print_plan_gate(chatty, 0.10);
+    return 1;
+  }
+  std::printf("injected 20x wire on star/planner: flagged exactly it\nPASS\n");
   return 0;
 }
 
@@ -842,6 +1082,10 @@ int main(int argc, char** argv) {
   const std::string serve_current_path = flags.get_string("serve_current", "");
   const double serve_min_abs_ms = flags.get_double("serve_min_abs_ms", 1.0);
   const double serve_min_abs_qps = flags.get_double("serve_min_abs_qps", 0.5);
+  const std::string plan_baseline_path = flags.get_string("plan_baseline", "");
+  const std::string plan_current_path = flags.get_string("plan_current", "");
+  const double plan_min_abs_s = flags.get_double("plan_min_abs_s", 0.01);
+  const double plan_min_abs_mb = flags.get_double("plan_min_abs_mb", 1.0);
   bench::check_unused_flags(flags);
 
   std::vector<std::int64_t> sizes(rows_flag.begin(), rows_flag.end());
@@ -895,6 +1139,47 @@ int main(int argc, char** argv) {
     return result.regressions > 0 ? 1 : 0;
   }
 
+  if (!plan_baseline_path.empty() || !plan_current_path.empty()) {
+    if (plan_baseline_path.empty() || plan_current_path.empty()) {
+      std::fprintf(stderr,
+                   "plan mode needs both --plan_baseline and "
+                   "--plan_current\n");
+      return 2;
+    }
+    std::string base_backend;
+    std::string cur_backend;
+    auto plan_base = load_plan(plan_baseline_path, &base_backend);
+    auto plan_cur = load_plan(plan_current_path, &cur_backend);
+    if (!plan_base.has_value() || plan_base->empty()) {
+      std::fprintf(stderr, "cannot load plan baseline from %s\n",
+                   plan_baseline_path.c_str());
+      return 2;
+    }
+    if (!plan_cur.has_value() || plan_cur->empty()) {
+      std::fprintf(stderr, "cannot load plan current from %s\n",
+                   plan_current_path.c_str());
+      return 2;
+    }
+    if (base_backend != cur_backend) {
+      std::fprintf(stderr,
+                   "plan baseline %s is tagged backend=\"%s\" but current "
+                   "%s is backend=\"%s\"; refusing to cross-compare\n",
+                   plan_baseline_path.c_str(), base_backend.c_str(),
+                   plan_current_path.c_str(), cur_backend.c_str());
+      return 2;
+    }
+    std::printf("== plan-regression gate (%s vs %s, backend %s) ==\n",
+                plan_current_path.c_str(), plan_baseline_path.c_str(),
+                cur_backend.c_str());
+    PlanGateResult result =
+        apply_plan_gate(*plan_base, *plan_cur, tolerance, plan_min_abs_s,
+                        plan_min_abs_mb);
+    print_plan_gate(result, tolerance);
+    write_plan_report(report_out, plan_baseline_path, plan_current_path,
+                      result, tolerance);
+    return result.regressions > 0 ? 1 : 0;
+  }
+
   if (!write_baseline.empty()) {
     if (sizes.empty()) sizes = {1 << 16, 1 << 20, 1 << 22};
     write_baseline_file(write_baseline, measure(sizes, reps, nullptr));
@@ -907,6 +1192,8 @@ int main(int argc, char** argv) {
                  "[--rows=...] [--reps=N] [--tolerance=F] [--min_abs_ns=N]\n"
                  "       regress --serve_baseline=BENCH_serve.json "
                  "--serve_current=BENCH_serve.json\n"
+                 "       regress --plan_baseline=BENCH_plan.json "
+                 "--plan_current=BENCH_plan.json\n"
                  "       regress --write_baseline=PATH [--rows=...]\n"
                  "       regress --self_check\n");
     return 2;

@@ -54,6 +54,11 @@ int main() {
   const cyclo::RunReport sample = join.run(few_a, few_b);
 
   std::printf("\nsample pairs at band 2 (timestamps within +-2 ticks):\n");
+  for (const auto& frag : sample.output_fragments()) {
+    std::printf("  host partition: %llu pairs (%s)\n",
+                static_cast<unsigned long long>(frag.rows),
+                human_bytes(frag.bytes).c_str());
+  }
   for (const auto& host_result : sample.host_results) {
     for (const auto& match : host_result.output()) {
       std::printf("  event a#%llu <-> event b#%llu (ts bucket %u)\n",

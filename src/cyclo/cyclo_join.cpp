@@ -79,14 +79,15 @@ struct HostRun {
 class Runner {
  public:
   Runner(const ClusterConfig& cluster_cfg, const JoinSpec& spec,
-         const rel::Relation& r, const std::vector<SharedQuery>& queries)
+         const rel::Relation& r, const std::vector<SharedQuery>& queries,
+         FragmentInputs* frags = nullptr)
       : cluster_cfg_(cluster_cfg),
         spec_(spec),
         cluster_(engine_, cluster_cfg),
         n_(cluster_cfg.num_hosts),
         queries_(queries),  // owned copy: QueryState keeps pointers into it
         num_queries_(queries.size()),
-        plan_(detail::plan_run(cluster_cfg_, spec_, r, queries_)),
+        plan_(detail::plan_run(cluster_cfg_, spec_, r, queries_, frags)),
         setup_barrier_(engine_, n_),
         start_barrier_(engine_, n_),
         replicate_barrier_(engine_, n_),
@@ -579,6 +580,7 @@ class Runner {
       auto& state = host.adopted[q];
       state.band = queries_[q].band;
       state.predicate = &queries_[q].predicate;
+      state.result = join::JoinResult(spec_.materialize);
     }
     {
       std::vector<sim::Task<void>> tasks;
@@ -753,7 +755,27 @@ class Runner {
       }
       report.hosts.push_back(host.stats);
       if (spec_.materialize) {
-        report.host_results.push_back(std::move(host.plan->queries[0].result));
+        if (plan_.resilient) {
+          // Resilient runs sink matches into per-origin partials (plus the
+          // adopter's promoted partition), not queries[0].result. Stitch
+          // them back into one per-host output, applying the same origin
+          // filter as the count above so the materialized multiset equals
+          // exactly what matches/checksum cover. A crashed host contributes
+          // an empty slot — its partition's matches live on the adopter.
+          join::JoinResult combined(true);
+          if (crashed_.count(i) == 0) {
+            auto& query = host.plan->queries[0];
+            for (int o = 0; o < n_; ++o) {
+              if (crashed_.count(o) != 0 && !recovering_) continue;
+              combined.merge(query.per_origin[static_cast<std::size_t>(o)]);
+            }
+            if (!host.adopted.empty()) combined.merge(host.adopted[0].result);
+          }
+          report.host_results.push_back(std::move(combined));
+        } else {
+          report.host_results.push_back(
+              std::move(host.plan->queries[0].result));
+        }
       }
     }
     for (const auto& query : report.queries) {
@@ -1038,6 +1060,30 @@ SharedRunReport CycloJoin::run_shared(const rel::Relation& rotating,
   }
   Runner runner(cluster_, spec_, rotating, queries);
   return runner.execute();
+}
+
+RunReport CycloJoin::run_fragments(FragmentInputs inputs) {
+  SharedQuery query;  // stationary stays null: the fragments are the input
+  query.band = spec_.band;
+  query.predicate = spec_.predicate;
+  const rel::Relation no_rotating;  // ignored: plan_run moves the fragments
+  if (cluster_.backend == Backend::kRt) {
+    return run_rt(cluster_, spec_, no_rotating, {query}, &inputs);
+  }
+  Runner runner(cluster_, spec_, no_rotating, {query}, &inputs);
+  return runner.execute();
+}
+
+std::vector<OutputFragment> RunReport::output_fragments() const {
+  std::vector<OutputFragment> out;
+  out.reserve(host_results.size());
+  for (const join::JoinResult& result : host_results) {
+    OutputFragment frag;
+    frag.rows = result.output().size();
+    frag.bytes = frag.rows * sizeof(join::OutTuple);
+    out.push_back(frag);
+  }
+  return out;
 }
 
 }  // namespace cj::cyclo

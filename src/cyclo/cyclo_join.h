@@ -93,6 +93,12 @@ struct FaultReport {
   std::uint64_t duplicates_skipped = 0;
 };
 
+/// Per-host size of a materialized distributed output partition.
+struct OutputFragment {
+  std::uint64_t rows = 0;
+  std::uint64_t bytes = 0;  ///< materialized output bytes (rows × out-tuple)
+};
+
 /// Aggregated result + measurements of one cyclo-join run.
 struct RunReport {
   // Global makespans (max over hosts; all hosts phase-start together).
@@ -114,6 +120,12 @@ struct RunReport {
 
   /// Materialized output (only when JoinSpec::materialize), per host.
   std::vector<join::JoinResult> host_results;
+
+  /// Stable per-host output-partition sizes (one entry per host; empty
+  /// unless JoinSpec::materialize). The supported way for benches and
+  /// examples to size the distributed result without iterating
+  /// host_results[i].output() ad hoc.
+  std::vector<OutputFragment> output_fragments() const;
 
   /// Fault accounting; default-constructed (all zeros) in fault-free runs.
   FaultReport fault;
@@ -153,6 +165,16 @@ struct QueryResult {
   std::uint64_t checksum = 0;
 };
 
+/// Pre-placed per-host inputs for one round of a multi-round plan
+/// (src/plan): host i already holds rotating[i] and stationary[i] — e.g.
+/// the distributed output partitions of a previous round, rebalanced by
+/// ring::redistribute_by_key. Both vectors must have exactly the cluster's
+/// num_hosts fragments (empty fragments are fine).
+struct FragmentInputs {
+  std::vector<rel::Relation> rotating;
+  std::vector<rel::Relation> stationary;
+};
+
 /// Report of a shared-rotation run: the usual transport/phase measurements
 /// plus one result per query.
 struct SharedRunReport : RunReport {
@@ -176,6 +198,14 @@ class CycloJoin {
   /// Materialization is not supported in shared mode.
   SharedRunReport run_shared(const rel::Relation& rotating,
                              const std::vector<SharedQuery>& queries);
+
+  /// Runs ONE round on pre-placed per-host fragments instead of splitting
+  /// whole relations: the distribute step is skipped and host i's inputs
+  /// are exactly inputs.rotating[i] / inputs.stationary[i]. This is the
+  /// multi-round entry point PlanExecutor (src/plan) uses so intermediates
+  /// never gather at a coordinator. Band/predicate come from the JoinSpec
+  /// (single-query rounds only); both backends are supported.
+  RunReport run_fragments(FragmentInputs inputs);
 
   const ClusterConfig& cluster_config() const { return cluster_; }
   const JoinSpec& spec() const { return spec_; }

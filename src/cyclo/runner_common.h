@@ -95,11 +95,26 @@ struct RunPlan {
 /// Validates the (cluster, spec, queries) combination and distributes the
 /// rotating and stationary relations evenly over the hosts. `queries` must
 /// outlive the plan: QueryState keeps pointers to the predicates.
+///
+/// When `frags` is non-null the distribute step is skipped entirely: host
+/// i's inputs are moved out of frags->rotating[i] / frags->stationary[i]
+/// (pre-placed fragments of a multi-round plan, see CycloJoin::
+/// run_fragments), `r` is ignored, and the single query's `stationary`
+/// pointer may be null. Everything downstream — setup closures, chunking,
+/// replication, the resilient protocol — is identical.
 inline RunPlan plan_run(const ClusterConfig& cluster, const JoinSpec& spec,
                         const rel::Relation& r,
-                        const std::vector<SharedQuery>& queries) {
+                        const std::vector<SharedQuery>& queries,
+                        FragmentInputs* frags = nullptr) {
   const int n = cluster.num_hosts;
   CJ_CHECK_MSG(!queries.empty(), "a run needs at least one query");
+  if (frags != nullptr) {
+    CJ_CHECK_MSG(queries.size() == 1,
+                 "fragment-input runs are single-query rounds");
+    CJ_CHECK_MSG(frags->rotating.size() == static_cast<std::size_t>(n) &&
+                     frags->stationary.size() == static_cast<std::size_t>(n),
+                 "fragment inputs need exactly one fragment per host");
+  }
   if (spec.algorithm == Algorithm::kNestedLoops) {
     for (const auto& q : queries) {
       CJ_CHECK_MSG(static_cast<bool>(q.predicate),
@@ -112,10 +127,13 @@ inline RunPlan plan_run(const ClusterConfig& cluster, const JoinSpec& spec,
   RunPlan plan;
   plan.resilient = !cluster.fault.empty() && n > 1;
   plan.replicate = plan.resilient && cluster.node.resilience.replicate;
-  if (plan.resilient) {
-    CJ_CHECK_MSG(!spec.materialize,
-                 "materialization is not supported under fault injection");
-  }
+  // Materialization is safe in resilient mode: every add_match happens on
+  // the deduplicated join path (re-injected copies carry the duplicate
+  // flag and adopted joins consult the per-origin seen-sets), so the
+  // materialized multiset equals exactly what the count/checksum cover —
+  // exact under crash+replication, survivors-only in degraded runs. The
+  // multi-round plan executor (src/plan) relies on this to keep a crashed
+  // round's distributed output partitions usable downstream.
   if (!cluster.fault.crashes.empty()) {
     CJ_CHECK_MSG(cluster.fault.crashes.size() == 1,
                  "the fault framework supports at most one host crash");
@@ -124,7 +142,8 @@ inline RunPlan plan_run(const ClusterConfig& cluster, const JoinSpec& spec,
     CJ_CHECK_MSG(n >= 3, "surviving a crash needs at least three hosts");
   }
 
-  auto r_frags = rel::split_even(r, n);
+  auto r_frags =
+      frags != nullptr ? std::move(frags->rotating) : rel::split_even(r, n);
   plan.hosts.resize(static_cast<std::size_t>(n));
   plan.s_rows.assign(static_cast<std::size_t>(n), 0);
   for (int i = 0; i < n; ++i) {
@@ -135,8 +154,10 @@ inline RunPlan plan_run(const ClusterConfig& cluster, const JoinSpec& spec,
   }
   std::size_t max_s_rows = 0;
   for (std::size_t q = 0; q < queries.size(); ++q) {
-    CJ_CHECK(queries[q].stationary != nullptr);
-    auto s_frags = rel::split_even(*queries[q].stationary, n);
+    CJ_CHECK(frags != nullptr || queries[q].stationary != nullptr);
+    auto s_frags = frags != nullptr
+                       ? std::move(frags->stationary)
+                       : rel::split_even(*queries[q].stationary, n);
     for (int i = 0; i < n; ++i) {
       QueryState& state = plan.hosts[static_cast<std::size_t>(i)].queries[q];
       state.s_frag = std::move(s_frags[static_cast<std::size_t>(i)]);
@@ -146,7 +167,9 @@ inline RunPlan plan_run(const ClusterConfig& cluster, const JoinSpec& spec,
       state.result = join::JoinResult(spec.materialize);
       if (plan.resilient) {
         state.per_origin.reserve(static_cast<std::size_t>(n));
-        for (int o = 0; o < n; ++o) state.per_origin.emplace_back(false);
+        for (int o = 0; o < n; ++o) {
+          state.per_origin.emplace_back(spec.materialize);
+        }
       }
       plan.s_rows[static_cast<std::size_t>(i)] += state.s_frag.rows();
       max_s_rows = std::max(max_s_rows, state.s_frag.rows());

@@ -89,7 +89,8 @@ constexpr SimDuration kMinAckTimeout = 200 * kMillisecond;
 class RtRunner {
  public:
   RtRunner(const ClusterConfig& cfg, const JoinSpec& spec,
-           const rel::Relation& r, const std::vector<SharedQuery>& queries)
+           const rel::Relation& r, const std::vector<SharedQuery>& queries,
+           FragmentInputs* frags = nullptr)
       : cfg_(cfg),
         spec_(spec),
         n_(cfg.num_hosts),
@@ -108,7 +109,7 @@ class RtRunner {
         "the rt backend supports crash faults only (no link faults)");
     CJ_CHECK_MSG(cfg_.fault.slowdowns.empty(),
                  "the rt backend supports crash faults only (no slowdowns)");
-    plan_ = detail::plan_run(cfg_, spec_, r, queries_);
+    plan_ = detail::plan_run(cfg_, spec_, r, queries_, frags);
   }
 
   SharedRunReport execute() {
@@ -1336,8 +1337,9 @@ class RtRunner {
 
 SharedRunReport run_rt(const ClusterConfig& cluster, const JoinSpec& spec,
                        const rel::Relation& rotating,
-                       const std::vector<SharedQuery>& queries) {
-  RtRunner runner(cluster, spec, rotating, queries);
+                       const std::vector<SharedQuery>& queries,
+                       FragmentInputs* frags) {
+  RtRunner runner(cluster, spec, rotating, queries, frags);
   return runner.execute();
 }
 

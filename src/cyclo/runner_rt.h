@@ -17,8 +17,11 @@ namespace cj::cyclo {
 /// Runs the query set on the rt backend and reports like the sim runner
 /// (matches/checksums are identical; timings are wall-clock nanoseconds).
 /// Supports crash-only fault plans; link faults and slowdowns are rejected.
+/// A non-null `frags` skips the distribute step and moves the pre-placed
+/// per-host fragments in (see CycloJoin::run_fragments).
 SharedRunReport run_rt(const ClusterConfig& cluster, const JoinSpec& spec,
                        const rel::Relation& rotating,
-                       const std::vector<SharedQuery>& queries);
+                       const std::vector<SharedQuery>& queries,
+                       FragmentInputs* frags = nullptr);
 
 }  // namespace cj::cyclo

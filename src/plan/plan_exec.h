@@ -1,0 +1,94 @@
+// Plan execution: runs a compiled left-deep plan as a sequence of
+// cyclo-join rounds with every intermediate staying distributed.
+//
+// Round k joins the accumulated intermediate with the plan's next base
+// relation via CycloJoin::run_fragments — host i's inputs are exactly the
+// per-host fragments it already holds, so the distribute step of a normal
+// run never happens. The round's per-host output partitions are projected
+// in place to the paper's (key, payload) tuple format (the payload of the
+// intermediate side survives, accumulating left-deep), rebalanced by key
+// over the ring itself (ring/redistribute.h — the same hop-by-hop record
+// streaming the replication phase of the resilient protocol uses, see
+// docs/FAULTS.md), and become round k+1's rotating or stationary
+// fragments. No step concatenates an intermediate relation into a single
+// process: the executor only ever moves per-host handles.
+//
+// Both backends run unchanged (the round is an ordinary cyclo-join run),
+// and PR 6 crash recovery composes per round: a host crash during round k
+// is adopted/replayed inside that round, and the recovered output
+// partitions feed round k+1 like any other.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/units.h"
+#include "cyclo/cyclo_join.h"
+#include "plan/plan_gen.h"
+#include "rel/partitioned.h"
+
+namespace cj::plan {
+
+struct ExecConfig {
+  cyclo::ClusterConfig cluster;
+  /// Join tasks per host per round (JoinSpec::join_threads).
+  int join_threads = 4;
+  /// Materialize the final round's distributed output partitions into
+  /// PlanRunReport::output. Off = the final round only counts/checksums
+  /// (the bench mode; intermediates always materialize regardless).
+  bool materialize_final = true;
+  /// Per-round config hook, called with the round index before the round's
+  /// CycloJoin is built — tests use it to arm a fault plan for one round
+  /// of a plan (mid-plan crash recovery).
+  std::function<void(int round, cyclo::ClusterConfig*)> round_config;
+};
+
+/// What one executed round did (measured, not estimated).
+struct RoundReport {
+  int relation = -1;                 ///< relation id joined in
+  bool intermediate_rotated = false;
+  std::uint32_t band = 0;
+  std::uint64_t matches = 0;   ///< output rows of this round
+  std::uint64_t checksum = 0;  ///< order-independent pairing checksum
+  /// Rotation payload bytes this round moved over the ring.
+  std::uint64_t rotation_bytes = 0;
+  /// Redistribution bytes (link crossings) rebalancing the output; 0 for
+  /// the final round.
+  std::uint64_t redistribute_bytes = 0;
+  /// Output rows per host as they enter the next round (post-rebalance;
+  /// the final round reports its raw per-host output). The fragment-
+  /// locality signal: no entry ever holds the whole intermediate.
+  std::vector<std::uint64_t> rows_per_host;
+  SimDuration setup_wall = 0;
+  SimDuration join_wall = 0;
+  bool recovered = false;  ///< a crash in this round was exactly recovered
+  bool degraded = false;   ///< a crash in this round lost rows
+};
+
+struct PlanRunReport {
+  std::uint64_t matches = 0;   ///< final result cardinality
+  std::uint64_t checksum = 0;  ///< final round's pairing checksum
+  std::vector<RoundReport> rounds;
+  /// Rotation + redistribution traffic summed over all rounds.
+  std::uint64_t wire_bytes = 0;
+  /// Final output as per-host partitions (set when materialize_final).
+  rel::PartitionedRelation output;
+};
+
+class PlanExecutor {
+ public:
+  explicit PlanExecutor(ExecConfig cfg) : cfg_(std::move(cfg)) {}
+
+  /// Runs `plan` over `inputs`, the base relations as per-host fragment
+  /// handles indexed by relation id (PartitionedRelation::split or a
+  /// previous plan's output). Fragment counts must match the cluster's
+  /// num_hosts. Inputs are consumed (fragments move into the rounds).
+  PlanRunReport execute(const Plan& plan, const QueryGraph& graph,
+                        std::vector<rel::PartitionedRelation> inputs) const;
+
+ private:
+  ExecConfig cfg_;
+};
+
+}  // namespace cj::plan

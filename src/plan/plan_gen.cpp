@@ -1,0 +1,185 @@
+#include "plan/plan_gen.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace cj::plan {
+namespace {
+
+/// Costed extension of a left-deep prefix by one relation.
+struct Extension {
+  PlannedRound round;
+  model::PlanRelStats next_inter;  ///< stats of the extended intermediate
+};
+
+}  // namespace
+
+PlanGen::PlanGen(const QueryGraph& graph, model::PlanCostParams params,
+                 model::JoinKind equi_kind)
+    : graph_(graph), params_(params), equi_kind_(equi_kind) {
+  CJ_CHECK_MSG(graph.num_relations() >= 2, "a plan joins at least two relations");
+}
+
+namespace {
+
+Extension extend(const QueryGraph& graph, const model::PlanCostParams& params,
+                 model::JoinKind equi_kind, const model::PlanRelStats& inter,
+                 std::uint32_t subset_mask, int rel, bool is_final) {
+  Extension ext;
+  ext.round.relation = rel;
+  ext.round.band = graph.band_to(rel, subset_mask);
+  ext.round.kind =
+      ext.round.band > 0 ? model::JoinKind::kSortMerge : equi_kind;
+  const model::PlanRelStats& joined = graph.stats(rel);
+  ext.round.est_out_rows =
+      model::estimate_join_rows(inter, joined, ext.round.band);
+  ext.round.cost = model::pick_rotation(
+      inter, joined, ext.round.kind, ext.round.est_out_rows,
+      /*redistribute_output=*/!is_final, params,
+      &ext.round.intermediate_rotates);
+  ext.next_inter.rows = ext.round.est_out_rows;
+  ext.next_inter.distinct_keys = model::estimate_join_distinct(inter, joined);
+  return ext;
+}
+
+}  // namespace
+
+Plan PlanGen::best() const {
+  const int n = graph_.num_relations();
+  const std::uint32_t full = (1u << n) - 1u;
+
+  struct DpEntry {
+    bool valid = false;
+    double total_ns = 0;
+    double wire_bytes = 0;
+    model::PlanRelStats inter;
+    std::vector<int> order;
+    std::vector<PlannedRound> rounds;
+  };
+  std::vector<DpEntry> dp(static_cast<std::size_t>(full) + 1);
+
+  for (int i = 0; i < n; ++i) {
+    DpEntry& seed = dp[1u << i];
+    seed.valid = true;
+    seed.inter = graph_.stats(i);
+    seed.order = {i};
+  }
+
+  // Masks ascend, and S | (1 << j) > S, so every prefix is final when read.
+  for (std::uint32_t mask = 1; mask <= full; ++mask) {
+    const DpEntry& cur = dp[mask];
+    if (!cur.valid) continue;
+    for (int j = 0; j < n; ++j) {
+      if ((mask >> j) & 1u) continue;
+      if (!graph_.connected(j, mask)) continue;
+      const std::uint32_t next_mask = mask | (1u << j);
+      const Extension ext = extend(graph_, params_, equi_kind_, cur.inter,
+                                   mask, j, /*is_final=*/next_mask == full);
+      const double total = cur.total_ns + ext.round.cost.total_ns;
+      DpEntry& next = dp[next_mask];
+      if (next.valid && total >= next.total_ns) continue;
+      next.valid = true;
+      next.total_ns = total;
+      next.wire_bytes = cur.wire_bytes + ext.round.cost.wire_bytes();
+      next.inter = ext.next_inter;
+      next.order = cur.order;
+      next.order.push_back(j);
+      next.rounds = cur.rounds;
+      next.rounds.push_back(ext.round);
+    }
+  }
+
+  const DpEntry& goal = dp[full];
+  CJ_CHECK_MSG(goal.valid,
+               "query graph is disconnected: no left-deep order joins every "
+               "relation without a cross product");
+  Plan plan;
+  plan.order = goal.order;
+  plan.rounds = goal.rounds;
+  plan.total_ns = goal.total_ns;
+  plan.wire_bytes = goal.wire_bytes;
+  return plan;
+}
+
+std::vector<Plan> PlanGen::enumerate() const {
+  const int n = graph_.num_relations();
+  CJ_CHECK_MSG(n <= 10, "exhaustive enumeration is for small N");
+  const std::uint32_t full = (1u << n) - 1u;
+
+  std::vector<Plan> plans;
+  Plan partial;
+  model::PlanRelStats inter;
+
+  // DFS over left-deep prefixes; only connected extensions are explored,
+  // mirroring the DP's search space exactly.
+  auto dfs = [&](auto&& self, std::uint32_t mask) -> void {
+    if (mask == full) {
+      plans.push_back(partial);
+      return;
+    }
+    for (int j = 0; j < n; ++j) {
+      if ((mask >> j) & 1u) continue;
+      if (!graph_.connected(j, mask)) continue;
+      const std::uint32_t next_mask = mask | (1u << j);
+      const Extension ext = extend(graph_, params_, equi_kind_, inter, mask,
+                                   j, /*is_final=*/next_mask == full);
+      const model::PlanRelStats saved = inter;
+      inter = ext.next_inter;
+      partial.order.push_back(j);
+      partial.rounds.push_back(ext.round);
+      partial.total_ns += ext.round.cost.total_ns;
+      partial.wire_bytes += ext.round.cost.wire_bytes();
+      self(self, next_mask);
+      partial.total_ns -= ext.round.cost.total_ns;
+      partial.wire_bytes -= ext.round.cost.wire_bytes();
+      partial.rounds.pop_back();
+      partial.order.pop_back();
+      inter = saved;
+    }
+  };
+
+  for (int i = 0; i < n; ++i) {
+    inter = graph_.stats(i);
+    partial.order = {i};
+    partial.rounds.clear();
+    partial.total_ns = 0;
+    partial.wire_bytes = 0;
+    dfs(dfs, 1u << i);
+  }
+
+  std::stable_sort(plans.begin(), plans.end(),
+                   [](const Plan& a, const Plan& b) {
+                     return a.total_ns < b.total_ns;
+                   });
+  return plans;
+}
+
+std::string Plan::to_string(const QueryGraph& graph) const {
+  std::string shape = graph.name(order[0]);
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    shape = "(" + shape + " ⋈ " + graph.name(order[k]) + ")";
+  }
+  std::string out = shape;
+  for (std::size_t k = 0; k < rounds.size(); ++k) {
+    const PlannedRound& r = rounds[k];
+    const std::string inter_name =
+        k == 0 ? graph.name(order[0]) : "intermediate";
+    char line[256];
+    std::snprintf(
+        line, sizeof line,
+        "\n  round %zu: %s rotates vs %s [%s%s], est %.3g rows, "
+        "%.1f MB wire",
+        k, r.intermediate_rotates ? inter_name.c_str() : graph.name(r.relation).c_str(),
+        r.intermediate_rotates ? graph.name(r.relation).c_str() : inter_name.c_str(),
+        r.kind == model::JoinKind::kHash ? "hash" : "sort-merge",
+        r.band > 0 ? ", band" : "", r.est_out_rows,
+        r.cost.wire_bytes() / 1e6);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace cj::plan

@@ -1,0 +1,71 @@
+// Cost-based plan generation: left-deep join orderings over the query
+// graph, chosen by dynamic programming over the src/model plan-cost model.
+//
+// A plan for relations {R0..Rn-1} is an order plus one cyclo-join round
+// per step: round k joins the accumulated intermediate with the next
+// relation, and the model decides per round which side rotates (the
+// cheaper orientation of model::pick_rotation) and charges the rotation
+// traffic, the build/probe compute, and — for every non-final round — the
+// keyed redistribution of the round's output over the ring
+// (ring/redistribute.h). Cardinalities chain through
+// model::estimate_join_rows, so the cost of round k+1 is computed from
+// estimates, never from measurements.
+//
+// best() is the classic DP over connected subsets (rdf3x's PlanGen is the
+// compact exemplar, see PAPERS.md): dp[S] holds the cheapest left-deep
+// plan joining exactly the relations in S, extended one connected
+// relation at a time. enumerate() walks every connected left-deep order
+// outright — the bench harness uses it to find the *worst* order the DP
+// must beat, and tests use it to confirm the DP's minimum is the true one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/plan_cost.h"
+#include "plan/query_graph.h"
+
+namespace cj::plan {
+
+/// One cyclo-join round of a compiled plan.
+struct PlannedRound {
+  int relation = -1;  ///< id of the relation this round joins in
+  /// True when the accumulated intermediate is the rotating side (the
+  /// newly joined relation is stationary); false for the opposite.
+  bool intermediate_rotates = true;
+  std::uint32_t band = 0;
+  model::JoinKind kind = model::JoinKind::kHash;
+  double est_out_rows = 0;  ///< estimated output cardinality of the round
+  model::RoundCost cost;
+};
+
+/// A complete left-deep plan: the join order plus its per-round choices.
+struct Plan {
+  std::vector<int> order;            ///< relation ids; order[0] seeds round 0
+  std::vector<PlannedRound> rounds;  ///< order.size() − 1 rounds
+  double total_ns = 0;               ///< modeled end-to-end cost
+  double wire_bytes = 0;             ///< rotation + redistribution traffic
+
+  /// "((A ⋈ B) ⋈ C) — round 0: A rotates vs B, est 1.2e5 rows; ..."
+  std::string to_string(const QueryGraph& graph) const;
+};
+
+class PlanGen {
+ public:
+  PlanGen(const QueryGraph& graph, model::PlanCostParams params,
+          model::JoinKind equi_kind = model::JoinKind::kHash);
+
+  /// Cheapest connected left-deep plan (DP over subsets).
+  Plan best() const;
+
+  /// Every connected left-deep order, costed, cheapest first. Exhaustive —
+  /// meant for small N (tests, the worst-order ablation).
+  std::vector<Plan> enumerate() const;
+
+ private:
+  const QueryGraph& graph_;
+  model::PlanCostParams params_;
+  model::JoinKind equi_kind_;
+};
+
+}  // namespace cj::plan

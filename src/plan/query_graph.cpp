@@ -1,0 +1,73 @@
+#include "plan/query_graph.h"
+
+#include <utility>
+
+#include "common/assert.h"
+
+namespace cj::plan {
+
+int QueryGraph::add_relation(std::string name, model::PlanRelStats stats) {
+  CJ_CHECK_MSG(stats.rows >= 0 && stats.distinct_keys >= 1,
+               "relation stats need rows >= 0 and distinct_keys >= 1");
+  CJ_CHECK_MSG(num_relations() < 16,
+               "the planner enumerates up to 16 relations");
+  names_.push_back(std::move(name));
+  stats_.push_back(stats);
+  return num_relations() - 1;
+}
+
+int QueryGraph::add_relation(std::string name, const rel::ColumnStats& stats) {
+  model::PlanRelStats s;
+  s.rows = static_cast<double>(stats.rows);
+  s.distinct_keys = static_cast<double>(std::max<std::uint64_t>(1, stats.distinct_keys));
+  return add_relation(std::move(name), s);
+}
+
+void QueryGraph::add_join(int left, int right, std::uint32_t band) {
+  check_id(left);
+  check_id(right);
+  CJ_CHECK_MSG(left != right, "a join edge connects two distinct relations");
+  edges_.push_back(JoinEdge{left, right, band});
+}
+
+const std::string& QueryGraph::name(int id) const {
+  check_id(id);
+  return names_[static_cast<std::size_t>(id)];
+}
+
+const model::PlanRelStats& QueryGraph::stats(int id) const {
+  check_id(id);
+  return stats_[static_cast<std::size_t>(id)];
+}
+
+bool QueryGraph::connected(int rel, std::uint32_t subset_mask) const {
+  check_id(rel);
+  for (const JoinEdge& e : edges_) {
+    const int other = e.left == rel ? e.right : e.right == rel ? e.left : -1;
+    if (other >= 0 && (subset_mask >> other) & 1u) return true;
+  }
+  return false;
+}
+
+std::uint32_t QueryGraph::band_to(int rel, std::uint32_t subset_mask) const {
+  check_id(rel);
+  std::uint32_t band = 0;
+  bool found = false;
+  for (const JoinEdge& e : edges_) {
+    const int other = e.left == rel ? e.right : e.right == rel ? e.left : -1;
+    if (other < 0 || !((subset_mask >> other) & 1u)) continue;
+    CJ_CHECK_MSG(!found || band == e.band,
+                 "edges from one relation into the join prefix must agree "
+                 "on the band (a round enforces one predicate on the key)");
+    band = e.band;
+    found = true;
+  }
+  CJ_CHECK_MSG(found, "relation has no edge into the join prefix");
+  return band;
+}
+
+void QueryGraph::check_id(int id) const {
+  CJ_CHECK_MSG(id >= 0 && id < num_relations(), "unknown relation id");
+}
+
+}  // namespace cj::plan

@@ -1,0 +1,69 @@
+// Query graph: the planner's input — N relations plus the equi/band join
+// predicates connecting them (paper Sec. IV-A: "the join output could
+// naturally be used as input to subsequent processing in a larger query
+// plan").
+//
+// Every predicate is over the single 4-byte join key the paper's tuple
+// format carries (rel::Tuple is key + payload), so an edge (a, b, band)
+// reads |a.key − b.key| <= band, with band = 0 the plain equi join. Chain
+// vs star is the *topology* of declared edges: a chain declares R—S, S—T;
+// a star declares fact—dim for every dimension. The planner only extends
+// a left-deep prefix with relations connected to it, so cross products are
+// never enumerated.
+//
+// Relations enter with their planner statistics (rows + distinct keys,
+// from rel::collect_stats or constructed directly in tests); the graph
+// itself never touches tuple data.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/plan_cost.h"
+#include "rel/partitioned.h"
+
+namespace cj::plan {
+
+/// One join predicate |left.key − right.key| <= band (band 0 = equi).
+struct JoinEdge {
+  int left = 0;
+  int right = 0;
+  std::uint32_t band = 0;
+};
+
+class QueryGraph {
+ public:
+  /// Adds a relation with explicit planner stats; returns its id.
+  int add_relation(std::string name, model::PlanRelStats stats);
+
+  /// Adds a relation from measured column stats (rel::collect_stats).
+  int add_relation(std::string name, const rel::ColumnStats& stats);
+
+  /// Declares the predicate |left.key − right.key| <= band.
+  void add_join(int left, int right, std::uint32_t band = 0);
+
+  int num_relations() const { return static_cast<int>(stats_.size()); }
+  const std::string& name(int id) const;
+  const model::PlanRelStats& stats(int id) const;
+  std::span<const JoinEdge> edges() const { return edges_; }
+
+  /// True when `rel` has at least one declared edge into the subset
+  /// (bit i of `subset_mask` = relation i is part of the prefix).
+  bool connected(int rel, std::uint32_t subset_mask) const;
+
+  /// Band of the predicate enforced when `rel` joins the subset. Multiple
+  /// edges into the subset must agree on the band — a cyclo round applies
+  /// exactly one band predicate to the shared key (CJ_CHECKed).
+  std::uint32_t band_to(int rel, std::uint32_t subset_mask) const;
+
+ private:
+  void check_id(int id) const;
+
+  std::vector<std::string> names_;
+  std::vector<model::PlanRelStats> stats_;
+  std::vector<JoinEdge> edges_;
+};
+
+}  // namespace cj::plan

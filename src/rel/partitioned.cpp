@@ -1,0 +1,133 @@
+#include "rel/partitioned.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace cj::rel {
+namespace {
+
+/// KMV sketch size: distinct counts are exact below k, estimated above.
+constexpr std::size_t kSketchK = 1024;
+
+/// Mixes a 32-bit key into a well-distributed 64-bit hash (splitmix64
+/// finalizer) — the KMV estimator needs hashes that behave uniformly.
+std::uint64_t mix_key(std::uint32_t key) {
+  std::uint64_t h = static_cast<std::uint64_t>(key) + 0x9E3779B97F4A7C15ULL;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+  return h ^ (h >> 31);
+}
+
+/// Streaming KMV distinct-count sketch: keeps the k smallest distinct key
+/// hashes as a max-heap; D ≈ (k-1) / U(k) where U(k) is the k-th smallest
+/// hash normalized to (0, 1].
+class KmvSketch {
+ public:
+  void add(std::uint32_t key) {
+    const std::uint64_t h = mix_key(key);
+    if (heap_.size() < kSketchK) {
+      if (members_.insert(h).second) push(h);
+      return;
+    }
+    if (h >= heap_.front() || !members_.insert(h).second) return;
+    members_.erase(heap_.front());
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
+    push(h);
+  }
+
+  std::uint64_t estimate() const {
+    if (heap_.size() < kSketchK) return heap_.size();  // exact
+    const double kth = static_cast<double>(heap_.front());
+    const double unit =
+        kth / (static_cast<double>(std::numeric_limits<std::uint64_t>::max()) + 1.0);
+    if (unit <= 0.0) return heap_.size();
+    return static_cast<std::uint64_t>(
+        static_cast<double>(kSketchK - 1) / unit + 0.5);
+  }
+
+ private:
+  void push(std::uint64_t h) {
+    heap_.push_back(h);
+    std::push_heap(heap_.begin(), heap_.end());
+  }
+
+  std::vector<std::uint64_t> heap_;  // max-heap of the k smallest hashes
+  std::unordered_set<std::uint64_t> members_;  // mirrors heap_ for O(1) dedup
+};
+
+void absorb(std::span<const Tuple> tuples, ColumnStats* stats, KmvSketch* kmv) {
+  for (const Tuple& t : tuples) {
+    if (stats->rows == 0) {
+      stats->min_key = stats->max_key = t.key;
+    } else {
+      stats->min_key = std::min(stats->min_key, t.key);
+      stats->max_key = std::max(stats->max_key, t.key);
+    }
+    ++stats->rows;
+    kmv->add(t.key);
+  }
+}
+
+}  // namespace
+
+ColumnStats collect_stats(std::span<const Tuple> tuples) {
+  ColumnStats stats;
+  KmvSketch kmv;
+  absorb(tuples, &stats, &kmv);
+  stats.distinct_keys = kmv.estimate();
+  return stats;
+}
+
+ColumnStats collect_stats(const Relation& relation) {
+  return collect_stats(relation.tuples());
+}
+
+ColumnStats collect_stats(std::span<const Relation> fragments) {
+  ColumnStats stats;
+  KmvSketch kmv;
+  for (const Relation& frag : fragments) absorb(frag.tuples(), &stats, &kmv);
+  stats.distinct_keys = kmv.estimate();
+  return stats;
+}
+
+PartitionedRelation::PartitionedRelation(std::string name,
+                                         std::vector<Relation> fragments)
+    : name_(std::move(name)), fragments_(std::move(fragments)) {
+  CJ_CHECK_MSG(!fragments_.empty(),
+               "a partitioned relation needs at least one fragment");
+  refresh_stats();
+}
+
+PartitionedRelation PartitionedRelation::split(const Relation& relation,
+                                               int hosts) {
+  CJ_CHECK(hosts > 0);
+  return PartitionedRelation(relation.name(), split_even(relation, hosts));
+}
+
+std::uint64_t PartitionedRelation::rows() const {
+  std::uint64_t total = 0;
+  for (const Relation& frag : fragments_) total += frag.rows();
+  return total;
+}
+
+std::vector<std::uint64_t> PartitionedRelation::rows_per_host() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(fragments_.size());
+  for (const Relation& frag : fragments_) out.push_back(frag.rows());
+  return out;
+}
+
+std::vector<Relation> PartitionedRelation::take_fragments() && {
+  return std::move(fragments_);
+}
+
+void PartitionedRelation::refresh_stats() {
+  stats_ = collect_stats(std::span<const Relation>(fragments_));
+}
+
+}  // namespace cj::rel

@@ -1,0 +1,91 @@
+// Per-host partitioned relation handles + simple column statistics.
+//
+// The planner (src/plan) works over relations that live as one fragment
+// per ring host — either the even split a cyclo-join run would perform
+// anyway, or the distributed output partitions of a previous round. A
+// PartitionedRelation is exactly that: a named set of per-host fragments
+// that is never concatenated back into one address space. ColumnStats are
+// the planner's cardinality inputs: row count, key range, and a KMV
+// (k-minimum-values) distinct-count sketch that is exact below the sketch
+// size and an unbiased estimate above it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rel/relation.h"
+
+namespace cj::rel {
+
+/// Single-column (the join key) statistics of a relation or fragment set.
+struct ColumnStats {
+  std::uint64_t rows = 0;
+  std::uint32_t min_key = 0;
+  std::uint32_t max_key = 0;
+  /// Distinct join keys: exact when the relation has fewer than the KMV
+  /// sketch size (1024) distinct keys, a KMV estimate otherwise.
+  std::uint64_t distinct_keys = 0;
+};
+
+/// Collects key statistics over one tuple span.
+ColumnStats collect_stats(std::span<const Tuple> tuples);
+
+/// Collects key statistics over a relation.
+ColumnStats collect_stats(const Relation& relation);
+
+/// Collects key statistics over a fragment set (one logical relation kept
+/// as per-host pieces): a single sketch absorbs every fragment, so the
+/// distinct count is over the union, not a sum of per-fragment counts.
+ColumnStats collect_stats(std::span<const Relation> fragments);
+
+/// One logical relation held as per-host fragments. Move-only, like
+/// Relation: a multi-gigabyte table is never copied implicitly, and —
+/// deliberately — there is no accessor that concatenates the fragments
+/// into one Relation. Multi-round plans keep intermediates in this form.
+class PartitionedRelation {
+ public:
+  PartitionedRelation() = default;
+  PartitionedRelation(std::string name, std::vector<Relation> fragments);
+
+  PartitionedRelation(PartitionedRelation&&) = default;
+  PartitionedRelation& operator=(PartitionedRelation&&) = default;
+  PartitionedRelation(const PartitionedRelation&) = delete;
+  PartitionedRelation& operator=(const PartitionedRelation&) = delete;
+
+  /// Splits a relation into `hosts` even fragments (rel::split_even) and
+  /// collects its stats — how base relations enter a plan.
+  static PartitionedRelation split(const Relation& relation, int hosts);
+
+  const std::string& name() const { return name_; }
+  int hosts() const { return static_cast<int>(fragments_.size()); }
+  std::uint64_t rows() const;
+  std::uint64_t bytes() const { return rows() * sizeof(Tuple); }
+  const ColumnStats& stats() const { return stats_; }
+
+  std::span<const Relation> fragments() const { return fragments_; }
+  std::span<Relation> mutable_fragments() { return fragments_; }
+  const Relation& fragment(int host) const {
+    return fragments_[static_cast<std::size_t>(host)];
+  }
+
+  /// Rows held by each host — the planner's skew signal and the fragment-
+  /// locality invariant the tests assert (no host holds everything).
+  std::vector<std::uint64_t> rows_per_host() const;
+
+  /// Consumes the handle, releasing the fragments to the caller (a round's
+  /// rotating/stationary inputs are moved, not copied).
+  std::vector<Relation> take_fragments() &&;
+
+  /// Recomputes stats after fragments were mutated in place (e.g. after a
+  /// redistribution pass or an in-place projection).
+  void refresh_stats();
+
+ private:
+  std::string name_;
+  std::vector<Relation> fragments_;
+  ColumnStats stats_;
+};
+
+}  // namespace cj::rel

@@ -1,0 +1,56 @@
+// Keyed redistribution of per-host fragments over the ring.
+//
+// Between two cyclo-join rounds, the distributed output partitions of
+// round k become the input fragments of round k+1. Correctness never
+// requires moving a row — every rotating chunk visits every host — but
+// load balance does: the per-host output of a join round is as skewed as
+// its inputs, and a lopsided stationary side makes one host's build/probe
+// the round's critical path. This phase rebalances by key, the same way
+// the replication phase of the resilient protocol streams fragments
+// between neighbors (docs/FAULTS.md Layer 4): each host cuts its fragment
+// into one bucket per destination (hash(key) mod n), seals every bucket
+// into a checksummed record (16-byte header + tuple payload, the replica-
+// record shape), and the records travel hop by hop along the ring's data
+// direction until their destination absorbs them. No coordinator: a record
+// from host i to host j crosses exactly (j - i + n) mod n links, and no
+// process ever holds more than its own fragment plus in-flight records.
+//
+// The move is synchronous and deterministic — identical on the sim and rt
+// backends — and reports exact per-link byte counts so the caller can
+// account the wire cost (the planner charges them via model::plan_cost).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rel/relation.h"
+
+namespace cj::ring {
+
+/// Exact transfer accounting of one redistribution pass.
+struct RedistributeStats {
+  /// Records sealed and moved (buckets that stayed home are not records).
+  std::uint64_t records = 0;
+  /// Payload + header bytes summed over every link crossing (a record
+  /// crossing three links counts three times — the ring's real traffic).
+  std::uint64_t bytes_on_wire = 0;
+  /// The busiest single link's byte count (the phase's critical path).
+  std::uint64_t max_link_bytes = 0;
+  /// Rows that changed hosts / rows that were already home.
+  std::uint64_t rows_moved = 0;
+  std::uint64_t rows_kept = 0;
+};
+
+/// Hash-partition assignment of a join key to one of `hosts` destinations.
+/// Exposed so tests (and the planner's balance estimate) agree with the
+/// data path on where a key lands.
+int home_host(std::uint32_t key, int hosts);
+
+/// Redistributes `fragments` (one per ring host, in ring order) in place so
+/// fragment i afterwards holds exactly the keys with home_host(key) == i.
+/// Tuple multiplicity is preserved; within a destination, arrival order is
+/// the deterministic ring order (own bucket first, then predecessors by
+/// hop distance). Every record is checksum-verified on absorb.
+RedistributeStats redistribute_by_key(std::vector<rel::Relation>* fragments);
+
+}  // namespace cj::ring

@@ -145,10 +145,16 @@ TEST(CycloJoinMaterialize, OutputIsDistributedPartition) {
   CycloJoin cyclo(small_cluster(3), spec);
   const RunReport report = cyclo.run(r, s);
 
-  // The union of the per-host outputs is exactly the join result.
+  // The union of the per-host outputs is exactly the join result; the
+  // stable accessor sizes the distributed partition without touching the
+  // tuples.
   std::uint64_t total = 0;
-  for (const auto& host_result : report.host_results) {
-    total += host_result.output().size();
+  const std::vector<OutputFragment> frags = report.output_fragments();
+  ASSERT_EQ(frags.size(), report.host_results.size());
+  for (std::size_t i = 0; i < frags.size(); ++i) {
+    EXPECT_EQ(frags[i].rows, report.host_results[i].output().size());
+    EXPECT_EQ(frags[i].bytes, frags[i].rows * sizeof(join::OutTuple));
+    total += frags[i].rows;
   }
   EXPECT_EQ(total, oracle.matches());
   EXPECT_EQ(report.checksum, oracle.checksum());

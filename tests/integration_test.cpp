@@ -128,6 +128,9 @@ TEST(QueryPipeline, TernaryJoinViaTwoCycloRuns) {
       intermediate.push_back(rel::Tuple{out.key, out.r_payload});
     }
   }
+  std::uint64_t fragment_rows = 0;
+  for (const auto& frag : rs.output_fragments()) fragment_rows += frag.rows;
+  EXPECT_EQ(fragment_rows, intermediate.rows());
 
   CycloJoin second(cluster_of(3), JoinSpec{.algorithm = Algorithm::kHashJoin});
   const RunReport rst = second.run(intermediate, t);

@@ -1,10 +1,14 @@
 // Unit tests for relation storage and the workload generators.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <set>
+#include <span>
+#include <vector>
 
 #include "rel/generator.h"
+#include "rel/partitioned.h"
 #include "rel/relation.h"
 
 namespace cj::rel {
@@ -126,6 +130,77 @@ TEST(VolumeHelpers, MatchPaperArithmetic) {
   // 140 M rows x 12 B = 1.68 GB — the paper's "1.6 GB" per relation.
   EXPECT_EQ(volume_bytes(140'000'000), 1'680'000'000u);
   EXPECT_EQ(rows_for_volume(volume_bytes(123)), 123u);
+}
+
+TEST(ColumnStats, ExactDistinctBelowSketchSize) {
+  Relation r("small");
+  for (std::uint32_t k = 0; k < 500; ++k) {
+    r.push_back({k * 7 + 3, k});  // 500 distinct keys, each once
+    r.push_back({k * 7 + 3, k});  // and a duplicate of each
+  }
+  const ColumnStats stats = collect_stats(r);
+  EXPECT_EQ(stats.rows, 1000u);
+  EXPECT_EQ(stats.distinct_keys, 500u);
+  EXPECT_EQ(stats.min_key, 3u);
+  EXPECT_EQ(stats.max_key, 499u * 7 + 3);
+}
+
+TEST(ColumnStats, KmvEstimateTracksLargeDomains) {
+  const std::uint64_t domain = 200'000;
+  auto r = generate({.rows = 400'000, .key_domain = domain, .seed = 9}, "big");
+  const ColumnStats stats = collect_stats(r);
+  // ~86% of a 200k domain is hit by 400k uniform draws; the KMV sketch
+  // (k = 1024) estimates that within a few percent, not within a factor.
+  const double expected =
+      static_cast<double>(domain) *
+      (1.0 - std::exp(-400'000.0 / static_cast<double>(domain)));
+  EXPECT_GT(static_cast<double>(stats.distinct_keys), expected * 0.85);
+  EXPECT_LT(static_cast<double>(stats.distinct_keys), expected * 1.15);
+}
+
+TEST(ColumnStats, FragmentOverloadSketchesTheUnion) {
+  // The same 600 distinct keys split over 3 fragments: a per-fragment sum
+  // would report 3x; the union sketch must stay exact.
+  std::vector<Relation> frags;
+  for (int f = 0; f < 3; ++f) {
+    Relation frag("frag");
+    for (std::uint32_t k = 0; k < 600; ++k) {
+      if (static_cast<int>(k) % 3 == f) frag.push_back({k, k});
+    }
+    frags.push_back(std::move(frag));
+  }
+  const ColumnStats stats = collect_stats(std::span<const Relation>(frags));
+  EXPECT_EQ(stats.rows, 600u);
+  EXPECT_EQ(stats.distinct_keys, 600u);
+}
+
+TEST(PartitionedRelation, SplitIsEvenAndLossless) {
+  auto r = generate({.rows = 10'000, .key_domain = 5'000, .seed = 4}, "r");
+  PartitionedRelation part = PartitionedRelation::split(r, 4);
+  EXPECT_EQ(part.hosts(), 4);
+  EXPECT_EQ(part.rows(), 10'000u);
+  EXPECT_EQ(part.bytes(), 10'000u * sizeof(Tuple));
+  const auto per_host = part.rows_per_host();
+  ASSERT_EQ(per_host.size(), 4u);
+  for (const std::uint64_t rows : per_host) EXPECT_EQ(rows, 2'500u);
+  EXPECT_EQ(part.stats().rows, 10'000u);
+}
+
+TEST(PartitionedRelation, TakeFragmentsConsumesTheHandle) {
+  auto r = generate({.rows = 1'000, .key_domain = 500, .seed = 4}, "r");
+  PartitionedRelation part = PartitionedRelation::split(r, 2);
+  std::vector<Relation> frags = std::move(part).take_fragments();
+  ASSERT_EQ(frags.size(), 2u);
+  EXPECT_EQ(frags[0].rows() + frags[1].rows(), 1'000u);
+}
+
+TEST(PartitionedRelation, RefreshStatsSeesInPlaceMutation) {
+  auto r = generate({.rows = 1'000, .key_domain = 500, .seed = 4}, "r");
+  PartitionedRelation part = PartitionedRelation::split(r, 2);
+  part.mutable_fragments()[0] = Relation("empty");
+  EXPECT_EQ(part.stats().rows, 1'000u);  // stale until told otherwise
+  part.refresh_stats();
+  EXPECT_EQ(part.stats().rows, part.fragment(1).rows());
 }
 
 }  // namespace
